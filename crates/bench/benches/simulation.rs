@@ -1,0 +1,37 @@
+//! Criterion benches: simulator and clock-synchronization throughput.
+
+use abc_bench::workloads;
+use abc_clocksync::instrument;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_clocksync_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clocksync_trace");
+    group.sample_size(10);
+    for n in [4usize, 7, 13] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| workloads::clocksync_trace(n, (n - 1) / 3, 10, 19, 3, 2_000));
+        });
+    }
+    group.finish();
+}
+
+fn bench_instrumentation(c: &mut Criterion) {
+    let trace = workloads::clocksync_trace(7, 2, 10, 19, 3, 3_000);
+    let mut group = c.benchmark_group("instrumentation");
+    group.bench_function("max_clock_spread", |b| {
+        b.iter(|| instrument::max_clock_spread(&trace));
+    });
+    group.bench_function("bounded_progress_worst_gap", |b| {
+        b.iter(|| instrument::bounded_progress_worst_gap(&trace));
+    });
+    group.bench_function("consistent_cut_spread", |b| {
+        b.iter(|| instrument::max_consistent_cut_spread(&trace));
+    });
+    group.bench_function("trace_to_graph", |b| {
+        b.iter(|| trace.to_execution_graph());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_clocksync_steps, bench_instrumentation);
+criterion_main!(benches);

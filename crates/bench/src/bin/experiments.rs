@@ -1,0 +1,46 @@
+//! Regenerates the paper's figures and theorem validations.
+//!
+//! ```text
+//! cargo run --release -p abc-bench --bin experiments -- all
+//! cargo run --release -p abc-bench --bin experiments -- fig1 precision
+//! cargo run --release -p abc-bench --bin experiments -- --list
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let registry = abc_bench::registry();
+    if args.is_empty() || args.iter().any(|a| a == "--list" || a == "-l" || a == "help") {
+        println!("Experiments (run with: experiments <id>... | all):");
+        for (id, desc, _) in &registry {
+            println!("  {id:<20} {desc}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let run_all = args.iter().any(|a| a == "all");
+    let mut failures = Vec::new();
+    let mut ran = 0;
+    for (id, _, runner) in &registry {
+        if run_all || args.iter().any(|a| a == id) {
+            ran += 1;
+            let ok = runner();
+            println!("  => {}", if ok { "PASS" } else { "FAIL" });
+            if !ok {
+                failures.push(*id);
+            }
+        }
+    }
+    if ran == 0 {
+        eprintln!("no matching experiment; use --list");
+        return ExitCode::FAILURE;
+    }
+    println!("\n==================================================");
+    if failures.is_empty() {
+        println!("All {ran} experiments PASSED.");
+        ExitCode::SUCCESS
+    } else {
+        println!("{} of {ran} experiments FAILED: {failures:?}", failures.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,223 @@
+//! Byzantine adversary behaviors for stressing Algorithm 1 / Algorithm 2.
+//!
+//! A Byzantine process in the paper's model is an arbitrary state machine;
+//! here that is simply an arbitrary [`Process`] implementation, registered
+//! with [`abc_sim::Simulation::add_faulty_process`] so its messages are
+//! exempt from the ABC synchrony condition. Note that with `n ≥ 3f + 1`:
+//!
+//! * a *rusher* alone cannot trigger catch-up at correct processes (it
+//!   provides only `f < f+1` distinct senders for any fabricated tick);
+//! * a *mute* or crashed adversary cannot stall the advance rule (only
+//!   `n − f` ticks are awaited).
+//!
+//! The tests and experiments check exactly these two levers.
+
+use abc_core::ProcessId;
+use abc_sim::{Context, Process};
+
+use crate::lockstep::TickMsg;
+
+/// Broadcasts ever-larger tick values, trying to pull correct clocks ahead.
+///
+/// Reacts only to tick values it has not reacted to before (strictly
+/// above the last trigger): an unthrottled echo adversary would generate
+/// an exponential message storm between two rushers, which consumes
+/// simulation budget without strengthening the attack — the catch-up
+/// quorum `f+1` is what matters, not message volume.
+#[derive(Clone, Debug)]
+pub struct TickRusher {
+    jump: u64,
+    next: u64,
+    last_trigger: Option<u64>,
+}
+
+impl TickRusher {
+    /// Jumps `jump` ticks ahead on every reaction.
+    #[must_use]
+    pub fn new(jump: u64) -> TickRusher {
+        TickRusher { jump, next: 0, last_trigger: None }
+    }
+
+    fn bump(&mut self) -> u64 {
+        self.next = self.next.saturating_add(self.jump);
+        self.next
+    }
+
+    fn should_react(&mut self, tick: u64) -> bool {
+        if self.last_trigger.is_none_or(|l| tick > l) {
+            self.last_trigger = Some(tick);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl Process<u64> for TickRusher {
+    fn on_init(&mut self, ctx: &mut Context<'_, u64>) {
+        let t = self.bump();
+        ctx.broadcast(t);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, u64>, _from: ProcessId, msg: &u64) {
+        if self.should_react(*msg) {
+            let t = self.bump();
+            ctx.broadcast(t);
+        }
+    }
+}
+
+impl<P: Clone + std::fmt::Debug + 'static> Process<TickMsg<P>> for TickRusher {
+    fn on_init(&mut self, ctx: &mut Context<'_, TickMsg<P>>) {
+        let t = self.bump();
+        ctx.broadcast(TickMsg { k: t, payload: None });
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, TickMsg<P>>, _from: ProcessId, m: &TickMsg<P>) {
+        if self.should_react(m.k) {
+            let t = self.bump();
+            ctx.broadcast(TickMsg { k: t, payload: None });
+        }
+    }
+}
+
+/// Sends different tick values to different halves of the system
+/// (equivocation), trying to split the correct processes.
+#[derive(Clone, Debug)]
+pub struct Equivocator {
+    counter: u64,
+}
+
+impl Equivocator {
+    /// A fresh equivocator.
+    #[must_use]
+    pub fn new() -> Equivocator {
+        Equivocator { counter: 0 }
+    }
+}
+
+impl Default for Equivocator {
+    fn default() -> Equivocator {
+        Equivocator::new()
+    }
+}
+
+impl Process<u64> for Equivocator {
+    fn on_init(&mut self, ctx: &mut Context<'_, u64>) {
+        let n = ctx.num_processes();
+        for p in 0..n {
+            ctx.send(ProcessId(p), if p % 2 == 0 { 0 } else { 10 });
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, u64>, _from: ProcessId, _msg: &u64) {
+        self.counter += 1;
+        let n = ctx.num_processes();
+        let c = self.counter;
+        for p in 0..n {
+            ctx.send(ProcessId(p), if p % 2 == 0 { c } else { c.saturating_mul(3) });
+        }
+    }
+}
+
+/// Replays only `(tick 0)` forever, feigning a stuck clock.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Laggard;
+
+impl Process<u64> for Laggard {
+    fn on_init(&mut self, ctx: &mut Context<'_, u64>) {
+        ctx.broadcast(0);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, u64>, _from: ProcessId, _msg: &u64) {
+        ctx.broadcast(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TickGen;
+    use abc_sim::delay::BandDelay;
+    use abc_sim::{Mute, RunLimits, Simulation};
+
+    fn final_clocks(sim: &Simulation<u64, BandDelay>, correct: &[usize]) -> Vec<u64> {
+        correct
+            .iter()
+            .map(|&p| {
+                sim.trace()
+                    .events()
+                    .iter()
+                    .filter(|e| e.process.0 == p)
+                    .filter_map(|e| e.label)
+                    .next_back()
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rusher_cannot_run_clocks_away() {
+        // n = 4, f = 1: the lone rusher provides only 1 < f+1 = 2 senders
+        // for its fabricated ticks, so correct clocks track each other.
+        let mut sim = Simulation::new(BandDelay::new(10, 19, 2));
+        for _ in 0..3 {
+            sim.add_process(TickGen::new(4, 1));
+        }
+        sim.add_faulty_process(TickRusher::new(100));
+        sim.run(RunLimits { max_events: 4_000, max_time: u64::MAX });
+        let clocks = final_clocks(&sim, &[0, 1, 2]);
+        let (lo, hi) = (clocks.iter().min().unwrap(), clocks.iter().max().unwrap());
+        assert!(*hi >= 10, "correct clocks progressed: {clocks:?}");
+        assert!(hi - lo <= 4, "clocks stayed close: {clocks:?}");
+        // The rusher's huge ticks never became correct clock values: the
+        // rusher jumps by 100 per step; correct clocks move by ~1.
+        assert!(*hi < 1_000, "rusher failed to drag clocks: {clocks:?}");
+    }
+
+    #[test]
+    fn mute_process_cannot_stall_progress() {
+        let mut sim = Simulation::new(BandDelay::new(10, 19, 4));
+        for _ in 0..3 {
+            sim.add_process(TickGen::new(4, 1));
+        }
+        sim.add_faulty_process(Mute);
+        sim.run(RunLimits { max_events: 3_000, max_time: u64::MAX });
+        for c in final_clocks(&sim, &[0, 1, 2]) {
+            assert!(c >= 10, "clock stalled at {c}");
+        }
+    }
+
+    #[test]
+    fn equivocator_cannot_split_correct_clocks() {
+        let mut sim = Simulation::new(BandDelay::new(10, 19, 6));
+        for _ in 0..3 {
+            sim.add_process(TickGen::new(4, 1));
+        }
+        sim.add_faulty_process(Equivocator::new());
+        sim.run(RunLimits { max_events: 4_000, max_time: u64::MAX });
+        let clocks = final_clocks(&sim, &[0, 1, 2]);
+        let (lo, hi) = (clocks.iter().min().unwrap(), clocks.iter().max().unwrap());
+        assert!(hi - lo <= 4, "equivocator split the clocks: {clocks:?}");
+    }
+
+    #[test]
+    fn below_threshold_resilience_breaks() {
+        // n = 4 but f = 1 actual Byzantine rushers are TWO (> f): the
+        // catch-up rule's f+1 = 2 quorum is now reachable by liars alone,
+        // and correct clocks get dragged arbitrarily far ahead —
+        // demonstrating that n >= 3f+1 is load-bearing.
+        let mut sim = Simulation::new(BandDelay::new(10, 19, 8));
+        for _ in 0..2 {
+            sim.add_process(TickGen::new(4, 1));
+        }
+        sim.add_faulty_process(TickRusher::new(1_000));
+        sim.add_faulty_process(TickRusher::new(1_000));
+        sim.run(RunLimits { max_events: 2_000, max_time: u64::MAX });
+        let clocks = final_clocks(&sim, &[0, 1]);
+        assert!(
+            clocks.iter().any(|c| *c >= 1_000),
+            "two rushers should drag clocks: {clocks:?}"
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Randomized sweeps of the Section 3 theorems: many seeds, several
+//! system sizes and adversaries — the paper's bounds must hold on every
+//! single admissible run.
+
+use abc_clocksync::{byzantine, instrument, TickGen};
+use abc_core::{check, ProcessId, Xi};
+use abc_rational::Ratio;
+use abc_sim::delay::{AdversarialSpan, BandDelay};
+use abc_sim::{Mute, RunLimits, Simulation};
+use proptest::prelude::*;
+
+fn spread_of(trace: &abc_sim::Trace) -> u64 {
+    instrument::max_clock_spread(trace).unwrap_or(0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Theorems 1-4 under band delays with a Byzantine rusher and a mute
+    /// process, across random seeds.
+    #[test]
+    fn section3_bounds_hold_across_seeds(seed in any::<u64>(), jump in 1u64..50) {
+        let (n, f) = (7, 2);
+        let xi = Xi::from_integer(2);
+        let mut sim = Simulation::new(BandDelay::new(10, 19, seed));
+        for _ in 0..(n - f) {
+            sim.add_process(TickGen::new(n, f));
+        }
+        sim.add_faulty_process(byzantine::TickRusher::new(jump));
+        sim.add_faulty_process(Mute);
+        sim.run(RunLimits { max_events: 100_000, max_time: 1_200 });
+        let trace = sim.trace();
+        // Thm 1: progress.
+        prop_assert!(instrument::min_final_clock(trace).unwrap() > 10);
+        // Thm 3: precision.
+        let spread = spread_of(trace);
+        prop_assert!(
+            Ratio::from_integer(spread as i64) <= instrument::two_xi(&xi),
+            "spread {spread} (seed {seed})"
+        );
+        // Thm 2: consistent-cut synchrony.
+        let cut = instrument::max_consistent_cut_spread(trace).unwrap();
+        prop_assert!(Ratio::from_integer(cut as i64) <= instrument::two_xi(&xi));
+        // Thm 4: bounded progress.
+        prop_assert!(instrument::bounded_progress_holds(trace, &xi));
+    }
+
+    /// The victim-link adversary cannot push the precision past 2Xi either,
+    /// for Xi matching its band ratio.
+    #[test]
+    fn adversarial_victim_respects_bound(seed in 0u64..50, victim in 0usize..4) {
+        let xi = Xi::from_integer(4);
+        let mut sim = Simulation::new(AdversarialSpan::new(10, 39, ProcessId(victim)));
+        for _ in 0..4 {
+            sim.add_process(TickGen::new(4, 1));
+        }
+        sim.run(RunLimits { max_events: 4_000, max_time: u64::MAX });
+        let spread = spread_of(sim.trace());
+        prop_assert!(Ratio::from_integer(spread as i64) <= instrument::two_xi(&xi));
+        let _ = seed;
+    }
+
+    /// Every produced trace really is ABC-admissible for Xi above the
+    /// delay-band ratio — checked with the polynomial checker, not assumed.
+    #[test]
+    fn traces_are_admissible(seed in any::<u64>()) {
+        let mut sim = Simulation::new(BandDelay::new(10, 19, seed));
+        for _ in 0..4 {
+            sim.add_process(TickGen::new(4, 1));
+        }
+        sim.run(RunLimits { max_events: 800, max_time: u64::MAX });
+        let g = sim.trace().to_execution_graph();
+        prop_assert!(check::is_admissible(&g, &Xi::from_fraction(2, 1)).unwrap());
+        // And the measured max cycle ratio is below the band ratio 19/10.
+        if let Some(r) = check::max_relevant_cycle_ratio(&g) {
+            prop_assert!(r < Ratio::new(19, 10), "ratio {r}");
+        }
+    }
+}

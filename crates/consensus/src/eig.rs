@@ -1,0 +1,179 @@
+//! Exponential Information Gathering (EIG) Byzantine consensus.
+//!
+//! The classic `f+1`-round synchronous algorithm for `n > 3f`: each
+//! process maintains a tree of "who said that who said ... the value was
+//! `v`" assertions, relayed one level per round; after `f+1` rounds the
+//! tree is resolved bottom-up by recursive majority, which is identical at
+//! all correct processes.
+
+use std::collections::BTreeMap;
+
+use abc_clocksync::RoundApp;
+use abc_core::ProcessId;
+
+/// One EIG assertion: the chain of relayers (most recent last) and the
+/// value they vouch for.
+pub type EigAssertion = (Vec<u8>, u64);
+
+/// EIG consensus process state (wrap in [`abc_clocksync::LockStep`] to run).
+#[derive(Clone, Debug)]
+pub struct EigConsensus {
+    n: usize,
+    f: usize,
+    input: u64,
+    default: u64,
+    /// Tree nodes: path (root = empty) -> reported value.
+    tree: BTreeMap<Vec<u8>, u64>,
+    decision: Option<u64>,
+}
+
+impl EigConsensus {
+    /// A process with the given `input` in a system of `n` processes
+    /// tolerating `f` Byzantine faults. Missing assertions resolve to the
+    /// `default` value 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n > 3f` and `n ≤ 255` (paths store process ids as
+    /// bytes).
+    #[must_use]
+    pub fn new(n: usize, f: usize, input: u64) -> EigConsensus {
+        assert!(n > 3 * f, "EIG requires n > 3f");
+        assert!(n <= 255, "paths store process ids as bytes");
+        EigConsensus {
+            n,
+            f,
+            input,
+            default: 0,
+            tree: BTreeMap::new(),
+            decision: None,
+        }
+    }
+
+    /// The decided value, once round `f+1` has completed.
+    #[must_use]
+    pub fn decision(&self) -> Option<u64> {
+        self.decision
+    }
+
+    /// Recursive EIG resolution: leaves report their stored value; inner
+    /// nodes take the majority of their children (default on tie/missing).
+    fn resolve(&self, path: &[u8]) -> u64 {
+        if path.len() == self.f + 1 {
+            return self.tree.get(path).copied().unwrap_or(self.default);
+        }
+        let mut counts: BTreeMap<u64, usize> = BTreeMap::new();
+        let mut children = 0;
+        for q in 0..self.n {
+            let q = u8::try_from(q).expect("n <= 255");
+            if path.contains(&q) {
+                continue;
+            }
+            let mut child = path.to_vec();
+            child.push(q);
+            // Children beyond the tree depth do not exist.
+            if child.len() > self.f + 1 {
+                continue;
+            }
+            let v = self.resolve(&child);
+            *counts.entry(v).or_insert(0) += 1;
+            children += 1;
+        }
+        if children == 0 {
+            return self.tree.get(path).copied().unwrap_or(self.default);
+        }
+        // Strict majority of children, else default.
+        counts
+            .iter()
+            .find(|(_, c)| 2 * **c > children)
+            .map_or(self.default, |(v, _)| *v)
+    }
+}
+
+impl RoundApp for EigConsensus {
+    type Payload = Vec<EigAssertion>;
+
+    fn first_message(&mut self, _me: ProcessId, _n: usize) -> Vec<EigAssertion> {
+        // Round 0: broadcast my own value (the empty relay chain).
+        vec![(Vec::new(), self.input)]
+    }
+
+    fn on_round(
+        &mut self,
+        _me: ProcessId,
+        round: u64,
+        received: &BTreeMap<ProcessId, Vec<EigAssertion>>,
+    ) -> Vec<EigAssertion> {
+        let level = usize::try_from(round).expect("rounds fit usize");
+        if level <= self.f + 1 {
+            // Store round-(r−1) assertions: (path, v) from sender s becomes
+            // tree[path ++ s], for well-formed paths without repeats.
+            for (sender, assertions) in received {
+                let s = u8::try_from(sender.0).expect("n <= 255");
+                for (path, v) in assertions {
+                    if path.len() == level - 1 && !path.contains(&s) {
+                        let mut full = path.clone();
+                        full.push(s);
+                        self.tree.entry(full).or_insert(*v);
+                    }
+                }
+            }
+        }
+        if level == self.f + 1 && self.decision.is_none() {
+            self.decision = Some(self.resolve(&[]));
+        }
+        // Round r message: all level-r nodes of my tree.
+        self.tree
+            .iter()
+            .filter(|(path, _)| path.len() == level && level <= self.f)
+            .map(|(path, v)| (path.clone(), *v))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_unanimous_tree() {
+        let mut e = EigConsensus::new(4, 1, 7);
+        // All leaves say 7.
+        for a in 0..4u8 {
+            e.tree.insert(vec![a], 7);
+            for b in 0..4u8 {
+                if b != a {
+                    e.tree.insert(vec![a, b], 7);
+                }
+            }
+        }
+        assert_eq!(e.resolve(&[]), 7);
+    }
+
+    #[test]
+    fn resolve_outvotes_a_liar() {
+        let mut e = EigConsensus::new(4, 1, 1);
+        // Processes 0..2 say 1 consistently; process 3 lies with 9.
+        for a in 0..4u8 {
+            let val = if a == 3 { 9 } else { 1 };
+            e.tree.insert(vec![a], val);
+            for b in 0..4u8 {
+                if b == a {
+                    continue;
+                }
+                // b relays a's value honestly, except liar 3 relays garbage.
+                let relayed = if b == 3 { 9 } else { val };
+                e.tree.insert(vec![a, b], relayed);
+            }
+        }
+        // Subtree of each correct a resolves to val (2-of-3 children
+        // honest); root majority = 1 (three of four subtrees say 1).
+        assert_eq!(e.resolve(&[]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "n > 3f")]
+    fn rejects_insufficient_n() {
+        let _ = EigConsensus::new(3, 1, 0);
+    }
+}

@@ -1,0 +1,75 @@
+//! FloodSet consensus for crash faults.
+//!
+//! The textbook `f+1`-round algorithm: every round, broadcast the set of
+//! values seen so far and merge what arrives. After `f+1` rounds all
+//! correct processes hold the same set (some round is crash-free), so
+//! deciding `min` yields agreement; validity holds because only inputs
+//! circulate.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use abc_clocksync::RoundApp;
+use abc_core::ProcessId;
+
+/// FloodSet process state (wrap in [`abc_clocksync::LockStep`] to run).
+#[derive(Clone, Debug)]
+pub struct FloodSet {
+    f: usize,
+    seen: BTreeSet<u64>,
+    decision: Option<u64>,
+}
+
+impl FloodSet {
+    /// A process with the given input, tolerating `f` crash faults.
+    #[must_use]
+    pub fn new(f: usize, input: u64) -> FloodSet {
+        FloodSet { f, seen: BTreeSet::from([input]), decision: None }
+    }
+
+    /// The decided value, once round `f+1` has completed.
+    #[must_use]
+    pub fn decision(&self) -> Option<u64> {
+        self.decision
+    }
+}
+
+impl RoundApp for FloodSet {
+    type Payload = Vec<u64>;
+
+    fn first_message(&mut self, _me: ProcessId, _n: usize) -> Vec<u64> {
+        self.seen.iter().copied().collect()
+    }
+
+    fn on_round(
+        &mut self,
+        _me: ProcessId,
+        round: u64,
+        received: &BTreeMap<ProcessId, Vec<u64>>,
+    ) -> Vec<u64> {
+        for values in received.values() {
+            self.seen.extend(values.iter().copied());
+        }
+        if round == (self.f as u64) + 1 && self.decision.is_none() {
+            self.decision = self.seen.iter().next().copied();
+        }
+        self.seen.iter().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merges_and_decides_min() {
+        let mut fs = FloodSet::new(1, 5);
+        let mut r1 = BTreeMap::new();
+        r1.insert(ProcessId(1), vec![3, 8]);
+        r1.insert(ProcessId(2), vec![5]);
+        assert_eq!(fs.on_round(ProcessId(0), 1, &r1), vec![3, 5, 8]);
+        assert_eq!(fs.decision(), None, "decides only after f+1 rounds");
+        let r2 = BTreeMap::new();
+        fs.on_round(ProcessId(0), 2, &r2);
+        assert_eq!(fs.decision(), Some(3));
+    }
+}

@@ -1,0 +1,181 @@
+//! End-to-end consensus runs over the lock-step simulation, with
+//! agreement/validity/termination validation.
+
+use abc_clocksync::LockStep;
+use abc_core::{ProcessId, Xi};
+use abc_sim::delay::BandDelay;
+use abc_sim::{RunLimits, Simulation};
+
+use crate::byzantine::EquivocatingLockStep;
+use crate::{EigConsensus, FloodSet};
+
+/// The outcome of a consensus run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConsensusOutcome {
+    /// Decisions of the correct processes, by process id.
+    pub decisions: Vec<(ProcessId, Option<u64>)>,
+    /// Inputs of the correct processes.
+    pub inputs: Vec<(ProcessId, u64)>,
+}
+
+impl ConsensusOutcome {
+    /// All correct processes decided (termination).
+    #[must_use]
+    pub fn terminated(&self) -> bool {
+        self.decisions.iter().all(|(_, d)| d.is_some())
+    }
+
+    /// All correct decisions are equal (agreement).
+    #[must_use]
+    pub fn agreement(&self) -> bool {
+        let mut values = self.decisions.iter().filter_map(|(_, d)| *d);
+        match values.next() {
+            None => true,
+            Some(first) => values.all(|v| v == first),
+        }
+    }
+
+    /// If all correct inputs are equal, the decision equals that input
+    /// (validity).
+    #[must_use]
+    pub fn validity(&self) -> bool {
+        let mut inputs = self.inputs.iter().map(|(_, v)| *v);
+        let Some(first) = inputs.next() else { return true };
+        if inputs.all(|v| v == first) {
+            self.decisions.iter().all(|(_, d)| *d == Some(first) || d.is_none())
+        } else {
+            true
+        }
+    }
+}
+
+/// Runs EIG consensus with `byz` equivocating Byzantine processes (ids at
+/// the end) among `n` processes, `f` the algorithm's fault budget.
+///
+/// # Panics
+///
+/// Panics on invalid parameters (see [`EigConsensus::new`]).
+#[must_use]
+pub fn run_eig(
+    n: usize,
+    f: usize,
+    byz: usize,
+    inputs: &[u64],
+    xi: &Xi,
+    seed: u64,
+    max_events: usize,
+) -> ConsensusOutcome {
+    assert_eq!(inputs.len(), n - byz, "one input per correct process");
+    let mut sim = Simulation::new(BandDelay::new(50, 99, seed));
+    for input in inputs {
+        sim.add_process(LockStep::new(n, f, xi, EigConsensus::new(n, f, *input)));
+    }
+    for _ in 0..byz {
+        sim.add_faulty_process(EquivocatingLockStep::new(n, f, xi));
+    }
+    sim.run(RunLimits { max_events, max_time: u64::MAX });
+    let mut decisions = Vec::new();
+    let mut ins = Vec::new();
+    for (i, input) in inputs.iter().enumerate() {
+        let p = ProcessId(i);
+        let ls = sim
+            .process_as::<LockStep<EigConsensus>>(p)
+            .expect("correct processes are EIG lock-steps");
+        decisions.push((p, ls.app().decision()));
+        ins.push((p, *input));
+    }
+    ConsensusOutcome { decisions, inputs: ins }
+}
+
+/// Runs FloodSet consensus with `crashed` processes crashing at their
+/// `crash_step`-th step.
+#[must_use]
+pub fn run_floodset(
+    n: usize,
+    f: usize,
+    crashed: &[(usize, usize)],
+    inputs: &[u64],
+    xi: &Xi,
+    seed: u64,
+    max_events: usize,
+) -> ConsensusOutcome {
+    assert_eq!(inputs.len(), n);
+    let mut sim = Simulation::new(BandDelay::new(50, 99, seed));
+    for (i, input) in inputs.iter().enumerate() {
+        let app = LockStep::new(n, f, xi, FloodSet::new(f, *input));
+        match crashed.iter().find(|(p, _)| *p == i) {
+            Some((_, steps)) => {
+                sim.add_faulty_process(abc_sim::CrashAt::new(app, *steps));
+            }
+            None => {
+                sim.add_process(app);
+            }
+        }
+    }
+    sim.run(RunLimits { max_events, max_time: u64::MAX });
+    let mut decisions = Vec::new();
+    let mut ins = Vec::new();
+    for (i, input) in inputs.iter().enumerate() {
+        if crashed.iter().any(|(p, _)| *p == i) {
+            continue;
+        }
+        let p = ProcessId(i);
+        let ls = sim
+            .process_as::<LockStep<FloodSet>>(p)
+            .expect("correct processes are FloodSet lock-steps");
+        decisions.push((p, ls.app().decision()));
+        ins.push((p, *input));
+    }
+    ConsensusOutcome { decisions, inputs: ins }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eig_agreement_validity_termination_under_equivocation() {
+        let xi = Xi::from_integer(2);
+        for seed in 0..3 {
+            let out = run_eig(4, 1, 1, &[1, 1, 1], &xi, seed, 60_000);
+            assert!(out.terminated(), "seed {seed}: {out:?}");
+            assert!(out.agreement(), "seed {seed}: {out:?}");
+            assert!(out.validity(), "seed {seed}: {out:?}");
+            // Unanimous correct inputs of 1 must decide 1 despite the liar.
+            assert_eq!(out.decisions[0].1, Some(1), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn eig_mixed_inputs_still_agree() {
+        let xi = Xi::from_integer(2);
+        let out = run_eig(4, 1, 1, &[0, 1, 1], &xi, 9, 60_000);
+        assert!(out.terminated() && out.agreement(), "{out:?}");
+    }
+
+    #[test]
+    fn eig_seven_processes_two_byzantine() {
+        let xi = Xi::from_integer(2);
+        let out = run_eig(7, 2, 2, &[4, 4, 4, 4, 4], &xi, 5, 400_000);
+        assert!(out.terminated(), "{out:?}");
+        assert!(out.agreement() && out.validity(), "{out:?}");
+        assert_eq!(out.decisions[0].1, Some(4));
+    }
+
+    #[test]
+    fn floodset_survives_crashes() {
+        let xi = Xi::from_integer(2);
+        // p3 crashes mid-run (after 5 steps).
+        let out = run_floodset(4, 1, &[(3, 5)], &[7, 3, 9, 1], &xi, 2, 60_000);
+        assert!(out.terminated(), "{out:?}");
+        assert!(out.agreement(), "{out:?}");
+    }
+
+    #[test]
+    fn floodset_unanimous_validity() {
+        let xi = Xi::from_integer(2);
+        let out = run_floodset(4, 1, &[(0, 3)], &[6, 6, 6, 6], &xi, 4, 60_000);
+        assert!(out.terminated() && out.agreement() && out.validity(), "{out:?}");
+        assert_eq!(out.decisions[0].1, Some(6));
+    }
+}

@@ -1,0 +1,29 @@
+//! Consensus on top of ABC lock-step rounds.
+//!
+//! The paper's Theorem 5 simulates lock-step rounds in the ABC model, so
+//! "any Byzantine fault-tolerant synchronous consensus algorithm can be
+//! used for solving consensus" (Section 6). This crate supplies the
+//! synchronous algorithms and runs them through
+//! [`abc_clocksync::LockStep`]:
+//!
+//! * [`EigConsensus`] — Exponential Information Gathering, `f+1` rounds,
+//!   Byzantine resilience `n > 3f` (matching Algorithm 1's `n ≥ 3f+1`).
+//! * [`FloodSet`] — crash-fault consensus by value flooding, `f+1` rounds.
+//! * [`byzantine::EquivocatingLockStep`] — a transport-level Byzantine
+//!   adversary that runs correct clock synchronization but sends
+//!   *different* round payloads to different processes.
+//!
+//! The test suite validates **agreement**, **validity**, and
+//! **termination** across adversaries, and shows resilience collapsing
+//! when `f` exceeds the algorithm's budget.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod byzantine;
+mod eig;
+mod floodset;
+pub mod harness;
+
+pub use eig::EigConsensus;
+pub use floodset::FloodSet;

@@ -1,0 +1,430 @@
+//! Delay assignment — the executable Theorem 7.
+//!
+//! Theorem 7 of the paper: *for every finite ABC execution graph `G` there
+//! is an end-to-end delay assignment `τ` such that the timed graph `G^τ` is
+//! causally equivalent to `G` and all messages satisfy the Θ-Model's
+//! synchrony condition* (delays in `(1, Ξ)` with `Ξ < Θ`). The paper proves
+//! existence with a Farkas-lemma variant over the cycle space; this module
+//! *constructs* the assignment, two ways:
+//!
+//! 1. [`assign_delays`] — **polynomial**. Take one variable per event (its
+//!    occurrence time). Every constraint of a normalized assignment is a
+//!    difference constraint:
+//!    `1 < t(recv) − t(send) < Ξ` for effective messages,
+//!    `0 < t(recv) − t(send)` for exempt ones, and
+//!    `0 < t(next) − t(prev)` along process lines.
+//!    Bellman–Ford (via [`abc_lp::diffcon`]) solves it in `O(V·E)`; its
+//!    negative-cycle witness maps *exactly* onto a relevant cycle violating
+//!    the ABC condition, re-proving the theorem constructively: the system
+//!    is solvable **iff** `G` is ABC-admissible for `Ξ`.
+//!
+//! 2. [`cycle_lp_system`] / [`assign_delays_via_cycle_lp`] — the
+//!    **paper-literal** Fig. 6 route: enumerate the simple cycles of the
+//!    shadow graph, emit the `2k + l + m` rows of `Ax < b` over the message
+//!    delays (bounds rows, relevant-cycle rows with condition (6),
+//!    sign-flipped non-relevant rows), and decide with the exact simplex of
+//!    `abc-lp`. Exponential — used on small graphs to exhibit the exact
+//!    objects of the proof (Farkas certificates included) and to
+//!    cross-check route 1.
+
+use abc_lp::diffcon::{self, DiffConstraint};
+use abc_lp::{simplex, Feasibility, LinearSystem};
+use abc_rational::Ratio;
+
+use crate::cycle::Cycle;
+use crate::enumerate::{enumerate_cycles, EnumerationLimits};
+use crate::graph::{ExecutionGraph, MessageId};
+use crate::timed::TimedGraph;
+use crate::xi::Xi;
+
+/// Why a delay assignment does not exist.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AssignError {
+    /// The graph violates the ABC condition for the given `Ξ`; the witness
+    /// is a relevant cycle with `|Z−|/|Z+| ≥ Ξ` recovered from the
+    /// negative-cycle certificate.
+    NotAdmissible(Cycle),
+    /// The cycle enumeration exceeded its budget (cycle-LP route only).
+    EnumerationBudget,
+    /// Internal LP failure (indicates a bug).
+    Lp(String),
+}
+
+impl std::fmt::Display for AssignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AssignError::NotAdmissible(c) => {
+                write!(f, "graph is not ABC-admissible; violating cycle {c}")
+            }
+            AssignError::EnumerationBudget => write!(f, "cycle enumeration budget exhausted"),
+            AssignError::Lp(e) => write!(f, "internal LP failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AssignError {}
+
+/// Constructs a normalized assignment for `g` and `xi` in polynomial time,
+/// or returns the violating relevant cycle.
+///
+/// On success the returned [`TimedGraph`] satisfies
+/// [`TimedGraph::is_normalized`]: effective message delays strictly inside
+/// `(1, Ξ)`, exempt message delays positive, process lines strictly
+/// increasing — i.e. `G^τ` is causally equivalent to `G` (Theorem 7).
+///
+/// # Errors
+///
+/// [`AssignError::NotAdmissible`] with a verified witness cycle when the
+/// ABC condition fails for `xi`.
+///
+/// # Example
+///
+/// ```
+/// use abc_core::graph::{ExecutionGraph, ProcessId};
+/// use abc_core::assign::assign_delays;
+/// use abc_core::Xi;
+///
+/// let mut b = ExecutionGraph::builder(2);
+/// let q = b.init(ProcessId(0));
+/// b.init(ProcessId(1));
+/// let (_, r) = b.send(q, ProcessId(1));
+/// b.send(r, ProcessId(0));
+/// let g = b.finish();
+/// let timed = assign_delays(&g, &Xi::from_fraction(3, 2)).unwrap();
+/// assert!(timed.is_normalized(&g, &Xi::from_fraction(3, 2)));
+/// ```
+pub fn assign_delays(g: &ExecutionGraph, xi: &Xi) -> Result<TimedGraph, AssignError> {
+    #[derive(Clone, Copy)]
+    enum Origin {
+        MsgUpper(MessageId),
+        MsgLower(MessageId),
+        Local(usize, usize), // event ids (from, to)
+    }
+    let mut constraints = Vec::new();
+    let mut origins = Vec::new();
+    for m in g.messages() {
+        if g.is_effective(m.id) {
+            // t(to) - t(from) < Xi
+            constraints.push(DiffConstraint::lt(m.to.0, m.from.0, xi.as_ratio().clone()));
+            origins.push(Origin::MsgUpper(m.id));
+            // t(from) - t(to) < -1  (delay > 1)
+            constraints.push(DiffConstraint::lt(m.from.0, m.to.0, -Ratio::one()));
+            origins.push(Origin::MsgLower(m.id));
+        }
+        // Exempt messages carry no constraint at all: the paper drops them
+        // (and their receive steps) from the space-time diagram, so a
+        // Theorem 7 assignment owes them nothing. Their receive events stay
+        // on the process line, ordered by the local-edge constraints below.
+    }
+    for l in g.local_edges() {
+        // t(from) - t(to) < 0  (strictly increasing process line)
+        constraints.push(DiffConstraint::lt(l.from.0, l.to.0, Ratio::zero()));
+        origins.push(Origin::Local(l.from.0, l.to.0));
+    }
+    match diffcon::solve(g.num_events(), &constraints) {
+        Ok(times) => {
+            let timed = TimedGraph::new(times);
+            debug_assert!(timed.is_normalized(g, xi));
+            Ok(timed)
+        }
+        Err(neg_cycle) => {
+            // Map the telescoping constraint cycle back onto a shadow-graph
+            // cycle: MsgUpper ≙ forward traversal, MsgLower ≙ backward,
+            // Local ≙ backward local step. The cycle's bound sum is
+            // Ξ·F − B ≤ 0 (with strictness), i.e. a relevant cycle with
+            // |Z−|/|Z+| ≥ Ξ.
+            use crate::cycle::{CycleStep, ShadowEdge};
+            use crate::graph::{EventId, LocalEdge};
+            // Each constraint (u, v) maps to a step walking v -> u, so the
+            // constraint chain (c_i.v == c_{i+1}.u) corresponds to steps in
+            // reverse order.
+            let steps: Vec<CycleStep> = neg_cycle
+                .constraint_indices
+                .iter()
+                .rev()
+                .map(|&ci| match origins[ci] {
+                    Origin::MsgUpper(m) => {
+                        CycleStep { edge: ShadowEdge::Message(m), against: false }
+                    }
+                    Origin::MsgLower(m) => {
+                        CycleStep { edge: ShadowEdge::Message(m), against: true }
+                    }
+                    Origin::Local(from, to) => CycleStep {
+                        edge: ShadowEdge::Local(LocalEdge {
+                            from: EventId(from),
+                            to: EventId(to),
+                        }),
+                        against: true,
+                    },
+                })
+                .collect();
+            let cycle = Cycle::new(steps);
+            debug_assert!(cycle.validate(g).is_ok(), "witness must validate: {cycle}");
+            debug_assert!(cycle.classify().violates(xi), "witness must violate Xi");
+            Err(AssignError::NotAdmissible(cycle))
+        }
+    }
+}
+
+/// The paper's Fig. 6 system `Ax < b` over the message-delay variables.
+///
+/// Variables are indexed by [`MessageId`] over the *effective* messages;
+/// [`CycleLpSystem::variables`] gives the mapping. Rows, in Fig. 6 order:
+/// lower bounds `−τ(e) < −1`, upper bounds `τ(e) < Ξ`, one row per relevant
+/// cycle (condition (6)), and one sign-flipped row per non-relevant cycle.
+#[derive(Clone, Debug)]
+pub struct CycleLpSystem {
+    /// The linear system (strict rows only, as in the paper).
+    pub system: LinearSystem,
+    /// Column order: `variables[j]` is the message whose delay is `x_j`.
+    pub variables: Vec<MessageId>,
+    /// The enumerated cycles, aligned with the cycle rows of `system`
+    /// (starting at row `2·variables.len()`), each with its relevance flag.
+    pub cycles: Vec<(Cycle, bool)>,
+}
+
+/// Builds the Fig. 6 system by exhaustive cycle enumeration.
+///
+/// # Errors
+///
+/// [`AssignError::EnumerationBudget`] if the enumeration is incomplete
+/// under `limits` (the system would be unsound).
+pub fn cycle_lp_system(
+    g: &ExecutionGraph,
+    xi: &Xi,
+    limits: EnumerationLimits,
+) -> Result<CycleLpSystem, AssignError> {
+    let e = enumerate_cycles(g, limits);
+    if !e.complete {
+        return Err(AssignError::EnumerationBudget);
+    }
+    let variables: Vec<MessageId> = g.effective_messages().map(|m| m.id).collect();
+    let col_of = |m: MessageId| -> usize {
+        variables.binary_search(&m).expect("cycles use only effective messages")
+    };
+    let k = variables.len();
+    let mut sys = LinearSystem::new(k);
+    // Lower bounds: -tau(e) < -1.
+    for j in 0..k {
+        let mut row = vec![Ratio::zero(); k];
+        row[j] = -Ratio::one();
+        sys.push_lt(row, -Ratio::one());
+    }
+    // Upper bounds: tau(e) < Xi.
+    for j in 0..k {
+        let mut row = vec![Ratio::zero(); k];
+        row[j] = Ratio::one();
+        sys.push_lt(row, xi.as_ratio().clone());
+    }
+    // Cycle rows: sum_{Z-} tau - sum_{Z+} tau < 0 for relevant cycles,
+    // sign-flipped for non-relevant ones.
+    let mut cycles = Vec::with_capacity(e.cycles.len());
+    for cycle in e.cycles {
+        let class = cycle.classify();
+        let mut row = vec![Ratio::zero(); k];
+        for (m, against_walk) in cycle.messages() {
+            let backward = against_walk != class.orientation_reversed;
+            let sign = if backward { Ratio::one() } else { -Ratio::one() };
+            let flipped = if class.relevant { sign } else { -sign };
+            row[col_of(m)] += flipped;
+        }
+        sys.push_lt(row, Ratio::zero());
+        cycles.push((cycle, class.relevant));
+    }
+    Ok(CycleLpSystem { system: sys, variables, cycles })
+}
+
+/// Outcome of the paper-literal route.
+#[derive(Clone, Debug)]
+pub enum CycleLpOutcome {
+    /// A normalized delay vector `τ` (aligned with
+    /// [`CycleLpSystem::variables`]) plus the realized [`TimedGraph`].
+    Assignment {
+        /// Per-message delays.
+        delays: Vec<Ratio>,
+        /// Event times realizing those delays.
+        timed: TimedGraph,
+    },
+    /// The Farkas/Carver certificate showing the Fig. 6 system infeasible
+    /// (the graph is not ABC-admissible for `Ξ`).
+    Infeasible(abc_lp::FarkasCertificate),
+}
+
+/// Solves the Fig. 6 system with the exact simplex and realizes event times
+/// from the message delays (Theorem 12 made constructive).
+///
+/// # Errors
+///
+/// [`AssignError::EnumerationBudget`] when cycle enumeration is incomplete,
+/// [`AssignError::Lp`] on internal solver failures.
+pub fn assign_delays_via_cycle_lp(
+    g: &ExecutionGraph,
+    xi: &Xi,
+    limits: EnumerationLimits,
+) -> Result<CycleLpOutcome, AssignError> {
+    let lp = cycle_lp_system(g, xi, limits)?;
+    match simplex::solve(&lp.system).map_err(|e| AssignError::Lp(e.to_string()))? {
+        Feasibility::Infeasible(cert) => {
+            debug_assert!(cert.verify(&lp.system));
+            Ok(CycleLpOutcome::Infeasible(cert))
+        }
+        Feasibility::Feasible(sol) => {
+            // Realize event times from the message delays: fix each
+            // message's delay exactly and let local edges breathe. This is
+            // again a difference-constraint system, feasible because the
+            // delays satisfy every cycle inequality.
+            let mut constraints = Vec::new();
+            for (j, m) in lp.variables.iter().enumerate() {
+                let msg = g.message(*m);
+                let d = sol.values[j].clone();
+                constraints.push(DiffConstraint::le(msg.to.0, msg.from.0, d.clone()));
+                constraints.push(DiffConstraint::le(msg.from.0, msg.to.0, -d));
+            }
+            for l in g.local_edges() {
+                constraints.push(DiffConstraint::lt(l.from.0, l.to.0, Ratio::zero()));
+            }
+            let times = diffcon::solve(g.num_events(), &constraints).map_err(|_| {
+                AssignError::Lp(
+                    "cycle-LP delays admit no event times; Fig. 6 system was incomplete".into(),
+                )
+            })?;
+            let timed = TimedGraph::new(times);
+            debug_assert!(timed.is_normalized(g, xi));
+            Ok(CycleLpOutcome::Assignment { delays: sol.values, timed })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check;
+    use crate::graph::ProcessId;
+
+    /// Fast chain of `hops` messages spanned by one slow direct message:
+    /// max relevant ratio = hops.
+    fn two_chain(hops: usize) -> ExecutionGraph {
+        let mut b = ExecutionGraph::builder(hops + 1);
+        let q = b.init(ProcessId(0));
+        for i in 1..=hops {
+            b.init(ProcessId(i));
+        }
+        let mut cur = q;
+        for i in 2..=hops {
+            let (_, r) = b.send(cur, ProcessId(i));
+            cur = r;
+        }
+        b.send(cur, ProcessId(1));
+        b.send(q, ProcessId(1));
+        b.finish()
+    }
+
+    #[test]
+    fn admissible_graph_gets_normalized_assignment() {
+        let g = two_chain(3); // ratio 3
+        let xi = Xi::from_fraction(7, 2); // 3 < 7/2: admissible
+        assert!(check::is_admissible(&g, &xi).unwrap());
+        let timed = assign_delays(&g, &xi).unwrap();
+        assert!(timed.is_normalized(&g, &xi));
+        // The assignment makes the graph Θ-admissible for every Θ ≥ Ξ
+        // (delays are within (1, Ξ)): Theorem 7's conclusion.
+        assert!(timed.is_theta_admissible(&g, &Ratio::new(7, 2)));
+    }
+
+    #[test]
+    fn violating_graph_yields_witness_cycle() {
+        let g = two_chain(4); // ratio 4
+        let xi = Xi::from_integer(3);
+        match assign_delays(&g, &xi) {
+            Err(AssignError::NotAdmissible(cycle)) => {
+                assert!(cycle.validate(&g).is_ok());
+                assert!(cycle.classify().violates(&xi));
+            }
+            other => panic!("expected NotAdmissible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn assignment_agrees_with_checker_exactly_at_threshold() {
+        let g = two_chain(3);
+        // Admissible iff Xi > 3: check the boundary from both sides.
+        assert!(assign_delays(&g, &Xi::from_integer(3)).is_err());
+        assert!(assign_delays(&g, &Xi::from_fraction(301, 100)).is_ok());
+    }
+
+    #[test]
+    fn cycle_lp_route_matches_polynomial_route() {
+        for hops in 2..=4 {
+            let g = two_chain(hops);
+            for xi in [Xi::from_fraction(3, 2), Xi::from_integer(3), Xi::from_integer(5)] {
+                let poly = assign_delays(&g, &xi).is_ok();
+                let lp = assign_delays_via_cycle_lp(&g, &xi, EnumerationLimits::default())
+                    .unwrap();
+                match lp {
+                    CycleLpOutcome::Assignment { delays, timed } => {
+                        assert!(poly, "routes disagree: hops={hops} xi={xi}");
+                        assert!(timed.is_normalized(&g, &xi));
+                        for d in &delays {
+                            assert!(d > &Ratio::one() && d < xi.as_ratio());
+                        }
+                    }
+                    CycleLpOutcome::Infeasible(cert) => {
+                        assert!(!poly, "routes disagree: hops={hops} xi={xi}");
+                        let sys = cycle_lp_system(&g, &xi, EnumerationLimits::default())
+                            .unwrap()
+                            .system;
+                        assert!(cert.verify(&sys));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fig6_system_shape() {
+        let g = two_chain(2);
+        let xi = Xi::from_integer(3);
+        let lp = cycle_lp_system(&g, &xi, EnumerationLimits::default()).unwrap();
+        let k = lp.variables.len();
+        assert_eq!(k, 3); // 2-hop chain + direct message
+        // 2k bound rows + one row per enumerated cycle.
+        assert_eq!(lp.system.num_rows(), 2 * k + lp.cycles.len());
+        assert!(lp.cycles.iter().any(|(_, relevant)| *relevant));
+    }
+
+    #[test]
+    fn exempt_messages_are_unconstrained() {
+        // Ratio-4 configuration, but the spanning slow message is exempt:
+        // an assignment exists and may give it any delay whatsoever.
+        let mut b = ExecutionGraph::builder(5);
+        let q = b.init(ProcessId(0));
+        for i in 1..=4 {
+            b.init(ProcessId(i));
+        }
+        let mut cur = q;
+        for i in 2..=4 {
+            let (_, r) = b.send(cur, ProcessId(i));
+            cur = r;
+        }
+        b.send(cur, ProcessId(1));
+        let (slow, _) = b.send(q, ProcessId(1));
+        b.set_exempt(slow);
+        let g = b.finish();
+        let xi = Xi::from_integer(2);
+        let timed = assign_delays(&g, &xi).unwrap();
+        assert!(timed.is_normalized(&g, &xi));
+        // The exempt message's delay exceeds Xi (it spans a 4-message chain
+        // of delay > 4 > Xi) — allowed precisely because it is exempt.
+        assert!(timed.message_delay(&g, slow) > Ratio::from_integer(4));
+    }
+
+    #[test]
+    fn empty_graph_assignment() {
+        let mut b = ExecutionGraph::builder(2);
+        b.init(ProcessId(0));
+        b.init(ProcessId(1));
+        let g = b.finish();
+        let timed = assign_delays(&g, &Xi::from_integer(2)).unwrap();
+        assert!(timed.validate(&g).is_ok());
+    }
+}

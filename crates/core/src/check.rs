@@ -1,0 +1,535 @@
+//! Polynomial-time checking of the ABC synchrony condition (Definition 4).
+//!
+//! Definition 4 quantifies over *all* relevant cycles — exponentially many.
+//! This module decides admissibility in `O(V·E)` via a reduction to
+//! negative-cycle detection, the piece that makes model checking the ABC
+//! condition practical (brute-force enumeration, kept in
+//! [`crate::enumerate`], cross-validates it in the property tests).
+//!
+//! # The reduction
+//!
+//! Build the *traversal graph* `T` over the events of `G`:
+//!
+//! * for every effective message `m = (u → v)`: a **forward** arc `u → v`
+//!   and a **backward** arc `v → u`;
+//! * for every local edge `(u → v)`: a **backward** arc `v → u` only.
+//!
+//! Every simple cycle of `T` traverses each local edge backwards, so by
+//! Definition 3 it corresponds to a relevant cycle whenever its backward
+//! message count `B` is at least its forward message count `F` — and every
+//! relevant cycle arises this way (its orientation traversal uses exactly
+//! the arcs of `T`). Since every cycle of `T` contains a forward message
+//! (an all-backward cycle would be a directed cycle of the acyclic
+//! execution graph), with `Ξ = p/q`:
+//!
+//! > `G` violates the ABC condition **iff** `T` contains a simple cycle
+//! > with `q·B − p·F ≥ 0`
+//!
+//! (note `q·B − p·F ≥ 0` forces `B ≥ Ξ·F > F`, so the Definition 3
+//! orientation agrees with the traversal). Cycles of non-negative weight
+//! are detected exactly by scaling: give each arc the integer weight
+//! `(p·[fwd] − q·[bwd])·K − 1` with `K = (#arcs)+1`; a negative cycle under
+//! this weighting exists iff some cycle has `q·B − p·F ≥ 0`. Bellman–Ford
+//! with predecessor extraction returns the violating relevant cycle itself.
+//!
+//! The exact **maximum relevant-cycle ratio** `max |Z−|/|Z+|` is computed
+//! by rational bisection over the monotone predicate "∃ cycle with ratio
+//! `≥ x`", followed by exact recovery of the unique bounded-denominator
+//! fraction in the final interval.
+
+use abc_rational::Ratio;
+
+use crate::cycle::{Cycle, CycleStep, ShadowEdge};
+use crate::graph::{ExecutionGraph, LocalEdge, MessageId};
+use crate::xi::Xi;
+
+/// Errors reported by the checker.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckError {
+    /// `Ξ`'s numerator or denominator does not fit the integer weights used
+    /// by the Bellman–Ford reduction.
+    XiTooLarge,
+}
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckError::XiTooLarge => write!(f, "Xi numerator/denominator exceeds i64"),
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+#[derive(Clone, Copy, Debug)]
+enum ArcKind {
+    Forward(MessageId),
+    Backward(MessageId),
+    LocalBack(LocalEdge),
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Arc {
+    from: usize,
+    to: usize,
+    kind: ArcKind,
+}
+
+fn build_arcs(g: &ExecutionGraph) -> Vec<Arc> {
+    let mut arcs = Vec::with_capacity(2 * g.num_messages() + g.num_events());
+    for m in g.effective_messages() {
+        arcs.push(Arc { from: m.from.0, to: m.to.0, kind: ArcKind::Forward(m.id) });
+        arcs.push(Arc { from: m.to.0, to: m.from.0, kind: ArcKind::Backward(m.id) });
+    }
+    for l in g.local_edges() {
+        arcs.push(Arc { from: l.to.0, to: l.from.0, kind: ArcKind::LocalBack(l) });
+    }
+    arcs
+}
+
+/// Bellman–Ford negative-cycle detection over the scaled weights for
+/// `Ξ = p/q`. Returns the arc indices of a violating cycle, in traversal
+/// order, if one exists.
+fn violating_cycle_arcs(
+    arcs: &[Arc],
+    num_nodes: usize,
+    p: i128,
+    q: i128,
+) -> Option<Vec<usize>> {
+    if num_nodes == 0 || arcs.is_empty() {
+        return None;
+    }
+    let k = i128::try_from(arcs.len()).expect("arc count fits i128") + 1;
+    let weight = |arc: &Arc| -> i128 {
+        let w_prime = match arc.kind {
+            ArcKind::Forward(_) => p,
+            ArcKind::Backward(_) => -q,
+            ArcKind::LocalBack(_) => 0,
+        };
+        w_prime * k - 1
+    };
+    let mut dist = vec![0i128; num_nodes];
+    let mut pred: Vec<Option<usize>> = vec![None; num_nodes];
+    let mut changed_node = None;
+    for round in 0..=num_nodes {
+        let mut changed = None;
+        for (ai, arc) in arcs.iter().enumerate() {
+            let cand = dist[arc.from] + weight(arc);
+            if cand < dist[arc.to] {
+                dist[arc.to] = cand;
+                pred[arc.to] = Some(ai);
+                changed = Some(arc.to);
+            }
+        }
+        match changed {
+            None => return None,
+            Some(node) if round == num_nodes => {
+                changed_node = Some(node);
+            }
+            Some(_) => {}
+        }
+    }
+    // A relaxation happened in round `num_nodes`: a negative cycle exists in
+    // the predecessor graph. Walk back to land inside it, then collect it.
+    let mut node = changed_node.expect("loop ended via final-round relaxation");
+    for _ in 0..num_nodes {
+        node = arcs[pred[node].expect("relaxed nodes have predecessors")].from;
+    }
+    let start = node;
+    let mut cycle_arcs = Vec::new();
+    loop {
+        let ai = pred[node].expect("cycle nodes have predecessors");
+        cycle_arcs.push(ai);
+        node = arcs[ai].from;
+        if node == start {
+            break;
+        }
+    }
+    cycle_arcs.reverse(); // predecessor walk collects arcs destination-first
+    Some(cycle_arcs)
+}
+
+fn arcs_to_cycle(arcs: &[Arc], indices: &[usize]) -> Cycle {
+    let steps: Vec<CycleStep> = indices
+        .iter()
+        .map(|&ai| match arcs[ai].kind {
+            ArcKind::Forward(m) => CycleStep { edge: ShadowEdge::Message(m), against: false },
+            ArcKind::Backward(m) => CycleStep { edge: ShadowEdge::Message(m), against: true },
+            ArcKind::LocalBack(l) => CycleStep { edge: ShadowEdge::Local(l), against: true },
+        })
+        .collect();
+    Cycle::new(steps)
+}
+
+/// Searches for a relevant cycle violating the ABC condition for `xi`
+/// (i.e. with `|Z−|/|Z+| ≥ Ξ`). Polynomial: `O(V·E)`.
+///
+/// # Errors
+///
+/// [`CheckError::XiTooLarge`] if `Ξ`'s parts exceed `i64`.
+///
+/// # Example
+///
+/// ```
+/// use abc_core::graph::{ExecutionGraph, ProcessId};
+/// use abc_core::check::find_violation;
+/// use abc_core::Xi;
+///
+/// // A 2-message chain q -> r -> p is spanned by a single slow message
+/// // q -> p arriving later: a relevant cycle with ratio 2/1.
+/// let mut b = ExecutionGraph::builder(3);
+/// let q = b.init(ProcessId(0));
+/// b.init(ProcessId(1));
+/// b.init(ProcessId(2));
+/// let (_, r) = b.send(q, ProcessId(2));
+/// b.send(r, ProcessId(1)); // chain arrives first at p
+/// b.send(q, ProcessId(1)); // direct message arrives second: it spans
+/// let g = b.finish();
+/// assert!(find_violation(&g, &Xi::from_integer(2)).unwrap().is_some());
+/// assert!(find_violation(&g, &Xi::from_integer(3)).unwrap().is_none());
+/// ```
+pub fn find_violation(g: &ExecutionGraph, xi: &Xi) -> Result<Option<Cycle>, CheckError> {
+    let (p, q) = xi.as_i64_parts().ok_or(CheckError::XiTooLarge)?;
+    let arcs = build_arcs(g);
+    let Some(indices) = violating_cycle_arcs(&arcs, g.num_events(), i128::from(p), i128::from(q))
+    else {
+        return Ok(None);
+    };
+    let cycle = arcs_to_cycle(&arcs, &indices);
+    debug_assert!(cycle.validate(g).is_ok(), "extracted witness must validate");
+    let class = cycle.classify();
+    assert!(
+        class.violates(xi),
+        "internal error: extracted cycle {cycle} does not violate Xi = {xi}"
+    );
+    Ok(Some(cycle))
+}
+
+/// Whether the execution graph satisfies the ABC synchrony condition for
+/// `xi` (Definition 4).
+///
+/// # Errors
+///
+/// [`CheckError::XiTooLarge`] if `Ξ`'s parts exceed `i64`.
+pub fn is_admissible(g: &ExecutionGraph, xi: &Xi) -> Result<bool, CheckError> {
+    let (p, q) = xi.as_i64_parts().ok_or(CheckError::XiTooLarge)?;
+    let arcs = build_arcs(g);
+    Ok(violating_cycle_arcs(&arcs, g.num_events(), i128::from(p), i128::from(q)).is_none())
+}
+
+/// Whether the graph contains any relevant cycle at all.
+#[must_use]
+pub fn has_relevant_cycle(g: &ExecutionGraph) -> bool {
+    let arcs = build_arcs(g);
+    // A relevant cycle has B >= F, i.e. ratio >= 1: test the predicate at 1.
+    // p == q requires the line-graph variant (see below).
+    exists_nonneg_cycle_linegraph(&arcs, 1, 1)
+}
+
+/// Line-graph Bellman–Ford: detects a cycle with `q·B − p·F ≥ 0` while
+/// forbidding immediate arc reversals.
+///
+/// Needed when `p == q`: the forward+backward arc pair of a single message
+/// forms a zero-weight closed walk that is *not* a shadow cycle (it repeats
+/// the edge). For `p > q` such pairs weigh `p − q ≥ 1` and the plain
+/// node-level Bellman–Ford is exact, which is why [`violating_cycle_arcs`]
+/// is used there. Forbidding immediate reversals suffices: a reversal-free
+/// closed walk of non-positive scaled weight always contains a genuine
+/// violating shadow cycle (messages have unique receive events, so the
+/// only outgoing backward-message arc at a node reverses the message just
+/// received — an all-pairs walk would have to run causally forward forever
+/// and could never close).
+fn exists_nonneg_cycle_linegraph(arcs: &[Arc], p: i128, q: i128) -> bool {
+    if arcs.is_empty() {
+        return false;
+    }
+    let a_count = arcs.len();
+    let k = i128::try_from(a_count).expect("arc count fits i128") + 1;
+    let weight = |arc: &Arc| -> i128 {
+        let w_prime = match arc.kind {
+            ArcKind::Forward(_) => p,
+            ArcKind::Backward(_) => -q,
+            ArcKind::LocalBack(_) => 0,
+        };
+        w_prime * k - 1
+    };
+    // Reverse pairing: build_arcs pushes Forward then Backward per message.
+    let rev = |idx: usize| -> Option<usize> {
+        match arcs[idx].kind {
+            ArcKind::Forward(_) => Some(idx + 1),
+            ArcKind::Backward(_) => Some(idx - 1),
+            ArcKind::LocalBack(_) => None,
+        }
+    };
+    let num_nodes = arcs.iter().map(|a| a.from.max(a.to) + 1).max().unwrap_or(0);
+    // Group in-arcs by head node for the min/second-min trick.
+    let mut in_arcs: Vec<Vec<usize>> = vec![Vec::new(); num_nodes];
+    for (i, a) in arcs.iter().enumerate() {
+        in_arcs[a.to].push(i);
+    }
+    let mut dist = vec![0i128; a_count];
+    for round in 0..=a_count {
+        // Per node: best and second-best incoming dist (by arc).
+        let mut best: Vec<Option<(i128, usize)>> = vec![None; num_nodes];
+        let mut second: Vec<Option<i128>> = vec![None; num_nodes];
+        for (v, list) in in_arcs.iter().enumerate() {
+            for &ai in list {
+                let d = dist[ai];
+                match best[v] {
+                    None => best[v] = Some((d, ai)),
+                    Some((bd, bi)) => {
+                        if d < bd {
+                            second[v] = Some(bd);
+                            best[v] = Some((d, ai));
+                        } else if second[v].is_none_or(|s| d < s) {
+                            second[v] = Some(d);
+                        }
+                        let _ = bi;
+                    }
+                }
+            }
+        }
+        let mut changed = false;
+        for (bi, b) in arcs.iter().enumerate() {
+            let tail = b.from;
+            let Some((bd, barg)) = best[tail] else { continue };
+            let incoming = if rev(bi) == Some(barg) {
+                match second[tail] {
+                    Some(s) => s,
+                    None => continue,
+                }
+            } else {
+                bd
+            };
+            let cand = incoming + weight(b);
+            if cand < dist[bi] {
+                dist[bi] = cand;
+                changed = true;
+            }
+        }
+        if !changed {
+            return false;
+        }
+        let _ = round;
+    }
+    true
+}
+
+/// The exact maximum `|Z−|/|Z+|` over all relevant cycles of `g`, or `None`
+/// if `g` has no relevant cycle.
+///
+/// The value is the *infimum* of the `Ξ` values for which `g` is admissible:
+/// `is_admissible(g, xi)` holds iff `xi > max_relevant_cycle_ratio(g)`.
+///
+/// Complexity: `O(V·E·log(E))` (rational bisection over the Bellman–Ford
+/// predicate, then exact recovery of the bounded-denominator fraction).
+#[must_use]
+pub fn max_relevant_cycle_ratio(g: &ExecutionGraph) -> Option<Ratio> {
+    let arcs = build_arcs(g);
+    let num_nodes = g.num_events();
+    let exists_ge = |r: &Ratio| -> bool {
+        let p = r.numer().to_i128().expect("bisection numerators fit i128");
+        let q = r.denom().to_i128().expect("bisection denominators fit i128");
+        if p > q {
+            violating_cycle_arcs(&arcs, num_nodes, p, q).is_some()
+        } else {
+            // p == q == 1 (ratio-1 probe): needs the reversal-free variant.
+            exists_nonneg_cycle_linegraph(&arcs, p, q)
+        }
+    };
+    if !exists_ge(&Ratio::one()) {
+        return None;
+    }
+    let m = i64::try_from(g.effective_messages().count()).expect("message count fits i64");
+    debug_assert!(m >= 1);
+    // Invariant: exists_ge(lo) is true, exists_ge(hi) is false.
+    let mut lo = Ratio::one();
+    let mut hi = Ratio::from_integer(m + 1);
+    // Bisect until the interval is shorter than the minimal spacing 1/m²
+    // between distinct fractions with numerator and denominator ≤ m.
+    let spacing = Ratio::new(1, m.checked_mul(m).expect("m² fits i64"))
+        / Ratio::from_integer(2);
+    while &hi - &lo > spacing {
+        let mid = lo.midpoint(&hi);
+        if exists_ge(&mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    // Recover the unique B/F with F ≤ m in [lo, hi): for each denominator F,
+    // the largest B with B/F < hi, kept if B/F ≥ lo.
+    let mut best: Option<Ratio> = None;
+    for f in 1..=m {
+        let fr = Ratio::from_integer(f);
+        let prod = &hi * &fr;
+        let b = if prod.is_integer() {
+            prod.numer().clone() - abc_rational::BigInt::one()
+        } else {
+            prod.floor()
+        };
+        let b = b.to_i64().expect("candidate numerator fits i64");
+        if b < 1 {
+            continue;
+        }
+        let cand = Ratio::new(b, f);
+        if cand >= lo && best.as_ref().is_none_or(|x| cand > *x) {
+            best = Some(cand);
+        }
+    }
+    let best = best.expect("the maximum ratio lies in the final interval");
+    debug_assert!(exists_ge(&best), "recovered ratio must be attained");
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::{enumerate_relevant_cycles, EnumerationLimits};
+    use crate::graph::ProcessId;
+
+    /// A fast `hops`-message chain q -> relays -> p, spanned by one slow
+    /// direct message q -> p that arrives later: relevant cycle with ratio
+    /// `hops / 1`.
+    fn two_chain(hops: usize) -> ExecutionGraph {
+        let mut b = ExecutionGraph::builder(hops + 1);
+        let q = b.init(ProcessId(0));
+        for i in 1..=hops {
+            b.init(ProcessId(i));
+        }
+        // Fast chain: q -> 2 -> 3 -> ... -> hops -> 1, arriving first at p.
+        let mut cur = q;
+        for i in 2..=hops {
+            let (_, r) = b.send(cur, ProcessId(i));
+            cur = r;
+        }
+        b.send(cur, ProcessId(1));
+        // Slow direct message arrives second: it spans the fast chain.
+        b.send(q, ProcessId(1));
+        b.finish()
+    }
+
+    #[test]
+    fn two_chain_ratio_is_hops() {
+        for hops in 2..=6 {
+            let g = two_chain(hops);
+            let ratio = max_relevant_cycle_ratio(&g).expect("cycle exists");
+            assert_eq!(ratio, Ratio::from_integer(hops as i64), "hops = {hops}");
+            // Admissible strictly above the ratio, violating at or below it.
+            let at = Xi::new(ratio.clone()).unwrap();
+            assert!(!is_admissible(&g, &at).unwrap());
+            let above = Xi::new(&ratio + &Ratio::new(1, 7)).unwrap();
+            assert!(is_admissible(&g, &above).unwrap());
+        }
+    }
+
+    #[test]
+    fn violation_witness_is_a_violating_relevant_cycle() {
+        let g = two_chain(4);
+        let xi = Xi::from_integer(2);
+        let w = find_violation(&g, &xi).unwrap().expect("ratio 4 >= 2");
+        assert!(w.validate(&g).is_ok());
+        let c = w.classify();
+        assert!(c.relevant);
+        assert!(c.ratio().unwrap() >= Ratio::from_integer(2));
+    }
+
+    #[test]
+    fn acyclic_graphs_are_admissible_for_every_xi() {
+        let mut b = ExecutionGraph::builder(3);
+        let a = b.init(ProcessId(0));
+        b.init(ProcessId(1));
+        b.init(ProcessId(2));
+        b.send(a, ProcessId(1));
+        b.send(a, ProcessId(2));
+        let g = b.finish();
+        assert!(!has_relevant_cycle(&g));
+        assert_eq!(max_relevant_cycle_ratio(&g), None);
+        assert!(is_admissible(&g, &Xi::from_fraction(101, 100)).unwrap());
+    }
+
+    #[test]
+    fn faulty_messages_do_not_violate() {
+        // Same shape as two_chain(4) — ratio 4, violating Xi = 3/2 — but one
+        // relay of the fast chain is Byzantine, so the chain's messages are
+        // dropped from the condition and no relevant cycle remains.
+        let mut b = ExecutionGraph::builder(5);
+        let q = b.init(ProcessId(0));
+        for i in 1..=4 {
+            b.init(ProcessId(i));
+        }
+        let (_, r2) = b.send(q, ProcessId(2));
+        let (_, r3) = b.send(r2, ProcessId(3));
+        let (_, r4) = b.send(r3, ProcessId(4));
+        b.send(r4, ProcessId(1));
+        b.send(q, ProcessId(1)); // slow spanning message
+        let g_violating = b.clone().finish();
+        assert!(!is_admissible(&g_violating, &Xi::from_fraction(3, 2)).unwrap());
+        b.mark_faulty(ProcessId(4));
+        let g = b.finish();
+        assert!(is_admissible(&g, &Xi::from_fraction(3, 2)).unwrap());
+    }
+
+    #[test]
+    fn ratio_exactly_xi_is_a_violation() {
+        // Definition 4 requires |Z−|/|Z+| < Ξ strictly.
+        let g = two_chain(3);
+        assert!(!is_admissible(&g, &Xi::from_integer(3)).unwrap());
+        assert!(is_admissible(&g, &Xi::from_fraction(31, 10)).unwrap());
+    }
+
+    #[test]
+    fn fractional_ratios_are_exact() {
+        // Two chains of 5 and 4 messages: ratio 5/4 (the Fig. 1 shape).
+        let mut b = ExecutionGraph::builder(9);
+        let q = b.init(ProcessId(0));
+        for i in 1..9 {
+            b.init(ProcessId(i));
+        }
+        let mut cur = q;
+        for i in 2..=5 {
+            let (_, r) = b.send(cur, ProcessId(i));
+            cur = r;
+        }
+        b.send(cur, ProcessId(1)); // 5-message chain
+        let mut cur = q;
+        for i in 6..=8 {
+            let (_, r) = b.send(cur, ProcessId(i));
+            cur = r;
+        }
+        b.send(cur, ProcessId(1)); // 4-message chain, arrives later
+        let g = b.finish();
+        assert_eq!(max_relevant_cycle_ratio(&g), Some(Ratio::new(5, 4)));
+        assert!(!is_admissible(&g, &Xi::from_fraction(5, 4)).unwrap());
+        assert!(is_admissible(&g, &Xi::from_fraction(13, 10)).unwrap());
+    }
+
+    #[test]
+    fn checker_agrees_with_enumeration_on_small_graphs() {
+        // Cross-validation: the max ratio from brute-force enumeration
+        // equals the checker's on several hand-built graphs.
+        for hops in 2..=5 {
+            let g = two_chain(hops);
+            let brute = enumerate_relevant_cycles(&g, EnumerationLimits::default())
+                .cycles
+                .iter()
+                .filter_map(|c| c.classify().ratio())
+                .max();
+            assert_eq!(max_relevant_cycle_ratio(&g), brute, "hops = {hops}");
+        }
+    }
+
+    #[test]
+    fn xi_too_large_is_reported() {
+        let g = two_chain(2);
+        let huge = Xi::new(
+            Ratio::from_bigints(
+                "170141183460469231731687303715884105727".parse().unwrap(),
+                abc_rational::BigInt::from(1),
+            ),
+        )
+        .unwrap();
+        assert_eq!(find_violation(&g, &huge), Err(CheckError::XiTooLarge));
+        assert_eq!(is_admissible(&g, &huge), Err(CheckError::XiTooLarge));
+    }
+}

@@ -1,0 +1,379 @@
+//! Consistent cuts, causal pasts, and cut intervals (Definitions 5 and 6).
+//!
+//! The ABC model is time-free, so the paper states its clock-synchronization
+//! guarantees relative to *consistent cuts* of the execution graph rather
+//! than to instants of real time: a set `S` of events is a consistent cut if
+//! it contains an event of every correct process and is left-closed under
+//! the reflexive-transitive happens-before relation `∗→`. The *causal past*
+//! (left closure) `⟨φ⟩` of an event and the *cut interval*
+//! `[⟨φ⟩, ⟨ψ⟩] = ⟨ψ⟩ \ ⟨φ⟩` are the building blocks of the bounded-progress
+//! condition (Definition 7), measured in `abc-clocksync`.
+
+use crate::graph::{EventId, ExecutionGraph, ProcessId};
+
+/// A dense set of events, backed by a bitset.
+///
+/// ```
+/// use abc_core::cut::EventSet;
+/// use abc_core::graph::EventId;
+///
+/// let mut s = EventSet::new(100);
+/// s.insert(EventId(3));
+/// s.insert(EventId(64));
+/// assert!(s.contains(EventId(3)) && !s.contains(EventId(4)));
+/// assert_eq!(s.len(), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct EventSet {
+    bits: Vec<u64>,
+    universe: usize,
+}
+
+impl EventSet {
+    /// An empty set over a universe of `universe` events.
+    #[must_use]
+    pub fn new(universe: usize) -> EventSet {
+        EventSet { bits: vec![0; universe.div_ceil(64)], universe }
+    }
+
+    /// The size of the universe this set ranges over.
+    #[must_use]
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Inserts an event; returns `true` if it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is outside the universe.
+    pub fn insert(&mut self, e: EventId) -> bool {
+        assert!(e.0 < self.universe, "event outside universe");
+        let (w, b) = (e.0 / 64, e.0 % 64);
+        let fresh = self.bits[w] & (1 << b) == 0;
+        self.bits[w] |= 1 << b;
+        fresh
+    }
+
+    /// Removes an event; returns `true` if it was present.
+    pub fn remove(&mut self, e: EventId) -> bool {
+        if e.0 >= self.universe {
+            return false;
+        }
+        let (w, b) = (e.0 / 64, e.0 % 64);
+        let present = self.bits[w] & (1 << b) != 0;
+        self.bits[w] &= !(1 << b);
+        present
+    }
+
+    /// Membership test.
+    #[must_use]
+    pub fn contains(&self, e: EventId) -> bool {
+        e.0 < self.universe && self.bits[e.0 / 64] & (1 << (e.0 % 64)) != 0
+    }
+
+    /// Number of events in the set.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|w| *w == 0)
+    }
+
+    /// In-place union.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn union_with(&mut self, other: &EventSet) {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a |= b;
+        }
+    }
+
+    /// `self \ other` as a new set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    #[must_use]
+    pub fn difference(&self, other: &EventSet) -> EventSet {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        EventSet {
+            bits: self
+                .bits
+                .iter()
+                .zip(&other.bits)
+                .map(|(a, b)| a & !b)
+                .collect(),
+            universe: self.universe,
+        }
+    }
+
+    /// `self ∩ other` as a new set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    #[must_use]
+    pub fn intersection(&self, other: &EventSet) -> EventSet {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        EventSet {
+            bits: self.bits.iter().zip(&other.bits).map(|(a, b)| a & b).collect(),
+            universe: self.universe,
+        }
+    }
+
+    /// Whether `self ⊆ other`.
+    #[must_use]
+    pub fn is_subset(&self, other: &EventSet) -> bool {
+        self.universe == other.universe
+            && self.bits.iter().zip(&other.bits).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterates the members in increasing id order.
+    pub fn iter(&self) -> impl Iterator<Item = EventId> + '_ {
+        self.bits.iter().enumerate().flat_map(|(w, &word)| {
+            (0..64)
+                .filter(move |b| word & (1 << b) != 0)
+                .map(move |b| EventId(w * 64 + b))
+        })
+    }
+}
+
+impl FromIterator<EventId> for EventSet {
+    /// Collects events into a set sized by the largest id.
+    fn from_iter<I: IntoIterator<Item = EventId>>(iter: I) -> EventSet {
+        let ids: Vec<EventId> = iter.into_iter().collect();
+        let universe = ids.iter().map(|e| e.0 + 1).max().unwrap_or(0);
+        let mut s = EventSet::new(universe);
+        for e in ids {
+            s.insert(e);
+        }
+        s
+    }
+}
+
+/// The causal past (left closure) `⟨φ⟩` of an event, including `φ` itself.
+#[must_use]
+pub fn causal_past(g: &ExecutionGraph, phi: EventId) -> EventSet {
+    let mut set = EventSet::new(g.num_events());
+    let mut stack = vec![phi];
+    set.insert(phi);
+    while let Some(cur) = stack.pop() {
+        for pred in g.direct_preds(cur) {
+            if set.insert(pred) {
+                stack.push(pred);
+            }
+        }
+    }
+    set
+}
+
+/// The left closure of an arbitrary event set.
+#[must_use]
+pub fn left_closure(g: &ExecutionGraph, events: &EventSet) -> EventSet {
+    let mut set = EventSet::new(g.num_events());
+    let mut stack: Vec<EventId> = events.iter().collect();
+    for &e in &stack {
+        set.insert(e);
+    }
+    while let Some(cur) = stack.pop() {
+        for pred in g.direct_preds(cur) {
+            if set.insert(pred) {
+                stack.push(pred);
+            }
+        }
+    }
+    set
+}
+
+/// The consistent cut interval `[⟨φ⟩, ⟨ψ⟩] := ⟨ψ⟩ \ ⟨φ⟩` (Definition 6).
+///
+/// Meaningful when `φ ∗→ ψ`; the function does not enforce this.
+#[must_use]
+pub fn cut_interval(g: &ExecutionGraph, phi: EventId, psi: EventId) -> EventSet {
+    causal_past(g, psi).difference(&causal_past(g, phi))
+}
+
+/// A cut of the execution graph (a set of events), with the Definition 5
+/// predicates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cut {
+    events: EventSet,
+}
+
+impl Cut {
+    /// Wraps an event set as a cut.
+    #[must_use]
+    pub fn new(events: EventSet) -> Cut {
+        Cut { events }
+    }
+
+    /// The underlying event set.
+    #[must_use]
+    pub fn events(&self) -> &EventSet {
+        &self.events
+    }
+
+    /// Whether the cut is left-closed under `∗→`.
+    #[must_use]
+    pub fn is_left_closed(&self, g: &ExecutionGraph) -> bool {
+        self.events
+            .iter()
+            .all(|e| g.direct_preds(e).all(|p| self.events.contains(p)))
+    }
+
+    /// Whether the cut contains an event of every correct process.
+    #[must_use]
+    pub fn covers_correct_processes(&self, g: &ExecutionGraph) -> bool {
+        g.correct_processes().all(|p| {
+            g.events_of(p).iter().any(|e| self.events.contains(*e))
+        })
+    }
+
+    /// Definition 5: left-closed and covering every correct process.
+    #[must_use]
+    pub fn is_consistent(&self, g: &ExecutionGraph) -> bool {
+        self.is_left_closed(g) && self.covers_correct_processes(g)
+    }
+
+    /// The frontier: the last event of each process inside the cut
+    /// (`None` for processes with no event in the cut).
+    #[must_use]
+    pub fn frontier(&self, g: &ExecutionGraph) -> Vec<Option<EventId>> {
+        (0..g.num_processes())
+            .map(|p| {
+                g.events_of(ProcessId(p))
+                    .iter()
+                    .rev()
+                    .find(|e| self.events.contains(**e))
+                    .copied()
+            })
+            .collect()
+    }
+
+    /// Replaces the cut by its left closure, making it left-closed.
+    pub fn close_left(&mut self, g: &ExecutionGraph) {
+        self.events = left_closure(g, &self.events);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::ProcessId;
+
+    /// p0 sends to p1, p1 replies, p0 sends again.
+    fn chain_graph() -> (ExecutionGraph, [EventId; 5]) {
+        let mut b = ExecutionGraph::builder(2);
+        let a = b.init(ProcessId(0));
+        let c = b.init(ProcessId(1));
+        let (_, r1) = b.send(a, ProcessId(1));
+        let (_, r2) = b.send(r1, ProcessId(0));
+        let (_, r3) = b.send(r2, ProcessId(1));
+        (b.finish(), [a, c, r1, r2, r3])
+    }
+
+    #[test]
+    fn bitset_operations() {
+        let mut s = EventSet::new(130);
+        assert!(s.is_empty());
+        assert!(s.insert(EventId(0)));
+        assert!(s.insert(EventId(129)));
+        assert!(!s.insert(EventId(0)));
+        assert_eq!(s.len(), 2);
+        assert!(s.remove(EventId(0)));
+        assert!(!s.remove(EventId(0)));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![EventId(129)]);
+        let mut t = EventSet::new(130);
+        t.insert(EventId(5));
+        t.union_with(&s);
+        assert_eq!(t.len(), 2);
+        assert!(s.is_subset(&t));
+        assert_eq!(t.difference(&s).iter().collect::<Vec<_>>(), vec![EventId(5)]);
+        assert_eq!(t.intersection(&s).len(), 1);
+    }
+
+    #[test]
+    fn causal_past_follows_messages() {
+        let (g, [a, c, r1, r2, r3]) = chain_graph();
+        let past = causal_past(&g, r2);
+        // r2 at p0 was triggered by p1's reply: past = {a, c, r1, r2}.
+        assert!(past.contains(a) && past.contains(c) && past.contains(r1) && past.contains(r2));
+        assert!(!past.contains(r3));
+        assert_eq!(past.len(), 4);
+        // The init event's past is itself.
+        assert_eq!(causal_past(&g, a).len(), 1);
+    }
+
+    #[test]
+    fn consistency_predicates() {
+        let (g, [a, c, r1, r2, r3]) = chain_graph();
+        let consistent = Cut::new([a, c, r1].into_iter().collect::<EventSet>());
+        // Universe must match; rebuild with the right universe.
+        let mut s = EventSet::new(g.num_events());
+        for e in [a, c, r1] {
+            s.insert(e);
+        }
+        let cut = Cut::new(s);
+        assert!(cut.is_consistent(&g));
+        // Dropping r1's cause c breaks left-closure.
+        let mut s2 = EventSet::new(g.num_events());
+        for e in [a, r1] {
+            s2.insert(e);
+        }
+        let cut2 = Cut::new(s2);
+        assert!(!cut2.is_left_closed(&g));
+        assert!(!cut2.is_consistent(&g));
+        // A left-closed cut missing a correct process is not consistent.
+        let mut s3 = EventSet::new(g.num_events());
+        s3.insert(a);
+        let cut3 = Cut::new(s3);
+        assert!(cut3.is_left_closed(&g));
+        assert!(!cut3.covers_correct_processes(&g));
+        // close_left repairs cut2.
+        let mut cut2 = cut2;
+        cut2.close_left(&g);
+        assert!(cut2.is_consistent(&g));
+        let _ = (consistent, r2, r3);
+    }
+
+    #[test]
+    fn frontier_reports_last_events() {
+        let (g, [a, c, r1, r2, _r3]) = chain_graph();
+        let mut s = EventSet::new(g.num_events());
+        for e in [a, c, r1, r2] {
+            s.insert(e);
+        }
+        let cut = Cut::new(s);
+        assert_eq!(cut.frontier(&g), vec![Some(r2), Some(r1)]);
+        let _ = (a, c);
+    }
+
+    #[test]
+    fn cut_interval_is_difference_of_pasts() {
+        let (g, [a, c, r1, r2, r3]) = chain_graph();
+        let interval = cut_interval(&g, r1, r3);
+        // ⟨r3⟩ = all five events; ⟨r1⟩ = {a, c, r1}: interval = {r2, r3}.
+        assert_eq!(interval.iter().collect::<Vec<_>>(), vec![r2, r3]);
+        let _ = (a, c);
+    }
+
+    #[test]
+    fn faulty_processes_not_required_for_coverage() {
+        let mut b = ExecutionGraph::builder(2);
+        let a = b.init(ProcessId(0));
+        b.init(ProcessId(1));
+        b.mark_faulty(ProcessId(1));
+        let g = b.finish();
+        let mut s = EventSet::new(g.num_events());
+        s.insert(a);
+        assert!(Cut::new(s).is_consistent(&g));
+    }
+}

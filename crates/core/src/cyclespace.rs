@@ -1,0 +1,491 @@
+//! The paper's non-standard cycle space (Section 4.1).
+//!
+//! The Theorem 7 feasibility proof works in a vector space spanned by the
+//! *oriented* cycles of the execution graph: each cycle `Z` maps to a
+//! **cycle vector** with coefficient `+1` on its backward messages `Z−` and
+//! `−1` on its forward messages `Z+` (local edges are dropped; Fig. 7 of
+//! the paper shows two examples). Addition `⊕` is coefficient-wise; a
+//! message oriented oppositely in two cycles (a *mixed edge*, like `e` in
+//! Fig. 2) cancels.
+//!
+//! The paper's Lemmas 8–10 and Theorem 11 show that any ⊕-sum of relevant
+//! cycles can be rewritten as a sum of cycles without mixed edges, from
+//! which Corollary 1 follows: every non-negative integer combination `C` of
+//! relevant cycle vectors satisfies `|C−|/|C+| < Ξ`. This module makes that
+//! machinery executable:
+//!
+//! * [`CycleVector`] with `⊕` ([`CycleVector::add`]) and scalar scaling,
+//! * the consistency relations of Definition 10,
+//! * [`decompose`]: an Eulerian peeling of a cycle-space element into
+//!   closed walks, witnessing that the element is a genuine ⊕-combination
+//!   (per-process traversal balance). Theorem 11 guarantees that *some*
+//!   decomposition is mixed-free with every piece passing the Corollary 1
+//!   case analysis ([`PeeledCycle::satisfies_corollary1_case`]); the
+//!   greedy peel exhibits the balance structure, while Corollary 1 itself
+//!   is checked directly on sums ([`CycleVector::satisfies_corollary1`]).
+
+use std::collections::BTreeMap;
+
+use abc_rational::Ratio;
+
+use crate::cycle::Cycle;
+use crate::graph::{ExecutionGraph, MessageId, ProcessId};
+use crate::xi::Xi;
+
+/// A cycle-space element: integer coefficients per message
+/// (`+1`·backward, `−1`·forward for a single cycle).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CycleVector {
+    coeffs: BTreeMap<MessageId, i64>,
+}
+
+/// The Definition 10 consistency relation between two cycles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Consistency {
+    /// No common messages (i-consistent by definition).
+    Disjoint,
+    /// All common messages identically oriented.
+    IConsistent,
+    /// All common messages oppositely oriented.
+    OConsistent,
+    /// Common messages with both orientations: not consistent.
+    Inconsistent,
+}
+
+impl CycleVector {
+    /// The zero vector.
+    #[must_use]
+    pub fn zero() -> CycleVector {
+        CycleVector::default()
+    }
+
+    /// Builds the cycle vector of `cycle` per the paper's convention:
+    /// `+1` for each backward message, `−1` for each forward message,
+    /// relative to the Definition 3 orientation.
+    #[must_use]
+    pub fn from_cycle(cycle: &Cycle) -> CycleVector {
+        let class = cycle.classify();
+        let mut coeffs = BTreeMap::new();
+        for (m, against_walk) in cycle.messages() {
+            // `against_walk` is relative to the walk; flip if the chosen
+            // orientation reverses the walk. Backward (traversed against
+            // the orientation) => +1.
+            let against_orientation = against_walk != class.orientation_reversed;
+            let c: i64 = if against_orientation { 1 } else { -1 };
+            *coeffs.entry(m).or_insert(0) += c;
+        }
+        coeffs.retain(|_, c| *c != 0);
+        CycleVector { coeffs }
+    }
+
+    /// Coefficient of a message (0 if absent).
+    #[must_use]
+    pub fn coeff(&self, m: MessageId) -> i64 {
+        self.coeffs.get(&m).copied().unwrap_or(0)
+    }
+
+    /// The non-zero entries.
+    pub fn iter(&self) -> impl Iterator<Item = (MessageId, i64)> + '_ {
+        self.coeffs.iter().map(|(m, c)| (*m, *c))
+    }
+
+    /// Number of messages with non-zero coefficient.
+    #[must_use]
+    pub fn support_len(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Whether the vector is zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// `⊕`: coefficient-wise addition with cancellation of mixed edges.
+    #[must_use]
+    pub fn add(&self, other: &CycleVector) -> CycleVector {
+        let mut coeffs = self.coeffs.clone();
+        for (m, c) in &other.coeffs {
+            *coeffs.entry(*m).or_insert(0) += c;
+        }
+        coeffs.retain(|_, c| *c != 0);
+        CycleVector { coeffs }
+    }
+
+    /// Scales by a non-negative integer (`λ·Z` in the paper).
+    #[must_use]
+    pub fn scale(&self, lambda: i64) -> CycleVector {
+        assert!(lambda >= 0, "cycle combinations use non-negative coefficients");
+        if lambda == 0 {
+            return CycleVector::zero();
+        }
+        CycleVector {
+            coeffs: self.coeffs.iter().map(|(m, c)| (*m, c * lambda)).collect(),
+        }
+    }
+
+    /// `|C−|`: total positive coefficient mass (backward multiplicity).
+    #[must_use]
+    pub fn backward_mass(&self) -> i64 {
+        self.coeffs.values().filter(|c| **c > 0).sum()
+    }
+
+    /// `|C+|`: total negative coefficient mass, as a positive number
+    /// (forward multiplicity).
+    #[must_use]
+    pub fn forward_mass(&self) -> i64 {
+        -self.coeffs.values().filter(|c| **c < 0).sum::<i64>()
+    }
+
+    /// `|C−|/|C+|`, or `None` when `|C+| = 0`.
+    #[must_use]
+    pub fn ratio(&self) -> Option<Ratio> {
+        let f = self.forward_mass();
+        (f > 0).then(|| Ratio::new(self.backward_mass(), f))
+    }
+
+    /// Corollary 1's conclusion for this element: `|C−|/|C+| < Ξ`
+    /// (vacuously true for the zero vector; false when `|C+| = 0 ≠ |C−|`).
+    #[must_use]
+    pub fn satisfies_corollary1(&self, xi: &Xi) -> bool {
+        if self.is_zero() {
+            return true;
+        }
+        match self.ratio() {
+            Some(r) => &r < xi.as_ratio(),
+            None => false,
+        }
+    }
+
+    /// The Definition 10 consistency of two cycle vectors.
+    #[must_use]
+    pub fn consistency(&self, other: &CycleVector) -> Consistency {
+        let mut same = false;
+        let mut opposite = false;
+        for (m, c) in &self.coeffs {
+            if let Some(d) = other.coeffs.get(m) {
+                if c.signum() == d.signum() {
+                    same = true;
+                } else {
+                    opposite = true;
+                }
+            }
+        }
+        match (same, opposite) {
+            (false, false) => Consistency::Disjoint,
+            (true, false) => Consistency::IConsistent,
+            (false, true) => Consistency::OConsistent,
+            (true, true) => Consistency::Inconsistent,
+        }
+    }
+}
+
+/// One closed walk peeled out of a cycle-space element by [`decompose`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PeeledCycle {
+    /// Messages traversed forward (with their direction), with multiplicity.
+    pub forward: Vec<MessageId>,
+    /// Messages traversed backward, with multiplicity.
+    pub backward: Vec<MessageId>,
+}
+
+impl PeeledCycle {
+    /// The Corollary 1 case analysis for this peel: either it is
+    /// "relevant-like" with `|M−|/|M+| < Ξ`, or its orientation is reversed
+    /// w.r.t. the sum (`|M+| ≥ |M−|` contributes ratio ≤ 1 < Ξ).
+    #[must_use]
+    pub fn satisfies_corollary1_case(&self, xi: &Xi) -> bool {
+        let f = self.forward.len() as i64;
+        let b = self.backward.len() as i64;
+        if f >= b {
+            // Case 2: reversed orientation; contributes at most ratio 1.
+            return true;
+        }
+        // Case 1: relevant-like; needs b/f < Ξ with f >= 1.
+        f > 0 && &Ratio::new(b, f) < xi.as_ratio()
+    }
+}
+
+/// Errors from [`decompose`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecomposeError {
+    /// The element is not a valid cycle-space member: some process has
+    /// unbalanced in/out traversal degree.
+    Unbalanced(ProcessId),
+}
+
+impl std::fmt::Display for DecomposeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecomposeError::Unbalanced(p) => {
+                write!(f, "traversal degree of {p} is unbalanced: not a cycle-space element")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecomposeError {}
+
+/// Decomposes a cycle-space element into closed walks over the process
+/// graph (Eulerian peeling) — the executable counterpart of the paper's
+/// mixed-free decomposition (Theorem 11).
+///
+/// Each message with coefficient `c > 0` contributes `c` backward-traversal
+/// arcs (receiver's process → sender's process); `c < 0` contributes `|c|`
+/// forward arcs. The multiset is balanced per process for genuine ⊕-sums of
+/// cycles; [`DecomposeError::Unbalanced`] flags anything else. The returned
+/// peels partition the arc multiset exactly.
+///
+/// # Errors
+///
+/// [`DecomposeError::Unbalanced`] if the element is not a sum of cycles.
+pub fn decompose(
+    g: &ExecutionGraph,
+    element: &CycleVector,
+) -> Result<Vec<PeeledCycle>, DecomposeError> {
+    // Build the process-level arc multiset.
+    #[derive(Clone, Copy)]
+    struct PArc {
+        to: usize,
+        msg: MessageId,
+        forward: bool,
+    }
+    let n = g.num_processes();
+    let mut out_arcs: Vec<Vec<PArc>> = vec![Vec::new(); n];
+    let mut degree: Vec<i64> = vec![0; n];
+    for (m, c) in element.iter() {
+        let msg = g.message(m);
+        let (from, to, forward, count) = if c > 0 {
+            (msg.receiver.0, msg.sender.0, false, c)
+        } else {
+            (msg.sender.0, msg.receiver.0, true, -c)
+        };
+        for _ in 0..count {
+            out_arcs[from].push(PArc { to, msg: m, forward });
+            degree[from] += 1;
+            degree[to] -= 1;
+        }
+    }
+    // Balance check: every process must have equal in- and out-degree.
+    // (degree tracks out - in.)
+    let mut indeg = vec![0i64; n];
+    for (p, arcs) in out_arcs.iter().enumerate() {
+        for a in arcs {
+            indeg[a.to] += 1;
+        }
+        let _ = p;
+    }
+    for p in 0..n {
+        if out_arcs[p].len() as i64 != indeg[p] {
+            return Err(DecomposeError::Unbalanced(ProcessId(p)));
+        }
+    }
+    // Hierholzer peeling: repeatedly walk unused arcs until returning to the
+    // start process; each closed walk is one peel.
+    let mut next_unused: Vec<usize> = vec![0; n];
+    let mut peels = Vec::new();
+    for start in 0..n {
+        while next_unused[start] < out_arcs[start].len() {
+            let mut walk_fwd = Vec::new();
+            let mut walk_bwd = Vec::new();
+            let mut cur = start;
+            loop {
+                let idx = next_unused[cur];
+                debug_assert!(
+                    idx < out_arcs[cur].len(),
+                    "balanced graphs cannot strand a walk"
+                );
+                let arc = out_arcs[cur][idx];
+                next_unused[cur] += 1;
+                if arc.forward {
+                    walk_fwd.push(arc.msg);
+                } else {
+                    walk_bwd.push(arc.msg);
+                }
+                cur = arc.to;
+                if cur == start && next_unused[cur] >= out_arcs[cur].len() {
+                    break;
+                }
+                if cur == start {
+                    // Could continue, but closing here keeps peels small;
+                    // continue only if the start still has unused arcs and
+                    // we want maximal circuits. Close eagerly.
+                    break;
+                }
+            }
+            peels.push(PeeledCycle { forward: walk_fwd, backward: walk_bwd });
+        }
+    }
+    Ok(peels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cycle::{CycleStep, ShadowEdge};
+    use crate::graph::{EventId, ExecutionGraph, LocalEdge};
+
+    fn msg(m: MessageId, against: bool) -> CycleStep {
+        CycleStep { edge: ShadowEdge::Message(m), against }
+    }
+
+    fn local(from: EventId, to: EventId, against: bool) -> CycleStep {
+        CycleStep { edge: ShadowEdge::Local(LocalEdge { from, to }), against }
+    }
+
+    /// Figure 2 of the paper: relevant cycles X and Y share message `e`,
+    /// forward in X and backward in Y; `e` cancels in X ⊕ Y.
+    ///
+    /// Construction (processes q, p, r, s):
+    ///   X: fast chain q → r → p (m1, m2) spanned by e = q → p arriving
+    ///      later: relevant, ratio 2, e ∈ X+.
+    ///   Y: fast chain q → p → s (e, m3) spanned by m5 = q → s arriving
+    ///      later: relevant, ratio 2, e ∈ Y−.
+    /// The combined cycle X ⊕ Y (all edges except e) is the relevant cycle
+    /// "chain q → r → p → s spanned by m5", ratio 3.
+    fn fig2_like() -> (ExecutionGraph, Cycle, Cycle, MessageId) {
+        // Processes: 0 = q, 1 = p, 2 = r, 3 = s.
+        let mut b = ExecutionGraph::builder(4);
+        let q0 = b.init(ProcessId(0));
+        b.init(ProcessId(1));
+        b.init(ProcessId(2));
+        b.init(ProcessId(3));
+        let (m1, r1) = b.send(q0, ProcessId(2)); // q -> r
+        let (m2, p1) = b.send(r1, ProcessId(1)); // r -> p (fast, first at p)
+        let (e, p2) = b.send(q0, ProcessId(1)); // shared message e (later at p)
+        let (m3, s1) = b.send(p2, ProcessId(3)); // p -> s (continues from e)
+        let (m5, s2) = b.send(q0, ProcessId(3)); // q -> s (slow, later at s)
+        let g = b.finish();
+        // X: e forward (q0 -> p2), local p2 -> p1 backward, m2 and m1 back.
+        let x = Cycle::new(vec![
+            msg(e, false),
+            local(p1, p2, true),
+            msg(m2, true),
+            msg(m1, true),
+        ]);
+        x.validate(&g).expect("X is well-formed");
+        // Y: m5 forward (q0 -> s2), local s2 -> s1 backward, m3 and e back.
+        let y = Cycle::new(vec![
+            msg(m5, false),
+            local(s1, s2, true),
+            msg(m3, true),
+            msg(e, true),
+        ]);
+        y.validate(&g).expect("Y is well-formed");
+        (g, x, y, e)
+    }
+
+    #[test]
+    fn cycle_vector_signs_follow_orientation() {
+        let (_g, x, _y, e) = fig2_like();
+        let zx = CycleVector::from_cycle(&x);
+        // X: e is the lone forward message (coefficient -1), m1 and m2 are
+        // backward (+1).
+        assert_eq!(zx.coeff(e), -1);
+        assert_eq!(zx.backward_mass(), 2);
+        assert_eq!(zx.forward_mass(), 1);
+        assert_eq!(zx.ratio(), Some(Ratio::from_integer(2)));
+    }
+
+    #[test]
+    fn mixed_edge_cancels_in_sum() {
+        let (_g, x, y, e) = fig2_like();
+        let zx = CycleVector::from_cycle(&x);
+        let zy = CycleVector::from_cycle(&y);
+        // Both X and Y are relevant with ratio 2; e is forward in X (−1)
+        // and backward in Y (+1): o-consistent, and e cancels in X ⊕ Y.
+        assert!(x.classify().relevant && y.classify().relevant);
+        assert_eq!(zx.coeff(e), -1);
+        assert_eq!(zy.coeff(e), 1);
+        assert_eq!(zx.consistency(&zy), Consistency::OConsistent);
+        let sum = zx.add(&zy);
+        assert_eq!(sum.coeff(e), 0, "mixed edge must cancel in X ⊕ Y");
+        // The combined cycle is the ratio-3 relevant cycle of the graph.
+        assert_eq!(sum.ratio(), Some(Ratio::from_integer(3)));
+    }
+
+    #[test]
+    fn add_and_scale_are_coefficientwise() {
+        let (_g, x, _y, _e) = fig2_like();
+        let zx = CycleVector::from_cycle(&x);
+        let doubled = zx.add(&zx);
+        assert_eq!(doubled, zx.scale(2));
+        assert_eq!(doubled.backward_mass(), 4);
+        assert_eq!(zx.scale(0), CycleVector::zero());
+        assert!(CycleVector::zero().is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_scaling_is_rejected() {
+        let (_g, x, _y, _e) = fig2_like();
+        let _ = CycleVector::from_cycle(&x).scale(-1);
+    }
+
+    #[test]
+    fn corollary1_for_sums_of_relevant_cycles() {
+        let (g, x, _y, _e) = fig2_like();
+        let zx = CycleVector::from_cycle(&x);
+        // X alone: ratio 2 < Ξ for Ξ = 3.
+        assert!(zx.satisfies_corollary1(&Xi::from_integer(3)));
+        assert!(!zx.satisfies_corollary1(&Xi::from_integer(2)));
+        // Scaled sums keep the ratio.
+        assert!(zx.scale(5).satisfies_corollary1(&Xi::from_integer(3)));
+        let _ = g;
+    }
+
+    #[test]
+    fn decompose_round_trips_the_mass() {
+        let (g, x, y, _e) = fig2_like();
+        let zx = CycleVector::from_cycle(&x);
+        let zy = CycleVector::from_cycle(&y);
+        let sum = zx.add(&zy);
+        // The graph's maximum relevant-cycle ratio is 3 (the combined
+        // cycle), so the graph is ABC-admissible for Ξ = 7/2 and
+        // Corollary 1 applies with that Ξ.
+        let xi = Xi::from_fraction(7, 2);
+        assert!(sum.satisfies_corollary1(&xi));
+        let peels = decompose(&g, &sum).expect("sums of cycles are balanced");
+        let fwd: usize = peels.iter().map(|p| p.forward.len()).sum();
+        let bwd: usize = peels.iter().map(|p| p.backward.len()).sum();
+        assert_eq!(fwd as i64, sum.forward_mass());
+        assert_eq!(bwd as i64, sum.backward_mass());
+        // For this sum the peel is the single combined ratio-3 cycle, which
+        // passes the Corollary 1 case analysis. (In general a greedy peel
+        // need not match the Theorem 11 decomposition; only the sum-level
+        // bound is invariant.)
+        for p in &peels {
+            assert!(p.satisfies_corollary1_case(&xi));
+        }
+    }
+
+    #[test]
+    fn unbalanced_elements_are_rejected() {
+        let (g, x, _y, _e) = fig2_like();
+        let zx = CycleVector::from_cycle(&x);
+        // Drop one entry to unbalance.
+        let mut broken = CycleVector::zero();
+        let mut dropped = false;
+        for (m, c) in zx.iter() {
+            if !dropped {
+                dropped = true;
+                continue;
+            }
+            broken = broken.add(&CycleVector { coeffs: [(m, c)].into_iter().collect() });
+        }
+        assert!(matches!(decompose(&g, &broken), Err(DecomposeError::Unbalanced(_))));
+    }
+
+    #[test]
+    fn consistency_relation_cases() {
+        let a = CycleVector { coeffs: [(MessageId(0), 1), (MessageId(1), -1)].into_iter().collect() };
+        let b = CycleVector { coeffs: [(MessageId(0), 1), (MessageId(2), 1)].into_iter().collect() };
+        let c = CycleVector { coeffs: [(MessageId(0), -1)].into_iter().collect() };
+        let d = CycleVector { coeffs: [(MessageId(7), 1)].into_iter().collect() };
+        let e = CycleVector { coeffs: [(MessageId(0), 1), (MessageId(1), 1)].into_iter().collect() };
+        assert_eq!(a.consistency(&b), Consistency::IConsistent);
+        assert_eq!(a.consistency(&c), Consistency::OConsistent);
+        assert_eq!(a.consistency(&d), Consistency::Disjoint);
+        assert_eq!(a.consistency(&e), Consistency::Inconsistent);
+    }
+}

@@ -1,0 +1,317 @@
+//! Exhaustive simple-cycle enumeration of the shadow multigraph.
+//!
+//! Definition 4 quantifies over *all* relevant cycles; their number is
+//! exponential in the graph size, which is exactly why `abc-core` ships the
+//! polynomial checker in [`crate::check`]. This module provides the
+//! brute-force ground truth: it enumerates every simple cycle of the
+//! undirected shadow multigraph (messages + local edges, with parallel
+//! edges), subject to explicit budgets. It is used
+//!
+//! * to cross-validate the polynomial checker (property tests),
+//! * to build the paper-literal Fig. 6 cycle inequality system in
+//!   [`crate::assign`], and
+//! * by the Fig. 2 / Fig. 7 experiments, which need concrete cycles.
+//!
+//! Only *effective* messages participate (the faulty-sender dropping of
+//! Section 2).
+
+use std::collections::HashSet;
+
+use crate::cycle::{Cycle, CycleStep, ShadowEdge};
+use crate::graph::{EventId, ExecutionGraph};
+
+/// Budgets bounding the exponential enumeration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EnumerationLimits {
+    /// Stop after this many cycles have been found.
+    pub max_cycles: usize,
+    /// Skip cycles with more than this many steps (edges).
+    pub max_len: usize,
+    /// Abort after this many DFS extensions (guards pathological graphs).
+    pub max_dfs_steps: usize,
+}
+
+impl Default for EnumerationLimits {
+    fn default() -> EnumerationLimits {
+        EnumerationLimits {
+            max_cycles: 100_000,
+            max_len: usize::MAX,
+            max_dfs_steps: 50_000_000,
+        }
+    }
+}
+
+/// Result of an enumeration: the cycles found and whether the enumeration
+/// ran to completion (no budget was hit).
+#[derive(Clone, Debug)]
+pub struct Enumeration {
+    /// The simple cycles found, each validated against the source graph.
+    pub cycles: Vec<Cycle>,
+    /// `true` iff every simple cycle within `max_len` was enumerated.
+    pub complete: bool,
+}
+
+/// Enumerates the simple cycles of `g`'s shadow multigraph.
+///
+/// Each cycle is reported exactly once; the traversal direction and starting
+/// edge are canonical (smallest edge index first) but carry no semantic
+/// weight — [`Cycle::classify`] is orientation-agnostic.
+#[must_use]
+pub fn enumerate_cycles(g: &ExecutionGraph, limits: EnumerationLimits) -> Enumeration {
+    // Index all shadow edges: effective messages first, then local edges.
+    let mut edges: Vec<(ShadowEdge, EventId, EventId)> = Vec::new();
+    for m in g.effective_messages() {
+        edges.push((ShadowEdge::Message(m.id), m.from, m.to));
+    }
+    for l in g.local_edges() {
+        edges.push((ShadowEdge::Local(l), l.from, l.to));
+    }
+    // Adjacency: event -> (edge index, neighbour, walks-against-direction).
+    let mut adj: Vec<Vec<(usize, EventId, bool)>> = vec![Vec::new(); g.num_events()];
+    for (idx, (_, from, to)) in edges.iter().enumerate() {
+        adj[from.0].push((idx, *to, false));
+        adj[to.0].push((idx, *from, true));
+    }
+
+    let mut out = Enumeration { cycles: Vec::new(), complete: true };
+    let mut dfs_budget = limits.max_dfs_steps;
+    let mut seen: HashSet<Vec<usize>> = HashSet::new();
+    let mut visited = vec![false; g.num_events()];
+
+    // For each starting edge e0 (the minimum-index edge of the cycles it
+    // roots), DFS over edges of strictly larger index.
+    for e0 in 0..edges.len() {
+        let (_, start, first_stop) = edges[e0];
+        let mut path: Vec<(usize, bool)> = vec![(e0, false)];
+        visited[first_stop.0] = true;
+        dfs(
+            g,
+            &edges,
+            &adj,
+            e0,
+            start,
+            first_stop,
+            &mut path,
+            &mut visited,
+            &mut seen,
+            &mut out,
+            &limits,
+            &mut dfs_budget,
+        );
+        visited[first_stop.0] = false;
+        debug_assert!(path.len() == 1);
+        if !out.complete {
+            break;
+        }
+    }
+    out
+}
+
+/// Enumerates only the relevant cycles (Definition 3).
+#[must_use]
+pub fn enumerate_relevant_cycles(g: &ExecutionGraph, limits: EnumerationLimits) -> Enumeration {
+    let mut e = enumerate_cycles(g, limits);
+    e.cycles.retain(|c| c.classify().relevant);
+    e
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs(
+    g: &ExecutionGraph,
+    edges: &[(ShadowEdge, EventId, EventId)],
+    adj: &[Vec<(usize, EventId, bool)>],
+    e0: usize,
+    start: EventId,
+    here: EventId,
+    path: &mut Vec<(usize, bool)>,
+    visited: &mut Vec<bool>,
+    seen: &mut HashSet<Vec<usize>>,
+    out: &mut Enumeration,
+    limits: &EnumerationLimits,
+    dfs_budget: &mut usize,
+) {
+    if path.len() >= limits.max_len {
+        return;
+    }
+    for &(idx, next, against) in &adj[here.0] {
+        if *dfs_budget == 0 {
+            out.complete = false;
+            return;
+        }
+        *dfs_budget -= 1;
+        if idx <= e0 || path.iter().any(|(used, _)| *used == idx) {
+            continue;
+        }
+        if next == start {
+            // Close the cycle.
+            path.push((idx, against));
+            record(g, edges, path, seen, out);
+            path.pop();
+            if out.cycles.len() >= limits.max_cycles {
+                out.complete = false;
+                return;
+            }
+            continue;
+        }
+        if visited[next.0] {
+            continue;
+        }
+        visited[next.0] = true;
+        path.push((idx, against));
+        dfs(
+            g, edges, adj, e0, start, next, path, visited, seen, out, limits, dfs_budget,
+        );
+        path.pop();
+        visited[next.0] = false;
+        if !out.complete {
+            return;
+        }
+    }
+}
+
+fn record(
+    g: &ExecutionGraph,
+    edges: &[(ShadowEdge, EventId, EventId)],
+    path: &[(usize, bool)],
+    seen: &mut HashSet<Vec<usize>>,
+    out: &mut Enumeration,
+) {
+    let mut key: Vec<usize> = path.iter().map(|(i, _)| *i).collect();
+    key.sort_unstable();
+    if !seen.insert(key) {
+        return;
+    }
+    let steps: Vec<CycleStep> = path
+        .iter()
+        .map(|&(idx, against)| CycleStep { edge: edges[idx].0, against })
+        .collect();
+    let cycle = Cycle::new(steps);
+    debug_assert!(
+        cycle.validate(g).is_ok(),
+        "enumerated cycle must validate: {cycle}"
+    );
+    out.cycles.push(cycle);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::ProcessId;
+    use crate::xi::Xi;
+
+    /// A fast 2-hop chain q -> r -> p spanned by one slow direct message
+    /// q -> p arriving later (the minimal relevant cycle, ratio 2/1).
+    fn diamond() -> ExecutionGraph {
+        let mut b = ExecutionGraph::builder(3);
+        let q0 = b.init(ProcessId(0));
+        b.init(ProcessId(1));
+        b.init(ProcessId(2));
+        let (_m0, r1) = b.send(q0, ProcessId(2)); // q -> r
+        let (_m1, p1) = b.send(r1, ProcessId(1)); // r -> p (fast, arrives first)
+        let (_m2, p2) = b.send(q0, ProcessId(1)); // q -> p (slow, arrives later)
+        let _ = (p1, p2);
+        b.finish()
+    }
+
+    #[test]
+    fn diamond_has_exactly_one_cycle() {
+        let g = diamond();
+        let e = enumerate_cycles(&g, EnumerationLimits::default());
+        assert!(e.complete);
+        assert_eq!(e.cycles.len(), 1, "cycles: {:?}", e.cycles);
+        let c = e.cycles[0].classify();
+        // One fast message vs a two-hop chain: 2/1.
+        assert!(c.relevant);
+        assert_eq!(c.ratio(), Some(abc_rational::Ratio::from_integer(2)));
+    }
+
+    #[test]
+    fn empty_and_tree_graphs_have_no_cycles() {
+        let mut b = ExecutionGraph::builder(3);
+        let a = b.init(ProcessId(0));
+        b.init(ProcessId(1));
+        b.init(ProcessId(2));
+        b.send(a, ProcessId(1));
+        b.send(a, ProcessId(2));
+        let g = b.finish();
+        let e = enumerate_cycles(&g, EnumerationLimits::default());
+        assert!(e.complete);
+        assert!(e.cycles.is_empty());
+    }
+
+    #[test]
+    fn faulty_messages_do_not_form_cycles() {
+        let mut b = ExecutionGraph::builder(3);
+        let q0 = b.init(ProcessId(0));
+        b.init(ProcessId(1));
+        b.init(ProcessId(2));
+        let (_m1, r1) = b.send(q0, ProcessId(2));
+        b.send(r1, ProcessId(1));
+        b.send(q0, ProcessId(1));
+        b.mark_faulty(ProcessId(2)); // drops r -> p
+        let g = b.finish();
+        let e = enumerate_cycles(&g, EnumerationLimits::default());
+        assert!(e.complete);
+        assert!(e.cycles.is_empty(), "the only cycle used a faulty message");
+    }
+
+    #[test]
+    fn ping_pong_cycles_count() {
+        // p0 <-> p1, two round trips: every pair of "parallel" chains
+        // between the two process lines closes a cycle.
+        let mut b = ExecutionGraph::builder(2);
+        let a0 = b.init(ProcessId(0));
+        b.init(ProcessId(1));
+        let (_x, r1) = b.send(a0, ProcessId(1));
+        let (_y, s1) = b.send(r1, ProcessId(0));
+        let (_z, r2) = b.send(s1, ProcessId(1));
+        let (_w, _s2) = b.send(r2, ProcessId(0));
+        let g = b.finish();
+        let e = enumerate_cycles(&g, EnumerationLimits::default());
+        assert!(e.complete);
+        // Shadow graph: a path that zigzags; cycles require >= 2 chains
+        // between the same processes. Here consecutive messages alternate
+        // directions and share events, so the only cycles are formed by a
+        // message and the local+message paths around it. Verify against a
+        // hand count: m0 || (local p1) is not a cycle (no second path);
+        // in fact this zigzag is a tree plus local edges - each pair
+        // (message, surrounding paths) can close. Just sanity-check
+        // validation and completeness here.
+        for c in &e.cycles {
+            assert!(c.validate(&g).is_ok());
+        }
+    }
+
+    #[test]
+    fn budgets_are_respected() {
+        let g = diamond();
+        let e = enumerate_cycles(
+            &g,
+            EnumerationLimits { max_cycles: 0, max_len: usize::MAX, max_dfs_steps: usize::MAX },
+        );
+        // Found-limit of zero reports incomplete as soon as one cycle lands.
+        assert!(e.cycles.len() <= 1);
+        let e2 = enumerate_cycles(
+            &g,
+            EnumerationLimits { max_cycles: 10, max_len: 2, max_dfs_steps: usize::MAX },
+        );
+        assert!(e2.cycles.is_empty(), "diamond's cycle has length > 2");
+        let e3 = enumerate_cycles(
+            &g,
+            EnumerationLimits { max_cycles: 10, max_len: usize::MAX, max_dfs_steps: 1 },
+        );
+        assert!(!e3.complete);
+    }
+
+    #[test]
+    fn relevant_filter_matches_classify() {
+        let g = diamond();
+        let all = enumerate_cycles(&g, EnumerationLimits::default());
+        let rel = enumerate_relevant_cycles(&g, EnumerationLimits::default());
+        assert_eq!(
+            rel.cycles.len(),
+            all.cycles.iter().filter(|c| c.classify().relevant).count()
+        );
+        let _ = Xi::from_integer(3);
+    }
+}

@@ -1,0 +1,316 @@
+//! Timed execution graphs `G^τ`.
+//!
+//! A *timed* execution graph attaches an occurrence time to every event.
+//! The paper uses them in two roles:
+//!
+//! * as the image of a Theorem 7 **normalized assignment** — effective
+//!   message delays in the open interval `(1, Ξ)` and strictly positive
+//!   local-edge durations (condition (4)/(5) of Section 4.1);
+//! * to connect the time-free ABC world to the Θ-Model, whose synchrony
+//!   condition (3) bounds the ratio `τ⁺(t)/τ⁻(t)` of the longest and
+//!   shortest end-to-end delays of messages simultaneously in transit.
+//!
+//! [`TimedGraph::max_theta_ratio`] computes the exact supremum of that ratio,
+//! which is how the `MΘ ⊆ MABC` inclusion (Theorem 6) and the normalized
+//! assignment's Θ-admissibility are checked in the experiments.
+
+use abc_rational::Ratio;
+
+use crate::graph::{EventId, ExecutionGraph, MessageId};
+use crate::xi::Xi;
+
+/// Event occurrence times for an execution graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TimedGraph {
+    times: Vec<Ratio>,
+}
+
+/// Validation failures for a [`TimedGraph`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TimedGraphError {
+    /// The number of times differs from the number of events.
+    LengthMismatch {
+        /// Provided time entries.
+        got: usize,
+        /// Events in the graph.
+        expected: usize,
+    },
+    /// A local edge is not strictly increasing in time.
+    NonMonotonicProcess(EventId, EventId),
+    /// A message has negative delay (received before sent).
+    NegativeDelay(MessageId),
+}
+
+impl std::fmt::Display for TimedGraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TimedGraphError::LengthMismatch { got, expected } => {
+                write!(f, "{got} times provided for {expected} events")
+            }
+            TimedGraphError::NonMonotonicProcess(a, b) => {
+                write!(f, "local edge {a} -> {b} is not strictly increasing in time")
+            }
+            TimedGraphError::NegativeDelay(m) => write!(f, "message {m} has negative delay"),
+        }
+    }
+}
+
+impl std::error::Error for TimedGraphError {}
+
+impl TimedGraph {
+    /// Wraps raw event times (validate with [`TimedGraph::validate`]).
+    #[must_use]
+    pub fn new(times: Vec<Ratio>) -> TimedGraph {
+        TimedGraph { times }
+    }
+
+    /// Builds from integer times (convenient for simulator traces).
+    #[must_use]
+    pub fn from_integer_times(times: &[i64]) -> TimedGraph {
+        TimedGraph { times: times.iter().map(|t| Ratio::from_integer(*t)).collect() }
+    }
+
+    /// The occurrence time of an event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    #[must_use]
+    pub fn time(&self, e: EventId) -> &Ratio {
+        &self.times[e.0]
+    }
+
+    /// All times, indexed by event id.
+    #[must_use]
+    pub fn times(&self) -> &[Ratio] {
+        &self.times
+    }
+
+    /// The end-to-end delay of a message.
+    #[must_use]
+    pub fn message_delay(&self, g: &ExecutionGraph, m: MessageId) -> Ratio {
+        let msg = g.message(m);
+        self.time(msg.to) - self.time(msg.from)
+    }
+
+    /// Validates causal sanity: one time per event, strictly increasing
+    /// along every process line, no negative delay on *effective* messages.
+    ///
+    /// Exempt messages (dropped from the space–time diagram per Section 2)
+    /// are not delay-checked: Theorem 7 assignments place no constraint on
+    /// them, matching the paper's removal of the message and its receive
+    /// step from the graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`TimedGraphError`] found.
+    pub fn validate(&self, g: &ExecutionGraph) -> Result<(), TimedGraphError> {
+        if self.times.len() != g.num_events() {
+            return Err(TimedGraphError::LengthMismatch {
+                got: self.times.len(),
+                expected: g.num_events(),
+            });
+        }
+        for l in g.local_edges() {
+            if self.time(l.from) >= self.time(l.to) {
+                return Err(TimedGraphError::NonMonotonicProcess(l.from, l.to));
+            }
+        }
+        for m in g.effective_messages() {
+            if self.time(m.to) < self.time(m.from) {
+                return Err(TimedGraphError::NegativeDelay(m.id));
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the times realize a *normalized assignment* (Section 4.1):
+    /// every effective message delay lies strictly in `(1, Ξ)` and every
+    /// local edge has strictly positive duration.
+    #[must_use]
+    pub fn is_normalized(&self, g: &ExecutionGraph, xi: &Xi) -> bool {
+        if self.validate(g).is_err() {
+            return false;
+        }
+        g.effective_messages().all(|m| {
+            let d = self.time(m.to) - self.time(m.from);
+            d > Ratio::one() && &d < xi.as_ratio()
+        })
+    }
+
+    /// The supremum over real time `t` of `τ⁺(t)/τ⁻(t)` — the Θ-Model's
+    /// synchrony quantity (condition (3)) — over the *effective* messages.
+    ///
+    /// Returns `None` when no two effective messages are ever simultaneously
+    /// in transit (the ratio is vacuous) **or** when a zero-delay message
+    /// overlaps another (the ratio is unbounded; the ABC model allows this,
+    /// cf. Fig. 1's `m3`, which is exactly why `MABC ⊄ MΘ`).
+    #[must_use]
+    pub fn max_theta_ratio(&self, g: &ExecutionGraph) -> Option<Option<Ratio>> {
+        let transits: Vec<(Ratio, Ratio, Ratio)> = g
+            .effective_messages()
+            .map(|m| {
+                let s = self.time(m.from).clone();
+                let r = self.time(m.to).clone();
+                let d = &r - &s;
+                (s, r, d)
+            })
+            .collect();
+        let mut best: Option<Option<Ratio>> = None;
+        for i in 0..transits.len() {
+            for j in (i + 1)..transits.len() {
+                let (si, ri, di) = &transits[i];
+                let (sj, rj, dj) = &transits[j];
+                // Overlap of [s, r] intervals (closed: a message is in
+                // transit from its send up to its receive instant).
+                if si > rj || sj > ri {
+                    continue;
+                }
+                let (hi, lo) = if di >= dj { (di, dj) } else { (dj, di) };
+                let ratio = if lo.is_zero() { None } else { Some(hi / lo) };
+                best = match (best, ratio) {
+                    (_, None) | (Some(None), _) => Some(None),
+                    (None, Some(r)) => Some(Some(r)),
+                    (Some(Some(b)), Some(r)) => Some(Some(b.max(r))),
+                };
+            }
+        }
+        best
+    }
+
+    /// Whether the timed graph satisfies the (static) Θ-Model synchrony
+    /// condition `τ⁺(t)/τ⁻(t) ≤ Θ` at all times.
+    #[must_use]
+    pub fn is_theta_admissible(&self, g: &ExecutionGraph, theta: &Ratio) -> bool {
+        match self.max_theta_ratio(g) {
+            None => true,                      // never two messages in transit
+            Some(None) => false,               // unbounded (zero-delay overlap)
+            Some(Some(r)) => &r <= theta,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::ProcessId;
+
+    /// q sends two messages to p; the first takes 2 time units, the second
+    /// (sent later) takes 6; they overlap in transit.
+    fn overlapping() -> (ExecutionGraph, TimedGraph) {
+        let mut b = ExecutionGraph::builder(2);
+        let q0 = b.init(ProcessId(0));
+        b.init(ProcessId(1));
+        let (_, p1) = b.send(q0, ProcessId(1));
+        let (_, p2) = b.send(q0, ProcessId(1));
+        let g = b.finish();
+        // times: q0 = 0, p_init = 0 ... events: q0, p_init, p1, p2.
+        let t = TimedGraph::new(vec![
+            Ratio::from_integer(0),
+            Ratio::from_integer(0),
+            Ratio::from_integer(2), // delay 2
+            Ratio::from_integer(6), // delay 6
+        ]);
+        t.validate(&g).unwrap();
+        let _ = (p1, p2);
+        (g, t)
+    }
+
+    #[test]
+    fn delays_and_theta_ratio() {
+        let (g, t) = overlapping();
+        assert_eq!(t.message_delay(&g, crate::graph::MessageId(0)), Ratio::from_integer(2));
+        assert_eq!(t.message_delay(&g, crate::graph::MessageId(1)), Ratio::from_integer(6));
+        assert_eq!(t.max_theta_ratio(&g), Some(Some(Ratio::from_integer(3))));
+        assert!(t.is_theta_admissible(&g, &Ratio::from_integer(3)));
+        assert!(!t.is_theta_admissible(&g, &Ratio::new(5, 2)));
+    }
+
+    #[test]
+    fn zero_delay_overlap_is_unbounded() {
+        let mut b = ExecutionGraph::builder(2);
+        let q0 = b.init(ProcessId(0));
+        b.init(ProcessId(1));
+        b.send(q0, ProcessId(1));
+        b.send(q0, ProcessId(1));
+        let g = b.finish();
+        let t = TimedGraph::new(vec![
+            Ratio::from_integer(0),
+            Ratio::from_integer(0),
+            Ratio::from_integer(0), // zero delay
+            Ratio::from_integer(5),
+        ]);
+        // Receive at time 0 equals a local-edge timing violation at p?
+        // p's events: init (t=0), p1 (t=0): non-monotonic -> validate fails.
+        assert!(matches!(
+            t.validate(&g),
+            Err(TimedGraphError::NonMonotonicProcess(_, _))
+        ));
+        // Shift p's init earlier so the order is strict, keep zero delay.
+        let t = TimedGraph::new(vec![
+            Ratio::from_integer(0),
+            Ratio::from_integer(-1),
+            Ratio::from_integer(0),
+            Ratio::from_integer(5),
+        ]);
+        t.validate(&g).unwrap();
+        assert_eq!(t.max_theta_ratio(&g), Some(None));
+        assert!(!t.is_theta_admissible(&g, &Ratio::from_integer(1_000_000)));
+    }
+
+    #[test]
+    fn non_overlapping_messages_have_no_ratio() {
+        let mut b = ExecutionGraph::builder(2);
+        let q0 = b.init(ProcessId(0));
+        b.init(ProcessId(1));
+        let (_, p1) = b.send(q0, ProcessId(1));
+        let (_, _p2) = b.send(p1, ProcessId(0)); // reply: strictly after
+        let g = b.finish();
+        let t = TimedGraph::new(vec![
+            Ratio::from_integer(0),
+            Ratio::from_integer(0),
+            Ratio::from_integer(5),
+            Ratio::from_integer(9),
+        ]);
+        t.validate(&g).unwrap();
+        // The two transits [0,5] and [5,9] touch at t = 5 (closed
+        // intervals): ratio 5/4.
+        assert_eq!(t.max_theta_ratio(&g), Some(Some(Ratio::new(5, 4))));
+    }
+
+    #[test]
+    fn normalized_assignment_check() {
+        let (g, _) = overlapping();
+        let xi = Xi::from_integer(3);
+        let good = TimedGraph::new(vec![
+            Ratio::from_integer(0),
+            Ratio::from_integer(0),
+            Ratio::new(3, 2),  // delay 3/2 in (1, 3)
+            Ratio::new(5, 2),  // delay 5/2 in (1, 3)
+        ]);
+        assert!(good.is_normalized(&g, &xi));
+        let bad = TimedGraph::new(vec![
+            Ratio::from_integer(0),
+            Ratio::from_integer(0),
+            Ratio::from_integer(1), // delay exactly 1: not > 1
+            Ratio::from_integer(2),
+        ]);
+        assert!(!bad.is_normalized(&g, &xi));
+    }
+
+    #[test]
+    fn validate_reports_mismatch_and_negative_delay() {
+        let (g, _) = overlapping();
+        assert!(matches!(
+            TimedGraph::new(vec![Ratio::zero()]).validate(&g),
+            Err(TimedGraphError::LengthMismatch { got: 1, expected: 4 })
+        ));
+        let neg = TimedGraph::new(vec![
+            Ratio::from_integer(10),
+            Ratio::from_integer(0),
+            Ratio::from_integer(2),
+            Ratio::from_integer(6),
+        ]);
+        assert!(matches!(neg.validate(&g), Err(TimedGraphError::NegativeDelay(_))));
+    }
+}

@@ -1,0 +1,178 @@
+//! Property tests for `abc-core`: the polynomial checker against
+//! brute-force enumeration, Theorem 7 assignments, Corollary 1 on random
+//! cycle sums, and cut invariants — on randomly generated execution graphs.
+
+use abc_core::assign::{assign_delays, AssignError};
+use abc_core::check;
+use abc_core::cut::{causal_past, cut_interval, Cut};
+use abc_core::cyclespace::{decompose, CycleVector};
+use abc_core::enumerate::{enumerate_relevant_cycles, EnumerationLimits};
+use abc_core::graph::{EventId, ExecutionGraph, ProcessId};
+use abc_core::Xi;
+use abc_rational::Ratio;
+use proptest::prelude::*;
+
+/// Builds a random message-driven execution graph from a script of
+/// `(sender_event, receiver_process)` pairs (reduced modulo the current
+/// state), over `n` processes.
+fn build_graph(n: usize, script: &[(usize, usize)]) -> ExecutionGraph {
+    let mut b = ExecutionGraph::builder(n);
+    for p in 0..n {
+        b.init(ProcessId(p));
+    }
+    for &(from, to) in script {
+        let from_event = EventId(from % b.num_events());
+        let to_process = ProcessId(to % n);
+        b.send(from_event, to_process);
+    }
+    b.finish()
+}
+
+fn graph_strategy() -> impl Strategy<Value = ExecutionGraph> {
+    (2usize..5, proptest::collection::vec((any::<usize>(), any::<usize>()), 0..12))
+        .prop_map(|(n, script)| build_graph(n, &script))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The polynomial max-ratio equals the brute-force maximum over all
+    /// enumerated relevant cycles.
+    #[test]
+    fn checker_matches_enumeration(g in graph_strategy()) {
+        let brute = enumerate_relevant_cycles(&g, EnumerationLimits::default())
+            .cycles
+            .iter()
+            .filter_map(|c| c.classify().ratio())
+            .max();
+        prop_assert_eq!(check::max_relevant_cycle_ratio(&g), brute);
+    }
+
+    /// `is_admissible(g, Ξ)` iff `max_ratio(g) < Ξ` — and `has_relevant_cycle`
+    /// agrees with the enumeration.
+    #[test]
+    fn admissibility_iff_ratio_below_xi(
+        g in graph_strategy(),
+        num in 5i64..40,
+        den in 1i64..5,
+    ) {
+        prop_assume!(num > den); // Xi > 1
+        let xi = Xi::new(Ratio::new(num, den)).unwrap();
+        let max = check::max_relevant_cycle_ratio(&g);
+        let admissible = check::is_admissible(&g, &xi).unwrap();
+        match &max {
+            None => prop_assert!(admissible),
+            Some(r) => prop_assert_eq!(admissible, r < xi.as_ratio()),
+        }
+        prop_assert_eq!(check::has_relevant_cycle(&g), max.is_some());
+    }
+
+    /// A violation witness, when produced, is a valid relevant cycle with
+    /// ratio at least Ξ.
+    #[test]
+    fn violation_witnesses_are_valid(g in graph_strategy()) {
+        let xi = Xi::from_fraction(3, 2);
+        if let Some(w) = check::find_violation(&g, &xi).unwrap() {
+            prop_assert!(w.validate(&g).is_ok());
+            let c = w.classify();
+            prop_assert!(c.relevant);
+            prop_assert!(c.ratio().unwrap() >= Ratio::new(3, 2));
+        }
+    }
+
+    /// Theorem 7 end to end: an assignment exists iff the graph is
+    /// admissible; when it exists it is normalized and Θ-admissible for
+    /// Θ = Ξ; when it does not, the witness violates.
+    #[test]
+    fn theorem7_assignment(g in graph_strategy(), num in 3i64..9, den in 1i64..4) {
+        prop_assume!(num > den);
+        let xi = Xi::new(Ratio::new(num, den)).unwrap();
+        let admissible = check::is_admissible(&g, &xi).unwrap();
+        match assign_delays(&g, &xi) {
+            Ok(timed) => {
+                prop_assert!(admissible);
+                prop_assert!(timed.is_normalized(&g, &xi));
+                prop_assert!(timed.is_theta_admissible(&g, xi.as_ratio()));
+            }
+            Err(AssignError::NotAdmissible(cycle)) => {
+                prop_assert!(!admissible);
+                prop_assert!(cycle.validate(&g).is_ok());
+                prop_assert!(cycle.classify().violates(&xi));
+            }
+            Err(other) => prop_assert!(false, "unexpected error {other}"),
+        }
+    }
+
+    /// Corollary 1: any non-negative integer combination of relevant cycles
+    /// of an admissible graph satisfies |C−|/|C+| < Ξ (for Ξ strictly above
+    /// the graph's max ratio), and the Eulerian decomposition round-trips
+    /// the mass with every peel passing the case analysis.
+    #[test]
+    fn corollary1_on_random_sums(
+        g in graph_strategy(),
+        picks in proptest::collection::vec((any::<usize>(), 1i64..4), 1..5),
+    ) {
+        let relevant = enumerate_relevant_cycles(&g, EnumerationLimits::default()).cycles;
+        prop_assume!(!relevant.is_empty());
+        let max = check::max_relevant_cycle_ratio(&g).unwrap();
+        // Xi strictly above the max ratio: the graph is ABC-admissible.
+        let xi = Xi::new(&max + &Ratio::new(1, 3)).unwrap();
+        let mut sum = CycleVector::zero();
+        for (idx, lambda) in &picks {
+            let z = CycleVector::from_cycle(&relevant[idx % relevant.len()]);
+            sum = sum.add(&z.scale(*lambda));
+        }
+        prop_assert!(sum.satisfies_corollary1(&xi), "sum ratio {:?} vs Xi {}", sum.ratio(), xi);
+        let peels = decompose(&g, &sum).unwrap();
+        let fwd: usize = peels.iter().map(|p| p.forward.len()).sum();
+        let bwd: usize = peels.iter().map(|p| p.backward.len()).sum();
+        prop_assert_eq!(fwd as i64, sum.forward_mass());
+        prop_assert_eq!(bwd as i64, sum.backward_mass());
+        // Note: Theorem 11 guarantees that a mixed-free decomposition whose
+        // peels all pass the case analysis EXISTS; a greedy Eulerian peel
+        // need not find that particular one, so only the sum-level claim
+        // (Corollary 1, asserted above) and mass conservation are invariant.
+        prop_assert!(peels.iter().all(|p| !p.forward.is_empty() || !p.backward.is_empty()));
+    }
+
+    /// Causal pasts are left-closed consistent-cut material, and cut
+    /// intervals decompose as differences of pasts.
+    #[test]
+    fn cut_invariants(g in graph_strategy(), a in any::<usize>(), b in any::<usize>()) {
+        prop_assume!(g.num_events() > 0);
+        let ea = EventId(a % g.num_events());
+        let eb = EventId(b % g.num_events());
+        let past = causal_past(&g, ea);
+        let cut = Cut::new(past.clone());
+        prop_assert!(cut.is_left_closed(&g));
+        prop_assert!(past.contains(ea));
+        // Monotonicity: if ea *-> eb then ⟨ea⟩ ⊆ ⟨eb⟩.
+        if g.happens_before(ea, eb) {
+            prop_assert!(past.is_subset(&causal_past(&g, eb)));
+            let interval = cut_interval(&g, ea, eb);
+            prop_assert!(!interval.contains(ea));
+            if ea != eb {
+                prop_assert!(interval.contains(eb));
+            }
+        }
+    }
+
+    /// Exempting every message of a violating graph always restores
+    /// admissibility (the dropping hook of Section 2).
+    #[test]
+    fn exempting_all_messages_restores_admissibility(g in graph_strategy()) {
+        let xi = Xi::from_fraction(6, 5);
+        prop_assume!(!check::is_admissible(&g, &xi).unwrap());
+        // Rebuild with every message exempt.
+        let mut b = ExecutionGraph::builder(g.num_processes());
+        for p in 0..g.num_processes() {
+            b.init(ProcessId(p));
+        }
+        for m in g.messages() {
+            let (mid, _) = b.send(m.from, m.receiver);
+            b.set_exempt(mid);
+        }
+        let g2 = b.finish();
+        prop_assert!(check::is_admissible(&g2, &xi).unwrap());
+    }
+}

@@ -1,0 +1,288 @@
+//! Failure detection in the ABC model (the paper's Fig. 3 mechanism and
+//! the Section 6 Ω sketch).
+//!
+//! The ABC synchrony condition is used *indirectly* for failure detection:
+//! a process `p` that broadcast a query at event `φ0` and has since driven
+//! a ping-pong chain of `≥ 2Ξ` messages knows that a still-missing reply
+//! can never arrive — its arrival would close a relevant cycle with
+//! `|Z−|/|Z+| ≥ 2Ξ/2 = Ξ`, violating Definition 4. Hence:
+//!
+//! * **Strong accuracy** — no correct process is ever suspected (in an
+//!   ABC-admissible execution the reply always arrives before the chain
+//!   reaches `2Ξ`);
+//! * **Completeness** — every crashed process is eventually suspected
+//!   (chains keep growing as long as one correct partner responds).
+//!
+//! [`PingPongDetector`] implements the mechanism; [`leader_from_suspects`]
+//! derives the Ω-style leader (Section 6: the ABC condition restricted to
+//! an `f+2` core is enough to elect a leader among the core).
+//!
+//! The threshold is a genuine boundary: [`PingPongDetector::with_threshold`]
+//! lets experiments run chains shorter than `2Ξ`, which produces false
+//! suspicions exactly as the theory predicts (see the ablation test).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use abc_core::{ProcessId, Xi};
+use abc_sim::{Context, Process};
+
+/// Messages of the ping-pong failure detector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FdMsg {
+    /// Probe query, stamped with the probe number.
+    Query(u64),
+    /// Reply to a probe.
+    Reply(u64),
+    /// Ping within a probe's chain: `(probe, hop)`.
+    Ping(u64, u64),
+    /// Pong answering a ping: `(probe, hop)`.
+    Pong(u64, u64),
+}
+
+/// The Fig. 3 crash detector: queries everyone, then times the replies out
+/// against its own ping-pong chain of `⌈2Ξ⌉` messages.
+#[derive(Clone, Debug)]
+pub struct PingPongDetector {
+    n: usize,
+    threshold: u64,
+    probe: u64,
+    hop: u64,
+    replied: u128,
+    suspected: u128,
+    history: Vec<(u64, u128)>,
+}
+
+impl PingPongDetector {
+    /// A detector using the sound chain threshold `⌈2Ξ⌉`.
+    #[must_use]
+    pub fn new(n: usize, xi: &Xi) -> PingPongDetector {
+        PingPongDetector::with_threshold(n, xi.two_xi_ceil())
+    }
+
+    /// A detector with an explicit chain-length threshold (messages, not
+    /// round trips). Thresholds below `2Ξ` are **unsound** and will
+    /// falsely suspect slow-but-correct processes; the experiments use
+    /// this to probe the boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds 128 or `threshold` is zero.
+    #[must_use]
+    pub fn with_threshold(n: usize, threshold: u64) -> PingPongDetector {
+        assert!(n <= 128 && threshold > 0);
+        PingPongDetector {
+            n,
+            threshold,
+            probe: 0,
+            hop: 0,
+            replied: 0,
+            suspected: 0,
+            history: Vec::new(),
+        }
+    }
+
+    /// The processes currently suspected.
+    pub fn suspected(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        (0..self.n).filter(|p| self.suspected & (1 << p) != 0).map(ProcessId)
+    }
+
+    /// Whether `p` is suspected.
+    #[must_use]
+    pub fn is_suspected(&self, p: ProcessId) -> bool {
+        self.suspected & (1 << p.0) != 0
+    }
+
+    /// The current suspicion mask.
+    #[must_use]
+    pub fn suspected_mask(&self) -> u128 {
+        self.suspected
+    }
+
+    /// `(probe, suspected_mask)` snapshots at each probe completion.
+    #[must_use]
+    pub fn history(&self) -> &[(u64, u128)] {
+        &self.history
+    }
+
+    /// Number of completed probes.
+    #[must_use]
+    pub fn probes_completed(&self) -> u64 {
+        self.probe
+    }
+
+    fn start_probe(&mut self, ctx: &mut Context<'_, FdMsg>) {
+        self.replied = 1 << ctx.me().0;
+        self.hop = 0;
+        ctx.broadcast(FdMsg::Query(self.probe));
+        // The chain pings go to everyone too: any responsive correct
+        // process keeps the chain alive.
+        ctx.broadcast(FdMsg::Ping(self.probe, 0));
+    }
+
+    fn finish_probe(&mut self, ctx: &mut Context<'_, FdMsg>) {
+        // Chain reached the threshold: everyone who has not replied is
+        // crashed (a later reply would close a cycle with ratio >= Xi).
+        let all: u128 = (1 << self.n) - 1;
+        self.suspected |= all & !self.replied;
+        self.history.push((self.probe, self.suspected));
+        self.probe += 1;
+        self.start_probe(ctx);
+    }
+}
+
+impl Process<FdMsg> for PingPongDetector {
+    fn on_init(&mut self, ctx: &mut Context<'_, FdMsg>) {
+        self.start_probe(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, FdMsg>, from: ProcessId, msg: &FdMsg) {
+        match *msg {
+            FdMsg::Query(p) => ctx.send(from, FdMsg::Reply(p)),
+            FdMsg::Ping(p, h) => ctx.send(from, FdMsg::Pong(p, h)),
+            FdMsg::Reply(p) => {
+                if p == self.probe {
+                    self.replied |= 1 << from.0;
+                }
+            }
+            FdMsg::Pong(p, h) => {
+                if p == self.probe && h == self.hop {
+                    // One round trip completed: the chain grew by 2 messages.
+                    self.hop += 1;
+                    if 2 * self.hop >= self.threshold {
+                        self.finish_probe(ctx);
+                    } else {
+                        ctx.broadcast(FdMsg::Ping(self.probe, self.hop));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A plain responder: answers queries and pings, runs no detector.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FdResponder;
+
+impl Process<FdMsg> for FdResponder {
+    fn on_init(&mut self, _ctx: &mut Context<'_, FdMsg>) {}
+
+    fn on_message(&mut self, ctx: &mut Context<'_, FdMsg>, from: ProcessId, msg: &FdMsg) {
+        match *msg {
+            FdMsg::Query(p) => ctx.send(from, FdMsg::Reply(p)),
+            FdMsg::Ping(p, h) => ctx.send(from, FdMsg::Pong(p, h)),
+            _ => {}
+        }
+    }
+}
+
+/// Ω-style leader choice from a suspicion mask: the smallest-id process in
+/// `core` that is not suspected (Section 6: restricting the ABC condition
+/// to a core of `f+2` processes suffices for Ω among the core).
+#[must_use]
+pub fn leader_from_suspects(core: &[ProcessId], suspected_mask: u128) -> Option<ProcessId> {
+    core.iter()
+        .copied()
+        .find(|p| suspected_mask & (1 << p.0) == 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abc_sim::delay::BandDelay;
+    use abc_sim::{CrashAt, Mute, RunLimits, Simulation};
+
+    /// Band delays [lo, hi]: admissible for Xi > hi/lo.
+    fn run_detector(
+        n: usize,
+        crashed: &[usize],
+        threshold: u64,
+        lo: u64,
+        hi: u64,
+        seed: u64,
+    ) -> PingPongDetector {
+        let mut sim = Simulation::new(BandDelay::new(lo, hi, seed));
+        sim.add_process(PingPongDetector::with_threshold(n, threshold));
+        for p in 1..n {
+            if crashed.contains(&p) {
+                sim.add_faulty_process(CrashAt::new(FdResponder, 0));
+            } else {
+                sim.add_process(FdResponder);
+            }
+        }
+        sim.run(RunLimits { max_events: 30_000, max_time: u64::MAX });
+        sim.process_as::<PingPongDetector>(ProcessId(0)).unwrap().clone()
+    }
+
+    #[test]
+    fn detects_crashed_processes() {
+        // Xi = 2 (delays [10, 19]): threshold 2*Xi = 4.
+        let d = run_detector(4, &[2], 4, 10, 19, 1);
+        assert!(d.is_suspected(ProcessId(2)), "crashed process detected");
+        assert!(!d.is_suspected(ProcessId(1)));
+        assert!(!d.is_suspected(ProcessId(3)));
+        assert!(d.probes_completed() > 10);
+    }
+
+    #[test]
+    fn strong_accuracy_at_sound_threshold() {
+        // No crashes: nobody may ever be suspected, across seeds.
+        for seed in 0..10 {
+            let d = run_detector(4, &[], 4, 10, 19, seed);
+            assert_eq!(d.suspected().count(), 0, "seed {seed}: {:?}", d.history());
+        }
+    }
+
+    #[test]
+    fn unsound_threshold_produces_false_suspicions() {
+        // Threshold 2 (a single round trip) with delay spread close to 2:
+        // a correct-but-slow reply loses the race eventually.
+        let mut saw_false = false;
+        for seed in 0..20 {
+            let d = run_detector(4, &[], 2, 10, 19, seed);
+            if d.suspected().count() > 0 {
+                saw_false = true;
+                break;
+            }
+        }
+        assert!(saw_false, "threshold below 2Xi should eventually missuspect");
+    }
+
+    #[test]
+    fn mute_byzantine_is_suspected_like_a_crash() {
+        let mut sim = Simulation::new(BandDelay::new(10, 19, 3));
+        sim.add_process(PingPongDetector::with_threshold(4, 4));
+        sim.add_process(FdResponder);
+        sim.add_process(FdResponder);
+        sim.add_faulty_process(Mute);
+        sim.run(RunLimits { max_events: 20_000, max_time: u64::MAX });
+        let d = sim.process_as::<PingPongDetector>(ProcessId(0)).unwrap();
+        assert!(d.is_suspected(ProcessId(3)));
+    }
+
+    #[test]
+    fn omega_leader_is_least_unsuspected_core_member() {
+        let core = [ProcessId(0), ProcessId(1), ProcessId(2)];
+        assert_eq!(leader_from_suspects(&core, 0), Some(ProcessId(0)));
+        assert_eq!(leader_from_suspects(&core, 0b001), Some(ProcessId(1)));
+        assert_eq!(leader_from_suspects(&core, 0b011), Some(ProcessId(2)));
+        assert_eq!(leader_from_suspects(&core, 0b111), None);
+    }
+
+    #[test]
+    fn leader_stabilizes_on_live_detector() {
+        let d = run_detector(4, &[1], 4, 10, 19, 7);
+        let core: Vec<ProcessId> = (0..4).map(ProcessId).collect();
+        let mask = d.history().last().unwrap().1;
+        assert_eq!(leader_from_suspects(&core, mask), Some(ProcessId(0)));
+        // Leadership is stable across the suspicion history tail.
+        let tail: Vec<_> = d
+            .history()
+            .iter()
+            .rev()
+            .take(5)
+            .map(|(_, m)| leader_from_suspects(&core, *m))
+            .collect();
+        assert!(tail.windows(2).all(|w| w[0] == w[1]));
+    }
+}

@@ -1,0 +1,259 @@
+//! Fourier–Motzkin elimination with certificate tracking.
+//!
+//! An independent, self-contained decision procedure for mixed strict /
+//! non-strict linear systems, used to cross-check the simplex solver on
+//! small instances (property tests in `tests/`). Its worst case is doubly
+//! exponential, so callers should keep systems small (≲ 12 variables);
+//! within that regime it is a trustworthy oracle because each derived row
+//! carries its provenance — the non-negative combination of original rows
+//! that produced it — so infeasibility immediately yields a Farkas/Carver
+//! certificate and feasibility yields a witness by back-substitution.
+
+use abc_rational::Ratio;
+
+use crate::system::{FarkasCertificate, Feasibility, LinearSystem, LpError, Rel, Solution};
+
+/// A working row during elimination: `coeffs · x (rel) rhs`, together with
+/// the multipliers over the original rows that derived it.
+#[derive(Clone, Debug)]
+struct WorkRow {
+    coeffs: Vec<Ratio>,
+    rel: Rel,
+    rhs: Ratio,
+    provenance: Vec<Ratio>,
+}
+
+/// Decides feasibility of `sys` by Fourier–Motzkin elimination.
+///
+/// Equality rows are split into a `≤` / `≥` pair before elimination.
+/// Returns a witness (with the strict-row gap computed a posteriori) or a
+/// verified Farkas/Carver certificate.
+///
+/// # Errors
+///
+/// Returns [`LpError::PivotLimit`] if the intermediate row count exceeds an
+/// internal safety bound (the system is too large for this method; use
+/// [`crate::simplex::solve`]).
+pub fn solve(sys: &LinearSystem) -> Result<Feasibility, LpError> {
+    const ROW_LIMIT: usize = 200_000;
+    let n = sys.num_vars();
+    let m = sys.num_rows();
+    // Split equalities; track provenance (equality rows contribute with
+    // either sign, which the certificate verifier permits).
+    let mut rows: Vec<WorkRow> = Vec::new();
+    for (i, row) in sys.rows().iter().enumerate() {
+        let mut prov = vec![Ratio::zero(); m];
+        prov[i] = Ratio::one();
+        match row.rel {
+            Rel::Lt | Rel::Le => rows.push(WorkRow {
+                coeffs: row.coeffs.clone(),
+                rel: row.rel,
+                rhs: row.rhs.clone(),
+                provenance: prov,
+            }),
+            Rel::Eq => {
+                rows.push(WorkRow {
+                    coeffs: row.coeffs.clone(),
+                    rel: Rel::Le,
+                    rhs: row.rhs.clone(),
+                    provenance: prov.clone(),
+                });
+                let mut neg_prov = vec![Ratio::zero(); m];
+                neg_prov[i] = -Ratio::one();
+                rows.push(WorkRow {
+                    coeffs: row.coeffs.iter().map(|c| -c).collect(),
+                    rel: Rel::Le,
+                    rhs: -&row.rhs,
+                    provenance: neg_prov,
+                });
+            }
+        }
+    }
+
+    // Stages: remember the rows *with* variable k eliminated last, so we can
+    // back-substitute. stage[k] = rows before eliminating variable k.
+    let mut stages: Vec<Vec<WorkRow>> = Vec::with_capacity(n);
+    for var in (0..n).rev() {
+        stages.push(rows.clone());
+        let mut next: Vec<WorkRow> = Vec::new();
+        let mut pos: Vec<&WorkRow> = Vec::new();
+        let mut neg: Vec<&WorkRow> = Vec::new();
+        for row in &rows {
+            if row.coeffs[var].is_positive() {
+                pos.push(row);
+            } else if row.coeffs[var].is_negative() {
+                neg.push(row);
+            } else {
+                next.push(row.clone());
+            }
+        }
+        for p in &pos {
+            for q in &neg {
+                // p: a·x + c_p x_var ≤ b_p (c_p > 0); q: a'·x + c_q x_var ≤ b_q (c_q < 0).
+                // Combine with weights 1/c_p and 1/(-c_q) to cancel x_var.
+                let wp = p.coeffs[var].recip();
+                let wq = (-&q.coeffs[var]).recip();
+                let coeffs: Vec<Ratio> = (0..n)
+                    .map(|j| &p.coeffs[j] * &wp + &q.coeffs[j] * &wq)
+                    .collect();
+                debug_assert!(coeffs[var].is_zero());
+                let rhs = &p.rhs * &wp + &q.rhs * &wq;
+                let rel = if p.rel == Rel::Lt || q.rel == Rel::Lt { Rel::Lt } else { Rel::Le };
+                let provenance: Vec<Ratio> = (0..m)
+                    .map(|i| &p.provenance[i] * &wp + &q.provenance[i] * &wq)
+                    .collect();
+                next.push(WorkRow { coeffs, rel, rhs, provenance });
+                if next.len() > ROW_LIMIT {
+                    return Err(LpError::PivotLimit);
+                }
+            }
+        }
+        rows = next;
+    }
+
+    // All variables eliminated: rows are 0 (rel) rhs.
+    for row in &rows {
+        let contradiction = match row.rel {
+            Rel::Lt => !row.rhs.is_positive(),
+            Rel::Le => row.rhs.is_negative(),
+            Rel::Eq => unreachable!("equalities were split"),
+        };
+        if contradiction {
+            let cert = FarkasCertificate { multipliers: row.provenance.clone() };
+            debug_assert!(cert.verify(sys), "FM-derived certificate must verify");
+            return Ok(Feasibility::Infeasible(cert));
+        }
+    }
+
+    // Back-substitute a witness. Variable `n-1` was eliminated first, so
+    // `stages[n-1-v]` contains rows over variables `0..=v` only; fixing
+    // values in increasing variable order keeps every bound fully evaluated.
+    let mut values = vec![Ratio::zero(); n];
+    for var in 0..n {
+        let stage_rows = &stages[n - 1 - var];
+        let mut lower: Option<(Ratio, Rel)> = None; // bound, strictness
+        let mut upper: Option<(Ratio, Rel)> = None;
+        for row in stage_rows {
+            let c = &row.coeffs[var];
+            if c.is_zero() {
+                continue;
+            }
+            // Evaluate the already-fixed variables (those before `var`).
+            let fixed: Ratio = (0..var).map(|j| &row.coeffs[j] * &values[j]).sum();
+            let bound = (&row.rhs - &fixed) / c;
+            if c.is_positive() {
+                // x_var ≤/< bound.
+                if upper.as_ref().is_none_or(|(b, s)| bound < *b || (bound == *b && *s == Rel::Le && row.rel == Rel::Lt)) {
+                    upper = Some((bound, row.rel));
+                }
+            } else {
+                // x_var ≥/> bound.
+                if lower.as_ref().is_none_or(|(b, s)| bound > *b || (bound == *b && *s == Rel::Le && row.rel == Rel::Lt)) {
+                    lower = Some((bound, row.rel));
+                }
+            }
+        }
+        values[var] = match (&lower, &upper) {
+            (None, None) => Ratio::zero(),
+            (Some((lo, _)), None) => lo + Ratio::one(),
+            (None, Some((hi, _))) => hi - Ratio::one(),
+            (Some((lo, ls)), Some((hi, hs))) => {
+                debug_assert!(lo < hi || (lo == hi && *ls == Rel::Le && *hs == Rel::Le));
+                if lo == hi {
+                    lo.clone()
+                } else {
+                    lo.midpoint(hi)
+                }
+            }
+        };
+    }
+
+    debug_assert!(sys.satisfied_by(&values), "FM witness must satisfy the system");
+    // Compute the achieved strict gap a posteriori.
+    let mut gap: Option<Ratio> = None;
+    for (i, row) in sys.rows().iter().enumerate() {
+        if row.rel == Rel::Lt {
+            let slack = &row.rhs - &sys.eval_row(i, &values);
+            gap = Some(match gap {
+                None => slack,
+                Some(g) => g.min(slack),
+            });
+        }
+    }
+    Ok(Feasibility::Feasible(Solution {
+        values,
+        gap: gap.unwrap_or_else(Ratio::zero),
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(v: i64) -> Ratio {
+        Ratio::from_integer(v)
+    }
+
+    #[test]
+    fn feasible_box() {
+        let mut sys = LinearSystem::new(2);
+        sys.push_lt(vec![r(1), r(0)], r(2));
+        sys.push_lt(vec![r(-1), r(0)], r(-1));
+        sys.push_lt(vec![r(0), r(1)], r(5));
+        sys.push_lt(vec![r(0), r(-1)], r(4));
+        let out = solve(&sys).unwrap();
+        let sol = out.solution().expect("feasible");
+        assert!(sys.satisfied_by(&sol.values));
+        assert!(sol.gap.is_positive());
+    }
+
+    #[test]
+    fn infeasible_chain() {
+        // x < y, y < z, z < x: cyclic strict ordering is infeasible.
+        let mut sys = LinearSystem::new(3);
+        sys.push_lt(vec![r(1), r(-1), r(0)], r(0));
+        sys.push_lt(vec![r(0), r(1), r(-1)], r(0));
+        sys.push_lt(vec![r(-1), r(0), r(1)], r(0));
+        let out = solve(&sys).unwrap();
+        let cert = out.certificate().expect("infeasible");
+        assert!(cert.verify(&sys));
+    }
+
+    #[test]
+    fn equality_handling() {
+        let mut sys = LinearSystem::new(2);
+        sys.push_eq(vec![r(1), r(1)], r(10));
+        sys.push_lt(vec![r(1), r(0)], r(3));
+        let out = solve(&sys).unwrap();
+        let sol = out.solution().expect("feasible");
+        assert!(sys.satisfied_by(&sol.values));
+        assert_eq!(&sol.values[0] + &sol.values[1], r(10));
+    }
+
+    #[test]
+    fn tight_nonstrict_equalities_meet() {
+        // x <= 1 and x >= 1 forces x = 1 exactly.
+        let mut sys = LinearSystem::new(1);
+        sys.push_le(vec![r(1)], r(1));
+        sys.push_le(vec![r(-1)], r(-1));
+        let out = solve(&sys).unwrap();
+        assert_eq!(out.solution().unwrap().values[0], r(1));
+    }
+
+    #[test]
+    fn strict_at_tight_point_is_infeasible() {
+        let mut sys = LinearSystem::new(1);
+        sys.push_le(vec![r(1)], r(1));
+        sys.push_le(vec![r(-1)], r(-1));
+        sys.push_lt(vec![r(1)], r(1));
+        let out = solve(&sys).unwrap();
+        assert!(out.certificate().unwrap().verify(&sys));
+    }
+
+    #[test]
+    fn unconstrained_variables_default_to_zero() {
+        let sys = LinearSystem::new(2);
+        let out = solve(&sys).unwrap();
+        assert_eq!(out.solution().unwrap().values, vec![r(0), r(0)]);
+    }
+}

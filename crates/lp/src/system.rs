@@ -1,0 +1,382 @@
+//! Linear-system representation shared by the simplex and Fourier–Motzkin
+//! solvers, plus machine-checkable Farkas/Carver infeasibility certificates.
+
+use std::fmt;
+
+use abc_rational::Ratio;
+
+/// Relation of a single row `a·x (rel) b`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Rel {
+    /// Strict inequality `a·x < b`.
+    Lt,
+    /// Non-strict inequality `a·x ≤ b`.
+    Le,
+    /// Equality `a·x = b`.
+    Eq,
+}
+
+impl fmt::Display for Rel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rel::Lt => write!(f, "<"),
+            Rel::Le => write!(f, "<="),
+            Rel::Eq => write!(f, "="),
+        }
+    }
+}
+
+/// A single constraint row.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Row {
+    /// Dense coefficient vector, one entry per variable.
+    pub coeffs: Vec<Ratio>,
+    /// Relation between `coeffs · x` and `rhs`.
+    pub rel: Rel,
+    /// Right-hand side.
+    pub rhs: Ratio,
+}
+
+/// A system of linear constraints over free (sign-unrestricted) rational
+/// variables.
+///
+/// # Example
+///
+/// ```
+/// use abc_lp::{LinearSystem, Rel};
+/// use abc_rational::Ratio;
+///
+/// let mut sys = LinearSystem::new(2);
+/// sys.push_le(vec![Ratio::new(1, 1), Ratio::new(1, 1)], Ratio::from_integer(3));
+/// sys.push_lt(vec![Ratio::new(-1, 1), Ratio::new(0, 1)], Ratio::from_integer(0));
+/// assert_eq!(sys.num_rows(), 2);
+/// assert!(sys.satisfied_by(&[Ratio::from_integer(1), Ratio::from_integer(1)]));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LinearSystem {
+    num_vars: usize,
+    rows: Vec<Row>,
+}
+
+/// Errors reported by the LP solvers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LpError {
+    /// A row's coefficient vector length differs from the declared number of
+    /// variables.
+    DimensionMismatch {
+        /// Index of the offending row.
+        row: usize,
+        /// Its coefficient count.
+        got: usize,
+        /// The system's variable count.
+        expected: usize,
+    },
+    /// The objective LP was unbounded (cannot happen for the internally
+    /// generated gap objective; reported for user-supplied objectives).
+    Unbounded,
+    /// Pivot limit exceeded — indicates a bug, since Bland's rule terminates.
+    PivotLimit,
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::DimensionMismatch { row, got, expected } => write!(
+                f,
+                "row {row} has {got} coefficients but the system has {expected} variables"
+            ),
+            LpError::Unbounded => write!(f, "objective is unbounded"),
+            LpError::PivotLimit => write!(f, "simplex pivot limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+impl LinearSystem {
+    /// Creates an empty system over `num_vars` free variables.
+    #[must_use]
+    pub fn new(num_vars: usize) -> LinearSystem {
+        LinearSystem { num_vars, rows: Vec::new() }
+    }
+
+    /// Number of variables.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of constraint rows.
+    #[must_use]
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The constraint rows.
+    #[must_use]
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Returns `true` iff at least one row is strict (`<`).
+    #[must_use]
+    pub fn has_strict_rows(&self) -> bool {
+        self.rows.iter().any(|r| r.rel == Rel::Lt)
+    }
+
+    /// Adds a row `coeffs · x (rel) rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len() != self.num_vars()`.
+    pub fn push(&mut self, coeffs: Vec<Ratio>, rel: Rel, rhs: Ratio) {
+        assert_eq!(
+            coeffs.len(),
+            self.num_vars,
+            "row has {} coefficients but the system has {} variables",
+            coeffs.len(),
+            self.num_vars
+        );
+        self.rows.push(Row { coeffs, rel, rhs });
+    }
+
+    /// Adds a strict row `coeffs · x < rhs`.
+    pub fn push_lt(&mut self, coeffs: Vec<Ratio>, rhs: Ratio) {
+        self.push(coeffs, Rel::Lt, rhs);
+    }
+
+    /// Adds a non-strict row `coeffs · x ≤ rhs`.
+    pub fn push_le(&mut self, coeffs: Vec<Ratio>, rhs: Ratio) {
+        self.push(coeffs, Rel::Le, rhs);
+    }
+
+    /// Adds an equality row `coeffs · x = rhs`.
+    pub fn push_eq(&mut self, coeffs: Vec<Ratio>, rhs: Ratio) {
+        self.push(coeffs, Rel::Eq, rhs);
+    }
+
+    /// Evaluates `coeffs · x` for row `row`.
+    #[must_use]
+    pub fn eval_row(&self, row: usize, x: &[Ratio]) -> Ratio {
+        self.rows[row]
+            .coeffs
+            .iter()
+            .zip(x.iter())
+            .map(|(a, v)| a * v)
+            .sum()
+    }
+
+    /// Checks whether `x` satisfies every row (with exact arithmetic).
+    #[must_use]
+    pub fn satisfied_by(&self, x: &[Ratio]) -> bool {
+        if x.len() != self.num_vars {
+            return false;
+        }
+        self.rows.iter().enumerate().all(|(i, row)| {
+            let lhs = self.eval_row(i, x);
+            match row.rel {
+                Rel::Lt => lhs < row.rhs,
+                Rel::Le => lhs <= row.rhs,
+                Rel::Eq => lhs == row.rhs,
+            }
+        })
+    }
+}
+
+/// A feasible solution of a [`LinearSystem`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Solution {
+    /// Variable assignment.
+    pub values: Vec<Ratio>,
+    /// For systems with strict rows: the uniform slack achieved on strict
+    /// rows (`coeffs · x + gap ≤ rhs` for every strict row); positive by
+    /// construction. [`Ratio::zero`] for systems without strict rows.
+    pub gap: Ratio,
+}
+
+/// A Farkas/Carver infeasibility certificate: one multiplier per row of the
+/// original system.
+///
+/// For a mixed system with inequality rows `I` (both `<` and `≤`), strict
+/// rows `S ⊆ I`, and equality rows `E`, the certificate proves
+/// infeasibility when
+///
+/// * `y_i ≥ 0` for all `i ∈ I` (equality rows may have any sign),
+/// * `yᵀA = 0`,
+/// * and either `yᵀb < 0`, or `yᵀb = 0` with `Σ_{i ∈ S} y_i > 0`.
+///
+/// The second disjunct is Carver's refinement for strict systems: a
+/// non-negative combination of the rows yielding `0 < 0`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FarkasCertificate {
+    /// Row multipliers, aligned with [`LinearSystem::rows`].
+    pub multipliers: Vec<Ratio>,
+}
+
+impl FarkasCertificate {
+    /// Verifies the certificate against `sys` in exact arithmetic.
+    ///
+    /// Returns `true` iff the multipliers genuinely prove infeasibility.
+    #[must_use]
+    pub fn verify(&self, sys: &LinearSystem) -> bool {
+        if self.multipliers.len() != sys.num_rows() {
+            return false;
+        }
+        // Sign conditions.
+        for (y, row) in self.multipliers.iter().zip(sys.rows()) {
+            if row.rel != Rel::Eq && y.is_negative() {
+                return false;
+            }
+        }
+        if self.multipliers.iter().all(Ratio::is_zero) {
+            return false;
+        }
+        // yᵀA = 0.
+        for var in 0..sys.num_vars() {
+            let combo: Ratio = self
+                .multipliers
+                .iter()
+                .zip(sys.rows())
+                .map(|(y, row)| y * &row.coeffs[var])
+                .sum();
+            if !combo.is_zero() {
+                return false;
+            }
+        }
+        // yᵀb < 0, or yᵀb = 0 with positive weight on a strict row.
+        let ytb: Ratio = self
+            .multipliers
+            .iter()
+            .zip(sys.rows())
+            .map(|(y, row)| y * &row.rhs)
+            .sum();
+        if ytb.is_negative() {
+            return true;
+        }
+        if ytb.is_zero() {
+            let strict_weight: Ratio = self
+                .multipliers
+                .iter()
+                .zip(sys.rows())
+                .filter(|(_, row)| row.rel == Rel::Lt)
+                .map(|(y, _)| y.clone())
+                .sum();
+            return strict_weight.is_positive();
+        }
+        false
+    }
+}
+
+/// Outcome of a feasibility query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Feasibility {
+    /// The system is satisfiable; a witness is attached.
+    Feasible(Solution),
+    /// The system is unsatisfiable; a Farkas/Carver certificate is attached.
+    Infeasible(FarkasCertificate),
+}
+
+impl Feasibility {
+    /// Returns the solution if feasible.
+    #[must_use]
+    pub fn solution(&self) -> Option<&Solution> {
+        match self {
+            Feasibility::Feasible(s) => Some(s),
+            Feasibility::Infeasible(_) => None,
+        }
+    }
+
+    /// Returns the certificate if infeasible.
+    #[must_use]
+    pub fn certificate(&self) -> Option<&FarkasCertificate> {
+        match self {
+            Feasibility::Feasible(_) => None,
+            Feasibility::Infeasible(c) => Some(c),
+        }
+    }
+
+    /// `true` iff feasible.
+    #[must_use]
+    pub fn is_feasible(&self) -> bool {
+        matches!(self, Feasibility::Feasible(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(v: i64) -> Ratio {
+        Ratio::from_integer(v)
+    }
+
+    #[test]
+    fn satisfied_by_respects_strictness() {
+        let mut sys = LinearSystem::new(1);
+        sys.push_lt(vec![r(1)], r(1));
+        assert!(sys.satisfied_by(&[Ratio::new(1, 2)]));
+        assert!(!sys.satisfied_by(&[r(1)]));
+
+        let mut sys2 = LinearSystem::new(1);
+        sys2.push_le(vec![r(1)], r(1));
+        assert!(sys2.satisfied_by(&[r(1)]));
+
+        let mut sys3 = LinearSystem::new(1);
+        sys3.push_eq(vec![r(2)], r(4));
+        assert!(sys3.satisfied_by(&[r(2)]));
+        assert!(!sys3.satisfied_by(&[r(1)]));
+    }
+
+    #[test]
+    fn satisfied_by_rejects_wrong_dimension() {
+        let sys = LinearSystem::new(2);
+        assert!(!sys.satisfied_by(&[r(0)]));
+    }
+
+    #[test]
+    #[should_panic(expected = "coefficients")]
+    fn push_panics_on_dimension_mismatch() {
+        let mut sys = LinearSystem::new(2);
+        sys.push_le(vec![r(1)], r(0));
+    }
+
+    #[test]
+    fn certificate_verification_catches_bad_multipliers() {
+        // x < 1 and -x < -1 is infeasible with y = (1, 1): 0 < 0.
+        let mut sys = LinearSystem::new(1);
+        sys.push_lt(vec![r(1)], r(1));
+        sys.push_lt(vec![r(-1)], r(-1));
+        let good = FarkasCertificate { multipliers: vec![r(1), r(1)] };
+        assert!(good.verify(&sys));
+        // Wrong: combination does not vanish.
+        let bad = FarkasCertificate { multipliers: vec![r(1), r(2)] };
+        assert!(!bad.verify(&sys));
+        // Wrong: all-zero certificate proves nothing.
+        let zero = FarkasCertificate { multipliers: vec![r(0), r(0)] };
+        assert!(!zero.verify(&sys));
+        // Wrong: negative multiplier on an inequality row.
+        let neg = FarkasCertificate { multipliers: vec![r(-1), r(-1)] };
+        assert!(!neg.verify(&sys));
+    }
+
+    #[test]
+    fn certificate_requires_strict_weight_when_ytb_zero() {
+        // x <= 1 and -x <= -1 is weakly feasible (x = 1); y = (1,1) gives
+        // yᵀb = 0 but no strict row, so it must NOT verify.
+        let mut sys = LinearSystem::new(1);
+        sys.push_le(vec![r(1)], r(1));
+        sys.push_le(vec![r(-1)], r(-1));
+        let cert = FarkasCertificate { multipliers: vec![r(1), r(1)] };
+        assert!(!cert.verify(&sys));
+    }
+
+    #[test]
+    fn certificate_allows_negative_multiplier_on_equality_rows() {
+        // x = 1 and x < 1: infeasible via y_eq = -1, y_lt = 1 => 0 < 0.
+        let mut sys = LinearSystem::new(1);
+        sys.push_eq(vec![r(1)], r(1));
+        sys.push_lt(vec![r(1)], r(1));
+        let cert = FarkasCertificate { multipliers: vec![r(-1), r(1)] };
+        assert!(cert.verify(&sys));
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests: the exact simplex against the independent
+//! Fourier–Motzkin oracle on random small systems, plus certificate and
+//! witness validity.
+
+use abc_lp::{fourier_motzkin, simplex, LinearSystem, Rel};
+use abc_rational::Ratio;
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+struct RawRow {
+    coeffs: Vec<i8>,
+    rel: u8,
+    rhs: i8,
+}
+
+fn system_strategy() -> impl Strategy<Value = LinearSystem> {
+    (1usize..4)
+        .prop_flat_map(|nvars| {
+            proptest::collection::vec(
+                (
+                    proptest::collection::vec(-3i8..4, nvars),
+                    0u8..3,
+                    -5i8..6,
+                )
+                    .prop_map(|(coeffs, rel, rhs)| RawRow { coeffs, rel, rhs }),
+                0..6,
+            )
+            .prop_map(move |rows| (nvars, rows))
+        })
+        .prop_map(|(nvars, rows)| {
+            let mut sys = LinearSystem::new(nvars);
+            for r in rows {
+                let coeffs: Vec<Ratio> =
+                    r.coeffs.iter().map(|c| Ratio::from_integer(i64::from(*c))).collect();
+                let rhs = Ratio::from_integer(i64::from(r.rhs));
+                let rel = match r.rel {
+                    0 => Rel::Lt,
+                    1 => Rel::Le,
+                    _ => Rel::Eq,
+                };
+                sys.push(coeffs, rel, rhs);
+            }
+            sys
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Simplex and Fourier–Motzkin agree on feasibility, and their
+    /// artifacts (witnesses / certificates) verify.
+    #[test]
+    fn simplex_agrees_with_fourier_motzkin(sys in system_strategy()) {
+        let a = simplex::solve(&sys).unwrap();
+        let b = fourier_motzkin::solve(&sys).unwrap();
+        prop_assert_eq!(a.is_feasible(), b.is_feasible(), "system: {:?}", sys);
+        if let Some(sol) = a.solution() {
+            prop_assert!(sys.satisfied_by(&sol.values));
+            if sys.has_strict_rows() {
+                prop_assert!(sol.gap.is_positive());
+            }
+        }
+        if let Some(cert) = a.certificate() {
+            prop_assert!(cert.verify(&sys), "simplex certificate invalid");
+        }
+        if let Some(sol) = b.solution() {
+            prop_assert!(sys.satisfied_by(&sol.values));
+        }
+        if let Some(cert) = b.certificate() {
+            prop_assert!(cert.verify(&sys), "FM certificate invalid");
+        }
+    }
+
+    /// Adding a satisfied row never flips a feasible system to infeasible;
+    /// scaling a row by a positive constant never changes feasibility.
+    #[test]
+    fn row_scaling_invariance(sys in system_strategy(), scale in 1i64..5) {
+        let a = simplex::solve(&sys).unwrap().is_feasible();
+        let mut scaled = LinearSystem::new(sys.num_vars());
+        for row in sys.rows() {
+            let coeffs: Vec<Ratio> =
+                row.coeffs.iter().map(|c| c * &Ratio::from_integer(scale)).collect();
+            scaled.push(coeffs, row.rel, &row.rhs * &Ratio::from_integer(scale));
+        }
+        let b = simplex::solve(&scaled).unwrap().is_feasible();
+        prop_assert_eq!(a, b);
+    }
+
+    /// The difference-constraint solver agrees with the simplex on systems
+    /// that happen to be difference-shaped.
+    #[test]
+    fn diffcon_agrees_with_simplex(
+        edges in proptest::collection::vec((0usize..4, 0usize..4, -4i64..5, any::<bool>()), 1..7)
+    ) {
+        use abc_lp::diffcon::{self, DiffConstraint};
+        let n = 4;
+        let cs: Vec<DiffConstraint> = edges
+            .iter()
+            .filter(|(u, v, _, _)| u != v)
+            .map(|(u, v, c, strict)| {
+                if *strict {
+                    DiffConstraint::lt(*u, *v, Ratio::from_integer(*c))
+                } else {
+                    DiffConstraint::le(*u, *v, Ratio::from_integer(*c))
+                }
+            })
+            .collect();
+        prop_assume!(!cs.is_empty());
+        let mut sys = LinearSystem::new(n);
+        for c in &cs {
+            let mut coeffs = vec![Ratio::zero(); n];
+            coeffs[c.u] = Ratio::from_integer(1);
+            coeffs[c.v] += Ratio::from_integer(-1);
+            sys.push(
+                coeffs,
+                if c.strict { Rel::Lt } else { Rel::Le },
+                c.bound.clone(),
+            );
+        }
+        let lp_feasible = simplex::solve(&sys).unwrap().is_feasible();
+        match diffcon::solve(n, &cs) {
+            Ok(x) => {
+                prop_assert!(lp_feasible);
+                prop_assert!(cs.iter().all(|c| c.satisfied_by(&x)));
+            }
+            Err(cycle) => {
+                prop_assert!(!lp_feasible);
+                prop_assert!(cycle.verify(&cs));
+            }
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! The Archimedean model (Vitányi 1984).
+//!
+//! Bounds the ratio `s ≥ u/c` between `u` — the maximum computing step time
+//! plus transmission delay — and `c` — the minimum computing step time. On
+//! timed executions of zero-time-step systems we read "step time" as the
+//! spacing of consecutive events at a process, giving the checker below.
+
+use abc_core::graph::{ExecutionGraph, ProcessId};
+use abc_core::timed::TimedGraph;
+use abc_rational::Ratio;
+
+/// The observed Archimedean ratio `u/c`: maximum (inter-step gap or message
+/// delay) over minimum inter-step gap. `None` when no process took two
+/// steps.
+#[must_use]
+pub fn observed_ratio(g: &ExecutionGraph, timed: &TimedGraph) -> Option<Ratio> {
+    let mut min_gap: Option<Ratio> = None;
+    let mut max_quantity: Option<Ratio> = None;
+    for p in 0..g.num_processes() {
+        for w in g.events_of(ProcessId(p)).windows(2) {
+            let gap = timed.time(w[1]) - timed.time(w[0]);
+            min_gap = Some(match min_gap {
+                None => gap.clone(),
+                Some(m) => m.min(gap.clone()),
+            });
+            max_quantity = Some(match max_quantity {
+                None => gap,
+                Some(m) => m.max(gap),
+            });
+        }
+    }
+    for m in g.effective_messages() {
+        let d = timed.message_delay(g, m.id);
+        max_quantity = Some(match max_quantity {
+            None => d,
+            Some(m) => m.max(d),
+        });
+    }
+    let (lo, hi) = (min_gap?, max_quantity?);
+    if lo.is_zero() {
+        return None; // unbounded
+    }
+    Some(&hi / &lo)
+}
+
+/// Whether the execution is Archimedean-admissible for ratio bound `s`.
+#[must_use]
+pub fn is_admissible(g: &ExecutionGraph, timed: &TimedGraph, s: &Ratio) -> bool {
+    match observed_ratio(g, timed) {
+        None => g.events_of(ProcessId(0)).len() <= 1, // degenerate: vacuous
+        Some(r) => &r <= s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_execution_has_small_ratio() {
+        let mut b = ExecutionGraph::builder(2);
+        let a = b.init(ProcessId(0));
+        b.init(ProcessId(1));
+        let (_, r1) = b.send(a, ProcessId(1));
+        let (_, _r2) = b.send(r1, ProcessId(0));
+        let g = b.finish();
+        let timed = TimedGraph::from_integer_times(&[0, 0, 5, 10]);
+        let r = observed_ratio(&g, &timed).unwrap();
+        assert_eq!(r, Ratio::from_integer(2)); // gaps 5,10; delays 5,5; min 5
+        assert!(is_admissible(&g, &timed, &Ratio::from_integer(2)));
+        assert!(!is_admissible(&g, &timed, &Ratio::new(3, 2)));
+    }
+
+    #[test]
+    fn growing_delay_execution_violates_every_s() {
+        // One process steps fast while another's messages take ever longer.
+        let mut b = ExecutionGraph::builder(2);
+        let a = b.init(ProcessId(0));
+        b.init(ProcessId(1));
+        let (_, r1) = b.send(a, ProcessId(0)); // delay 1 (min gap 1)
+        let (_, _r2) = b.send(r1, ProcessId(1)); // delay 10_000
+        let g = b.finish();
+        let timed = TimedGraph::from_integer_times(&[0, 0, 1, 10_001]);
+        let r = observed_ratio(&g, &timed).unwrap();
+        assert!(r >= Ratio::from_integer(10_000));
+    }
+}

@@ -1,0 +1,113 @@
+//! The Finite Average Response time (FAR) model (Fetzer, Schmid &
+//! Süßkraut).
+//!
+//! FAR assumes (i) an unknown lower bound on computing step times and
+//! (ii) a finite average of round-trip delays between correct process
+//! pairs. Delays may grow without bound as long as enough short round
+//! trips compensate — which is exactly what fails for the paper's
+//! spacecraft-formation scenario (§5.3): delays that grow *monotonically*
+//! have diverging running averages, so FAR rejects executions the ABC
+//! model admits.
+//!
+//! The checker below tests the operational consequence on a finite trace:
+//! whether the running average of message delays stays below a budget `A`
+//! at every prefix (a finite-trace proxy for "finite average"; the
+//! experiments sweep `A` and show divergence for growing-delay families).
+
+use abc_core::graph::ExecutionGraph;
+use abc_core::timed::TimedGraph;
+use abc_rational::Ratio;
+
+/// The running averages of effective-message delays, per prefix of the
+/// execution (messages ordered by send time).
+#[must_use]
+pub fn running_average_delays(g: &ExecutionGraph, timed: &TimedGraph) -> Vec<Ratio> {
+    let mut delays: Vec<(Ratio, Ratio)> = g
+        .effective_messages()
+        .map(|m| (timed.time(m.from).clone(), timed.message_delay(g, m.id)))
+        .collect();
+    delays.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out = Vec::with_capacity(delays.len());
+    let mut sum = Ratio::zero();
+    for (i, (_, d)) in delays.into_iter().enumerate() {
+        sum += d;
+        out.push(&sum / &Ratio::from_integer(i as i64 + 1));
+    }
+    out
+}
+
+/// FAR admissibility proxy: every prefix average stays at or below `budget`
+/// and the minimum inter-event gap is at least `min_step`.
+#[must_use]
+pub fn is_admissible(
+    g: &ExecutionGraph,
+    timed: &TimedGraph,
+    budget: &Ratio,
+    min_step: &Ratio,
+) -> bool {
+    for p in 0..g.num_processes() {
+        for w in g.events_of(abc_core::ProcessId(p)).windows(2) {
+            if &(timed.time(w[1]) - timed.time(w[0])) < min_step {
+                return false;
+            }
+        }
+    }
+    running_average_delays(g, timed).iter().all(|avg| avg <= budget)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abc_core::ProcessId;
+
+    /// p0 sends `k` messages to p1 with delays `d(i)`.
+    fn chain(delays: &[i64]) -> (ExecutionGraph, TimedGraph) {
+        let mut b = ExecutionGraph::builder(2);
+        let mut cur = b.init(ProcessId(0));
+        b.init(ProcessId(1));
+        let mut times = vec![0i64, 0];
+        let mut t = 0;
+        for (i, d) in delays.iter().enumerate() {
+            // Alternate a self-message to advance p0's line, then the send.
+            let dest = ProcessId(1);
+            let (_, recv) = b.send(cur, dest);
+            t += d;
+            times.push(t);
+            // Continue the chain from p1's event back at p0 via reply.
+            let (_, back) = b.send(recv, ProcessId(0));
+            t += 1;
+            times.push(t);
+            cur = back;
+            let _ = i;
+        }
+        (b.finish(), TimedGraph::from_integer_times(&times))
+    }
+
+    #[test]
+    fn bounded_delays_have_bounded_average()
+    {
+        let (g, timed) = chain(&[5, 5, 5, 5]);
+        let avgs = running_average_delays(&g, &timed);
+        assert!(avgs.iter().all(|a| a <= &Ratio::from_integer(5)));
+        assert!(is_admissible(&g, &timed, &Ratio::from_integer(5), &Ratio::new(1, 2)));
+    }
+
+    #[test]
+    fn growing_delays_diverge() {
+        // Delays 10, 100, 1000, 10000: the running average diverges past
+        // any fixed budget.
+        let (g, timed) = chain(&[10, 100, 1_000, 10_000]);
+        let avgs = running_average_delays(&g, &timed);
+        assert!(avgs.last().unwrap() > &Ratio::from_integer(1_000));
+        assert!(!is_admissible(&g, &timed, &Ratio::from_integer(100), &Ratio::new(1, 2)));
+    }
+
+    #[test]
+    fn short_steps_violate_min_step() {
+        // p1's inter-event gap is 5 (< 6), so a min-step bound of 6 fails
+        // even though the delay budget is met.
+        let (g, timed) = chain(&[5, 5]);
+        assert!(is_admissible(&g, &timed, &Ratio::from_integer(10), &Ratio::from_integer(5)));
+        assert!(!is_admissible(&g, &timed, &Ratio::from_integer(10), &Ratio::from_integer(6)));
+    }
+}

@@ -1,0 +1,31 @@
+//! The partially synchronous model zoo of the ABC paper (Sections 1 and 5).
+//!
+//! The paper positions the ABC model against seven families of partially
+//! synchronous models. This crate implements admissibility checkers for
+//! each — all operating on the same timed execution graphs that `abc-sim`
+//! produces — plus constructions of the paper's separation scenarios:
+//!
+//! | Model | Module | Synchrony condition (checked) |
+//! |---|---|---|
+//! | Θ-Model (Le Lann/Schmid/Widder) | [`theta`] | `τ⁺(t)/τ⁻(t) ≤ Θ` at all times |
+//! | ParSync / DLS (Dwork–Lynch–Stockmeyer) | [`parsync`] | relative speed `Φ`, delay `Δ` (in fastest-step units) |
+//! | Archimedean (Vitányi) | [`archimedean`] | `(step + delay) / min-step ≤ s` |
+//! | FAR (Fetzer–Schmid–Süßkraut) | [`far`] | lower-bounded steps, finite average delay |
+//! | MCM (Fetzer) | [`mcm`] | slow/fast classifiable with factor-2 gap |
+//! | MMR (Mostefaoui–Mourgaya–Raynal) | [`mmr`] | fixed quorum among first `n−f` responders |
+//! | ABC (this paper) | `abc_core::check` | `|Z−|/|Z+| < Ξ` on relevant cycles |
+//!
+//! [`scenarios`] builds the paper's separation witnesses: Fig. 8 (the
+//! Prover/Adversary game defeating every `(Φ, Δ)`), Fig. 9 (2-hop delay
+//! compensation), Fig. 10 (ABC-enforced FIFO under unbounded delays), and
+//! the spacecraft-formation growing-delay family.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod archimedean;
+pub mod far;
+pub mod mcm;
+pub mod mmr;
+pub mod parsync;
+pub mod scenarios;
+pub mod theta;

@@ -1,0 +1,129 @@
+//! The Message Classification Model (Fetzer 1998).
+//!
+//! MCM assumes every received message is correctly flagged *slow* or *fast*
+//! such that every slow delay strictly exceeds **twice** every fast delay,
+//! with at least one process communicating bidirectionally via fast
+//! messages with everyone (so "all slow" is not a loophole). The paper
+//! contrasts it with ABC: MCM uses local *slow* messages to time out fast
+//! round trips, ABC uses fast message *chains* to time out slow ones — and
+//! MCM's classification forbids any two simultaneously-in-transit messages
+//! with delay ratio in `(1, 2]` across the class boundary.
+//!
+//! [`classify`] decides whether a delay multiset admits any valid
+//! classification with a non-empty fast class.
+
+use abc_core::graph::ExecutionGraph;
+use abc_core::timed::TimedGraph;
+use abc_rational::Ratio;
+
+/// A valid MCM classification: delays at or below `fast_max` are fast,
+/// the rest slow, and `slow_min > 2·fast_max`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Classification {
+    /// The largest fast delay.
+    pub fast_max: Ratio,
+    /// The smallest slow delay (`None` if everything is fast).
+    pub slow_min: Option<Ratio>,
+    /// Number of fast messages.
+    pub fast_count: usize,
+    /// Number of slow messages.
+    pub slow_count: usize,
+}
+
+/// Finds a classification of the effective-message delays with the largest
+/// possible fast class, or `None` if no valid classification exists.
+///
+/// A classification is valid when every slow delay is more than twice
+/// every fast delay; the all-fast classification is valid trivially, so
+/// `None` is only returned for empty delay sets.
+#[must_use]
+pub fn classify(g: &ExecutionGraph, timed: &TimedGraph) -> Option<Classification> {
+    let mut delays: Vec<Ratio> = g
+        .effective_messages()
+        .map(|m| timed.message_delay(g, m.id))
+        .collect();
+    delays.sort();
+    if delays.is_empty() {
+        return None;
+    }
+    let two = Ratio::from_integer(2);
+    // Largest split index i (delays[..i] fast, rest slow) with a factor-2
+    // gap: need delays[i] > 2·delays[i-1]. Prefer a populated slow class;
+    // fall back to the trivial all-fast classification.
+    for i in (1..delays.len()).rev() {
+        if delays[i] > &two * &delays[i - 1] {
+            return Some(Classification {
+                fast_max: delays[i - 1].clone(),
+                slow_min: Some(delays[i].clone()),
+                fast_count: i,
+                slow_count: delays.len() - i,
+            });
+        }
+    }
+    Some(Classification {
+        fast_max: delays.last().cloned().expect("nonempty"),
+        slow_min: None,
+        fast_count: delays.len(),
+        slow_count: 0,
+    })
+}
+
+/// Whether a *non-trivial* classification (both classes populated) exists —
+/// the situation MCM's timeout mechanism actually needs.
+#[must_use]
+pub fn has_two_class_classification(g: &ExecutionGraph, timed: &TimedGraph) -> bool {
+    matches!(
+        classify(g, timed),
+        Some(Classification { slow_min: Some(_), .. })
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abc_core::ProcessId;
+
+    fn delays_graph(delays: &[i64]) -> (ExecutionGraph, TimedGraph) {
+        let mut b = ExecutionGraph::builder(2);
+        let a = b.init(ProcessId(0));
+        b.init(ProcessId(1));
+        let mut times = vec![0i64, 0];
+        let mut sorted: Vec<i64> = delays.to_vec();
+        sorted.sort_unstable(); // receive order must be chronological
+        for d in &sorted {
+            b.send(a, ProcessId(1));
+            times.push(*d);
+        }
+        (b.finish(), TimedGraph::from_integer_times(&times))
+    }
+
+    #[test]
+    fn separated_delays_classify() {
+        let (g, t) = delays_graph(&[1, 2, 5, 6]);
+        let c = classify(&g, &t).unwrap();
+        assert_eq!(c.fast_count, 2);
+        assert_eq!(c.slow_count, 2);
+        assert_eq!(c.fast_max, Ratio::from_integer(2));
+        assert_eq!(c.slow_min, Some(Ratio::from_integer(5)));
+        assert!(has_two_class_classification(&g, &t));
+    }
+
+    #[test]
+    fn dense_delays_only_classify_trivially() {
+        // 4, 5, 6, 7: no split point has a factor-2 gap.
+        let (g, t) = delays_graph(&[4, 5, 6, 7]);
+        let c = classify(&g, &t).unwrap();
+        assert_eq!(c.slow_count, 0, "only the all-fast classification works");
+        assert!(!has_two_class_classification(&g, &t));
+    }
+
+    #[test]
+    fn largest_fast_class_is_preferred() {
+        // 1, 2, 10, 30: splits after 2 (10 > 4) and after 10 (30 > 20) are
+        // both valid; the classifier takes the larger fast class.
+        let (g, t) = delays_graph(&[1, 2, 10, 30]);
+        let c = classify(&g, &t).unwrap();
+        assert_eq!(c.fast_count, 3);
+        assert_eq!(c.slow_min, Some(Ratio::from_integer(30)));
+    }
+}

@@ -1,0 +1,234 @@
+//! The classic partially synchronous model of Dwork, Lynch & Stockmeyer
+//! ("ParSync"), and the Fig. 8 Prover/Adversary game.
+//!
+//! ParSync stipulates a bound `Φ` on relative computing speeds and a bound
+//! `Δ` on message delays, both relative to a global clock that ticks with
+//! every step. On *timed* executions we use the standard interpretation:
+//! normalize by the fastest observed inter-step gap `g` system-wide; the
+//! execution is ParSync-admissible iff every process's consecutive-step gap
+//! is at most `Φ·g` while the system is active, and every message delay is
+//! at most `Δ·g`.
+//!
+//! **Fig. 8**: for *every* `(Φ, Δ)` there is an ABC-admissible execution
+//! (for any `Ξ > 1`!) violating ParSync — a ping-pong chain makes `q` take
+//! arbitrarily many fast steps while a slow message to a silent `r` is in
+//! transit. [`fig8_execution`] constructs it; the experiment sweeps the
+//! adversary's `(Φ, Δ)` choices.
+
+use abc_core::graph::{ExecutionGraph, ProcessId};
+use abc_core::timed::TimedGraph;
+use abc_core::{check, Xi};
+use abc_rational::Ratio;
+
+/// The ParSync parameters: relative speed bound `Φ` and delay bound `Δ`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParSyncParams {
+    /// Relative computing speed bound.
+    pub phi: u64,
+    /// Message delay bound, in fastest-step units.
+    pub delta: u64,
+}
+
+/// The verdict of [`check_parsync`], with the witnessing quantities.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParSyncVerdict {
+    /// Whether the execution is admissible for the parameters.
+    pub admissible: bool,
+    /// The fastest inter-step gap `g` used for normalization.
+    pub fastest_gap: Option<Ratio>,
+    /// The worst relative speed observed (`max gap / g`).
+    pub worst_speed_ratio: Option<Ratio>,
+    /// The worst delay observed in `g` units.
+    pub worst_delay_ratio: Option<Ratio>,
+}
+
+/// Checks ParSync admissibility of a timed execution.
+///
+/// A process's trailing gap (after its last event) is not charged: ParSync
+/// only bounds the spacing of steps that happen. Processes with fewer than
+/// two events contribute no gaps; the speed bound compares each process's
+/// step gaps against the globally fastest step, restricted to windows where
+/// the slower process still has a later step.
+#[must_use]
+pub fn check_parsync(
+    g: &ExecutionGraph,
+    timed: &TimedGraph,
+    params: &ParSyncParams,
+) -> ParSyncVerdict {
+    let mut gaps: Vec<Ratio> = Vec::new();
+    let mut per_process_max: Vec<Ratio> = Vec::new();
+    for p in 0..g.num_processes() {
+        let evs = g.events_of(ProcessId(p));
+        let mut local_max: Option<Ratio> = None;
+        for w in evs.windows(2) {
+            let gap = timed.time(w[1]) - timed.time(w[0]);
+            gaps.push(gap.clone());
+            local_max = Some(match local_max {
+                None => gap,
+                Some(m) => m.max(gap),
+            });
+        }
+        if let Some(m) = local_max {
+            per_process_max.push(m);
+        }
+    }
+    let fastest = gaps.iter().min().cloned();
+    let Some(gmin) = fastest.clone() else {
+        return ParSyncVerdict {
+            admissible: true,
+            fastest_gap: None,
+            worst_speed_ratio: None,
+            worst_delay_ratio: None,
+        };
+    };
+    let worst_gap = per_process_max.iter().max().cloned().unwrap();
+    let worst_speed = &worst_gap / &gmin;
+    let worst_delay = g
+        .effective_messages()
+        .map(|m| timed.message_delay(g, m.id))
+        .max()
+        .map(|d| &d / &gmin);
+    let speed_ok = worst_speed <= Ratio::from_integer(i64::try_from(params.phi).unwrap());
+    let delay_ok = worst_delay
+        .as_ref()
+        .is_none_or(|d| d <= &Ratio::from_integer(i64::try_from(params.delta).unwrap()));
+    ParSyncVerdict {
+        admissible: speed_ok && delay_ok,
+        fastest_gap: fastest,
+        worst_speed_ratio: Some(worst_speed),
+        worst_delay_ratio: worst_delay,
+    }
+}
+
+/// The Fig. 8 construction: `q` ping-pongs `k` times with `p` (fast chain)
+/// while a slow `k`-hop chain `q → s₁ → … → s_{k-1} → r` crawls toward the
+/// silent process `r`; finally `q`'s message closes the relevant cycle at
+/// `r`. Both chains have `k` messages, so the cycle ratio is exactly 1 —
+/// ABC-admissible for **every** `Ξ > 1` — while `q` executes `k` steps of
+/// duration 1 against message delays of `k·slow`, violating ParSync for
+/// any `(Φ, Δ)` with `Φ < hang/1` or `Δ < k·slow`.
+///
+/// Returns the graph and times; `k` and `slow` are chosen from the
+/// adversary's parameters so that both bounds break:
+/// `k = Φ + Δ + 2`, `slow = 2(Φ + Δ) + 4`.
+#[must_use]
+pub fn fig8_execution(params: &ParSyncParams) -> (ExecutionGraph, TimedGraph) {
+    let k = usize::try_from(params.phi + params.delta).unwrap() + 2;
+    let slow = i64::try_from(2 * (params.phi + params.delta) + 4).unwrap();
+    // Processes: 0 = q, 1 = p, 2 = r, 3.. = slow relays (k-1 of them).
+    let n = 3 + (k - 1);
+    let mut b = ExecutionGraph::builder(n);
+    let q0 = b.init(ProcessId(0));
+    for i in 1..n {
+        b.init(ProcessId(i));
+    }
+    let mut event_times: Vec<(usize, i64)> = (0..n).map(|e| (e, 0)).collect();
+    // Fast chain first (its arrival at r must precede the slow one in r's
+    // receive order): k−1 ping-pong messages q ↔ p of delay 1, then one
+    // closing message to r from wherever the chain ended.
+    let mut cur = q0;
+    let mut t = 0i64;
+    for i in 0..(k - 1) {
+        let dest = if i % 2 == 0 { ProcessId(1) } else { ProcessId(0) };
+        let (_, recv) = b.send(cur, dest);
+        t += 1;
+        event_times.push((recv.0, t));
+        cur = recv;
+    }
+    let (_, fast_at_r) = b.send(cur, ProcessId(2));
+    t += 1;
+    event_times.push((fast_at_r.0, t));
+    // Slow chain: q -> s1 -> ... -> s_{k-1} -> r, each hop takes `slow`;
+    // its arrival at r closes the relevant cycle (k slow backward vs
+    // k fast forward... ratio exactly 1).
+    let mut cur = q0;
+    let mut t = 0i64;
+    for hop in 0..k {
+        let dest = if hop == k - 1 { ProcessId(2) } else { ProcessId(3 + hop) };
+        let (_, recv) = b.send(cur, dest);
+        t += slow;
+        event_times.push((recv.0, t));
+        cur = recv;
+    }
+    let g = b.finish();
+    let mut full = vec![0i64; g.num_events()];
+    for (e, tt) in event_times {
+        full[e] = tt;
+    }
+    let timed = TimedGraph::from_integer_times(&full);
+    (g, timed)
+}
+
+/// Runs the Fig. 8 game for the adversary's `(Φ, Δ)`: returns
+/// `(abc_admissible_for_xi, parsync_verdict)`. The Prover wins when the
+/// first is `true` and the second is inadmissible.
+#[must_use]
+pub fn fig8_game(params: &ParSyncParams, xi: &Xi) -> (bool, ParSyncVerdict) {
+    let (g, timed) = fig8_execution(params);
+    debug_assert!(timed.validate(&g).is_ok());
+    let abc = check::is_admissible(&g, xi).expect("Xi fits");
+    let verdict = check_parsync(&g, &timed, params);
+    (abc, verdict)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prover_beats_every_adversary_choice() {
+        for (phi, delta) in [(2, 2), (3, 10), (10, 3), (20, 20)] {
+            let params = ParSyncParams { phi, delta };
+            for xi in [Xi::from_fraction(11, 10), Xi::from_integer(2), Xi::from_integer(10)] {
+                let (abc_ok, verdict) = fig8_game(&params, &xi);
+                assert!(abc_ok, "Fig 8 execution must be ABC-admissible (phi={phi}, delta={delta}, xi={xi})");
+                assert!(
+                    !verdict.admissible,
+                    "Fig 8 execution must violate ParSync (phi={phi}, delta={delta}): {verdict:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fig8_cycle_ratio_is_one() {
+        let (g, _) = fig8_execution(&ParSyncParams { phi: 3, delta: 3 });
+        assert_eq!(
+            check::max_relevant_cycle_ratio(&g),
+            Some(Ratio::from_integer(1))
+        );
+    }
+
+    #[test]
+    fn parsync_accepts_lockstep_executions() {
+        // Uniform gaps and delays: speed ratio 1, delay ratio = delay/gap.
+        let mut b = ExecutionGraph::builder(2);
+        let a = b.init(ProcessId(0));
+        b.init(ProcessId(1));
+        let (_, r1) = b.send(a, ProcessId(1));
+        let (_, _r2) = b.send(r1, ProcessId(0));
+        let g = b.finish();
+        let timed = TimedGraph::from_integer_times(&[0, 0, 5, 10]);
+        let v = check_parsync(&g, &timed, &ParSyncParams { phi: 2, delta: 2 });
+        assert!(v.admissible, "{v:?}");
+        // Gaps are 10 (p0) and 5 (p1): speed ratio exactly 2; delays 5 = 1g.
+        let v2 = check_parsync(&g, &timed, &ParSyncParams { phi: 2, delta: 1 });
+        assert!(v2.admissible, "speed 2, delay exactly 1x gap: {v2:?}");
+        let v3 = check_parsync(&g, &timed, &ParSyncParams { phi: 1, delta: 1 });
+        assert!(!v3.admissible, "speed ratio 2 exceeds phi = 1: {v3:?}");
+    }
+
+    #[test]
+    fn parsync_rejects_slow_processes() {
+        // p1 takes steps 100 apart while p0 steps 1 apart.
+        let mut b = ExecutionGraph::builder(2);
+        let a = b.init(ProcessId(0));
+        b.init(ProcessId(1));
+        let (_, r1) = b.send(a, ProcessId(0)); // self message: fast steps
+        let (_, _r2) = b.send(r1, ProcessId(1));
+        let g = b.finish();
+        let timed = TimedGraph::from_integer_times(&[0, 0, 1, 100]);
+        let v = check_parsync(&g, &timed, &ParSyncParams { phi: 10, delta: 200 });
+        assert!(!v.admissible, "{v:?}");
+    }
+}

@@ -1,0 +1,118 @@
+//! The Θ-Model (Le Lann & Schmid; Widder & Schmid) and Theorem 6.
+//!
+//! The static Θ-Model assumes unknown bounds `0 < τ⁻ ≤ τ⁺ < ∞` on the
+//! end-to-end delays of correct messages with known `Θ = τ⁺/τ⁻`; condition
+//! (3) of the paper then bounds the ratio of the delays of messages
+//! *simultaneously in transit* by `Θ` at all times.
+//!
+//! **Theorem 6** (`MΘ ⊆ MABC` for `Θ < Ξ`): every Θ-admissible execution
+//! satisfies the ABC condition, because a relevant cycle with
+//! `|Z−| ≥ Ξ·|Z+| > Θ·|Z+|` would need some forward/backward message pair
+//! in transit together with delay ratio exceeding `Θ`.
+//! [`theta_subset_abc_holds`] verifies exactly this implication on real
+//! simulated traces; the converse direction fails on the witnesses in
+//! [`crate::scenarios`] (zero-delay messages, growing delays).
+
+use abc_core::graph::ExecutionGraph;
+use abc_core::timed::TimedGraph;
+use abc_core::{check, Xi};
+use abc_rational::Ratio;
+
+/// The observed Θ of a timed execution: the supremum of `τ⁺(t)/τ⁻(t)`
+/// (condition (3)), `None` if no two messages ever overlap in transit,
+/// `Some(None)` if the ratio is unbounded (a zero-delay overlap).
+#[must_use]
+pub fn observed_theta(g: &ExecutionGraph, timed: &TimedGraph) -> Option<Option<Ratio>> {
+    timed.max_theta_ratio(g)
+}
+
+/// Whether the timed execution is admissible in the static Θ-Model with
+/// parameter `theta`.
+#[must_use]
+pub fn is_theta_admissible(g: &ExecutionGraph, timed: &TimedGraph, theta: &Ratio) -> bool {
+    timed.is_theta_admissible(g, theta)
+}
+
+/// Theorem 6 as an executable check: if the execution is Θ-admissible for
+/// `theta` and `theta < Ξ`, then it must satisfy the ABC condition for `Ξ`.
+///
+/// Returns `true` when the implication holds (including vacuously).
+///
+/// # Panics
+///
+/// Panics if the checker rejects `Ξ` (parts exceeding `i64`).
+#[must_use]
+pub fn theta_subset_abc_holds(
+    g: &ExecutionGraph,
+    timed: &TimedGraph,
+    theta: &Ratio,
+    xi: &Xi,
+) -> bool {
+    if theta >= xi.as_ratio() {
+        return true; // the theorem only speaks about Θ < Ξ
+    }
+    if !is_theta_admissible(g, timed, theta) {
+        return true; // vacuous
+    }
+    check::is_admissible(g, xi).expect("Xi fits checker weights")
+}
+
+/// The quantitative core of Theorem 6: the maximum relevant-cycle ratio of
+/// a Θ-admissible execution is at most `Θ`.
+///
+/// Returns `(max_cycle_ratio, observed_theta)` for reporting.
+#[must_use]
+pub fn cycle_ratio_vs_theta(
+    g: &ExecutionGraph,
+    timed: &TimedGraph,
+) -> (Option<Ratio>, Option<Option<Ratio>>) {
+    (check::max_relevant_cycle_ratio(g), observed_theta(g, timed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abc_clocksync::TickGen;
+    use abc_sim::delay::BandDelay;
+    use abc_sim::{RunLimits, Simulation};
+
+    #[test]
+    fn theorem6_on_simulated_band_traces() {
+        // Delays in [10, 25]: observed Θ ≤ 2.5 (plus tie-break fuzz).
+        for seed in 0..5u64 {
+            let mut sim = Simulation::new(BandDelay::new(10, 25, seed));
+            for _ in 0..4 {
+                sim.add_process(TickGen::new(4, 1));
+            }
+            sim.run(RunLimits { max_events: 800, max_time: u64::MAX });
+            let g = sim.trace().to_execution_graph();
+            let timed = sim.trace().to_timed_graph();
+            let theta = Ratio::new(26, 10); // just above 25/10 + fuzz
+            assert!(is_theta_admissible(&g, &timed, &theta), "seed {seed}");
+            // Theorem 6: cycle ratios bounded by observed theta.
+            let (ratio, obs) = cycle_ratio_vs_theta(&g, &timed);
+            if let (Some(r), Some(Some(t))) = (&ratio, &obs) {
+                assert!(r <= t, "cycle ratio {r} exceeds observed theta {t}");
+            }
+            let xi = Xi::new(Ratio::new(27, 10)).unwrap();
+            assert!(theta_subset_abc_holds(&g, &timed, &theta, &xi), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn implication_is_vacuous_when_theta_geq_xi() {
+        let mut sim = Simulation::new(BandDelay::new(1, 100, 1));
+        for _ in 0..3 {
+            sim.add_process(TickGen::new(3, 0));
+        }
+        sim.run(RunLimits { max_events: 100, max_time: u64::MAX });
+        let g = sim.trace().to_execution_graph();
+        let timed = sim.trace().to_timed_graph();
+        assert!(theta_subset_abc_holds(
+            &g,
+            &timed,
+            &Ratio::from_integer(1_000),
+            &Xi::from_integer(2)
+        ));
+    }
+}

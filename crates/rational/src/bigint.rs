@@ -1,0 +1,811 @@
+//! Arbitrary-precision signed integers.
+//!
+//! Representation: a [`Sign`] plus a little-endian vector of `u32` limbs with
+//! no trailing zero limbs. Zero is represented as `Sign::Zero` with an empty
+//! limb vector, which makes equality and hashing structural.
+//!
+//! The implementation favours clarity and verifiability over peak throughput:
+//! schoolbook multiplication and binary long division are ample for the
+//! coefficient growth seen in the exact simplex solver of `abc-lp` (hundreds
+//! of bits), and every primitive is exercised against an `i128` oracle by
+//! property tests.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::{Product, Sum};
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Rem, RemAssign, Sub, SubAssign};
+use std::str::FromStr;
+
+/// Sign of a [`BigInt`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Sign {
+    /// Strictly negative.
+    Minus,
+    /// Exactly zero.
+    Zero,
+    /// Strictly positive.
+    Plus,
+}
+
+impl Sign {
+    /// Flips `Plus` to `Minus` and vice versa; `Zero` is unchanged.
+    #[must_use]
+    pub fn negate(self) -> Sign {
+        match self {
+            Sign::Minus => Sign::Plus,
+            Sign::Zero => Sign::Zero,
+            Sign::Plus => Sign::Minus,
+        }
+    }
+}
+
+/// An arbitrary-precision signed integer.
+///
+/// # Example
+///
+/// ```
+/// use abc_rational::BigInt;
+///
+/// let a = BigInt::from(1_000_000_007_u64);
+/// let b = &a * &a;
+/// assert_eq!(b % &a, BigInt::from(0));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BigInt {
+    sign: Sign,
+    /// Little-endian base-2^32 magnitude; empty iff `sign == Sign::Zero`;
+    /// the most significant limb is never zero.
+    limbs: Vec<u32>,
+}
+
+/// Error returned when parsing a [`BigInt`] from a malformed string.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseBigIntError {
+    kind: ParseErrorKind,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum ParseErrorKind {
+    Empty,
+    InvalidDigit(char),
+}
+
+impl fmt::Display for ParseBigIntError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            ParseErrorKind::Empty => write!(f, "cannot parse integer from empty string"),
+            ParseErrorKind::InvalidDigit(c) => write!(f, "invalid digit {c:?} in integer literal"),
+        }
+    }
+}
+
+impl std::error::Error for ParseBigIntError {}
+
+// ---------------------------------------------------------------------------
+// Magnitude (unsigned limb-vector) primitives.
+// ---------------------------------------------------------------------------
+
+fn mag_trim(limbs: &mut Vec<u32>) {
+    while limbs.last() == Some(&0) {
+        limbs.pop();
+    }
+}
+
+fn mag_cmp(a: &[u32], b: &[u32]) -> Ordering {
+    if a.len() != b.len() {
+        return a.len().cmp(&b.len());
+    }
+    for i in (0..a.len()).rev() {
+        match a[i].cmp(&b[i]) {
+            Ordering::Equal => {}
+            other => return other,
+        }
+    }
+    Ordering::Equal
+}
+
+fn mag_add(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(long.len() + 1);
+    let mut carry = 0u64;
+    for i in 0..long.len() {
+        let mut sum = u64::from(long[i]) + carry;
+        if i < short.len() {
+            sum += u64::from(short[i]);
+        }
+        out.push(sum as u32);
+        carry = sum >> 32;
+    }
+    if carry != 0 {
+        out.push(carry as u32);
+    }
+    out
+}
+
+/// Computes `a - b`; requires `a >= b` (checked by callers via [`mag_cmp`]).
+fn mag_sub(a: &[u32], b: &[u32]) -> Vec<u32> {
+    debug_assert!(mag_cmp(a, b) != Ordering::Less);
+    let mut out = Vec::with_capacity(a.len());
+    let mut borrow = 0i64;
+    for i in 0..a.len() {
+        let mut diff = i64::from(a[i]) - borrow;
+        if i < b.len() {
+            diff -= i64::from(b[i]);
+        }
+        if diff < 0 {
+            diff += 1 << 32;
+            borrow = 1;
+        } else {
+            borrow = 0;
+        }
+        out.push(diff as u32);
+    }
+    debug_assert_eq!(borrow, 0);
+    mag_trim(&mut out);
+    out
+}
+
+fn mag_mul(a: &[u32], b: &[u32]) -> Vec<u32> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0u32; a.len() + b.len()];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let mut carry = 0u64;
+        for (j, &bj) in b.iter().enumerate() {
+            let cur = u64::from(out[i + j]) + u64::from(ai) * u64::from(bj) + carry;
+            out[i + j] = cur as u32;
+            carry = cur >> 32;
+        }
+        let mut k = i + b.len();
+        while carry != 0 {
+            let cur = u64::from(out[k]) + carry;
+            out[k] = cur as u32;
+            carry = cur >> 32;
+            k += 1;
+        }
+    }
+    mag_trim(&mut out);
+    out
+}
+
+fn mag_shl1(limbs: &mut Vec<u32>) {
+    let mut carry = 0u32;
+    for limb in limbs.iter_mut() {
+        let new_carry = *limb >> 31;
+        *limb = (*limb << 1) | carry;
+        carry = new_carry;
+    }
+    if carry != 0 {
+        limbs.push(carry);
+    }
+}
+
+fn mag_bit(limbs: &[u32], bit: usize) -> bool {
+    let limb = bit / 32;
+    let off = bit % 32;
+    limb < limbs.len() && (limbs[limb] >> off) & 1 == 1
+}
+
+fn mag_bits(limbs: &[u32]) -> usize {
+    match limbs.last() {
+        None => 0,
+        Some(&top) => (limbs.len() - 1) * 32 + (32 - top.leading_zeros() as usize),
+    }
+}
+
+fn mag_set_bit(limbs: &mut Vec<u32>, bit: usize) {
+    let limb = bit / 32;
+    while limbs.len() <= limb {
+        limbs.push(0);
+    }
+    limbs[limb] |= 1 << (bit % 32);
+}
+
+/// Division with remainder on magnitudes: returns `(quotient, remainder)`.
+///
+/// Uses binary long division: O(bits(a) * len(b)). Panics if `b` is zero.
+fn mag_div_rem(a: &[u32], b: &[u32]) -> (Vec<u32>, Vec<u32>) {
+    assert!(!b.is_empty(), "division by zero");
+    if mag_cmp(a, b) == Ordering::Less {
+        return (Vec::new(), a.to_vec());
+    }
+    // Fast path: single-limb divisor.
+    if b.len() == 1 {
+        let d = u64::from(b[0]);
+        let mut quot = vec![0u32; a.len()];
+        let mut rem = 0u64;
+        for i in (0..a.len()).rev() {
+            let cur = (rem << 32) | u64::from(a[i]);
+            quot[i] = (cur / d) as u32;
+            rem = cur % d;
+        }
+        mag_trim(&mut quot);
+        let mut r = Vec::new();
+        if rem != 0 {
+            r.push(rem as u32);
+        }
+        return (quot, r);
+    }
+    let bits = mag_bits(a);
+    let mut quot: Vec<u32> = Vec::new();
+    let mut rem: Vec<u32> = Vec::new();
+    for bit in (0..bits).rev() {
+        mag_shl1(&mut rem);
+        if mag_bit(a, bit) {
+            if rem.is_empty() {
+                rem.push(1);
+            } else {
+                rem[0] |= 1;
+            }
+        }
+        if mag_cmp(&rem, b) != Ordering::Less {
+            rem = mag_sub(&rem, b);
+            mag_set_bit(&mut quot, bit);
+        }
+    }
+    mag_trim(&mut quot);
+    (quot, rem)
+}
+
+// ---------------------------------------------------------------------------
+// Constructors and conversions.
+// ---------------------------------------------------------------------------
+
+impl BigInt {
+    /// The additive identity.
+    #[must_use]
+    pub fn zero() -> BigInt {
+        BigInt { sign: Sign::Zero, limbs: Vec::new() }
+    }
+
+    /// The multiplicative identity.
+    #[must_use]
+    pub fn one() -> BigInt {
+        BigInt::from(1u32)
+    }
+
+    fn from_mag(sign: Sign, mut limbs: Vec<u32>) -> BigInt {
+        mag_trim(&mut limbs);
+        if limbs.is_empty() {
+            BigInt::zero()
+        } else {
+            debug_assert!(sign != Sign::Zero);
+            BigInt { sign, limbs }
+        }
+    }
+
+    /// Returns the sign of this integer.
+    #[must_use]
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// Returns `true` iff this integer is zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.sign == Sign::Zero
+    }
+
+    /// Returns `true` iff this integer is strictly positive.
+    #[must_use]
+    pub fn is_positive(&self) -> bool {
+        self.sign == Sign::Plus
+    }
+
+    /// Returns `true` iff this integer is strictly negative.
+    #[must_use]
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Minus
+    }
+
+    /// Returns `true` iff this integer equals one.
+    #[must_use]
+    pub fn is_one(&self) -> bool {
+        self.sign == Sign::Plus && self.limbs == [1]
+    }
+
+    /// Returns the absolute value.
+    #[must_use]
+    pub fn abs(&self) -> BigInt {
+        match self.sign {
+            Sign::Minus => BigInt { sign: Sign::Plus, limbs: self.limbs.clone() },
+            _ => self.clone(),
+        }
+    }
+
+    /// Greatest common divisor (always non-negative; `gcd(0, 0) == 0`).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use abc_rational::BigInt;
+    /// assert_eq!(BigInt::from(-12).gcd(&BigInt::from(18)), BigInt::from(6));
+    /// ```
+    #[must_use]
+    pub fn gcd(&self, other: &BigInt) -> BigInt {
+        let mut a = self.limbs.clone();
+        let mut b = other.limbs.clone();
+        while !b.is_empty() {
+            let (_, r) = mag_div_rem(&a, &b);
+            a = b;
+            b = r;
+        }
+        BigInt::from_mag(if a.is_empty() { Sign::Zero } else { Sign::Plus }, a)
+    }
+
+    /// Simultaneous quotient and remainder (truncated division, like `/` and
+    /// `%` on Rust primitives: remainder takes the sign of the dividend).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` is zero.
+    #[must_use]
+    pub fn div_rem(&self, other: &BigInt) -> (BigInt, BigInt) {
+        assert!(!other.is_zero(), "division by zero");
+        let (q_mag, r_mag) = mag_div_rem(&self.limbs, &other.limbs);
+        let q_sign = if q_mag.is_empty() {
+            Sign::Zero
+        } else if self.sign == other.sign {
+            Sign::Plus
+        } else {
+            Sign::Minus
+        };
+        let r_sign = if r_mag.is_empty() { Sign::Zero } else { self.sign };
+        (BigInt::from_mag(q_sign, q_mag), BigInt::from_mag(r_sign, r_mag))
+    }
+
+    /// Converts to `i128`, returning `None` on overflow.
+    #[must_use]
+    pub fn to_i128(&self) -> Option<i128> {
+        if self.limbs.len() > 4 {
+            return None;
+        }
+        let mut mag: u128 = 0;
+        for (i, &limb) in self.limbs.iter().enumerate() {
+            mag |= u128::from(limb) << (32 * i);
+        }
+        match self.sign {
+            Sign::Zero => Some(0),
+            Sign::Plus => (mag <= i128::MAX as u128).then_some(mag as i128),
+            Sign::Minus => {
+                if mag <= i128::MAX as u128 {
+                    Some(-(mag as i128))
+                } else if mag == (i128::MAX as u128) + 1 {
+                    Some(i128::MIN)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Converts to `i64`, returning `None` on overflow.
+    #[must_use]
+    pub fn to_i64(&self) -> Option<i64> {
+        self.to_i128().and_then(|v| i64::try_from(v).ok())
+    }
+
+    /// Approximate conversion to `f64` (may lose precision or overflow to
+    /// infinity; intended for reporting only, never for decisions).
+    #[must_use]
+    pub fn to_f64(&self) -> f64 {
+        let mut mag = 0f64;
+        for &limb in self.limbs.iter().rev() {
+            mag = mag * 4294967296.0 + f64::from(limb);
+        }
+        match self.sign {
+            Sign::Minus => -mag,
+            _ => mag,
+        }
+    }
+
+    /// Number of significant bits of the magnitude (0 for zero).
+    #[must_use]
+    pub fn bits(&self) -> usize {
+        mag_bits(&self.limbs)
+    }
+}
+
+impl Default for BigInt {
+    fn default() -> BigInt {
+        BigInt::zero()
+    }
+}
+
+macro_rules! impl_from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for BigInt {
+            fn from(v: $t) -> BigInt {
+                #[allow(clippy::cast_lossless)]
+                let mut v = v as u128;
+                let mut limbs = Vec::new();
+                while v != 0 {
+                    limbs.push(v as u32);
+                    v >>= 32;
+                }
+                BigInt::from_mag(if limbs.is_empty() { Sign::Zero } else { Sign::Plus }, limbs)
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for BigInt {
+            fn from(v: $t) -> BigInt {
+                let neg = v < 0;
+                let mag = (v as i128).unsigned_abs();
+                let mut limbs = Vec::new();
+                let mut m = mag;
+                while m != 0 {
+                    limbs.push(m as u32);
+                    m >>= 32;
+                }
+                let sign = if limbs.is_empty() {
+                    Sign::Zero
+                } else if neg {
+                    Sign::Minus
+                } else {
+                    Sign::Plus
+                };
+                BigInt::from_mag(sign, limbs)
+            }
+        }
+    )*};
+}
+
+impl_from_unsigned!(u8, u16, u32, u64, u128, usize);
+impl_from_signed!(i8, i16, i32, i64, i128, isize);
+
+// ---------------------------------------------------------------------------
+// Ordering.
+// ---------------------------------------------------------------------------
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &BigInt) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &BigInt) -> Ordering {
+        match self.sign.cmp(&other.sign) {
+            Ordering::Equal => {}
+            other => return other,
+        }
+        match self.sign {
+            Sign::Zero => Ordering::Equal,
+            Sign::Plus => mag_cmp(&self.limbs, &other.limbs),
+            Sign::Minus => mag_cmp(&other.limbs, &self.limbs),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Arithmetic.
+// ---------------------------------------------------------------------------
+
+fn add_signed(a: &BigInt, b: &BigInt) -> BigInt {
+    match (a.sign, b.sign) {
+        (Sign::Zero, _) => b.clone(),
+        (_, Sign::Zero) => a.clone(),
+        (sa, sb) if sa == sb => BigInt::from_mag(sa, mag_add(&a.limbs, &b.limbs)),
+        (sa, _) => match mag_cmp(&a.limbs, &b.limbs) {
+            Ordering::Equal => BigInt::zero(),
+            Ordering::Greater => BigInt::from_mag(sa, mag_sub(&a.limbs, &b.limbs)),
+            Ordering::Less => BigInt::from_mag(sa.negate(), mag_sub(&b.limbs, &a.limbs)),
+        },
+    }
+}
+
+impl Neg for BigInt {
+    type Output = BigInt;
+    fn neg(mut self) -> BigInt {
+        self.sign = self.sign.negate();
+        self
+    }
+}
+
+impl Neg for &BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        -self.clone()
+    }
+}
+
+impl Add<&BigInt> for &BigInt {
+    type Output = BigInt;
+    fn add(self, rhs: &BigInt) -> BigInt {
+        add_signed(self, rhs)
+    }
+}
+
+impl Sub<&BigInt> for &BigInt {
+    type Output = BigInt;
+    fn sub(self, rhs: &BigInt) -> BigInt {
+        add_signed(self, &rhs.clone().neg())
+    }
+}
+
+impl Mul<&BigInt> for &BigInt {
+    type Output = BigInt;
+    fn mul(self, rhs: &BigInt) -> BigInt {
+        let sign = match (self.sign, rhs.sign) {
+            (Sign::Zero, _) | (_, Sign::Zero) => Sign::Zero,
+            (a, b) if a == b => Sign::Plus,
+            _ => Sign::Minus,
+        };
+        BigInt::from_mag(sign, mag_mul(&self.limbs, &rhs.limbs))
+    }
+}
+
+impl Div<&BigInt> for &BigInt {
+    type Output = BigInt;
+    fn div(self, rhs: &BigInt) -> BigInt {
+        self.div_rem(rhs).0
+    }
+}
+
+impl Rem<&BigInt> for &BigInt {
+    type Output = BigInt;
+    fn rem(self, rhs: &BigInt) -> BigInt {
+        self.div_rem(rhs).1
+    }
+}
+
+/// Forwards the owned/mixed operator impls to the by-reference ones.
+macro_rules! forward_binop {
+    ($trait:ident, $method:ident, $assign_trait:ident, $assign_method:ident) => {
+        impl $trait<BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: &BigInt) -> BigInt {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<BigInt> for &BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt {
+                self.$method(&rhs)
+            }
+        }
+        impl $assign_trait<BigInt> for BigInt {
+            fn $assign_method(&mut self, rhs: BigInt) {
+                *self = (&*self).$method(&rhs);
+            }
+        }
+        impl $assign_trait<&BigInt> for BigInt {
+            fn $assign_method(&mut self, rhs: &BigInt) {
+                *self = (&*self).$method(rhs);
+            }
+        }
+    };
+}
+
+forward_binop!(Add, add, AddAssign, add_assign);
+forward_binop!(Sub, sub, SubAssign, sub_assign);
+forward_binop!(Mul, mul, MulAssign, mul_assign);
+forward_binop!(Div, div, DivAssign, div_assign);
+forward_binop!(Rem, rem, RemAssign, rem_assign);
+
+impl Sum for BigInt {
+    fn sum<I: Iterator<Item = BigInt>>(iter: I) -> BigInt {
+        iter.fold(BigInt::zero(), |acc, v| acc + v)
+    }
+}
+
+impl<'a> Sum<&'a BigInt> for BigInt {
+    fn sum<I: Iterator<Item = &'a BigInt>>(iter: I) -> BigInt {
+        iter.fold(BigInt::zero(), |acc, v| acc + v)
+    }
+}
+
+impl Product for BigInt {
+    fn product<I: Iterator<Item = BigInt>>(iter: I) -> BigInt {
+        iter.fold(BigInt::one(), |acc, v| acc * v)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Formatting and parsing.
+// ---------------------------------------------------------------------------
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.pad_integral(true, "", "0");
+        }
+        // Repeatedly divide the magnitude by 10^9 to produce decimal chunks.
+        let mut mag = self.limbs.clone();
+        let chunk_div = [1_000_000_000u32];
+        let mut chunks: Vec<u32> = Vec::new();
+        while !mag.is_empty() {
+            let (q, r) = mag_div_rem(&mag, &chunk_div);
+            chunks.push(r.first().copied().unwrap_or(0));
+            mag = q;
+        }
+        let mut s = String::new();
+        for (i, chunk) in chunks.iter().enumerate().rev() {
+            if i == chunks.len() - 1 {
+                s.push_str(&chunk.to_string());
+            } else {
+                s.push_str(&format!("{chunk:09}"));
+            }
+        }
+        f.pad_integral(self.sign != Sign::Minus, "", &s)
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigInt({self})")
+    }
+}
+
+impl FromStr for BigInt {
+    type Err = ParseBigIntError;
+
+    fn from_str(s: &str) -> Result<BigInt, ParseBigIntError> {
+        let (neg, digits) = match s.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, s.strip_prefix('+').unwrap_or(s)),
+        };
+        if digits.is_empty() {
+            return Err(ParseBigIntError { kind: ParseErrorKind::Empty });
+        }
+        let mut acc = BigInt::zero();
+        let ten = BigInt::from(10u32);
+        for c in digits.chars() {
+            let d = c
+                .to_digit(10)
+                .ok_or(ParseBigIntError { kind: ParseErrorKind::InvalidDigit(c) })?;
+            acc = acc * &ten + BigInt::from(d);
+        }
+        if neg {
+            acc = -acc;
+        }
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(v: i128) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn zero_identities() {
+        assert!(BigInt::zero().is_zero());
+        assert_eq!(BigInt::zero(), BigInt::default());
+        assert_eq!(b(5) + BigInt::zero(), b(5));
+        assert_eq!(b(5) * BigInt::zero(), BigInt::zero());
+        assert_eq!(BigInt::zero().to_string(), "0");
+    }
+
+    #[test]
+    fn small_arithmetic() {
+        assert_eq!(b(2) + b(3), b(5));
+        assert_eq!(b(2) - b(3), b(-1));
+        assert_eq!(b(-2) * b(3), b(-6));
+        assert_eq!(b(7) / b(2), b(3));
+        assert_eq!(b(7) % b(2), b(1));
+        assert_eq!(b(-7) / b(2), b(-3));
+        assert_eq!(b(-7) % b(2), b(-1));
+        assert_eq!(b(7) / b(-2), b(-3));
+        assert_eq!(b(7) % b(-2), b(1));
+    }
+
+    #[test]
+    fn mixed_sign_addition_cancels() {
+        assert_eq!(b(100) + b(-100), BigInt::zero());
+        assert_eq!(b(-100) + b(40), b(-60));
+        assert_eq!(b(40) + b(-100), b(-60));
+    }
+
+    #[test]
+    fn large_multiplication_round_trips_via_division() {
+        let a: BigInt = "123456789012345678901234567890".parse().unwrap();
+        let c: BigInt = "987654321098765432109876543210987654321".parse().unwrap();
+        let prod = &a * &c;
+        assert_eq!(&prod / &a, c);
+        assert_eq!(&prod % &a, BigInt::zero());
+        assert_eq!((&prod + BigInt::one()) % &a, BigInt::one());
+    }
+
+    #[test]
+    fn display_multi_chunk() {
+        let a: BigInt = "1000000000000000000000".parse().unwrap();
+        assert_eq!(a.to_string(), "1000000000000000000000");
+        let m: BigInt = "-1000000001".parse().unwrap();
+        assert_eq!(m.to_string(), "-1000000001");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<BigInt>().is_err());
+        assert!("-".parse::<BigInt>().is_err());
+        assert!("12x3".parse::<BigInt>().is_err());
+        assert_eq!("+42".parse::<BigInt>().unwrap(), b(42));
+        assert_eq!("-0".parse::<BigInt>().unwrap(), BigInt::zero());
+    }
+
+    #[test]
+    fn ordering_crosses_signs_and_lengths() {
+        assert!(b(-1) < BigInt::zero());
+        assert!(BigInt::zero() < b(1));
+        assert!(b(i128::from(u64::MAX)) > b(1));
+        assert!(b(-i128::from(u64::MAX)) < b(-1));
+        let big: BigInt = "340282366920938463463374607431768211456".parse().unwrap(); // 2^128
+        assert!(big > b(i128::MAX));
+        assert_eq!(big.to_i128(), None);
+    }
+
+    #[test]
+    fn gcd_matches_euclid() {
+        assert_eq!(b(12).gcd(&b(18)), b(6));
+        assert_eq!(b(-12).gcd(&b(18)), b(6));
+        assert_eq!(b(0).gcd(&b(5)), b(5));
+        assert_eq!(b(5).gcd(&b(0)), b(5));
+        assert_eq!(b(0).gcd(&b(0)), BigInt::zero());
+        assert_eq!(b(17).gcd(&b(13)), b(1));
+    }
+
+    #[test]
+    fn to_i128_boundaries() {
+        assert_eq!(b(i128::MAX).to_i128(), Some(i128::MAX));
+        assert_eq!(b(i128::MIN).to_i128(), Some(i128::MIN));
+        assert_eq!((b(i128::MAX) + BigInt::one()).to_i128(), None);
+        assert_eq!((b(i128::MIN) - BigInt::one()).to_i128(), None);
+        assert_eq!(b(0).to_i128(), Some(0));
+    }
+
+    #[test]
+    fn bits_counts_magnitude() {
+        assert_eq!(BigInt::zero().bits(), 0);
+        assert_eq!(b(1).bits(), 1);
+        assert_eq!(b(255).bits(), 8);
+        assert_eq!(b(256).bits(), 9);
+        assert_eq!(b(-256).bits(), 9);
+        assert_eq!((b(1) << 100).bits(), 101);
+    }
+
+    impl std::ops::Shl<usize> for BigInt {
+        type Output = BigInt;
+        fn shl(self, rhs: usize) -> BigInt {
+            let mut out = self;
+            for _ in 0..rhs {
+                out = &out + &out.clone();
+            }
+            out
+        }
+    }
+
+    #[test]
+    fn division_binary_long_path() {
+        // Multi-limb divisor exercises the binary long-division path.
+        let a: BigInt = "987654321987654321987654321987654321".parse().unwrap();
+        let d: BigInt = "12345678901234567890".parse().unwrap();
+        let (q, r) = a.div_rem(&d);
+        assert_eq!(&q * &d + &r, a);
+        assert!(r >= BigInt::zero() && r < d);
+    }
+
+    #[test]
+    fn sum_and_product_impls() {
+        let v = vec![b(1), b(2), b(3), b(4)];
+        assert_eq!(v.iter().sum::<BigInt>(), b(10));
+        assert_eq!(v.into_iter().product::<BigInt>(), b(24));
+    }
+}

@@ -1,0 +1,43 @@
+//! Exact arithmetic for the ABC-model reproduction.
+//!
+//! The Asynchronous Bounded-Cycle model (Robinson & Schmid, PODC/SSS 2008,
+//! TCS 2011) proves its central model-indistinguishability result
+//! (Theorem 7/12) by exhibiting a solution to a system of *strict* linear
+//! inequalities `Ax < b` whose coefficients are built from the rational model
+//! parameter `Ξ > 1`. Deciding feasibility of that system — and verifying
+//! Farkas infeasibility certificates when the ABC synchrony condition is
+//! violated — must be done in exact arithmetic: floating point could both
+//! forge counterexamples to a theorem and "prove" assignments that do not
+//! exist.
+//!
+//! This crate provides the two number types the rest of the workspace builds
+//! on:
+//!
+//! * [`BigInt`] — an arbitrary-precision signed integer (sign + little-endian
+//!   `u32` limbs). Simplex pivoting grows coefficients quickly; fixed-width
+//!   integers overflow on execution graphs of even moderate size.
+//! * [`Ratio`] — an always-normalized exact rational built on [`BigInt`].
+//!
+//! Both types implement the full complement of arithmetic operators (owned
+//! and by-reference), total ordering, hashing, and decimal parsing/printing.
+//!
+//! # Example
+//!
+//! ```
+//! use abc_rational::{BigInt, Ratio};
+//!
+//! let xi = Ratio::new(3, 2); // Ξ = 3/2
+//! let ratio = Ratio::new(4, 3); // a relevant cycle with |Z−|=4, |Z+|=3
+//! assert!(ratio < xi, "cycle satisfies the ABC synchrony condition");
+//!
+//! let big = BigInt::from(u64::MAX) * BigInt::from(u64::MAX);
+//! assert_eq!(big.to_string(), "340282366920938463426481119284349108225");
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bigint;
+mod ratio;
+
+pub use bigint::{BigInt, ParseBigIntError, Sign};
+pub use ratio::{ParseRatioError, Ratio};

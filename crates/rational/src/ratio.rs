@@ -1,0 +1,477 @@
+//! Exact rational numbers built on [`BigInt`].
+//!
+//! A [`Ratio`] is always kept in canonical form: the denominator is strictly
+//! positive and `gcd(|numerator|, denominator) == 1`; zero is `0/1`. This
+//! makes `Eq`/`Hash` structural and `Ord` a genuine total order, so ratios
+//! can key `BTreeMap`s (used by the simplex solver's pivot bookkeeping).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+use crate::bigint::{BigInt, ParseBigIntError, Sign};
+
+/// An exact rational number `numerator / denominator` in lowest terms.
+///
+/// # Example
+///
+/// ```
+/// use abc_rational::Ratio;
+///
+/// let xi = Ratio::new(3, 2);
+/// let sum = &xi + &Ratio::new(1, 6);
+/// assert_eq!(sum, Ratio::new(5, 3));
+/// assert_eq!(sum.to_string(), "5/3");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Ratio {
+    num: BigInt,
+    den: BigInt, // invariant: den > 0, gcd(|num|, den) == 1
+}
+
+/// Error returned when parsing a [`Ratio`] from a malformed string.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseRatioError {
+    kind: RatioErrorKind,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum RatioErrorKind {
+    Int(ParseBigIntError),
+    ZeroDenominator,
+}
+
+impl fmt::Display for ParseRatioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            RatioErrorKind::Int(e) => write!(f, "invalid rational literal: {e}"),
+            RatioErrorKind::ZeroDenominator => write!(f, "rational literal has zero denominator"),
+        }
+    }
+}
+
+impl std::error::Error for ParseRatioError {}
+
+impl Ratio {
+    /// Creates the rational `num / den` from machine integers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use abc_rational::Ratio;
+    /// assert_eq!(Ratio::new(4, -6), Ratio::new(-2, 3));
+    /// ```
+    #[must_use]
+    pub fn new(num: i64, den: i64) -> Ratio {
+        Ratio::from_bigints(BigInt::from(num), BigInt::from(den))
+    }
+
+    /// Creates the rational `num / den` from big integers, normalizing signs
+    /// and reducing to lowest terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    #[must_use]
+    pub fn from_bigints(num: BigInt, den: BigInt) -> Ratio {
+        assert!(!den.is_zero(), "rational with zero denominator");
+        let (mut num, mut den) = if den.is_negative() { (-num, -den) } else { (num, den) };
+        if num.is_zero() {
+            return Ratio { num: BigInt::zero(), den: BigInt::one() };
+        }
+        let g = num.gcd(&den);
+        if !g.is_one() {
+            num = &num / &g;
+            den = &den / &g;
+        }
+        Ratio { num, den }
+    }
+
+    /// The rational zero.
+    #[must_use]
+    pub fn zero() -> Ratio {
+        Ratio { num: BigInt::zero(), den: BigInt::one() }
+    }
+
+    /// The rational one.
+    #[must_use]
+    pub fn one() -> Ratio {
+        Ratio { num: BigInt::one(), den: BigInt::one() }
+    }
+
+    /// Creates a rational from an integer.
+    #[must_use]
+    pub fn from_integer(v: i64) -> Ratio {
+        Ratio { num: BigInt::from(v), den: BigInt::one() }
+    }
+
+    /// Numerator (negative iff the rational is negative).
+    #[must_use]
+    pub fn numer(&self) -> &BigInt {
+        &self.num
+    }
+
+    /// Denominator (always strictly positive).
+    #[must_use]
+    pub fn denom(&self) -> &BigInt {
+        &self.den
+    }
+
+    /// Returns `true` iff this rational is zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// Returns `true` iff this rational is strictly positive.
+    #[must_use]
+    pub fn is_positive(&self) -> bool {
+        self.num.is_positive()
+    }
+
+    /// Returns `true` iff this rational is strictly negative.
+    #[must_use]
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// Returns `true` iff this rational is an integer.
+    #[must_use]
+    pub fn is_integer(&self) -> bool {
+        self.den.is_one()
+    }
+
+    /// Returns `true` iff this rational equals one.
+    #[must_use]
+    pub fn is_one(&self) -> bool {
+        self.num.is_one() && self.den.is_one()
+    }
+
+    /// Sign of the rational.
+    #[must_use]
+    pub fn sign(&self) -> Sign {
+        self.num.sign()
+    }
+
+    /// Absolute value.
+    #[must_use]
+    pub fn abs(&self) -> Ratio {
+        Ratio { num: self.num.abs(), den: self.den.clone() }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this rational is zero.
+    #[must_use]
+    pub fn recip(&self) -> Ratio {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        Ratio::from_bigints(self.den.clone(), self.num.clone())
+    }
+
+    /// Approximate `f64` value (reporting only; never used for decisions).
+    #[must_use]
+    pub fn to_f64(&self) -> f64 {
+        self.num.to_f64() / self.den.to_f64()
+    }
+
+    /// The floor of the rational as a big integer.
+    #[must_use]
+    pub fn floor(&self) -> BigInt {
+        let (q, r) = self.num.div_rem(&self.den);
+        if r.is_negative() {
+            q - BigInt::one()
+        } else {
+            q
+        }
+    }
+
+    /// The ceiling of the rational as a big integer.
+    #[must_use]
+    pub fn ceil(&self) -> BigInt {
+        let (q, r) = self.num.div_rem(&self.den);
+        if r.is_positive() {
+            q + BigInt::one()
+        } else {
+            q
+        }
+    }
+
+    /// Midpoint of `self` and `other`, used by binary searches over ratios.
+    #[must_use]
+    pub fn midpoint(&self, other: &Ratio) -> Ratio {
+        (self + other) / Ratio::from_integer(2)
+    }
+
+    /// Exact minimum by value.
+    #[must_use]
+    pub fn min(self, other: Ratio) -> Ratio {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Exact maximum by value.
+    #[must_use]
+    pub fn max(self, other: Ratio) -> Ratio {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Default for Ratio {
+    fn default() -> Ratio {
+        Ratio::zero()
+    }
+}
+
+impl From<i64> for Ratio {
+    fn from(v: i64) -> Ratio {
+        Ratio::from_integer(v)
+    }
+}
+
+impl From<BigInt> for Ratio {
+    fn from(v: BigInt) -> Ratio {
+        Ratio { num: v, den: BigInt::one() }
+    }
+}
+
+impl PartialOrd for Ratio {
+    fn partial_cmp(&self, other: &Ratio) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ratio {
+    fn cmp(&self, other: &Ratio) -> Ordering {
+        // a/b ? c/d  <=>  a*d ? c*b  (b, d > 0 by invariant)
+        (&self.num * &other.den).cmp(&(&other.num * &self.den))
+    }
+}
+
+impl Neg for Ratio {
+    type Output = Ratio;
+    fn neg(self) -> Ratio {
+        Ratio { num: -self.num, den: self.den }
+    }
+}
+
+impl Neg for &Ratio {
+    type Output = Ratio;
+    fn neg(self) -> Ratio {
+        self.clone().neg()
+    }
+}
+
+impl Add<&Ratio> for &Ratio {
+    type Output = Ratio;
+    fn add(self, rhs: &Ratio) -> Ratio {
+        Ratio::from_bigints(
+            &self.num * &rhs.den + &rhs.num * &self.den,
+            &self.den * &rhs.den,
+        )
+    }
+}
+
+impl Sub<&Ratio> for &Ratio {
+    type Output = Ratio;
+    fn sub(self, rhs: &Ratio) -> Ratio {
+        Ratio::from_bigints(
+            &self.num * &rhs.den - &rhs.num * &self.den,
+            &self.den * &rhs.den,
+        )
+    }
+}
+
+impl Mul<&Ratio> for &Ratio {
+    type Output = Ratio;
+    fn mul(self, rhs: &Ratio) -> Ratio {
+        Ratio::from_bigints(&self.num * &rhs.num, &self.den * &rhs.den)
+    }
+}
+
+impl Div<&Ratio> for &Ratio {
+    type Output = Ratio;
+    fn div(self, rhs: &Ratio) -> Ratio {
+        assert!(!rhs.is_zero(), "division by zero rational");
+        Ratio::from_bigints(&self.num * &rhs.den, &self.den * &rhs.num)
+    }
+}
+
+macro_rules! forward_ratio_binop {
+    ($trait:ident, $method:ident, $assign_trait:ident, $assign_method:ident) => {
+        impl $trait<Ratio> for Ratio {
+            type Output = Ratio;
+            fn $method(self, rhs: Ratio) -> Ratio {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&Ratio> for Ratio {
+            type Output = Ratio;
+            fn $method(self, rhs: &Ratio) -> Ratio {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<Ratio> for &Ratio {
+            type Output = Ratio;
+            fn $method(self, rhs: Ratio) -> Ratio {
+                self.$method(&rhs)
+            }
+        }
+        impl $assign_trait<Ratio> for Ratio {
+            fn $assign_method(&mut self, rhs: Ratio) {
+                *self = (&*self).$method(&rhs);
+            }
+        }
+        impl $assign_trait<&Ratio> for Ratio {
+            fn $assign_method(&mut self, rhs: &Ratio) {
+                *self = (&*self).$method(rhs);
+            }
+        }
+    };
+}
+
+forward_ratio_binop!(Add, add, AddAssign, add_assign);
+forward_ratio_binop!(Sub, sub, SubAssign, sub_assign);
+forward_ratio_binop!(Mul, mul, MulAssign, mul_assign);
+forward_ratio_binop!(Div, div, DivAssign, div_assign);
+
+impl Sum for Ratio {
+    fn sum<I: Iterator<Item = Ratio>>(iter: I) -> Ratio {
+        iter.fold(Ratio::zero(), |acc, v| acc + v)
+    }
+}
+
+impl<'a> Sum<&'a Ratio> for Ratio {
+    fn sum<I: Iterator<Item = &'a Ratio>>(iter: I) -> Ratio {
+        iter.fold(Ratio::zero(), |acc, v| acc + v)
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den.is_one() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ratio({self})")
+    }
+}
+
+impl FromStr for Ratio {
+    type Err = ParseRatioError;
+
+    /// Parses `"p"` or `"p/q"` decimal literals.
+    fn from_str(s: &str) -> Result<Ratio, ParseRatioError> {
+        let wrap = |e: ParseBigIntError| ParseRatioError { kind: RatioErrorKind::Int(e) };
+        match s.split_once('/') {
+            None => Ok(Ratio::from(s.trim().parse::<BigInt>().map_err(wrap)?)),
+            Some((p, q)) => {
+                let num = p.trim().parse::<BigInt>().map_err(wrap)?;
+                let den = q.trim().parse::<BigInt>().map_err(wrap)?;
+                if den.is_zero() {
+                    return Err(ParseRatioError { kind: RatioErrorKind::ZeroDenominator });
+                }
+                Ok(Ratio::from_bigints(num, den))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization() {
+        assert_eq!(Ratio::new(4, 6), Ratio::new(2, 3));
+        assert_eq!(Ratio::new(-4, 6), Ratio::new(2, -3));
+        assert_eq!(Ratio::new(0, 5), Ratio::zero());
+        assert!(Ratio::new(1, -2).is_negative());
+        assert!(Ratio::new(-1, -2).is_positive());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Ratio::new(1, 0);
+    }
+
+    #[test]
+    fn field_laws_spot_checks() {
+        let a = Ratio::new(1, 3);
+        let b = Ratio::new(1, 6);
+        assert_eq!(&a + &b, Ratio::new(1, 2));
+        assert_eq!(&a - &b, Ratio::new(1, 6));
+        assert_eq!(&a * &b, Ratio::new(1, 18));
+        assert_eq!(&a / &b, Ratio::from_integer(2));
+        assert_eq!(a.recip(), Ratio::from_integer(3));
+    }
+
+    #[test]
+    fn ordering_is_by_value() {
+        assert!(Ratio::new(1, 3) < Ratio::new(1, 2));
+        assert!(Ratio::new(-1, 2) < Ratio::new(-1, 3));
+        assert!(Ratio::new(2, 4) == Ratio::new(1, 2));
+        assert!(Ratio::new(7, 2) > Ratio::from_integer(3));
+    }
+
+    #[test]
+    fn floor_and_ceil() {
+        assert_eq!(Ratio::new(7, 2).floor(), BigInt::from(3));
+        assert_eq!(Ratio::new(7, 2).ceil(), BigInt::from(4));
+        assert_eq!(Ratio::new(-7, 2).floor(), BigInt::from(-4));
+        assert_eq!(Ratio::new(-7, 2).ceil(), BigInt::from(-3));
+        assert_eq!(Ratio::from_integer(5).floor(), BigInt::from(5));
+        assert_eq!(Ratio::from_integer(5).ceil(), BigInt::from(5));
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for s in ["3/2", "-5/7", "42", "0", "-1"] {
+            let r: Ratio = s.parse().unwrap();
+            assert_eq!(r.to_string(), s);
+        }
+        assert_eq!(" 6 / 4 ".parse::<Ratio>().unwrap(), Ratio::new(3, 2));
+        assert!("1/0".parse::<Ratio>().is_err());
+        assert!("a/2".parse::<Ratio>().is_err());
+    }
+
+    #[test]
+    fn midpoint_bisects() {
+        let lo = Ratio::new(1, 1);
+        let hi = Ratio::new(2, 1);
+        assert_eq!(lo.midpoint(&hi), Ratio::new(3, 2));
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let parts = vec![Ratio::new(1, 2), Ratio::new(1, 3), Ratio::new(1, 6)];
+        assert_eq!(parts.iter().sum::<Ratio>(), Ratio::one());
+    }
+
+    #[test]
+    fn to_f64_is_close() {
+        assert!((Ratio::new(1, 3).to_f64() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((Ratio::new(-7, 2).to_f64() + 3.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests: `BigInt`/`Ratio` arithmetic against an `i128` oracle and
+//! algebraic laws that the exact LP solver in `abc-lp` depends on.
+
+use abc_rational::{BigInt, Ratio};
+use proptest::prelude::*;
+
+fn big(v: i128) -> BigInt {
+    BigInt::from(v)
+}
+
+proptest! {
+    #[test]
+    fn add_matches_i128(a in -1_000_000_000_000i128..1_000_000_000_000, b in -1_000_000_000_000i128..1_000_000_000_000) {
+        prop_assert_eq!(big(a) + big(b), big(a + b));
+    }
+
+    #[test]
+    fn sub_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        prop_assert_eq!(big(a as i128) - big(b as i128), big(a as i128 - b as i128));
+    }
+
+    #[test]
+    fn mul_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        prop_assert_eq!(big(a as i128) * big(b as i128), big(a as i128 * b as i128));
+    }
+
+    #[test]
+    fn div_rem_matches_i128(a in any::<i64>(), b in any::<i64>().prop_filter("nonzero", |v| *v != 0)) {
+        let (q, r) = big(a as i128).div_rem(&big(b as i128));
+        prop_assert_eq!(q, big(a as i128 / b as i128));
+        prop_assert_eq!(r, big(a as i128 % b as i128));
+    }
+
+    #[test]
+    fn div_rem_invariant_large(a in any::<i128>(), b in any::<i128>().prop_filter("nonzero", |v| *v != 0)) {
+        // a = q*b + r with |r| < |b| and sign(r) in {0, sign(a)}.
+        let (q, r) = big(a).div_rem(&big(b));
+        prop_assert_eq!(&q * &big(b) + &r, big(a));
+        prop_assert!(r.abs() < big(b).abs());
+        prop_assert!(r.is_zero() || (r.is_negative() == big(a).is_negative()));
+    }
+
+    #[test]
+    fn cmp_matches_i128(a in any::<i128>(), b in any::<i128>()) {
+        prop_assert_eq!(big(a).cmp(&big(b)), a.cmp(&b));
+    }
+
+    #[test]
+    fn display_parse_round_trip(a in any::<i128>()) {
+        let s = big(a).to_string();
+        prop_assert_eq!(s.parse::<BigInt>().unwrap(), big(a));
+        prop_assert_eq!(s, a.to_string());
+    }
+
+    #[test]
+    fn to_i128_round_trip(a in any::<i128>()) {
+        prop_assert_eq!(big(a).to_i128(), Some(a));
+    }
+
+    #[test]
+    fn gcd_divides_both(a in any::<i64>(), b in any::<i64>()) {
+        let g = big(a as i128).gcd(&big(b as i128));
+        if a != 0 || b != 0 {
+            prop_assert!((big(a as i128) % &g).is_zero());
+            prop_assert!((big(b as i128) % &g).is_zero());
+            prop_assert!(g.is_positive());
+        } else {
+            prop_assert!(g.is_zero());
+        }
+    }
+
+    #[test]
+    fn multiplication_associative_large(a in any::<i128>(), b in any::<i128>(), c in any::<i128>()) {
+        let (x, y, z) = (big(a), big(b), big(c));
+        prop_assert_eq!((&x * &y) * &z, x * (&y * &z));
+    }
+
+    #[test]
+    fn ratio_field_laws(
+        an in -10_000i64..10_000, ad in 1i64..1000,
+        bn in -10_000i64..10_000, bd in 1i64..1000,
+        cn in -10_000i64..10_000, cd in 1i64..1000,
+    ) {
+        let a = Ratio::new(an, ad);
+        let b = Ratio::new(bn, bd);
+        let c = Ratio::new(cn, cd);
+        // Commutativity and associativity.
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!((&a + &b) + &c, &a + (&b + &c));
+        prop_assert_eq!((&a * &b) * &c, &a * (&b * &c));
+        // Distributivity.
+        prop_assert_eq!(&a * (&b + &c), &a * &b + &a * &c);
+        // Additive/multiplicative inverses.
+        prop_assert_eq!(&a + (-&a), Ratio::zero());
+        if !a.is_zero() {
+            prop_assert_eq!(&a * &a.recip(), Ratio::one());
+            prop_assert_eq!((&b / &a) * &a, b);
+        }
+    }
+
+    #[test]
+    fn ratio_ordering_matches_f64_when_distinguishable(
+        an in -1000i64..1000, ad in 1i64..100,
+        bn in -1000i64..1000, bd in 1i64..100,
+    ) {
+        let a = Ratio::new(an, ad);
+        let b = Ratio::new(bn, bd);
+        let (fa, fb) = (an as f64 / ad as f64, bn as f64 / bd as f64);
+        if (fa - fb).abs() > 1e-9 {
+            prop_assert_eq!(a < b, fa < fb);
+        }
+    }
+
+    #[test]
+    fn ratio_floor_ceil_bracket(an in -100_000i64..100_000, ad in 1i64..1000) {
+        let a = Ratio::new(an, ad);
+        let fl = Ratio::from(a.floor());
+        let ce = Ratio::from(a.ceil());
+        prop_assert!(fl <= a && a <= ce);
+        prop_assert!(&ce - &fl <= Ratio::one());
+        if a.is_integer() {
+            prop_assert_eq!(fl, ce);
+        }
+    }
+
+    #[test]
+    fn ratio_parse_round_trip(an in any::<i64>(), ad in 1i64..1_000_000) {
+        let a = Ratio::new(an, ad);
+        prop_assert_eq!(a.to_string().parse::<Ratio>().unwrap(), a);
+    }
+}

@@ -1,0 +1,306 @@
+//! Delay models: the network adversary.
+//!
+//! A [`DelayModel`] decides, per message, its end-to-end delay (or drops
+//! it). The models here generate the execution families the paper's
+//! experiments need:
+//!
+//! * [`FixedDelay`], [`BandDelay`] — synchronous / Θ-style bands. A band
+//!   `[lo, hi]` guarantees ABC admissibility for every `Ξ > hi/lo` (a
+//!   relevant cycle's event order forces `|Z−|·lo < |Z+|·hi`).
+//! * [`PerLinkBand`] — per-link bands (not-fully-connected topologies,
+//!   VLSI place-and-route, WTL-style asymmetry).
+//! * [`GrowingDelay`] — delays that increase without bound (the paper's
+//!   spacecraft-formation scenario, §5.1/§5.3) while keeping pairwise
+//!   ratios banded.
+//! * [`AdversarialSpan`] — an ABC stress adversary: designated victim
+//!   links run maximally slow while the rest run maximally fast, driving
+//!   relevant-cycle ratios toward the admissibility boundary.
+//!
+//! All randomized models are seeded and deterministic.
+
+use abc_core::ProcessId;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// The fate of a message decided by a [`DelayModel`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Delivery {
+    /// Deliver after the given delay (may be 0: the ABC model allows
+    /// zero-delay messages, cf. Fig. 1's `m3`).
+    After(u64),
+    /// Drop the message (only meaningful for lossy-model experiments; the
+    /// paper's admissible executions deliver everything).
+    Drop,
+}
+
+/// Decides message delays; the mutable receiver allows stateful adversaries.
+pub trait DelayModel {
+    /// The delay of the `seq`-th message overall, sent at `send_time` from
+    /// `from` to `to`.
+    fn delivery(&mut self, from: ProcessId, to: ProcessId, send_time: u64, seq: u64) -> Delivery;
+}
+
+/// Every message takes exactly `d` time units.
+#[derive(Clone, Copy, Debug)]
+pub struct FixedDelay {
+    d: u64,
+}
+
+impl FixedDelay {
+    /// Fixed delay `d`.
+    #[must_use]
+    pub fn new(d: u64) -> FixedDelay {
+        FixedDelay { d }
+    }
+}
+
+impl DelayModel for FixedDelay {
+    fn delivery(&mut self, _f: ProcessId, _t: ProcessId, _s: u64, _q: u64) -> Delivery {
+        Delivery::After(self.d)
+    }
+}
+
+/// Uniformly random delays in `[lo, hi]` (seeded).
+///
+/// Guarantees ABC admissibility for every `Ξ > hi/lo` and Θ-admissibility
+/// for `Θ ≥ hi/lo`.
+#[derive(Clone, Debug)]
+pub struct BandDelay {
+    lo: u64,
+    hi: u64,
+    rng: SmallRng,
+}
+
+impl BandDelay {
+    /// Band `[lo, hi]`, deterministic per `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo == 0` or `lo > hi`.
+    #[must_use]
+    pub fn new(lo: u64, hi: u64, seed: u64) -> BandDelay {
+        assert!(lo > 0 && lo <= hi, "need 0 < lo <= hi");
+        BandDelay { lo, hi, rng: SmallRng::seed_from_u64(seed) }
+    }
+}
+
+impl DelayModel for BandDelay {
+    fn delivery(&mut self, _f: ProcessId, _t: ProcessId, _s: u64, _q: u64) -> Delivery {
+        Delivery::After(self.rng.random_range(self.lo..=self.hi))
+    }
+}
+
+/// Per-link delay bands; links without an entry use the default band.
+#[derive(Clone, Debug)]
+pub struct PerLinkBand {
+    default: (u64, u64),
+    links: Vec<((usize, usize), (u64, u64))>,
+    rng: SmallRng,
+}
+
+impl PerLinkBand {
+    /// Creates the model with a default band.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the band is invalid.
+    #[must_use]
+    pub fn new(default_lo: u64, default_hi: u64, seed: u64) -> PerLinkBand {
+        assert!(default_lo > 0 && default_lo <= default_hi);
+        PerLinkBand { default: (default_lo, default_hi), links: Vec::new(), rng: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// Overrides the band of the directed link `from → to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the band is invalid.
+    pub fn set_link(&mut self, from: ProcessId, to: ProcessId, lo: u64, hi: u64) {
+        assert!(lo > 0 && lo <= hi);
+        self.links.retain(|(k, _)| *k != (from.0, to.0));
+        self.links.push(((from.0, to.0), (lo, hi)));
+    }
+
+    fn band(&self, from: ProcessId, to: ProcessId) -> (u64, u64) {
+        self.links
+            .iter()
+            .find(|(k, _)| *k == (from.0, to.0))
+            .map(|(_, b)| *b)
+            .unwrap_or(self.default)
+    }
+}
+
+impl DelayModel for PerLinkBand {
+    fn delivery(&mut self, f: ProcessId, t: ProcessId, _s: u64, _q: u64) -> Delivery {
+        let (lo, hi) = self.band(f, t);
+        Delivery::After(self.rng.random_range(lo..=hi))
+    }
+}
+
+/// Delays that grow without bound: the band `[lo, hi]` is scaled by
+/// `1 + send_time/tau` (so delays double every `tau` time units of send
+/// time). Models the spacecraft clusters of §5.1/§5.3: no finite delay
+/// bound ever holds, yet pairwise delay ratios stay near `hi/lo`, keeping
+/// executions ABC-admissible for `Ξ` comfortably above `hi/lo`.
+#[derive(Clone, Debug)]
+pub struct GrowingDelay {
+    lo: u64,
+    hi: u64,
+    tau: u64,
+    rng: SmallRng,
+}
+
+impl GrowingDelay {
+    /// Base band `[lo, hi]`, doubling timescale `tau`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid parameters.
+    #[must_use]
+    pub fn new(lo: u64, hi: u64, tau: u64, seed: u64) -> GrowingDelay {
+        assert!(lo > 0 && lo <= hi && tau > 0);
+        GrowingDelay { lo, hi, tau, rng: SmallRng::seed_from_u64(seed) }
+    }
+}
+
+impl DelayModel for GrowingDelay {
+    fn delivery(&mut self, _f: ProcessId, _t: ProcessId, send_time: u64, _q: u64) -> Delivery {
+        let base = self.rng.random_range(self.lo..=self.hi);
+        // scale = 1 + send_time / tau, computed in u128 to avoid overflow.
+        let scaled = u128::from(base) * (u128::from(self.tau) + u128::from(send_time))
+            / u128::from(self.tau);
+        Delivery::After(u64::try_from(scaled).unwrap_or(u64::MAX))
+    }
+}
+
+/// ABC stress adversary: messages *to* the designated victim process take
+/// the maximal delay `hi`; every other message takes the minimal delay
+/// `lo`. Drives the skew between the victim's view and the rest of the
+/// system toward the admissibility boundary (relevant-cycle ratios approach
+/// `hi/lo`), which is how the precision experiments probe the tightness of
+/// the `2Ξ` bound (Theorem 2/3).
+#[derive(Clone, Copy, Debug)]
+pub struct AdversarialSpan {
+    lo: u64,
+    hi: u64,
+    victim: ProcessId,
+}
+
+impl AdversarialSpan {
+    /// Victim `victim`; band `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the band is invalid.
+    #[must_use]
+    pub fn new(lo: u64, hi: u64, victim: ProcessId) -> AdversarialSpan {
+        assert!(lo > 0 && lo <= hi);
+        AdversarialSpan { lo, hi, victim }
+    }
+}
+
+impl DelayModel for AdversarialSpan {
+    fn delivery(&mut self, _f: ProcessId, to: ProcessId, _s: u64, _q: u64) -> Delivery {
+        Delivery::After(if to == self.victim { self.hi } else { self.lo })
+    }
+}
+
+/// Wraps a model and drops messages on selected directed links (for lossy
+/// experiments, e.g. the MCM comparisons).
+pub struct Lossy<D> {
+    inner: D,
+    dropped_links: Vec<(usize, usize)>,
+}
+
+impl<D> Lossy<D> {
+    /// Wraps `inner` with no dropped links.
+    #[must_use]
+    pub fn new(inner: D) -> Lossy<D> {
+        Lossy { inner, dropped_links: Vec::new() }
+    }
+
+    /// Drops every message on `from → to`.
+    pub fn drop_link(&mut self, from: ProcessId, to: ProcessId) {
+        self.dropped_links.push((from.0, to.0));
+    }
+}
+
+impl<D: DelayModel> DelayModel for Lossy<D> {
+    fn delivery(&mut self, f: ProcessId, t: ProcessId, s: u64, q: u64) -> Delivery {
+        if self.dropped_links.contains(&(f.0, t.0)) {
+            Delivery::Drop
+        } else {
+            self.inner.delivery(f, t, s, q)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn band_is_deterministic_per_seed() {
+        let mut a = BandDelay::new(5, 10, 42);
+        let mut b = BandDelay::new(5, 10, 42);
+        for q in 0..50 {
+            assert_eq!(
+                a.delivery(ProcessId(0), ProcessId(1), q, q),
+                b.delivery(ProcessId(0), ProcessId(1), q, q)
+            );
+        }
+    }
+
+    #[test]
+    fn band_respects_bounds() {
+        let mut m = BandDelay::new(3, 7, 1);
+        for q in 0..200 {
+            match m.delivery(ProcessId(0), ProcessId(1), 0, q) {
+                Delivery::After(d) => assert!((3..=7).contains(&d)),
+                Delivery::Drop => panic!("band never drops"),
+            }
+        }
+    }
+
+    #[test]
+    fn growing_delay_grows() {
+        let mut m = GrowingDelay::new(10, 10, 100, 7);
+        let Delivery::After(early) = m.delivery(ProcessId(0), ProcessId(1), 0, 0) else {
+            panic!()
+        };
+        let Delivery::After(late) = m.delivery(ProcessId(0), ProcessId(1), 10_000, 1) else {
+            panic!()
+        };
+        assert_eq!(early, 10);
+        assert_eq!(late, 10 * (100 + 10_000) / 100);
+    }
+
+    #[test]
+    fn adversarial_span_targets_victim() {
+        let mut m = AdversarialSpan::new(1, 9, ProcessId(2));
+        assert_eq!(m.delivery(ProcessId(0), ProcessId(2), 0, 0), Delivery::After(9));
+        assert_eq!(m.delivery(ProcessId(0), ProcessId(1), 0, 0), Delivery::After(1));
+    }
+
+    #[test]
+    fn lossy_drops_selected_links() {
+        let mut m = Lossy::new(FixedDelay::new(4));
+        m.drop_link(ProcessId(0), ProcessId(1));
+        assert_eq!(m.delivery(ProcessId(0), ProcessId(1), 0, 0), Delivery::Drop);
+        assert_eq!(m.delivery(ProcessId(1), ProcessId(0), 0, 0), Delivery::After(4));
+    }
+
+    #[test]
+    fn per_link_band_overrides() {
+        let mut m = PerLinkBand::new(5, 5, 3);
+        m.set_link(ProcessId(0), ProcessId(1), 20, 20);
+        assert_eq!(m.delivery(ProcessId(0), ProcessId(1), 0, 0), Delivery::After(20));
+        assert_eq!(m.delivery(ProcessId(1), ProcessId(0), 0, 0), Delivery::After(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "lo <= hi")]
+    fn invalid_band_panics() {
+        let _ = BandDelay::new(9, 3, 0);
+    }
+}

@@ -1,0 +1,401 @@
+//! The discrete-event simulation engine.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use abc_core::ProcessId;
+
+use crate::delay::{DelayModel, Delivery};
+use crate::process::{Context, Process};
+use crate::trace::{Trace, TraceEvent, TraceMessage};
+
+/// Budgets bounding a run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunLimits {
+    /// Stop after this many computing steps (events).
+    pub max_events: usize,
+    /// Do not execute events scheduled after this time.
+    pub max_time: u64,
+}
+
+impl Default for RunLimits {
+    fn default() -> RunLimits {
+        RunLimits { max_events: 1_000_000, max_time: u64::MAX }
+    }
+}
+
+/// Statistics of a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Computing steps executed (including receive-only events at crashed
+    /// or absent processes).
+    pub events_executed: usize,
+    /// Messages handed to the delay model.
+    pub messages_sent: usize,
+    /// Messages delivered (received).
+    pub messages_delivered: usize,
+    /// Messages dropped by the delay model.
+    pub messages_dropped: usize,
+    /// The time of the last executed event.
+    pub final_time: u64,
+    /// Whether the run ended because the event queue drained (quiescence)
+    /// rather than a budget limit.
+    pub quiescent: bool,
+}
+
+/// A simulation of `n` message-driven processes over an adversarial network.
+///
+/// See the crate docs for an end-to-end example.
+pub struct Simulation<M, D> {
+    processes: Vec<Box<dyn Process<M>>>,
+    faulty: Vec<bool>,
+    start_times: Vec<u64>,
+    delay_model: D,
+    queue: BinaryHeap<Reverse<QueueEntry>>,
+    payloads: Vec<Option<M>>, // payload per in-flight queue entry
+    trace: Trace,
+    seq: usize,
+    started: bool,
+}
+
+/// Queue entries order by (time, tie_seq).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct QueueEntry {
+    time: u64,
+    tie: usize,
+    kind: EntryKind,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum EntryKind {
+    /// Wake-up of a process.
+    Init(usize),
+    /// Delivery: (receiver, trace message index, payload slot).
+    Deliver(usize, usize, usize),
+}
+
+impl<M: Clone + 'static, D: DelayModel> Simulation<M, D> {
+    /// Creates an empty simulation over the given delay model.
+    #[must_use]
+    pub fn new(delay_model: D) -> Simulation<M, D> {
+        Simulation {
+            processes: Vec::new(),
+            faulty: Vec::new(),
+            start_times: Vec::new(),
+            delay_model,
+            queue: BinaryHeap::new(),
+            payloads: Vec::new(),
+            trace: Trace::default(),
+            seq: 0,
+            started: false,
+        }
+    }
+
+    /// Adds a correct process, returning its id.
+    pub fn add_process<P: Process<M> + 'static>(&mut self, p: P) -> ProcessId {
+        self.push_process(Box::new(p), false, 0)
+    }
+
+    /// Adds a faulty (Byzantine or crash-faulty) process: its messages are
+    /// exempt from the ABC synchrony condition in the extracted graph.
+    pub fn add_faulty_process<P: Process<M> + 'static>(&mut self, p: P) -> ProcessId {
+        self.push_process(Box::new(p), true, 0)
+    }
+
+    /// Adds a correct process whose wake-up message arrives at `start_time`
+    /// (staggered booting).
+    pub fn add_process_starting_at<P: Process<M> + 'static>(
+        &mut self,
+        p: P,
+        start_time: u64,
+    ) -> ProcessId {
+        self.push_process(Box::new(p), false, start_time)
+    }
+
+    fn push_process(&mut self, p: Box<dyn Process<M>>, faulty: bool, start: u64) -> ProcessId {
+        assert!(!self.started, "cannot add processes after the run started");
+        let id = ProcessId(self.processes.len());
+        self.processes.push(p);
+        self.faulty.push(faulty);
+        self.start_times.push(start);
+        id
+    }
+
+    /// Number of processes.
+    #[must_use]
+    pub fn num_processes(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// The captured trace (valid after [`Simulation::run`]).
+    #[must_use]
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Mutable access to the delay model (e.g. to reconfigure between
+    /// incremental runs).
+    pub fn delay_model_mut(&mut self) -> &mut D {
+        &mut self.delay_model
+    }
+
+    /// Runs until quiescence or a budget limit; can be called repeatedly
+    /// with increasing budgets to continue the same execution.
+    pub fn run(&mut self, limits: RunLimits) -> RunStats {
+        if !self.started {
+            self.started = true;
+            self.trace.num_processes = self.processes.len();
+            self.trace.faulty = self.faulty.clone();
+            for p in 0..self.processes.len() {
+                let entry = QueueEntry {
+                    time: self.start_times[p],
+                    tie: self.next_tie(),
+                    kind: EntryKind::Init(p),
+                };
+                self.queue.push(Reverse(entry));
+            }
+        }
+        let mut stats = RunStats::default();
+        let mut outbox: Vec<(ProcessId, M)> = Vec::new();
+        while stats.events_executed < limits.max_events {
+            let Some(Reverse(entry)) = self.queue.peek().copied() else {
+                stats.quiescent = true;
+                break;
+            };
+            if entry.time > limits.max_time {
+                break;
+            }
+            self.queue.pop();
+            let (process, trigger, payload) = match entry.kind {
+                EntryKind::Init(p) => (ProcessId(p), None, None),
+                EntryKind::Deliver(p, mi, slot) => {
+                    let payload = self.payloads[slot].take();
+                    (ProcessId(p), Some(mi), payload)
+                }
+            };
+            // Record the receive event.
+            let event_idx = self.trace.events.len();
+            let was_crashed = self.processes[process.0].has_crashed();
+            let mut label = None;
+            let mut distinguished = false;
+            outbox.clear();
+            {
+                let mut ctx = Context {
+                    me: process,
+                    now: entry.time,
+                    num_processes: self.processes.len(),
+                    outbox: &mut outbox,
+                    label: &mut label,
+                    distinguished: &mut distinguished,
+                };
+                match (trigger, &payload) {
+                    (None, _) => self.processes[process.0].on_init(&mut ctx),
+                    (Some(mi), Some(msg)) => {
+                        let from = self.trace.messages[mi].from;
+                        self.processes[process.0].on_message(&mut ctx, from, msg);
+                    }
+                    (Some(_), None) => unreachable!("payload consumed exactly once"),
+                }
+            }
+            if let Some(mi) = trigger {
+                self.trace.messages[mi].recv_event = Some(event_idx);
+                self.trace.messages[mi].recv_time = Some(entry.time);
+                stats.messages_delivered += 1;
+            }
+            self.trace.events.push(TraceEvent {
+                seq: event_idx,
+                process,
+                time: entry.time,
+                trigger,
+                received_only: was_crashed && trigger.is_some(),
+                label,
+                distinguished,
+            });
+            stats.events_executed += 1;
+            stats.final_time = entry.time;
+            // Dispatch the outbox through the delay model.
+            for (to, msg) in outbox.drain(..) {
+                let seq_no = self.trace.messages.len() as u64;
+                stats.messages_sent += 1;
+                match self
+                    .delay_model
+                    .delivery(process, to, entry.time, seq_no)
+                {
+                    Delivery::Drop => {
+                        stats.messages_dropped += 1;
+                        self.trace.messages.push(TraceMessage {
+                            from: process,
+                            to,
+                            send_event: event_idx,
+                            recv_event: None,
+                            send_time: entry.time,
+                            recv_time: None,
+                        });
+                    }
+                    Delivery::After(d) => {
+                        let mi = self.trace.messages.len();
+                        self.trace.messages.push(TraceMessage {
+                            from: process,
+                            to,
+                            send_event: event_idx,
+                            recv_event: None,
+                            send_time: entry.time,
+                            recv_time: None,
+                        });
+                        let slot = self.payloads.len();
+                        self.payloads.push(Some(msg));
+                        let tie = self.next_tie();
+                        self.queue.push(Reverse(QueueEntry {
+                            time: entry.time.saturating_add(d),
+                            tie,
+                            kind: EntryKind::Deliver(to.0, mi, slot),
+                        }));
+                    }
+                }
+            }
+        }
+        if self.queue.is_empty() {
+            stats.quiescent = true;
+        }
+        stats
+    }
+
+    /// Read access to a process behavior (e.g. to extract final state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    #[must_use]
+    pub fn process(&self, p: ProcessId) -> &dyn Process<M> {
+        self.processes[p.0].as_ref()
+    }
+
+    /// Typed access to a process behavior: downcasts to the concrete type
+    /// it was added as (e.g. to read an algorithm's decision or report).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    #[must_use]
+    pub fn process_as<P: Process<M>>(&self, p: ProcessId) -> Option<&P> {
+        let obj: &dyn std::any::Any = self.processes[p.0].as_ref();
+        obj.downcast_ref::<P>()
+    }
+
+    fn next_tie(&mut self) -> usize {
+        let t = self.seq;
+        self.seq += 1;
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delay::{BandDelay, FixedDelay};
+    use crate::process::{CrashAt, Mute};
+
+    /// Echo server: replies to every ping with a pong, up to a budget.
+    struct Echo {
+        remaining: u32,
+    }
+    impl Process<u32> for Echo {
+        fn on_init(&mut self, ctx: &mut Context<'_, u32>) {
+            if ctx.me().0 == 0 {
+                ctx.send(ProcessId(1), 0);
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_, u32>, from: ProcessId, m: &u32) {
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                ctx.send(from, m + 1);
+                ctx.set_label(u64::from(*m));
+            }
+        }
+    }
+
+    #[test]
+    fn ping_pong_terminates_and_orders_time() {
+        let mut sim = Simulation::new(FixedDelay::new(10));
+        sim.add_process(Echo { remaining: 3 });
+        sim.add_process(Echo { remaining: 3 });
+        let stats = sim.run(RunLimits::default());
+        assert!(stats.quiescent);
+        // init(2) + 6 deliveries before budgets run out at one side.
+        assert_eq!(stats.messages_delivered, 7);
+        let times: Vec<u64> = sim.trace().events().iter().map(|e| e.time).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted, "events execute in chronological order");
+        // Labels recorded the message values.
+        assert!(sim.trace().events().iter().any(|e| e.label == Some(0)));
+    }
+
+    #[test]
+    fn budget_limits_are_honoured() {
+        let mut sim = Simulation::new(FixedDelay::new(1));
+        sim.add_process(Echo { remaining: u32::MAX });
+        sim.add_process(Echo { remaining: u32::MAX });
+        let stats = sim.run(RunLimits { max_events: 50, max_time: u64::MAX });
+        assert_eq!(stats.events_executed, 50);
+        assert!(!stats.quiescent);
+        // Continue the same run.
+        let stats2 = sim.run(RunLimits { max_events: 50, max_time: u64::MAX });
+        assert_eq!(stats2.events_executed, 50);
+        assert!(sim.trace().events().len() >= 100);
+    }
+
+    #[test]
+    fn max_time_stops_before_event() {
+        let mut sim = Simulation::new(FixedDelay::new(100));
+        sim.add_process(Echo { remaining: u32::MAX });
+        sim.add_process(Echo { remaining: u32::MAX });
+        let stats = sim.run(RunLimits { max_events: usize::MAX, max_time: 250 });
+        // Events at t=0 (inits), 100, 200 execute; t=300 does not.
+        assert!(stats.final_time <= 250);
+        assert!(!stats.quiescent);
+    }
+
+    #[test]
+    fn crashed_processes_still_receive() {
+        let mut sim = Simulation::new(FixedDelay::new(5));
+        sim.add_process(Echo { remaining: 10 });
+        // Crashes after its init step: receives but never replies.
+        sim.add_faulty_process(CrashAt::new(Echo { remaining: 10 }, 1));
+        let stats = sim.run(RunLimits::default());
+        assert!(stats.quiescent);
+        // p0 init sends ping; p1 receives it (event recorded) but no pong.
+        assert_eq!(stats.messages_delivered, 1);
+        let trace = sim.trace();
+        assert_eq!(trace.events_per_process(), vec![1, 2]);
+        assert!(trace.is_faulty(ProcessId(1)));
+    }
+
+    #[test]
+    fn staggered_starts() {
+        let mut sim: Simulation<u32, _> = Simulation::new(FixedDelay::new(1));
+        sim.add_process(Mute);
+        sim.add_process_starting_at(Mute, 500);
+        sim.run(RunLimits::default());
+        let evs = sim.trace().events();
+        assert_eq!(evs[0].time, 0);
+        assert_eq!(evs[1].time, 500);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed: u64| {
+            let mut sim = Simulation::new(BandDelay::new(1, 9, seed));
+            sim.add_process(Echo { remaining: 20 });
+            sim.add_process(Echo { remaining: 20 });
+            sim.run(RunLimits::default());
+            sim.trace()
+                .events()
+                .iter()
+                .map(|e| (e.process, e.time))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
+    }
+}

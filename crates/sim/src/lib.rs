@@ -1,0 +1,67 @@
+//! Deterministic discrete-event simulation of message-driven distributed
+//! algorithms — the experimental substrate of the ABC-model reproduction.
+//!
+//! The paper's system model (Section 2) is implemented literally:
+//!
+//! * processes are state machines taking **zero-time atomic steps**, each
+//!   triggered by the reception of exactly one message (an external wake-up
+//!   message starts each process);
+//! * a step receives, transitions, and sends zero or more messages;
+//! * message delays come from a pluggable [`DelayModel`] (the network
+//!   adversary), with delivery guaranteed unless the model drops a message;
+//! * up to `f` processes may be faulty: **crash** faults stop processing
+//!   (messages are still *received*, matching the paper's receive/process
+//!   split) and **Byzantine** faults are simply adversary-written
+//!   [`Process`] implementations, marked faulty so their messages are
+//!   dropped from the synchrony condition.
+//!
+//! Every run captures a full space–time [`Trace`], convertible into an
+//! [`abc_core::ExecutionGraph`] plus a [`abc_core::timed::TimedGraph`] of
+//! real occurrence times — so every simulated execution can be checked
+//! against the ABC synchrony condition (Definition 4), the Θ-Model bound,
+//! and the paper's theorems.
+//!
+//! # Example: one ping-pong round trip
+//!
+//! ```
+//! use abc_sim::{Simulation, Process, Context, delay::FixedDelay, RunLimits};
+//! use abc_core::ProcessId;
+//!
+//! struct Ping;
+//! struct Pong;
+//! impl Process<u32> for Ping {
+//!     fn on_init(&mut self, ctx: &mut Context<'_, u32>) {
+//!         let n = ctx.num_processes();
+//!         for p in 0..n {
+//!             if p != ctx.me().0 { ctx.send(ProcessId(p), 1); }
+//!         }
+//!     }
+//!     fn on_message(&mut self, _ctx: &mut Context<'_, u32>, _from: ProcessId, _m: &u32) {}
+//! }
+//! impl Process<u32> for Pong {
+//!     fn on_init(&mut self, _ctx: &mut Context<'_, u32>) {}
+//!     fn on_message(&mut self, ctx: &mut Context<'_, u32>, from: ProcessId, m: &u32) {
+//!         if *m == 1 { ctx.send(from, 2); }
+//!     }
+//! }
+//!
+//! let mut sim = Simulation::new(FixedDelay::new(5));
+//! sim.add_process(Ping);
+//! sim.add_process(Pong);
+//! let stats = sim.run(RunLimits::default());
+//! assert_eq!(stats.messages_delivered, 2);
+//! let g = sim.trace().to_execution_graph();
+//! assert_eq!(g.num_messages(), 2);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod delay;
+mod engine;
+mod process;
+mod trace;
+
+pub use delay::{DelayModel, Delivery};
+pub use engine::{RunLimits, RunStats, Simulation};
+pub use process::{Context, CrashAt, Mute, Process};
+pub use trace::{Trace, TraceEvent, TraceMessage};

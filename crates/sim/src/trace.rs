@@ -1,0 +1,195 @@
+//! Space–time traces of simulated executions and their conversion into
+//! execution graphs.
+
+use abc_core::graph::ExecutionGraph;
+use abc_core::timed::TimedGraph;
+use abc_core::{EventId, ProcessId};
+use abc_rational::Ratio;
+
+/// One receive event (plus its zero-time computing step) in a trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Global step index (creation order; ties in time are ordered by this).
+    pub seq: usize,
+    /// The process at which the event occurred.
+    pub process: ProcessId,
+    /// Occurrence time.
+    pub time: u64,
+    /// Index of the triggering trace message, or `None` for wake-up events.
+    pub trigger: Option<usize>,
+    /// Whether the owning process had already crashed (the message was
+    /// received but not processed — the paper's receive/processing split).
+    pub received_only: bool,
+    /// Optional instrumentation label set by the algorithm (e.g. the clock
+    /// value after the step).
+    pub label: Option<u64>,
+    /// Whether the algorithm marked this step as a distinguished event
+    /// (Definition 7).
+    pub distinguished: bool,
+}
+
+/// One message in a trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceMessage {
+    /// Sender process.
+    pub from: ProcessId,
+    /// Receiver process.
+    pub to: ProcessId,
+    /// Trace-event index of the sending step.
+    pub send_event: usize,
+    /// Trace-event index of the receive event (`None` while in flight or
+    /// dropped).
+    pub recv_event: Option<usize>,
+    /// Send time.
+    pub send_time: u64,
+    /// Receive time (`None` while in flight or dropped).
+    pub recv_time: Option<u64>,
+}
+
+/// A complete space–time trace of a simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    pub(crate) num_processes: usize,
+    pub(crate) events: Vec<TraceEvent>,
+    pub(crate) messages: Vec<TraceMessage>,
+    pub(crate) faulty: Vec<bool>,
+}
+
+impl Trace {
+    /// Number of processes.
+    #[must_use]
+    pub fn num_processes(&self) -> usize {
+        self.num_processes
+    }
+
+    /// All events, in global chronological (= creation) order.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// All messages, in send order.
+    #[must_use]
+    pub fn messages(&self) -> &[TraceMessage] {
+        &self.messages
+    }
+
+    /// Whether `p` was registered as faulty.
+    #[must_use]
+    pub fn is_faulty(&self, p: ProcessId) -> bool {
+        self.faulty[p.0]
+    }
+
+    /// Converts the trace into an execution graph (Definition 1), dropping
+    /// in-flight/dropped messages (only completed receive events are
+    /// nodes). Faulty processes are marked so their messages are exempt
+    /// from the ABC condition.
+    ///
+    /// Returns the graph; the mapping from trace events to graph events is
+    /// the identity on indices restricted to completed events, recoverable
+    /// via [`Trace::to_execution_graph_with_map`].
+    #[must_use]
+    pub fn to_execution_graph(&self) -> ExecutionGraph {
+        self.to_execution_graph_with_map().0
+    }
+
+    /// Like [`Trace::to_execution_graph`], also returning
+    /// `map[trace_event_index] = Some(graph_event_id)`.
+    #[must_use]
+    pub fn to_execution_graph_with_map(&self) -> (ExecutionGraph, Vec<Option<EventId>>) {
+        let mut b = ExecutionGraph::builder(self.num_processes);
+        let mut map: Vec<Option<EventId>> = vec![None; self.events.len()];
+        for (idx, ev) in self.events.iter().enumerate() {
+            match ev.trigger {
+                None => {
+                    map[idx] = Some(b.init(ev.process));
+                }
+                Some(mi) => {
+                    let msg = &self.messages[mi];
+                    let send_graph_event = map[msg.send_event]
+                        .expect("sender event precedes receive event chronologically");
+                    let (_, recv) = b.send(send_graph_event, ev.process);
+                    map[idx] = Some(recv);
+                }
+            }
+        }
+        for (p, faulty) in self.faulty.iter().enumerate() {
+            if *faulty {
+                b.mark_faulty(ProcessId(p));
+            }
+        }
+        (b.finish(), map)
+    }
+
+    /// The real occurrence times of the graph events produced by
+    /// [`Trace::to_execution_graph`], as a [`TimedGraph`].
+    #[must_use]
+    pub fn to_timed_graph(&self) -> TimedGraph {
+        // Graph events are created in trace order, so times align 1:1 with
+        // completed trace events.
+        let times: Vec<Ratio> = self
+            .events
+            .iter()
+            .map(|e| {
+                // Tie-break equal times by the global sequence number so
+                // that process lines are strictly increasing, scaled to
+                // keep the integer part meaningful: t + seq/(N+1).
+                let n = self.events.len() as i64 + 1;
+                Ratio::from_integer(i64::try_from(e.time).expect("time fits i64"))
+                    + Ratio::new(e.seq as i64, n)
+            })
+            .collect();
+        TimedGraph::new(times)
+    }
+
+    /// Count of events at each process.
+    #[must_use]
+    pub fn events_per_process(&self) -> Vec<usize> {
+        let mut counts = vec![0; self.num_processes];
+        for e in &self.events {
+            counts[e.process.0] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delay::FixedDelay;
+    use crate::engine::{RunLimits, Simulation};
+    use crate::process::{Context, Process};
+
+    /// Everyone broadcasts once at init; no replies.
+    struct Bcast;
+    impl Process<u8> for Bcast {
+        fn on_init(&mut self, ctx: &mut Context<'_, u8>) {
+            ctx.broadcast(7);
+        }
+        fn on_message(&mut self, _: &mut Context<'_, u8>, _: ProcessId, _: &u8) {}
+    }
+
+    #[test]
+    fn trace_to_graph_round_trip() {
+        let mut sim = Simulation::new(FixedDelay::new(3));
+        for _ in 0..3 {
+            sim.add_process(Bcast);
+        }
+        sim.run(RunLimits::default());
+        let trace = sim.trace();
+        // 3 inits + 9 broadcast receptions.
+        assert_eq!(trace.events().len(), 12);
+        assert_eq!(trace.messages().len(), 9);
+        let (g, map) = trace.to_execution_graph_with_map();
+        assert_eq!(g.num_events(), 12);
+        assert_eq!(g.num_messages(), 9);
+        assert!(map.iter().all(Option::is_some));
+        let timed = trace.to_timed_graph();
+        timed.validate(&g).unwrap();
+        // All messages have delay ~3 (mod tie-break fractions).
+        for m in g.messages() {
+            let d = timed.message_delay(&g, m.id);
+            assert!(d > Ratio::from_integer(2) && d < Ratio::from_integer(4));
+        }
+    }
+}

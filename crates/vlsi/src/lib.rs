@@ -1,0 +1,217 @@
+//! VLSI Systems-on-Chip substrate (Section 5.3 of the paper).
+//!
+//! The paper argues the ABC model is a natural fit for fault-tolerant
+//! clock generation in deep sub-micron VLSI (the DARTS line of work): link
+//! delays depend on implementation technology and place-and-route, so
+//! compiling *time values* into an algorithm is fragile, while the ABC
+//! condition constrains only (1) cumulative path delays and (2) timing
+//! *ratios* — both of which survive technology migration, because
+//! migrating a design (say FPGA → ASIC) scales minimum and maximum path
+//! delays by roughly the same factor.
+//!
+//! This crate models an `w × h` grid of clock-generation nodes whose
+//! pairwise link delays follow place-and-route distance plus jitter, runs
+//! the Algorithm 1 tick generation on it, and measures the `Ξ` margin:
+//! `Ξ / max_relevant_cycle_ratio` of the produced execution. The
+//! migration experiment re-runs the same netlist under a scaled
+//! technology profile and shows the margin is preserved — the §5.3 claim.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use abc_clocksync::{instrument, TickGen};
+use abc_core::{check, ProcessId, Xi};
+use abc_rational::Ratio;
+use abc_sim::delay::PerLinkBand;
+use abc_sim::{RunLimits, Simulation};
+
+/// A technology profile: a delay scale (numerator/denominator, applied to
+/// the base per-unit-distance delay) and a jitter fraction in percent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TechProfile {
+    /// Human-readable name ("FPGA", "ASIC", ...).
+    pub name: &'static str,
+    /// Delay scale numerator.
+    pub scale_num: u64,
+    /// Delay scale denominator.
+    pub scale_den: u64,
+    /// Link jitter in percent of the nominal delay (min = nominal,
+    /// max = nominal·(100+jitter)/100).
+    pub jitter_pct: u64,
+}
+
+/// A generic FPGA profile: slow wires, moderate jitter.
+pub const FPGA: TechProfile =
+    TechProfile { name: "FPGA", scale_num: 10, scale_den: 1, jitter_pct: 30 };
+
+/// A migrated high-speed ASIC profile: ~3.3× faster, same relative jitter.
+pub const ASIC: TechProfile =
+    TechProfile { name: "ASIC", scale_num: 3, scale_den: 1, jitter_pct: 30 };
+
+/// An `w × h` grid System-on-Chip running distributed clock generation.
+#[derive(Clone, Debug)]
+pub struct SoC {
+    width: usize,
+    height: usize,
+    profile: TechProfile,
+}
+
+/// Measurements from one clock-generation run.
+#[derive(Clone, Debug)]
+pub struct SoCRun {
+    /// The minimum clock value reached by any node (progress).
+    pub min_clock: u64,
+    /// The maximum clock spread observed (precision).
+    pub spread: u64,
+    /// The maximum relevant-cycle ratio of the execution.
+    pub max_cycle_ratio: Option<Ratio>,
+    /// The margin `Ξ / max_cycle_ratio` (`None` when the trace is
+    /// cycle-free).
+    pub xi_margin: Option<Ratio>,
+}
+
+impl SoC {
+    /// A `width × height` grid under the given technology profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid has fewer than 4 or more than 128 nodes.
+    #[must_use]
+    pub fn new(width: usize, height: usize, profile: TechProfile) -> SoC {
+        let n = width * height;
+        assert!((4..=128).contains(&n), "grid size out of range");
+        SoC { width, height, profile }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Manhattan distance between two nodes of the grid.
+    fn distance(&self, a: usize, b: usize) -> u64 {
+        let (ax, ay) = (a % self.width, a / self.width);
+        let (bx, by) = (b % self.width, b / self.width);
+        (ax.abs_diff(bx) + ay.abs_diff(by)) as u64
+    }
+
+    /// The place-and-route delay model: nominal link delay =
+    /// `scale · (1 + distance)`, jittered upward by `jitter_pct`.
+    #[must_use]
+    pub fn delay_model(&self, seed: u64) -> PerLinkBand {
+        let n = self.nodes();
+        // Base band covers self-messages (distance 0).
+        let base = self.profile.scale_num.max(1) / self.profile.scale_den.max(1);
+        let mut model = PerLinkBand::new(base.max(1), (base.max(1)) * (100 + self.profile.jitter_pct) / 100 + 1, seed);
+        for a in 0..n {
+            for bn in 0..n {
+                if a == bn {
+                    continue;
+                }
+                let d = 1 + self.distance(a, bn);
+                let nominal =
+                    d * self.profile.scale_num / self.profile.scale_den;
+                let nominal = nominal.max(1);
+                let hi = (nominal * (100 + self.profile.jitter_pct)).div_ceil(100);
+                model.set_link(ProcessId(a), ProcessId(bn), nominal, hi.max(nominal));
+            }
+        }
+        model
+    }
+
+    /// The worst-case link delay ratio of the fabric (diagonal × jitter
+    /// over unit link): a safe `Ξ` must exceed this.
+    #[must_use]
+    pub fn worst_link_ratio(&self) -> Ratio {
+        let max_d = 1 + (self.width - 1 + self.height - 1) as u64;
+        let min_nominal = self.profile.scale_num / self.profile.scale_den;
+        let max_hi = max_d * self.profile.scale_num * (100 + self.profile.jitter_pct)
+            / (self.profile.scale_den * 100)
+            + 1;
+        Ratio::new(
+            i64::try_from(max_hi).expect("fits"),
+            i64::try_from(min_nominal.max(1)).expect("fits"),
+        )
+    }
+
+    /// Runs Algorithm 1 tick generation on the fabric and measures
+    /// progress, precision, and the `Ξ` margin.
+    #[must_use]
+    pub fn run_clock_generation(&self, xi: &Xi, seed: u64, max_events: usize) -> SoCRun {
+        let n = self.nodes();
+        let f = (n - 1) / 3;
+        let mut sim = Simulation::new(self.delay_model(seed));
+        for _ in 0..n {
+            sim.add_process(TickGen::new(n, f));
+        }
+        sim.run(RunLimits { max_events, max_time: u64::MAX });
+        let trace = sim.trace();
+        let g = trace.to_execution_graph();
+        let ratio = check::max_relevant_cycle_ratio(&g);
+        let margin = ratio.as_ref().map(|r| xi.as_ratio() / r);
+        SoCRun {
+            min_clock: instrument::min_final_clock(trace).unwrap_or(0),
+            spread: instrument::max_clock_spread(trace).unwrap_or(0),
+            max_cycle_ratio: ratio,
+            xi_margin: margin,
+        }
+    }
+
+    /// Migrates the design to another technology profile (same netlist,
+    /// scaled delays).
+    #[must_use]
+    pub fn migrate(&self, profile: TechProfile) -> SoC {
+        SoC { width: self.width, height: self.height, profile }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_distances() {
+        let soc = SoC::new(3, 2, FPGA);
+        assert_eq!(soc.distance(0, 0), 0);
+        assert_eq!(soc.distance(0, 2), 2);
+        assert_eq!(soc.distance(0, 5), 3); // (0,0) -> (2,1)
+    }
+
+    #[test]
+    fn clock_generation_runs_and_keeps_margin() {
+        let soc = SoC::new(2, 2, FPGA);
+        // Worst link ratio for 2x2 FPGA: max dist 2+1=3 scaled ~ 39/10.
+        let xi = Xi::from_integer(5);
+        let run = soc.run_clock_generation(&xi, 7, 1_200);
+        assert!(run.min_clock > 5, "fabric clock progressed: {run:?}");
+        if let Some(margin) = &run.xi_margin {
+            assert!(margin > &Ratio::one(), "Xi margin positive: {run:?}");
+        }
+        // Precision within 2 Xi.
+        assert!(Ratio::from_integer(run.spread as i64) <= Ratio::from_integer(2) * xi.as_ratio());
+    }
+
+    #[test]
+    fn migration_preserves_xi_margin() {
+        let fpga = SoC::new(2, 2, FPGA);
+        let asic = fpga.migrate(ASIC);
+        let xi = Xi::from_integer(5);
+        let run_fpga = fpga.run_clock_generation(&xi, 11, 1_200);
+        let run_asic = asic.run_clock_generation(&xi, 11, 1_200);
+        // Both technologies keep the execution admissible for the same Xi
+        // (margins above 1): the §5.3 migration claim.
+        let mf = run_fpga.xi_margin.clone().unwrap_or_else(|| Ratio::from_integer(i64::MAX));
+        let ma = run_asic.xi_margin.clone().unwrap_or_else(|| Ratio::from_integer(i64::MAX));
+        assert!(mf > Ratio::one(), "FPGA margin: {run_fpga:?}");
+        assert!(ma > Ratio::one(), "ASIC margin: {run_asic:?}");
+        // And both make progress with bounded spread.
+        assert!(run_fpga.min_clock > 5 && run_asic.min_clock > 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn tiny_grid_rejected() {
+        let _ = SoC::new(1, 2, FPGA);
+    }
+}

@@ -1,0 +1,65 @@
+//! The Fig. 3 ping-pong failure detector: crash detection from the ABC
+//! condition, with the threshold boundary made visible.
+//!
+//! ```bash
+//! cargo run --release --example failure_detector
+//! ```
+
+use abc::core::{ProcessId, Xi};
+use abc::fd::{leader_from_suspects, FdResponder, PingPongDetector};
+use abc::sim::delay::BandDelay;
+use abc::sim::{CrashAt, RunLimits, Simulation};
+
+fn run(threshold: u64, crash: Option<usize>, seed: u64) -> PingPongDetector {
+    let mut sim = Simulation::new(BandDelay::new(10, 19, seed)); // Xi = 2
+    sim.add_process(PingPongDetector::with_threshold(4, threshold));
+    for p in 1..4 {
+        if crash == Some(p) {
+            sim.add_faulty_process(CrashAt::new(FdResponder, 0));
+        } else {
+            sim.add_process(FdResponder);
+        }
+    }
+    sim.run(RunLimits { max_events: 20_000, max_time: u64::MAX });
+    sim.process_as::<PingPongDetector>(ProcessId(0)).unwrap().clone()
+}
+
+fn main() {
+    let xi = Xi::from_integer(2);
+    let sound = xi.two_xi_ceil(); // chain threshold 2Xi = 4
+
+    println!("sound threshold = 2Xi = {sound} chain messages");
+
+    let d = run(sound, Some(2), 1);
+    println!(
+        "p2 crashed: suspected = {:?} after {} probes",
+        d.suspected().collect::<Vec<_>>(),
+        d.probes_completed()
+    );
+    assert!(d.is_suspected(ProcessId(2)));
+
+    let d = run(sound, None, 1);
+    println!(
+        "all correct: suspected = {:?} (strong accuracy)",
+        d.suspected().collect::<Vec<_>>()
+    );
+    assert_eq!(d.suspected().count(), 0);
+
+    // Below the bound the detector is unsound — the paper's cycle argument
+    // is exactly what breaks.
+    let mut false_suspicions = 0;
+    for seed in 0..12 {
+        if run(2, None, seed).suspected().count() > 0 {
+            false_suspicions += 1;
+        }
+    }
+    println!("threshold 2 (< 2Xi): false suspicions in {false_suspicions}/12 seeds");
+
+    // Omega: smallest unsuspected core member.
+    let d = run(sound, Some(1), 3);
+    let core: Vec<ProcessId> = (0..4).map(ProcessId).collect();
+    println!(
+        "omega leader with p1 crashed: {:?}",
+        leader_from_suspects(&core, d.history().last().unwrap().1)
+    );
+}

@@ -1,0 +1,53 @@
+//! The paper's Section 5 separation scenarios: spacecraft clusters with
+//! ever-growing delays (no classic model admits them; ABC does) and the
+//! Fig. 10 FIFO guarantee that falls out of the ABC condition alone.
+//!
+//! ```bash
+//! cargo run --example spacecraft_fifo
+//! ```
+
+use abc::core::{check, Xi};
+use abc::models::{archimedean, far, parsync, scenarios};
+use abc::rational::Ratio;
+
+fn main() {
+    // ---------------------------------------------------------------
+    // Spacecraft formation: inter-cluster delays double every exchange.
+    // ---------------------------------------------------------------
+    let (g, timed) = scenarios::spacecraft_growing_delays(12);
+    let ratio = check::max_relevant_cycle_ratio(&g).unwrap();
+    println!("spacecraft formation, 12 exchanges, delays 4, 8, ..., 16384:");
+    println!("  max relevant cycle ratio = {ratio} (ABC-admissible for Xi = 2)");
+    assert!(check::is_admissible(&g, &Xi::from_integer(2)).unwrap());
+
+    let theta = timed.max_theta_ratio(&g).unwrap().unwrap();
+    println!("  observed Theta diverges: {:.1}", theta.to_f64());
+    let v = parsync::check_parsync(&g, &timed, &parsync::ParSyncParams { phi: 50, delta: 50 });
+    println!("  ParSync(50, 50) admissible? {}", v.admissible);
+    println!(
+        "  Archimedean(s = 50) admissible? {}",
+        archimedean::is_admissible(&g, &timed, &Ratio::from_integer(50))
+    );
+    let avgs = far::running_average_delays(&g, &timed);
+    println!(
+        "  FAR running average delay: mid = {:.1}, final = {:.1} (diverges)",
+        avgs[avgs.len() / 2].to_f64(),
+        avgs.last().unwrap().to_f64()
+    );
+
+    // ---------------------------------------------------------------
+    // Fig. 10: FIFO for free.
+    // ---------------------------------------------------------------
+    let (in_order, reordered) = scenarios::fig10_fifo();
+    println!("\nFig. 10 FIFO (Xi = 4):");
+    println!(
+        "  in-order delivery admissible?  {}",
+        check::is_admissible(&in_order, &Xi::from_integer(4)).unwrap()
+    );
+    println!(
+        "  reordered delivery admissible? {} (cycle ratio {})",
+        check::is_admissible(&reordered, &Xi::from_integer(4)).unwrap(),
+        check::max_relevant_cycle_ratio(&reordered).unwrap()
+    );
+    println!("  => the ABC condition forbids reordering: FIFO without timestamps.");
+}

@@ -1,0 +1,36 @@
+//! # abc — The Asynchronous Bounded-Cycle model, end to end
+//!
+//! Facade crate for the reproduction of *The Asynchronous Bounded-Cycle
+//! model* (Robinson & Schmid, PODC/SSS 2008; TCS 412 (2011) 5580–5601).
+//! It re-exports every sub-crate under one roof and hosts the runnable
+//! examples (`examples/`) and cross-crate integration tests (`tests/`).
+//!
+//! | Re-export | Contents |
+//! |---|---|
+//! | [`core`] | Execution graphs, relevant cycles, the ABC condition, cuts, cycle space, Theorem 7 delay assignments |
+//! | [`rational`] | Exact big-integer / rational arithmetic |
+//! | [`lp`] | Exact simplex + Farkas certificates, Fourier–Motzkin, difference constraints |
+//! | [`sim`] | Deterministic message-driven simulator with fault injection |
+//! | [`models`] | Θ-Model, ParSync/DLS, Archimedean, FAR, MCM, MMR + separation scenarios |
+//! | [`clocksync`] | Algorithm 1 (Byzantine clock sync) + Algorithm 2 (lock-step rounds) |
+//! | [`fd`] | Fig. 3 ping-pong failure detection, Ω leader election |
+//! | [`consensus`] | EIG + FloodSet consensus over lock-step rounds |
+//! | [`variants`] | ?ABC, ◇ABC, ?◇ABC weaker variants (Section 6) |
+//! | [`vlsi`] | Systems-on-Chip substrate (Section 5.3) |
+//!
+//! Start with `examples/quickstart.rs`:
+//!
+//! ```bash
+//! cargo run --example quickstart
+//! ```
+
+pub use abc_clocksync as clocksync;
+pub use abc_consensus as consensus;
+pub use abc_core as core;
+pub use abc_fd as fd;
+pub use abc_lp as lp;
+pub use abc_models as models;
+pub use abc_rational as rational;
+pub use abc_sim as sim;
+pub use abc_variants as variants;
+pub use abc_vlsi as vlsi;

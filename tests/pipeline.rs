@@ -1,0 +1,107 @@
+//! End-to-end integration: simulate → extract graph → check → assign
+//! delays → verify Θ-admissibility, across crates.
+
+use abc::clocksync::TickGen;
+use abc::core::assign::assign_delays;
+use abc::core::{check, Xi};
+use abc::rational::Ratio;
+use abc::sim::delay::{BandDelay, GrowingDelay};
+use abc::sim::{RunLimits, Simulation};
+
+fn clocksync_trace(lo: u64, hi: u64, seed: u64, events: usize) -> abc::sim::Trace {
+    let mut sim = Simulation::new(BandDelay::new(lo, hi, seed));
+    for _ in 0..4 {
+        sim.add_process(TickGen::new(4, 1));
+    }
+    sim.run(RunLimits { max_events: events, max_time: u64::MAX });
+    sim.trace().clone()
+}
+
+#[test]
+fn simulate_check_assign_pipeline() {
+    let trace = clocksync_trace(10, 19, 5, 500);
+    let g = trace.to_execution_graph();
+    // Band [10, 19] guarantees admissibility for Xi slightly above 19/10.
+    let xi = Xi::from_fraction(2, 1);
+    assert!(check::is_admissible(&g, &xi).unwrap());
+    // Theorem 7: the ABC-admissible trace admits a normalized assignment...
+    let timed = assign_delays(&g, &xi).unwrap();
+    assert!(timed.is_normalized(&g, &xi));
+    // ...whose Θ is bounded by Xi, connecting back to the Θ-Model.
+    assert!(timed.is_theta_admissible(&g, xi.as_ratio()));
+}
+
+#[test]
+fn real_times_vs_assigned_times_are_both_valid() {
+    let trace = clocksync_trace(10, 19, 8, 400);
+    let g = trace.to_execution_graph();
+    // The trace's *real* occurrence times form a valid timed graph too.
+    let real = trace.to_timed_graph();
+    real.validate(&g).unwrap();
+    // Its observed Theta is within the delay band's ratio (plus tie fuzz).
+    if let Some(Some(theta)) = real.max_theta_ratio(&g) {
+        assert!(theta < Ratio::new(21, 10), "observed theta {theta}");
+        // Theorem 6's quantitative core: cycle ratios are bounded by the
+        // observed Theta.
+        if let Some(r) = check::max_relevant_cycle_ratio(&g) {
+            assert!(r <= theta, "cycle ratio {r} vs theta {theta}");
+        }
+    }
+}
+
+#[test]
+fn growing_delays_stay_admissible_with_banded_ratio() {
+    // GrowingDelay keeps pairwise ratios around hi/lo while delays grow
+    // without bound: ABC admissibility survives where delay bounds die.
+    let mut sim = Simulation::new(GrowingDelay::new(10, 19, 500, 3));
+    for _ in 0..4 {
+        sim.add_process(TickGen::new(4, 1));
+    }
+    sim.run(RunLimits { max_events: 1_000, max_time: u64::MAX });
+    let g = sim.trace().to_execution_graph();
+    let ratio = check::max_relevant_cycle_ratio(&g);
+    // Messages sent at nearby times have delay ratio < 1.9 * growth-slack;
+    // growth over one in-flight window at tau=500 is mild. Allow 3.
+    if let Some(r) = &ratio {
+        assert!(r < &Ratio::from_integer(3), "ratio {r}");
+    }
+    // Delays really did grow: late messages are much slower than early.
+    let trace = sim.trace();
+    let (mut first, mut last) = (None, None);
+    for m in trace.messages() {
+        if let Some(rt) = m.recv_time {
+            let d = rt - m.send_time;
+            if first.is_none() {
+                first = Some(d);
+            }
+            last = Some(d);
+        }
+    }
+    assert!(last.unwrap() > first.unwrap() * 2, "delays grew");
+}
+
+#[test]
+fn violating_schedule_is_caught_and_refused() {
+    // Hand-build a trace-like graph that violates Xi = 2, then confirm the
+    // checker and the assigner agree it is inadmissible.
+    use abc::core::graph::{ExecutionGraph, ProcessId};
+    let mut b = ExecutionGraph::builder(4);
+    let q = b.init(ProcessId(0));
+    for i in 1..4 {
+        b.init(ProcessId(i));
+    }
+    let (_, r) = b.send(q, ProcessId(2));
+    let (_, s) = b.send(r, ProcessId(3));
+    b.send(s, ProcessId(1));
+    b.send(q, ProcessId(1)); // spans a 3-message chain: ratio 3
+    let g = b.finish();
+    let xi = Xi::from_integer(2);
+    assert!(!check::is_admissible(&g, &xi).unwrap());
+    let err = assign_delays(&g, &xi).unwrap_err();
+    match err {
+        abc::core::assign::AssignError::NotAdmissible(cycle) => {
+            assert!(cycle.classify().violates(&xi));
+        }
+        other => panic!("unexpected: {other}"),
+    }
+}
