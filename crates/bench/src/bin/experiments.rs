@@ -11,7 +11,11 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let registry = abc_bench::registry();
-    if args.is_empty() || args.iter().any(|a| a == "--list" || a == "-l" || a == "help") {
+    if args.is_empty()
+        || args
+            .iter()
+            .any(|a| a == "--list" || a == "-l" || a == "help")
+    {
         println!("Experiments (run with: experiments <id>... | all):");
         for (id, desc, _) in &registry {
             println!("  {id:<20} {desc}");
@@ -40,7 +44,10 @@ fn main() -> ExitCode {
         println!("All {ran} experiments PASSED.");
         ExitCode::SUCCESS
     } else {
-        println!("{} of {ran} experiments FAILED: {failures:?}", failures.len());
+        println!(
+            "{} of {ran} experiments FAILED: {failures:?}",
+            failures.len()
+        );
         ExitCode::FAILURE
     }
 }

@@ -5,7 +5,9 @@
 //! output of `experiments all`.
 
 use abc_clocksync::{byzantine::TickRusher, instrument, LockStep, RoundApp, TickGen};
-use abc_core::assign::{assign_delays, assign_delays_via_cycle_lp, cycle_lp_system, CycleLpOutcome};
+use abc_core::assign::{
+    assign_delays, assign_delays_via_cycle_lp, cycle_lp_system, CycleLpOutcome,
+};
 use abc_core::cyclespace::CycleVector;
 use abc_core::enumerate::{enumerate_relevant_cycles, EnumerationLimits};
 use abc_core::graph::{ExecutionGraph, ProcessId};
@@ -108,8 +110,7 @@ pub fn fig2() -> bool {
     let mut cancelled = false;
     'outer: for i in 0..vectors.len() {
         for j in (i + 1)..vectors.len() {
-            if vectors[i].consistency(&vectors[j])
-                == abc_core::cyclespace::Consistency::OConsistent
+            if vectors[i].consistency(&vectors[j]) == abc_core::cyclespace::Consistency::OConsistent
             {
                 let sum = vectors[i].add(&vectors[j]);
                 row(&[
@@ -120,8 +121,7 @@ pub fn fig2() -> bool {
                     "X + Y support",
                     &format!("{} messages (mixed edge cancelled)", sum.support_len()),
                 ]);
-                cancelled = sum.support_len()
-                    < vectors[i].support_len() + vectors[j].support_len();
+                cancelled = sum.support_len() < vectors[i].support_len() + vectors[j].support_len();
                 break 'outer;
             }
         }
@@ -147,13 +147,13 @@ pub fn fig3() -> bool {
                 sim.add_process(FdResponder);
             }
         }
-        sim.run(RunLimits { max_events: 20_000, max_time: u64::MAX });
+        sim.run(RunLimits {
+            max_events: 20_000,
+            max_time: u64::MAX,
+        });
         let d = sim.process_as::<PingPongDetector>(ProcessId(0)).unwrap();
         let det = crashed.iter().all(|p| d.is_suspected(ProcessId(*p)));
-        let false_susp = d
-            .suspected()
-            .filter(|p| !crashed.contains(&p.0))
-            .count();
+        let false_susp = d.suspected().filter(|p| !crashed.contains(&p.0)).count();
         row(&[
             label,
             verdict(det),
@@ -193,8 +193,16 @@ pub fn fig4() -> bool {
     let late_ok = !check::is_admissible(&late, &xi).unwrap();
     let early_ok = check::is_admissible(&early, &xi).unwrap();
     row(&["order", "paper", "measured"]);
-    row(&["reply after psi (Fig 3)", "violates Xi=2 (4/2)", verdict(late_ok)]);
-    row(&["reply before psi (Fig 4)", "non-relevant, admissible", verdict(early_ok)]);
+    row(&[
+        "reply after psi (Fig 3)",
+        "violates Xi=2 (4/2)",
+        verdict(late_ok),
+    ]);
+    row(&[
+        "reply before psi (Fig 4)",
+        "non-relevant, admissible",
+        verdict(early_ok),
+    ]);
     row(&[
         "max ratio (late)",
         "2",
@@ -218,7 +226,10 @@ pub fn fig5() -> bool {
         for _ in 0..f {
             sim.add_faulty_process(TickRusher::new(7));
         }
-        sim.run(RunLimits { max_events: 6_000, max_time: u64::MAX });
+        sim.run(RunLimits {
+            max_events: 6_000,
+            max_time: u64::MAX,
+        });
         let spread = instrument::max_consistent_cut_spread(sim.trace()).unwrap_or(0);
         let bound = instrument::two_xi(&xi);
         let pass = Ratio::from_integer(spread as i64) <= bound;
@@ -247,10 +258,10 @@ pub fn fig6() -> bool {
     ] {
         let lp = cycle_lp_system(&g, &xi, EnumerationLimits::default()).unwrap();
         let k = lp.variables.len();
-        let (l, m) = lp
-            .cycles
-            .iter()
-            .fold((0, 0), |(l, m), (_, rel)| if *rel { (l + 1, m) } else { (l, m + 1) });
+        let (l, m) = lp.cycles.iter().fold(
+            (0, 0),
+            |(l, m), (_, rel)| if *rel { (l + 1, m) } else { (l, m + 1) },
+        );
         row(&[
             &format!("Xi={xi}"),
             &format!("k={k} messages"),
@@ -306,7 +317,11 @@ pub fn fig8() -> bool {
                 &delta.to_string(),
                 &xi.to_string(),
                 verdict(abc_ok),
-                if v.admissible { "yes (BAD)" } else { "no (prover wins)" },
+                if v.admissible {
+                    "yes (BAD)"
+                } else {
+                    "no (prover wins)"
+                },
             ]);
             ok &= abc_ok && !v.admissible;
         }
@@ -350,7 +365,16 @@ pub fn fig10() -> bool {
 pub fn precision() -> bool {
     banner("Thm 1-3: progress and precision <= 2Xi");
     let mut ok = true;
-    row(&["n", "f", "delays", "Xi", "min clock", "spread", "2Xi", "verdict"]);
+    row(&[
+        "n",
+        "f",
+        "delays",
+        "Xi",
+        "min clock",
+        "spread",
+        "2Xi",
+        "verdict",
+    ]);
     let cases: Vec<(usize, usize, u64, u64, i64)> = vec![
         (4, 1, 10, 19, 2),
         (7, 2, 10, 19, 2),
@@ -371,7 +395,10 @@ pub fn precision() -> bool {
             // storms that would eat any event budget, but they cannot slow
             // the correct processes' real-time progress.
             let _ = n;
-            sim.run(RunLimits { max_events: 2_000_000, max_time: 3_000 });
+            sim.run(RunLimits {
+                max_events: 2_000_000,
+                max_time: 3_000,
+            });
             let spread = instrument::max_clock_spread(sim.trace()).unwrap();
             let minc = instrument::min_final_clock(sim.trace()).unwrap();
             let bound = instrument::two_xi(&xi);
@@ -397,7 +424,10 @@ pub fn precision() -> bool {
     for _ in 0..4 {
         sim.add_process(TickGen::new(4, 1));
     }
-    sim.run(RunLimits { max_events: 6_000, max_time: u64::MAX });
+    sim.run(RunLimits {
+        max_events: 6_000,
+        max_time: u64::MAX,
+    });
     let spread = instrument::max_clock_spread(sim.trace()).unwrap();
     let pass = Ratio::from_integer(spread as i64) <= instrument::two_xi(&xi) && spread >= 1;
     row(&[
@@ -459,7 +489,14 @@ impl RoundApp for EchoRounds {
 pub fn lockstep() -> bool {
     banner("Thm 5: lock-step round simulation");
     let mut ok = true;
-    row(&["n", "f", "byz", "rounds", "all correct msgs seen", "verdict"]);
+    row(&[
+        "n",
+        "f",
+        "byz",
+        "rounds",
+        "all correct msgs seen",
+        "verdict",
+    ]);
     for byz in [0usize, 1] {
         let n = 4;
         let xi = Xi::from_integer(2);
@@ -470,7 +507,10 @@ pub fn lockstep() -> bool {
         for _ in 0..byz {
             sim.add_faulty_process(TickRusher::new(5));
         }
-        sim.run(RunLimits { max_events: 30_000, max_time: u64::MAX });
+        sim.run(RunLimits {
+            max_events: 30_000,
+            max_time: u64::MAX,
+        });
         let correct_mask: u128 = (1 << (n - byz)) - 1;
         let mut pass = true;
         let mut min_rounds = u64::MAX;
@@ -499,7 +539,12 @@ pub fn lockstep() -> bool {
 pub fn theta_subset() -> bool {
     banner("Thm 6: M_Theta is a subset of M_ABC (cycle ratio <= Theta)");
     let mut ok = true;
-    row(&["band", "observed Theta", "max cycle ratio", "ratio <= Theta"]);
+    row(&[
+        "band",
+        "observed Theta",
+        "max cycle ratio",
+        "ratio <= Theta",
+    ]);
     for (lo, hi, seed) in [(10u64, 19u64, 1u64), (10, 25, 2), (50, 99, 3), (7, 7, 4)] {
         let trace = workloads::clocksync_trace(4, 1, lo, hi, seed, 700);
         let g = trace.to_execution_graph();
@@ -525,7 +570,13 @@ pub fn theta_subset() -> bool {
 pub fn delay_assignment() -> bool {
     banner("Thm 7/12: normalized delay assignments");
     let mut ok = true;
-    row(&["graph", "Xi", "assignment", "normalized", "theta-adm for Xi"]);
+    row(&[
+        "graph",
+        "Xi",
+        "assignment",
+        "normalized",
+        "theta-adm for Xi",
+    ]);
     for hops in 2..=5usize {
         let g = workloads::two_chain(hops);
         for xi_num in [2i64, 4, 7] {
@@ -566,8 +617,17 @@ pub fn delay_assignment() -> bool {
     let g = trace.to_execution_graph();
     let xi = Xi::from_fraction(21, 10);
     let timed = assign_delays(&g, &xi);
-    let pass = timed.as_ref().map(|t| t.is_normalized(&g, &xi)).unwrap_or(false);
-    row(&["clocksync trace (400 ev)", "21/10", "exists", verdict(pass), "-"]);
+    let pass = timed
+        .as_ref()
+        .map(|t| t.is_normalized(&g, &xi))
+        .unwrap_or(false);
+    row(&[
+        "clocksync trace (400 ev)",
+        "21/10",
+        "exists",
+        verdict(pass),
+        "-",
+    ]);
     ok && pass
 }
 
@@ -643,8 +703,7 @@ pub fn indistinguishability() -> bool {
         let delay = match tm.recv_event {
             Some(recv_idx) => {
                 let recv_graph = event_map[recv_idx].expect("delivered");
-                let abc_core::graph::Trigger::Message(mid) = g.event(recv_graph).trigger
-                else {
+                let abc_core::graph::Trigger::Message(mid) = g.event(recv_graph).trigger else {
                     unreachable!("receive events are message-triggered")
                 };
                 let d = timed.message_delay(&g, mid) * &scale_r;
@@ -674,11 +733,17 @@ pub fn indistinguishability() -> bool {
     }
     // 4. Re-run the same deterministic algorithm under the replayed
     // schedule (assigned init offsets + assigned delays).
-    let mut sim = Simulation::new(Replay { per_sender, next: vec![0; n] });
+    let mut sim = Simulation::new(Replay {
+        per_sender,
+        next: vec![0; n],
+    });
     for p in 0..n {
         sim.add_process_starting_at(TickGen::new(n, 1), start_of(p));
     }
-    sim.run(RunLimits { max_events: 600, max_time: HORIZON - 1 });
+    sim.run(RunLimits {
+        max_events: 600,
+        max_time: HORIZON - 1,
+    });
     // 5. Compare per-process observable histories (trigger sender + clock
     // label sequences) on the common prefix.
     let history = |t: &abc_sim::Trace| -> Vec<Vec<(Option<usize>, Option<u64>)>> {
@@ -692,7 +757,12 @@ pub fn indistinguishability() -> bool {
     let h1 = history(&trace);
     let h2 = history(sim.trace());
     let mut ok = true;
-    row(&["process", "events (orig)", "events (replay)", "common prefix equal"]);
+    row(&[
+        "process",
+        "events (orig)",
+        "events (replay)",
+        "common prefix equal",
+    ]);
     for p in 0..n {
         let common = h1[p].len().min(h2[p].len());
         let equal = h1[p][..common] == h2[p][..common];
@@ -713,7 +783,15 @@ pub fn consensus() -> bool {
     use abc_consensus::harness;
     let xi = Xi::from_integer(2);
     let mut ok = true;
-    row(&["algorithm", "n", "f", "faults", "agreement", "validity", "terminated"]);
+    row(&[
+        "algorithm",
+        "n",
+        "f",
+        "faults",
+        "agreement",
+        "validity",
+        "terminated",
+    ]);
     let eig = harness::run_eig(4, 1, 1, &[1, 1, 1], &xi, 3, 60_000);
     row(&[
         "EIG",
@@ -760,12 +838,19 @@ pub fn variants() -> bool {
     for _ in 1..4 {
         sim.add_process(AdResponder);
     }
-    sim.run(RunLimits { max_events: 60_000, max_time: u64::MAX });
+    sim.run(RunLimits {
+        max_events: 60_000,
+        max_time: u64::MAX,
+    });
     let est = sim.process_as::<XiEstimator>(ProcessId(0)).unwrap();
     let est_ok = est.revisions >= 1 && est.suspected_count() == 0;
     row(&[
         "?ABC estimator (true ratio < 4)",
-        &format!("revisions={}, final threshold={}", est.revisions, est.threshold()),
+        &format!(
+            "revisions={}, final threshold={}",
+            est.revisions,
+            est.threshold()
+        ),
         verdict(est_ok),
     ]);
     ok &= est_ok;
@@ -775,7 +860,10 @@ pub fn variants() -> bool {
     for _ in 0..n {
         sim.add_process(DoublingLockStep::new(n, 1, 2));
     }
-    sim.run(RunLimits { max_events: 120_000, max_time: u64::MAX });
+    sim.run(RunLimits {
+        max_events: 120_000,
+        max_time: u64::MAX,
+    });
     let correct_mask: u128 = (1 << n) - 1;
     let mut dls_ok = true;
     for p in 0..n {
@@ -783,7 +871,11 @@ pub fn variants() -> bool {
         dls_ok &= d.rounds_completed() >= 6
             && d.lockstep_suffix_holds(d.rounds_completed().saturating_sub(1), correct_mask);
     }
-    row(&["?eventual-ABC doubling rounds", "suffix lock-step", verdict(dls_ok)]);
+    row(&[
+        "?eventual-ABC doubling rounds",
+        "suffix lock-step",
+        verdict(dls_ok),
+    ]);
     ok && dls_ok
 }
 
@@ -791,7 +883,14 @@ pub fn variants() -> bool {
 pub fn vlsi() -> bool {
     banner("Sec 5.3: SoC clock generation and technology migration");
     let mut ok = true;
-    row(&["grid", "profile", "min clock", "spread", "cycle ratio", "Xi margin"]);
+    row(&[
+        "grid",
+        "profile",
+        "min clock",
+        "spread",
+        "cycle ratio",
+        "Xi margin",
+    ]);
     for (w, h) in [(2usize, 2usize), (3, 2)] {
         let xi = Xi::from_integer(if (w, h) == (2, 2) { 5 } else { 7 });
         for profile in [FPGA, ASIC] {
@@ -830,7 +929,10 @@ pub fn fd_sweep() -> bool {
             for _ in 1..4 {
                 sim.add_process(FdResponder);
             }
-            sim.run(RunLimits { max_events: 20_000, max_time: u64::MAX });
+            sim.run(RunLimits {
+                max_events: 20_000,
+                max_time: u64::MAX,
+            });
             let d = sim.process_as::<PingPongDetector>(ProcessId(0)).unwrap();
             if d.suspected().count() > 0 {
                 false_count += 1;
@@ -848,6 +950,10 @@ pub fn fd_sweep() -> bool {
             below_saw_false = true;
         }
     }
-    row(&["below-threshold false suspicions observed", verdict(below_saw_false), ""]);
+    row(&[
+        "below-threshold false suspicions observed",
+        verdict(below_saw_false),
+        "",
+    ]);
     ok && below_saw_false
 }

@@ -38,7 +38,10 @@ pub fn clocksync_trace(
     for _ in 0..n {
         sim.add_process(abc_clocksync::TickGen::new(n, f));
     }
-    sim.run(RunLimits { max_events: events, max_time: u64::MAX });
+    sim.run(RunLimits {
+        max_events: events,
+        max_time: u64::MAX,
+    });
     sim.trace().clone()
 }
 

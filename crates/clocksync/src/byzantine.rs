@@ -35,7 +35,11 @@ impl TickRusher {
     /// Jumps `jump` ticks ahead on every reaction.
     #[must_use]
     pub fn new(jump: u64) -> TickRusher {
-        TickRusher { jump, next: 0, last_trigger: None }
+        TickRusher {
+            jump,
+            next: 0,
+            last_trigger: None,
+        }
     }
 
     fn bump(&mut self) -> u64 {
@@ -70,13 +74,19 @@ impl Process<u64> for TickRusher {
 impl<P: Clone + std::fmt::Debug + 'static> Process<TickMsg<P>> for TickRusher {
     fn on_init(&mut self, ctx: &mut Context<'_, TickMsg<P>>) {
         let t = self.bump();
-        ctx.broadcast(TickMsg { k: t, payload: None });
+        ctx.broadcast(TickMsg {
+            k: t,
+            payload: None,
+        });
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_, TickMsg<P>>, _from: ProcessId, m: &TickMsg<P>) {
         if self.should_react(m.k) {
             let t = self.bump();
-            ctx.broadcast(TickMsg { k: t, payload: None });
+            ctx.broadcast(TickMsg {
+                k: t,
+                payload: None,
+            });
         }
     }
 }
@@ -115,7 +125,10 @@ impl Process<u64> for Equivocator {
         let n = ctx.num_processes();
         let c = self.counter;
         for p in 0..n {
-            ctx.send(ProcessId(p), if p % 2 == 0 { c } else { c.saturating_mul(3) });
+            ctx.send(
+                ProcessId(p),
+                if p % 2 == 0 { c } else { c.saturating_mul(3) },
+            );
         }
     }
 }
@@ -165,7 +178,10 @@ mod tests {
             sim.add_process(TickGen::new(4, 1));
         }
         sim.add_faulty_process(TickRusher::new(100));
-        sim.run(RunLimits { max_events: 4_000, max_time: u64::MAX });
+        sim.run(RunLimits {
+            max_events: 4_000,
+            max_time: u64::MAX,
+        });
         let clocks = final_clocks(&sim, &[0, 1, 2]);
         let (lo, hi) = (clocks.iter().min().unwrap(), clocks.iter().max().unwrap());
         assert!(*hi >= 10, "correct clocks progressed: {clocks:?}");
@@ -182,7 +198,10 @@ mod tests {
             sim.add_process(TickGen::new(4, 1));
         }
         sim.add_faulty_process(Mute);
-        sim.run(RunLimits { max_events: 3_000, max_time: u64::MAX });
+        sim.run(RunLimits {
+            max_events: 3_000,
+            max_time: u64::MAX,
+        });
         for c in final_clocks(&sim, &[0, 1, 2]) {
             assert!(c >= 10, "clock stalled at {c}");
         }
@@ -195,7 +214,10 @@ mod tests {
             sim.add_process(TickGen::new(4, 1));
         }
         sim.add_faulty_process(Equivocator::new());
-        sim.run(RunLimits { max_events: 4_000, max_time: u64::MAX });
+        sim.run(RunLimits {
+            max_events: 4_000,
+            max_time: u64::MAX,
+        });
         let clocks = final_clocks(&sim, &[0, 1, 2]);
         let (lo, hi) = (clocks.iter().min().unwrap(), clocks.iter().max().unwrap());
         assert!(hi - lo <= 4, "equivocator split the clocks: {clocks:?}");
@@ -213,7 +235,10 @@ mod tests {
         }
         sim.add_faulty_process(TickRusher::new(1_000));
         sim.add_faulty_process(TickRusher::new(1_000));
-        sim.run(RunLimits { max_events: 2_000, max_time: u64::MAX });
+        sim.run(RunLimits {
+            max_events: 2_000,
+            max_time: u64::MAX,
+        });
         let clocks = final_clocks(&sim, &[0, 1]);
         assert!(
             clocks.iter().any(|c| *c >= 1_000),

@@ -43,9 +43,18 @@ impl TickCore {
     /// Panics unless `1 ≤ n ≤ 128` and `n ≥ 3f + 1`.
     #[must_use]
     pub fn new(n: usize, f: usize) -> TickCore {
-        assert!(n >= 1 && n <= 128, "sender bitmasks support up to 128 processes");
+        assert!(
+            n >= 1 && n <= 128,
+            "sender bitmasks support up to 128 processes"
+        );
         assert!(n >= 3 * f + 1, "Algorithm 1 requires n >= 3f + 1");
-        TickCore { n, f, k: 0, initialized: false, received: BTreeMap::new() }
+        TickCore {
+            n,
+            f,
+            k: 0,
+            initialized: false,
+            received: BTreeMap::new(),
+        }
     }
 
     /// The current clock value `k`.

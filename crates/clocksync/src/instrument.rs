@@ -241,7 +241,7 @@ pub fn max_consistent_cut_spread(trace: &Trace) -> Option<u64> {
                 continue;
             }
             let seen = vc[idx][q]; // events of q inside ⟨e⟩
-            // Only meaningful once q is inside the causal cone at all.
+                                   // Only meaningful once q is inside the causal cone at all.
             if seen == 0 {
                 continue;
             }
@@ -270,7 +270,10 @@ mod tests {
         for _ in 0..n {
             sim.add_process(TickGen::new(n, f_registered));
         }
-        sim.run(RunLimits { max_events: events, max_time: u64::MAX });
+        sim.run(RunLimits {
+            max_events: events,
+            max_time: u64::MAX,
+        });
         sim
     }
 
@@ -301,7 +304,10 @@ mod tests {
         let xi = Xi::from_integer(4);
         let sim = run_tickgen(4, 1, AdversarialSpan::new(10, 39, ProcessId(0)), 6_000);
         let spread = max_clock_spread(sim.trace()).unwrap();
-        assert!(Ratio::from_integer(spread as i64) <= two_xi(&xi), "spread {spread}");
+        assert!(
+            Ratio::from_integer(spread as i64) <= two_xi(&xi),
+            "spread {spread}"
+        );
         // The adversary actually creates skew (> 1), showing the bound is
         // not trivially slack.
         assert!(spread >= 1, "adversary produced no skew at all");
@@ -323,7 +329,10 @@ mod tests {
         sim.add_faulty_process(TickGen::new(4, 1));
         sim.add_faulty_process(TickGen::new(4, 1));
         sim.add_faulty_process(TickGen::new(4, 1));
-        sim.run(RunLimits { max_events: 100, max_time: u64::MAX });
+        sim.run(RunLimits {
+            max_events: 100,
+            max_time: u64::MAX,
+        });
         assert_eq!(max_clock_spread(sim.trace()), None);
     }
 
@@ -334,7 +343,10 @@ mod tests {
         let mut sim = Simulation::new(FixedDelay::new(3));
         sim.add_process(TickGen::new(2, 0));
         sim.add_process(TickGen::new(2, 0));
-        sim.run(RunLimits { max_events: 10, max_time: u64::MAX });
+        sim.run(RunLimits {
+            max_events: 10,
+            max_time: u64::MAX,
+        });
         let vc = vector_clocks(sim.trace());
         // First event is an init: vc = e_p incremented only.
         assert_eq!(vc[0].iter().sum::<usize>(), 1);

@@ -229,7 +229,10 @@ mod tests {
 
     impl Recorder {
         fn new() -> Recorder {
-            Recorder { rounds_seen: Vec::new(), inputs_ok: true }
+            Recorder {
+                rounds_seen: Vec::new(),
+                inputs_ok: true,
+            }
         }
     }
 
@@ -264,7 +267,10 @@ mod tests {
         for _ in 0..n {
             sim.add_process(LockStep::new(n, 1, &xi, Recorder::new()));
         }
-        sim.run(RunLimits { max_events: 8_000, max_time: u64::MAX });
+        sim.run(RunLimits {
+            max_events: 8_000,
+            max_time: u64::MAX,
+        });
         let correct_mask: u128 = (1 << n) - 1;
         for p in 0..n {
             let ls = sim

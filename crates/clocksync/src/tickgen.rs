@@ -26,7 +26,9 @@ impl TickGen {
     /// Panics unless `1 ≤ n ≤ 128` and `n ≥ 3f + 1`.
     #[must_use]
     pub fn new(n: usize, f: usize) -> TickGen {
-        TickGen { core: TickCore::new(n, f) }
+        TickGen {
+            core: TickCore::new(n, f),
+        }
     }
 
     /// The current clock value.
@@ -73,7 +75,10 @@ mod tests {
         for _ in 0..4 {
             sim.add_process(TickGen::new(4, 1));
         }
-        sim.run(RunLimits { max_events: 2_000, max_time: u64::MAX });
+        sim.run(RunLimits {
+            max_events: 2_000,
+            max_time: u64::MAX,
+        });
         // All clocks advanced well beyond 0.
         for p in 0..4 {
             let last = sim
@@ -97,7 +102,10 @@ mod tests {
         for _ in 0..4 {
             sim.add_process(TickGen::new(4, 1));
         }
-        sim.run(RunLimits { max_events: 600, max_time: u64::MAX });
+        sim.run(RunLimits {
+            max_events: 600,
+            max_time: u64::MAX,
+        });
         let g = sim.trace().to_execution_graph();
         let xi = Xi::from_fraction(21, 10);
         assert!(check::is_admissible(&g, &xi).unwrap());
@@ -109,7 +117,10 @@ mod tests {
         for _ in 0..4 {
             sim.add_process(TickGen::new(4, 1));
         }
-        sim.run(RunLimits { max_events: 1_000, max_time: u64::MAX });
+        sim.run(RunLimits {
+            max_events: 1_000,
+            max_time: u64::MAX,
+        });
         for p in 0..4 {
             let labels: Vec<u64> = sim
                 .trace()

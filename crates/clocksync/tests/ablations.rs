@@ -27,7 +27,10 @@ fn run_lockstep(phases: u64, seed: u64) -> bool {
     for _ in 0..n {
         sim.add_process(LockStep::with_phases(n, 1, phases, Probe));
     }
-    sim.run(RunLimits { max_events: 10_000, max_time: u64::MAX });
+    sim.run(RunLimits {
+        max_events: 10_000,
+        max_time: u64::MAX,
+    });
     let correct_mask: u128 = (1 << n) - 1;
     (0..n).all(|p| {
         let ls = sim.process_as::<LockStep<Probe>>(ProcessId(p)).unwrap();
@@ -42,7 +45,10 @@ fn lockstep_needs_two_xi_phases() {
     let xi = Xi::from_integer(2);
     let sound = xi.two_xi_ceil(); // 4
     for seed in 0..6 {
-        assert!(run_lockstep(sound, seed), "sound phase count failed at seed {seed}");
+        assert!(
+            run_lockstep(sound, seed),
+            "sound phase count failed at seed {seed}"
+        );
     }
     let mut broke = false;
     for seed in 0..12 {
@@ -51,7 +57,10 @@ fn lockstep_needs_two_xi_phases() {
             break;
         }
     }
-    assert!(broke, "1-phase rounds should violate lock-step on some seed");
+    assert!(
+        broke,
+        "1-phase rounds should violate lock-step on some seed"
+    );
 }
 
 /// The f parameter is load-bearing in the other direction too: declaring
@@ -64,7 +73,10 @@ fn zero_fault_budget_cannot_tolerate_a_mute_process() {
         sim.add_process(TickGen::new(4, 0)); // f = 0: advance needs 4 ticks
     }
     sim.add_faulty_process(abc_sim::Mute);
-    sim.run(RunLimits { max_events: 5_000, max_time: u64::MAX });
+    sim.run(RunLimits {
+        max_events: 5_000,
+        max_time: u64::MAX,
+    });
     let max_clock = sim
         .trace()
         .events()

@@ -48,10 +48,19 @@ impl EquivocatingLockStep {
                 let r = t / self.phases_per_round;
                 for dest in 0..n {
                     let payload = P::lie(dest, r);
-                    ctx.send(ProcessId(dest), TickMsg { k: t, payload: Some(payload) });
+                    ctx.send(
+                        ProcessId(dest),
+                        TickMsg {
+                            k: t,
+                            payload: Some(payload),
+                        },
+                    );
                 }
             } else {
-                ctx.broadcast(TickMsg { k: t, payload: None });
+                ctx.broadcast(TickMsg {
+                    k: t,
+                    payload: None,
+                });
             }
         }
     }
@@ -76,20 +85,13 @@ impl LieValue for Vec<(Vec<u8>, u64)> {
     }
 }
 
-impl<P: Clone + std::fmt::Debug + LieValue + 'static> Process<TickMsg<P>>
-    for EquivocatingLockStep
-{
+impl<P: Clone + std::fmt::Debug + LieValue + 'static> Process<TickMsg<P>> for EquivocatingLockStep {
     fn on_init(&mut self, ctx: &mut Context<'_, TickMsg<P>>) {
         let ticks = self.core.on_init();
         self.send_ticks(ticks, ctx);
     }
 
-    fn on_message(
-        &mut self,
-        ctx: &mut Context<'_, TickMsg<P>>,
-        from: ProcessId,
-        msg: &TickMsg<P>,
-    ) {
+    fn on_message(&mut self, ctx: &mut Context<'_, TickMsg<P>>, from: ProcessId, msg: &TickMsg<P>) {
         let ticks = self.core.on_tick(from, msg.k);
         self.send_ticks(ticks, ctx);
     }

@@ -23,7 +23,11 @@ impl FloodSet {
     /// A process with the given input, tolerating `f` crash faults.
     #[must_use]
     pub fn new(f: usize, input: u64) -> FloodSet {
-        FloodSet { f, seen: BTreeSet::from([input]), decision: None }
+        FloodSet {
+            f,
+            seen: BTreeSet::from([input]),
+            decision: None,
+        }
     }
 
     /// The decided value, once round `f+1` has completed.

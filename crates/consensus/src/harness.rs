@@ -40,9 +40,13 @@ impl ConsensusOutcome {
     #[must_use]
     pub fn validity(&self) -> bool {
         let mut inputs = self.inputs.iter().map(|(_, v)| *v);
-        let Some(first) = inputs.next() else { return true };
+        let Some(first) = inputs.next() else {
+            return true;
+        };
         if inputs.all(|v| v == first) {
-            self.decisions.iter().all(|(_, d)| *d == Some(first) || d.is_none())
+            self.decisions
+                .iter()
+                .all(|(_, d)| *d == Some(first) || d.is_none())
         } else {
             true
         }
@@ -73,7 +77,10 @@ pub fn run_eig(
     for _ in 0..byz {
         sim.add_faulty_process(EquivocatingLockStep::new(n, f, xi));
     }
-    sim.run(RunLimits { max_events, max_time: u64::MAX });
+    sim.run(RunLimits {
+        max_events,
+        max_time: u64::MAX,
+    });
     let mut decisions = Vec::new();
     let mut ins = Vec::new();
     for (i, input) in inputs.iter().enumerate() {
@@ -84,7 +91,10 @@ pub fn run_eig(
         decisions.push((p, ls.app().decision()));
         ins.push((p, *input));
     }
-    ConsensusOutcome { decisions, inputs: ins }
+    ConsensusOutcome {
+        decisions,
+        inputs: ins,
+    }
 }
 
 /// Runs FloodSet consensus with `crashed` processes crashing at their
@@ -112,7 +122,10 @@ pub fn run_floodset(
             }
         }
     }
-    sim.run(RunLimits { max_events, max_time: u64::MAX });
+    sim.run(RunLimits {
+        max_events,
+        max_time: u64::MAX,
+    });
     let mut decisions = Vec::new();
     let mut ins = Vec::new();
     for (i, input) in inputs.iter().enumerate() {
@@ -126,7 +139,10 @@ pub fn run_floodset(
         decisions.push((p, ls.app().decision()));
         ins.push((p, *input));
     }
-    ConsensusOutcome { decisions, inputs: ins }
+    ConsensusOutcome {
+        decisions,
+        inputs: ins,
+    }
 }
 
 #[cfg(test)]
@@ -175,7 +191,10 @@ mod tests {
     fn floodset_unanimous_validity() {
         let xi = Xi::from_integer(2);
         let out = run_floodset(4, 1, &[(0, 3)], &[6, 6, 6, 6], &xi, 4, 60_000);
-        assert!(out.terminated() && out.agreement() && out.validity(), "{out:?}");
+        assert!(
+            out.terminated() && out.agreement() && out.validity(),
+            "{out:?}"
+        );
         assert_eq!(out.decisions[0].1, Some(6));
     }
 }

@@ -143,12 +143,14 @@ pub fn assign_delays(g: &ExecutionGraph, xi: &Xi) -> Result<TimedGraph, AssignEr
                 .iter()
                 .rev()
                 .map(|&ci| match origins[ci] {
-                    Origin::MsgUpper(m) => {
-                        CycleStep { edge: ShadowEdge::Message(m), against: false }
-                    }
-                    Origin::MsgLower(m) => {
-                        CycleStep { edge: ShadowEdge::Message(m), against: true }
-                    }
+                    Origin::MsgUpper(m) => CycleStep {
+                        edge: ShadowEdge::Message(m),
+                        against: false,
+                    },
+                    Origin::MsgLower(m) => CycleStep {
+                        edge: ShadowEdge::Message(m),
+                        against: true,
+                    },
                     Origin::Local(from, to) => CycleStep {
                         edge: ShadowEdge::Local(LocalEdge {
                             from: EventId(from),
@@ -200,7 +202,9 @@ pub fn cycle_lp_system(
     }
     let variables: Vec<MessageId> = g.effective_messages().map(|m| m.id).collect();
     let col_of = |m: MessageId| -> usize {
-        variables.binary_search(&m).expect("cycles use only effective messages")
+        variables
+            .binary_search(&m)
+            .expect("cycles use only effective messages")
     };
     let k = variables.len();
     let mut sys = LinearSystem::new(k);
@@ -224,14 +228,22 @@ pub fn cycle_lp_system(
         let mut row = vec![Ratio::zero(); k];
         for (m, against_walk) in cycle.messages() {
             let backward = against_walk != class.orientation_reversed;
-            let sign = if backward { Ratio::one() } else { -Ratio::one() };
+            let sign = if backward {
+                Ratio::one()
+            } else {
+                -Ratio::one()
+            };
             let flipped = if class.relevant { sign } else { -sign };
             row[col_of(m)] += flipped;
         }
         sys.push_lt(row, Ratio::zero());
         cycles.push((cycle, class.relevant));
     }
-    Ok(CycleLpSystem { system: sys, variables, cycles })
+    Ok(CycleLpSystem {
+        system: sys,
+        variables,
+        cycles,
+    })
 }
 
 /// Outcome of the paper-literal route.
@@ -290,7 +302,10 @@ pub fn assign_delays_via_cycle_lp(
             })?;
             let timed = TimedGraph::new(times);
             debug_assert!(timed.is_normalized(g, xi));
-            Ok(CycleLpOutcome::Assignment { delays: sol.values, timed })
+            Ok(CycleLpOutcome::Assignment {
+                delays: sol.values,
+                timed,
+            })
         }
     }
 }
@@ -356,10 +371,13 @@ mod tests {
     fn cycle_lp_route_matches_polynomial_route() {
         for hops in 2..=4 {
             let g = two_chain(hops);
-            for xi in [Xi::from_fraction(3, 2), Xi::from_integer(3), Xi::from_integer(5)] {
+            for xi in [
+                Xi::from_fraction(3, 2),
+                Xi::from_integer(3),
+                Xi::from_integer(5),
+            ] {
                 let poly = assign_delays(&g, &xi).is_ok();
-                let lp = assign_delays_via_cycle_lp(&g, &xi, EnumerationLimits::default())
-                    .unwrap();
+                let lp = assign_delays_via_cycle_lp(&g, &xi, EnumerationLimits::default()).unwrap();
                 match lp {
                     CycleLpOutcome::Assignment { delays, timed } => {
                         assert!(poly, "routes disagree: hops={hops} xi={xi}");
@@ -387,7 +405,7 @@ mod tests {
         let lp = cycle_lp_system(&g, &xi, EnumerationLimits::default()).unwrap();
         let k = lp.variables.len();
         assert_eq!(k, 3); // 2-hop chain + direct message
-        // 2k bound rows + one row per enumerated cycle.
+                          // 2k bound rows + one row per enumerated cycle.
         assert_eq!(lp.system.num_rows(), 2 * k + lp.cycles.len());
         assert!(lp.cycles.iter().any(|(_, relevant)| *relevant));
     }

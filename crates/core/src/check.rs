@@ -78,11 +78,23 @@ struct Arc {
 fn build_arcs(g: &ExecutionGraph) -> Vec<Arc> {
     let mut arcs = Vec::with_capacity(2 * g.num_messages() + g.num_events());
     for m in g.effective_messages() {
-        arcs.push(Arc { from: m.from.0, to: m.to.0, kind: ArcKind::Forward(m.id) });
-        arcs.push(Arc { from: m.to.0, to: m.from.0, kind: ArcKind::Backward(m.id) });
+        arcs.push(Arc {
+            from: m.from.0,
+            to: m.to.0,
+            kind: ArcKind::Forward(m.id),
+        });
+        arcs.push(Arc {
+            from: m.to.0,
+            to: m.from.0,
+            kind: ArcKind::Backward(m.id),
+        });
     }
     for l in g.local_edges() {
-        arcs.push(Arc { from: l.to.0, to: l.from.0, kind: ArcKind::LocalBack(l) });
+        arcs.push(Arc {
+            from: l.to.0,
+            to: l.from.0,
+            kind: ArcKind::LocalBack(l),
+        });
     }
     arcs
 }
@@ -90,12 +102,7 @@ fn build_arcs(g: &ExecutionGraph) -> Vec<Arc> {
 /// Bellman–Ford negative-cycle detection over the scaled weights for
 /// `Ξ = p/q`. Returns the arc indices of a violating cycle, in traversal
 /// order, if one exists.
-fn violating_cycle_arcs(
-    arcs: &[Arc],
-    num_nodes: usize,
-    p: i128,
-    q: i128,
-) -> Option<Vec<usize>> {
+fn violating_cycle_arcs(arcs: &[Arc], num_nodes: usize, p: i128, q: i128) -> Option<Vec<usize>> {
     if num_nodes == 0 || arcs.is_empty() {
         return None;
     }
@@ -153,9 +160,18 @@ fn arcs_to_cycle(arcs: &[Arc], indices: &[usize]) -> Cycle {
     let steps: Vec<CycleStep> = indices
         .iter()
         .map(|&ai| match arcs[ai].kind {
-            ArcKind::Forward(m) => CycleStep { edge: ShadowEdge::Message(m), against: false },
-            ArcKind::Backward(m) => CycleStep { edge: ShadowEdge::Message(m), against: true },
-            ArcKind::LocalBack(l) => CycleStep { edge: ShadowEdge::Local(l), against: true },
+            ArcKind::Forward(m) => CycleStep {
+                edge: ShadowEdge::Message(m),
+                against: false,
+            },
+            ArcKind::Backward(m) => CycleStep {
+                edge: ShadowEdge::Message(m),
+                against: true,
+            },
+            ArcKind::LocalBack(l) => CycleStep {
+                edge: ShadowEdge::Local(l),
+                against: true,
+            },
         })
         .collect();
     Cycle::new(steps)
@@ -292,7 +308,9 @@ fn exists_nonneg_cycle_linegraph(arcs: &[Arc], p: i128, q: i128) -> bool {
         let mut changed = false;
         for (bi, b) in arcs.iter().enumerate() {
             let tail = b.from;
-            let Some((bd, barg)) = best[tail] else { continue };
+            let Some((bd, barg)) = best[tail] else {
+                continue;
+            };
             let incoming = if rev(bi) == Some(barg) {
                 match second[tail] {
                     Some(s) => s,
@@ -329,7 +347,10 @@ pub fn max_relevant_cycle_ratio(g: &ExecutionGraph) -> Option<Ratio> {
     let num_nodes = g.num_events();
     let exists_ge = |r: &Ratio| -> bool {
         let p = r.numer().to_i128().expect("bisection numerators fit i128");
-        let q = r.denom().to_i128().expect("bisection denominators fit i128");
+        let q = r
+            .denom()
+            .to_i128()
+            .expect("bisection denominators fit i128");
         if p > q {
             violating_cycle_arcs(&arcs, num_nodes, p, q).is_some()
         } else {
@@ -347,8 +368,7 @@ pub fn max_relevant_cycle_ratio(g: &ExecutionGraph) -> Option<Ratio> {
     let mut hi = Ratio::from_integer(m + 1);
     // Bisect until the interval is shorter than the minimal spacing 1/m²
     // between distinct fractions with numerator and denominator ≤ m.
-    let spacing = Ratio::new(1, m.checked_mul(m).expect("m² fits i64"))
-        / Ratio::from_integer(2);
+    let spacing = Ratio::new(1, m.checked_mul(m).expect("m² fits i64")) / Ratio::from_integer(2);
     while &hi - &lo > spacing {
         let mid = lo.midpoint(&hi);
         if exists_ge(&mid) {
@@ -522,12 +542,10 @@ mod tests {
     #[test]
     fn xi_too_large_is_reported() {
         let g = two_chain(2);
-        let huge = Xi::new(
-            Ratio::from_bigints(
-                "170141183460469231731687303715884105727".parse().unwrap(),
-                abc_rational::BigInt::from(1),
-            ),
-        )
+        let huge = Xi::new(Ratio::from_bigints(
+            "170141183460469231731687303715884105727".parse().unwrap(),
+            abc_rational::BigInt::from(1),
+        ))
         .unwrap();
         assert_eq!(find_violation(&g, &huge), Err(CheckError::XiTooLarge));
         assert_eq!(is_admissible(&g, &huge), Err(CheckError::XiTooLarge));

@@ -33,7 +33,10 @@ impl EventSet {
     /// An empty set over a universe of `universe` events.
     #[must_use]
     pub fn new(universe: usize) -> EventSet {
-        EventSet { bits: vec![0; universe.div_ceil(64)], universe }
+        EventSet {
+            bits: vec![0; universe.div_ceil(64)],
+            universe,
+        }
     }
 
     /// The size of the universe this set ranges over.
@@ -124,7 +127,12 @@ impl EventSet {
     pub fn intersection(&self, other: &EventSet) -> EventSet {
         assert_eq!(self.universe, other.universe, "universe mismatch");
         EventSet {
-            bits: self.bits.iter().zip(&other.bits).map(|(a, b)| a & b).collect(),
+            bits: self
+                .bits
+                .iter()
+                .zip(&other.bits)
+                .map(|(a, b)| a & b)
+                .collect(),
             universe: self.universe,
         }
     }
@@ -232,9 +240,8 @@ impl Cut {
     /// Whether the cut contains an event of every correct process.
     #[must_use]
     pub fn covers_correct_processes(&self, g: &ExecutionGraph) -> bool {
-        g.correct_processes().all(|p| {
-            g.events_of(p).iter().any(|e| self.events.contains(*e))
-        })
+        g.correct_processes()
+            .all(|p| g.events_of(p).iter().any(|e| self.events.contains(*e)))
     }
 
     /// Definition 5: left-closed and covering every correct process.
@@ -296,7 +303,10 @@ mod tests {
         t.union_with(&s);
         assert_eq!(t.len(), 2);
         assert!(s.is_subset(&t));
-        assert_eq!(t.difference(&s).iter().collect::<Vec<_>>(), vec![EventId(5)]);
+        assert_eq!(
+            t.difference(&s).iter().collect::<Vec<_>>(),
+            vec![EventId(5)]
+        );
         assert_eq!(t.intersection(&s).len(), 1);
     }
 

@@ -308,7 +308,13 @@ impl fmt::Display for Cycle {
                     write!(f, "{}{}", if s.against { "-" } else { "+" }, m)?;
                 }
                 ShadowEdge::Local(l) => {
-                    write!(f, "{}l({}->{})", if s.against { "-" } else { "+" }, l.from, l.to)?;
+                    write!(
+                        f,
+                        "{}l({}->{})",
+                        if s.against { "-" } else { "+" },
+                        l.from,
+                        l.to
+                    )?;
                 }
             }
         }
@@ -322,11 +328,17 @@ mod tests {
     use crate::graph::ProcessId;
 
     fn msg(m: MessageId, against: bool) -> CycleStep {
-        CycleStep { edge: ShadowEdge::Message(m), against }
+        CycleStep {
+            edge: ShadowEdge::Message(m),
+            against,
+        }
     }
 
     fn local(from: EventId, to: EventId, against: bool) -> CycleStep {
-        CycleStep { edge: ShadowEdge::Local(LocalEdge { from, to }), against }
+        CycleStep {
+            edge: ShadowEdge::Local(LocalEdge { from, to }),
+            against,
+        }
     }
 
     /// Figure 1: a "slow" chain C1 of 4 messages spans a chain C2 of 5
@@ -348,7 +360,7 @@ mod tests {
         let (m2, a3) = b.send(a2, ProcessId(4));
         let (m3, a4) = b.send(a3, ProcessId(5));
         let (m4, u) = b.send(a4, ProcessId(1)); // arrives first at p
-        // C1: q -> s6 -> s7 -> s8 -> p (messages m5..m8).
+                                                // C1: q -> s6 -> s7 -> s8 -> p (messages m5..m8).
         let (m5, c1) = b.send(q0, ProcessId(6));
         let (m6, c2) = b.send(c1, ProcessId(7));
         let (m7, c3) = b.send(c2, ProcessId(8));
@@ -448,7 +460,10 @@ mod tests {
         assert_eq!(c.forward_messages, 2);
         assert_eq!(c.backward_messages, 4);
         assert_eq!(c.ratio(), Some(Ratio::from_integer(2)));
-        assert!(c.violates(&Xi::from_integer(2)), "|Z-|/|Z+| = 4/2 = Xi violates");
+        assert!(
+            c.violates(&Xi::from_integer(2)),
+            "|Z-|/|Z+| = 4/2 = Xi violates"
+        );
         assert!(!c.violates(&Xi::from_fraction(5, 2)));
     }
 
@@ -473,10 +488,7 @@ mod tests {
         let g = b.finish();
         let _ = (mx, p1);
         // Cycle: message my (r1 -> r2) vs the local edge r1 -> r2.
-        let cycle = Cycle::new(vec![
-            msg(my, false),
-            local(r1, r2, true),
-        ]);
+        let cycle = Cycle::new(vec![msg(my, false), local(r1, r2, true)]);
         cycle.validate(&g).expect("well-formed two-edge cycle");
         let c = cycle.classify();
         assert!(!c.relevant);

@@ -115,7 +115,10 @@ impl CycleVector {
     /// Scales by a non-negative integer (`λ·Z` in the paper).
     #[must_use]
     pub fn scale(&self, lambda: i64) -> CycleVector {
-        assert!(lambda >= 0, "cycle combinations use non-negative coefficients");
+        assert!(
+            lambda >= 0,
+            "cycle combinations use non-negative coefficients"
+        );
         if lambda == 0 {
             return CycleVector::zero();
         }
@@ -218,7 +221,10 @@ impl std::fmt::Display for DecomposeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DecomposeError::Unbalanced(p) => {
-                write!(f, "traversal degree of {p} is unbalanced: not a cycle-space element")
+                write!(
+                    f,
+                    "traversal degree of {p} is unbalanced: not a cycle-space element"
+                )
             }
         }
     }
@@ -261,7 +267,11 @@ pub fn decompose(
             (msg.sender.0, msg.receiver.0, true, -c)
         };
         for _ in 0..count {
-            out_arcs[from].push(PArc { to, msg: m, forward });
+            out_arcs[from].push(PArc {
+                to,
+                msg: m,
+                forward,
+            });
             degree[from] += 1;
             degree[to] -= 1;
         }
@@ -313,7 +323,10 @@ pub fn decompose(
                     break;
                 }
             }
-            peels.push(PeeledCycle { forward: walk_fwd, backward: walk_bwd });
+            peels.push(PeeledCycle {
+                forward: walk_fwd,
+                backward: walk_bwd,
+            });
         }
     }
     Ok(peels)
@@ -326,11 +339,17 @@ mod tests {
     use crate::graph::{EventId, ExecutionGraph, LocalEdge};
 
     fn msg(m: MessageId, against: bool) -> CycleStep {
-        CycleStep { edge: ShadowEdge::Message(m), against }
+        CycleStep {
+            edge: ShadowEdge::Message(m),
+            against,
+        }
     }
 
     fn local(from: EventId, to: EventId, against: bool) -> CycleStep {
-        CycleStep { edge: ShadowEdge::Local(LocalEdge { from, to }), against }
+        CycleStep {
+            edge: ShadowEdge::Local(LocalEdge { from, to }),
+            against,
+        }
     }
 
     /// Figure 2 of the paper: relevant cycles X and Y share message `e`,
@@ -471,18 +490,35 @@ mod tests {
                 dropped = true;
                 continue;
             }
-            broken = broken.add(&CycleVector { coeffs: [(m, c)].into_iter().collect() });
+            broken = broken.add(&CycleVector {
+                coeffs: [(m, c)].into_iter().collect(),
+            });
         }
-        assert!(matches!(decompose(&g, &broken), Err(DecomposeError::Unbalanced(_))));
+        assert!(matches!(
+            decompose(&g, &broken),
+            Err(DecomposeError::Unbalanced(_))
+        ));
     }
 
     #[test]
     fn consistency_relation_cases() {
-        let a = CycleVector { coeffs: [(MessageId(0), 1), (MessageId(1), -1)].into_iter().collect() };
-        let b = CycleVector { coeffs: [(MessageId(0), 1), (MessageId(2), 1)].into_iter().collect() };
-        let c = CycleVector { coeffs: [(MessageId(0), -1)].into_iter().collect() };
-        let d = CycleVector { coeffs: [(MessageId(7), 1)].into_iter().collect() };
-        let e = CycleVector { coeffs: [(MessageId(0), 1), (MessageId(1), 1)].into_iter().collect() };
+        let a = CycleVector {
+            coeffs: [(MessageId(0), 1), (MessageId(1), -1)]
+                .into_iter()
+                .collect(),
+        };
+        let b = CycleVector {
+            coeffs: [(MessageId(0), 1), (MessageId(2), 1)].into_iter().collect(),
+        };
+        let c = CycleVector {
+            coeffs: [(MessageId(0), -1)].into_iter().collect(),
+        };
+        let d = CycleVector {
+            coeffs: [(MessageId(7), 1)].into_iter().collect(),
+        };
+        let e = CycleVector {
+            coeffs: [(MessageId(0), 1), (MessageId(1), 1)].into_iter().collect(),
+        };
         assert_eq!(a.consistency(&b), Consistency::IConsistent);
         assert_eq!(a.consistency(&c), Consistency::OConsistent);
         assert_eq!(a.consistency(&d), Consistency::Disjoint);

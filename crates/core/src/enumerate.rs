@@ -73,7 +73,10 @@ pub fn enumerate_cycles(g: &ExecutionGraph, limits: EnumerationLimits) -> Enumer
         adj[to.0].push((idx, *from, true));
     }
 
-    let mut out = Enumeration { cycles: Vec::new(), complete: true };
+    let mut out = Enumeration {
+        cycles: Vec::new(),
+        complete: true,
+    };
     let mut dfs_budget = limits.max_dfs_steps;
     let mut seen: HashSet<Vec<usize>> = HashSet::new();
     let mut visited = vec![false; g.num_events()];
@@ -183,7 +186,10 @@ fn record(
     }
     let steps: Vec<CycleStep> = path
         .iter()
-        .map(|&(idx, against)| CycleStep { edge: edges[idx].0, against })
+        .map(|&(idx, against)| CycleStep {
+            edge: edges[idx].0,
+            against,
+        })
         .collect();
     let cycle = Cycle::new(steps);
     debug_assert!(
@@ -287,18 +293,30 @@ mod tests {
         let g = diamond();
         let e = enumerate_cycles(
             &g,
-            EnumerationLimits { max_cycles: 0, max_len: usize::MAX, max_dfs_steps: usize::MAX },
+            EnumerationLimits {
+                max_cycles: 0,
+                max_len: usize::MAX,
+                max_dfs_steps: usize::MAX,
+            },
         );
         // Found-limit of zero reports incomplete as soon as one cycle lands.
         assert!(e.cycles.len() <= 1);
         let e2 = enumerate_cycles(
             &g,
-            EnumerationLimits { max_cycles: 10, max_len: 2, max_dfs_steps: usize::MAX },
+            EnumerationLimits {
+                max_cycles: 10,
+                max_len: 2,
+                max_dfs_steps: usize::MAX,
+            },
         );
         assert!(e2.cycles.is_empty(), "diamond's cycle has length > 2");
         let e3 = enumerate_cycles(
             &g,
-            EnumerationLimits { max_cycles: 10, max_len: usize::MAX, max_dfs_steps: 1 },
+            EnumerationLimits {
+                max_cycles: 10,
+                max_len: usize::MAX,
+                max_dfs_steps: 1,
+            },
         );
         assert!(!e3.complete);
     }

@@ -235,8 +235,10 @@ impl ExecutionGraph {
     /// The local edges (consecutive event pairs of each process).
     pub fn local_edges(&self) -> impl Iterator<Item = LocalEdge> + '_ {
         self.process_events.iter().flat_map(|evs| {
-            evs.windows(2)
-                .map(|w| LocalEdge { from: w[0], to: w[1] })
+            evs.windows(2).map(|w| LocalEdge {
+                from: w[0],
+                to: w[1],
+            })
         })
     }
 
@@ -486,7 +488,10 @@ mod tests {
         let g = b.finish();
         assert!(!g.is_effective(m));
         assert_eq!(g.effective_messages().count(), 0);
-        assert_eq!(g.correct_processes().collect::<Vec<_>>(), vec![ProcessId(1)]);
+        assert_eq!(
+            g.correct_processes().collect::<Vec<_>>(),
+            vec![ProcessId(1)]
+        );
     }
 
     #[test]

@@ -48,7 +48,10 @@ impl std::fmt::Display for TimedGraphError {
                 write!(f, "{got} times provided for {expected} events")
             }
             TimedGraphError::NonMonotonicProcess(a, b) => {
-                write!(f, "local edge {a} -> {b} is not strictly increasing in time")
+                write!(
+                    f,
+                    "local edge {a} -> {b} is not strictly increasing in time"
+                )
             }
             TimedGraphError::NegativeDelay(m) => write!(f, "message {m} has negative delay"),
         }
@@ -67,7 +70,9 @@ impl TimedGraph {
     /// Builds from integer times (convenient for simulator traces).
     #[must_use]
     pub fn from_integer_times(times: &[i64]) -> TimedGraph {
-        TimedGraph { times: times.iter().map(|t| Ratio::from_integer(*t)).collect() }
+        TimedGraph {
+            times: times.iter().map(|t| Ratio::from_integer(*t)).collect(),
+        }
     }
 
     /// The occurrence time of an event.
@@ -183,8 +188,8 @@ impl TimedGraph {
     #[must_use]
     pub fn is_theta_admissible(&self, g: &ExecutionGraph, theta: &Ratio) -> bool {
         match self.max_theta_ratio(g) {
-            None => true,                      // never two messages in transit
-            Some(None) => false,               // unbounded (zero-delay overlap)
+            None => true,        // never two messages in transit
+            Some(None) => false, // unbounded (zero-delay overlap)
             Some(Some(r)) => &r <= theta,
         }
     }
@@ -219,8 +224,14 @@ mod tests {
     #[test]
     fn delays_and_theta_ratio() {
         let (g, t) = overlapping();
-        assert_eq!(t.message_delay(&g, crate::graph::MessageId(0)), Ratio::from_integer(2));
-        assert_eq!(t.message_delay(&g, crate::graph::MessageId(1)), Ratio::from_integer(6));
+        assert_eq!(
+            t.message_delay(&g, crate::graph::MessageId(0)),
+            Ratio::from_integer(2)
+        );
+        assert_eq!(
+            t.message_delay(&g, crate::graph::MessageId(1)),
+            Ratio::from_integer(6)
+        );
         assert_eq!(t.max_theta_ratio(&g), Some(Some(Ratio::from_integer(3))));
         assert!(t.is_theta_admissible(&g, &Ratio::from_integer(3)));
         assert!(!t.is_theta_admissible(&g, &Ratio::new(5, 2)));
@@ -285,8 +296,8 @@ mod tests {
         let good = TimedGraph::new(vec![
             Ratio::from_integer(0),
             Ratio::from_integer(0),
-            Ratio::new(3, 2),  // delay 3/2 in (1, 3)
-            Ratio::new(5, 2),  // delay 5/2 in (1, 3)
+            Ratio::new(3, 2), // delay 3/2 in (1, 3)
+            Ratio::new(5, 2), // delay 5/2 in (1, 3)
         ]);
         assert!(good.is_normalized(&g, &xi));
         let bad = TimedGraph::new(vec![
@@ -303,7 +314,10 @@ mod tests {
         let (g, _) = overlapping();
         assert!(matches!(
             TimedGraph::new(vec![Ratio::zero()]).validate(&g),
-            Err(TimedGraphError::LengthMismatch { got: 1, expected: 4 })
+            Err(TimedGraphError::LengthMismatch {
+                got: 1,
+                expected: 4
+            })
         ));
         let neg = TimedGraph::new(vec![
             Ratio::from_integer(10),
@@ -311,6 +325,9 @@ mod tests {
             Ratio::from_integer(2),
             Ratio::from_integer(6),
         ]);
-        assert!(matches!(neg.validate(&g), Err(TimedGraphError::NegativeDelay(_))));
+        assert!(matches!(
+            neg.validate(&g),
+            Err(TimedGraphError::NegativeDelay(_))
+        ));
     }
 }

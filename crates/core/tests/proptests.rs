@@ -29,7 +29,10 @@ fn build_graph(n: usize, script: &[(usize, usize)]) -> ExecutionGraph {
 }
 
 fn graph_strategy() -> impl Strategy<Value = ExecutionGraph> {
-    (2usize..5, proptest::collection::vec((any::<usize>(), any::<usize>()), 0..12))
+    (
+        2usize..5,
+        proptest::collection::vec((any::<usize>(), any::<usize>()), 0..12),
+    )
         .prop_map(|(n, script)| build_graph(n, &script))
 }
 

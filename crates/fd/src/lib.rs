@@ -84,7 +84,9 @@ impl PingPongDetector {
 
     /// The processes currently suspected.
     pub fn suspected(&self) -> impl Iterator<Item = ProcessId> + '_ {
-        (0..self.n).filter(|p| self.suspected & (1 << p) != 0).map(ProcessId)
+        (0..self.n)
+            .filter(|p| self.suspected & (1 << p) != 0)
+            .map(ProcessId)
     }
 
     /// Whether `p` is suspected.
@@ -210,8 +212,13 @@ mod tests {
                 sim.add_process(FdResponder);
             }
         }
-        sim.run(RunLimits { max_events: 30_000, max_time: u64::MAX });
-        sim.process_as::<PingPongDetector>(ProcessId(0)).unwrap().clone()
+        sim.run(RunLimits {
+            max_events: 30_000,
+            max_time: u64::MAX,
+        });
+        sim.process_as::<PingPongDetector>(ProcessId(0))
+            .unwrap()
+            .clone()
     }
 
     #[test]
@@ -245,7 +252,10 @@ mod tests {
                 break;
             }
         }
-        assert!(saw_false, "threshold below 2Xi should eventually missuspect");
+        assert!(
+            saw_false,
+            "threshold below 2Xi should eventually missuspect"
+        );
     }
 
     #[test]
@@ -255,7 +265,10 @@ mod tests {
         sim.add_process(FdResponder);
         sim.add_process(FdResponder);
         sim.add_faulty_process(Mute);
-        sim.run(RunLimits { max_events: 20_000, max_time: u64::MAX });
+        sim.run(RunLimits {
+            max_events: 20_000,
+            max_time: u64::MAX,
+        });
         let d = sim.process_as::<PingPongDetector>(ProcessId(0)).unwrap();
         assert!(d.is_suspected(ProcessId(3)));
     }

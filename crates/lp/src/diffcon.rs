@@ -33,13 +33,23 @@ impl DiffConstraint {
     /// Creates `x_u − x_v ≤ bound`.
     #[must_use]
     pub fn le(u: usize, v: usize, bound: Ratio) -> DiffConstraint {
-        DiffConstraint { u, v, bound, strict: false }
+        DiffConstraint {
+            u,
+            v,
+            bound,
+            strict: false,
+        }
     }
 
     /// Creates `x_u − x_v < bound`.
     #[must_use]
     pub fn lt(u: usize, v: usize, bound: Ratio) -> DiffConstraint {
-        DiffConstraint { u, v, bound, strict: true }
+        DiffConstraint {
+            u,
+            v,
+            bound,
+            strict: true,
+        }
     }
 
     /// Checks this constraint against an assignment, exactly.
@@ -119,7 +129,10 @@ fn lex_lt(a: &LexWeight, b: &LexWeight) -> bool {
 /// ```
 pub fn solve(num_vars: usize, constraints: &[DiffConstraint]) -> Result<Vec<Ratio>, NegativeCycle> {
     for c in constraints {
-        assert!(c.u < num_vars && c.v < num_vars, "constraint variable out of range");
+        assert!(
+            c.u < num_vars && c.v < num_vars,
+            "constraint variable out of range"
+        );
     }
     // Bellman–Ford from a virtual source connected to every node with
     // weight (0, 0): dist[u] ≤ dist[v] + w(edge v->u) for constraint
@@ -169,7 +182,9 @@ pub fn solve(num_vars: usize, constraints: &[DiffConstraint]) -> Result<Vec<Rati
                 }
                 // The predecessor walk already yields a chained order
                 // (each constraint's `v` is the next one's `u`).
-                let witness = NegativeCycle { constraint_indices: cycle };
+                let witness = NegativeCycle {
+                    constraint_indices: cycle,
+                };
                 debug_assert!(witness.verify(constraints), "extracted cycle must verify");
                 return Err(witness);
             }

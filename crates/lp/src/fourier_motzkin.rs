@@ -98,11 +98,20 @@ pub fn solve(sys: &LinearSystem) -> Result<Feasibility, LpError> {
                     .collect();
                 debug_assert!(coeffs[var].is_zero());
                 let rhs = &p.rhs * &wp + &q.rhs * &wq;
-                let rel = if p.rel == Rel::Lt || q.rel == Rel::Lt { Rel::Lt } else { Rel::Le };
+                let rel = if p.rel == Rel::Lt || q.rel == Rel::Lt {
+                    Rel::Lt
+                } else {
+                    Rel::Le
+                };
                 let provenance: Vec<Ratio> = (0..m)
                     .map(|i| &p.provenance[i] * &wp + &q.provenance[i] * &wq)
                     .collect();
-                next.push(WorkRow { coeffs, rel, rhs, provenance });
+                next.push(WorkRow {
+                    coeffs,
+                    rel,
+                    rhs,
+                    provenance,
+                });
                 if next.len() > ROW_LIMIT {
                     return Err(LpError::PivotLimit);
                 }
@@ -119,7 +128,9 @@ pub fn solve(sys: &LinearSystem) -> Result<Feasibility, LpError> {
             Rel::Eq => unreachable!("equalities were split"),
         };
         if contradiction {
-            let cert = FarkasCertificate { multipliers: row.provenance.clone() };
+            let cert = FarkasCertificate {
+                multipliers: row.provenance.clone(),
+            };
             debug_assert!(cert.verify(sys), "FM-derived certificate must verify");
             return Ok(Feasibility::Infeasible(cert));
         }
@@ -143,12 +154,16 @@ pub fn solve(sys: &LinearSystem) -> Result<Feasibility, LpError> {
             let bound = (&row.rhs - &fixed) / c;
             if c.is_positive() {
                 // x_var ≤/< bound.
-                if upper.as_ref().is_none_or(|(b, s)| bound < *b || (bound == *b && *s == Rel::Le && row.rel == Rel::Lt)) {
+                if upper.as_ref().is_none_or(|(b, s)| {
+                    bound < *b || (bound == *b && *s == Rel::Le && row.rel == Rel::Lt)
+                }) {
                     upper = Some((bound, row.rel));
                 }
             } else {
                 // x_var ≥/> bound.
-                if lower.as_ref().is_none_or(|(b, s)| bound > *b || (bound == *b && *s == Rel::Le && row.rel == Rel::Lt)) {
+                if lower.as_ref().is_none_or(|(b, s)| {
+                    bound > *b || (bound == *b && *s == Rel::Le && row.rel == Rel::Lt)
+                }) {
                     lower = Some((bound, row.rel));
                 }
             }
@@ -168,7 +183,10 @@ pub fn solve(sys: &LinearSystem) -> Result<Feasibility, LpError> {
         };
     }
 
-    debug_assert!(sys.satisfied_by(&values), "FM witness must satisfy the system");
+    debug_assert!(
+        sys.satisfied_by(&values),
+        "FM witness must satisfy the system"
+    );
     // Compute the achieved strict gap a posteriori.
     let mut gap: Option<Ratio> = None;
     for (i, row) in sys.rows().iter().enumerate() {

@@ -79,7 +79,10 @@ pub fn solve(sys: &LinearSystem) -> Result<Feasibility, LpError> {
     if tab.t_col.is_none() {
         // No strict rows: phase 1 already produced a feasible point.
         let values = tab.extract_solution(sys.num_vars());
-        return Ok(Feasibility::Feasible(Solution { values, gap: Ratio::zero() }));
+        return Ok(Feasibility::Feasible(Solution {
+            values,
+            gap: Ratio::zero(),
+        }));
     }
     // Phase 2: maximize t (minimize -t).
     let mut costs = vec![Ratio::zero(); tab.num_cols];
@@ -93,7 +96,10 @@ pub fn solve(sys: &LinearSystem) -> Result<Feasibility, LpError> {
     if t_star.is_positive() {
         let values = tab.extract_solution(sys.num_vars());
         debug_assert!(sys.satisfied_by(&values));
-        Ok(Feasibility::Feasible(Solution { values, gap: t_star }))
+        Ok(Feasibility::Feasible(Solution {
+            values,
+            gap: t_star,
+        }))
     } else {
         let cert = tab.extract_certificate(sys);
         Ok(Feasibility::Infeasible(cert))
@@ -195,12 +201,8 @@ impl Tableau {
         let n = sys.num_vars();
         let strict_present = !relax_strict && sys.has_strict_rows();
         let m = sys.num_rows() + usize::from(strict_present); // + cap row
-        let num_ineq = sys
-            .rows()
-            .iter()
-            .filter(|r| r.rel != Rel::Eq)
-            .count()
-            + usize::from(strict_present);
+        let num_ineq =
+            sys.rows().iter().filter(|r| r.rel != Rel::Eq).count() + usize::from(strict_present);
         let t_col = strict_present.then_some(2 * n);
         let slack_base = 2 * n + usize::from(strict_present);
         let art_base = slack_base + num_ineq;
@@ -372,8 +374,8 @@ impl Tableau {
         let limit = 50_000 + 100 * (self.rows.len() + 1) * (self.num_cols + 1);
         for _ in 0..limit {
             // Bland: entering column = smallest index with negative reduced cost.
-            let entering = (0..self.num_cols)
-                .find(|&j| !self.blocked[j] && self.obj[j].is_negative());
+            let entering =
+                (0..self.num_cols).find(|&j| !self.blocked[j] && self.obj[j].is_negative());
             let Some(pcol) = entering else {
                 return Ok(true);
             };
@@ -440,9 +442,7 @@ impl Tableau {
             }
             debug_assert!(self.rhs[i].is_zero(), "artificial basic at nonzero level");
             // Find a non-artificial column with a nonzero entry to pivot on.
-            let candidate = (0..self.num_cols).find(|&j| {
-                !is_art(j) && !self.rows[i][j].is_zero()
-            });
+            let candidate = (0..self.num_cols).find(|&j| !is_art(j) && !self.rows[i][j].is_zero());
             match candidate {
                 Some(j) => {
                     if self.rows[i][j].is_negative() {
@@ -503,7 +503,11 @@ impl Tableau {
                 None => {
                     let art = self.art_col[i].expect("equality rows carry artificials");
                     let y_prime = &self.costs[art] - &self.obj[art];
-                    let sigma = if self.row_negated[i] { -Ratio::one() } else { Ratio::one() };
+                    let sigma = if self.row_negated[i] {
+                        -Ratio::one()
+                    } else {
+                        Ratio::one()
+                    };
                     -(sigma * y_prime)
                 }
             };

@@ -97,7 +97,10 @@ impl LinearSystem {
     /// Creates an empty system over `num_vars` free variables.
     #[must_use]
     pub fn new(num_vars: usize) -> LinearSystem {
-        LinearSystem { num_vars, rows: Vec::new() }
+        LinearSystem {
+            num_vars,
+            rows: Vec::new(),
+        }
     }
 
     /// Number of variables.
@@ -346,16 +349,24 @@ mod tests {
         let mut sys = LinearSystem::new(1);
         sys.push_lt(vec![r(1)], r(1));
         sys.push_lt(vec![r(-1)], r(-1));
-        let good = FarkasCertificate { multipliers: vec![r(1), r(1)] };
+        let good = FarkasCertificate {
+            multipliers: vec![r(1), r(1)],
+        };
         assert!(good.verify(&sys));
         // Wrong: combination does not vanish.
-        let bad = FarkasCertificate { multipliers: vec![r(1), r(2)] };
+        let bad = FarkasCertificate {
+            multipliers: vec![r(1), r(2)],
+        };
         assert!(!bad.verify(&sys));
         // Wrong: all-zero certificate proves nothing.
-        let zero = FarkasCertificate { multipliers: vec![r(0), r(0)] };
+        let zero = FarkasCertificate {
+            multipliers: vec![r(0), r(0)],
+        };
         assert!(!zero.verify(&sys));
         // Wrong: negative multiplier on an inequality row.
-        let neg = FarkasCertificate { multipliers: vec![r(-1), r(-1)] };
+        let neg = FarkasCertificate {
+            multipliers: vec![r(-1), r(-1)],
+        };
         assert!(!neg.verify(&sys));
     }
 
@@ -366,7 +377,9 @@ mod tests {
         let mut sys = LinearSystem::new(1);
         sys.push_le(vec![r(1)], r(1));
         sys.push_le(vec![r(-1)], r(-1));
-        let cert = FarkasCertificate { multipliers: vec![r(1), r(1)] };
+        let cert = FarkasCertificate {
+            multipliers: vec![r(1), r(1)],
+        };
         assert!(!cert.verify(&sys));
     }
 
@@ -376,7 +389,9 @@ mod tests {
         let mut sys = LinearSystem::new(1);
         sys.push_eq(vec![r(1)], r(1));
         sys.push_lt(vec![r(1)], r(1));
-        let cert = FarkasCertificate { multipliers: vec![r(-1), r(1)] };
+        let cert = FarkasCertificate {
+            multipliers: vec![r(-1), r(1)],
+        };
         assert!(cert.verify(&sys));
     }
 }

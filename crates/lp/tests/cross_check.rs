@@ -17,11 +17,7 @@ fn system_strategy() -> impl Strategy<Value = LinearSystem> {
     (1usize..4)
         .prop_flat_map(|nvars| {
             proptest::collection::vec(
-                (
-                    proptest::collection::vec(-3i8..4, nvars),
-                    0u8..3,
-                    -5i8..6,
-                )
+                (proptest::collection::vec(-3i8..4, nvars), 0u8..3, -5i8..6)
                     .prop_map(|(coeffs, rel, rhs)| RawRow { coeffs, rel, rhs }),
                 0..6,
             )
@@ -30,8 +26,11 @@ fn system_strategy() -> impl Strategy<Value = LinearSystem> {
         .prop_map(|(nvars, rows)| {
             let mut sys = LinearSystem::new(nvars);
             for r in rows {
-                let coeffs: Vec<Ratio> =
-                    r.coeffs.iter().map(|c| Ratio::from_integer(i64::from(*c))).collect();
+                let coeffs: Vec<Ratio> = r
+                    .coeffs
+                    .iter()
+                    .map(|c| Ratio::from_integer(i64::from(*c)))
+                    .collect();
                 let rhs = Ratio::from_integer(i64::from(r.rhs));
                 let rel = match r.rel {
                     0 => Rel::Lt,

@@ -52,7 +52,9 @@ pub fn is_admissible(
             }
         }
     }
-    running_average_delays(g, timed).iter().all(|avg| avg <= budget)
+    running_average_delays(g, timed)
+        .iter()
+        .all(|avg| avg <= budget)
 }
 
 #[cfg(test)]
@@ -84,12 +86,16 @@ mod tests {
     }
 
     #[test]
-    fn bounded_delays_have_bounded_average()
-    {
+    fn bounded_delays_have_bounded_average() {
         let (g, timed) = chain(&[5, 5, 5, 5]);
         let avgs = running_average_delays(&g, &timed);
         assert!(avgs.iter().all(|a| a <= &Ratio::from_integer(5)));
-        assert!(is_admissible(&g, &timed, &Ratio::from_integer(5), &Ratio::new(1, 2)));
+        assert!(is_admissible(
+            &g,
+            &timed,
+            &Ratio::from_integer(5),
+            &Ratio::new(1, 2)
+        ));
     }
 
     #[test]
@@ -99,7 +105,12 @@ mod tests {
         let (g, timed) = chain(&[10, 100, 1_000, 10_000]);
         let avgs = running_average_delays(&g, &timed);
         assert!(avgs.last().unwrap() > &Ratio::from_integer(1_000));
-        assert!(!is_admissible(&g, &timed, &Ratio::from_integer(100), &Ratio::new(1, 2)));
+        assert!(!is_admissible(
+            &g,
+            &timed,
+            &Ratio::from_integer(100),
+            &Ratio::new(1, 2)
+        ));
     }
 
     #[test]
@@ -107,7 +118,17 @@ mod tests {
         // p1's inter-event gap is 5 (< 6), so a min-step bound of 6 fails
         // even though the delay budget is met.
         let (g, timed) = chain(&[5, 5]);
-        assert!(is_admissible(&g, &timed, &Ratio::from_integer(10), &Ratio::from_integer(5)));
-        assert!(!is_admissible(&g, &timed, &Ratio::from_integer(10), &Ratio::from_integer(6)));
+        assert!(is_admissible(
+            &g,
+            &timed,
+            &Ratio::from_integer(10),
+            &Ratio::from_integer(5)
+        ));
+        assert!(!is_admissible(
+            &g,
+            &timed,
+            &Ratio::from_integer(10),
+            &Ratio::from_integer(6)
+        ));
     }
 }

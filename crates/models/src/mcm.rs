@@ -74,7 +74,10 @@ pub fn classify(g: &ExecutionGraph, timed: &TimedGraph) -> Option<Classification
 pub fn has_two_class_classification(g: &ExecutionGraph, timed: &TimedGraph) -> bool {
     matches!(
         classify(g, timed),
-        Some(Classification { slow_min: Some(_), .. })
+        Some(Classification {
+            slow_min: Some(_),
+            ..
+        })
     )
 }
 

@@ -44,7 +44,14 @@ impl Querier {
     /// `rounds` query–response rounds.
     #[must_use]
     pub fn new(n: usize, f: usize, rounds: u64) -> Querier {
-        Querier { n, f, rounds, current: 0, got: Vec::new(), winners: Vec::new() }
+        Querier {
+            n,
+            f,
+            rounds,
+            current: 0,
+            got: Vec::new(),
+            winners: Vec::new(),
+        }
     }
 }
 
@@ -119,7 +126,10 @@ pub fn run_mmr_rounds<D: DelayModel>(
     for _ in 1..n {
         sim.add_process(Responder);
     }
-    sim.run(RunLimits { max_events: 200_000, max_time: u64::MAX });
+    sim.run(RunLimits {
+        max_events: 200_000,
+        max_time: u64::MAX,
+    });
     sim.process_as::<Querier>(ProcessId(0))
         .expect("querier is process 0")
         .winners

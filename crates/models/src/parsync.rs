@@ -129,7 +129,11 @@ pub fn fig8_execution(params: &ParSyncParams) -> (ExecutionGraph, TimedGraph) {
     let mut cur = q0;
     let mut t = 0i64;
     for i in 0..(k - 1) {
-        let dest = if i % 2 == 0 { ProcessId(1) } else { ProcessId(0) };
+        let dest = if i % 2 == 0 {
+            ProcessId(1)
+        } else {
+            ProcessId(0)
+        };
         let (_, recv) = b.send(cur, dest);
         t += 1;
         event_times.push((recv.0, t));
@@ -144,7 +148,11 @@ pub fn fig8_execution(params: &ParSyncParams) -> (ExecutionGraph, TimedGraph) {
     let mut cur = q0;
     let mut t = 0i64;
     for hop in 0..k {
-        let dest = if hop == k - 1 { ProcessId(2) } else { ProcessId(3 + hop) };
+        let dest = if hop == k - 1 {
+            ProcessId(2)
+        } else {
+            ProcessId(3 + hop)
+        };
         let (_, recv) = b.send(cur, dest);
         t += slow;
         event_times.push((recv.0, t));
@@ -179,9 +187,16 @@ mod tests {
     fn prover_beats_every_adversary_choice() {
         for (phi, delta) in [(2, 2), (3, 10), (10, 3), (20, 20)] {
             let params = ParSyncParams { phi, delta };
-            for xi in [Xi::from_fraction(11, 10), Xi::from_integer(2), Xi::from_integer(10)] {
+            for xi in [
+                Xi::from_fraction(11, 10),
+                Xi::from_integer(2),
+                Xi::from_integer(10),
+            ] {
                 let (abc_ok, verdict) = fig8_game(&params, &xi);
-                assert!(abc_ok, "Fig 8 execution must be ABC-admissible (phi={phi}, delta={delta}, xi={xi})");
+                assert!(
+                    abc_ok,
+                    "Fig 8 execution must be ABC-admissible (phi={phi}, delta={delta}, xi={xi})"
+                );
                 assert!(
                     !verdict.admissible,
                     "Fig 8 execution must violate ParSync (phi={phi}, delta={delta}): {verdict:?}"
@@ -228,7 +243,14 @@ mod tests {
         let (_, _r2) = b.send(r1, ProcessId(1));
         let g = b.finish();
         let timed = TimedGraph::from_integer_times(&[0, 0, 1, 100]);
-        let v = check_parsync(&g, &timed, &ParSyncParams { phi: 10, delta: 200 });
+        let v = check_parsync(
+            &g,
+            &timed,
+            &ParSyncParams {
+                phi: 10,
+                delta: 200,
+            },
+        );
         assert!(!v.admissible, "{v:?}");
     }
 }

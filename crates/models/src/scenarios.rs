@@ -39,7 +39,11 @@ pub fn fig9_compensated_paths() -> (ExecutionGraph, TimedGraph) {
     let mut t = 0;
     let mut pp_last = q0;
     for i in 0..4 {
-        let dest = if i % 2 == 0 { ProcessId(1) } else { ProcessId(0) };
+        let dest = if i % 2 == 0 {
+            ProcessId(1)
+        } else {
+            ProcessId(0)
+        };
         let (_, recv) = b.send(cur, dest);
         t += 10;
         times.push((recv.0, t));
@@ -87,7 +91,7 @@ pub fn fig10_fifo() -> (ExecutionGraph, ExecutionGraph) {
         b.init(ProcessId(2));
         // p1 starts the ping-pong: p1 → p2.
         let (_, a1) = b.send(p1_0, ProcessId(1)); // p2's first event
-        // p2 sends φ to q1.
+                                                  // p2 sends φ to q1.
         let (phi, _) = {
             // Delay the receive event creation to control order: builder
             // receive order = call order, so stage sends accordingly.
@@ -146,7 +150,11 @@ pub fn spacecraft_growing_delays(exchanges: usize) -> (ExecutionGraph, TimedGrap
         // delay 1) finish long before the inter-cluster reply.
         let mut pp = cur;
         for j in 0..6 {
-            let dest = if j % 2 == 0 { ProcessId(1) } else { ProcessId(0) };
+            let dest = if j % 2 == 0 {
+                ProcessId(1)
+            } else {
+                ProcessId(0)
+            };
             let (_, recv) = b.send(pp, dest);
             times.push((recv.0, t0 + j + 1));
             pp = recv;
@@ -223,14 +231,15 @@ mod tests {
         let theta = timed.max_theta_ratio(&g).unwrap().unwrap();
         assert!(theta >= Ratio::from_integer(1_000), "theta = {theta}");
         // ParSync: delays (and gaps) grow without bound vs. step time ~1.
-        let verdict = parsync::check_parsync(
-            &g,
-            &timed,
-            &parsync::ParSyncParams { phi: 50, delta: 50 },
-        );
+        let verdict =
+            parsync::check_parsync(&g, &timed, &parsync::ParSyncParams { phi: 50, delta: 50 });
         assert!(!verdict.admissible);
         // Archimedean: ratio diverges.
-        assert!(!archimedean::is_admissible(&g, &timed, &Ratio::from_integer(50)));
+        assert!(!archimedean::is_admissible(
+            &g,
+            &timed,
+            &Ratio::from_integer(50)
+        ));
         // FAR: the running average of delays diverges (compare prefixes).
         let avgs = far::running_average_delays(&g, &timed);
         let (small, big) = (avgs[avgs.len() / 2].clone(), avgs.last().unwrap().clone());

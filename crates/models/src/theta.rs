@@ -84,7 +84,10 @@ mod tests {
             for _ in 0..4 {
                 sim.add_process(TickGen::new(4, 1));
             }
-            sim.run(RunLimits { max_events: 800, max_time: u64::MAX });
+            sim.run(RunLimits {
+                max_events: 800,
+                max_time: u64::MAX,
+            });
             let g = sim.trace().to_execution_graph();
             let timed = sim.trace().to_timed_graph();
             let theta = Ratio::new(26, 10); // just above 25/10 + fuzz
@@ -95,7 +98,10 @@ mod tests {
                 assert!(r <= t, "cycle ratio {r} exceeds observed theta {t}");
             }
             let xi = Xi::new(Ratio::new(27, 10)).unwrap();
-            assert!(theta_subset_abc_holds(&g, &timed, &theta, &xi), "seed {seed}");
+            assert!(
+                theta_subset_abc_holds(&g, &timed, &theta, &xi),
+                "seed {seed}"
+            );
         }
     }
 
@@ -105,7 +111,10 @@ mod tests {
         for _ in 0..3 {
             sim.add_process(TickGen::new(3, 0));
         }
-        sim.run(RunLimits { max_events: 100, max_time: u64::MAX });
+        sim.run(RunLimits {
+            max_events: 100,
+            max_time: u64::MAX,
+        });
         let g = sim.trace().to_execution_graph();
         let timed = sim.trace().to_timed_graph();
         assert!(theta_subset_abc_holds(

@@ -13,7 +13,9 @@
 use std::cmp::Ordering;
 use std::fmt;
 use std::iter::{Product, Sum};
-use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Rem, RemAssign, Sub, SubAssign};
+use std::ops::{
+    Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Rem, RemAssign, Sub, SubAssign,
+};
 use std::str::FromStr;
 
 /// Sign of a [`BigInt`].
@@ -259,7 +261,10 @@ impl BigInt {
     /// The additive identity.
     #[must_use]
     pub fn zero() -> BigInt {
-        BigInt { sign: Sign::Zero, limbs: Vec::new() }
+        BigInt {
+            sign: Sign::Zero,
+            limbs: Vec::new(),
+        }
     }
 
     /// The multiplicative identity.
@@ -312,7 +317,10 @@ impl BigInt {
     #[must_use]
     pub fn abs(&self) -> BigInt {
         match self.sign {
-            Sign::Minus => BigInt { sign: Sign::Plus, limbs: self.limbs.clone() },
+            Sign::Minus => BigInt {
+                sign: Sign::Plus,
+                limbs: self.limbs.clone(),
+            },
             _ => self.clone(),
         }
     }
@@ -354,8 +362,15 @@ impl BigInt {
         } else {
             Sign::Minus
         };
-        let r_sign = if r_mag.is_empty() { Sign::Zero } else { self.sign };
-        (BigInt::from_mag(q_sign, q_mag), BigInt::from_mag(r_sign, r_mag))
+        let r_sign = if r_mag.is_empty() {
+            Sign::Zero
+        } else {
+            self.sign
+        };
+        (
+            BigInt::from_mag(q_sign, q_mag),
+            BigInt::from_mag(r_sign, r_mag),
+        )
     }
 
     /// Converts to `i128`, returning `None` on overflow.
@@ -660,14 +675,16 @@ impl FromStr for BigInt {
             None => (false, s.strip_prefix('+').unwrap_or(s)),
         };
         if digits.is_empty() {
-            return Err(ParseBigIntError { kind: ParseErrorKind::Empty });
+            return Err(ParseBigIntError {
+                kind: ParseErrorKind::Empty,
+            });
         }
         let mut acc = BigInt::zero();
         let ten = BigInt::from(10u32);
         for c in digits.chars() {
-            let d = c
-                .to_digit(10)
-                .ok_or(ParseBigIntError { kind: ParseErrorKind::InvalidDigit(c) })?;
+            let d = c.to_digit(10).ok_or(ParseBigIntError {
+                kind: ParseErrorKind::InvalidDigit(c),
+            })?;
             acc = acc * &ten + BigInt::from(d);
         }
         if neg {

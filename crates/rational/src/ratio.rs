@@ -81,9 +81,16 @@ impl Ratio {
     #[must_use]
     pub fn from_bigints(num: BigInt, den: BigInt) -> Ratio {
         assert!(!den.is_zero(), "rational with zero denominator");
-        let (mut num, mut den) = if den.is_negative() { (-num, -den) } else { (num, den) };
+        let (mut num, mut den) = if den.is_negative() {
+            (-num, -den)
+        } else {
+            (num, den)
+        };
         if num.is_zero() {
-            return Ratio { num: BigInt::zero(), den: BigInt::one() };
+            return Ratio {
+                num: BigInt::zero(),
+                den: BigInt::one(),
+            };
         }
         let g = num.gcd(&den);
         if !g.is_one() {
@@ -96,19 +103,28 @@ impl Ratio {
     /// The rational zero.
     #[must_use]
     pub fn zero() -> Ratio {
-        Ratio { num: BigInt::zero(), den: BigInt::one() }
+        Ratio {
+            num: BigInt::zero(),
+            den: BigInt::one(),
+        }
     }
 
     /// The rational one.
     #[must_use]
     pub fn one() -> Ratio {
-        Ratio { num: BigInt::one(), den: BigInt::one() }
+        Ratio {
+            num: BigInt::one(),
+            den: BigInt::one(),
+        }
     }
 
     /// Creates a rational from an integer.
     #[must_use]
     pub fn from_integer(v: i64) -> Ratio {
-        Ratio { num: BigInt::from(v), den: BigInt::one() }
+        Ratio {
+            num: BigInt::from(v),
+            den: BigInt::one(),
+        }
     }
 
     /// Numerator (negative iff the rational is negative).
@@ -162,7 +178,10 @@ impl Ratio {
     /// Absolute value.
     #[must_use]
     pub fn abs(&self) -> Ratio {
-        Ratio { num: self.num.abs(), den: self.den.clone() }
+        Ratio {
+            num: self.num.abs(),
+            den: self.den.clone(),
+        }
     }
 
     /// Multiplicative inverse.
@@ -245,7 +264,10 @@ impl From<i64> for Ratio {
 
 impl From<BigInt> for Ratio {
     fn from(v: BigInt) -> Ratio {
-        Ratio { num: v, den: BigInt::one() }
+        Ratio {
+            num: v,
+            den: BigInt::one(),
+        }
     }
 }
 
@@ -265,7 +287,10 @@ impl Ord for Ratio {
 impl Neg for Ratio {
     type Output = Ratio;
     fn neg(self) -> Ratio {
-        Ratio { num: -self.num, den: self.den }
+        Ratio {
+            num: -self.num,
+            den: self.den,
+        }
     }
 }
 
@@ -382,14 +407,18 @@ impl FromStr for Ratio {
 
     /// Parses `"p"` or `"p/q"` decimal literals.
     fn from_str(s: &str) -> Result<Ratio, ParseRatioError> {
-        let wrap = |e: ParseBigIntError| ParseRatioError { kind: RatioErrorKind::Int(e) };
+        let wrap = |e: ParseBigIntError| ParseRatioError {
+            kind: RatioErrorKind::Int(e),
+        };
         match s.split_once('/') {
             None => Ok(Ratio::from(s.trim().parse::<BigInt>().map_err(wrap)?)),
             Some((p, q)) => {
                 let num = p.trim().parse::<BigInt>().map_err(wrap)?;
                 let den = q.trim().parse::<BigInt>().map_err(wrap)?;
                 if den.is_zero() {
-                    return Err(ParseRatioError { kind: RatioErrorKind::ZeroDenominator });
+                    return Err(ParseRatioError {
+                        kind: RatioErrorKind::ZeroDenominator,
+                    });
                 }
                 Ok(Ratio::from_bigints(num, den))
             }

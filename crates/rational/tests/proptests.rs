@@ -9,6 +9,11 @@ fn big(v: i128) -> BigInt {
 }
 
 proptest! {
+    // Explicit case count (rather than the runner default) so CI runtime
+    // stays bounded; arithmetic cases are cheap, so this suite can afford
+    // the most cases in the workspace.
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
     #[test]
     fn add_matches_i128(a in -1_000_000_000_000i128..1_000_000_000_000, b in -1_000_000_000_000i128..1_000_000_000_000) {
         prop_assert_eq!(big(a) + big(b), big(a + b));

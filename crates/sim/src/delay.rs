@@ -80,7 +80,11 @@ impl BandDelay {
     #[must_use]
     pub fn new(lo: u64, hi: u64, seed: u64) -> BandDelay {
         assert!(lo > 0 && lo <= hi, "need 0 < lo <= hi");
-        BandDelay { lo, hi, rng: SmallRng::seed_from_u64(seed) }
+        BandDelay {
+            lo,
+            hi,
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -107,7 +111,11 @@ impl PerLinkBand {
     #[must_use]
     pub fn new(default_lo: u64, default_hi: u64, seed: u64) -> PerLinkBand {
         assert!(default_lo > 0 && default_lo <= default_hi);
-        PerLinkBand { default: (default_lo, default_hi), links: Vec::new(), rng: SmallRng::seed_from_u64(seed) }
+        PerLinkBand {
+            default: (default_lo, default_hi),
+            links: Vec::new(),
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 
     /// Overrides the band of the directed link `from → to`.
@@ -159,7 +167,12 @@ impl GrowingDelay {
     #[must_use]
     pub fn new(lo: u64, hi: u64, tau: u64, seed: u64) -> GrowingDelay {
         assert!(lo > 0 && lo <= hi && tau > 0);
-        GrowingDelay { lo, hi, tau, rng: SmallRng::seed_from_u64(seed) }
+        GrowingDelay {
+            lo,
+            hi,
+            tau,
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -216,7 +229,10 @@ impl<D> Lossy<D> {
     /// Wraps `inner` with no dropped links.
     #[must_use]
     pub fn new(inner: D) -> Lossy<D> {
-        Lossy { inner, dropped_links: Vec::new() }
+        Lossy {
+            inner,
+            dropped_links: Vec::new(),
+        }
     }
 
     /// Drops every message on `from → to`.
@@ -278,8 +294,14 @@ mod tests {
     #[test]
     fn adversarial_span_targets_victim() {
         let mut m = AdversarialSpan::new(1, 9, ProcessId(2));
-        assert_eq!(m.delivery(ProcessId(0), ProcessId(2), 0, 0), Delivery::After(9));
-        assert_eq!(m.delivery(ProcessId(0), ProcessId(1), 0, 0), Delivery::After(1));
+        assert_eq!(
+            m.delivery(ProcessId(0), ProcessId(2), 0, 0),
+            Delivery::After(9)
+        );
+        assert_eq!(
+            m.delivery(ProcessId(0), ProcessId(1), 0, 0),
+            Delivery::After(1)
+        );
     }
 
     #[test]
@@ -287,15 +309,24 @@ mod tests {
         let mut m = Lossy::new(FixedDelay::new(4));
         m.drop_link(ProcessId(0), ProcessId(1));
         assert_eq!(m.delivery(ProcessId(0), ProcessId(1), 0, 0), Delivery::Drop);
-        assert_eq!(m.delivery(ProcessId(1), ProcessId(0), 0, 0), Delivery::After(4));
+        assert_eq!(
+            m.delivery(ProcessId(1), ProcessId(0), 0, 0),
+            Delivery::After(4)
+        );
     }
 
     #[test]
     fn per_link_band_overrides() {
         let mut m = PerLinkBand::new(5, 5, 3);
         m.set_link(ProcessId(0), ProcessId(1), 20, 20);
-        assert_eq!(m.delivery(ProcessId(0), ProcessId(1), 0, 0), Delivery::After(20));
-        assert_eq!(m.delivery(ProcessId(1), ProcessId(0), 0, 0), Delivery::After(5));
+        assert_eq!(
+            m.delivery(ProcessId(0), ProcessId(1), 0, 0),
+            Delivery::After(20)
+        );
+        assert_eq!(
+            m.delivery(ProcessId(1), ProcessId(0), 0, 0),
+            Delivery::After(5)
+        );
     }
 
     #[test]

@@ -20,7 +20,10 @@ pub struct RunLimits {
 
 impl Default for RunLimits {
     fn default() -> RunLimits {
-        RunLimits { max_events: 1_000_000, max_time: u64::MAX }
+        RunLimits {
+            max_events: 1_000_000,
+            max_time: u64::MAX,
+        }
     }
 }
 
@@ -217,10 +220,7 @@ impl<M: Clone + 'static, D: DelayModel> Simulation<M, D> {
             for (to, msg) in outbox.drain(..) {
                 let seq_no = self.trace.messages.len() as u64;
                 stats.messages_sent += 1;
-                match self
-                    .delay_model
-                    .delivery(process, to, entry.time, seq_no)
-                {
+                match self.delay_model.delivery(process, to, entry.time, seq_no) {
                     Delivery::Drop => {
                         stats.messages_dropped += 1;
                         self.trace.messages.push(TraceMessage {
@@ -334,13 +334,23 @@ mod tests {
     #[test]
     fn budget_limits_are_honoured() {
         let mut sim = Simulation::new(FixedDelay::new(1));
-        sim.add_process(Echo { remaining: u32::MAX });
-        sim.add_process(Echo { remaining: u32::MAX });
-        let stats = sim.run(RunLimits { max_events: 50, max_time: u64::MAX });
+        sim.add_process(Echo {
+            remaining: u32::MAX,
+        });
+        sim.add_process(Echo {
+            remaining: u32::MAX,
+        });
+        let stats = sim.run(RunLimits {
+            max_events: 50,
+            max_time: u64::MAX,
+        });
         assert_eq!(stats.events_executed, 50);
         assert!(!stats.quiescent);
         // Continue the same run.
-        let stats2 = sim.run(RunLimits { max_events: 50, max_time: u64::MAX });
+        let stats2 = sim.run(RunLimits {
+            max_events: 50,
+            max_time: u64::MAX,
+        });
         assert_eq!(stats2.events_executed, 50);
         assert!(sim.trace().events().len() >= 100);
     }
@@ -348,9 +358,16 @@ mod tests {
     #[test]
     fn max_time_stops_before_event() {
         let mut sim = Simulation::new(FixedDelay::new(100));
-        sim.add_process(Echo { remaining: u32::MAX });
-        sim.add_process(Echo { remaining: u32::MAX });
-        let stats = sim.run(RunLimits { max_events: usize::MAX, max_time: 250 });
+        sim.add_process(Echo {
+            remaining: u32::MAX,
+        });
+        sim.add_process(Echo {
+            remaining: u32::MAX,
+        });
+        let stats = sim.run(RunLimits {
+            max_events: usize::MAX,
+            max_time: 250,
+        });
         // Events at t=0 (inits), 100, 200 execute; t=300 does not.
         assert!(stats.final_time <= 250);
         assert!(!stats.quiescent);

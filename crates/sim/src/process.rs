@@ -106,7 +106,11 @@ impl<P> CrashAt<P> {
     /// Crash after `steps` completed steps.
     #[must_use]
     pub fn new(inner: P, steps: usize) -> CrashAt<P> {
-        CrashAt { inner, crash_after_steps: steps, steps: 0 }
+        CrashAt {
+            inner,
+            crash_after_steps: steps,
+            steps: 0,
+        }
     }
 
     /// Whether the crash point has been reached.

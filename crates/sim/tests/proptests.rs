@@ -38,7 +38,10 @@ fn run(n: usize, fanout: usize, lo: u64, hi: u64, seed: u64) -> Simulation<u64, 
     for _ in 0..n {
         sim.add_process(Gossip { fanout, state: 0 });
     }
-    sim.run(RunLimits { max_events: 5_000, max_time: u64::MAX });
+    sim.run(RunLimits {
+        max_events: 5_000,
+        max_time: u64::MAX,
+    });
     sim
 }
 

@@ -193,7 +193,13 @@ impl EventuallyBanded {
     #[must_use]
     pub fn new(gst: u64, chaos_hi: u64, lo: u64, hi: u64, seed: u64) -> EventuallyBanded {
         assert!(lo > 0 && lo <= hi && chaos_hi > 0);
-        EventuallyBanded { gst, chaos_hi, lo, hi, rng: SmallRng::seed_from_u64(seed) }
+        EventuallyBanded {
+            gst,
+            chaos_hi,
+            lo,
+            hi,
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -302,7 +308,10 @@ impl DoublingLockStep {
                     self.snapshots.push((round, mask));
                 }
                 self.current_round = self.current_round.max(round);
-                ctx.broadcast(DlsMsg { k: t, round: Some(round) });
+                ctx.broadcast(DlsMsg {
+                    k: t,
+                    round: Some(round),
+                });
             } else {
                 ctx.broadcast(DlsMsg { k: t, round: None });
             }
@@ -376,7 +385,10 @@ mod tests {
         for _ in 1..4 {
             sim.add_process(AdResponder);
         }
-        sim.run(RunLimits { max_events: 60_000, max_time: u64::MAX });
+        sim.run(RunLimits {
+            max_events: 60_000,
+            max_time: u64::MAX,
+        });
         let est = sim.process_as::<XiEstimator>(ProcessId(0)).unwrap();
         assert!(est.revisions >= 1, "estimate must have been revised");
         assert!(est.threshold() >= 4, "threshold grew: {}", est.threshold());
@@ -394,7 +406,10 @@ mod tests {
         sim.add_process(AdResponder);
         sim.add_process(AdResponder);
         sim.add_faulty_process(CrashAt::new(AdResponder, 0));
-        sim.run(RunLimits { max_events: 30_000, max_time: u64::MAX });
+        sim.run(RunLimits {
+            max_events: 30_000,
+            max_time: u64::MAX,
+        });
         let est = sim.process_as::<XiEstimator>(ProcessId(0)).unwrap();
         assert!(est.is_suspected(ProcessId(3)));
         assert!(!est.is_suspected(ProcessId(1)));
@@ -408,7 +423,10 @@ mod tests {
         for _ in 0..n {
             sim.add_process(DoublingLockStep::new(n, 1, 2));
         }
-        sim.run(RunLimits { max_events: 120_000, max_time: u64::MAX });
+        sim.run(RunLimits {
+            max_events: 120_000,
+            max_time: u64::MAX,
+        });
         let correct_mask: u128 = (1 << n) - 1;
         for p in 0..n {
             let d = sim.process_as::<DoublingLockStep>(ProcessId(p)).unwrap();

@@ -41,12 +41,20 @@ pub struct TechProfile {
 }
 
 /// A generic FPGA profile: slow wires, moderate jitter.
-pub const FPGA: TechProfile =
-    TechProfile { name: "FPGA", scale_num: 10, scale_den: 1, jitter_pct: 30 };
+pub const FPGA: TechProfile = TechProfile {
+    name: "FPGA",
+    scale_num: 10,
+    scale_den: 1,
+    jitter_pct: 30,
+};
 
 /// A migrated high-speed ASIC profile: ~3.3× faster, same relative jitter.
-pub const ASIC: TechProfile =
-    TechProfile { name: "ASIC", scale_num: 3, scale_den: 1, jitter_pct: 30 };
+pub const ASIC: TechProfile = TechProfile {
+    name: "ASIC",
+    scale_num: 3,
+    scale_den: 1,
+    jitter_pct: 30,
+};
 
 /// An `w × h` grid System-on-Chip running distributed clock generation.
 #[derive(Clone, Debug)]
@@ -80,7 +88,11 @@ impl SoC {
     pub fn new(width: usize, height: usize, profile: TechProfile) -> SoC {
         let n = width * height;
         assert!((4..=128).contains(&n), "grid size out of range");
-        SoC { width, height, profile }
+        SoC {
+            width,
+            height,
+            profile,
+        }
     }
 
     /// Number of nodes.
@@ -103,15 +115,18 @@ impl SoC {
         let n = self.nodes();
         // Base band covers self-messages (distance 0).
         let base = self.profile.scale_num.max(1) / self.profile.scale_den.max(1);
-        let mut model = PerLinkBand::new(base.max(1), (base.max(1)) * (100 + self.profile.jitter_pct) / 100 + 1, seed);
+        let mut model = PerLinkBand::new(
+            base.max(1),
+            (base.max(1)) * (100 + self.profile.jitter_pct) / 100 + 1,
+            seed,
+        );
         for a in 0..n {
             for bn in 0..n {
                 if a == bn {
                     continue;
                 }
                 let d = 1 + self.distance(a, bn);
-                let nominal =
-                    d * self.profile.scale_num / self.profile.scale_den;
+                let nominal = d * self.profile.scale_num / self.profile.scale_den;
                 let nominal = nominal.max(1);
                 let hi = (nominal * (100 + self.profile.jitter_pct)).div_ceil(100);
                 model.set_link(ProcessId(a), ProcessId(bn), nominal, hi.max(nominal));
@@ -145,7 +160,10 @@ impl SoC {
         for _ in 0..n {
             sim.add_process(TickGen::new(n, f));
         }
-        sim.run(RunLimits { max_events, max_time: u64::MAX });
+        sim.run(RunLimits {
+            max_events,
+            max_time: u64::MAX,
+        });
         let trace = sim.trace();
         let g = trace.to_execution_graph();
         let ratio = check::max_relevant_cycle_ratio(&g);
@@ -162,7 +180,11 @@ impl SoC {
     /// scaled delays).
     #[must_use]
     pub fn migrate(&self, profile: TechProfile) -> SoC {
-        SoC { width: self.width, height: self.height, profile }
+        SoC {
+            width: self.width,
+            height: self.height,
+            profile,
+        }
     }
 }
 
@@ -201,8 +223,14 @@ mod tests {
         let run_asic = asic.run_clock_generation(&xi, 11, 1_200);
         // Both technologies keep the execution admissible for the same Xi
         // (margins above 1): the §5.3 migration claim.
-        let mf = run_fpga.xi_margin.clone().unwrap_or_else(|| Ratio::from_integer(i64::MAX));
-        let ma = run_asic.xi_margin.clone().unwrap_or_else(|| Ratio::from_integer(i64::MAX));
+        let mf = run_fpga
+            .xi_margin
+            .clone()
+            .unwrap_or_else(|| Ratio::from_integer(i64::MAX));
+        let ma = run_asic
+            .xi_margin
+            .clone()
+            .unwrap_or_else(|| Ratio::from_integer(i64::MAX));
         assert!(mf > Ratio::one(), "FPGA margin: {run_fpga:?}");
         assert!(ma > Ratio::one(), "ASIC margin: {run_asic:?}");
         // And both make progress with bounded spread.

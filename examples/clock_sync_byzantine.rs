@@ -21,10 +21,16 @@ fn main() {
     // Two Byzantine processes rush their ticks to pull clocks ahead.
     sim.add_faulty_process(TickRusher::new(5));
     sim.add_faulty_process(TickRusher::new(11));
-    sim.run(RunLimits { max_events: 500_000, max_time: 4_000 });
+    sim.run(RunLimits {
+        max_events: 500_000,
+        max_time: 4_000,
+    });
     let trace = sim.trace();
 
-    println!("Theorem 1 (progress): min final clock = {:?}", instrument::min_final_clock(trace));
+    println!(
+        "Theorem 1 (progress): min final clock = {:?}",
+        instrument::min_final_clock(trace)
+    );
 
     let spread = instrument::max_clock_spread(trace).unwrap();
     println!(

@@ -20,8 +20,13 @@ fn run(threshold: u64, crash: Option<usize>, seed: u64) -> PingPongDetector {
             sim.add_process(FdResponder);
         }
     }
-    sim.run(RunLimits { max_events: 20_000, max_time: u64::MAX });
-    sim.process_as::<PingPongDetector>(ProcessId(0)).unwrap().clone()
+    sim.run(RunLimits {
+        max_events: 20_000,
+        max_time: u64::MAX,
+    });
+    sim.process_as::<PingPongDetector>(ProcessId(0))
+        .unwrap()
+        .clone()
 }
 
 fn main() {

@@ -5,10 +5,10 @@
 //! cargo run --example quickstart
 //! ```
 
+use abc::clocksync::{instrument, TickGen};
 use abc::core::assign::assign_delays;
 use abc::core::graph::{ExecutionGraph, ProcessId};
 use abc::core::{check, Xi};
-use abc::clocksync::{instrument, TickGen};
 use abc::sim::delay::BandDelay;
 use abc::sim::{RunLimits, Simulation};
 
@@ -66,7 +66,10 @@ fn main() {
     for _ in 0..n {
         sim.add_process(TickGen::new(n, 1));
     }
-    let stats = sim.run(RunLimits { max_events: 4_000, max_time: u64::MAX });
+    let stats = sim.run(RunLimits {
+        max_events: 4_000,
+        max_time: u64::MAX,
+    });
     let spread = instrument::max_clock_spread(sim.trace()).unwrap();
     let min_clock = instrument::min_final_clock(sim.trace()).unwrap();
     println!(

@@ -18,7 +18,10 @@ fn clock_sync_holds_at_n_3f_plus_1() {
     }
     sim.add_faulty_process(TickRusher::new(3));
     sim.add_faulty_process(TickRusher::new(9));
-    sim.run(RunLimits { max_events: 300_000, max_time: 2_000 });
+    sim.run(RunLimits {
+        max_events: 300_000,
+        max_time: 2_000,
+    });
     let spread = instrument::max_clock_spread(sim.trace()).unwrap();
     assert!(Ratio::from_integer(spread as i64) <= instrument::two_xi(&xi));
     assert!(instrument::min_final_clock(sim.trace()).unwrap() > 10);
@@ -37,7 +40,10 @@ fn clock_sync_breaks_beyond_f() {
     for _ in 0..3 {
         sim.add_faulty_process(TickRusher::new(1_000));
     }
-    sim.run(RunLimits { max_events: 100_000, max_time: 500 });
+    sim.run(RunLimits {
+        max_events: 100_000,
+        max_time: 500,
+    });
     let max_clock = sim
         .trace()
         .events()

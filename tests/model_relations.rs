@@ -15,7 +15,11 @@ fn theorem6_direction_holds_and_converse_fails() {
     assert!(check::is_admissible(&g, &Xi::from_integer(2)).unwrap());
     // Θ would need to exceed the (growing) overlap ratio — far beyond any
     // sane bound.
-    assert!(!theta::is_theta_admissible(&g, &timed, &Ratio::from_integer(100)));
+    assert!(!theta::is_theta_admissible(
+        &g,
+        &timed,
+        &Ratio::from_integer(100)
+    ));
 }
 
 #[test]
@@ -55,5 +59,9 @@ fn abc_weaker_than_theta_in_executions() {
     // per-transit ratio 19 (zero-ish margins), inadmissible for Θ = 3.
     let (g, timed) = scenarios::fig9_compensated_paths();
     assert!(check::is_admissible(&g, &Xi::from_fraction(11, 10)).unwrap());
-    assert!(!theta::is_theta_admissible(&g, &timed, &Ratio::from_integer(3)));
+    assert!(!theta::is_theta_admissible(
+        &g,
+        &timed,
+        &Ratio::from_integer(3)
+    ));
 }

@@ -13,7 +13,10 @@ fn clocksync_trace(lo: u64, hi: u64, seed: u64, events: usize) -> abc::sim::Trac
     for _ in 0..4 {
         sim.add_process(TickGen::new(4, 1));
     }
-    sim.run(RunLimits { max_events: events, max_time: u64::MAX });
+    sim.run(RunLimits {
+        max_events: events,
+        max_time: u64::MAX,
+    });
     sim.trace().clone()
 }
 
@@ -57,7 +60,10 @@ fn growing_delays_stay_admissible_with_banded_ratio() {
     for _ in 0..4 {
         sim.add_process(TickGen::new(4, 1));
     }
-    sim.run(RunLimits { max_events: 1_000, max_time: u64::MAX });
+    sim.run(RunLimits {
+        max_events: 1_000,
+        max_time: u64::MAX,
+    });
     let g = sim.trace().to_execution_graph();
     let ratio = check::max_relevant_cycle_ratio(&g);
     // Messages sent at nearby times have delay ratio < 1.9 * growth-slack;

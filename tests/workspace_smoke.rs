@@ -1,0 +1,160 @@
+//! Workspace smoke test: every crate re-exported by the `abc` facade is
+//! reachable, and its top-level entry points work on a tiny fixture. The
+//! core round-trip (graph build → check → assign) is exercised end to end.
+//!
+//! Each test here is deliberately small — the point is wiring, not depth;
+//! the per-crate suites own the depth.
+
+use abc::core::assign::assign_delays;
+use abc::core::graph::{ExecutionGraph, ProcessId};
+use abc::core::{check, Xi};
+
+/// The minimal relevant cycle: a 2-hop chain spanned by one direct message
+/// (max relevant cycle ratio exactly 2).
+fn tiny_graph() -> ExecutionGraph {
+    let mut b = ExecutionGraph::builder(3);
+    let q = b.init(ProcessId(0));
+    b.init(ProcessId(1));
+    b.init(ProcessId(2));
+    let (_, relay) = b.send(q, ProcessId(2));
+    b.send(relay, ProcessId(1));
+    b.send(q, ProcessId(1));
+    b.finish()
+}
+
+#[test]
+fn core_check_assign_round_trip() {
+    let g = tiny_graph();
+    assert_eq!(
+        check::max_relevant_cycle_ratio(&g),
+        Some(abc::rational::Ratio::from_integer(2))
+    );
+    // Strict bound: ratio == Xi is inadmissible, ratio < Xi is admissible.
+    assert!(!check::is_admissible(&g, &Xi::from_integer(2)).unwrap());
+    let xi = Xi::from_fraction(5, 2);
+    assert!(check::is_admissible(&g, &xi).unwrap());
+    // Theorem 7 round-trip: assignment exists, is normalized, and the timed
+    // graph it produces is Θ-admissible for Θ = Ξ.
+    let timed = assign_delays(&g, &xi).unwrap();
+    assert!(timed.is_normalized(&g, &xi));
+    assert!(timed.is_theta_admissible(&g, xi.as_ratio()));
+}
+
+#[test]
+fn rational_arithmetic_is_exact() {
+    use abc::rational::{BigInt, Ratio};
+    let third = Ratio::new(1, 3);
+    let sum = &(&third + &third) + &third;
+    assert_eq!(sum, Ratio::one());
+    let big = BigInt::from(i128::MAX) * BigInt::from(i128::MAX);
+    assert_eq!(big.to_string().parse::<BigInt>().unwrap(), big);
+}
+
+#[test]
+fn lp_simplex_solves_a_tiny_system() {
+    use abc::lp::{simplex, LinearSystem, Rel};
+    use abc::rational::Ratio;
+    // x0 < 2  and  x0 >= 1 (as -x0 <= -1): feasible with a strict gap.
+    let mut sys = LinearSystem::new(1);
+    sys.push(
+        vec![Ratio::from_integer(1)],
+        Rel::Lt,
+        Ratio::from_integer(2),
+    );
+    sys.push(
+        vec![Ratio::from_integer(-1)],
+        Rel::Le,
+        Ratio::from_integer(-1),
+    );
+    let out = simplex::solve(&sys).unwrap();
+    assert!(out.is_feasible());
+    let sol = out.solution().unwrap();
+    assert!(sys.satisfied_by(&sol.values));
+}
+
+#[test]
+fn sim_and_clocksync_produce_admissible_synchronized_traces() {
+    use abc::clocksync::{instrument, TickGen};
+    use abc::sim::delay::BandDelay;
+    use abc::sim::{RunLimits, Simulation};
+    let mut sim = Simulation::new(BandDelay::new(10, 19, 7));
+    for _ in 0..4 {
+        sim.add_process(TickGen::new(4, 1));
+    }
+    sim.run(RunLimits {
+        max_events: 1_000,
+        max_time: u64::MAX,
+    });
+    let xi = Xi::from_fraction(2, 1);
+    let spread = instrument::max_clock_spread(sim.trace()).unwrap();
+    assert!(abc::rational::Ratio::from_integer(spread as i64) <= instrument::two_xi(&xi));
+    // The extracted graph round-trips through the checker.
+    let g = sim.trace().to_execution_graph();
+    assert!(check::is_admissible(&g, &xi).unwrap());
+}
+
+#[test]
+fn fd_detects_a_crash_and_elects_a_leader() {
+    use abc::fd::{leader_from_suspects, FdResponder, PingPongDetector};
+    use abc::sim::delay::BandDelay;
+    use abc::sim::{CrashAt, RunLimits, Simulation};
+    let mut sim = Simulation::new(BandDelay::new(10, 19, 1));
+    sim.add_process(PingPongDetector::with_threshold(3, 4));
+    sim.add_process(FdResponder);
+    sim.add_faulty_process(CrashAt::new(FdResponder, 0));
+    sim.run(RunLimits {
+        max_events: 10_000,
+        max_time: u64::MAX,
+    });
+    let d = sim.process_as::<PingPongDetector>(ProcessId(0)).unwrap();
+    assert!(d.is_suspected(ProcessId(2)));
+    assert!(!d.is_suspected(ProcessId(1)));
+    let core: Vec<ProcessId> = (0..3).map(ProcessId).collect();
+    let leader = leader_from_suspects(&core, d.history().last().unwrap().1);
+    assert!(leader.is_some());
+    assert_ne!(leader, Some(ProcessId(2)));
+}
+
+#[test]
+fn consensus_reaches_agreement_over_lockstep_rounds() {
+    let out =
+        abc::consensus::harness::run_eig(4, 1, 1, &[1, 1, 1], &Xi::from_integer(2), 3, 60_000);
+    assert!(out.terminated() && out.agreement() && out.validity());
+}
+
+#[test]
+fn models_scenarios_separate_abc_from_theta() {
+    use abc::models::{scenarios, theta};
+    use abc::rational::Ratio;
+    let (g, timed) = scenarios::spacecraft_growing_delays(6);
+    assert!(check::is_admissible(&g, &Xi::from_integer(2)).unwrap());
+    assert!(!theta::is_theta_admissible(
+        &g,
+        &timed,
+        &Ratio::from_integer(50)
+    ));
+}
+
+#[test]
+fn variants_entry_points_are_wired() {
+    use abc::variants::{doubling_boundary, restrict_to_core};
+    assert!(doubling_boundary(1, 2) > doubling_boundary(1, 1));
+    // Restricting a graph to a subset of its processes keeps it well-formed.
+    let g = tiny_graph();
+    let core: Vec<ProcessId> = vec![ProcessId(0), ProcessId(1)];
+    let restricted = restrict_to_core(&g, &core);
+    assert!(restricted.num_events() <= g.num_events());
+    let _ = check::max_relevant_cycle_ratio(&restricted);
+}
+
+#[test]
+fn vlsi_soc_clock_generation_keeps_the_xi_margin() {
+    use abc::vlsi::{SoC, FPGA};
+    let soc = SoC::new(2, 2, FPGA);
+    let xi = Xi::from_integer(5);
+    let run = soc.run_clock_generation(&xi, 21, 400);
+    assert!(run.min_clock > 0);
+    if let Some(margin) = &run.xi_margin {
+        assert!(margin.to_f64() > 1.0);
+    }
+}

@@ -1,0 +1,62 @@
+//! `any::<T>()` — full-range strategies for primitive types.
+
+use crate::strategy::{wide_word, Gen, Strategy};
+use rand::rngs::SmallRng;
+use rand::RngCore;
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one unconstrained value.
+    fn arbitrary(rng: &mut SmallRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+/// Full-range strategy for `T` (edge-biased: with probability 1/8 an edge
+/// value such as `0`, `±1`, `MIN`, or `MAX` is drawn instead of a uniform
+/// one, so overflow corners get exercised at small case counts).
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut SmallRng) -> Gen<T> {
+        Ok(T::arbitrary(rng))
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut SmallRng) -> $t {
+                let word = rng.next_u64();
+                if word & 7 == 0 {
+                    // Edge case draw.
+                    const EDGES: [$t; 5] =
+                        [0, 1, <$t>::MAX, <$t>::MIN, <$t>::MAX.wrapping_add(<$t>::MIN)];
+                    EDGES[(word >> 3) as usize % EDGES.len()]
+                } else {
+                    wide_word(rng) as $t
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut SmallRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut SmallRng) -> char {
+        char::from_u32((rng.next_u64() % 0xD800) as u32).unwrap_or('\u{FFFD}')
+    }
+}

@@ -1,0 +1,37 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! micro-crate implements the subset of proptest the workspace's property
+//! suites use:
+//!
+//! * [`strategy::Strategy`] with `prop_map`, `prop_filter`, `prop_flat_map`,
+//!   range strategies over all primitive integers, tuple strategies, and
+//!   [`collection::vec`];
+//! * [`arbitrary::any`] for integers and `bool` (edge-biased: `0`, `±1`,
+//!   `MIN`, `MAX` are drawn with boosted probability);
+//! * the [`proptest!`] macro with `#![proptest_config(..)]` support, and the
+//!   `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` / `prop_assume!`
+//!   assertion macros;
+//! * a deterministic [`test_runner::TestRunner`] that replays pinned seeds
+//!   from `proptest-regressions/<file>.txt` before running fresh cases, and
+//!   appends the failing seed to that file on failure (same workflow as real
+//!   proptest, seed-granular instead of value-granular).
+//!
+//! Differences from real proptest: no shrinking (the failing seed is
+//! reported and pinned instead), and generation is seed-deterministic per
+//! case index so CI runs are reproducible without an env var.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob import the suites use: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}

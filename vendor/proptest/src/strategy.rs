@@ -1,0 +1,243 @@
+//! The [`Strategy`] trait and its combinators.
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, RngExt};
+
+/// Why a single generation attempt produced no value.
+#[derive(Clone, Debug)]
+pub struct Rejection(pub String);
+
+/// Result of one generation attempt.
+pub type Gen<T> = Result<T, Rejection>;
+
+/// A recipe for generating values of `Self::Value` from a seeded RNG.
+///
+/// Unlike real proptest there is no value tree / shrinking: a failing case
+/// is reported (and pinned) by seed.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value, or rejects (e.g. a filter failed).
+    fn generate(&self, rng: &mut SmallRng) -> Gen<Self::Value>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Discards generated values failing `pred` (retrying a bounded number
+    /// of times before rejecting the whole case).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        reason: impl Into<String>,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            reason: reason.into(),
+            pred,
+        }
+    }
+
+    /// Generates a value, builds a second strategy from it, and draws from
+    /// that.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A boxed, type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut SmallRng) -> Gen<T> {
+        self.0.generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut SmallRng) -> Gen<S::Value> {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut SmallRng) -> Gen<S::Value> {
+        (**self).generate(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut SmallRng) -> Gen<T> {
+        Ok(self.0.clone())
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut SmallRng) -> Gen<O> {
+        self.inner.generate(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: String,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut SmallRng) -> Gen<S::Value> {
+        // Local retries keep whole-case rejection rare even for selective
+        // filters; the runner handles the residual rejections.
+        for _ in 0..64 {
+            let v = self.inner.generate(rng)?;
+            if (self.pred)(&v) {
+                return Ok(v);
+            }
+        }
+        Err(Rejection(self.reason.clone()))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn generate(&self, rng: &mut SmallRng) -> Gen<T::Value> {
+        let mid = self.inner.generate(rng)?;
+        (self.f)(mid).generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> Gen<$t> {
+                Ok(sample_range_128(
+                    rng,
+                    self.start as i128,
+                    self.end as i128 - 1,
+                ) as $t)
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> Gen<$t> {
+                Ok(sample_range_128(rng, *self.start() as i128, *self.end() as i128) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// i128/u128 need their own width-preserving sampling.
+impl Strategy for core::ops::Range<i128> {
+    type Value = i128;
+    fn generate(&self, rng: &mut SmallRng) -> Gen<i128> {
+        Ok(sample_i128(rng, self.start, self.end - 1))
+    }
+}
+
+impl Strategy for core::ops::RangeInclusive<i128> {
+    type Value = i128;
+    fn generate(&self, rng: &mut SmallRng) -> Gen<i128> {
+        Ok(sample_i128(rng, *self.start(), *self.end()))
+    }
+}
+
+impl Strategy for core::ops::Range<u128> {
+    type Value = u128;
+    fn generate(&self, rng: &mut SmallRng) -> Gen<u128> {
+        let span = self.end - self.start;
+        Ok(self.start + wide_word(rng) % span)
+    }
+}
+
+/// Uniform in `[lo, hi]`, both interpreted in i128 (covers every smaller
+/// integer width without overflow).
+fn sample_range_128(rng: &mut SmallRng, lo: i128, hi: i128) -> i128 {
+    assert!(lo <= hi, "cannot sample empty range");
+    let span = (hi - lo) as u128; // fits: |hi - lo| <= 2^65 for 64-bit types
+    if span < u64::MAX as u128 {
+        lo + i128::from(rng.random_range(0..=(span as u64)))
+    } else {
+        lo + (wide_word(rng) % (span + 1)) as i128
+    }
+}
+
+fn sample_i128(rng: &mut SmallRng, lo: i128, hi: i128) -> i128 {
+    assert!(lo <= hi, "cannot sample empty range");
+    let span = hi.wrapping_sub(lo) as u128;
+    if span == u128::MAX {
+        return wide_word(rng) as i128;
+    }
+    lo.wrapping_add((wide_word(rng) % (span + 1)) as i128)
+}
+
+/// Two generator words glued into a uniform u128.
+pub(crate) fn wide_word(rng: &mut SmallRng) -> u128 {
+    (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $idx:tt),+),)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut SmallRng) -> Gen<Self::Value> {
+                Ok(($(self.$idx.generate(rng)?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy!(
+    (A / 0),
+    (A / 0, B / 1),
+    (A / 0, B / 1, C / 2),
+    (A / 0, B / 1, C / 2, D / 3),
+    (A / 0, B / 1, C / 2, D / 3, E / 4),
+    (A / 0, B / 1, C / 2, D / 3, E / 4, F / 5),
+    (A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6),
+    (A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6, H / 7),
+);

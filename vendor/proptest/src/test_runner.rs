@@ -1,0 +1,407 @@
+//! The deterministic property-test runner and its configuration.
+
+use crate::strategy::Strategy;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::fs;
+use std::path::PathBuf;
+
+/// Per-suite configuration, set via `#![proptest_config(..)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Upper bound on whole-case rejections (`prop_assume!` / filters)
+    /// before the test aborts.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// A single case's failure mode.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the message explains what.
+    Fail(String),
+    /// The case asked to be discarded (`prop_assume!` or a filter).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failed assertion.
+    #[must_use]
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A discarded case.
+    #[must_use]
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "assertion failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "case rejected: {m}"),
+        }
+    }
+}
+
+/// Result type of one property check.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// The runner driving one `proptest!`-generated test.
+pub struct TestRunner {
+    config: ProptestConfig,
+    /// `proptest-regressions/<source file stem>.txt` under the crate root.
+    regression_file: PathBuf,
+    test_name: &'static str,
+}
+
+/// Splitmix-style avalanche, used to derive per-case seeds.
+fn mix(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TestRunner {
+    /// Builds a runner for the test `test_name` defined in `source_file` of
+    /// the crate rooted at `manifest_dir`.
+    #[must_use]
+    pub fn new(
+        config: ProptestConfig,
+        manifest_dir: &'static str,
+        source_file: &'static str,
+        test_name: &'static str,
+    ) -> TestRunner {
+        let stem = std::path::Path::new(source_file)
+            .file_stem()
+            .map_or_else(|| "unknown".into(), |s| s.to_string_lossy().into_owned());
+        let regression_file = PathBuf::from(manifest_dir)
+            .join("proptest-regressions")
+            .join(format!("{stem}.txt"));
+        TestRunner {
+            config,
+            regression_file,
+            test_name,
+        }
+    }
+
+    /// Seeds pinned for this test (lines `cc <test_name> <seed>`; legacy
+    /// two-token lines `cc <seed>` apply to every test in the file).
+    fn pinned_seeds(&self) -> Vec<u64> {
+        let Ok(text) = fs::read_to_string(&self.regression_file) else {
+            return Vec::new();
+        };
+        let mut seeds = Vec::new();
+        for line in text.lines() {
+            let mut tok = line.split_whitespace();
+            if tok.next() != Some("cc") {
+                continue;
+            }
+            match (tok.next(), tok.next()) {
+                (Some(name), Some(seed)) if name == self.test_name => {
+                    if let Ok(s) = seed.parse() {
+                        seeds.push(s);
+                    }
+                }
+                (Some(seed), None) => {
+                    if let Ok(s) = seed.parse() {
+                        seeds.push(s);
+                    }
+                }
+                _ => {}
+            }
+        }
+        seeds
+    }
+
+    fn pin_seed(&self, seed: u64) {
+        // Serialize against other failing proptests in the same test binary
+        // (cargo runs them on parallel threads sharing this file), and
+        // append rather than rewrite so concurrent pins cannot clobber each
+        // other even across processes.
+        static PIN_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let _guard = PIN_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+
+        let dir = self
+            .regression_file
+            .parent()
+            .expect("regression file has a parent");
+        let line = format!("cc {} {seed}\n", self.test_name);
+        let existing = fs::read_to_string(&self.regression_file).unwrap_or_default();
+        if existing.contains(&line) {
+            return;
+        }
+        let result = fs::create_dir_all(dir).and_then(|()| {
+            use std::io::Write;
+            let mut file = fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&self.regression_file)?;
+            if existing.is_empty() {
+                file.write_all(
+                    b"# Seeds pinned by the vendored proptest runner (vendor/proptest).\n\
+                      # Lines are `cc <test_name> <seed>`; they are replayed before fresh cases.\n\
+                      # Keep this file under version control.\n",
+                )?;
+            }
+            file.write_all(line.as_bytes())
+        });
+        if let Err(e) = result {
+            // Never mask the real test failure, but don't lose the seed
+            // silently either.
+            eprintln!(
+                "warning: could not pin seed {seed} to {}: {e}",
+                self.regression_file.display()
+            );
+        }
+    }
+
+    /// Runs `check` on pinned seeds, then on `config.cases` fresh cases.
+    ///
+    /// # Panics
+    ///
+    /// Panics (failing the enclosing `#[test]`) on the first failing case,
+    /// after pinning its seed, or when the rejection budget is exhausted.
+    pub fn run<S: Strategy>(&self, strategy: &S, check: impl Fn(S::Value) -> TestCaseResult) {
+        // Base seed: stable across runs, distinct across tests.
+        let base = self
+            .test_name
+            .bytes()
+            .fold(0xABC0_2008_5EED_u64, |h, b| mix(h ^ u64::from(b)));
+
+        for seed in self.pinned_seeds() {
+            self.run_seed(strategy, &check, seed, true);
+        }
+
+        let mut accepted = 0u32;
+        let mut rejected = 0u32;
+        let mut case = 0u64;
+        while accepted < self.config.cases {
+            let seed = mix(base.wrapping_add(case));
+            case += 1;
+            if self.run_seed(strategy, &check, seed, false) {
+                accepted += 1;
+            } else {
+                rejected += 1;
+                assert!(
+                    rejected < self.config.max_global_rejects,
+                    "{}: too many rejected cases ({rejected} rejects for {accepted} accepts); \
+                     loosen the strategy or the `prop_assume!`s",
+                    self.test_name,
+                );
+            }
+        }
+    }
+
+    /// Returns whether the case was accepted (ran to a verdict rather than
+    /// being rejected).
+    fn run_seed<S: Strategy>(
+        &self,
+        strategy: &S,
+        check: impl Fn(S::Value) -> TestCaseResult,
+        seed: u64,
+        pinned: bool,
+    ) -> bool {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let value = match strategy.generate(&mut rng) {
+            Ok(v) => v,
+            Err(_) if pinned => return true, // strategy changed since pinning
+            Err(_) => return false,
+        };
+        // A property body that panics (unwrap/index/overflow) must still get
+        // its seed pinned, so the failure is replayable — catch, pin,
+        // resume. AssertUnwindSafe is fine: the value and closure are
+        // dropped on the panic path, never reused.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| check(value)));
+        match outcome {
+            Ok(Ok(())) => true,
+            Ok(Err(TestCaseError::Reject(_))) => false,
+            Ok(Err(TestCaseError::Fail(msg))) => {
+                if !pinned {
+                    self.pin_seed(seed);
+                }
+                panic!(
+                    "{name}: property failed{replay} (seed {seed}, pinned in {file}): {msg}",
+                    name = self.test_name,
+                    replay = if pinned {
+                        " on pinned regression seed"
+                    } else {
+                        ""
+                    },
+                    file = self.regression_file.display(),
+                );
+            }
+            Err(panic_payload) => {
+                if !pinned {
+                    self.pin_seed(seed);
+                }
+                eprintln!(
+                    "{name}: property body panicked{replay} (seed {seed}, pinned in {file})",
+                    name = self.test_name,
+                    replay = if pinned {
+                        " on pinned regression seed"
+                    } else {
+                        ""
+                    },
+                    file = self.regression_file.display(),
+                );
+                std::panic::resume_unwind(panic_payload);
+            }
+        }
+    }
+}
+
+/// Entry point used by the expansion of [`crate::proptest!`].
+pub fn run_proptest<S: Strategy>(
+    config: ProptestConfig,
+    strategy: S,
+    manifest_dir: &'static str,
+    source_file: &'static str,
+    test_name: &'static str,
+    check: impl Fn(S::Value) -> TestCaseResult,
+) {
+    TestRunner::new(config, manifest_dir, source_file, test_name).run(&strategy, check);
+}
+
+/// Defines property tests. Mirrors real proptest's surface:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn my_property(x in 0u64..100, v in proptest::collection::vec(any::<i64>(), 0..8)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($config:expr) ) => {};
+    ( ($config:expr)
+      $(#[$meta:meta])*
+      fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::test_runner::run_proptest(
+                $config,
+                ($($strat,)+),
+                env!("CARGO_MANIFEST_DIR"),
+                file!(),
+                stringify!($name),
+                |($($arg,)+)| { $body Ok(()) },
+            );
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+/// `assert!` that reports through the proptest runner (seed gets pinned).
+#[macro_export]
+macro_rules! prop_assert {
+    // The stringified condition must NOT go through format!: conditions
+    // containing braces (matches!, struct literals) would be misparsed as
+    // format placeholders.
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(concat!(
+                "prop_assert!(",
+                stringify!($cond),
+                ")"
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `assert_eq!` variant of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            lhs == rhs,
+            "prop_assert_eq!({}, {}): {:?} != {:?}",
+            stringify!($lhs),
+            stringify!($rhs),
+            lhs,
+            rhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(lhs == rhs, $($fmt)+);
+    }};
+}
+
+/// `assert_ne!` variant of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            lhs != rhs,
+            "prop_assert_ne!({}, {}): both {:?}",
+            stringify!($lhs),
+            stringify!($rhs),
+            lhs
+        );
+    }};
+}
+
+/// Discards the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::reject(stringify!(
+                $cond
+            )));
+        }
+    };
+}

@@ -1,0 +1,186 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! micro-crate provides the exact API surface the workspace uses:
+//! [`rngs::SmallRng`], [`SeedableRng::seed_from_u64`], and
+//! [`RngExt::random_range`] over integer ranges. All generators are
+//! deterministic per seed, which is what the simulator's delay models and
+//! the bench workload generators rely on.
+//!
+//! The generator is splitmix64 (Steele, Lea & Flood 2014): full 64-bit
+//! period, passes BigCrush small-state batteries, and is more than enough
+//! statistical quality for seeded test workloads. Range sampling uses
+//! 128-bit multiply-shift (Lemire 2019) without the rejection step; the
+//! worst-case bias is `span / 2^64`, irrelevant for simulation workloads.
+
+#![forbid(unsafe_code)]
+
+/// Pseudo-random generators (only [`rngs::SmallRng`] is provided).
+pub mod rngs {
+    /// A small, fast, seedable, non-cryptographic PRNG (splitmix64).
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl super::RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl super::SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> SmallRng {
+            // Pre-mix so that nearby seeds (0, 1, 2, …) diverge immediately.
+            let mut rng = SmallRng {
+                state: seed ^ 0x5851_F42D_4C95_7F2D,
+            };
+            use super::RngCore;
+            let _ = rng.next_u64();
+            rng
+        }
+    }
+}
+
+/// Core generator interface: a source of uniform 64-bit words.
+pub trait RngCore {
+    /// Returns the next uniform 64-bit word.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Types that can be constructed from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from `seed`, deterministically.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Extension methods on any [`RngCore`] (the slice of `rand::Rng` we use).
+pub trait RngExt: RngCore {
+    /// Samples uniformly from `range` (`lo..hi` or `lo..=hi`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// Maps a uniform u64 onto `[0, span)` via 128-bit multiply-shift.
+fn mul_shift(word: u64, span: u64) -> u64 {
+    ((u128::from(word) * u128::from(span)) >> 64) as u64
+}
+
+macro_rules! impl_sample_unsigned {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + mul_shift(rng.next_u64(), span) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + mul_shift(rng.next_u64(), span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_signed {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                self.start.wrapping_add(mul_shift(rng.next_u64(), span) as $t)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i64).wrapping_sub(lo as i64) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(mul_shift(rng.next_u64(), span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_signed!(i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{RngCore, RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(0);
+        let mut b = SmallRng::seed_from_u64(1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let x: u64 = rng.random_range(5..=9);
+            assert!((5..=9).contains(&x));
+            let y: usize = rng.random_range(0..3);
+            assert!(y < 3);
+            let z: i64 = rng.random_range(-4..5);
+            assert!((-4..5).contains(&z));
+        }
+    }
+
+    #[test]
+    fn inclusive_range_hits_endpoints() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let (mut lo_seen, mut hi_seen) = (false, false);
+        for _ in 0..1000 {
+            match rng.random_range(0u64..=1) {
+                0 => lo_seen = true,
+                _ => hi_seen = true,
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+}
