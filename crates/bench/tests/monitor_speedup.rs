@@ -1,0 +1,46 @@
+//! Sanity check for the claim the `monitor` criterion bench quantifies:
+//! appended-event checking via the incremental monitor is at least 10×
+//! faster than batch re-checking on a growing clocksync trace.
+//!
+//! The real margin is orders of magnitude; the 10× assertion here (on a
+//! debug build, with a smaller trace than the bench's 10k events) is
+//! deliberately loose so CI timing noise cannot flake it.
+
+use std::time::Instant;
+
+use abc_bench::workloads;
+use abc_core::{check, Xi};
+
+#[test]
+fn incremental_append_beats_batch_recheck_by_10x() {
+    let events = 2_000usize;
+    let xi = Xi::from_integer(5);
+    let trace = workloads::clocksync_trace(4, 1, 1, 4, 42, events);
+    let g = trace.to_execution_graph();
+    assert_eq!(g.num_events(), events);
+
+    // Warm-up + correctness: the two deciders agree.
+    let mon = trace.replay_into_monitor(&xi).unwrap();
+    assert!(mon.is_admissible());
+    assert!(check::is_admissible(&g, &xi).unwrap());
+
+    // Streaming ALL `events` appends, timed as a whole.
+    let t0 = Instant::now();
+    let mon = trace.replay_into_monitor(&xi).unwrap();
+    let stream_total = t0.elapsed();
+    assert!(mon.is_admissible());
+
+    // ONE batch re-check at full size — the cost a batch-based monitor
+    // would pay per appended event.
+    let t1 = Instant::now();
+    assert!(check::is_admissible(&g, &xi).unwrap());
+    let batch_once = t1.elapsed();
+
+    // per-event incremental = stream_total / events; require
+    // batch_once >= 10 * per-event, i.e. stream_total * 10 <= batch_once * events.
+    assert!(
+        stream_total * 10 <= batch_once * (events as u32),
+        "incremental per-event append not >=10x faster: streamed {events} events \
+         in {stream_total:?} vs one batch re-check in {batch_once:?}"
+    );
+}

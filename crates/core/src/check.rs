@@ -36,6 +36,10 @@
 //! by rational bisection over the monotone predicate "∃ cycle with ratio
 //! `≥ x`", followed by exact recovery of the unique bounded-denominator
 //! fraction in the final interval.
+//!
+//! For *online* checking of a growing execution, use
+//! [`crate::monitor::IncrementalChecker`], which maintains this module's
+//! reduction incrementally instead of re-running it from scratch.
 
 use abc_rational::Ratio;
 
@@ -47,32 +51,72 @@ use crate::xi::Xi;
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum CheckError {
     /// `Ξ`'s numerator or denominator does not fit the integer weights used
-    /// by the Bellman–Ford reduction.
+    /// by the Bellman–Ford reduction (the scaled weights, accumulated along
+    /// a longest relaxation path, would overflow `i128`).
     XiTooLarge,
 }
 
 impl std::fmt::Display for CheckError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CheckError::XiTooLarge => write!(f, "Xi numerator/denominator exceeds i64"),
+            CheckError::XiTooLarge => {
+                write!(
+                    f,
+                    "Xi numerator/denominator exceeds the checker's integer range"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for CheckError {}
 
+/// Role of a traversal-graph arc (shared with [`crate::monitor`]).
 #[derive(Clone, Copy, Debug)]
-enum ArcKind {
+pub(crate) enum ArcKind {
     Forward(MessageId),
     Backward(MessageId),
     LocalBack(LocalEdge),
 }
 
+/// One arc of the traversal graph `T` (shared with [`crate::monitor`]).
 #[derive(Clone, Copy, Debug)]
-struct Arc {
-    from: usize,
-    to: usize,
-    kind: ArcKind,
+pub(crate) struct Arc {
+    pub(crate) from: usize,
+    pub(crate) to: usize,
+    pub(crate) kind: ArcKind,
+}
+
+/// Whether the scaled Bellman–Ford weights for `Ξ = p/q` stay representable
+/// in `i128` throughout relaxation. The largest per-arc weight magnitude is
+/// `max(p, q)·K + 1` with `K = #arcs + 1`; a distance label is a walk
+/// weight, and because rounds relax in place (Gauss–Seidel), a single round
+/// can extend a walk by up to `#arcs` arcs — so over the `#nodes + 1`
+/// rounds a label is bounded by `(#nodes + 2)·(#arcs + 1)` arc weights
+/// (reached only while lapping a negative cycle, but it must not overflow
+/// there either: the witness extraction reads those labels).
+fn weights_fit_i128(p: i128, q: i128, num_arcs: usize, num_nodes: usize) -> bool {
+    let Ok(k) = i128::try_from(num_arcs) else {
+        return false;
+    };
+    let Ok(n) = i128::try_from(num_nodes) else {
+        return false;
+    };
+    p.max(q)
+        .checked_mul(k + 1)
+        .and_then(|w| w.checked_add(1))
+        .and_then(|w| w.checked_mul(k + 1))
+        .and_then(|w| w.checked_mul(n + 2))
+        .is_some()
+}
+
+/// `Ξ` as `(p, q)` machine parts usable on a graph of the given size.
+fn xi_parts(xi: &Xi, num_arcs: usize, num_nodes: usize) -> Result<(i128, i128), CheckError> {
+    let (p, q) = xi.as_i128_parts().ok_or(CheckError::XiTooLarge)?;
+    if !weights_fit_i128(p, q, num_arcs, num_nodes) {
+        return Err(CheckError::XiTooLarge);
+    }
+    Ok((p, q))
 }
 
 fn build_arcs(g: &ExecutionGraph) -> Vec<Arc> {
@@ -102,7 +146,12 @@ fn build_arcs(g: &ExecutionGraph) -> Vec<Arc> {
 /// Bellman–Ford negative-cycle detection over the scaled weights for
 /// `Ξ = p/q`. Returns the arc indices of a violating cycle, in traversal
 /// order, if one exists.
-fn violating_cycle_arcs(arcs: &[Arc], num_nodes: usize, p: i128, q: i128) -> Option<Vec<usize>> {
+pub(crate) fn violating_cycle_arcs(
+    arcs: &[Arc],
+    num_nodes: usize,
+    p: i128,
+    q: i128,
+) -> Option<Vec<usize>> {
     if num_nodes == 0 || arcs.is_empty() {
         return None;
     }
@@ -156,7 +205,7 @@ fn violating_cycle_arcs(arcs: &[Arc], num_nodes: usize, p: i128, q: i128) -> Opt
     Some(cycle_arcs)
 }
 
-fn arcs_to_cycle(arcs: &[Arc], indices: &[usize]) -> Cycle {
+pub(crate) fn arcs_to_cycle(arcs: &[Arc], indices: &[usize]) -> Cycle {
     let steps: Vec<CycleStep> = indices
         .iter()
         .map(|&ai| match arcs[ai].kind {
@@ -182,7 +231,8 @@ fn arcs_to_cycle(arcs: &[Arc], indices: &[usize]) -> Cycle {
 ///
 /// # Errors
 ///
-/// [`CheckError::XiTooLarge`] if `Ξ`'s parts exceed `i64`.
+/// [`CheckError::XiTooLarge`] if `Ξ`'s parts (times the graph-size scaling)
+/// do not fit `i128` — only genuinely unrepresentable parameters.
 ///
 /// # Example
 ///
@@ -205,10 +255,9 @@ fn arcs_to_cycle(arcs: &[Arc], indices: &[usize]) -> Cycle {
 /// assert!(find_violation(&g, &Xi::from_integer(3)).unwrap().is_none());
 /// ```
 pub fn find_violation(g: &ExecutionGraph, xi: &Xi) -> Result<Option<Cycle>, CheckError> {
-    let (p, q) = xi.as_i64_parts().ok_or(CheckError::XiTooLarge)?;
     let arcs = build_arcs(g);
-    let Some(indices) = violating_cycle_arcs(&arcs, g.num_events(), i128::from(p), i128::from(q))
-    else {
+    let (p, q) = xi_parts(xi, arcs.len(), g.num_events())?;
+    let Some(indices) = violating_cycle_arcs(&arcs, g.num_events(), p, q) else {
         return Ok(None);
     };
     let cycle = arcs_to_cycle(&arcs, &indices);
@@ -226,11 +275,12 @@ pub fn find_violation(g: &ExecutionGraph, xi: &Xi) -> Result<Option<Cycle>, Chec
 ///
 /// # Errors
 ///
-/// [`CheckError::XiTooLarge`] if `Ξ`'s parts exceed `i64`.
+/// [`CheckError::XiTooLarge`] if `Ξ`'s parts (times the graph-size scaling)
+/// do not fit `i128`.
 pub fn is_admissible(g: &ExecutionGraph, xi: &Xi) -> Result<bool, CheckError> {
-    let (p, q) = xi.as_i64_parts().ok_or(CheckError::XiTooLarge)?;
     let arcs = build_arcs(g);
-    Ok(violating_cycle_arcs(&arcs, g.num_events(), i128::from(p), i128::from(q)).is_none())
+    let (p, q) = xi_parts(xi, arcs.len(), g.num_events())?;
+    Ok(violating_cycle_arcs(&arcs, g.num_events(), p, q).is_none())
 }
 
 /// Whether the graph contains any relevant cycle at all.
@@ -549,5 +599,42 @@ mod tests {
         .unwrap();
         assert_eq!(find_violation(&g, &huge), Err(CheckError::XiTooLarge));
         assert_eq!(is_admissible(&g, &huge), Err(CheckError::XiTooLarge));
+    }
+
+    #[test]
+    fn xi_beyond_i64_is_now_representable() {
+        // Parts wider than i64 but within the i128 weight budget used to
+        // trip XiTooLarge; the widened reduction handles them exactly.
+        let g = two_chain(2);
+        let wide = Xi::new(Ratio::from_bigints(
+            abc_rational::BigInt::from(1i128 << 80),
+            abc_rational::BigInt::from(3),
+        ))
+        .unwrap();
+        assert!(wide.as_i64_parts().is_none());
+        assert!(is_admissible(&g, &wide).unwrap(), "ratio 2 is below 2^80/3");
+        assert_eq!(find_violation(&g, &wide).unwrap(), None);
+        // And a violating case: Xi barely above 1 with a >i64 denominator.
+        let tight = Xi::new(Ratio::from_bigints(
+            abc_rational::BigInt::from((1i128 << 80) + 1),
+            abc_rational::BigInt::from(1i128 << 80),
+        ))
+        .unwrap();
+        assert!(!is_admissible(&g, &tight).unwrap(), "ratio 2 exceeds ~1");
+        assert!(find_violation(&g, &tight).unwrap().is_some());
+    }
+
+    #[test]
+    fn near_limit_xi_on_violating_graph_is_rejected_not_overflowed() {
+        // Regression: with a violating cycle present, in-place relaxation
+        // laps the cycle once per round, so labels accumulate up to
+        // #rounds · #arcs weights — a Xi this size must be rejected by the
+        // guard, not silently overflow i128 during detection.
+        let g = two_chain(10);
+        let p = abc_rational::BigInt::from(1i128 << 117);
+        let q = &p - &abc_rational::BigInt::one();
+        let xi = Xi::new(Ratio::from_bigints(p, q)).unwrap();
+        assert_eq!(find_violation(&g, &xi), Err(CheckError::XiTooLarge));
+        assert_eq!(is_admissible(&g, &xi), Err(CheckError::XiTooLarge));
     }
 }

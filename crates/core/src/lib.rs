@@ -28,6 +28,7 @@
 //! | Execution graphs (Def. 1), faulty-message dropping | [`graph`] |
 //! | Chains, cycles, relevant cycles (Defs. 2–3) | [`cycle`] |
 //! | ABC synchrony condition (Def. 4), polynomial checking | [`check`] |
+//! | Online (incremental) monitoring of Def. 4 | [`monitor`] |
 //! | Exhaustive cycle enumeration (ground truth) | [`enumerate`] |
 //! | Consistent cuts, causal cones, cut intervals (Defs. 5–6) | [`cut`] |
 //! | The non-standard cycle space, `⊕`, Thm. 11 / Cor. 1 | [`cyclespace`] |
@@ -74,8 +75,10 @@ pub mod cycle;
 pub mod cyclespace;
 pub mod enumerate;
 pub mod graph;
+pub mod monitor;
 pub mod timed;
 pub mod xi;
 
 pub use graph::{EventId, ExecutionGraph, MessageId, ProcessId};
+pub use monitor::IncrementalChecker;
 pub use xi::Xi;

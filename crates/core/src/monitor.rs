@@ -1,0 +1,615 @@
+//! Online (incremental) monitoring of the ABC synchrony condition.
+//!
+//! [`crate::check`] decides Definition 4 in `O(V·E)` — but from scratch,
+//! over the whole execution, every time it is asked. A long-running system
+//! that wants to *monitor* the condition as its execution unfolds cannot
+//! afford a full Bellman–Ford pass per event: re-checking an execution of
+//! `n` events after each of its events costs `O(n²·E)` overall.
+//!
+//! [`IncrementalChecker`] turns the batch reduction into a streaming one.
+//! It mirrors the [`crate::graph::ExecutionGraphBuilder`] API (`append_init`
+//! / `append_send`) and maintains Bellman–Ford *potentials* over the
+//! traversal graph `T` of [`crate::check`]: a label `π(v)` per event such
+//! that every arc `u → v` of weight `w` satisfies `π(v) ≤ π(u) + w`. Such
+//! labels exist iff `T` has no negative cycle, i.e. iff the execution so
+//! far is admissible. Appending an event adds at most three arcs (forward +
+//! backward for its triggering message, one local back-arc), and the labels
+//! are repaired by re-relaxing only the affected frontier — amortized far
+//! below a full pass, and exactly zero work for events that do not disturb
+//! any label. The first violation is latched together with a witness of the
+//! same [`Cycle`] type the batch checker produces (violations never go away:
+//! appending events only adds cycles).
+//!
+//! # Weights without a global scale factor
+//!
+//! The batch reduction encodes the predicate "some cycle has
+//! `q·B − p·F ≥ 0`" by scaling arc weights with `K = #arcs + 1`, which
+//! changes whenever an arc is added — useless incrementally. The monitor
+//! instead uses *lexicographic pairs* `(p·[fwd] − q·[bwd], −1)` compared
+//! component-wise: a cycle's pair sum is `(p·F − q·B, −len)`, which is
+//! lexicographically negative iff `q·B − p·F ≥ 0` — the same predicate,
+//! stable under insertion.
+//!
+//! # Example: streaming detection
+//!
+//! ```
+//! use abc_core::monitor::IncrementalChecker;
+//! use abc_core::graph::ProcessId;
+//! use abc_core::Xi;
+//!
+//! // Monitor the 2-chain-spanned-by-a-slow-message execution for Ξ = 2.
+//! let mut mon = IncrementalChecker::new(3, &Xi::from_integer(2)).unwrap();
+//! let q = mon.append_init(ProcessId(0));
+//! mon.append_init(ProcessId(1));
+//! mon.append_init(ProcessId(2));
+//! let (_, relay) = mon.append_send(q, ProcessId(2));
+//! mon.append_send(relay, ProcessId(1)); // fast chain arrives first at p1
+//! assert!(mon.is_admissible()); // no relevant cycle yet
+//! mon.append_send(q, ProcessId(1)); // the slow spanning message closes it
+//! let witness = mon.violation().expect("ratio 2/1 >= 2");
+//! assert!(witness.classify().violates(mon.xi()));
+//! ```
+
+use std::collections::VecDeque;
+
+use crate::check::{self, Arc, ArcKind, CheckError};
+use crate::cycle::Cycle;
+use crate::graph::{
+    EventId, ExecutionGraph, ExecutionGraphBuilder, LocalEdge, MessageId, ProcessId, Trigger,
+};
+use crate::xi::Xi;
+
+/// Lexicographic arc weight: `(p·[fwd] − q·[bwd], −1)`. Tuples compare
+/// lexicographically in Rust, which is exactly the order the reduction
+/// needs; components are added independently.
+type Weight = (i128, i128);
+
+/// Counters describing the monitor's work, for observability and benches.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MonitorStats {
+    /// Events appended so far.
+    pub events: usize,
+    /// Messages appended so far (including exempt ones).
+    pub messages: usize,
+    /// Traversal-graph arcs currently maintained.
+    pub arcs: usize,
+    /// Total label relaxations performed across all appends.
+    pub relaxations: u64,
+    /// Full batch-Bellman–Ford confirmations triggered (a violation latch,
+    /// or — rarely — a false alarm of the relaxation-count heuristic).
+    pub full_checks: u64,
+}
+
+/// Incremental decision of the ABC synchrony condition (Definition 4).
+///
+/// Mirrors the [`ExecutionGraphBuilder`] discipline: every process's first
+/// event is [`append_init`], every other event is the receive event of an
+/// [`append_send`]. Faulty processes must be declared with [`mark_faulty`]
+/// *before* they send (their messages are exempt from the condition, and
+/// the monitor never retracts arcs).
+///
+/// [`append_init`]: IncrementalChecker::append_init
+/// [`append_send`]: IncrementalChecker::append_send
+/// [`mark_faulty`]: IncrementalChecker::mark_faulty
+#[derive(Clone, Debug)]
+pub struct IncrementalChecker {
+    xi: Xi,
+    p: i128,
+    q: i128,
+    builder: ExecutionGraphBuilder,
+    arcs: Vec<Arc>,
+    /// Outgoing arc indices per event (traversal-graph adjacency).
+    out_arcs: Vec<Vec<usize>>,
+    /// Bellman–Ford potential per event; feasible (no tense arc) whenever
+    /// `violation` is `None`.
+    pot: Vec<Weight>,
+    /// Per-append relaxation counts (reset via `touched` after each append).
+    relax_count: Vec<u64>,
+    touched: Vec<usize>,
+    queue: VecDeque<usize>,
+    in_queue: Vec<bool>,
+    violation: Option<Cycle>,
+    stats: MonitorStats,
+}
+
+impl IncrementalChecker {
+    /// Creates a monitor over `num_processes` processes for the parameter
+    /// `Ξ`.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckError::XiTooLarge`] if `Ξ`'s parts exceed `i64` — the label
+    /// arithmetic accumulates weights along relaxation paths and needs the
+    /// headroom of `i128` above machine-word parts. (The batch checker
+    /// accepts wider parts; astronomically large `Ξ` is its domain.)
+    pub fn new(num_processes: usize, xi: &Xi) -> Result<IncrementalChecker, CheckError> {
+        let (p, q) = xi.as_i64_parts().ok_or(CheckError::XiTooLarge)?;
+        Ok(IncrementalChecker {
+            xi: xi.clone(),
+            p: i128::from(p),
+            q: i128::from(q),
+            builder: ExecutionGraph::builder(num_processes),
+            arcs: Vec::new(),
+            out_arcs: Vec::new(),
+            pot: Vec::new(),
+            relax_count: Vec::new(),
+            touched: Vec::new(),
+            queue: VecDeque::new(),
+            in_queue: Vec::new(),
+            violation: None,
+            stats: MonitorStats::default(),
+        })
+    }
+
+    /// Builds a monitor by replaying an existing execution graph event by
+    /// event (in its creation order, which is topological).
+    ///
+    /// # Errors
+    ///
+    /// [`CheckError::XiTooLarge`] as in [`IncrementalChecker::new`].
+    pub fn from_graph(g: &ExecutionGraph, xi: &Xi) -> Result<IncrementalChecker, CheckError> {
+        let mut mon = IncrementalChecker::new(g.num_processes(), xi)?;
+        for p in 0..g.num_processes() {
+            if g.is_faulty(ProcessId(p)) {
+                mon.builder.mark_faulty(ProcessId(p));
+            }
+        }
+        for ev in g.events() {
+            match ev.trigger {
+                Trigger::Init => {
+                    mon.append_init(ev.process);
+                }
+                Trigger::Message(m) => {
+                    let msg = g.message(m);
+                    mon.append_send_inner(msg.from, ev.process, msg.exempt);
+                }
+            }
+        }
+        Ok(mon)
+    }
+
+    /// The monitored parameter `Ξ`.
+    #[must_use]
+    pub fn xi(&self) -> &Xi {
+        &self.xi
+    }
+
+    /// The execution graph accumulated so far (identical to what
+    /// [`ExecutionGraphBuilder`] would have produced from the same calls).
+    #[must_use]
+    pub fn graph(&self) -> &ExecutionGraph {
+        self.builder.graph()
+    }
+
+    /// Whether the execution appended so far satisfies the ABC condition.
+    #[must_use]
+    pub fn is_admissible(&self) -> bool {
+        self.violation.is_none()
+    }
+
+    /// The first violating relevant cycle found, if any (latched: once a
+    /// violation exists, appending more events cannot remove it).
+    #[must_use]
+    pub fn violation(&self) -> Option<&Cycle> {
+        self.violation.as_ref()
+    }
+
+    /// Work counters.
+    #[must_use]
+    pub fn stats(&self) -> MonitorStats {
+        self.stats
+    }
+
+    /// Marks process `p` Byzantine faulty: its future messages are exempt
+    /// from the synchrony condition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` has already sent a message — the monitor cannot
+    /// retract arcs, so faults must be declared up front (as a simulation
+    /// does when the process is registered).
+    pub fn mark_faulty(&mut self, p: ProcessId) {
+        assert!(
+            self.builder
+                .graph()
+                .messages()
+                .iter()
+                .all(|m| m.sender != p),
+            "{p} must be marked faulty before it sends"
+        );
+        self.builder.mark_faulty(p);
+    }
+
+    /// Appends the wake-up (initial) event of process `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` already has events.
+    pub fn append_init(&mut self, p: ProcessId) -> EventId {
+        let id = self.builder.init(p);
+        self.push_node();
+        self.stats.events += 1;
+        id
+    }
+
+    /// Appends a message from the computing step at `from` to process `to`
+    /// (and its receive event), then re-checks the condition incrementally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is out of range or `to` has no init event yet.
+    pub fn append_send(&mut self, from: EventId, to: ProcessId) -> (MessageId, EventId) {
+        self.append_send_inner(from, to, false)
+    }
+
+    /// Like [`IncrementalChecker::append_send`], but the message is exempt
+    /// from the synchrony condition (the paper's restricted-graph hook).
+    pub fn append_send_exempt(&mut self, from: EventId, to: ProcessId) -> (MessageId, EventId) {
+        self.append_send_inner(from, to, true)
+    }
+
+    fn append_send_inner(
+        &mut self,
+        from: EventId,
+        to: ProcessId,
+        exempt: bool,
+    ) -> (MessageId, EventId) {
+        let (mid, recv) = self.builder.send(from, to);
+        if exempt {
+            self.builder.set_exempt(mid);
+        }
+        self.push_node();
+        self.stats.events += 1;
+        self.stats.messages += 1;
+        if self.violation.is_some() {
+            // Latched: the verdict can never change, skip all arc work.
+            return (mid, recv);
+        }
+        // Choose the new node's label directly instead of relaxing it from
+        // scratch: the feasible window for `π(recv)` is
+        //
+        //   max(π(send) + (q,1), π(local_pred) + (0,1))  ≤  π(recv)
+        //                                                ≤  π(send) + (p,−1)
+        //
+        // (lower bounds from recv's outgoing backward/local arcs, upper
+        // bound from the incoming forward arc). Taking the *earliest*
+        // feasible label — timestamp semantics: every message charged its
+        // minimum delay `q` — keeps all existing labels untouched, so an
+        // append that opens no window conflict costs zero relaxations. Only
+        // when the window is empty (the message "spans": it arrives later
+        // than the fast paths from its send event permit) is the label
+        // capped to the upper bound and the tension propagated.
+        let mut lower: Option<Weight> = None;
+        let mut upper: Option<Weight> = None;
+        if self.builder.graph().is_effective(mid) {
+            self.push_arc(from.0, recv.0, ArcKind::Forward(mid));
+            self.push_arc(recv.0, from.0, ArcKind::Backward(mid));
+            let pu = self.pot[from.0];
+            lower = Some((pu.0 + self.q, pu.1 + 1));
+            upper = Some((pu.0 + self.p, pu.1 - 1));
+        }
+        if let Some(prev) = self.builder.graph().local_pred(recv) {
+            self.push_arc(
+                recv.0,
+                prev.0,
+                ArcKind::LocalBack(LocalEdge {
+                    from: prev,
+                    to: recv,
+                }),
+            );
+            let pw = self.pot[prev.0];
+            let bound = (pw.0, pw.1 + 1);
+            lower = Some(match lower {
+                Some(l) if l >= bound => l,
+                _ => bound,
+            });
+        }
+        let mut label = lower.unwrap_or((0, 0));
+        let mut tense = false;
+        if let Some(u) = upper {
+            if label > u {
+                label = u;
+                tense = true;
+            }
+        }
+        self.pot[recv.0] = label;
+        if tense {
+            self.enqueue(recv.0);
+            self.restore_feasibility();
+        }
+        (mid, recv)
+    }
+
+    fn push_node(&mut self) {
+        self.out_arcs.push(Vec::new());
+        self.pot.push((0, 0));
+        self.relax_count.push(0);
+        self.in_queue.push(false);
+    }
+
+    fn push_arc(&mut self, from: usize, to: usize, kind: ArcKind) -> usize {
+        let idx = self.arcs.len();
+        self.arcs.push(Arc { from, to, kind });
+        self.out_arcs[from].push(idx);
+        self.stats.arcs += 1;
+        idx
+    }
+
+    fn arc_weight(&self, kind: ArcKind) -> Weight {
+        let first = match kind {
+            ArcKind::Forward(_) => self.p,
+            ArcKind::Backward(_) => -self.q,
+            ArcKind::LocalBack(_) => 0,
+        };
+        (first, -1)
+    }
+
+    /// Relaxes `arc`; returns the head node if its label dropped.
+    fn try_relax(&mut self, ai: usize) -> Option<usize> {
+        let arc = self.arcs[ai];
+        let w = self.arc_weight(arc.kind);
+        let cand = (self.pot[arc.from].0 + w.0, self.pot[arc.from].1 + w.1);
+        if cand < self.pot[arc.to] {
+            self.pot[arc.to] = cand;
+            if self.relax_count[arc.to] == 0 {
+                self.touched.push(arc.to);
+            }
+            self.relax_count[arc.to] += 1;
+            self.stats.relaxations += 1;
+            Some(arc.to)
+        } else {
+            None
+        }
+    }
+
+    /// Queue-based re-relaxation from the enqueued tense nodes until the
+    /// labels are feasible again — or, if that cannot happen (a negative
+    /// cycle through a new arc), until the relaxation-count heuristic trips
+    /// and the batch detector confirms and extracts the witness.
+    fn restore_feasibility(&mut self) {
+        // Without negative cycles a label only improves via simple paths, so
+        // > #nodes improvements of one node in a single repair is a strong
+        // negative-cycle signal — but queue orderings can exceed it benignly,
+        // so every trip is confirmed by the exact batch detector (and the
+        // threshold doubles on a false alarm to keep repair near-linear).
+        let mut threshold = self.pot.len() as u64 + 2;
+        'repair: while let Some(u) = self.queue.pop_front() {
+            self.in_queue[u] = false;
+            for i in 0..self.out_arcs[u].len() {
+                let ai = self.out_arcs[u][i];
+                let Some(head) = self.try_relax(ai) else {
+                    continue;
+                };
+                if self.relax_count[head] > threshold {
+                    self.stats.full_checks += 1;
+                    if let Some(indices) =
+                        check::violating_cycle_arcs(&self.arcs, self.pot.len(), self.p, self.q)
+                    {
+                        let cycle = check::arcs_to_cycle(&self.arcs, &indices);
+                        debug_assert!(cycle.validate(self.builder.graph()).is_ok());
+                        assert!(
+                            cycle.classify().violates(&self.xi),
+                            "internal error: extracted cycle {cycle} does not violate Xi = {}",
+                            self.xi
+                        );
+                        self.violation = Some(cycle);
+                        break 'repair;
+                    }
+                    threshold = threshold.saturating_mul(2);
+                }
+                self.enqueue(head);
+            }
+        }
+        self.queue.clear();
+        for &v in &self.in_queue {
+            debug_assert!(!v || self.violation.is_some());
+        }
+        for v in self.touched.drain(..) {
+            self.relax_count[v] = 0;
+            self.in_queue[v] = false;
+        }
+    }
+
+    fn enqueue(&mut self, v: usize) {
+        if !self.in_queue[v] {
+            self.in_queue[v] = true;
+            self.queue.push_back(v);
+        }
+    }
+
+    /// Consumes the monitor, returning the accumulated graph and the
+    /// violation witness (if any).
+    #[must_use]
+    pub fn finish(self) -> (ExecutionGraph, Option<Cycle>) {
+        (self.builder.finish(), self.violation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check;
+    use abc_rational::Ratio;
+
+    /// Replays the batch-test "two chains" shape through the monitor.
+    fn stream_two_chain(hops: usize, xi: &Xi) -> IncrementalChecker {
+        let mut mon = IncrementalChecker::new(hops + 1, xi).unwrap();
+        let q = mon.append_init(ProcessId(0));
+        for i in 1..=hops {
+            mon.append_init(ProcessId(i));
+        }
+        let mut cur = q;
+        for i in 2..=hops {
+            let (_, r) = mon.append_send(cur, ProcessId(i));
+            cur = r;
+        }
+        mon.append_send(cur, ProcessId(1));
+        assert!(
+            mon.is_admissible(),
+            "no relevant cycle before the spanning message"
+        );
+        mon.append_send(q, ProcessId(1));
+        mon
+    }
+
+    #[test]
+    fn detects_violation_exactly_at_the_closing_event() {
+        for hops in 2..=6 {
+            // Violating at Xi = hops (ratio == Xi), admissible just above.
+            let at = Xi::from_integer(hops as i64);
+            let mon = stream_two_chain(hops, &at);
+            let w = mon.violation().expect("ratio hops >= hops");
+            assert!(w.validate(mon.graph()).is_ok());
+            assert!(w.classify().violates(&at));
+            let above = Xi::new(Ratio::from_integer(hops as i64) + Ratio::new(1, 7)).unwrap();
+            let mon = stream_two_chain(hops, &above);
+            assert!(mon.is_admissible(), "hops = {hops}");
+        }
+    }
+
+    #[test]
+    fn violation_is_latched() {
+        let xi = Xi::from_integer(2);
+        let mut mon = stream_two_chain(3, &xi);
+        assert!(!mon.is_admissible());
+        let before = mon.violation().cloned();
+        // Appending more traffic does not clear the latch.
+        let (_, r) = mon.append_send(EventId(0), ProcessId(2));
+        let _ = mon.append_send(r, ProcessId(0));
+        assert_eq!(mon.violation().cloned(), before);
+    }
+
+    #[test]
+    fn agrees_with_batch_after_every_event() {
+        // A dense little exchange, checked step by step.
+        let xi = Xi::from_fraction(3, 2);
+        let mut mon = IncrementalChecker::new(3, &xi).unwrap();
+        let script: &[(usize, usize)] = &[(0, 1), (1, 2), (2, 0), (0, 2), (3, 1), (2, 1), (1, 0)];
+        let e0 = mon.append_init(ProcessId(0));
+        mon.append_init(ProcessId(1));
+        mon.append_init(ProcessId(2));
+        let _ = e0;
+        for &(from, to) in script {
+            let from = EventId(from % mon.graph().num_events());
+            mon.append_send(from, ProcessId(to % 3));
+            assert_eq!(
+                mon.is_admissible(),
+                check::is_admissible(mon.graph(), &xi).unwrap(),
+                "monitor and batch disagree after appending from {from:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn faulty_and_exempt_messages_carry_no_arcs() {
+        // two_chain(4) violates Xi = 3/2 — unless the chain's relay is
+        // faulty or the spanning message is exempt.
+        let xi = Xi::from_fraction(3, 2);
+        let mut mon = IncrementalChecker::new(5, &xi).unwrap();
+        mon.mark_faulty(ProcessId(4));
+        let q = mon.append_init(ProcessId(0));
+        for i in 1..=4 {
+            mon.append_init(ProcessId(i));
+        }
+        let (_, r2) = mon.append_send(q, ProcessId(2));
+        let (_, r3) = mon.append_send(r2, ProcessId(3));
+        let (_, r4) = mon.append_send(r3, ProcessId(4)); // faulty relay
+        mon.append_send(r4, ProcessId(1));
+        mon.append_send(q, ProcessId(1));
+        assert!(mon.is_admissible(), "faulty relay breaks the chain");
+        assert_eq!(
+            check::is_admissible(mon.graph(), &xi).unwrap(),
+            mon.is_admissible()
+        );
+
+        let mut mon = IncrementalChecker::new(5, &xi).unwrap();
+        let q = mon.append_init(ProcessId(0));
+        for i in 1..=4 {
+            mon.append_init(ProcessId(i));
+        }
+        let (_, r2) = mon.append_send(q, ProcessId(2));
+        let (_, r3) = mon.append_send(r2, ProcessId(3));
+        let (_, r4) = mon.append_send(r3, ProcessId(4));
+        mon.append_send(r4, ProcessId(1));
+        mon.append_send_exempt(q, ProcessId(1));
+        assert!(mon.is_admissible(), "exempt spanning message");
+        assert_eq!(
+            check::is_admissible(mon.graph(), &xi).unwrap(),
+            mon.is_admissible()
+        );
+    }
+
+    #[test]
+    fn mark_faulty_after_sending_panics() {
+        let xi = Xi::from_integer(2);
+        let mut mon = IncrementalChecker::new(2, &xi).unwrap();
+        let a = mon.append_init(ProcessId(0));
+        mon.append_init(ProcessId(1));
+        mon.append_send(a, ProcessId(1));
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            mon.mark_faulty(ProcessId(0));
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn from_graph_replays_faithfully() {
+        let xi = Xi::from_fraction(5, 2);
+        for hops in 2..=5 {
+            let mut b = ExecutionGraph::builder(hops + 1);
+            let q = b.init(ProcessId(0));
+            for i in 1..=hops {
+                b.init(ProcessId(i));
+            }
+            let mut cur = q;
+            for i in 2..=hops {
+                let (_, r) = b.send(cur, ProcessId(i));
+                cur = r;
+            }
+            b.send(cur, ProcessId(1));
+            b.send(q, ProcessId(1));
+            let g = b.finish();
+            let mon = IncrementalChecker::from_graph(&g, &xi).unwrap();
+            assert_eq!(mon.graph(), &g);
+            assert_eq!(
+                mon.is_admissible(),
+                check::is_admissible(&g, &xi).unwrap(),
+                "hops = {hops}"
+            );
+        }
+    }
+
+    #[test]
+    fn xi_beyond_i64_is_rejected() {
+        let wide = Xi::new(Ratio::from_bigints(
+            abc_rational::BigInt::from(1i128 << 80),
+            abc_rational::BigInt::from(3),
+        ))
+        .unwrap();
+        assert_eq!(
+            IncrementalChecker::new(2, &wide).err(),
+            Some(CheckError::XiTooLarge)
+        );
+    }
+
+    #[test]
+    fn stats_reflect_the_stream() {
+        // Comfortably admissible: every append's feasible window is open,
+        // so the earliest-label assignment does zero relaxation work.
+        let xi = Xi::from_integer(3);
+        let mon = stream_two_chain(2, &xi);
+        let s = mon.stats();
+        assert_eq!(s.events, 6); // 3 inits + 3 receive events
+        assert_eq!(s.messages, 3);
+        assert!(s.arcs >= 2 * s.messages);
+        assert_eq!(s.relaxations, 0, "no spanning message, no repair");
+        assert_eq!(s.full_checks, 0);
+        // A violating stream must do real work: tension propagation and the
+        // confirming batch pass that extracts the witness.
+        let xi = Xi::from_integer(2);
+        let mon = stream_two_chain(2, &xi);
+        assert!(!mon.is_admissible());
+        assert!(mon.stats().relaxations > 0);
+        assert!(mon.stats().full_checks >= 1);
+    }
+}

@@ -88,6 +88,16 @@ impl Xi {
         Some((self.0.numer().to_i64()?, self.0.denom().to_i64()?))
     }
 
+    /// `(p, q)` with `Ξ = p/q` in lowest terms, as wide machine integers.
+    ///
+    /// Returns `None` only when a part overflows `i128`; the polynomial
+    /// checker accepts everything this returns unless the graph-size
+    /// scaling overflows too (see [`crate::check::CheckError::XiTooLarge`]).
+    #[must_use]
+    pub fn as_i128_parts(&self) -> Option<(i128, i128)> {
+        Some((self.0.numer().to_i128()?, self.0.denom().to_i128()?))
+    }
+
     /// `⌈Ξ⌉` as `u64` (used for chain-length timeouts like the Fig. 3
     /// detector and the `2Ξ` phase count of Algorithm 2).
     ///

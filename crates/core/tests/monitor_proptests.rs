@@ -1,0 +1,134 @@
+//! Property tests for the incremental ABC monitor: after *every* appended
+//! event, [`abc_core::monitor::IncrementalChecker`] must agree with the
+//! batch checker — and, on small graphs, with brute-force enumeration.
+
+use abc_core::check;
+use abc_core::enumerate::{enumerate_relevant_cycles, EnumerationLimits};
+use abc_core::graph::{EventId, ProcessId};
+use abc_core::monitor::IncrementalChecker;
+use abc_core::Xi;
+use abc_rational::Ratio;
+use proptest::prelude::*;
+
+/// A random build script: `(sender_event, receiver_process)` pairs reduced
+/// modulo the current state, as in the `abc-core` checker proptests.
+type Script = Vec<(usize, usize)>;
+
+fn script_strategy() -> impl Strategy<Value = (usize, Script)> {
+    (
+        2usize..5,
+        proptest::collection::vec((any::<usize>(), any::<usize>()), 0..12),
+    )
+}
+
+fn xi_strategy() -> impl Strategy<Value = Xi> {
+    (1i64..8, 1i64..5)
+        .prop_filter("Xi > 1", |(num, den)| num > den)
+        .prop_map(|(num, den)| Xi::new(Ratio::new(num, den)).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Streaming the script through the monitor matches re-running the
+    /// batch checker from scratch at every single prefix.
+    #[test]
+    fn monitor_agrees_with_batch_at_every_prefix(
+        (n, script) in script_strategy(),
+        xi in xi_strategy(),
+    ) {
+        let mut mon = IncrementalChecker::new(n, &xi).unwrap();
+        for p in 0..n {
+            mon.append_init(ProcessId(p));
+            prop_assert!(mon.is_admissible(), "init events cannot violate");
+        }
+        for &(from, to) in &script {
+            let from_event = EventId(from % mon.graph().num_events());
+            mon.append_send(from_event, ProcessId(to % n));
+            let batch = check::is_admissible(mon.graph(), &xi).unwrap();
+            prop_assert_eq!(
+                mon.is_admissible(),
+                batch,
+                "prefix of {} events: monitor {} vs batch {}",
+                mon.graph().num_events(),
+                mon.is_admissible(),
+                batch
+            );
+            if let Some(w) = mon.violation() {
+                prop_assert!(w.validate(mon.graph()).is_ok());
+                prop_assert!(w.classify().violates(&xi));
+            }
+        }
+    }
+
+    /// On completed small graphs, the monitor's verdict also matches the
+    /// enumeration ground truth: violated iff some relevant cycle has
+    /// ratio >= Xi.
+    #[test]
+    fn monitor_agrees_with_enumeration(
+        (n, script) in script_strategy(),
+        xi in xi_strategy(),
+    ) {
+        let mut mon = IncrementalChecker::new(n, &xi).unwrap();
+        for p in 0..n {
+            mon.append_init(ProcessId(p));
+        }
+        for &(from, to) in &script {
+            let from_event = EventId(from % mon.graph().num_events());
+            mon.append_send(from_event, ProcessId(to % n));
+        }
+        let brute_max = enumerate_relevant_cycles(mon.graph(), EnumerationLimits::default())
+            .cycles
+            .iter()
+            .filter_map(|c| c.classify().ratio())
+            .max();
+        let violated_by_enumeration =
+            brute_max.as_ref().is_some_and(|r| r >= xi.as_ratio());
+        prop_assert_eq!(!mon.is_admissible(), violated_by_enumeration);
+    }
+
+    /// Replaying a finished graph through `from_graph` gives the same
+    /// verdict as streaming it event by event, and the same graph.
+    #[test]
+    fn from_graph_equals_streaming(
+        (n, script) in script_strategy(),
+        xi in xi_strategy(),
+    ) {
+        let mut mon = IncrementalChecker::new(n, &xi).unwrap();
+        for p in 0..n {
+            mon.append_init(ProcessId(p));
+        }
+        for &(from, to) in &script {
+            let from_event = EventId(from % mon.graph().num_events());
+            mon.append_send(from_event, ProcessId(to % n));
+        }
+        let replayed = IncrementalChecker::from_graph(mon.graph(), &xi).unwrap();
+        prop_assert_eq!(replayed.graph(), mon.graph());
+        prop_assert_eq!(replayed.is_admissible(), mon.is_admissible());
+    }
+
+    /// Faulty processes declared up front are exempt in both the monitor
+    /// and the batch checker.
+    #[test]
+    fn monitor_handles_faulty_processes(
+        (n, script) in script_strategy(),
+        xi in xi_strategy(),
+        faulty_pick in any::<usize>(),
+    ) {
+        let faulty = ProcessId(faulty_pick % n);
+        let mut mon = IncrementalChecker::new(n, &xi).unwrap();
+        mon.mark_faulty(faulty);
+        for p in 0..n {
+            mon.append_init(ProcessId(p));
+        }
+        for &(from, to) in &script {
+            let from_event = EventId(from % mon.graph().num_events());
+            mon.append_send(from_event, ProcessId(to % n));
+            prop_assert_eq!(
+                mon.is_admissible(),
+                check::is_admissible(mon.graph(), &xi).unwrap()
+            );
+        }
+        prop_assert!(mon.graph().is_faulty(faulty));
+    }
+}

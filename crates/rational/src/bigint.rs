@@ -504,9 +504,14 @@ impl Ord for BigInt {
 // Arithmetic.
 // ---------------------------------------------------------------------------
 
-fn add_signed(a: &BigInt, b: &BigInt) -> BigInt {
-    match (a.sign, b.sign) {
-        (Sign::Zero, _) => b.clone(),
+/// `a + b` with `b`'s sign taken as `b_sign` — the shared body of `Add` and
+/// `Sub`, so subtraction never clones its right-hand side just to flip it.
+fn add_with_sign(a: &BigInt, b: &BigInt, b_sign: Sign) -> BigInt {
+    match (a.sign, b_sign) {
+        (Sign::Zero, _) => BigInt {
+            sign: b_sign,
+            limbs: b.limbs.clone(),
+        },
         (_, Sign::Zero) => a.clone(),
         (sa, sb) if sa == sb => BigInt::from_mag(sa, mag_add(&a.limbs, &b.limbs)),
         (sa, _) => match mag_cmp(&a.limbs, &b.limbs) {
@@ -528,21 +533,24 @@ impl Neg for BigInt {
 impl Neg for &BigInt {
     type Output = BigInt;
     fn neg(self) -> BigInt {
-        -self.clone()
+        BigInt {
+            sign: self.sign.negate(),
+            limbs: self.limbs.clone(),
+        }
     }
 }
 
 impl Add<&BigInt> for &BigInt {
     type Output = BigInt;
     fn add(self, rhs: &BigInt) -> BigInt {
-        add_signed(self, rhs)
+        add_with_sign(self, rhs, rhs.sign)
     }
 }
 
 impl Sub<&BigInt> for &BigInt {
     type Output = BigInt;
     fn sub(self, rhs: &BigInt) -> BigInt {
-        add_signed(self, &rhs.clone().neg())
+        add_with_sign(self, rhs, rhs.sign.negate())
     }
 }
 
@@ -729,6 +737,18 @@ mod tests {
         assert_eq!(b(100) + b(-100), BigInt::zero());
         assert_eq!(b(-100) + b(40), b(-60));
         assert_eq!(b(40) + b(-100), b(-60));
+    }
+
+    #[test]
+    fn subtraction_zero_cases() {
+        // The clone-free Sub path flips only the effective sign.
+        assert_eq!(BigInt::zero() - b(5), b(-5));
+        assert_eq!(BigInt::zero() - b(-5), b(5));
+        assert_eq!(b(5) - BigInt::zero(), b(5));
+        assert_eq!(BigInt::zero() - BigInt::zero(), BigInt::zero());
+        assert_eq!(b(5) - b(-3), b(8));
+        assert_eq!(b(-5) - b(3), b(-8));
+        assert_eq!(b(-5) - b(-5), BigInt::zero());
     }
 
     #[test]

@@ -186,13 +186,26 @@ impl Ratio {
 
     /// Multiplicative inverse.
     ///
+    /// `self` is already in lowest terms, so the inverse is too: only the
+    /// sign moves to the numerator — no re-reduction (gcd) is needed.
+    ///
     /// # Panics
     ///
     /// Panics if this rational is zero.
     #[must_use]
     pub fn recip(&self) -> Ratio {
         assert!(!self.is_zero(), "reciprocal of zero");
-        Ratio::from_bigints(self.den.clone(), self.num.clone())
+        if self.num.is_negative() {
+            Ratio {
+                num: -&self.den,
+                den: -&self.num,
+            }
+        } else {
+            Ratio {
+                num: self.den.clone(),
+                den: self.num.clone(),
+            }
+        }
     }
 
     /// Approximate `f64` value (reporting only; never used for decisions).
@@ -297,7 +310,10 @@ impl Neg for Ratio {
 impl Neg for &Ratio {
     type Output = Ratio;
     fn neg(self) -> Ratio {
-        self.clone().neg()
+        Ratio {
+            num: -&self.num,
+            den: self.den.clone(),
+        }
     }
 }
 
@@ -454,6 +470,25 @@ mod tests {
         assert_eq!(&a * &b, Ratio::new(1, 18));
         assert_eq!(&a / &b, Ratio::from_integer(2));
         assert_eq!(a.recip(), Ratio::from_integer(3));
+    }
+
+    #[test]
+    fn recip_stays_canonical() {
+        // recip skips re-reduction; the invariant must still hold.
+        assert_eq!(Ratio::new(2, 3).recip(), Ratio::new(3, 2));
+        assert_eq!(Ratio::new(-2, 3).recip(), Ratio::new(-3, 2));
+        assert_eq!(Ratio::new(-2, 3).recip().denom(), &BigInt::from(2));
+        assert!(Ratio::new(-2, 3).recip().denom().is_positive());
+        assert_eq!(Ratio::from_integer(5).recip(), Ratio::new(1, 5));
+        assert_eq!((-Ratio::new(7, 4)).recip(), Ratio::new(-4, 7));
+    }
+
+    #[test]
+    fn neg_by_reference() {
+        let a = Ratio::new(3, 7);
+        assert_eq!(-&a, Ratio::new(-3, 7));
+        assert_eq!(-&(-&a), a);
+        assert_eq!(-&Ratio::zero(), Ratio::zero());
     }
 
     #[test]

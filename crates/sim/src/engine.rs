@@ -3,7 +3,10 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use abc_core::ProcessId;
+use abc_core::check::CheckError;
+use abc_core::cycle::Cycle;
+use abc_core::monitor::IncrementalChecker;
+use abc_core::{EventId, ProcessId, Xi};
 
 use crate::delay::{DelayModel, Delivery};
 use crate::process::{Context, Process};
@@ -44,6 +47,11 @@ pub struct RunStats {
     /// Whether the run ended because the event queue drained (quiescence)
     /// rather than a budget limit.
     pub quiescent: bool,
+    /// High-water mark of the payload slab: the maximum number of messages
+    /// that were simultaneously in flight over the simulation's lifetime
+    /// (slots are recycled through a free list, so memory is bounded by
+    /// this, not by the total number of messages ever sent).
+    pub payload_slab_peak: usize,
 }
 
 /// A simulation of `n` message-driven processes over an adversarial network.
@@ -56,9 +64,12 @@ pub struct Simulation<M, D> {
     delay_model: D,
     queue: BinaryHeap<Reverse<QueueEntry>>,
     payloads: Vec<Option<M>>, // payload per in-flight queue entry
+    free_slots: Vec<usize>,   // recycled payload slots (memory O(in-flight))
     trace: Trace,
     seq: usize,
     started: bool,
+    monitor_xi: Option<Xi>,
+    monitor: Option<IncrementalChecker>,
 }
 
 /// Queue entries order by (time, tie_seq).
@@ -88,9 +99,12 @@ impl<M: Clone + 'static, D: DelayModel> Simulation<M, D> {
             delay_model,
             queue: BinaryHeap::new(),
             payloads: Vec::new(),
+            free_slots: Vec::new(),
             trace: Trace::default(),
             seq: 0,
             started: false,
+            monitor_xi: None,
+            monitor: None,
         }
     }
 
@@ -142,6 +156,51 @@ impl<M: Clone + 'static, D: DelayModel> Simulation<M, D> {
         &mut self.delay_model
     }
 
+    /// Attaches an online ABC monitor: during [`Simulation::run`] every
+    /// executed event is streamed into an
+    /// [`abc_core::monitor::IncrementalChecker`] for `Ξ = xi`, with no
+    /// per-step `Trace → ExecutionGraph` rebuild. Query the verdict any
+    /// time via [`Simulation::monitor`] / [`Simulation::violation`].
+    ///
+    /// # Errors
+    ///
+    /// [`CheckError::XiTooLarge`] if `Ξ`'s parts exceed the monitor's
+    /// integer range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run has already started. A monitored run also panics
+    /// (with a configuration-level message) if a message is delivered to a
+    /// process before its wake-up — possible only with staggered starts
+    /// ([`Simulation::add_process_starting_at`]) and deliveries faster than
+    /// the stagger; such executions fall outside Definition 1, and their
+    /// traces cannot be converted to execution graphs either.
+    pub fn attach_monitor(&mut self, xi: &Xi) -> Result<(), CheckError> {
+        assert!(
+            !self.started,
+            "cannot attach a monitor after the run started"
+        );
+        // Validate Xi eagerly; the checker itself is built at run start,
+        // once the process set is final.
+        let _ = IncrementalChecker::new(0, xi)?;
+        self.monitor_xi = Some(xi.clone());
+        Ok(())
+    }
+
+    /// The attached online monitor, if any (populated once the run starts).
+    #[must_use]
+    pub fn monitor(&self) -> Option<&IncrementalChecker> {
+        self.monitor.as_ref()
+    }
+
+    /// The first ABC violation witnessed by the attached monitor, if any.
+    #[must_use]
+    pub fn violation(&self) -> Option<&Cycle> {
+        self.monitor
+            .as_ref()
+            .and_then(IncrementalChecker::violation)
+    }
+
     /// Runs until quiescence or a budget limit; can be called repeatedly
     /// with increasing budgets to continue the same execution.
     pub fn run(&mut self, limits: RunLimits) -> RunStats {
@@ -149,6 +208,16 @@ impl<M: Clone + 'static, D: DelayModel> Simulation<M, D> {
             self.started = true;
             self.trace.num_processes = self.processes.len();
             self.trace.faulty = self.faulty.clone();
+            if let Some(xi) = &self.monitor_xi {
+                let mut mon = IncrementalChecker::new(self.processes.len(), xi)
+                    .expect("Xi validated at attach time");
+                for (p, faulty) in self.faulty.iter().enumerate() {
+                    if *faulty {
+                        mon.mark_faulty(ProcessId(p));
+                    }
+                }
+                self.monitor = Some(mon);
+            }
             for p in 0..self.processes.len() {
                 let entry = QueueEntry {
                     time: self.start_times[p],
@@ -173,6 +242,7 @@ impl<M: Clone + 'static, D: DelayModel> Simulation<M, D> {
                 EntryKind::Init(p) => (ProcessId(p), None, None),
                 EntryKind::Deliver(p, mi, slot) => {
                     let payload = self.payloads[slot].take();
+                    self.free_slots.push(slot);
                     (ProcessId(p), Some(mi), payload)
                 }
             };
@@ -214,6 +284,32 @@ impl<M: Clone + 'static, D: DelayModel> Simulation<M, D> {
                 label,
                 distinguished,
             });
+            // Stream the event into the attached monitor. Trace events map
+            // to monitor graph events by index (every executed event is a
+            // receive event of the execution graph, in creation order).
+            if let Some(mon) = &mut self.monitor {
+                match trigger {
+                    None => {
+                        mon.append_init(process);
+                    }
+                    Some(mi) => {
+                        // The ABC model (and the execution-graph builder)
+                        // require a process's wake-up step to precede any
+                        // reception; fail with a configuration-level
+                        // message instead of a builder assert deep inside.
+                        assert!(
+                            !mon.graph().events_of(process).is_empty(),
+                            "online monitor: message delivered to {process} at t={} before \
+                             its wake-up (staggered start with an early delivery); such \
+                             executions fall outside Definition 1 — start {process} earlier \
+                             or delay its incoming messages",
+                            entry.time
+                        );
+                        let send_event = EventId(self.trace.messages[mi].send_event);
+                        mon.append_send(send_event, process);
+                    }
+                }
+            }
             stats.events_executed += 1;
             stats.final_time = entry.time;
             // Dispatch the outbox through the delay model.
@@ -242,8 +338,16 @@ impl<M: Clone + 'static, D: DelayModel> Simulation<M, D> {
                             send_time: entry.time,
                             recv_time: None,
                         });
-                        let slot = self.payloads.len();
-                        self.payloads.push(Some(msg));
+                        let slot = match self.free_slots.pop() {
+                            Some(s) => {
+                                self.payloads[s] = Some(msg);
+                                s
+                            }
+                            None => {
+                                self.payloads.push(Some(msg));
+                                self.payloads.len() - 1
+                            }
+                        };
                         let tie = self.next_tie();
                         self.queue.push(Reverse(QueueEntry {
                             time: entry.time.saturating_add(d),
@@ -257,6 +361,9 @@ impl<M: Clone + 'static, D: DelayModel> Simulation<M, D> {
         if self.queue.is_empty() {
             stats.quiescent = true;
         }
+        // With the free list, the slab length IS the lifetime peak of
+        // concurrently in-flight messages.
+        stats.payload_slab_peak = self.payloads.len();
         stats
     }
 
@@ -294,6 +401,7 @@ mod tests {
     use super::*;
     use crate::delay::{BandDelay, FixedDelay};
     use crate::process::{CrashAt, Mute};
+    use abc_rational::Ratio;
 
     /// Echo server: replies to every ping with a pong, up to a budget.
     struct Echo {
@@ -386,6 +494,163 @@ mod tests {
         let trace = sim.trace();
         assert_eq!(trace.events_per_process(), vec![1, 2]);
         assert!(trace.is_faulty(ProcessId(1)));
+    }
+
+    #[test]
+    fn payload_slab_stays_bounded_over_long_two_phase_runs() {
+        // Regression: the slab used to grow one slot per message ever sent.
+        // A ping-pong run has at most one message in flight per direction,
+        // so the slab must stay O(1) no matter how long the run is.
+        let mut sim = Simulation::new(FixedDelay::new(1));
+        sim.add_process(Echo {
+            remaining: u32::MAX,
+        });
+        sim.add_process(Echo {
+            remaining: u32::MAX,
+        });
+        let limits = RunLimits {
+            max_events: 5_000,
+            max_time: u64::MAX,
+        };
+        let stats1 = sim.run(limits);
+        let stats2 = sim.run(limits); // second phase of the same execution
+        assert!(stats1.messages_sent >= 4_000);
+        assert!(stats2.messages_sent >= 4_000);
+        assert!(
+            stats2.payload_slab_peak <= 4,
+            "slab grew to {} slots for ~10k total messages",
+            stats2.payload_slab_peak
+        );
+    }
+
+    /// Broadcasts at init, echoes every message back to its sender (with a
+    /// budget): enough concurrent traffic for band delays to reorder
+    /// messages and close relevant cycles.
+    struct Gossip {
+        remaining: u32,
+    }
+    impl Process<u32> for Gossip {
+        fn on_init(&mut self, ctx: &mut Context<'_, u32>) {
+            ctx.broadcast(0);
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_, u32>, from: ProcessId, m: &u32) {
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                ctx.send(from, m + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn attached_monitor_agrees_with_batch_checker() {
+        use abc_core::check;
+        let run = |xi: &Xi| {
+            let mut sim = Simulation::new(BandDelay::new(1, 6, 99));
+            sim.add_process(Gossip { remaining: 40 });
+            sim.add_process(Gossip { remaining: 40 });
+            sim.add_process(Gossip { remaining: 40 });
+            sim.attach_monitor(xi).unwrap();
+            sim.run(RunLimits::default());
+            sim
+        };
+        // Band [1, 6]: admissible for Xi > 6, possibly violating near 1.
+        for xi in [
+            Xi::from_fraction(7, 6),
+            Xi::from_integer(2),
+            Xi::from_integer(7),
+        ] {
+            let sim = run(&xi);
+            let g = sim.trace().to_execution_graph();
+            let mon = sim.monitor().expect("monitor attached");
+            assert_eq!(mon.graph(), &g, "streamed graph equals batch conversion");
+            assert_eq!(
+                mon.is_admissible(),
+                check::is_admissible(&g, &xi).unwrap(),
+                "xi = {xi}"
+            );
+            if let Some(w) = sim.violation() {
+                assert!(w.validate(&g).is_ok());
+                assert!(w.classify().violates(&xi));
+            }
+        }
+    }
+
+    #[test]
+    fn monitor_detects_fig3_violation_mid_run() {
+        // The paper's Fig. 3 shape, live: p0 pings a slow and a fast peer;
+        // fast round trips pile up while the slow reply is outstanding, so
+        // its arrival closes a relevant cycle with a large ratio.
+        use crate::delay::PerLinkBand;
+        let mut slow_links = PerLinkBand::new(1, 1, 0);
+        slow_links.set_link(ProcessId(0), ProcessId(1), 100, 100);
+        slow_links.set_link(ProcessId(1), ProcessId(0), 100, 100);
+        struct Fig3 {
+            budget: u32,
+        }
+        impl Process<u32> for Fig3 {
+            fn on_init(&mut self, ctx: &mut Context<'_, u32>) {
+                if ctx.me().0 == 0 {
+                    ctx.send(ProcessId(1), 0);
+                    ctx.send(ProcessId(2), 0);
+                }
+            }
+            fn on_message(&mut self, ctx: &mut Context<'_, u32>, from: ProcessId, m: &u32) {
+                if self.budget > 0 {
+                    self.budget -= 1;
+                    ctx.send(from, m + 1);
+                }
+            }
+        }
+        let xi = Xi::from_integer(3);
+        let mut sim = Simulation::new(slow_links);
+        for _ in 0..3 {
+            sim.add_process(Fig3 { budget: 30 });
+        }
+        sim.attach_monitor(&xi).unwrap();
+        let stats = sim.run(RunLimits::default());
+        assert!(stats.quiescent);
+        let w = sim.violation().expect("slow reply spans the fast chain");
+        let g = sim.trace().to_execution_graph();
+        assert!(w.validate(&g).is_ok());
+        assert!(w.classify().violates(&xi));
+        assert!(w.classify().ratio().unwrap() >= Ratio::from_integer(3));
+    }
+
+    #[test]
+    fn monitor_exempts_faulty_senders() {
+        use abc_core::check;
+        let xi = Xi::from_fraction(7, 6);
+        let mut sim = Simulation::new(BandDelay::new(1, 6, 5));
+        sim.add_process(Gossip { remaining: 30 });
+        sim.add_faulty_process(Gossip { remaining: 30 });
+        sim.add_process(Gossip { remaining: 30 });
+        sim.attach_monitor(&xi).unwrap();
+        sim.run(RunLimits::default());
+        let g = sim.trace().to_execution_graph();
+        let mon = sim.monitor().unwrap();
+        assert_eq!(mon.graph(), &g);
+        assert_eq!(mon.is_admissible(), check::is_admissible(&g, &xi).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "before its wake-up")]
+    fn monitored_early_delivery_to_staggered_process_panics_clearly() {
+        // p0 pings p1 at t=0 with delay 1, but p1 only wakes at t=500:
+        // the delivery precedes the wake-up, which Definition 1 forbids.
+        let mut sim = Simulation::new(FixedDelay::new(1));
+        sim.add_process(Echo { remaining: 1 });
+        sim.add_process_starting_at(Echo { remaining: 1 }, 500);
+        sim.attach_monitor(&Xi::from_integer(2)).unwrap();
+        sim.run(RunLimits::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "after the run started")]
+    fn attach_monitor_after_start_panics() {
+        let mut sim: Simulation<u32, _> = Simulation::new(FixedDelay::new(1));
+        sim.add_process(Mute);
+        sim.run(RunLimits::default());
+        let _ = sim.attach_monitor(&Xi::from_integer(2));
     }
 
     #[test]

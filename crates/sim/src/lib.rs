@@ -19,7 +19,11 @@
 //! [`abc_core::ExecutionGraph`] plus a [`abc_core::timed::TimedGraph`] of
 //! real occurrence times — so every simulated execution can be checked
 //! against the ABC synchrony condition (Definition 4), the Θ-Model bound,
-//! and the paper's theorems.
+//! and the paper's theorems. For *online* checking, attach an incremental
+//! monitor ([`Simulation::attach_monitor`]): every executed event streams
+//! into an [`abc_core::monitor::IncrementalChecker`] and the first
+//! violating relevant cycle is latched with a witness, with no per-step
+//! graph rebuild ([`Trace::replay_into_monitor`] is the offline analogue).
 //!
 //! # Example: one ping-pong round trip
 //!

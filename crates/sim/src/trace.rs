@@ -1,9 +1,11 @@
 //! Space–time traces of simulated executions and their conversion into
 //! execution graphs.
 
+use abc_core::check::CheckError;
 use abc_core::graph::ExecutionGraph;
+use abc_core::monitor::IncrementalChecker;
 use abc_core::timed::TimedGraph;
-use abc_core::{EventId, ProcessId};
+use abc_core::{EventId, ProcessId, Xi};
 use abc_rational::Ratio;
 
 /// One receive event (plus its zero-time computing step) in a trace.
@@ -119,6 +121,39 @@ impl Trace {
             }
         }
         (b.finish(), map)
+    }
+
+    /// Streams the trace event by event into a fresh
+    /// [`IncrementalChecker`] for `Ξ = xi`, appending to the execution
+    /// graph incrementally (no per-step rebuild). The resulting monitor's
+    /// graph equals [`Trace::to_execution_graph`], and its verdict equals
+    /// the batch checker's — this is the offline counterpart of attaching
+    /// the monitor to a live [`crate::Simulation`].
+    ///
+    /// # Errors
+    ///
+    /// [`CheckError::XiTooLarge`] if `Ξ`'s parts exceed the monitor's
+    /// integer range.
+    pub fn replay_into_monitor(&self, xi: &Xi) -> Result<IncrementalChecker, CheckError> {
+        let mut mon = IncrementalChecker::new(self.num_processes, xi)?;
+        for (p, faulty) in self.faulty.iter().enumerate() {
+            if *faulty {
+                mon.mark_faulty(ProcessId(p));
+            }
+        }
+        for ev in &self.events {
+            match ev.trigger {
+                None => {
+                    mon.append_init(ev.process);
+                }
+                Some(mi) => {
+                    // Completed trace events map to graph events by index.
+                    let send_event = EventId(self.messages[mi].send_event);
+                    mon.append_send(send_event, ev.process);
+                }
+            }
+        }
+        Ok(mon)
     }
 
     /// The real occurrence times of the graph events produced by

@@ -118,4 +118,41 @@ proptest! {
         let xi = abc_core::Xi::from_fraction(2, 1);
         prop_assert!(abc_core::check::is_admissible(&g, &xi).unwrap());
     }
+
+    /// The attached streaming monitor, the offline trace replay, and the
+    /// batch checker all agree on random workloads — including tight Xi
+    /// values where band reordering does produce violations.
+    #[test]
+    fn attached_monitor_matches_batch_and_replay(
+        n in 2usize..5,
+        lo in 1u64..6,
+        spread in 0u64..8,
+        seed in any::<u64>(),
+        num in 5i64..15,
+        den in 4i64..8,
+    ) {
+        prop_assume!(num > den);
+        let xi = abc_core::Xi::from_fraction(num, den);
+        let mut sim = Simulation::new(BandDelay::new(lo, lo + spread, seed));
+        for _ in 0..n {
+            sim.add_process(Gossip { fanout: 2, state: 0 });
+        }
+        sim.attach_monitor(&xi).unwrap();
+        sim.run(RunLimits {
+            max_events: 2_000,
+            max_time: u64::MAX,
+        });
+        let g = sim.trace().to_execution_graph();
+        let mon = sim.monitor().expect("attached");
+        prop_assert_eq!(mon.graph(), &g);
+        let batch = abc_core::check::is_admissible(&g, &xi).unwrap();
+        prop_assert_eq!(mon.is_admissible(), batch);
+        if let Some(w) = sim.violation() {
+            prop_assert!(w.validate(&g).is_ok());
+            prop_assert!(w.classify().violates(&xi));
+        }
+        let replay = sim.trace().replay_into_monitor(&xi).unwrap();
+        prop_assert_eq!(replay.is_admissible(), batch);
+        prop_assert_eq!(replay.graph(), &g);
+    }
 }

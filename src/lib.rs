@@ -7,10 +7,10 @@
 //!
 //! | Re-export | Contents |
 //! |---|---|
-//! | [`core`] | Execution graphs, relevant cycles, the ABC condition, cuts, cycle space, Theorem 7 delay assignments |
+//! | [`core`] | Execution graphs, relevant cycles, the ABC condition (batch checker + incremental online monitor), cuts, cycle space, Theorem 7 delay assignments |
 //! | [`rational`] | Exact big-integer / rational arithmetic |
 //! | [`lp`] | Exact simplex + Farkas certificates, Fourier–Motzkin, difference constraints |
-//! | [`sim`] | Deterministic message-driven simulator with fault injection |
+//! | [`sim`] | Deterministic message-driven simulator with fault injection and live ABC monitoring |
 //! | [`models`] | Θ-Model, ParSync/DLS, Archimedean, FAR, MCM, MMR + separation scenarios |
 //! | [`clocksync`] | Algorithm 1 (Byzantine clock sync) + Algorithm 2 (lock-step rounds) |
 //! | [`fd`] | Fig. 3 ping-pong failure detection, Ω leader election |
