@@ -9,6 +9,8 @@
 //!   on top of Algorithm 1, with application round messages piggybacked on
 //!   every `⌈2Ξ⌉`-th tick.
 //! * [`byzantine`] — adversarial behaviors used to stress the algorithms.
+//! * [`presets`] — named system + delay-band configurations that sweep
+//!   harnesses (`abc-harness`, the `abc` CLI) address by name.
 //! * [`instrument`] — trace analyses validating the paper's theorems:
 //!   progress (Thm 1), consistent-cut synchrony ≤ 2Ξ (Thm 2), real-time
 //!   precision ≤ 2Ξ (Thm 3), bounded progress ϱ = 4Ξ+1 (Thm 4), and
@@ -40,6 +42,7 @@ pub mod byzantine;
 mod core_rules;
 pub mod instrument;
 mod lockstep;
+pub mod presets;
 mod tickgen;
 
 pub use core_rules::TickCore;

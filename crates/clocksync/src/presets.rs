@@ -1,0 +1,122 @@
+//! Named, prebuilt clock-synchronization system configurations.
+//!
+//! Sweep harnesses (the `abc-harness` crate and its `abc sweep` CLI) refer
+//! to these by name instead of re-deriving `(n, f, band, Ξ)` tuples: each
+//! preset pairs an Algorithm 1 system with a delay band whose ratio keeps
+//! the execution inside (or deliberately near) the ABC admissibility region
+//! for the stated `Ξ`.
+
+use abc_core::Xi;
+
+/// A named Algorithm 1 system + delay-band configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Preset {
+    /// Stable name (CLI-addressable).
+    pub name: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// Number of processes.
+    pub n: usize,
+    /// Fault budget the algorithm is configured for (`n ≥ 3f + 1`).
+    pub f: usize,
+    /// Process slots actually occupied by Byzantine tick-rushers.
+    pub byzantine: &'static [usize],
+    /// Delay band `[lo, hi]`.
+    pub lo: u64,
+    /// Delay band `[lo, hi]`.
+    pub hi: u64,
+    /// The `Ξ` to check against, as `(num, den)`.
+    pub xi: (i64, i64),
+}
+
+impl Preset {
+    /// The preset's `Ξ` as a validated [`Xi`].
+    #[must_use]
+    pub fn xi(&self) -> Xi {
+        Xi::from_fraction(self.xi.0, self.xi.1)
+    }
+}
+
+/// All named presets, in stable order.
+#[must_use]
+pub fn all() -> &'static [Preset] {
+    &[
+        Preset {
+            name: "quartet",
+            description: "4 correct processes, comfortable band (admissible for Xi = 2)",
+            n: 4,
+            f: 1,
+            byzantine: &[],
+            lo: 10,
+            hi: 19,
+            xi: (2, 1),
+        },
+        Preset {
+            name: "quartet-tight",
+            description: "4 correct processes checked at the band's edge (Xi barely above hi/lo)",
+            n: 4,
+            f: 1,
+            byzantine: &[],
+            lo: 10,
+            hi: 19,
+            xi: (191, 100),
+        },
+        Preset {
+            name: "septet-byz",
+            description: "7 processes, 2 Byzantine tick-rushers, band [50, 100], Xi = 21/10",
+            n: 7,
+            f: 2,
+            byzantine: &[5, 6],
+            lo: 50,
+            hi: 100,
+            xi: (21, 10),
+        },
+        Preset {
+            name: "decade-wide",
+            description: "10 processes, 3 fault budget (unused), wide band [1, 8], Xi = 9",
+            n: 10,
+            f: 3,
+            byzantine: &[],
+            lo: 1,
+            hi: 8,
+            xi: (9, 1),
+        },
+    ]
+}
+
+/// Looks up a preset by name.
+#[must_use]
+pub fn by_name(name: &str) -> Option<&'static Preset> {
+    all().iter().find(|p| p.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_well_formed() {
+        for p in all() {
+            assert!(p.n >= 3 * p.f + 1, "{}: n < 3f+1", p.name);
+            assert!(p.byzantine.len() <= p.f, "{}: too many Byzantine", p.name);
+            assert!(
+                p.byzantine.iter().all(|s| *s < p.n),
+                "{}: slot range",
+                p.name
+            );
+            assert!(p.lo > 0 && p.lo <= p.hi, "{}: band", p.name);
+            let _ = p.xi(); // validates Xi > 1
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_resolvable() {
+        let names: Vec<&str> = all().iter().map(|p| p.name).collect();
+        let mut deduped = names.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(deduped.len(), names.len());
+        assert_eq!(by_name("quartet").unwrap().n, 4);
+        assert!(by_name("nope").is_none());
+    }
+}

@@ -296,6 +296,69 @@ impl Cycle {
     }
 }
 
+/// A human-oriented summary of a violation witness: the process path the
+/// cycle visits plus its Definition 3 classification. This is what CLIs and
+/// reports print instead of the raw edge list ([`Cycle`]'s `Display`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WitnessSummary {
+    /// The classification of the summarized cycle.
+    pub classification: Classification,
+    /// Processes visited by the walk, in traversal order, deduplicated
+    /// along consecutive repeats (a chain through one process appears once).
+    pub process_path: Vec<crate::graph::ProcessId>,
+    /// Number of steps (edges) in the walk.
+    pub steps: usize,
+}
+
+impl Cycle {
+    /// Summarizes the cycle against its graph: process path + ratio.
+    #[must_use]
+    pub fn summarize(&self, g: &ExecutionGraph) -> WitnessSummary {
+        let mut path = Vec::new();
+        for step in &self.steps {
+            let p = g.event(step.start(g)).process;
+            if path.last() != Some(&p) {
+                path.push(p);
+            }
+        }
+        if path.len() > 1 && path.first() == path.last() {
+            path.pop();
+        }
+        WitnessSummary {
+            classification: self.classify(),
+            process_path: path,
+            steps: self.steps.len(),
+        }
+    }
+}
+
+impl fmt::Display for WitnessSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = &self.classification;
+        match c.ratio() {
+            Some(r) => write!(
+                f,
+                "|Z-|/|Z+| = {}/{} = {r}",
+                c.backward_messages, c.forward_messages
+            )?,
+            None => write!(f, "|Z-|/|Z+| = {}/0", c.backward_messages)?,
+        }
+        write!(
+            f,
+            " ({}relevant, {} steps) via ",
+            if c.relevant { "" } else { "non-" },
+            self.steps
+        )?;
+        for (i, p) in self.process_path.iter().enumerate() {
+            if i > 0 {
+                write!(f, " -> ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
 impl fmt::Display for Cycle {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[")?;
@@ -529,6 +592,27 @@ mod tests {
             Err(CycleError::IneffectiveMessage(m)) if m == m1
         ));
         let _ = m2;
+    }
+
+    #[test]
+    fn witness_summary_reports_path_and_ratio() {
+        let (g, cycle) = fig1();
+        let s = cycle.summarize(&g);
+        assert_eq!(s.steps, 10);
+        assert_eq!(s.classification.ratio(), Some(Ratio::new(5, 4)));
+        // The walk starts at q (p0), runs the C1 relays, hits p (p1), and
+        // returns through the C2 relays; consecutive repeats collapse.
+        assert_eq!(s.process_path.first(), Some(&ProcessId(0)));
+        assert!(s.process_path.contains(&ProcessId(1)));
+        assert_eq!(
+            s.process_path.len(),
+            s.process_path.windows(2).filter(|w| w[0] != w[1]).count() + 1,
+            "no consecutive duplicates"
+        );
+        let text = s.to_string();
+        assert!(text.contains("5/4"), "{text}");
+        assert!(text.contains("relevant"), "{text}");
+        assert!(text.contains("p0"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,12 @@
+//! The `abc` CLI entry point; all logic lives in `abc_harness::cli`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match abc_harness::cli::run(&args) {
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("abc: {e}");
+            std::process::exit(abc_harness::cli::EXIT_USAGE);
+        }
+    }
+}

@@ -1,0 +1,579 @@
+//! The deterministic multi-threaded sweep runner and its aggregate report.
+//!
+//! A sweep fans `spec.total_runs()` independent simulations out over a
+//! `std::thread` work queue. Determinism is by construction:
+//!
+//! * run `i` draws all randomness from splitmix64 stream `i` of the spec's
+//!   base seed (`SmallRng::seed_stream`) — workers never share generator
+//!   state;
+//! * workers only *claim* run indices from an atomic counter; results are
+//!   stored by index and aggregated in index order afterwards.
+//!
+//! Hence the [`SweepReport`]'s aggregate text is byte-identical at any
+//! worker-thread count (asserted by `tests/determinism.rs` at 1, 2, and 8
+//! workers over 512 runs).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use abc_clocksync::byzantine::TickRusher;
+use abc_clocksync::TickGen;
+use abc_core::cycle::WitnessSummary;
+use abc_core::monitor::{IncrementalChecker, MonitorStats};
+use abc_core::{ProcessId, Xi};
+use abc_rational::Ratio;
+use abc_sim::{Context, CrashAt, Mute, Process, RunStats, Simulation, Trace};
+use rand::rngs::SmallRng;
+use rand::RngCore;
+
+use crate::spec::{DelayPoint, Protocol, ScenarioSpec};
+
+/// The first ABC violation of one run, as latched by the online monitor.
+#[derive(Clone, Debug)]
+pub struct ViolationInfo {
+    /// Index of the trace event whose append closed the violating cycle.
+    pub at_event: usize,
+    /// The witness summary (process path + ratio).
+    pub witness: WitnessSummary,
+}
+
+impl ViolationInfo {
+    /// The witness's `|Z−|/|Z+|` ratio.
+    ///
+    /// # Panics
+    ///
+    /// Never: violation witnesses are relevant cycles, which always have
+    /// forward messages.
+    #[must_use]
+    pub fn ratio(&self) -> Ratio {
+        self.witness
+            .classification
+            .ratio()
+            .expect("violation witnesses are relevant")
+    }
+}
+
+/// The result of one swept run.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// Global run index (also the randomness stream index).
+    pub run_index: usize,
+    /// Index into the delay grid.
+    pub point_index: usize,
+    /// The seed handed to the delay model.
+    pub seed: u64,
+    /// Engine statistics.
+    pub stats: RunStats,
+    /// First violation, if the monitored `Ξ` was breached.
+    pub violation: Option<ViolationInfo>,
+    /// The full trace — kept only when the sweep was asked to retain
+    /// violating traces (for offline replay / persistence).
+    pub trace: Option<Trace>,
+}
+
+/// Sweep execution options.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepOptions {
+    /// Worker threads (clamped to at least 1).
+    pub threads: usize,
+    /// Retain the trace of every violating run in its [`RunOutcome`].
+    pub keep_violating_traces: bool,
+}
+
+impl Default for SweepOptions {
+    fn default() -> SweepOptions {
+        SweepOptions {
+            threads: 1,
+            keep_violating_traces: false,
+        }
+    }
+}
+
+/// Per-grid-point aggregates.
+#[derive(Clone, Debug)]
+pub struct PointSummary {
+    /// The grid point's display label.
+    pub label: String,
+    /// Runs executed at this point.
+    pub runs: usize,
+    /// Runs that violated the monitored `Ξ`.
+    pub violations: usize,
+    /// Largest first-violation ratio observed at this point.
+    pub max_ratio: Option<Ratio>,
+}
+
+/// Aggregates of a whole sweep.
+#[derive(Clone, Debug)]
+pub struct SweepReport {
+    /// Spec name.
+    pub name: String,
+    /// Rendered protocol.
+    pub protocol: String,
+    /// The monitored `Ξ`.
+    pub xi: Xi,
+    /// Total runs executed.
+    pub total_runs: usize,
+    /// Runs with a violation (the violation census headline).
+    pub violations: usize,
+    /// Per-grid-point census.
+    pub points: Vec<PointSummary>,
+    /// Distribution of first-violation cycle ratios over all runs.
+    pub ratio_histogram: Vec<(Ratio, usize)>,
+    /// The earliest violating run (by run index) and its violation.
+    pub first_violation: Option<(usize, ViolationInfo)>,
+    /// Sum of executed events over all runs.
+    pub events_total: u64,
+    /// Smallest per-run event count.
+    pub events_min: u64,
+    /// Largest per-run event count.
+    pub events_max: u64,
+    /// Messages handed to the delay models, summed.
+    pub messages_sent: u64,
+    /// Messages delivered, summed.
+    pub messages_delivered: u64,
+    /// Messages dropped, summed.
+    pub messages_dropped: u64,
+    /// Largest payload-slab high-water mark over all runs.
+    pub slab_peak_max: usize,
+    /// Runs that reached quiescence within their budgets.
+    pub quiescent_runs: usize,
+    /// Largest final event time over all runs.
+    pub final_time_max: u64,
+    /// Wall-clock time of the whole sweep (excluded from the deterministic
+    /// aggregate text).
+    pub wall_clock: Duration,
+    /// All per-run outcomes, in run order.
+    pub outcomes: Vec<RunOutcome>,
+}
+
+impl SweepReport {
+    /// The deterministic aggregate rendering: everything except wall-clock
+    /// time. Byte-identical across worker-thread counts for a fixed spec.
+    #[must_use]
+    pub fn aggregate_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "sweep {}: protocol={} xi={} runs={} points={}",
+            self.name,
+            self.protocol,
+            self.xi,
+            self.total_runs,
+            self.points.len()
+        );
+        for p in &self.points {
+            let _ = write!(
+                out,
+                "  point {}: runs={} violations={}",
+                p.label, p.runs, p.violations
+            );
+            match &p.max_ratio {
+                Some(r) => {
+                    let _ = writeln!(out, " max_ratio={r}");
+                }
+                None => {
+                    let _ = writeln!(out);
+                }
+            }
+        }
+        let _ = writeln!(out, "violations: {}/{}", self.violations, self.total_runs);
+        match &self.first_violation {
+            Some((run, v)) => {
+                let _ = writeln!(
+                    out,
+                    "first violation: run {} at event {} — {}",
+                    run, v.at_event, v.witness
+                );
+            }
+            None => {
+                let _ = writeln!(out, "first violation: none");
+            }
+        }
+        if self.ratio_histogram.is_empty() {
+            let _ = writeln!(out, "ratio histogram: empty");
+        } else {
+            let _ = write!(out, "ratio histogram:");
+            for (r, count) in &self.ratio_histogram {
+                let _ = write!(out, " {r}x{count}");
+            }
+            let _ = writeln!(out);
+        }
+        let _ = writeln!(
+            out,
+            "events: total={} min={} max={}",
+            self.events_total, self.events_min, self.events_max
+        );
+        let _ = writeln!(
+            out,
+            "messages: sent={} delivered={} dropped={}",
+            self.messages_sent, self.messages_delivered, self.messages_dropped
+        );
+        let _ = writeln!(
+            out,
+            "slab_peak_max={} quiescent={}/{} final_time_max={}",
+            self.slab_peak_max, self.quiescent_runs, self.total_runs, self.final_time_max
+        );
+        out
+    }
+}
+
+impl std::fmt::Display for SweepReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.aggregate_text())?;
+        write!(f, "wall clock: {:?}", self.wall_clock)
+    }
+}
+
+/// The harness's gossip protocol: broadcast at wake-up, echo `m + 1` to
+/// each sender until the reply budget is spent.
+struct Gossip {
+    budget: u32,
+}
+
+impl Process<u64> for Gossip {
+    fn on_init(&mut self, ctx: &mut Context<'_, u64>) {
+        ctx.broadcast(0);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, u64>, from: ProcessId, msg: &u64) {
+        if self.budget > 0 {
+            self.budget -= 1;
+            ctx.send(from, msg + 1);
+            ctx.set_label(*msg);
+        }
+    }
+}
+
+/// Streams `trace` into a fresh online monitor
+/// ([`Trace::replay_into_monitor_until_violation`]), stopping at the first
+/// violation; returns the monitor stats at stop time plus the violation
+/// (if any) with the index of the closing event.
+///
+/// # Errors
+///
+/// The rendered [`abc_core::check::CheckError`] if `Ξ` exceeds the
+/// monitor's integer range.
+pub fn monitor_trace(
+    trace: &Trace,
+    xi: &Xi,
+) -> Result<(MonitorStats, Option<ViolationInfo>), String> {
+    let (mon, violation_at) = trace
+        .replay_into_monitor_until_violation(xi)
+        .map_err(|e| e.to_string())?;
+    let violation = violation_at.map(|at_event| ViolationInfo {
+        at_event,
+        witness: mon
+            .violation()
+            .expect("a latched violation accompanies the index")
+            .summarize(mon.graph()),
+    });
+    Ok((mon.stats(), violation))
+}
+
+fn spawn_clocksync(
+    sim: &mut Simulation<u64, abc_sim::delay::Lossy<crate::spec::BuiltDelay>>,
+    n: usize,
+    f: usize,
+    spec: &ScenarioSpec,
+) {
+    for slot in 0..n {
+        if spec.faults.byzantine.contains(&slot) {
+            sim.add_faulty_process(TickRusher::new(3));
+        } else if let Some((_, steps)) = spec.faults.crash.iter().find(|(s, _)| *s == slot) {
+            sim.add_faulty_process(CrashAt::new(TickGen::new(n, f), *steps));
+        } else {
+            sim.add_process(TickGen::new(n, f));
+        }
+    }
+}
+
+fn spawn_gossip(
+    sim: &mut Simulation<u64, abc_sim::delay::Lossy<crate::spec::BuiltDelay>>,
+    n: usize,
+    budget: u32,
+    spec: &ScenarioSpec,
+) {
+    for slot in 0..n {
+        if spec.faults.byzantine.contains(&slot) {
+            sim.add_faulty_process(Mute);
+        } else if let Some((_, steps)) = spec.faults.crash.iter().find(|(s, _)| *s == slot) {
+            sim.add_faulty_process(CrashAt::new(Gossip { budget }, *steps));
+        } else {
+            sim.add_process(Gossip { budget });
+        }
+    }
+}
+
+/// Executes run `run_index` of the sweep: builds the seeded delay model and
+/// process set, simulates, and monitors the trace against the spec's `Ξ`.
+#[must_use]
+pub fn run_one(
+    spec: &ScenarioSpec,
+    points: &[DelayPoint],
+    run_index: usize,
+    keep_violating_trace: bool,
+) -> RunOutcome {
+    let point_index = run_index / spec.runs_per_point;
+    let point = &points[point_index];
+    // Stream-split: run i's randomness is independent of every other run's
+    // at any thread count.
+    let seed = SmallRng::seed_stream(spec.base_seed, run_index as u64).next_u64();
+    let delay = point.build(seed, &spec.faults.dropped_links);
+    let mut sim: Simulation<u64, _> = Simulation::new(delay);
+    match spec.protocol {
+        Protocol::ClockSync { n, f } => spawn_clocksync(&mut sim, n, f, spec),
+        Protocol::Gossip { n, budget } => spawn_gossip(&mut sim, n, budget, spec),
+    }
+    let stats = sim.run(spec.limits);
+    let trace = sim.trace();
+    let violation = monitor_trace(trace, &spec.xi)
+        .expect("Xi monitorability is validated before the sweep starts")
+        .1;
+    let trace = (keep_violating_trace && violation.is_some()).then(|| trace.clone());
+    RunOutcome {
+        run_index,
+        point_index,
+        seed,
+        stats,
+        violation,
+        trace,
+    }
+}
+
+/// Runs the whole sweep over a work queue of `options.threads` workers and
+/// aggregates the [`SweepReport`] in run order.
+///
+/// # Errors
+///
+/// A human-readable message if the spec is invalid or `Ξ` is not
+/// monitorable.
+pub fn run_sweep(spec: &ScenarioSpec, options: SweepOptions) -> Result<SweepReport, String> {
+    spec.validate()?;
+    // Fail fast (instead of inside a worker) if Xi overflows the monitor.
+    IncrementalChecker::new(spec.protocol.num_processes(), &spec.xi)
+        .map_err(|e| format!("Xi not monitorable: {e}"))?;
+
+    let points = spec.delay.points();
+    let total = spec.total_runs();
+    let threads = options.threads.max(1).min(total.max(1));
+    let started = Instant::now();
+
+    let next = AtomicUsize::new(0);
+    let collected: Mutex<Vec<RunOutcome>> = Mutex::new(Vec::with_capacity(total));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                let outcome = run_one(spec, &points, i, options.keep_violating_traces);
+                collected.lock().expect("collector poisoned").push(outcome);
+            });
+        }
+    });
+    let mut outcomes = collected.into_inner().expect("collector poisoned");
+    outcomes.sort_by_key(|o| o.run_index);
+    let wall_clock = started.elapsed();
+
+    // Aggregate strictly in run order: the report is a pure function of
+    // (spec, outcomes), independent of scheduling.
+    let mut points_summary: Vec<PointSummary> = points
+        .iter()
+        .map(|p| PointSummary {
+            label: p.to_string(),
+            runs: 0,
+            violations: 0,
+            max_ratio: None,
+        })
+        .collect();
+    let mut histogram: BTreeMap<Ratio, usize> = BTreeMap::new();
+    let mut report = SweepReport {
+        name: spec.name.clone(),
+        protocol: spec.protocol.to_string(),
+        xi: spec.xi.clone(),
+        total_runs: total,
+        violations: 0,
+        points: Vec::new(),
+        ratio_histogram: Vec::new(),
+        first_violation: None,
+        events_total: 0,
+        events_min: u64::MAX,
+        events_max: 0,
+        messages_sent: 0,
+        messages_delivered: 0,
+        messages_dropped: 0,
+        slab_peak_max: 0,
+        quiescent_runs: 0,
+        final_time_max: 0,
+        wall_clock,
+        outcomes: Vec::new(),
+    };
+    for o in &outcomes {
+        let ps = &mut points_summary[o.point_index];
+        ps.runs += 1;
+        if let Some(v) = &o.violation {
+            let ratio = v.ratio();
+            ps.violations += 1;
+            if ps.max_ratio.as_ref().is_none_or(|m| *m < ratio) {
+                ps.max_ratio = Some(ratio.clone());
+            }
+            report.violations += 1;
+            *histogram.entry(ratio).or_insert(0) += 1;
+            if report.first_violation.is_none() {
+                report.first_violation = Some((o.run_index, v.clone()));
+            }
+        }
+        let events = o.stats.events_executed as u64;
+        report.events_total += events;
+        report.events_min = report.events_min.min(events);
+        report.events_max = report.events_max.max(events);
+        report.messages_sent += o.stats.messages_sent as u64;
+        report.messages_delivered += o.stats.messages_delivered as u64;
+        report.messages_dropped += o.stats.messages_dropped as u64;
+        report.slab_peak_max = report.slab_peak_max.max(o.stats.payload_slab_peak);
+        report.quiescent_runs += usize::from(o.stats.quiescent);
+        report.final_time_max = report.final_time_max.max(o.stats.final_time);
+    }
+    if report.events_min == u64::MAX {
+        report.events_min = 0;
+    }
+    report.points = points_summary;
+    report.ratio_histogram = histogram.into_iter().collect();
+    report.outcomes = outcomes;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{DelaySweep, FaultPlan, Grid};
+    use abc_sim::RunLimits;
+
+    fn small_spec() -> ScenarioSpec {
+        ScenarioSpec {
+            name: "unit".into(),
+            protocol: Protocol::ClockSync { n: 4, f: 1 },
+            delay: DelaySweep::Band {
+                lo: Grid::fixed(10),
+                hi: Grid::fixed(19),
+            },
+            faults: FaultPlan::none(),
+            limits: RunLimits {
+                max_events: 150,
+                max_time: u64::MAX,
+            },
+            xi: Xi::from_integer(2),
+            runs_per_point: 6,
+            base_seed: 11,
+        }
+    }
+
+    #[test]
+    fn comfortable_band_has_no_violations() {
+        let report = run_sweep(&small_spec(), SweepOptions::default()).unwrap();
+        assert_eq!(report.total_runs, 6);
+        assert_eq!(report.violations, 0);
+        assert!(report.first_violation.is_none());
+        assert_eq!(report.events_min, 150);
+        assert!(report.messages_delivered > 0);
+        let text = report.aggregate_text();
+        assert!(text.contains("violations: 0/6"), "{text}");
+    }
+
+    #[test]
+    fn tight_xi_produces_violations_with_witnesses() {
+        let mut spec = small_spec();
+        // A wide band [1, 6] reorders enough for relevant cycles of ratio
+        // 2–3; Xi = 3/2 puts those over the line.
+        spec.delay = DelaySweep::Band {
+            lo: Grid::fixed(1),
+            hi: Grid::fixed(6),
+        };
+        spec.xi = Xi::from_fraction(3, 2);
+        spec.runs_per_point = 8;
+        let report = run_sweep(
+            &spec,
+            SweepOptions {
+                threads: 2,
+                keep_violating_traces: true,
+            },
+        )
+        .unwrap();
+        assert!(report.violations > 0, "{}", report.aggregate_text());
+        let (_, v) = report.first_violation.as_ref().unwrap();
+        assert!(v.ratio() >= *spec.xi.as_ratio());
+        assert!(!report.ratio_histogram.is_empty());
+        // Violating traces were retained and re-check offline to the same
+        // verdict.
+        let violating = report
+            .outcomes
+            .iter()
+            .find(|o| o.violation.is_some())
+            .unwrap();
+        let trace = violating.trace.as_ref().expect("trace kept");
+        let reparsed = Trace::from_text(&trace.to_text()).unwrap();
+        let (_, v2) = monitor_trace(&reparsed, &spec.xi).unwrap();
+        assert_eq!(
+            v2.unwrap().at_event,
+            violating.violation.as_ref().unwrap().at_event
+        );
+    }
+
+    #[test]
+    fn byzantine_and_crash_slots_are_exempt_and_marked() {
+        let mut spec = small_spec();
+        spec.faults.byzantine = vec![3];
+        spec.faults.crash = vec![(2, 5)];
+        spec.runs_per_point = 2;
+        let report = run_sweep(
+            &spec,
+            SweepOptions {
+                threads: 1,
+                keep_violating_traces: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(report.violations, 0, "faulty senders are exempt");
+    }
+
+    #[test]
+    fn gossip_protocol_and_dropped_links_run() {
+        let mut spec = small_spec();
+        spec.protocol = Protocol::Gossip { n: 3, budget: 10 };
+        spec.faults.dropped_links = vec![(0, 2)];
+        spec.runs_per_point = 3;
+        let report = run_sweep(&spec, SweepOptions::default()).unwrap();
+        assert!(report.messages_dropped > 0, "dropped link saw traffic");
+        assert!(report.quiescent_runs > 0, "gossip budgets drain");
+    }
+
+    #[test]
+    fn thread_count_does_not_change_aggregates() {
+        let mut spec = small_spec();
+        spec.runs_per_point = 16;
+        let a = run_sweep(
+            &spec,
+            SweepOptions {
+                threads: 1,
+                keep_violating_traces: false,
+            },
+        )
+        .unwrap();
+        let b = run_sweep(
+            &spec,
+            SweepOptions {
+                threads: 5,
+                keep_violating_traces: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(a.aggregate_text(), b.aggregate_text());
+        // Per-run seeds agree too (stream splitting is index-based).
+        let seeds = |r: &SweepReport| r.outcomes.iter().map(|o| o.seed).collect::<Vec<_>>();
+        assert_eq!(seeds(&a), seeds(&b));
+    }
+}

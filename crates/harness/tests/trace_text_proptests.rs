@@ -1,0 +1,80 @@
+//! Property tests for the trace text format over *random clocksync runs*:
+//! serialize → parse → serialize round-trips exactly (events, messages,
+//! faulty set), and the reparsed trace is analysis-equivalent to the
+//! original (same execution graph, same batch verdict, same monitor
+//! verdict).
+
+use abc_clocksync::TickGen;
+use abc_core::{check, ProcessId, Xi};
+use abc_sim::delay::BandDelay;
+use abc_sim::{CrashAt, RunLimits, Simulation, Trace};
+use proptest::prelude::*;
+
+fn clocksync_run(n: usize, lo: u64, hi: u64, seed: u64, crash_last: bool, events: usize) -> Trace {
+    let mut sim = Simulation::new(BandDelay::new(lo, hi, seed));
+    for slot in 0..n {
+        if crash_last && slot == n - 1 {
+            sim.add_faulty_process(CrashAt::new(TickGen::new(n, 1), 4));
+        } else {
+            sim.add_process(TickGen::new(n, 1));
+        }
+    }
+    sim.run(RunLimits {
+        max_events: events,
+        max_time: u64::MAX,
+    });
+    sim.trace().clone()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Exact round trip: every event, message, and faulty flag survives,
+    /// and serialization is canonical (serialize ∘ parse = identity on
+    /// bytes).
+    #[test]
+    fn serialize_parse_round_trips_exactly(
+        n in 4usize..7,
+        lo in 1u64..10,
+        spread in 0u64..10,
+        seed in any::<u64>(),
+        crash_last in any::<bool>(),
+    ) {
+        let trace = clocksync_run(n, lo, lo + spread, seed, crash_last, 250);
+        let text = trace.to_text();
+        let parsed = Trace::from_text(&text).unwrap();
+        prop_assert_eq!(parsed.num_processes(), trace.num_processes());
+        prop_assert_eq!(parsed.events(), trace.events());
+        prop_assert_eq!(parsed.messages(), trace.messages());
+        for p in 0..n {
+            prop_assert_eq!(parsed.is_faulty(ProcessId(p)), trace.is_faulty(ProcessId(p)));
+        }
+        prop_assert_eq!(parsed.to_text(), text);
+    }
+
+    /// Analysis equivalence: the reparsed trace's execution graph and
+    /// batch ABC verdict agree with the original's, as does the online
+    /// monitor replay.
+    #[test]
+    fn reparsed_traces_are_analysis_equivalent(
+        n in 4usize..6,
+        lo in 1u64..5,
+        spread in 0u64..8,
+        seed in any::<u64>(),
+        num in 5i64..15,
+        den in 4i64..8,
+    ) {
+        prop_assume!(num > den);
+        let xi = Xi::from_fraction(num, den);
+        let trace = clocksync_run(n, lo, lo + spread, seed, false, 200);
+        let parsed = Trace::from_text(&trace.to_text()).unwrap();
+        let g0 = trace.to_execution_graph();
+        let g1 = parsed.to_execution_graph();
+        prop_assert_eq!(&g0, &g1);
+        let batch = check::is_admissible(&g0, &xi).unwrap();
+        prop_assert_eq!(check::is_admissible(&g1, &xi).unwrap(), batch);
+        let mon = parsed.replay_into_monitor(&xi).unwrap();
+        prop_assert_eq!(mon.is_admissible(), batch);
+        prop_assert_eq!(mon.graph(), &g0);
+    }
+}

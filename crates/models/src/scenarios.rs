@@ -176,12 +176,62 @@ pub fn spacecraft_growing_delays(exchanges: usize) -> (ExecutionGraph, TimedGrap
     (g, TimedGraph::from_integer_times(&full))
 }
 
+/// The prebuilt scenarios by stable name, for harnesses and CLIs
+/// (`abc check --scenario <name>`): each entry is `(name, description,
+/// builder)` where the builder returns the scenario's execution graph.
+#[must_use]
+pub fn named() -> Vec<(&'static str, &'static str, fn() -> ExecutionGraph)> {
+    vec![
+        (
+            "fig9",
+            "Fig. 9: 2-hop delay compensation (ABC-admissible, per-link ratios wild)",
+            || fig9_compensated_paths().0,
+        ),
+        (
+            "fig10-inorder",
+            "Fig. 10: FIFO-ordered growing-delay link (admissible for Xi = 4)",
+            || fig10_fifo().0,
+        ),
+        (
+            "fig10-reordered",
+            "Fig. 10: the reordered variant (ratio-5 relevant cycle)",
+            || fig10_fifo().1,
+        ),
+        (
+            "spacecraft",
+            "Sec. 5.1/5.3: two drifting clusters, 8 exchanges of doubling delays",
+            || spacecraft_growing_delays(8).0,
+        ),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::{archimedean, far, parsync};
     use abc_core::{check, Xi};
     use abc_rational::Ratio;
+
+    #[test]
+    fn named_registry_builds_checkable_graphs() {
+        let entries = named();
+        assert!(entries.len() >= 4);
+        for (name, _, build) in entries {
+            let g = build();
+            assert!(g.num_events() > 0, "{name}: empty graph");
+            // Every named scenario must be decidable by the batch checker.
+            let _ = check::is_admissible(&g, &Xi::from_integer(4)).unwrap();
+        }
+        assert!(!check::is_admissible(
+            &named()
+                .iter()
+                .find(|(n, _, _)| *n == "fig10-reordered")
+                .unwrap()
+                .2(),
+            &Xi::from_integer(4)
+        )
+        .unwrap());
+    }
 
     #[test]
     fn fig9_abc_admissible_but_per_link_ratios_wild() {

@@ -40,6 +40,12 @@ pub trait DelayModel {
     fn delivery(&mut self, from: ProcessId, to: ProcessId, send_time: u64, seq: u64) -> Delivery;
 }
 
+impl<D: DelayModel + ?Sized> DelayModel for Box<D> {
+    fn delivery(&mut self, from: ProcessId, to: ProcessId, send_time: u64, seq: u64) -> Delivery {
+        (**self).delivery(from, to, send_time, seq)
+    }
+}
+
 /// Every message takes exactly `d` time units.
 #[derive(Clone, Copy, Debug)]
 pub struct FixedDelay {
@@ -333,5 +339,22 @@ mod tests {
     #[should_panic(expected = "lo <= hi")]
     fn invalid_band_panics() {
         let _ = BandDelay::new(9, 3, 0);
+    }
+
+    #[test]
+    fn boxed_models_work_and_cross_threads() {
+        // Sweep workers build their delay models behind `Box<dyn DelayModel
+        // + Send>`; the blanket Box impl must delegate, and the built models
+        // must be constructible inside a spawned worker.
+        let mut m: Box<dyn DelayModel + Send> = Box::new(FixedDelay::new(4));
+        assert_eq!(
+            m.delivery(ProcessId(0), ProcessId(1), 0, 0),
+            Delivery::After(4)
+        );
+        let handle = std::thread::spawn(move || {
+            let mut inner = m;
+            inner.delivery(ProcessId(1), ProcessId(0), 5, 1)
+        });
+        assert_eq!(handle.join().unwrap(), Delivery::After(4));
     }
 }

@@ -54,6 +54,76 @@ pub struct RunStats {
     pub payload_slab_peak: usize,
 }
 
+impl std::fmt::Display for RunStats {
+    /// One parseable line: `events=… sent=… delivered=… dropped=…
+    /// final_time=… quiescent=… slab_peak=…` (the exact inverse of
+    /// [`RunStats::from_str`], so stats survive text round trips alongside
+    /// serialized traces).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "events={} sent={} delivered={} dropped={} final_time={} quiescent={} slab_peak={}",
+            self.events_executed,
+            self.messages_sent,
+            self.messages_delivered,
+            self.messages_dropped,
+            self.final_time,
+            self.quiescent,
+            self.payload_slab_peak
+        )
+    }
+}
+
+impl std::str::FromStr for RunStats {
+    type Err = String;
+
+    /// Parses the `Display` format (key=value pairs, any order). Unknown,
+    /// duplicate, and *missing* keys are all rejected — a truncated stats
+    /// line must not parse into fabricated zeros.
+    fn from_str(s: &str) -> Result<RunStats, String> {
+        const KEYS: [&str; 7] = [
+            "events",
+            "sent",
+            "delivered",
+            "dropped",
+            "final_time",
+            "quiescent",
+            "slab_peak",
+        ];
+        let mut stats = RunStats::default();
+        let mut seen = [false; KEYS.len()];
+        for part in s.split_whitespace() {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("expected key=value, got {part:?}"))?;
+            let idx = KEYS
+                .iter()
+                .position(|k| *k == key)
+                .ok_or_else(|| format!("unknown RunStats key {key:?}"))?;
+            if seen[idx] {
+                return Err(format!("duplicate RunStats key {key:?}"));
+            }
+            seen[idx] = true;
+            let num = |v: &str| v.parse::<u64>().map_err(|e| format!("{key}: {e}"));
+            match key {
+                "events" => stats.events_executed = num(value)? as usize,
+                "sent" => stats.messages_sent = num(value)? as usize,
+                "delivered" => stats.messages_delivered = num(value)? as usize,
+                "dropped" => stats.messages_dropped = num(value)? as usize,
+                "final_time" => stats.final_time = num(value)?,
+                "quiescent" => {
+                    stats.quiescent = value.parse().map_err(|e| format!("quiescent: {e}"))?;
+                }
+                _ => stats.payload_slab_peak = num(value)? as usize,
+            }
+        }
+        if let Some(missing) = KEYS.iter().zip(&seen).find(|(_, s)| !**s) {
+            return Err(format!("missing RunStats key {:?}", missing.0));
+        }
+        Ok(stats)
+    }
+}
+
 /// A simulation of `n` message-driven processes over an adversarial network.
 ///
 /// See the crate docs for an end-to-end example.
@@ -662,6 +732,24 @@ mod tests {
         let evs = sim.trace().events();
         assert_eq!(evs[0].time, 0);
         assert_eq!(evs[1].time, 500);
+    }
+
+    #[test]
+    fn run_stats_display_round_trips() {
+        let mut sim = Simulation::new(FixedDelay::new(10));
+        sim.add_process(Echo { remaining: 3 });
+        sim.add_process(Echo { remaining: 3 });
+        let stats = sim.run(RunLimits::default());
+        let line = stats.to_string();
+        assert!(line.contains("delivered=7"), "{line}");
+        let parsed: RunStats = line.parse().unwrap();
+        assert_eq!(parsed, stats);
+        assert!("bogus".parse::<RunStats>().is_err());
+        assert!("zorp=3".parse::<RunStats>().is_err());
+        // Truncated/partial lines must not fail open into zeros.
+        assert!("".parse::<RunStats>().is_err());
+        assert!("events=500".parse::<RunStats>().is_err());
+        assert!(format!("{line} events=1").parse::<RunStats>().is_err());
     }
 
     #[test]

@@ -24,6 +24,10 @@
 //! into an [`abc_core::monitor::IncrementalChecker`] and the first
 //! violating relevant cycle is latched with a witness, with no per-step
 //! graph rebuild ([`Trace::replay_into_monitor`] is the offline analogue).
+//! Traces also serialize to a compact line-oriented text format
+//! ([`textio`]: [`Trace::to_text`] / [`Trace::from_text`], no serde), so
+//! any execution — including every run of an `abc-harness` sweep — can be
+//! persisted, replayed, and re-checked offline.
 //!
 //! # Example: one ping-pong round trip
 //!
@@ -63,9 +67,11 @@
 pub mod delay;
 mod engine;
 mod process;
+pub mod textio;
 mod trace;
 
 pub use delay::{DelayModel, Delivery};
 pub use engine::{RunLimits, RunStats, Simulation};
 pub use process::{Context, CrashAt, Mute, Process};
+pub use textio::TraceTextError;
 pub use trace::{Trace, TraceEvent, TraceMessage};

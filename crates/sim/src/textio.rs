@@ -1,0 +1,514 @@
+//! A compact line-oriented text serialization for [`Trace`] (no serde).
+//!
+//! Any swept or simulated execution can be persisted, shipped, and
+//! re-checked offline (`Trace::replay_into_monitor`, batch checking via
+//! `Trace::to_execution_graph`). The format is versioned, self-describing,
+//! and diff-friendly:
+//!
+//! ```text
+//! abc-trace v1
+//! # full-line comments and blank lines are ignored
+//! processes 3
+//! faulty 1
+//! events 4
+//! messages 2
+//! e 0 0 0 - 0 - 0
+//! e 1 1 0 - 0 5 1
+//! e 2 2 0 - 0 - 0
+//! e 3 0 7 0 1 - 0
+//! m 1 0 1 3 0 7
+//! m 2 0 2 - 0 -
+//! end
+//! ```
+//!
+//! * `e <seq> <process> <time> <trigger|-> <received_only> <label|-> <distinguished>`
+//!   — one line per event, in global chronological order; `trigger` is the
+//!   index of the delivering `m` line (`-` for wake-ups).
+//! * `m <from> <to> <send_event> <recv_event|-> <send_time> <recv_time|->`
+//!   — one line per message, in send order; `-` marks in-flight/dropped.
+//! * `faulty` lists faulty process indices (the line is present even when
+//!   empty, so files are self-contained).
+//!
+//! The parser validates everything the simulator guarantees: counts match,
+//! indices are in range, events appear in `seq` order, and event↔message
+//! cross references agree — a parsed trace is as trustworthy as a captured
+//! one.
+
+use std::fmt;
+
+use abc_core::ProcessId;
+
+use crate::trace::{Trace, TraceEvent, TraceMessage};
+
+/// Format version written by [`Trace::to_text`] and accepted by
+/// [`Trace::from_text`].
+pub const TRACE_FORMAT_VERSION: &str = "v1";
+
+/// A parse/validation error for the trace text format.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceTextError {
+    /// 1-based line number the error was detected at (0 for end-of-input).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for TraceTextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "trace text: {}", self.message)
+        } else {
+            write!(f, "trace text, line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for TraceTextError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, TraceTextError> {
+    Err(TraceTextError {
+        line,
+        message: message.into(),
+    })
+}
+
+fn opt_u64(field: &str) -> Result<Option<u64>, String> {
+    if field == "-" {
+        Ok(None)
+    } else {
+        field
+            .parse::<u64>()
+            .map(Some)
+            .map_err(|e| format!("{field:?}: {e}"))
+    }
+}
+
+fn opt_usize(field: &str) -> Result<Option<usize>, String> {
+    if field == "-" {
+        Ok(None)
+    } else {
+        field
+            .parse::<usize>()
+            .map(Some)
+            .map_err(|e| format!("{field:?}: {e}"))
+    }
+}
+
+fn flag(field: &str) -> Result<bool, String> {
+    match field {
+        "0" => Ok(false),
+        "1" => Ok(true),
+        other => Err(format!("expected flag 0/1, got {other:?}")),
+    }
+}
+
+fn fmt_opt<T: fmt::Display>(v: Option<T>) -> String {
+    v.map_or_else(|| "-".to_string(), |x| x.to_string())
+}
+
+fn take<'a, I: Iterator<Item = (usize, &'a str)>>(
+    lines: &mut I,
+    what: &str,
+) -> Result<(usize, &'a str), TraceTextError> {
+    match lines.next() {
+        Some(x) => Ok(x),
+        None => err(0, format!("unexpected end of input, expected {what}")),
+    }
+}
+
+fn at<T>(ln: usize, r: Result<T, String>) -> Result<T, TraceTextError> {
+    r.map_err(|message| TraceTextError { line: ln, message })
+}
+
+fn scalar(line: (usize, &str), key: &str) -> Result<usize, TraceTextError> {
+    let (ln, l) = line;
+    match l.strip_prefix(key).map(str::trim) {
+        Some(v) if !v.is_empty() => match v.parse() {
+            Ok(n) => Ok(n),
+            Err(e) => err(ln, format!("{key}: {e}")),
+        },
+        _ => err(ln, format!("expected `{key} <count>`, got {l:?}")),
+    }
+}
+
+impl Trace {
+    /// Serializes the trace into the line-oriented text format (see the
+    /// [`crate::textio`] module docs for the grammar).
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        use fmt::Write;
+        let mut out = String::with_capacity(32 * (self.events.len() + self.messages.len()) + 64);
+        let _ = writeln!(out, "abc-trace {TRACE_FORMAT_VERSION}");
+        let _ = writeln!(out, "processes {}", self.num_processes);
+        let mut faulty_line = String::from("faulty");
+        for (p, f) in self.faulty.iter().enumerate() {
+            if *f {
+                faulty_line.push(' ');
+                faulty_line.push_str(&p.to_string());
+            }
+        }
+        let _ = writeln!(out, "{faulty_line}");
+        let _ = writeln!(out, "events {}", self.events.len());
+        let _ = writeln!(out, "messages {}", self.messages.len());
+        for ev in &self.events {
+            let _ = writeln!(
+                out,
+                "e {} {} {} {} {} {} {}",
+                ev.seq,
+                ev.process.0,
+                ev.time,
+                fmt_opt(ev.trigger),
+                u8::from(ev.received_only),
+                fmt_opt(ev.label),
+                u8::from(ev.distinguished),
+            );
+        }
+        for m in &self.messages {
+            let _ = writeln!(
+                out,
+                "m {} {} {} {} {} {}",
+                m.from.0,
+                m.to.0,
+                m.send_event,
+                fmt_opt(m.recv_event),
+                m.send_time,
+                fmt_opt(m.recv_time),
+            );
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Parses and validates a trace from the text format.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceTextError`] with the offending line on malformed input, count
+    /// mismatches, out-of-range indices, or inconsistent event↔message
+    /// cross references.
+    pub fn from_text(text: &str) -> Result<Trace, TraceTextError> {
+        let mut lines = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (i + 1, l.trim()))
+            .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
+
+        let (ln, header) = take(&mut lines, "header")?;
+        match header.strip_prefix("abc-trace ") {
+            Some(TRACE_FORMAT_VERSION) => {}
+            Some(v) => return err(ln, format!("unsupported version {v:?}")),
+            None => return err(ln, "missing `abc-trace <version>` header"),
+        }
+        let num_processes = scalar(take(&mut lines, "processes")?, "processes")?;
+
+        let (ln, faulty_line) = take(&mut lines, "faulty")?;
+        let mut faulty = vec![false; num_processes];
+        match faulty_line.strip_prefix("faulty") {
+            Some(rest) => {
+                for field in rest.split_whitespace() {
+                    let p: usize = match field.parse() {
+                        Ok(p) => p,
+                        Err(e) => return err(ln, format!("faulty index {field:?}: {e}")),
+                    };
+                    if p >= num_processes {
+                        return err(ln, format!("faulty index {p} out of range"));
+                    }
+                    faulty[p] = true;
+                }
+            }
+            None => return err(ln, format!("expected `faulty …`, got {faulty_line:?}")),
+        }
+
+        let num_events = scalar(take(&mut lines, "events")?, "events")?;
+        let num_messages = scalar(take(&mut lines, "messages")?, "messages")?;
+
+        let mut events: Vec<TraceEvent> = Vec::with_capacity(num_events);
+        for _ in 0..num_events {
+            let (ln, l) = take(&mut lines, "an `e` line")?;
+            let fields: Vec<&str> = l.split_whitespace().collect();
+            if fields.len() != 8 || fields[0] != "e" {
+                return err(ln, format!("expected `e` line with 7 fields, got {l:?}"));
+            }
+            let seq = at(
+                ln,
+                opt_usize(fields[1]).and_then(|v| v.ok_or("seq required".into())),
+            )?;
+            if seq != events.len() {
+                return err(ln, format!("event seq {seq}, expected {}", events.len()));
+            }
+            let process = at(
+                ln,
+                opt_usize(fields[2]).and_then(|v| v.ok_or("process required".into())),
+            )?;
+            if process >= num_processes {
+                return err(ln, format!("process {process} out of range"));
+            }
+            let time = at(
+                ln,
+                opt_u64(fields[3]).and_then(|v| v.ok_or("time required".into())),
+            )?;
+            let trigger = at(ln, opt_usize(fields[4]))?;
+            if let Some(t) = trigger {
+                if t >= num_messages {
+                    return err(ln, format!("trigger {t} out of range"));
+                }
+            }
+            let received_only = at(ln, flag(fields[5]))?;
+            let label = at(ln, opt_u64(fields[6]))?;
+            let distinguished = at(ln, flag(fields[7]))?;
+            if events.last().is_some_and(|prev| prev.time > time) {
+                return err(ln, "event times must be non-decreasing");
+            }
+            events.push(TraceEvent {
+                seq,
+                process: ProcessId(process),
+                time,
+                trigger,
+                received_only,
+                label,
+                distinguished,
+            });
+        }
+
+        let mut messages: Vec<TraceMessage> = Vec::with_capacity(num_messages);
+        for _ in 0..num_messages {
+            let (ln, l) = take(&mut lines, "an `m` line")?;
+            let fields: Vec<&str> = l.split_whitespace().collect();
+            if fields.len() != 7 || fields[0] != "m" {
+                return err(ln, format!("expected `m` line with 6 fields, got {l:?}"));
+            }
+            let from = at(
+                ln,
+                opt_usize(fields[1]).and_then(|v| v.ok_or("from required".into())),
+            )?;
+            let to = at(
+                ln,
+                opt_usize(fields[2]).and_then(|v| v.ok_or("to required".into())),
+            )?;
+            if from >= num_processes || to >= num_processes {
+                return err(ln, format!("endpoint out of range in {l:?}"));
+            }
+            let send_event = at(
+                ln,
+                opt_usize(fields[3]).and_then(|v| v.ok_or("send_event required".into())),
+            )?;
+            if send_event >= num_events {
+                return err(ln, format!("send_event {send_event} out of range"));
+            }
+            let recv_event = at(ln, opt_usize(fields[4]))?;
+            if let Some(r) = recv_event {
+                if r >= num_events {
+                    return err(ln, format!("recv_event {r} out of range"));
+                }
+            }
+            let send_time = at(
+                ln,
+                opt_u64(fields[5]).and_then(|v| v.ok_or("send_time required".into())),
+            )?;
+            let recv_time = at(ln, opt_u64(fields[6]))?;
+            if recv_event.is_some() != recv_time.is_some() {
+                return err(ln, "recv_event and recv_time must both be set or both `-`");
+            }
+            messages.push(TraceMessage {
+                from: ProcessId(from),
+                to: ProcessId(to),
+                send_event,
+                recv_event,
+                send_time,
+                recv_time,
+            });
+        }
+
+        let (ln, end) = take(&mut lines, "`end`")?;
+        if end != "end" {
+            return err(ln, format!("expected `end`, got {end:?}"));
+        }
+        if let Some((ln, l)) = lines.next() {
+            return err(ln, format!("trailing content after `end`: {l:?}"));
+        }
+
+        // Cross validation: the event/message references must describe one
+        // consistent execution.
+        for (idx, ev) in events.iter().enumerate() {
+            if let Some(mi) = ev.trigger {
+                let m = &messages[mi];
+                if m.recv_event != Some(idx) {
+                    return err(
+                        0,
+                        format!(
+                            "event {idx} claims trigger m{mi}, but m{mi} recv_event is {:?}",
+                            m.recv_event
+                        ),
+                    );
+                }
+                if m.to != ev.process {
+                    return err(
+                        0,
+                        format!("m{mi} addressed to {}, received at {}", m.to, ev.process),
+                    );
+                }
+            }
+        }
+        for (mi, m) in messages.iter().enumerate() {
+            let sender = &events[m.send_event];
+            if sender.process != m.from {
+                return err(
+                    0,
+                    format!(
+                        "m{mi} sent from {}, but event {} is at {}",
+                        m.from, m.send_event, sender.process
+                    ),
+                );
+            }
+            if sender.time != m.send_time {
+                return err(
+                    0,
+                    format!(
+                        "m{mi} send_time {} != sending event time {}",
+                        m.send_time, sender.time
+                    ),
+                );
+            }
+            if let (Some(r), Some(rt)) = (m.recv_event, m.recv_time) {
+                if r <= m.send_event {
+                    return err(
+                        0,
+                        format!(
+                            "m{mi} received (event {r}) no later than sent (event {})",
+                            m.send_event
+                        ),
+                    );
+                }
+                let recv = &events[r];
+                if recv.trigger != Some(mi) {
+                    return err(
+                        0,
+                        format!(
+                            "m{mi} claims recv_event {r}, but event {r} has trigger {:?}",
+                            recv.trigger
+                        ),
+                    );
+                }
+                if recv.time != rt {
+                    return err(
+                        0,
+                        format!("m{mi} recv_time {rt} != receiving event time {}", recv.time),
+                    );
+                }
+            }
+        }
+
+        Ok(Trace {
+            num_processes,
+            events,
+            messages,
+            faulty,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delay::{BandDelay, Lossy};
+    use crate::engine::{RunLimits, Simulation};
+    use crate::process::{Context, Process};
+
+    struct Gossip {
+        remaining: u32,
+    }
+    impl Process<u32> for Gossip {
+        fn on_init(&mut self, ctx: &mut Context<'_, u32>) {
+            ctx.broadcast(0);
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_, u32>, from: ProcessId, m: &u32) {
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                ctx.send(from, m + 1);
+                ctx.set_label(u64::from(*m));
+            }
+        }
+    }
+
+    fn sample_trace() -> Trace {
+        let mut lossy = Lossy::new(BandDelay::new(1, 7, 13));
+        lossy.drop_link(ProcessId(0), ProcessId(2));
+        let mut sim = Simulation::new(lossy);
+        sim.add_process(Gossip { remaining: 15 });
+        sim.add_faulty_process(Gossip { remaining: 15 });
+        sim.add_process(Gossip { remaining: 15 });
+        sim.run(RunLimits {
+            max_events: 60,
+            max_time: u64::MAX,
+        });
+        sim.trace().clone()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let trace = sample_trace();
+        let text = trace.to_text();
+        let parsed = Trace::from_text(&text).unwrap();
+        assert_eq!(parsed.num_processes(), trace.num_processes());
+        assert_eq!(parsed.events(), trace.events());
+        assert_eq!(parsed.messages(), trace.messages());
+        for p in 0..trace.num_processes() {
+            assert_eq!(
+                parsed.is_faulty(ProcessId(p)),
+                trace.is_faulty(ProcessId(p))
+            );
+        }
+        // Second serialization is byte-identical (canonical form).
+        assert_eq!(parsed.to_text(), text);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let trace = sample_trace();
+        let mut text = String::from("# captured by test\n\n");
+        text.push_str(&trace.to_text());
+        text.push_str("\n# trailing comment\n");
+        let parsed = Trace::from_text(&text).unwrap();
+        assert_eq!(parsed.events(), trace.events());
+    }
+
+    #[test]
+    fn parser_rejects_corrupted_input() {
+        let text = sample_trace().to_text();
+        // Version mismatch.
+        assert!(
+            Trace::from_text(&text.replace("abc-trace v1", "abc-trace v9"))
+                .unwrap_err()
+                .to_string()
+                .contains("version")
+        );
+        // Truncated: drop the last two lines (one m line + end).
+        let truncated: Vec<&str> = text.lines().collect();
+        let truncated = truncated[..truncated.len() - 2].join("\n");
+        assert!(Trace::from_text(&truncated).is_err());
+        // Cross-reference corruption: retarget a delivered message.
+        let broken = text.replacen("m 0 1", "m 0 2", 1);
+        if broken != text {
+            assert!(Trace::from_text(&broken).is_err());
+        }
+        // Count corruption.
+        let broken = text.replacen("events ", "events 9", 1);
+        assert!(Trace::from_text(&broken).is_err());
+    }
+
+    #[test]
+    fn parsed_traces_check_like_captured_ones() {
+        use abc_core::{check, Xi};
+        let trace = sample_trace();
+        let parsed = Trace::from_text(&trace.to_text()).unwrap();
+        let (g0, g1) = (trace.to_execution_graph(), parsed.to_execution_graph());
+        assert_eq!(g0, g1);
+        let xi = Xi::from_integer(3);
+        assert_eq!(
+            check::is_admissible(&g0, &xi).unwrap(),
+            check::is_admissible(&g1, &xi).unwrap()
+        );
+        let mon = parsed.replay_into_monitor(&xi).unwrap();
+        assert_eq!(mon.is_admissible(), check::is_admissible(&g1, &xi).unwrap());
+    }
+}

@@ -135,13 +135,39 @@ impl Trace {
     /// [`CheckError::XiTooLarge`] if `Ξ`'s parts exceed the monitor's
     /// integer range.
     pub fn replay_into_monitor(&self, xi: &Xi) -> Result<IncrementalChecker, CheckError> {
+        Ok(self.replay_monitor_inner(xi, false)?.0)
+    }
+
+    /// Like [`Trace::replay_into_monitor`], but stops streaming as soon as
+    /// the monitor latches a violation. Returns the monitor plus the index
+    /// of the trace event whose append closed the first violating cycle
+    /// (`None` if the whole trace is admissible) — the building block of
+    /// sweep harnesses that only need the first verdict per run.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckError::XiTooLarge`] if `Ξ`'s parts exceed the monitor's
+    /// integer range.
+    pub fn replay_into_monitor_until_violation(
+        &self,
+        xi: &Xi,
+    ) -> Result<(IncrementalChecker, Option<usize>), CheckError> {
+        self.replay_monitor_inner(xi, true)
+    }
+
+    fn replay_monitor_inner(
+        &self,
+        xi: &Xi,
+        stop_on_violation: bool,
+    ) -> Result<(IncrementalChecker, Option<usize>), CheckError> {
         let mut mon = IncrementalChecker::new(self.num_processes, xi)?;
         for (p, faulty) in self.faulty.iter().enumerate() {
             if *faulty {
                 mon.mark_faulty(ProcessId(p));
             }
         }
-        for ev in &self.events {
+        let mut violation_at = None;
+        for (idx, ev) in self.events.iter().enumerate() {
             match ev.trigger {
                 None => {
                     mon.append_init(ev.process);
@@ -152,8 +178,14 @@ impl Trace {
                     mon.append_send(send_event, ev.process);
                 }
             }
+            if violation_at.is_none() && mon.violation().is_some() {
+                violation_at = Some(idx);
+                if stop_on_violation {
+                    break;
+                }
+            }
         }
-        Ok(mon)
+        Ok((mon, violation_at))
     }
 
     /// The real occurrence times of the graph events produced by

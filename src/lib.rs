@@ -14,6 +14,7 @@
 //! | [`models`] | Θ-Model, ParSync/DLS, Archimedean, FAR, MCM, MMR + separation scenarios |
 //! | [`clocksync`] | Algorithm 1 (Byzantine clock sync) + Algorithm 2 (lock-step rounds) |
 //! | [`fd`] | Fig. 3 ping-pong failure detection, Ω leader election |
+//! | [`harness`] | Parallel scenario-sweep engine, trace text serialization consumers, the `abc` CLI |
 //! | [`consensus`] | EIG + FloodSet consensus over lock-step rounds |
 //! | [`variants`] | ?ABC, ◇ABC, ?◇ABC weaker variants (Section 6) |
 //! | [`vlsi`] | Systems-on-Chip substrate (Section 5.3) |
@@ -28,6 +29,7 @@ pub use abc_clocksync as clocksync;
 pub use abc_consensus as consensus;
 pub use abc_core as core;
 pub use abc_fd as fd;
+pub use abc_harness as harness;
 pub use abc_lp as lp;
 pub use abc_models as models;
 pub use abc_rational as rational;
