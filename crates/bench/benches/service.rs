@@ -1,0 +1,70 @@
+//! Criterion benches for `abc-service`: loopback ingestion throughput,
+//! single-session and 8-session (sharded).
+//!
+//! Each iteration streams pre-generated clocksync trace documents into a
+//! running server and waits for the verdict — i.e. it measures the full
+//! pipeline: line assembly, streaming parse, incremental checking, and
+//! reply traffic. Divide events by the reported per-iteration time for
+//! events/s; `cargo run --release -p abc-bench --bin service_snapshot`
+//! writes the same measurement as `BENCH_service.json`.
+
+use abc_bench::workloads;
+use abc_core::Xi;
+use abc_service::client::{run_loadgen, LoadgenDoc};
+use abc_service::feed_stream_text;
+use abc_service::server::{start, ServerConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+/// Comfortable band: admissible at Ξ = 5, so the checker does real work on
+/// every event (no early latch-and-skip).
+fn docs(count: u64, events: usize) -> Vec<LoadgenDoc> {
+    (0..count)
+        .map(|s| {
+            let trace = workloads::clocksync_trace(4, 1, 1, 4, 100 + s, events);
+            LoadgenDoc {
+                label: format!("doc{s}"),
+                events: trace.events().len(),
+                expect: None,
+                text: trace.to_stream_text(),
+            }
+        })
+        .collect()
+}
+
+fn bench_service_ingest(c: &mut Criterion) {
+    let xi = Xi::from_integer(5);
+    let handle = start(ServerConfig {
+        shards: 4,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback server");
+    let addr = handle.addr().to_string();
+
+    let mut group = c.benchmark_group("service_ingest");
+    group.sample_size(10);
+
+    // One session, one 10k-event document per iteration.
+    let single = docs(1, 10_000);
+    group.bench_function("single_session_10k_events", |b| {
+        b.iter(|| {
+            let out = feed_stream_text(&addr, &xi, &single[0].text).expect("feed");
+            assert!(!out.verdict.is_violation());
+            out.oks
+        });
+    });
+
+    // Eight concurrent sessions, 8 × 10k events per iteration.
+    let eight = docs(8, 10_000);
+    group.bench_function("eight_sessions_80k_events", |b| {
+        b.iter(|| {
+            let report = run_loadgen(&addr, &xi, &eight, 8).expect("loadgen");
+            assert_eq!(report.violations, 0);
+            report.total_events
+        });
+    });
+    group.finish();
+    handle.join();
+}
+
+criterion_group!(benches, bench_service_ingest);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Measures `abc-service` loopback ingestion throughput and writes a
+//! `BENCH_service.json` snapshot (no serde — the JSON is assembled by
+//! hand), so the bench trajectory of the service is tracked in-repo.
+//!
+//! ```text
+//! cargo run --release -p abc-bench --bin service_snapshot [-- OUTPUT.json]
+//! ```
+
+use std::time::Instant;
+
+use abc_core::Xi;
+use abc_service::client::{run_loadgen, LoadgenDoc};
+use abc_service::feed_stream_text;
+use abc_service::server::{start, ServerConfig};
+
+fn docs(count: u64, events: usize) -> Vec<LoadgenDoc> {
+    (0..count)
+        .map(|s| {
+            let trace = abc_bench::workloads::clocksync_trace(4, 1, 1, 4, 100 + s, events);
+            LoadgenDoc {
+                label: format!("doc{s}"),
+                events: trace.events().len(),
+                expect: None,
+                text: trace.to_stream_text(),
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_service.json".to_string());
+    let xi = Xi::from_integer(5);
+    let handle = start(ServerConfig {
+        shards: 4,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback server");
+    let addr = handle.addr().to_string();
+
+    // Single session: one 10k-event document, best of 5 (after warm-up).
+    let single = docs(1, 10_000);
+    let _ = feed_stream_text(&addr, &xi, &single[0].text).expect("warm-up feed");
+    let mut best_single = f64::MAX;
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        let out = feed_stream_text(&addr, &xi, &single[0].text).expect("feed");
+        assert!(!out.verdict.is_violation());
+        best_single = best_single.min(t0.elapsed().as_secs_f64());
+    }
+    #[allow(clippy::cast_precision_loss)]
+    let single_eps = single[0].events as f64 / best_single;
+
+    // Eight concurrent sessions: 8 × 10k events, best of 3.
+    let eight = docs(8, 10_000);
+    let total_events: usize = eight.iter().map(|d| d.events).sum();
+    let _ = run_loadgen(&addr, &xi, &eight, 8).expect("warm-up loadgen");
+    let mut best_eight = f64::MAX;
+    let mut p50 = 0.0;
+    for _ in 0..3 {
+        let report = run_loadgen(&addr, &xi, &eight, 8).expect("loadgen");
+        assert_eq!(report.violations, 0);
+        let wall = report.wall.as_secs_f64();
+        if wall < best_eight {
+            best_eight = wall;
+            p50 = report.latency_percentiles.0.as_secs_f64() * 1e3;
+        }
+    }
+    #[allow(clippy::cast_precision_loss)]
+    let eight_eps = total_events as f64 / best_eight;
+
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let json = format!(
+        "{{\n  \"bench\": \"service\",\n  \"unit\": \"events_per_second\",\n  \
+         \"hardware_threads\": {cores},\n  \
+         \"single_session_events\": {},\n  \
+         \"single_session_events_per_sec\": {:.0},\n  \
+         \"eight_session_events\": {total_events},\n  \
+         \"eight_session_events_per_sec\": {:.0},\n  \
+         \"eight_session_doc_latency_p50_ms\": {:.2}\n}}\n",
+        single[0].events, single_eps, eight_eps, p50
+    );
+    std::fs::write(&out_path, &json).expect("write snapshot");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+    handle.join();
+}

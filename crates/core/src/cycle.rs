@@ -332,6 +332,117 @@ impl Cycle {
     }
 }
 
+/// Single-token wire rendering of a [`WitnessSummary`], for line-oriented
+/// protocols: no spaces, so a violation witness fits into one field of a
+/// reply line (`abc-service` replies `violation <seq> <wire>`). Produced by
+/// [`WitnessSummary::wire`], parsed back by [`WitnessSummary::from_wire`];
+/// the round trip is exact, so client and server can compare verdicts byte
+/// for byte.
+#[derive(Clone, Copy, Debug)]
+pub struct WireWitness<'a>(&'a WitnessSummary);
+
+impl fmt::Display for WireWitness<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.0;
+        let c = &s.classification;
+        write!(
+            f,
+            "zm={}/{};zl={}/{};rev={};rel={};steps={};path=",
+            c.backward_messages,
+            c.forward_messages,
+            c.backward_locals,
+            c.forward_locals,
+            u8::from(c.orientation_reversed),
+            u8::from(c.relevant),
+            s.steps,
+        )?;
+        for (i, p) in s.process_path.iter().enumerate() {
+            if i > 0 {
+                write!(f, ">")?;
+            }
+            write!(f, "{}", p.0)?;
+        }
+        Ok(())
+    }
+}
+
+impl WitnessSummary {
+    /// The compact single-token wire form (see [`WireWitness`]).
+    #[must_use]
+    pub fn wire(&self) -> WireWitness<'_> {
+        WireWitness(self)
+    }
+
+    /// Parses the wire form produced by [`WitnessSummary::wire`].
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message on any malformed field.
+    pub fn from_wire(s: &str) -> Result<WitnessSummary, String> {
+        let mut fields: std::collections::HashMap<&str, &str> = std::collections::HashMap::new();
+        for part in s.split(';') {
+            let (k, v) = part
+                .split_once('=')
+                .ok_or_else(|| format!("witness wire form: expected key=value, got {part:?}"))?;
+            if fields.insert(k, v).is_some() {
+                return Err(format!("witness wire form: duplicate key {k:?}"));
+            }
+        }
+        let get = |k: &str| {
+            fields
+                .get(k)
+                .copied()
+                .ok_or_else(|| format!("witness wire form: missing key {k:?}"))
+        };
+        let pair = |k: &str| -> Result<(usize, usize), String> {
+            let v = get(k)?;
+            let (a, b) = v
+                .split_once('/')
+                .ok_or_else(|| format!("witness wire form: {k} expects a/b, got {v:?}"))?;
+            Ok((
+                a.parse().map_err(|e| format!("{k}: {e}"))?,
+                b.parse().map_err(|e| format!("{k}: {e}"))?,
+            ))
+        };
+        let flag = |k: &str| -> Result<bool, String> {
+            match get(k)? {
+                "0" => Ok(false),
+                "1" => Ok(true),
+                other => Err(format!("witness wire form: {k} expects 0/1, got {other:?}")),
+            }
+        };
+        let (backward_messages, forward_messages) = pair("zm")?;
+        let (backward_locals, forward_locals) = pair("zl")?;
+        let orientation_reversed = flag("rev")?;
+        let relevant = flag("rel")?;
+        let steps: usize = get("steps")?.parse().map_err(|e| format!("steps: {e}"))?;
+        let path_field = get("path")?;
+        let mut process_path = Vec::new();
+        if !path_field.is_empty() {
+            for p in path_field.split('>') {
+                process_path.push(crate::graph::ProcessId(
+                    p.parse().map_err(|e| format!("path: {e}"))?,
+                ));
+            }
+        }
+        if fields.len() != 6 {
+            return Err("witness wire form: unexpected extra keys".into());
+        }
+        Ok(WitnessSummary {
+            classification: Classification {
+                backward_messages,
+                forward_messages,
+                backward_locals,
+                forward_locals,
+                orientation_reversed,
+                relevant,
+            },
+            process_path,
+            steps,
+        })
+    }
+}
+
 impl fmt::Display for WitnessSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let c = &self.classification;
@@ -558,6 +669,22 @@ mod tests {
         assert_eq!(c.forward_messages, 0);
         assert_eq!(c.ratio(), None);
         assert!(!c.violates(&Xi::from_integer(2)));
+    }
+
+    #[test]
+    fn witness_wire_form_round_trips_exactly() {
+        let (g, cycle) = fig1();
+        let summary = cycle.summarize(&g);
+        let wire = summary.wire().to_string();
+        assert!(!wire.contains(' '), "wire form must be one token: {wire}");
+        let parsed = WitnessSummary::from_wire(&wire).unwrap();
+        assert_eq!(parsed, summary);
+        assert_eq!(parsed.wire().to_string(), wire);
+        // Malformed inputs are rejected with a useful message.
+        assert!(WitnessSummary::from_wire("").is_err());
+        assert!(WitnessSummary::from_wire("zm=1/2").is_err(), "missing keys");
+        assert!(WitnessSummary::from_wire(&wire.replace("rel=1", "rel=7")).is_err());
+        assert!(WitnessSummary::from_wire(&format!("{wire};zz=1")).is_err());
     }
 
     #[test]

@@ -1,4 +1,6 @@
-//! The `abc` command line: `sweep`, `check`, `monitor`, `replay`, `list`.
+//! The `abc` command line: `sweep`, `check`, `monitor`, `replay`, `list`,
+//! plus the networked `serve`, `feed`, and `loadgen` (thin drivers over
+//! the `abc-service` crate).
 //!
 //! Argument parsing is hand-rolled (no external deps); every subcommand is
 //! a pure function from parsed arguments to an exit code, so the whole CLI
@@ -35,6 +37,12 @@ USAGE:
   abc monitor FILE --xi XI
   abc replay  FILE
   abc list
+  abc serve   [--addr A] [--status-addr A] [--shards N] [--xi XI]
+              [--max-line BYTES] [--max-processes N]
+  abc feed    FILE --addr A --xi XI
+  abc loadgen --addr A [--connections C] [--traces N] [--preset NAME]
+              [--delay SPEC] [--xi XI] [--max-events E] [--seed S]
+              [--verify BOOL]
 
 DELAY SPECS (numeric fields accept `v` or `from..to..step` grids):
   fixed:D | band:LO:HI | growing:LO:HI:TAU | span:LO:HI:VICTIM
@@ -42,13 +50,13 @@ DELAY SPECS (numeric fields accept `v` or `from..to..step` grids):
 EXIT CODES: 0 admissible/ok, 1 usage or input error, 2 violation found.";
 
 /// Parsed flags: `--key value` pairs (repeatable) plus positionals.
-struct Args {
-    positional: Vec<String>,
+pub(crate) struct Args {
+    pub(crate) positional: Vec<String>,
     flags: HashMap<String, Vec<String>>,
 }
 
 impl Args {
-    fn parse(args: &[String]) -> Result<Args, String> {
+    pub(crate) fn parse(args: &[String]) -> Result<Args, String> {
         let mut positional = Vec::new();
         let mut flags: HashMap<String, Vec<String>> = HashMap::new();
         let mut it = args.iter();
@@ -72,14 +80,14 @@ impl Args {
         Ok(Args { positional, flags })
     }
 
-    fn no_positionals(&self) -> Result<(), String> {
+    pub(crate) fn no_positionals(&self) -> Result<(), String> {
         match self.positional.first() {
             None => Ok(()),
             Some(p) => Err(format!("unexpected argument {p:?}")),
         }
     }
 
-    fn one(&self, key: &str) -> Result<Option<&str>, String> {
+    pub(crate) fn one(&self, key: &str) -> Result<Option<&str>, String> {
         match self.flags.get(key).map(Vec::as_slice) {
             None => Ok(None),
             Some([v]) => Ok(Some(v)),
@@ -87,15 +95,15 @@ impl Args {
         }
     }
 
-    fn required(&self, key: &str) -> Result<&str, String> {
+    pub(crate) fn required(&self, key: &str) -> Result<&str, String> {
         self.one(key)?.ok_or_else(|| format!("--{key} is required"))
     }
 
-    fn many(&self, key: &str) -> &[String] {
+    pub(crate) fn many(&self, key: &str) -> &[String] {
         self.flags.get(key).map_or(&[], Vec::as_slice)
     }
 
-    fn parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String>
+    pub(crate) fn parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String>
     where
         T::Err: std::fmt::Display,
     {
@@ -105,7 +113,7 @@ impl Args {
         }
     }
 
-    fn known(&self, allowed: &[&str]) -> Result<(), String> {
+    pub(crate) fn known(&self, allowed: &[&str]) -> Result<(), String> {
         for key in self.flags.keys() {
             if !allowed.contains(&key.as_str()) {
                 return Err(format!("unknown flag --{key}"));
@@ -133,6 +141,9 @@ pub fn run(args: &[String]) -> Result<i32, String> {
         "monitor" => cmd_monitor(&Args::parse(rest)?),
         "replay" => cmd_replay(&Args::parse(rest)?),
         "list" => cmd_list(&Args::parse(rest)?),
+        "serve" => crate::cli_service::cmd_serve(&Args::parse(rest)?),
+        "feed" => crate::cli_service::cmd_feed(&Args::parse(rest)?),
+        "loadgen" => crate::cli_service::cmd_loadgen(&Args::parse(rest)?),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(EXIT_OK)
@@ -293,9 +304,18 @@ fn cmd_sweep(args: &Args) -> Result<i32, String> {
     })
 }
 
-fn read_trace(path: &str) -> Result<Trace, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    Trace::from_text(&text).map_err(|e| format!("{path}: {e}"))
+pub(crate) fn read_trace(path: &str) -> Result<Trace, String> {
+    // Streamed line-by-line through the incremental parser: the file text
+    // is never held whole, and a corrupt/oversized line fails at the line
+    // cap instead of after an unbounded read. The file cap is far above
+    // the wire default because a legal `faulty` line grows with the
+    // process count (~8 bytes per faulty index): 64 MiB admits every
+    // trace the serializer itself can produce for millions of processes,
+    // while still bounding memory against a corrupt newline-free file.
+    const FILE_MAX_LINE_LEN: usize = 64 * 1024 * 1024;
+    let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    Trace::from_reader(std::io::BufReader::new(file), FILE_MAX_LINE_LEN)
+        .map_err(|e| format!("{path}: {e}"))
 }
 
 fn trace_file_arg(args: &Args) -> Result<&str, String> {

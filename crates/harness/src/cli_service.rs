@@ -1,0 +1,168 @@
+//! The networked `abc` subcommands: `serve`, `feed`, and `loadgen`
+//! (thin drivers over `abc-service`).
+
+use std::time::Duration;
+
+use abc_core::Xi;
+use abc_service::client::{feed_stream_text, run_loadgen, LoadgenDoc};
+use abc_service::proto::offline_verdict;
+use abc_service::server::{start, ServerConfig};
+use abc_service::signals;
+use abc_sim::textio::DEFAULT_MAX_LINE_LEN;
+
+use crate::cli::{Args, EXIT_OK, EXIT_VIOLATION};
+use crate::spec::ScenarioSpec;
+use crate::sweep::generate_trace;
+
+pub(crate) fn cmd_serve(args: &Args) -> Result<i32, String> {
+    args.known(&[
+        "addr",
+        "status-addr",
+        "shards",
+        "xi",
+        "max-line",
+        "max-processes",
+    ])?;
+    args.no_positionals()?;
+    let config = ServerConfig {
+        addr: args.one("addr")?.unwrap_or("127.0.0.1:7431").to_string(),
+        status_addr: args
+            .one("status-addr")?
+            .unwrap_or("127.0.0.1:0")
+            .to_string(),
+        shards: args.parsed(
+            "shards",
+            std::thread::available_parallelism().map_or(2, |n| n.get().min(4)),
+        )?,
+        xi: args
+            .one("xi")?
+            .map_or_else(|| Ok(Xi::from_integer(2)), str::parse)?,
+        max_line_len: args.parsed("max-line", DEFAULT_MAX_LINE_LEN)?,
+        max_processes: args.parsed("max-processes", 10_000usize)?,
+    };
+    let shards = config.shards;
+    let xi = config.xi.clone();
+    let handle = start(config).map_err(|e| format!("starting server: {e}"))?;
+    println!(
+        "abc-service listening on {} (shards={shards}, default xi={xi})",
+        handle.addr()
+    );
+    println!(
+        "status/control on {} (commands: metrics, shutdown)",
+        handle.status_addr()
+    );
+    signals::install_sigint_handler();
+    loop {
+        if signals::sigint_seen() || handle.is_stopping() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    println!("shutting down…");
+    let snapshot = handle.metrics().render();
+    handle.join();
+    print!("{snapshot}");
+    Ok(EXIT_OK)
+}
+
+pub(crate) fn cmd_feed(args: &Args) -> Result<i32, String> {
+    args.known(&["addr", "xi"])?;
+    let addr = args.required("addr")?;
+    let xi: Xi = args.required("xi")?.parse()?;
+    let [file] = args.positional.as_slice() else {
+        return Err("expected exactly one trace file argument".into());
+    };
+    let trace = crate::cli::read_trace(file)?;
+    let events = trace.events().len();
+    let outcome = feed_stream_text(addr, &xi, &trace.to_stream_text())?;
+    println!(
+        "{file}: streamed {events} events / {} messages to {addr} in {:?} ({} acks)",
+        trace.messages().len(),
+        outcome.latency,
+        outcome.oks,
+    );
+    println!("verdict: {}", outcome.verdict);
+    Ok(if outcome.verdict.is_violation() {
+        EXIT_VIOLATION
+    } else {
+        EXIT_OK
+    })
+}
+
+pub(crate) fn cmd_loadgen(args: &Args) -> Result<i32, String> {
+    args.known(&[
+        "addr",
+        "connections",
+        "traces",
+        "preset",
+        "delay",
+        "xi",
+        "max-events",
+        "seed",
+        "verify",
+    ])?;
+    args.no_positionals()?;
+    let addr = args.required("addr")?;
+    let connections = args.parsed("connections", 8usize)?;
+    let traces = args.parsed("traces", 16usize)?.max(1);
+    let verify = args.parsed("verify", true)?;
+    let seed = args.parsed("seed", 42u64)?;
+
+    let preset_name = args.one("preset")?.unwrap_or("quartet");
+    let preset = abc_clocksync::presets::by_name(preset_name)
+        .ok_or_else(|| format!("unknown preset {preset_name:?} (see `abc list`)"))?;
+    let mut spec = ScenarioSpec::from_preset(preset, 1, seed);
+    if let Some(delay) = args.one("delay")? {
+        spec.delay = delay.parse()?;
+    }
+    if let Some(xi) = args.one("xi")? {
+        spec.xi = xi.parse()?;
+    }
+    spec.limits.max_events = args.parsed("max-events", 2_000usize)?;
+    let points = spec.delay.points();
+    if points.is_empty() {
+        return Err("delay sweep has no grid points".into());
+    }
+    spec.runs_per_point = traces.div_ceil(points.len());
+    spec.validate()?;
+
+    println!(
+        "generating {traces} trace(s): preset={preset_name} delay grid {} point(s), \
+         xi={}, max-events={}",
+        points.len(),
+        spec.xi,
+        spec.limits.max_events
+    );
+    let docs: Vec<LoadgenDoc> = (0..traces)
+        .map(|i| {
+            let (trace, _) = generate_trace(&spec, &points, i);
+            let expect = if verify {
+                Some(offline_verdict(&trace, &spec.xi)?)
+            } else {
+                None
+            };
+            Ok(LoadgenDoc {
+                label: format!("run{i}"),
+                events: trace.events().len(),
+                expect,
+                text: trace.to_stream_text(),
+            })
+        })
+        .collect::<Result<_, String>>()?;
+
+    let report = run_loadgen(addr, &spec.xi, &docs, connections)?;
+    print!("{}", report.render());
+    if verify {
+        if report.mismatches > 0 {
+            return Err(format!(
+                "{} verdict(s) diverged from the offline monitor — server bug",
+                report.mismatches
+            ));
+        }
+        println!(
+            "verified: all {} verdicts byte-identical to the offline monitor",
+            report.outcomes.len()
+        );
+    }
+    Ok(EXIT_OK)
+}

@@ -17,7 +17,10 @@
 //!   wall-clock);
 //! * the `abc` binary ([`cli`]) — `sweep`, `check`, `monitor`, and
 //!   `replay` subcommands over the line-oriented trace text format
-//!   (`abc_sim::textio`).
+//!   (`abc_sim::textio`), plus the networked `serve` / `feed` / `loadgen`
+//!   subcommands driving the `abc-service` TCP ingestion server
+//!   ([`sweep::generate_trace`] supplies loadgen's sweep-generated
+//!   workloads).
 //!
 //! # Sweep axes and the paper's adversary
 //!
@@ -67,8 +70,9 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+mod cli_service;
 pub mod spec;
 pub mod sweep;
 
 pub use spec::{DelayPoint, DelaySweep, FaultPlan, Grid, Protocol, ScenarioSpec};
-pub use sweep::{run_sweep, RunOutcome, SweepOptions, SweepReport, ViolationInfo};
+pub use sweep::{generate_trace, run_sweep, RunOutcome, SweepOptions, SweepReport, ViolationInfo};

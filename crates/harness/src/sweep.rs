@@ -307,15 +307,19 @@ fn spawn_gossip(
     }
 }
 
-/// Executes run `run_index` of the sweep: builds the seeded delay model and
-/// process set, simulates, and monitors the trace against the spec's `Ξ`.
-#[must_use]
-pub fn run_one(
+/// Builds the seeded delay model and process set for run `run_index` and
+/// simulates it, returning the simulation (trace inside), the engine
+/// stats, and the per-run seed. The deterministic substrate shared by
+/// [`run_one`] and [`generate_trace`].
+fn simulate_run(
     spec: &ScenarioSpec,
     points: &[DelayPoint],
     run_index: usize,
-    keep_violating_trace: bool,
-) -> RunOutcome {
+) -> (
+    Simulation<u64, abc_sim::delay::Lossy<crate::spec::BuiltDelay>>,
+    RunStats,
+    u64,
+) {
     let point_index = run_index / spec.runs_per_point;
     let point = &points[point_index];
     // Stream-split: run i's randomness is independent of every other run's
@@ -328,6 +332,34 @@ pub fn run_one(
         Protocol::Gossip { n, budget } => spawn_gossip(&mut sim, n, budget, spec),
     }
     let stats = sim.run(spec.limits);
+    (sim, stats, seed)
+}
+
+/// Simulates run `run_index` of the sweep and returns its full trace plus
+/// engine stats — the workload generator behind `abc loadgen`, which
+/// replays sweep-generated traces against a running `abc-service` instead
+/// of monitoring them in-process.
+#[must_use]
+pub fn generate_trace(
+    spec: &ScenarioSpec,
+    points: &[DelayPoint],
+    run_index: usize,
+) -> (Trace, RunStats) {
+    let (sim, stats, _) = simulate_run(spec, points, run_index);
+    (sim.into_trace(), stats)
+}
+
+/// Executes run `run_index` of the sweep: builds the seeded delay model and
+/// process set, simulates, and monitors the trace against the spec's `Ξ`.
+#[must_use]
+pub fn run_one(
+    spec: &ScenarioSpec,
+    points: &[DelayPoint],
+    run_index: usize,
+    keep_violating_trace: bool,
+) -> RunOutcome {
+    let point_index = run_index / spec.runs_per_point;
+    let (sim, stats, seed) = simulate_run(spec, points, run_index);
     let trace = sim.trace();
     let violation = monitor_trace(trace, &spec.xi)
         .expect("Xi monitorability is validated before the sweep starts")

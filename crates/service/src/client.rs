@@ -1,0 +1,315 @@
+//! Client helpers: stream a trace document to a server (`abc feed`) and
+//! the multi-connection load generator (`abc loadgen`).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use abc_core::Xi;
+
+use crate::proto::{Reply, Verdict, GREETING};
+
+/// The outcome of feeding one trace document.
+#[derive(Clone, Debug)]
+pub struct FeedOutcome {
+    /// Final verdict (rendered byte-identically to the offline monitor's).
+    pub verdict: Verdict,
+    /// Per-event `ok` replies received before the verdict (equals the
+    /// event count for admissible documents).
+    pub oks: usize,
+    /// Time from first byte written to verdict received.
+    pub latency: Duration,
+}
+
+fn connect(addr: &str) -> Result<TcpStream, String> {
+    let mut last = None;
+    let addrs = addr.to_socket_addrs().map_err(|e| format!("{addr}: {e}"))?;
+    for a in addrs {
+        match TcpStream::connect_timeout(&a, Duration::from_secs(5)) {
+            Ok(s) => return Ok(s),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(match last {
+        Some(e) => format!("{addr}: {e}"),
+        None => format!("{addr}: no addresses resolved"),
+    })
+}
+
+fn read_greeting(reader: &mut impl BufRead, addr: &str) -> Result<(), String> {
+    let mut greeting = String::new();
+    reader
+        .read_line(&mut greeting)
+        .map_err(|e| format!("{addr}: reading greeting: {e}"))?;
+    if greeting.trim_end() != GREETING {
+        return Err(format!(
+            "{addr}: unexpected greeting {:?} (not an abc-service?)",
+            greeting.trim_end()
+        ));
+    }
+    Ok(())
+}
+
+/// Streams one document (already in stream order, e.g. from
+/// [`abc_sim::Trace::to_stream_text`]) over an open connection and reads
+/// replies until the verdict. The document is written from a companion
+/// thread while replies are drained concurrently, so arbitrarily large
+/// documents cannot deadlock on filled socket buffers.
+fn feed_document(
+    stream: &TcpStream,
+    reader: &mut impl BufRead,
+    doc: &str,
+) -> Result<FeedOutcome, String> {
+    let started = Instant::now();
+    let (verdict, oks) = std::thread::scope(|scope| -> Result<(Verdict, usize), String> {
+        let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+        let writer_thread = scope.spawn(move || -> Result<(), String> {
+            writer
+                .write_all(doc.as_bytes())
+                .map_err(|e| format!("writing document: {e}"))?;
+            writer.flush().map_err(|e| format!("flush: {e}"))
+        });
+        let mut line = String::new();
+        let mut oks = 0usize;
+        let verdict = loop {
+            line.clear();
+            let n = reader
+                .read_line(&mut line)
+                .map_err(|e| format!("reading reply: {e}"))?;
+            if n == 0 {
+                return Err("server closed the connection before a verdict".into());
+            }
+            match Reply::parse(&line)? {
+                Reply::Ok { .. } => oks += 1,
+                Reply::Violation { .. } => {}
+                Reply::End(v) => break v,
+                Reply::Error { message } => return Err(format!("server error: {message}")),
+            }
+        };
+        writer_thread
+            .join()
+            .map_err(|_| "writer thread panicked".to_string())??;
+        Ok((verdict, oks))
+    })?;
+    Ok(FeedOutcome {
+        verdict,
+        oks,
+        latency: started.elapsed(),
+    })
+}
+
+/// Connects to `addr`, selects `xi`, streams one document, and returns
+/// the verdict — the library behind `abc feed`.
+///
+/// # Errors
+///
+/// Connection, protocol, or server-reported errors as readable text.
+pub fn feed_stream_text(addr: &str, xi: &Xi, doc: &str) -> Result<FeedOutcome, String> {
+    let stream = connect(addr)?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    read_greeting(&mut reader, addr)?;
+    {
+        let mut w = &stream;
+        w.write_all(format!("xi {xi}\n").as_bytes())
+            .map_err(|e| format!("writing xi: {e}"))?;
+    }
+    feed_document(&stream, &mut reader, doc)
+}
+
+/// One document of a load-generation run.
+#[derive(Clone, Debug)]
+pub struct LoadgenDoc {
+    /// Display label (e.g. the generating run index).
+    pub label: String,
+    /// Stream-ordered document text.
+    pub text: String,
+    /// Events in the document (for throughput accounting).
+    pub events: usize,
+    /// The expected verdict, if the caller wants byte-verification.
+    pub expect: Option<Verdict>,
+}
+
+/// Per-document result.
+#[derive(Clone, Debug)]
+pub struct DocOutcome {
+    /// Index into the submitted document list.
+    pub doc_index: usize,
+    /// Which connection carried it.
+    pub connection: usize,
+    /// Events ingested.
+    pub events: usize,
+    /// The server's verdict.
+    pub verdict: Verdict,
+    /// Submit-to-verdict latency.
+    pub latency: Duration,
+}
+
+/// Aggregate load-generation report.
+#[derive(Clone, Debug)]
+pub struct LoadgenReport {
+    /// Per-document outcomes, in document order.
+    pub outcomes: Vec<DocOutcome>,
+    /// Total events ingested.
+    pub total_events: usize,
+    /// Documents whose verdict was a violation.
+    pub violations: usize,
+    /// Documents whose verdict mismatched the expectation (0 unless
+    /// expectations were provided).
+    pub mismatches: usize,
+    /// Wall clock of the whole run.
+    pub wall: Duration,
+    /// Aggregate throughput in events/second.
+    pub events_per_sec: f64,
+    /// Latency percentiles over documents: (p50, p90, p99, max).
+    pub latency_percentiles: (Duration, Duration, Duration, Duration),
+}
+
+impl LoadgenReport {
+    fn percentile(sorted: &[Duration], p: f64) -> Duration {
+        if sorted.is_empty() {
+            return Duration::ZERO;
+        }
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+        sorted[idx.min(sorted.len() - 1)]
+    }
+
+    /// Renders the human-readable report body.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let (p50, p90, p99, max) = self.latency_percentiles;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "loadgen: {} documents, {} events over {:?}",
+            self.outcomes.len(),
+            self.total_events,
+            self.wall
+        );
+        let _ = writeln!(out, "throughput: {:.0} events/s", self.events_per_sec);
+        let _ = writeln!(
+            out,
+            "doc latency: p50={p50:?} p90={p90:?} p99={p99:?} max={max:?}"
+        );
+        let _ = writeln!(
+            out,
+            "verdicts: {} violation(s), {} mismatch(es)",
+            self.violations, self.mismatches
+        );
+        out
+    }
+}
+
+/// Replays `docs` over `connections` persistent connections (each worker
+/// claims documents from a shared queue and streams them back to back on
+/// one connection) and aggregates throughput and latency percentiles.
+///
+/// # Errors
+///
+/// The first connection/protocol error any worker hits.
+pub fn run_loadgen(
+    addr: &str,
+    xi: &Xi,
+    docs: &[LoadgenDoc],
+    connections: usize,
+) -> Result<LoadgenReport, String> {
+    let connections = connections.max(1).min(docs.len().max(1));
+    let next = AtomicUsize::new(0);
+    let started = Instant::now();
+    let results: Vec<Result<Vec<DocOutcome>, String>> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for conn_idx in 0..connections {
+            let next = &next;
+            handles.push(scope.spawn(move || -> Result<Vec<DocOutcome>, String> {
+                let stream = connect(addr)?;
+                let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+                read_greeting(&mut reader, addr)?;
+                {
+                    let mut w = &stream;
+                    w.write_all(format!("xi {xi}\n").as_bytes())
+                        .map_err(|e| format!("writing xi: {e}"))?;
+                }
+                let mut outcomes = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= docs.len() {
+                        break;
+                    }
+                    let doc = &docs[i];
+                    let fed = feed_document(&stream, &mut reader, &doc.text)
+                        .map_err(|e| format!("document {}: {e}", doc.label))?;
+                    outcomes.push(DocOutcome {
+                        doc_index: i,
+                        connection: conn_idx,
+                        events: doc.events,
+                        verdict: fed.verdict,
+                        latency: fed.latency,
+                    });
+                }
+                Ok(outcomes)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loadgen worker panicked"))
+            .collect()
+    });
+    let wall = started.elapsed();
+
+    let mut outcomes = Vec::new();
+    for r in results {
+        outcomes.extend(r?);
+    }
+    outcomes.sort_by_key(|o| o.doc_index);
+    let total_events: usize = outcomes.iter().map(|o| o.events).sum();
+    let violations = outcomes.iter().filter(|o| o.verdict.is_violation()).count();
+    let mismatches = outcomes
+        .iter()
+        .filter(|o| {
+            docs[o.doc_index]
+                .expect
+                .as_ref()
+                .is_some_and(|want| want.to_string() != o.verdict.to_string())
+        })
+        .count();
+    let mut latencies: Vec<Duration> = outcomes.iter().map(|o| o.latency).collect();
+    latencies.sort();
+    #[allow(clippy::cast_precision_loss)]
+    let events_per_sec = total_events as f64 / wall.as_secs_f64().max(1e-9);
+    Ok(LoadgenReport {
+        latency_percentiles: (
+            LoadgenReport::percentile(&latencies, 0.50),
+            LoadgenReport::percentile(&latencies, 0.90),
+            LoadgenReport::percentile(&latencies, 0.99),
+            latencies.last().copied().unwrap_or(Duration::ZERO),
+        ),
+        outcomes,
+        total_events,
+        violations,
+        mismatches,
+        wall,
+        events_per_sec,
+    })
+}
+
+/// Sends one command to a status port and returns the response body —
+/// `metrics` for the status page, `shutdown` for graceful stop.
+///
+/// # Errors
+///
+/// Connection or I/O errors as readable text.
+pub fn status_command(status_addr: &str, command: &str) -> Result<String, String> {
+    let mut stream = connect(status_addr)?;
+    stream
+        .write_all(format!("{command}\n").as_bytes())
+        .map_err(|e| e.to_string())?;
+    // Half-close so the server sees EOF even if it reads past the line.
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut body = String::new();
+    stream
+        .read_to_string(&mut body)
+        .map_err(|e| e.to_string())?;
+    Ok(body)
+}

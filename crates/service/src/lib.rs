@@ -1,0 +1,65 @@
+//! `abc-service` — a sharded TCP trace-ingestion service with live ABC
+//! monitoring.
+//!
+//! PR 2 made the ABC synchrony condition (Definition 4) checkable *online*
+//! — [`abc_core::monitor::IncrementalChecker`] re-checks per appended event
+//! at amortized near-zero cost — and the trace text format gave executions
+//! a portable line serialization. This crate closes the loop the paper's
+//! Section 5.3 motivates for DARTS-style VLSI clock monitoring and that
+//! Fig. 3's failure-detection loop sketches at system scale: a
+//! **long-running service** that ingests event streams from many concurrent
+//! clients over TCP and flags `Ξ`-violations the moment the closing event
+//! of a violating relevant cycle arrives, instead of after-the-fact batch
+//! audits.
+//!
+//! Std-only by design (the build environment has no crates.io access — no
+//! tokio, no mio): a listener thread accepts connections and hands each to
+//! one of a fixed pool of **shard workers** (connection id → shard over
+//! `std::sync::mpsc`); each worker drives its sessions with non-blocking
+//! reads/writes. A session speaks the `abc-trace v1` line grammar in
+//! streaming order ([`abc_sim::Trace::to_stream_text`]), parsed by
+//! [`abc_sim::textio::TraceLineParser`] in its O(in-flight) streaming mode
+//! and fed line-by-line into a per-document [`IncrementalChecker`] — server
+//! memory is O(sessions + in-flight line + open documents), never
+//! O(connection lifetime), and the text of a document is never buffered.
+//! Replies are `ok <seq>` / `violation <seq> <witness>` per event and
+//! `end <verdict>` per document ([`proto`]); a plaintext status port
+//! serves aggregate counters ([`metrics::Metrics`]) and accepts a
+//! `shutdown` command; SIGINT triggers the same graceful stop
+//! ([`signals`]).
+//!
+//! | Module | Contents |
+//! |---|---|
+//! | [`server`] | [`server::start`], [`server::ServerConfig`], shard workers, status port |
+//! | [`session`] | (internal) per-connection state machine |
+//! | [`proto`] | wire protocol: replies, [`proto::Verdict`], [`proto::offline_verdict`] |
+//! | [`client`] | [`client::feed_stream_text`] (`abc feed`), [`client::run_loadgen`] (`abc loadgen`), [`client::status_command`] |
+//! | [`metrics`] | aggregate counters + status-page rendering |
+//! | [`signals`] | SIGINT → stop-flag hook |
+//!
+//! The `abc` CLI (in `abc-harness`) exposes all of it: `abc serve`,
+//! `abc feed`, `abc loadgen`.
+//!
+//! # Verdict fidelity
+//!
+//! The server's verdict for a document is **byte-identical** to what the
+//! offline monitor (`abc monitor`) reaches on the same trace:
+//! [`proto::offline_verdict`] and the server render through the same
+//! [`proto::Verdict`] type, and the integration tests assert equality over
+//! concurrent multi-client runs. Admissibility is decided by the same
+//! latched incremental checker in both places — the service adds
+//! transport, sharding, and observability, not a second opinion.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod metrics;
+pub mod proto;
+pub mod server;
+mod session;
+pub mod signals;
+
+pub use client::{feed_stream_text, run_loadgen, LoadgenDoc, LoadgenReport};
+pub use proto::{offline_verdict, Reply, Verdict};
+pub use server::{start, ServerConfig, ServerHandle};

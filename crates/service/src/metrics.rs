@@ -1,0 +1,108 @@
+//! Aggregate service counters, exported on the status port as plaintext.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Monotonic counters shared by every thread of the service. All updates
+/// are relaxed atomics — the status page is a snapshot, not a transaction.
+#[derive(Debug)]
+pub struct Metrics {
+    started: Instant,
+    /// Connections accepted over the server's lifetime.
+    pub sessions_opened: AtomicU64,
+    /// Connections fully closed.
+    pub sessions_closed: AtomicU64,
+    /// Trace documents ingested to their `end` line.
+    pub documents: AtomicU64,
+    /// Events ingested (across all sessions and documents).
+    pub events: AtomicU64,
+    /// Documents whose monitor latched a violation.
+    pub violations: AtomicU64,
+    /// Connections terminated by a protocol/parse error.
+    pub parse_errors: AtomicU64,
+    /// Raw bytes read from data sockets.
+    pub bytes_in: AtomicU64,
+    /// Raw reply bytes written to data sockets.
+    pub bytes_out: AtomicU64,
+}
+
+impl Metrics {
+    /// Fresh counters; `started` is now.
+    #[must_use]
+    pub fn new() -> Metrics {
+        Metrics {
+            started: Instant::now(),
+            sessions_opened: AtomicU64::new(0),
+            sessions_closed: AtomicU64::new(0),
+            documents: AtomicU64::new(0),
+            events: AtomicU64::new(0),
+            violations: AtomicU64::new(0),
+            parse_errors: AtomicU64::new(0),
+            bytes_in: AtomicU64::new(0),
+            bytes_out: AtomicU64::new(0),
+        }
+    }
+
+    /// Currently open sessions.
+    #[must_use]
+    pub fn sessions_active(&self) -> u64 {
+        self.sessions_opened
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.sessions_closed.load(Ordering::Relaxed))
+    }
+
+    /// Renders the plaintext status-page body: one `key value` pair per
+    /// line, Prometheus-style names.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let uptime = self.started.elapsed();
+        let events = self.events.load(Ordering::Relaxed);
+        let secs = uptime.as_secs_f64().max(1e-9);
+        let mut out = String::new();
+        let mut kv = |k: &str, v: u64| {
+            let _ = writeln!(out, "abc_service_{k} {v}");
+        };
+        kv("uptime_seconds", uptime.as_secs());
+        kv("sessions_active", self.sessions_active());
+        kv(
+            "sessions_total",
+            self.sessions_opened.load(Ordering::Relaxed),
+        );
+        kv("documents_total", self.documents.load(Ordering::Relaxed));
+        kv("events_total", events);
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        kv("events_per_second_avg", (events as f64 / secs) as u64);
+        kv("violations_total", self.violations.load(Ordering::Relaxed));
+        kv(
+            "parse_errors_total",
+            self.parse_errors.load(Ordering::Relaxed),
+        );
+        kv("bytes_in_total", self.bytes_in.load(Ordering::Relaxed));
+        kv("bytes_out_total", self.bytes_out.load(Ordering::Relaxed));
+        out
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Metrics {
+        Metrics::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_lists_all_counters() {
+        let m = Metrics::new();
+        m.sessions_opened.store(3, Ordering::Relaxed);
+        m.sessions_closed.store(1, Ordering::Relaxed);
+        m.events.store(42, Ordering::Relaxed);
+        let text = m.render();
+        assert!(text.contains("abc_service_sessions_active 2"), "{text}");
+        assert!(text.contains("abc_service_events_total 42"), "{text}");
+        assert!(text.contains("abc_service_parse_errors_total 0"), "{text}");
+    }
+}

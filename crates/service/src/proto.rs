@@ -1,0 +1,210 @@
+//! The `abc-service` wire protocol: line-oriented requests and replies.
+//!
+//! A client session speaks the `abc-trace v1` grammar of
+//! [`abc_sim::textio`] in **streaming order** (each delivered message's
+//! `m` line immediately precedes its receive `e` line — exactly what
+//! [`abc_sim::Trace::to_stream_text`] emits), optionally preceded by an
+//! `xi P/Q` line selecting the monitored synchrony parameter for the
+//! documents that follow. One connection may carry any number of trace
+//! documents back to back; each gets a fresh incremental checker.
+//!
+//! Server → client, one line per request line that warrants one:
+//!
+//! * `ok <seq>` — event `<seq>` ingested, execution still admissible;
+//! * `violation <seq> <witness>` — event `<seq>` ingested and the session
+//!   is latched violating (`<witness>` is the single-token
+//!   [`abc_core::cycle::WireWitness`] form; after the latch every further
+//!   event echoes the same latched violation);
+//! * `end <verdict>` — document complete (see [`Verdict`]);
+//! * `error line <n>: <message>` — protocol violation; the connection
+//!   closes after the reply, the server stays up.
+//!
+//! The greeting `abc-service v1` is sent once per connection.
+
+use std::fmt;
+use std::str::FromStr;
+
+use abc_core::cycle::WitnessSummary;
+use abc_core::Xi;
+use abc_sim::Trace;
+
+/// Protocol version announced in the per-connection greeting.
+pub const PROTOCOL_VERSION: &str = "v1";
+
+/// The per-connection greeting line.
+pub const GREETING: &str = "abc-service v1";
+
+/// The final verdict of one ingested trace document — rendered identically
+/// by the server (`end <verdict>` reply), the `abc feed` client, and the
+/// offline monitor ([`offline_verdict`]), so "byte-identical verdicts"
+/// is a meaningful, testable property.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Every appended event kept the execution admissible.
+    Admissible {
+        /// Number of events ingested.
+        events: usize,
+    },
+    /// The monitor latched a violating relevant cycle.
+    Violation {
+        /// Index of the trace event whose append closed the first
+        /// violating cycle.
+        at_event: usize,
+        /// The witness summary.
+        witness: WitnessSummary,
+    },
+}
+
+impl Verdict {
+    /// Whether this verdict is a violation.
+    #[must_use]
+    pub fn is_violation(&self) -> bool {
+        matches!(self, Verdict::Violation { .. })
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Admissible { events } => write!(f, "admissible events={events}"),
+            Verdict::Violation { at_event, witness } => {
+                write!(f, "violation at_event={at_event} {}", witness.wire())
+            }
+        }
+    }
+}
+
+impl FromStr for Verdict {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Verdict, String> {
+        if let Some(rest) = s.strip_prefix("admissible events=") {
+            return Ok(Verdict::Admissible {
+                events: rest.parse().map_err(|e| format!("events: {e}"))?,
+            });
+        }
+        if let Some(rest) = s.strip_prefix("violation at_event=") {
+            let (at, wire) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("verdict missing witness: {s:?}"))?;
+            return Ok(Verdict::Violation {
+                at_event: at.parse().map_err(|e| format!("at_event: {e}"))?,
+                witness: WitnessSummary::from_wire(wire)?,
+            });
+        }
+        Err(format!("unparseable verdict {s:?}"))
+    }
+}
+
+/// A parsed server reply line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Reply {
+    /// `ok <seq>`.
+    Ok {
+        /// The acknowledged event sequence number.
+        seq: usize,
+    },
+    /// `violation <seq> <wire-witness>`.
+    Violation {
+        /// The latched event sequence number.
+        seq: usize,
+        /// The wire-form witness (kept as text; parse with
+        /// [`WitnessSummary::from_wire`] when structure is needed).
+        witness: String,
+    },
+    /// `end <verdict>`.
+    End(Verdict),
+    /// `error …`.
+    Error {
+        /// The error text (everything after `error `).
+        message: String,
+    },
+}
+
+impl Reply {
+    /// Parses one server reply line.
+    ///
+    /// # Errors
+    ///
+    /// A message describing the malformed line.
+    pub fn parse(line: &str) -> Result<Reply, String> {
+        let line = line.trim_end();
+        if let Some(rest) = line.strip_prefix("ok ") {
+            return Ok(Reply::Ok {
+                seq: rest.parse().map_err(|e| format!("ok seq: {e}"))?,
+            });
+        }
+        if let Some(rest) = line.strip_prefix("violation ") {
+            let (seq, witness) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("violation reply missing witness: {line:?}"))?;
+            return Ok(Reply::Violation {
+                seq: seq.parse().map_err(|e| format!("violation seq: {e}"))?,
+                witness: witness.to_string(),
+            });
+        }
+        if let Some(rest) = line.strip_prefix("end ") {
+            return Ok(Reply::End(rest.parse()?));
+        }
+        if let Some(rest) = line.strip_prefix("error ") {
+            return Ok(Reply::Error {
+                message: rest.to_string(),
+            });
+        }
+        Err(format!("unparseable reply {line:?}"))
+    }
+}
+
+/// The verdict the *offline* monitor reaches on `trace` for `xi` — the
+/// reference every online (server-side) verdict must match byte for byte.
+///
+/// # Errors
+///
+/// The rendered [`abc_core::check::CheckError`] if `Ξ` exceeds the
+/// monitor's integer range.
+pub fn offline_verdict(trace: &Trace, xi: &Xi) -> Result<Verdict, String> {
+    let (mon, at) = trace
+        .replay_into_monitor_until_violation(xi)
+        .map_err(|e| e.to_string())?;
+    Ok(match at {
+        None => Verdict::Admissible {
+            events: trace.events().len(),
+        },
+        Some(at_event) => Verdict::Violation {
+            at_event,
+            witness: mon
+                .violation()
+                .expect("a latched violation accompanies the index")
+                .summarize(mon.graph()),
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_round_trips() {
+        let v = Verdict::Admissible { events: 120 };
+        assert_eq!(v.to_string().parse::<Verdict>().unwrap(), v);
+        assert!("garbage".parse::<Verdict>().is_err());
+        assert!("violation at_event=3".parse::<Verdict>().is_err());
+    }
+
+    #[test]
+    fn replies_parse() {
+        assert_eq!(Reply::parse("ok 17").unwrap(), Reply::Ok { seq: 17 });
+        assert_eq!(
+            Reply::parse("end admissible events=4").unwrap(),
+            Reply::End(Verdict::Admissible { events: 4 })
+        );
+        assert_eq!(
+            Reply::parse("error line 3: nope").unwrap(),
+            Reply::Error {
+                message: "line 3: nope".into()
+            }
+        );
+        assert!(Reply::parse("hmm").is_err());
+    }
+}

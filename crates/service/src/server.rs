@@ -1,0 +1,402 @@
+//! The sharded TCP server: one accept thread, a fixed pool of shard
+//! workers, and a plaintext status/control port.
+//!
+//! Connections are assigned round-robin by connection id (`id % shards`)
+//! and handed to their shard over a `std::sync::mpsc` channel; each shard
+//! worker owns its sessions outright and drives them with non-blocking
+//! reads/writes, so no locks sit on the ingestion hot path. The shared
+//! session table (`Arc<Mutex<…>>`) holds only status-page metadata, with
+//! per-session counters as atomics.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use abc_core::Xi;
+
+use crate::metrics::Metrics;
+use crate::session::{Session, SessionCounters};
+
+/// How long idle loops sleep between polls. Accept latency and shutdown
+/// latency are bounded by this; busy loops never sleep.
+const IDLE_POLL: Duration = Duration::from_micros(500);
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Data-port bind address (use port 0 for an ephemeral port).
+    pub addr: String,
+    /// Status/control-port bind address.
+    pub status_addr: String,
+    /// Number of shard worker threads.
+    pub shards: usize,
+    /// Default `Ξ` monitored for sessions that send no `xi` line.
+    pub xi: Xi,
+    /// Per-line byte cap (see [`abc_sim::textio::LineAssembler`]).
+    pub max_line_len: usize,
+    /// Cap on the `processes` count a client may declare. Keep it
+    /// consistent with `max_line_len`: a legal `faulty` line grows ~8
+    /// bytes per faulty index, so the default 10 000 processes fits the
+    /// default 64 KiB line cap even with every process faulty.
+    pub max_processes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            status_addr: "127.0.0.1:0".into(),
+            shards: std::thread::available_parallelism().map_or(2, |n| n.get().min(4)),
+            xi: Xi::from_integer(2),
+            max_line_len: abc_sim::textio::DEFAULT_MAX_LINE_LEN,
+            max_processes: 10_000,
+        }
+    }
+}
+
+/// Status-page metadata for one live session.
+#[derive(Clone, Debug)]
+pub struct SessionMeta {
+    /// Peer address.
+    pub peer: String,
+    /// Owning shard.
+    pub shard: usize,
+    counters: SessionCounters,
+}
+
+impl SessionMeta {
+    /// Events ingested by this session so far.
+    #[must_use]
+    pub fn events(&self) -> u64 {
+        self.counters.events.load(Ordering::Relaxed)
+    }
+
+    /// Violations latched by this session so far.
+    #[must_use]
+    pub fn violations(&self) -> u64 {
+        self.counters.violations.load(Ordering::Relaxed)
+    }
+}
+
+type SessionTable = Arc<Mutex<BTreeMap<u64, SessionMeta>>>;
+
+/// A running server: bound addresses, shared metrics, and the join/stop
+/// handle. Dropping the handle does *not* stop the server; call
+/// [`ServerHandle::join`] (or [`ServerHandle::request_stop`] from another
+/// owner of the stop flag).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    status_addr: SocketAddr,
+    metrics: Arc<Metrics>,
+    table: SessionTable,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound data-port address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The bound status/control-port address.
+    #[must_use]
+    pub fn status_addr(&self) -> SocketAddr {
+        self.status_addr
+    }
+
+    /// Shared counters.
+    #[must_use]
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// A clone of the stop flag (setting it initiates graceful shutdown;
+    /// the status port's `shutdown` command sets the same flag).
+    #[must_use]
+    pub fn stop_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    /// Whether shutdown has been initiated.
+    #[must_use]
+    pub fn is_stopping(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+
+    /// Requests graceful shutdown (idempotent): stop accepting, flush
+    /// pending replies, close sessions, exit all threads.
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
+    /// Requests shutdown and joins every server thread.
+    pub fn join(mut self) {
+        self.request_stop();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Binds both ports and spawns the accept, shard, and status threads.
+///
+/// # Errors
+///
+/// Any bind/configuration I/O error.
+pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let status_listener = TcpListener::bind(&config.status_addr)?;
+    status_listener.set_nonblocking(true)?;
+    let status_addr = status_listener.local_addr()?;
+
+    let metrics = Arc::new(Metrics::new());
+    let table: SessionTable = Arc::new(Mutex::new(BTreeMap::new()));
+    let stop = Arc::new(AtomicBool::new(false));
+    let shards = config.shards.max(1);
+
+    let mut threads = Vec::new();
+    let mut senders: Vec<Sender<NewConn>> = Vec::new();
+    for shard in 0..shards {
+        let (tx, rx) = channel();
+        senders.push(tx);
+        let config = config.clone();
+        let metrics = Arc::clone(&metrics);
+        let table = Arc::clone(&table);
+        let stop = Arc::clone(&stop);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("abc-shard-{shard}"))
+                .spawn(move || shard_loop(shard, &rx, &config, &metrics, &table, &stop))?,
+        );
+    }
+
+    {
+        let metrics = Arc::clone(&metrics);
+        let table = Arc::clone(&table);
+        let stop = Arc::clone(&stop);
+        threads.push(
+            std::thread::Builder::new()
+                .name("abc-accept".into())
+                .spawn(move || accept_loop(&listener, &senders, &metrics, &table, &stop))?,
+        );
+    }
+
+    {
+        let metrics = Arc::clone(&metrics);
+        let table = Arc::clone(&table);
+        let stop = Arc::clone(&stop);
+        threads.push(
+            std::thread::Builder::new()
+                .name("abc-status".into())
+                .spawn(move || status_loop(&status_listener, &metrics, &table, &stop))?,
+        );
+    }
+
+    Ok(ServerHandle {
+        addr,
+        status_addr,
+        metrics,
+        table,
+        stop,
+        threads,
+    })
+}
+
+impl ServerHandle {
+    /// Snapshot of the live session table (id → metadata).
+    #[must_use]
+    pub fn sessions(&self) -> BTreeMap<u64, SessionMeta> {
+        self.table.lock().expect("session table poisoned").clone()
+    }
+}
+
+/// A freshly accepted connection on its way to a shard.
+struct NewConn {
+    id: u64,
+    stream: TcpStream,
+    counters: SessionCounters,
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    senders: &[Sender<NewConn>],
+    metrics: &Arc<Metrics>,
+    table: &SessionTable,
+    stop: &AtomicBool,
+) {
+    let mut next_id = 0u64;
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                let id = next_id;
+                next_id += 1;
+                let shard = (id as usize) % senders.len();
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                metrics.sessions_opened.fetch_add(1, Ordering::Relaxed);
+                let counters = SessionCounters::new();
+                table.lock().expect("session table poisoned").insert(
+                    id,
+                    SessionMeta {
+                        peer: peer.to_string(),
+                        shard,
+                        counters: counters.clone(),
+                    },
+                );
+                // A send can only fail if the shard already exited, which
+                // only happens during shutdown — drop the connection then.
+                if senders[shard]
+                    .send(NewConn {
+                        id,
+                        stream,
+                        counters,
+                    })
+                    .is_err()
+                {
+                    table.lock().expect("session table poisoned").remove(&id);
+                    metrics.sessions_closed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(IDLE_POLL);
+            }
+            Err(_) => std::thread::sleep(IDLE_POLL),
+        }
+    }
+}
+
+fn shard_loop(
+    shard: usize,
+    rx: &Receiver<NewConn>,
+    config: &ServerConfig,
+    metrics: &Arc<Metrics>,
+    table: &SessionTable,
+    stop: &AtomicBool,
+) {
+    let _ = shard;
+    let mut sessions: Vec<Session> = Vec::new();
+    loop {
+        let stopping = stop.load(Ordering::Relaxed);
+        let mut work = false;
+        while let Ok(conn) = rx.try_recv() {
+            if stopping {
+                // Refuse late arrivals during shutdown.
+                table
+                    .lock()
+                    .expect("session table poisoned")
+                    .remove(&conn.id);
+                metrics.sessions_closed.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            sessions.push(Session::new(conn.id, conn.stream, config, conn.counters));
+            work = true;
+        }
+        for s in &mut sessions {
+            work |= s.tick(metrics);
+        }
+        let mut i = 0;
+        while i < sessions.len() {
+            if sessions[i].dead {
+                let s = sessions.swap_remove(i);
+                table.lock().expect("session table poisoned").remove(&s.id);
+                metrics.sessions_closed.fetch_add(1, Ordering::Relaxed);
+                work = true;
+            } else {
+                i += 1;
+            }
+        }
+        if stopping {
+            // Graceful: one more flush round already happened via tick();
+            // drop whatever remains.
+            for s in sessions.drain(..) {
+                table.lock().expect("session table poisoned").remove(&s.id);
+                metrics.sessions_closed.fetch_add(1, Ordering::Relaxed);
+            }
+            break;
+        }
+        if !work {
+            std::thread::sleep(IDLE_POLL);
+        }
+    }
+}
+
+fn status_loop(
+    listener: &TcpListener,
+    metrics: &Arc<Metrics>,
+    table: &SessionTable,
+    stop: &AtomicBool,
+) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => handle_status_conn(stream, metrics, table, stop),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(IDLE_POLL);
+            }
+            Err(_) => std::thread::sleep(IDLE_POLL),
+        }
+    }
+}
+
+/// Status protocol: the client sends one command line — `metrics` (or an
+/// empty line / immediate EOF / an HTTP-ish `GET …`, all treated as
+/// `metrics`) or `shutdown` — and receives a plaintext response.
+fn handle_status_conn(
+    mut stream: TcpStream,
+    metrics: &Arc<Metrics>,
+    table: &SessionTable,
+    stop: &AtomicBool,
+) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    // A non-reading status client must not wedge the (single) status
+    // thread — and with it the `shutdown` command and ServerHandle::join.
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    let mut buf = [0u8; 512];
+    let mut line = Vec::new();
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                line.extend_from_slice(&buf[..n]);
+                if line.contains(&b'\n') || line.len() > 400 {
+                    break;
+                }
+            }
+            Err(_) => break, // timeout / reset: treat as `metrics`
+        }
+    }
+    let command = String::from_utf8_lossy(&line);
+    let command = command.lines().next().unwrap_or("").trim();
+    let response = if command == "shutdown" {
+        stop.store(true, Ordering::Relaxed);
+        "ok shutting down\n".to_string()
+    } else if command.is_empty() || command == "metrics" || command.starts_with("GET") {
+        let mut body = metrics.render();
+        for (id, meta) in table.lock().expect("session table poisoned").iter() {
+            use std::fmt::Write;
+            let _ = writeln!(
+                body,
+                "session {id} peer={} shard={} events={} violations={}",
+                meta.peer,
+                meta.shard,
+                meta.events(),
+                meta.violations()
+            );
+        }
+        body
+    } else {
+        format!("error unknown command {command:?}\n")
+    };
+    let _ = stream.write_all(response.as_bytes());
+}

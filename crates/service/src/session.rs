@@ -1,0 +1,345 @@
+//! One client connection: non-blocking line assembly, streaming trace
+//! parsing, an incremental ABC checker per document, and reply buffering.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use abc_core::monitor::IncrementalChecker;
+use abc_core::{EventId, ProcessId, Xi};
+use abc_sim::textio::{EventFeed, LineAssembler, ParsedLine, TraceLineParser};
+
+use crate::metrics::Metrics;
+use crate::server::ServerConfig;
+
+/// Soft cap on buffered reply bytes: when a client stops draining replies,
+/// the session stops reading new requests until the buffer shrinks — the
+/// slow client throttles itself, not the server.
+const OUT_SOFT_CAP: usize = 1 << 20;
+
+/// Reads per tick per session, so one firehose client cannot starve its
+/// shard siblings within a single scheduling round.
+const MAX_READS_PER_TICK: usize = 16;
+
+/// The per-document ingestion state.
+enum DocState {
+    /// Between documents: accepting `xi …` lines or a trace header.
+    Idle,
+    /// Mid-document.
+    Running {
+        parser: TraceLineParser,
+        /// Created at the `faulty` line; dropped at `end` (memory is per
+        /// in-flight document, not per connection lifetime).
+        checker: Option<IncrementalChecker>,
+        /// `(latch_seq, wire_witness)` once the monitor latched. After the
+        /// latch the checker is no longer fed — the verdict can never
+        /// change, so remaining events only count and echo.
+        latched: Option<(usize, String)>,
+    },
+}
+
+/// Live counters shared with the server's session table (status page).
+#[derive(Clone, Debug)]
+pub(crate) struct SessionCounters {
+    pub events: Arc<AtomicU64>,
+    pub violations: Arc<AtomicU64>,
+}
+
+impl SessionCounters {
+    pub(crate) fn new() -> SessionCounters {
+        SessionCounters {
+            events: Arc::new(AtomicU64::new(0)),
+            violations: Arc::new(AtomicU64::new(0)),
+        }
+    }
+}
+
+pub(crate) struct Session {
+    pub(crate) id: u64,
+    stream: TcpStream,
+    assembler: LineAssembler,
+    doc: DocState,
+    xi: Xi,
+    max_processes: usize,
+    /// 1-based count of lines received on this connection (error replies
+    /// cite it, spanning xi lines and multiple documents).
+    lines_in: usize,
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Half-closed: no more requests will arrive; die once `out` drains.
+    eof: bool,
+    /// Fatal protocol error queued; die once `out` drains.
+    poisoned: bool,
+    pub(crate) dead: bool,
+    pub(crate) counters: SessionCounters,
+}
+
+impl Session {
+    pub(crate) fn new(
+        id: u64,
+        stream: TcpStream,
+        config: &ServerConfig,
+        counters: SessionCounters,
+    ) -> Session {
+        let mut s = Session {
+            id,
+            stream,
+            assembler: LineAssembler::new(config.max_line_len),
+            doc: DocState::Idle,
+            xi: config.xi.clone(),
+            max_processes: config.max_processes,
+            lines_in: 0,
+            out: Vec::new(),
+            out_pos: 0,
+            eof: false,
+            poisoned: false,
+            dead: false,
+            counters,
+        };
+        s.reply(&format!("{}\n", crate::proto::GREETING));
+        s
+    }
+
+    fn reply(&mut self, line: &str) {
+        self.out.extend_from_slice(line.as_bytes());
+    }
+
+    fn protocol_error(&mut self, message: &str, metrics: &Metrics) {
+        self.reply(&format!("error line {}: {message}\n", self.lines_in));
+        metrics.parse_errors.fetch_add(1, Ordering::Relaxed);
+        self.poisoned = true;
+    }
+
+    /// Drives the session once: flush pending replies, read whatever
+    /// arrived, process complete lines, flush again. Returns whether any
+    /// byte moved (the shard loop sleeps only when nothing did).
+    pub(crate) fn tick(&mut self, metrics: &Metrics) -> bool {
+        let mut work = self.try_flush(metrics);
+        if !self.dead && !self.poisoned && !self.eof && self.pending_out() < OUT_SOFT_CAP {
+            work |= self.try_read(metrics);
+            work |= self.try_flush(metrics);
+        }
+        if (self.eof || self.poisoned) && self.pending_out() == 0 {
+            self.dead = true;
+        }
+        work
+    }
+
+    fn pending_out(&self) -> usize {
+        self.out.len() - self.out_pos
+    }
+
+    fn try_read(&mut self, metrics: &Metrics) -> bool {
+        let mut buf = [0u8; 16 * 1024];
+        let mut work = false;
+        for _ in 0..MAX_READS_PER_TICK {
+            match self.stream.read(&mut buf) {
+                Ok(0) => {
+                    // End of requests: a final line without a trailing
+                    // newline is still a line (feed clients may half-close
+                    // right after `end`).
+                    let finished = self.assembler.finish();
+                    self.drain_lines(metrics);
+                    if let Err(e) = finished {
+                        if !self.poisoned {
+                            self.lines_in += 1;
+                            self.protocol_error(&e.message, metrics);
+                        }
+                    }
+                    self.eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    work = true;
+                    metrics.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
+                    let pushed = self.assembler.push(&buf[..n]);
+                    // Lines completed before the failure point still
+                    // process (and number) normally; only then is the
+                    // offending oversized/invalid line itself counted.
+                    self.drain_lines(metrics);
+                    if let Err(e) = pushed {
+                        if !self.poisoned {
+                            self.lines_in += 1;
+                            self.protocol_error(&e.message, metrics);
+                        }
+                        break;
+                    }
+                    if self.poisoned || self.pending_out() >= OUT_SOFT_CAP {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+        work
+    }
+
+    fn drain_lines(&mut self, metrics: &Metrics) {
+        while let Some(line) = self.assembler.next_line() {
+            if self.poisoned {
+                break;
+            }
+            self.lines_in += 1;
+            self.process_line(&line, metrics);
+        }
+    }
+
+    fn process_line(&mut self, line: &str, metrics: &Metrics) {
+        if matches!(self.doc, DocState::Idle) {
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                return;
+            }
+            if let Some(rest) = trimmed.strip_prefix("xi ") {
+                match rest.trim().parse::<Xi>() {
+                    Ok(xi) => self.xi = xi,
+                    Err(e) => self.protocol_error(&format!("xi: {e}"), metrics),
+                }
+                return;
+            }
+            // Anything else starts a fresh document (the parser will
+            // reject non-header lines with a precise message).
+            self.doc = DocState::Running {
+                parser: TraceLineParser::new_streaming().with_max_processes(self.max_processes),
+                checker: None,
+                latched: None,
+            };
+        }
+        // Take the document state out of `self` so replies can be queued
+        // while holding it (a failed/finished document simply stays out).
+        let DocState::Running {
+            mut parser,
+            mut checker,
+            mut latched,
+        } = std::mem::replace(&mut self.doc, DocState::Idle)
+        else {
+            unreachable!("document state was just initialized");
+        };
+        let parsed = match parser.feed_line(line) {
+            Ok(p) => p,
+            Err(e) => {
+                self.protocol_error(&e.message, metrics);
+                return;
+            }
+        };
+        let mut done = false;
+        match parsed {
+            ParsedLine::Meta | ParsedLine::Message { .. } => {}
+            ParsedLine::Topology => {
+                let (n, faulty) = parser.topology().expect("topology follows the faulty line");
+                match IncrementalChecker::new(n, &self.xi) {
+                    Ok(mut mon) => {
+                        for (p, f) in faulty.iter().enumerate() {
+                            if *f {
+                                mon.mark_faulty(ProcessId(p));
+                            }
+                        }
+                        checker = Some(mon);
+                    }
+                    Err(e) => {
+                        let msg = format!("xi {} not monitorable: {e}", self.xi);
+                        self.protocol_error(&msg, metrics);
+                        return;
+                    }
+                }
+            }
+            ParsedLine::Event(feed) => {
+                metrics.events.fetch_add(1, Ordering::Relaxed);
+                self.counters.events.fetch_add(1, Ordering::Relaxed);
+                let seq = match feed {
+                    EventFeed::Init { seq, .. } | EventFeed::Receive { seq, .. } => seq,
+                };
+                if let Some((latch_seq, wire)) = &latched {
+                    let line = format!("violation {latch_seq} {wire}\n");
+                    self.reply(&line);
+                } else {
+                    let mon = checker.as_mut().expect("checker exists past Topology");
+                    match feed {
+                        EventFeed::Init { process, .. } => {
+                            mon.append_init(process);
+                        }
+                        EventFeed::Receive {
+                            process,
+                            send_event,
+                            ..
+                        } => {
+                            let send =
+                                send_event.expect("streaming mode always resolves the send event");
+                            mon.append_send(EventId(send), process);
+                        }
+                    }
+                    if let Some(cycle) = mon.violation() {
+                        let wire = cycle.summarize(mon.graph()).wire().to_string();
+                        metrics.violations.fetch_add(1, Ordering::Relaxed);
+                        self.counters.violations.fetch_add(1, Ordering::Relaxed);
+                        let line = format!("violation {seq} {wire}\n");
+                        self.reply(&line);
+                        latched = Some((seq, wire));
+                        // The verdict is latched; stop feeding the checker
+                        // so a violating firehose doesn't keep growing its
+                        // graph.
+                        checker = None;
+                    } else {
+                        self.reply(&format!("ok {seq}\n"));
+                    }
+                }
+            }
+            ParsedLine::End => {
+                // Must render exactly like [`Verdict`]'s `Display`, which
+                // the offline monitor and `abc feed` also use — that is
+                // the byte-identical-verdicts contract.
+                let verdict = match &latched {
+                    Some((latch_seq, wire)) => {
+                        format!("end violation at_event={latch_seq} {wire}\n")
+                    }
+                    None => format!("end admissible events={}\n", parser.events_seen()),
+                };
+                self.reply(&verdict);
+                metrics.documents.fetch_add(1, Ordering::Relaxed);
+                // Drop the whole per-document state.
+                done = true;
+            }
+        }
+        if !done {
+            self.doc = DocState::Running {
+                parser,
+                checker,
+                latched,
+            };
+        }
+    }
+
+    fn try_flush(&mut self, metrics: &Metrics) -> bool {
+        let mut work = false;
+        while self.out_pos < self.out.len() {
+            match self.stream.write(&self.out[self.out_pos..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    break;
+                }
+                Ok(n) => {
+                    work = true;
+                    self.out_pos += n;
+                    metrics.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+        if self.out_pos == self.out.len() && !self.out.is_empty() {
+            self.out.clear();
+            self.out_pos = 0;
+        }
+        work
+    }
+}

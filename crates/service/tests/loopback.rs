@@ -1,0 +1,306 @@
+//! Loopback integration tests: concurrent multi-client ingestion with
+//! byte-identical verdicts vs. the offline monitor, malformed-frame
+//! handling, oversized-line rejection, multi-document connections, the
+//! committed sample trace, and status-port metrics/shutdown.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+use abc_core::Xi;
+use abc_service::client::status_command;
+use abc_service::proto::offline_verdict;
+use abc_service::server::{start, ServerConfig};
+use abc_service::{feed_stream_text, ServerHandle};
+use abc_sim::delay::BandDelay;
+use abc_sim::{RunLimits, Simulation, Trace};
+
+fn clocksync_trace(lo: u64, hi: u64, seed: u64, events: usize) -> Trace {
+    let mut sim = Simulation::new(BandDelay::new(lo, hi, seed));
+    for _ in 0..4 {
+        sim.add_process(abc_clocksync::TickGen::new(4, 1));
+    }
+    sim.run(RunLimits {
+        max_events: events,
+        max_time: u64::MAX,
+    });
+    sim.trace().clone()
+}
+
+fn server(shards: usize) -> ServerHandle {
+    start(ServerConfig {
+        shards,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback server")
+}
+
+#[test]
+fn eight_concurrent_clients_get_byte_identical_verdicts() {
+    let handle = server(3);
+    let addr = handle.addr().to_string();
+    // Half the documents run a comfortable band (admissible at Xi = 3/2),
+    // half a wide reordering band (violating) — both verdicts exercised.
+    let xi = Xi::from_fraction(3, 2);
+    let traces: Vec<Trace> = (0..16u64)
+        .map(|s| {
+            if s % 2 == 0 {
+                clocksync_trace(10, 19, s, 150)
+            } else {
+                clocksync_trace(1, 6, s, 150)
+            }
+        })
+        .collect();
+    let offline: Vec<String> = traces
+        .iter()
+        .map(|t| offline_verdict(t, &xi).unwrap().to_string())
+        .collect();
+    assert!(
+        offline.iter().any(|v| v.starts_with("violation"))
+            && offline.iter().any(|v| v.starts_with("admissible")),
+        "seed set must exercise both verdicts: {offline:?}"
+    );
+
+    let results: Vec<Vec<(usize, String)>> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for client in 0..8 {
+            let addr = &addr;
+            let traces = &traces;
+            let xi = &xi;
+            handles.push(scope.spawn(move || {
+                let mut got = Vec::new();
+                // Each of the 8 concurrent clients feeds two documents,
+                // each over its own connection.
+                for k in [client, client + 8] {
+                    let outcome = feed_stream_text(addr, xi, &traces[k].to_stream_text()).unwrap();
+                    got.push((k, outcome.verdict.to_string()));
+                }
+                got
+            }));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for per_client in results {
+        for (k, verdict) in per_client {
+            assert_eq!(
+                verdict, offline[k],
+                "online/offline verdict mismatch for trace {k}"
+            );
+        }
+    }
+    let m = handle.metrics();
+    assert_eq!(
+        m.documents.load(std::sync::atomic::Ordering::Relaxed),
+        16,
+        "all documents accounted"
+    );
+    handle.join();
+}
+
+fn read_reply_line(reader: &mut impl BufRead) -> String {
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    line.trim_end().to_string()
+}
+
+#[test]
+fn malformed_frame_gets_error_reply_and_server_stays_up() {
+    let handle = server(2);
+    let addr = handle.addr().to_string();
+
+    let stream = TcpStream::connect(&addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    assert_eq!(read_reply_line(&mut reader), "abc-service v1");
+    {
+        let mut w = &stream;
+        w.write_all(b"this is not a trace header\n").unwrap();
+    }
+    let reply = read_reply_line(&mut reader);
+    assert!(
+        reply.starts_with("error line 1:"),
+        "expected error reply, got {reply:?}"
+    );
+    // The connection closes after the error…
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).unwrap();
+    assert!(rest.is_empty());
+
+    // …but the server keeps serving new clients.
+    let xi = Xi::from_integer(2);
+    let trace = clocksync_trace(10, 19, 7, 120);
+    let outcome = feed_stream_text(&addr, &xi, &trace.to_stream_text()).unwrap();
+    assert_eq!(
+        outcome.verdict.to_string(),
+        offline_verdict(&trace, &xi).unwrap().to_string()
+    );
+    assert_eq!(
+        handle
+            .metrics()
+            .parse_errors
+            .load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
+    handle.join();
+}
+
+#[test]
+fn oversized_line_is_rejected_without_buffering() {
+    let handle = server(1);
+    let addr = handle.addr().to_string();
+    let stream = TcpStream::connect(&addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    assert_eq!(read_reply_line(&mut reader), "abc-service v1");
+    // A newline-free firehose: the server must reject at the line cap, not
+    // accumulate it. (The write side may hit a reset once the server
+    // closes — that is the expected outcome, not a test failure.)
+    let chunk = vec![b'x'; 64 * 1024];
+    let mut w = &stream;
+    for _ in 0..64 {
+        if w.write_all(&chunk).is_err() {
+            break;
+        }
+    }
+    let reply = read_reply_line(&mut reader);
+    assert!(
+        reply.starts_with("error line 1:") && reply.contains("exceeds"),
+        "expected line-cap error, got {reply:?}"
+    );
+    handle.join();
+}
+
+#[test]
+fn one_connection_carries_many_documents() {
+    let handle = server(2);
+    let addr = handle.addr().to_string();
+    let xi = Xi::from_fraction(3, 2);
+    let admissible = clocksync_trace(10, 19, 3, 120);
+    let violating = (0..32)
+        .map(|s| clocksync_trace(1, 6, s, 150))
+        .find(|t| offline_verdict(t, &xi).unwrap().is_violation())
+        .expect("some seed violates at Xi = 3/2");
+
+    let stream = TcpStream::connect(&addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    assert_eq!(read_reply_line(&mut reader), "abc-service v1");
+    {
+        let mut w = &stream;
+        w.write_all(format!("xi {xi}\n").as_bytes()).unwrap();
+    }
+    // Three documents back to back on one connection; each gets a fresh
+    // checker, so verdicts do not bleed across documents.
+    for (trace, want) in [
+        (&admissible, offline_verdict(&admissible, &xi).unwrap()),
+        (&violating, offline_verdict(&violating, &xi).unwrap()),
+        (&admissible, offline_verdict(&admissible, &xi).unwrap()),
+    ] {
+        {
+            let mut w = &stream;
+            w.write_all(trace.to_stream_text().as_bytes()).unwrap();
+        }
+        let verdict = loop {
+            let line = read_reply_line(&mut reader);
+            if let Some(rest) = line.strip_prefix("end ") {
+                break rest.to_string();
+            }
+            assert!(
+                line.starts_with("ok ") || line.starts_with("violation "),
+                "unexpected reply {line:?}"
+            );
+        };
+        assert_eq!(verdict, want.to_string());
+    }
+    handle.join();
+}
+
+#[test]
+fn unterminated_final_line_before_half_close_still_yields_a_verdict() {
+    // A client may strip the trailing newline from `end` and half-close
+    // immediately: the final line is still a line, and the verdict must
+    // still come back (EOF flushes the line assembler server-side).
+    let handle = server(1);
+    let addr = handle.addr().to_string();
+    let xi = Xi::from_integer(2);
+    let trace = clocksync_trace(10, 19, 5, 120);
+    let doc = trace.to_stream_text();
+    let doc = doc.strip_suffix('\n').unwrap();
+
+    let stream = TcpStream::connect(&addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    assert_eq!(read_reply_line(&mut reader), "abc-service v1");
+    {
+        let mut w = &stream;
+        w.write_all(format!("xi {xi}\n").as_bytes()).unwrap();
+        w.write_all(doc.as_bytes()).unwrap();
+    }
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut replies = String::new();
+    reader.read_to_string(&mut replies).unwrap();
+    let want = offline_verdict(&trace, &xi).unwrap();
+    assert!(
+        replies.lines().any(|l| l == format!("end {want}")),
+        "no verdict in replies: …{}",
+        &replies[replies.len().saturating_sub(200)..]
+    );
+    handle.join();
+}
+
+#[test]
+fn committed_sample_trace_round_trips_through_the_service() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../harness/tests/data/sample_clocksync.trace"
+    );
+    let file = std::fs::File::open(path).unwrap();
+    let trace = Trace::from_reader(file, abc_sim::textio::DEFAULT_MAX_LINE_LEN).unwrap();
+
+    let handle = server(2);
+    let addr = handle.addr().to_string();
+    // The committed sample has max relevant-cycle ratio 3: violating at
+    // Xi = 2, admissible at Xi = 4 — and the service verdicts match the
+    // offline monitor byte for byte.
+    for xi in [Xi::from_integer(2), Xi::from_integer(4)] {
+        let outcome = feed_stream_text(&addr, &xi, &trace.to_stream_text()).unwrap();
+        let want = offline_verdict(&trace, &xi).unwrap();
+        assert_eq!(outcome.verdict.to_string(), want.to_string());
+        assert_eq!(outcome.verdict.is_violation(), xi == Xi::from_integer(2));
+    }
+    handle.join();
+}
+
+#[test]
+fn invalid_xi_line_is_a_protocol_error() {
+    let handle = server(1);
+    let addr = handle.addr().to_string();
+    let stream = TcpStream::connect(&addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    assert_eq!(read_reply_line(&mut reader), "abc-service v1");
+    {
+        let mut w = &stream;
+        w.write_all(b"xi 1/2\n").unwrap(); // Xi must exceed 1
+    }
+    let reply = read_reply_line(&mut reader);
+    assert!(reply.starts_with("error line 1:"), "{reply:?}");
+    handle.join();
+}
+
+#[test]
+fn status_port_serves_metrics_and_shutdown() {
+    let handle = server(2);
+    let addr = handle.addr().to_string();
+    let status = handle.status_addr().to_string();
+    let xi = Xi::from_integer(2);
+    let trace = clocksync_trace(10, 19, 11, 120);
+    feed_stream_text(&addr, &xi, &trace.to_stream_text()).unwrap();
+
+    let page = status_command(&status, "metrics").unwrap();
+    assert!(page.contains("abc_service_events_total 120"), "{page}");
+    assert!(page.contains("abc_service_documents_total 1"), "{page}");
+    assert!(status_command(&status, "frobnicate")
+        .unwrap()
+        .contains("unknown command"));
+
+    let bye = status_command(&status, "shutdown").unwrap();
+    assert!(bye.contains("shutting down"), "{bye}");
+    assert!(handle.is_stopping());
+    // Every thread exits: join() returns.
+    handle.join();
+}

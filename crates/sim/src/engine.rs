@@ -220,6 +220,13 @@ impl<M: Clone + 'static, D: DelayModel> Simulation<M, D> {
         &self.trace
     }
 
+    /// Consumes the simulation, returning the captured trace without a
+    /// clone (for generators that only want the trace).
+    #[must_use]
+    pub fn into_trace(self) -> Trace {
+        self.trace
+    }
+
     /// Mutable access to the delay model (e.g. to reconfigure between
     /// incremental runs).
     pub fn delay_model_mut(&mut self) -> &mut D {
@@ -749,7 +756,17 @@ mod tests {
         // Truncated/partial lines must not fail open into zeros.
         assert!("".parse::<RunStats>().is_err());
         assert!("events=500".parse::<RunStats>().is_err());
+        // Duplicate keys must be parse errors, not silent last-one-wins —
+        // for the first key, a later key, and a duplicate that repeats the
+        // same value.
         assert!(format!("{line} events=1").parse::<RunStats>().is_err());
+        assert!(format!("{line} slab_peak=9").parse::<RunStats>().is_err());
+        assert!(
+            format!("{line} quiescent={}", stats.quiescent)
+                .parse::<RunStats>()
+                .is_err(),
+            "same-value duplicates are still duplicates"
+        );
     }
 
     #[test]

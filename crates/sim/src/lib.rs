@@ -27,7 +27,12 @@
 //! Traces also serialize to a compact line-oriented text format
 //! ([`textio`]: [`Trace::to_text`] / [`Trace::from_text`], no serde), so
 //! any execution — including every run of an `abc-harness` sweep — can be
-//! persisted, replayed, and re-checked offline.
+//! persisted, replayed, and re-checked offline. Parsing is incremental
+//! ([`textio::TraceLineParser`]): files stream through
+//! [`Trace::from_reader`] line by line behind a hard per-line length cap,
+//! and the parser's streaming mode (O(in-flight) memory, fed by
+//! [`Trace::to_stream_text`]'s wire ordering) is what the `abc-service`
+//! TCP ingestion server exposes to untrusted clients.
 //!
 //! # Example: one ping-pong round trip
 //!
@@ -73,5 +78,7 @@ mod trace;
 pub use delay::{DelayModel, Delivery};
 pub use engine::{RunLimits, RunStats, Simulation};
 pub use process::{Context, CrashAt, Mute, Process};
-pub use textio::TraceTextError;
+pub use textio::{
+    EventFeed, LineAssembler, ParsedLine, TraceLineParser, TraceTextError, DEFAULT_MAX_LINE_LEN,
+};
 pub use trace::{Trace, TraceEvent, TraceMessage};

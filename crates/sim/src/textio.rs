@@ -1,4 +1,5 @@
-//! A compact line-oriented text serialization for [`Trace`] (no serde).
+//! A compact line-oriented text serialization for [`Trace`] (no serde),
+//! with an incremental per-line parser shared by files and sockets.
 //!
 //! Any swept or simulated execution can be persisted, shipped, and
 //! re-checked offline (`Trace::replay_into_monitor`, batch checking via
@@ -25,16 +26,56 @@
 //!   — one line per event, in global chronological order; `trigger` is the
 //!   index of the delivering `m` line (`-` for wake-ups).
 //! * `m <from> <to> <send_event> <recv_event|-> <send_time> <recv_time|->`
-//!   — one line per message, in send order; `-` marks in-flight/dropped.
+//!   — one line per message; `-` marks in-flight/dropped. A message's index
+//!   is its position among the `m` lines.
 //! * `faulty` lists faulty process indices (the line is present even when
 //!   empty, so files are self-contained).
+//! * The `events`/`messages` count lines are declarations, validated at
+//!   `end`; a live stream producer that cannot know them up front may omit
+//!   them.
+//!
+//! # Two line orders, one grammar
+//!
+//! [`Trace::to_text`] writes the canonical *document* order above: all `e`
+//! lines, then all `m` lines in send order. That order is diff-friendly but
+//! cannot be monitored as it arrives — an `e` line names its triggering
+//! message by index before that `m` line has been seen.
+//!
+//! [`Trace::to_stream_text`] writes the same grammar in *streaming* order:
+//! each delivered message's `m` line immediately precedes its receive `e`
+//! line (message indices are renumbered to delivery order; undelivered
+//! messages trail at the end). In this order every line is fully resolvable
+//! the moment it arrives, which is what a live trace source naturally emits
+//! and what the `abc-service` TCP ingestion protocol speaks.
+//!
+//! [`TraceLineParser`] accepts both:
+//!
+//! * **document mode** ([`TraceLineParser::new_document`]) buffers the
+//!   trace and cross-validates everything at [`TraceLineParser::finish`] —
+//!   the engine behind [`Trace::from_text`] / [`Trace::from_reader`];
+//! * **streaming mode** ([`TraceLineParser::new_streaming`]) never stores
+//!   the document — only a compact `(process, time)` pair per event for
+//!   cross-validation plus O(processes + in-flight messages) working
+//!   state: each `e` line yields an [`EventFeed`] that can be pushed
+//!   straight into an [`abc_core::monitor::IncrementalChecker`], and every
+//!   reference is validated *before* it could panic a downstream graph
+//!   builder — which is what makes it safe to expose to untrusted network
+//!   clients. Both modes accept exactly the same documents (modulo line
+//!   order), so a server verdict and a file re-check never diverge on
+//!   validity.
+//!
+//! Text never accumulates: [`LineAssembler`] splits raw bytes into lines
+//! with a hard per-line length cap, so a malicious or broken producer
+//! cannot balloon memory by withholding a newline.
 //!
 //! The parser validates everything the simulator guarantees: counts match,
-//! indices are in range, events appear in `seq` order, and event↔message
-//! cross references agree — a parsed trace is as trustworthy as a captured
-//! one.
+//! indices are in range, events appear in `seq` order, wake-ups precede
+//! receives at each process, and event↔message cross references agree — a
+//! parsed trace is as trustworthy as a captured one.
 
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::io::Read;
 
 use abc_core::ProcessId;
 
@@ -43,6 +84,12 @@ use crate::trace::{Trace, TraceEvent, TraceMessage};
 /// Format version written by [`Trace::to_text`] and accepted by
 /// [`Trace::from_text`].
 pub const TRACE_FORMAT_VERSION: &str = "v1";
+
+/// Default per-line byte cap enforced by [`LineAssembler`] users
+/// ([`Trace::from_reader`], the `abc-service` ingestion server). No
+/// well-formed trace line comes anywhere near this; a line that does is an
+/// attack or corruption and is rejected without being buffered.
+pub const DEFAULT_MAX_LINE_LEN: usize = 64 * 1024;
 
 /// A parse/validation error for the trace text format.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -106,162 +153,578 @@ fn fmt_opt<T: fmt::Display>(v: Option<T>) -> String {
     v.map_or_else(|| "-".to_string(), |x| x.to_string())
 }
 
-fn take<'a, I: Iterator<Item = (usize, &'a str)>>(
-    lines: &mut I,
-    what: &str,
-) -> Result<(usize, &'a str), TraceTextError> {
-    match lines.next() {
-        Some(x) => Ok(x),
-        None => err(0, format!("unexpected end of input, expected {what}")),
-    }
-}
-
 fn at<T>(ln: usize, r: Result<T, String>) -> Result<T, TraceTextError> {
     r.map_err(|message| TraceTextError { line: ln, message })
 }
 
-fn scalar(line: (usize, &str), key: &str) -> Result<usize, TraceTextError> {
-    let (ln, l) = line;
-    match l.strip_prefix(key).map(str::trim) {
-        Some(v) if !v.is_empty() => match v.parse() {
-            Ok(n) => Ok(n),
-            Err(e) => err(ln, format!("{key}: {e}")),
-        },
-        _ => err(ln, format!("expected `{key} <count>`, got {l:?}")),
-    }
+/// Splits raw bytes into text lines with a hard per-line length cap.
+///
+/// Push-based so it serves both pull sources (files via
+/// [`Trace::from_reader`]) and event sources (non-blocking sockets in
+/// `abc-service`): feed whatever bytes arrived with [`LineAssembler::push`],
+/// then drain completed lines with [`LineAssembler::next_line`]. A line
+/// longer than the cap is rejected as soon as the cap is crossed — the
+/// oversized tail is never buffered, so a 100 MB "line" costs O(cap)
+/// memory, not 100 MB.
+#[derive(Debug)]
+pub struct LineAssembler {
+    cap: usize,
+    partial: Vec<u8>,
+    ready: VecDeque<String>,
+    completed: usize,
+    poisoned: bool,
 }
 
-impl Trace {
-    /// Serializes the trace into the line-oriented text format (see the
-    /// [`crate::textio`] module docs for the grammar).
+impl LineAssembler {
+    /// A new assembler enforcing `max_line_len` bytes per line (excluding
+    /// the newline itself).
     #[must_use]
-    pub fn to_text(&self) -> String {
-        use fmt::Write;
-        let mut out = String::with_capacity(32 * (self.events.len() + self.messages.len()) + 64);
-        let _ = writeln!(out, "abc-trace {TRACE_FORMAT_VERSION}");
-        let _ = writeln!(out, "processes {}", self.num_processes);
-        let mut faulty_line = String::from("faulty");
-        for (p, f) in self.faulty.iter().enumerate() {
-            if *f {
-                faulty_line.push(' ');
-                faulty_line.push_str(&p.to_string());
-            }
+    pub fn new(max_line_len: usize) -> LineAssembler {
+        LineAssembler {
+            cap: max_line_len,
+            partial: Vec::new(),
+            ready: VecDeque::new(),
+            completed: 0,
+            poisoned: false,
         }
-        let _ = writeln!(out, "{faulty_line}");
-        let _ = writeln!(out, "events {}", self.events.len());
-        let _ = writeln!(out, "messages {}", self.messages.len());
-        for ev in &self.events {
-            let _ = writeln!(
-                out,
-                "e {} {} {} {} {} {} {}",
-                ev.seq,
-                ev.process.0,
-                ev.time,
-                fmt_opt(ev.trigger),
-                u8::from(ev.received_only),
-                fmt_opt(ev.label),
-                u8::from(ev.distinguished),
-            );
-        }
-        for m in &self.messages {
-            let _ = writeln!(
-                out,
-                "m {} {} {} {} {} {}",
-                m.from.0,
-                m.to.0,
-                m.send_event,
-                fmt_opt(m.recv_event),
-                m.send_time,
-                fmt_opt(m.recv_time),
-            );
-        }
-        out.push_str("end\n");
-        out
     }
 
-    /// Parses and validates a trace from the text format.
+    fn complete(&mut self, bytes: &[u8]) -> Result<(), TraceTextError> {
+        let line = self.completed + 1;
+        if bytes.len() > self.cap {
+            self.poisoned = true;
+            return err(line, format!("line exceeds {} bytes", self.cap));
+        }
+        let mut s = match std::str::from_utf8(bytes) {
+            Ok(s) => s,
+            Err(_) => {
+                self.poisoned = true;
+                return err(line, "line is not valid UTF-8");
+            }
+        };
+        if let Some(stripped) = s.strip_suffix('\r') {
+            s = stripped;
+        }
+        self.ready.push_back(s.to_string());
+        self.completed += 1;
+        Ok(())
+    }
+
+    /// Feeds a chunk of raw bytes.
     ///
     /// # Errors
     ///
-    /// [`TraceTextError`] with the offending line on malformed input, count
-    /// mismatches, out-of-range indices, or inconsistent event↔message
-    /// cross references.
-    pub fn from_text(text: &str) -> Result<Trace, TraceTextError> {
-        let mut lines = text
-            .lines()
-            .enumerate()
-            .map(|(i, l)| (i + 1, l.trim()))
-            .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
-
-        let (ln, header) = take(&mut lines, "header")?;
-        match header.strip_prefix("abc-trace ") {
-            Some(TRACE_FORMAT_VERSION) => {}
-            Some(v) => return err(ln, format!("unsupported version {v:?}")),
-            None => return err(ln, "missing `abc-trace <version>` header"),
+    /// [`TraceTextError`] (with the 1-based line number) as soon as a line
+    /// crosses the length cap or contains invalid UTF-8. After an error the
+    /// assembler is poisoned and further pushes keep failing.
+    pub fn push(&mut self, chunk: &[u8]) -> Result<(), TraceTextError> {
+        if self.poisoned {
+            return err(self.completed + 1, "line assembler already failed");
         }
-        let num_processes = scalar(take(&mut lines, "processes")?, "processes")?;
+        let mut rest = chunk;
+        while let Some(nl) = rest.iter().position(|b| *b == b'\n') {
+            let (head, tail) = rest.split_at(nl);
+            if self.partial.is_empty() {
+                self.complete(head)?;
+            } else {
+                self.partial.extend_from_slice(head);
+                let full = std::mem::take(&mut self.partial);
+                self.complete(&full)?;
+            }
+            rest = &tail[1..];
+        }
+        if self.partial.len() + rest.len() > self.cap {
+            self.poisoned = true;
+            return err(
+                self.completed + 1,
+                format!("line exceeds {} bytes", self.cap),
+            );
+        }
+        self.partial.extend_from_slice(rest);
+        Ok(())
+    }
 
-        let (ln, faulty_line) = take(&mut lines, "faulty")?;
-        let mut faulty = vec![false; num_processes];
-        match faulty_line.strip_prefix("faulty") {
-            Some(rest) => {
+    /// Completes a trailing line that was not newline-terminated (call at
+    /// end of input; files may omit the final newline).
+    ///
+    /// # Errors
+    ///
+    /// [`TraceTextError`] if the trailing bytes are not valid UTF-8.
+    pub fn finish(&mut self) -> Result<(), TraceTextError> {
+        if !self.partial.is_empty() && !self.poisoned {
+            let full = std::mem::take(&mut self.partial);
+            self.complete(&full)?;
+        }
+        Ok(())
+    }
+
+    /// Pops the next completed line, if any.
+    pub fn next_line(&mut self) -> Option<String> {
+        self.ready.pop_front()
+    }
+
+    /// Bytes currently buffered for the incomplete trailing line.
+    #[must_use]
+    pub fn partial_len(&self) -> usize {
+        self.partial.len()
+    }
+}
+
+/// What a single fed line meant, for callers that act per line (the
+/// `abc-service` ingestion path).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParsedLine {
+    /// Comment, blank line, header, or count declaration — nothing to act
+    /// on.
+    Meta,
+    /// The `faulty` line was parsed: process count and faulty set are now
+    /// known (see [`TraceLineParser::topology`]) — time to size a monitor.
+    Topology,
+    /// An event line; in streaming mode the feed is fully resolved and can
+    /// be pushed into an incremental checker immediately.
+    Event(EventFeed),
+    /// A message line was recorded.
+    Message {
+        /// Whether the message has a receive event (vs. in-flight/dropped).
+        delivered: bool,
+    },
+    /// `end` — the document is complete (declared counts validated).
+    End,
+}
+
+/// The monitor-facing content of one `e` line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventFeed {
+    /// A wake-up event: the first event of `process`.
+    Init {
+        /// Global event sequence number.
+        seq: usize,
+        /// The waking process.
+        process: ProcessId,
+    },
+    /// A receive event.
+    Receive {
+        /// Global event sequence number.
+        seq: usize,
+        /// The receiving process.
+        process: ProcessId,
+        /// The trace-event index of the sending step. Always `Some` in
+        /// streaming mode; in document mode `None` until the triggering
+        /// `m` line has been seen (canonical document order resolves all
+        /// triggers only at [`TraceLineParser::finish`]).
+        send_event: Option<usize>,
+    },
+}
+
+/// A delivery expectation recorded from a streaming-mode `m` line, waiting
+/// for its receive `e` line.
+#[derive(Clone, Copy, Debug)]
+struct PendingDelivery {
+    to: ProcessId,
+    send_event: usize,
+    recv_event: usize,
+    recv_time: u64,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PState {
+    ExpectHeader,
+    ExpectProcesses,
+    ExpectFaulty,
+    Body,
+    Done,
+}
+
+/// An incremental, per-line parser for the `abc-trace v1` grammar.
+///
+/// Construct with [`TraceLineParser::new_document`] (buffer and fully
+/// cross-validate a whole trace — the engine behind [`Trace::from_text`])
+/// or [`TraceLineParser::new_streaming`] (validate-and-forward without
+/// storing the document — the `abc-service` ingestion core; see the
+/// module docs for the two line orders).
+///
+/// Feed **every** input line (including comments and blanks) through
+/// [`TraceLineParser::feed_line`] so reported line numbers match the
+/// source.
+#[derive(Debug)]
+pub struct TraceLineParser {
+    streaming: bool,
+    max_processes: Option<usize>,
+    state: PState,
+    line_no: usize,
+    num_processes: usize,
+    faulty: Vec<bool>,
+    declared_events: Option<usize>,
+    declared_messages: Option<usize>,
+    seen_body_line: bool,
+    events_seen: usize,
+    messages_seen: usize,
+    last_time: u64,
+    has_init: Vec<bool>,
+    // Document mode storage (empty in streaming mode).
+    events: Vec<TraceEvent>,
+    messages: Vec<TraceMessage>,
+    // Streaming mode bookkeeping (empty in document mode). `event_meta`
+    // keeps one compact `(process, time)` pair per event so `m` lines can
+    // be cross-checked against their sending event with exactly the same
+    // strictness as document mode — the document text, labels, flags, and
+    // message set are still never stored.
+    event_meta: Vec<(ProcessId, u64)>,
+    pending: HashMap<usize, PendingDelivery>,
+    expected_at: HashMap<usize, usize>,
+}
+
+impl TraceLineParser {
+    fn new(streaming: bool) -> TraceLineParser {
+        TraceLineParser {
+            streaming,
+            max_processes: None,
+            state: PState::ExpectHeader,
+            line_no: 0,
+            num_processes: 0,
+            faulty: Vec::new(),
+            declared_events: None,
+            declared_messages: None,
+            seen_body_line: false,
+            events_seen: 0,
+            messages_seen: 0,
+            last_time: 0,
+            has_init: Vec::new(),
+            events: Vec::new(),
+            messages: Vec::new(),
+            event_meta: Vec::new(),
+            pending: HashMap::new(),
+            expected_at: HashMap::new(),
+        }
+    }
+
+    /// A parser that buffers the whole trace and cross-validates it at
+    /// [`TraceLineParser::finish`]. Accepts both canonical document order
+    /// and streaming order.
+    #[must_use]
+    pub fn new_document() -> TraceLineParser {
+        TraceLineParser::new(false)
+    }
+
+    /// A parser that never stores the document: every reference must
+    /// resolve backwards (each `e` line's triggering `m` line must precede
+    /// it), so each line is fully validated the moment it arrives — with
+    /// exactly document mode's strictness, via a compact `(process, time)`
+    /// pair per event — while line text, labels, and the message set are
+    /// dropped on the spot (working state beyond that sidecar is
+    /// O(processes + in-flight messages)). This is the mode network
+    /// servers expose to untrusted clients.
+    #[must_use]
+    pub fn new_streaming() -> TraceLineParser {
+        TraceLineParser::new(true)
+    }
+
+    /// Rejects documents declaring more than `cap` processes *before*
+    /// any per-process state is allocated — servers expose this to
+    /// untrusted clients, where a lying `processes` line must not be able
+    /// to force a huge allocation.
+    #[must_use]
+    pub fn with_max_processes(mut self, cap: usize) -> TraceLineParser {
+        self.max_processes = Some(cap);
+        self
+    }
+
+    /// Process count and faulty flags, once the `faulty` line has been
+    /// parsed ([`ParsedLine::Topology`] signalled).
+    #[must_use]
+    pub fn topology(&self) -> Option<(usize, &[bool])> {
+        match self.state {
+            PState::ExpectHeader | PState::ExpectProcesses | PState::ExpectFaulty => None,
+            PState::Body | PState::Done => Some((self.num_processes, &self.faulty)),
+        }
+    }
+
+    /// Events parsed so far.
+    #[must_use]
+    pub fn events_seen(&self) -> usize {
+        self.events_seen
+    }
+
+    /// Messages parsed so far.
+    #[must_use]
+    pub fn messages_seen(&self) -> usize {
+        self.messages_seen
+    }
+
+    /// Whether `end` has been consumed.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.state == PState::Done
+    }
+
+    /// Lines fed so far (= the 1-based number of the last fed line).
+    #[must_use]
+    pub fn lines_fed(&self) -> usize {
+        self.line_no
+    }
+
+    fn scalar(ln: usize, l: &str, key: &str) -> Result<usize, TraceTextError> {
+        match l.strip_prefix(key).map(str::trim) {
+            Some(v) if !v.is_empty() => match v.parse() {
+                Ok(n) => Ok(n),
+                Err(e) => err(ln, format!("{key}: {e}")),
+            },
+            _ => err(ln, format!("expected `{key} <count>`, got {l:?}")),
+        }
+    }
+
+    /// Feeds one line (without its newline).
+    ///
+    /// # Errors
+    ///
+    /// [`TraceTextError`] carrying the line number on any malformed or
+    /// inconsistent line. Errors are fatal: the parser stays in its current
+    /// state and subsequent feeds will keep failing on out-of-order input.
+    pub fn feed_line(&mut self, raw: &str) -> Result<ParsedLine, TraceTextError> {
+        self.line_no += 1;
+        let ln = self.line_no;
+        let l = raw.trim();
+        if l.is_empty() || l.starts_with('#') {
+            return Ok(ParsedLine::Meta);
+        }
+        match self.state {
+            PState::ExpectHeader => {
+                match l.strip_prefix("abc-trace ") {
+                    Some(TRACE_FORMAT_VERSION) => {}
+                    Some(v) => return err(ln, format!("unsupported version {v:?}")),
+                    None => return err(ln, "missing `abc-trace <version>` header"),
+                }
+                self.state = PState::ExpectProcesses;
+                Ok(ParsedLine::Meta)
+            }
+            PState::ExpectProcesses => {
+                let n = Self::scalar(ln, l, "processes")?;
+                if let Some(cap) = self.max_processes {
+                    if n > cap {
+                        return err(ln, format!("processes {n} exceeds the cap of {cap}"));
+                    }
+                }
+                self.num_processes = n;
+                self.state = PState::ExpectFaulty;
+                Ok(ParsedLine::Meta)
+            }
+            PState::ExpectFaulty => {
+                let rest = match l.strip_prefix("faulty") {
+                    Some(rest) => rest,
+                    None => return err(ln, format!("expected `faulty …`, got {l:?}")),
+                };
+                self.faulty = vec![false; self.num_processes];
                 for field in rest.split_whitespace() {
                     let p: usize = match field.parse() {
                         Ok(p) => p,
                         Err(e) => return err(ln, format!("faulty index {field:?}: {e}")),
                     };
-                    if p >= num_processes {
+                    if p >= self.num_processes {
                         return err(ln, format!("faulty index {p} out of range"));
                     }
-                    faulty[p] = true;
+                    self.faulty[p] = true;
                 }
+                self.has_init = vec![false; self.num_processes];
+                self.state = PState::Body;
+                Ok(ParsedLine::Topology)
             }
-            None => return err(ln, format!("expected `faulty …`, got {faulty_line:?}")),
+            PState::Body => self.feed_body_line(ln, l),
+            PState::Done => err(ln, format!("trailing content after `end`: {l:?}")),
         }
+    }
 
-        let num_events = scalar(take(&mut lines, "events")?, "events")?;
-        let num_messages = scalar(take(&mut lines, "messages")?, "messages")?;
+    fn feed_body_line(&mut self, ln: usize, l: &str) -> Result<ParsedLine, TraceTextError> {
+        if let Some(first) = l.split_whitespace().next() {
+            match first {
+                "events" | "messages" => {
+                    if self.seen_body_line {
+                        return err(ln, format!("`{first}` count must precede all e/m lines"));
+                    }
+                    let n = Self::scalar(ln, l, first)?;
+                    let slot = if first == "events" {
+                        &mut self.declared_events
+                    } else {
+                        &mut self.declared_messages
+                    };
+                    if slot.is_some() {
+                        return err(ln, format!("duplicate `{first}` count"));
+                    }
+                    *slot = Some(n);
+                    return Ok(ParsedLine::Meta);
+                }
+                "e" => {
+                    self.seen_body_line = true;
+                    return self.feed_event_line(ln, l);
+                }
+                "m" => {
+                    self.seen_body_line = true;
+                    return self.feed_message_line(ln, l);
+                }
+                "end" if l == "end" => {
+                    if let Some(n) = self.declared_events {
+                        if n != self.events_seen {
+                            return err(
+                                ln,
+                                format!("declared {n} events, saw {}", self.events_seen),
+                            );
+                        }
+                    }
+                    if let Some(n) = self.declared_messages {
+                        if n != self.messages_seen {
+                            return err(
+                                ln,
+                                format!("declared {n} messages, saw {}", self.messages_seen),
+                            );
+                        }
+                    }
+                    if let Some((mi, p)) = self.pending.iter().next() {
+                        return err(
+                            ln,
+                            format!(
+                                "message {mi} declares receive event {}, which never arrived",
+                                p.recv_event
+                            ),
+                        );
+                    }
+                    self.state = PState::Done;
+                    return Ok(ParsedLine::End);
+                }
+                _ => {}
+            }
+        }
+        err(ln, format!("expected an `e`/`m`/`end` line, got {l:?}"))
+    }
 
-        let mut events: Vec<TraceEvent> = Vec::with_capacity(num_events);
-        for _ in 0..num_events {
-            let (ln, l) = take(&mut lines, "an `e` line")?;
-            let fields: Vec<&str> = l.split_whitespace().collect();
-            if fields.len() != 8 || fields[0] != "e" {
-                return err(ln, format!("expected `e` line with 7 fields, got {l:?}"));
-            }
-            let seq = at(
+    fn feed_event_line(&mut self, ln: usize, l: &str) -> Result<ParsedLine, TraceTextError> {
+        let fields: Vec<&str> = l.split_whitespace().collect();
+        if fields.len() != 8 || fields[0] != "e" {
+            return err(ln, format!("expected `e` line with 7 fields, got {l:?}"));
+        }
+        let seq = at(
+            ln,
+            opt_usize(fields[1]).and_then(|v| v.ok_or("seq required".into())),
+        )?;
+        if seq != self.events_seen {
+            return err(
                 ln,
-                opt_usize(fields[1]).and_then(|v| v.ok_or("seq required".into())),
-            )?;
-            if seq != events.len() {
-                return err(ln, format!("event seq {seq}, expected {}", events.len()));
+                format!("event seq {seq}, expected {}", self.events_seen),
+            );
+        }
+        if let Some(n) = self.declared_events {
+            if seq >= n {
+                return err(ln, format!("more than the declared {n} e lines"));
             }
-            let process = at(
-                ln,
-                opt_usize(fields[2]).and_then(|v| v.ok_or("process required".into())),
-            )?;
-            if process >= num_processes {
-                return err(ln, format!("process {process} out of range"));
-            }
-            let time = at(
-                ln,
-                opt_u64(fields[3]).and_then(|v| v.ok_or("time required".into())),
-            )?;
-            let trigger = at(ln, opt_usize(fields[4]))?;
-            if let Some(t) = trigger {
-                if t >= num_messages {
-                    return err(ln, format!("trigger {t} out of range"));
+        }
+        let process = at(
+            ln,
+            opt_usize(fields[2]).and_then(|v| v.ok_or("process required".into())),
+        )?;
+        if process >= self.num_processes {
+            return err(ln, format!("process {process} out of range"));
+        }
+        let process = ProcessId(process);
+        let time = at(
+            ln,
+            opt_u64(fields[3]).and_then(|v| v.ok_or("time required".into())),
+        )?;
+        let trigger = at(ln, opt_usize(fields[4]))?;
+        let received_only = at(ln, flag(fields[5]))?;
+        let label = at(ln, opt_u64(fields[6]))?;
+        let distinguished = at(ln, flag(fields[7]))?;
+        if self.events_seen > 0 && time < self.last_time {
+            return err(ln, "event times must be non-decreasing");
+        }
+        if self.streaming {
+            if let Some(&want) = self.expected_at.get(&seq) {
+                if trigger != Some(want) {
+                    return err(
+                        ln,
+                        format!(
+                            "event {seq} was declared the receive of message {want}, \
+                             but its trigger is {}",
+                            fmt_opt(trigger)
+                        ),
+                    );
                 }
             }
-            let received_only = at(ln, flag(fields[5]))?;
-            let label = at(ln, opt_u64(fields[6]))?;
-            let distinguished = at(ln, flag(fields[7]))?;
-            if events.last().is_some_and(|prev| prev.time > time) {
-                return err(ln, "event times must be non-decreasing");
+        }
+        let feed = match trigger {
+            None => {
+                if self.has_init[process.0] {
+                    return err(ln, format!("{process} has more than one wake-up event"));
+                }
+                self.has_init[process.0] = true;
+                EventFeed::Init { seq, process }
             }
-            events.push(TraceEvent {
+            Some(mi) => {
+                if !self.has_init[process.0] {
+                    return err(ln, format!("receive at {process} before its wake-up"));
+                }
+                if let Some(n) = self.declared_messages {
+                    if mi >= n {
+                        return err(ln, format!("trigger {mi} out of range"));
+                    }
+                }
+                let send_event = if self.streaming {
+                    let p = match self.pending.remove(&mi) {
+                        Some(p) => p,
+                        None => {
+                            return err(
+                                ln,
+                                format!(
+                                    "trigger {mi} does not name a prior undelivered `m` line \
+                                     (streaming order requires each message before its receive)"
+                                ),
+                            )
+                        }
+                    };
+                    self.expected_at.remove(&p.recv_event);
+                    if p.recv_event != seq {
+                        return err(
+                            ln,
+                            format!(
+                                "message {mi} declares receive event {}, consumed at {seq}",
+                                p.recv_event
+                            ),
+                        );
+                    }
+                    if p.to != process {
+                        return err(
+                            ln,
+                            format!("message {mi} addressed to {}, received at {process}", p.to),
+                        );
+                    }
+                    if p.recv_time != time {
+                        return err(
+                            ln,
+                            format!(
+                                "message {mi} recv_time {} != event time {time}",
+                                p.recv_time
+                            ),
+                        );
+                    }
+                    Some(p.send_event)
+                } else {
+                    // Document mode: resolvable only if the `m` line already
+                    // appeared (streaming order); canonical order resolves
+                    // at finish().
+                    self.messages.get(mi).map(|m| m.send_event)
+                };
+                EventFeed::Receive {
+                    seq,
+                    process,
+                    send_event,
+                }
+            }
+        };
+        self.last_time = time;
+        self.events_seen += 1;
+        if self.streaming {
+            self.event_meta.push((process, time));
+        } else {
+            self.events.push(TraceEvent {
                 seq,
-                process: ProcessId(process),
+                process,
                 time,
                 trigger,
                 received_only,
@@ -269,47 +732,124 @@ impl Trace {
                 distinguished,
             });
         }
+        Ok(ParsedLine::Event(feed))
+    }
 
-        let mut messages: Vec<TraceMessage> = Vec::with_capacity(num_messages);
-        for _ in 0..num_messages {
-            let (ln, l) = take(&mut lines, "an `m` line")?;
-            let fields: Vec<&str> = l.split_whitespace().collect();
-            if fields.len() != 7 || fields[0] != "m" {
-                return err(ln, format!("expected `m` line with 6 fields, got {l:?}"));
+    fn feed_message_line(&mut self, ln: usize, l: &str) -> Result<ParsedLine, TraceTextError> {
+        let fields: Vec<&str> = l.split_whitespace().collect();
+        if fields.len() != 7 || fields[0] != "m" {
+            return err(ln, format!("expected `m` line with 6 fields, got {l:?}"));
+        }
+        let index = self.messages_seen;
+        if let Some(n) = self.declared_messages {
+            if index >= n {
+                return err(ln, format!("more than the declared {n} m lines"));
             }
-            let from = at(
+        }
+        let from = at(
+            ln,
+            opt_usize(fields[1]).and_then(|v| v.ok_or("from required".into())),
+        )?;
+        let to = at(
+            ln,
+            opt_usize(fields[2]).and_then(|v| v.ok_or("to required".into())),
+        )?;
+        if from >= self.num_processes || to >= self.num_processes {
+            return err(ln, format!("endpoint out of range in {l:?}"));
+        }
+        let send_event = at(
+            ln,
+            opt_usize(fields[3]).and_then(|v| v.ok_or("send_event required".into())),
+        )?;
+        if send_event >= self.events_seen {
+            return err(
                 ln,
-                opt_usize(fields[1]).and_then(|v| v.ok_or("from required".into())),
-            )?;
-            let to = at(
-                ln,
-                opt_usize(fields[2]).and_then(|v| v.ok_or("to required".into())),
-            )?;
-            if from >= num_processes || to >= num_processes {
-                return err(ln, format!("endpoint out of range in {l:?}"));
+                format!(
+                    "send_event {send_event} not yet seen (an `m` line must follow \
+                     its sending `e` line)"
+                ),
+            );
+        }
+        let recv_event = at(ln, opt_usize(fields[4]))?;
+        let send_time = at(
+            ln,
+            opt_u64(fields[5]).and_then(|v| v.ok_or("send_time required".into())),
+        )?;
+        let recv_time = at(ln, opt_u64(fields[6]))?;
+        if recv_event.is_some() != recv_time.is_some() {
+            return err(ln, "recv_event and recv_time must both be set or both `-`");
+        }
+        if let (Some(r), Some(rt)) = (recv_event, recv_time) {
+            if r <= send_event {
+                return err(
+                    ln,
+                    format!("message received (event {r}) no later than sent (event {send_event})"),
+                );
             }
-            let send_event = at(
-                ln,
-                opt_usize(fields[3]).and_then(|v| v.ok_or("send_event required".into())),
-            )?;
-            if send_event >= num_events {
-                return err(ln, format!("send_event {send_event} out of range"));
+            if rt < send_time {
+                return err(
+                    ln,
+                    format!("recv_time {rt} earlier than send_time {send_time}"),
+                );
             }
-            let recv_event = at(ln, opt_usize(fields[4]))?;
-            if let Some(r) = recv_event {
-                if r >= num_events {
+            if let Some(n) = self.declared_events {
+                if r >= n {
                     return err(ln, format!("recv_event {r} out of range"));
                 }
             }
-            let send_time = at(
-                ln,
-                opt_u64(fields[5]).and_then(|v| v.ok_or("send_time required".into())),
-            )?;
-            let recv_time = at(ln, opt_u64(fields[6]))?;
-            if recv_event.is_some() != recv_time.is_some() {
-                return err(ln, "recv_event and recv_time must both be set or both `-`");
+            if self.streaming {
+                if r < self.events_seen {
+                    return err(
+                        ln,
+                        format!(
+                            "recv_event {r} already passed without naming this message \
+                             (streaming order requires each message before its receive)"
+                        ),
+                    );
+                }
+                self.pending.insert(
+                    index,
+                    PendingDelivery {
+                        to: ProcessId(to),
+                        send_event,
+                        recv_event: r,
+                        recv_time: rt,
+                    },
+                );
+                if self.expected_at.insert(r, index).is_some() {
+                    return err(ln, format!("two messages declare receive event {r}"));
+                }
             }
-            messages.push(TraceMessage {
+        }
+        // Both modes check the sender linkage immediately — the sending
+        // event is always behind us (streaming mode via the compact
+        // per-event metadata), so wire and file paths accept exactly the
+        // same documents.
+        let (sender_process, sender_time) = if self.streaming {
+            self.event_meta[send_event]
+        } else {
+            let sender = &self.events[send_event];
+            (sender.process, sender.time)
+        };
+        if sender_process.0 != from {
+            return err(
+                ln,
+                format!(
+                    "message {index} sent from p{from}, but event {send_event} is at \
+                     {sender_process}"
+                ),
+            );
+        }
+        if sender_time != send_time {
+            return err(
+                ln,
+                format!(
+                    "message {index} send_time {send_time} != sending event time {sender_time}"
+                ),
+            );
+        }
+        if !self.streaming {
+            self.messages.push(TraceMessage {
                 from: ProcessId(from),
                 to: ProcessId(to),
                 send_event,
@@ -318,20 +858,42 @@ impl Trace {
                 recv_time,
             });
         }
+        self.messages_seen += 1;
+        Ok(ParsedLine::Message {
+            delivered: recv_event.is_some(),
+        })
+    }
 
-        let (ln, end) = take(&mut lines, "`end`")?;
-        if end != "end" {
-            return err(ln, format!("expected `end`, got {end:?}"));
+    /// Completes a document-mode parse: verifies `end` was reached, runs
+    /// the full event↔message cross validation, and returns the trace.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceTextError`] on truncated input or any cross-reference
+    /// inconsistency. Streaming-mode parsers have nothing to finish (they
+    /// never store the document) and return an error.
+    pub fn finish(self) -> Result<Trace, TraceTextError> {
+        if self.streaming {
+            return err(0, "finish() is for document-mode parsers");
         }
-        if let Some((ln, l)) = lines.next() {
-            return err(ln, format!("trailing content after `end`: {l:?}"));
+        match self.state {
+            PState::Done => {}
+            PState::ExpectHeader => return err(0, "unexpected end of input, expected header"),
+            PState::ExpectProcesses => {
+                return err(0, "unexpected end of input, expected processes")
+            }
+            PState::ExpectFaulty => return err(0, "unexpected end of input, expected faulty"),
+            PState::Body => return err(0, "unexpected end of input, expected `end`"),
         }
-
+        let (events, messages) = (self.events, self.messages);
         // Cross validation: the event/message references must describe one
         // consistent execution.
         for (idx, ev) in events.iter().enumerate() {
             if let Some(mi) = ev.trigger {
-                let m = &messages[mi];
+                let m = match messages.get(mi) {
+                    Some(m) => m,
+                    None => return err(0, format!("event {idx} trigger {mi} out of range")),
+                };
                 if m.recv_event != Some(idx) {
                     return err(
                         0,
@@ -350,36 +912,11 @@ impl Trace {
             }
         }
         for (mi, m) in messages.iter().enumerate() {
-            let sender = &events[m.send_event];
-            if sender.process != m.from {
-                return err(
-                    0,
-                    format!(
-                        "m{mi} sent from {}, but event {} is at {}",
-                        m.from, m.send_event, sender.process
-                    ),
-                );
-            }
-            if sender.time != m.send_time {
-                return err(
-                    0,
-                    format!(
-                        "m{mi} send_time {} != sending event time {}",
-                        m.send_time, sender.time
-                    ),
-                );
-            }
             if let (Some(r), Some(rt)) = (m.recv_event, m.recv_time) {
-                if r <= m.send_event {
-                    return err(
-                        0,
-                        format!(
-                            "m{mi} received (event {r}) no later than sent (event {})",
-                            m.send_event
-                        ),
-                    );
-                }
-                let recv = &events[r];
+                let recv = match events.get(r) {
+                    Some(recv) => recv,
+                    None => return err(0, format!("m{mi} recv_event {r} out of range")),
+                };
                 if recv.trigger != Some(mi) {
                     return err(
                         0,
@@ -397,13 +934,170 @@ impl Trace {
                 }
             }
         }
-
         Ok(Trace {
-            num_processes,
+            num_processes: self.num_processes,
             events,
             messages,
-            faulty,
+            faulty: self.faulty,
         })
+    }
+}
+
+impl Trace {
+    /// Serializes the trace into the canonical document order (see the
+    /// [`crate::textio`] module docs for the grammar): all `e` lines in
+    /// chronological order, then all `m` lines in send order.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        use fmt::Write;
+        let mut out = String::with_capacity(32 * (self.events.len() + self.messages.len()) + 64);
+        self.write_header(&mut out);
+        for ev in &self.events {
+            Self::write_event_line(&mut out, ev, ev.trigger);
+        }
+        for m in &self.messages {
+            Self::write_message_line(&mut out, m);
+        }
+        let _ = writeln!(out, "end");
+        out
+    }
+
+    /// Serializes the trace in *streaming* order: each delivered message's
+    /// `m` line immediately precedes its receive `e` line (message indices
+    /// renumbered to delivery order; undelivered messages trail before
+    /// `end`). Every line is resolvable the moment it arrives, so the
+    /// output can be fed to a [`TraceLineParser::new_streaming`] parser —
+    /// and hence to the `abc-service` TCP ingestion protocol — line by
+    /// line with O(in-flight) memory.
+    #[must_use]
+    pub fn to_stream_text(&self) -> String {
+        use fmt::Write;
+        let mut out = String::with_capacity(40 * (self.events.len() + self.messages.len()) + 64);
+        self.write_header(&mut out);
+        // Delivered messages take indices in delivery order; undelivered
+        // ones follow, in send order.
+        let mut new_index = vec![usize::MAX; self.messages.len()];
+        let mut next = 0usize;
+        for ev in &self.events {
+            if let Some(mi) = ev.trigger {
+                new_index[mi] = next;
+                next += 1;
+            }
+        }
+        for (mi, m) in self.messages.iter().enumerate() {
+            if m.recv_event.is_none() {
+                new_index[mi] = next;
+                next += 1;
+            }
+        }
+        for ev in &self.events {
+            if let Some(mi) = ev.trigger {
+                Self::write_message_line(&mut out, &self.messages[mi]);
+                Self::write_event_line(&mut out, ev, Some(new_index[mi]));
+            } else {
+                Self::write_event_line(&mut out, ev, None);
+            }
+        }
+        for m in &self.messages {
+            if m.recv_event.is_none() {
+                Self::write_message_line(&mut out, m);
+            }
+        }
+        let _ = writeln!(out, "end");
+        out
+    }
+
+    fn write_header(&self, out: &mut String) {
+        use fmt::Write;
+        let _ = writeln!(out, "abc-trace {TRACE_FORMAT_VERSION}");
+        let _ = writeln!(out, "processes {}", self.num_processes);
+        let mut faulty_line = String::from("faulty");
+        for (p, f) in self.faulty.iter().enumerate() {
+            if *f {
+                faulty_line.push(' ');
+                faulty_line.push_str(&p.to_string());
+            }
+        }
+        let _ = writeln!(out, "{faulty_line}");
+        let _ = writeln!(out, "events {}", self.events.len());
+        let _ = writeln!(out, "messages {}", self.messages.len());
+    }
+
+    fn write_event_line(out: &mut String, ev: &TraceEvent, trigger: Option<usize>) {
+        use fmt::Write;
+        let _ = writeln!(
+            out,
+            "e {} {} {} {} {} {} {}",
+            ev.seq,
+            ev.process.0,
+            ev.time,
+            fmt_opt(trigger),
+            u8::from(ev.received_only),
+            fmt_opt(ev.label),
+            u8::from(ev.distinguished),
+        );
+    }
+
+    fn write_message_line(out: &mut String, m: &TraceMessage) {
+        use fmt::Write;
+        let _ = writeln!(
+            out,
+            "m {} {} {} {} {} {}",
+            m.from.0,
+            m.to.0,
+            m.send_event,
+            fmt_opt(m.recv_event),
+            m.send_time,
+            fmt_opt(m.recv_time),
+        );
+    }
+
+    /// Parses and validates a trace from the text format (either line
+    /// order; see the module docs).
+    ///
+    /// # Errors
+    ///
+    /// [`TraceTextError`] with the offending line on malformed input, count
+    /// mismatches, out-of-range indices, or inconsistent event↔message
+    /// cross references.
+    pub fn from_text(text: &str) -> Result<Trace, TraceTextError> {
+        let mut parser = TraceLineParser::new_document();
+        for line in text.lines() {
+            parser.feed_line(line)?;
+        }
+        parser.finish()
+    }
+
+    /// Parses and validates a trace from a byte stream, line by line, with
+    /// a hard per-line length cap: the input text is never accumulated (a
+    /// 100 MB line is rejected after at most `max_line_len` buffered
+    /// bytes). This is how the CLI reads trace files.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceTextError`] as for [`Trace::from_text`]; I/O errors are
+    /// reported with line 0.
+    pub fn from_reader(mut r: impl Read, max_line_len: usize) -> Result<Trace, TraceTextError> {
+        let mut assembler = LineAssembler::new(max_line_len);
+        let mut parser = TraceLineParser::new_document();
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            let n = match r.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return err(0, format!("read error: {e}")),
+            };
+            assembler.push(&buf[..n])?;
+            while let Some(line) = assembler.next_line() {
+                parser.feed_line(&line)?;
+            }
+        }
+        assembler.finish()?;
+        while let Some(line) = assembler.next_line() {
+            parser.feed_line(&line)?;
+        }
+        parser.finish()
     }
 }
 
@@ -494,6 +1188,25 @@ mod tests {
         // Count corruption.
         let broken = text.replacen("events ", "events 9", 1);
         assert!(Trace::from_text(&broken).is_err());
+        // Trailing garbage after `end`.
+        let broken = format!("{text}e 99 0 0 - 0 - 0\n");
+        assert!(Trace::from_text(&broken).is_err());
+    }
+
+    #[test]
+    fn parser_rejects_wakeup_order_violations() {
+        // A receive before the process's wake-up used to slip through
+        // parsing and panic the graph builder downstream; now it is a
+        // parse error in both modes.
+        let text = "abc-trace v1\nprocesses 2\nfaulty\nevents 2\nmessages 1\n\
+                    e 0 0 0 - 0 - 0\ne 1 1 3 0 0 - 0\nm 0 1 0 1 0 3\nend\n";
+        let e = Trace::from_text(text).unwrap_err();
+        assert!(e.message.contains("before its wake-up"), "{e}");
+        // Two wake-ups at one process.
+        let text = "abc-trace v1\nprocesses 1\nfaulty\nevents 2\nmessages 0\n\
+                    e 0 0 0 - 0 - 0\ne 1 0 3 - 0 - 0\nend\n";
+        let e = Trace::from_text(text).unwrap_err();
+        assert!(e.message.contains("more than one wake-up"), "{e}");
     }
 
     #[test]
@@ -510,5 +1223,227 @@ mod tests {
         );
         let mon = parsed.replay_into_monitor(&xi).unwrap();
         assert_eq!(mon.is_admissible(), check::is_admissible(&g1, &xi).unwrap());
+    }
+
+    #[test]
+    fn stream_text_parses_to_the_same_execution() {
+        use abc_core::{check, Xi};
+        let trace = sample_trace();
+        let stream = trace.to_stream_text();
+        // Document-mode parse of streaming order: same execution graph
+        // (messages are permuted to delivery order, which the graph
+        // conversion normalizes away).
+        let parsed = Trace::from_text(&stream).unwrap();
+        assert_eq!(parsed.events().len(), trace.events().len());
+        assert_eq!(parsed.messages().len(), trace.messages().len());
+        assert_eq!(parsed.to_execution_graph(), trace.to_execution_graph());
+        let xi = Xi::from_integer(2);
+        assert_eq!(
+            check::is_admissible(&parsed.to_execution_graph(), &xi).unwrap(),
+            check::is_admissible(&trace.to_execution_graph(), &xi).unwrap()
+        );
+    }
+
+    #[test]
+    fn streaming_parser_feeds_a_monitor_line_by_line() {
+        use abc_core::monitor::IncrementalChecker;
+        use abc_core::{EventId, Xi};
+        let trace = sample_trace();
+        let xi = Xi::from_integer(2);
+        let mut parser = TraceLineParser::new_streaming();
+        let mut mon: Option<IncrementalChecker> = None;
+        for line in trace.to_stream_text().lines() {
+            match parser.feed_line(line).unwrap() {
+                ParsedLine::Topology => {
+                    let (n, faulty) = parser.topology().unwrap();
+                    let mut m = IncrementalChecker::new(n, &xi).unwrap();
+                    for (p, f) in faulty.iter().enumerate() {
+                        if *f {
+                            m.mark_faulty(ProcessId(p));
+                        }
+                    }
+                    mon = Some(m);
+                }
+                ParsedLine::Event(EventFeed::Init { process, .. }) => {
+                    mon.as_mut().unwrap().append_init(process);
+                }
+                ParsedLine::Event(EventFeed::Receive {
+                    process,
+                    send_event,
+                    ..
+                }) => {
+                    mon.as_mut()
+                        .unwrap()
+                        .append_send(EventId(send_event.unwrap()), process);
+                }
+                ParsedLine::Meta | ParsedLine::Message { .. } | ParsedLine::End => {}
+            }
+        }
+        assert!(parser.is_done());
+        assert_eq!(parser.events_seen(), trace.events().len());
+        let mon = mon.unwrap();
+        let offline = trace.replay_into_monitor(&xi).unwrap();
+        assert_eq!(mon.graph(), offline.graph());
+        assert_eq!(mon.is_admissible(), offline.is_admissible());
+    }
+
+    #[test]
+    fn streaming_parser_has_no_document_memory() {
+        // In streaming order the pending-delivery map tracks only in-flight
+        // messages; the document itself is never stored.
+        let trace = sample_trace();
+        let mut parser = TraceLineParser::new_streaming();
+        let mut max_pending = 0usize;
+        for line in trace.to_stream_text().lines() {
+            parser.feed_line(line).unwrap();
+            max_pending = max_pending.max(parser.pending.len());
+        }
+        assert!(parser.is_done());
+        assert!(parser.events.is_empty() && parser.messages.is_empty());
+        // In to_stream_text order every delivered message immediately
+        // precedes its receive, so at most one delivery is ever pending.
+        assert!(max_pending <= 1, "pending grew to {max_pending}");
+    }
+
+    #[test]
+    fn streaming_and_document_modes_reject_the_same_corruptions() {
+        // A lying sender linkage (wrong `from`, wrong send_time) must be
+        // rejected by BOTH modes — otherwise a network server would accept
+        // bytes that an offline file re-check rejects.
+        let stream = sample_trace().to_stream_text();
+        let m_line = stream
+            .lines()
+            .find(|l| l.starts_with("m "))
+            .expect("stream has messages")
+            .to_string();
+        let fields: Vec<&str> = m_line.split_whitespace().collect();
+        let wrong_from = format!(
+            "m {} {} {} {} {} {}",
+            (fields[1].parse::<usize>().unwrap() + 1) % 3,
+            fields[2],
+            fields[3],
+            fields[4],
+            fields[5],
+            fields[6]
+        );
+        let wrong_time = format!(
+            "m {} {} {} {} {} {}",
+            fields[1],
+            fields[2],
+            fields[3],
+            fields[4],
+            fields[5].parse::<u64>().unwrap() + 1_000,
+            fields[6]
+        );
+        for corrupted in [wrong_from, wrong_time] {
+            let text = stream.replacen(&m_line, &corrupted, 1);
+            assert_ne!(text, stream);
+            assert!(Trace::from_text(&text).is_err(), "document mode accepts");
+            let mut parser = TraceLineParser::new_streaming();
+            let streaming_rejects = text.lines().any(|l| parser.feed_line(l).is_err());
+            assert!(streaming_rejects, "streaming mode accepts: {corrupted}");
+        }
+    }
+
+    #[test]
+    fn streaming_parser_rejects_document_order() {
+        // Canonical document order defers m lines to the end; a streaming
+        // parser must reject the first unresolved trigger, not buffer.
+        let text = sample_trace().to_text();
+        let mut parser = TraceLineParser::new_streaming();
+        let mut failed = false;
+        for line in text.lines() {
+            if parser.feed_line(line).is_err() {
+                failed = true;
+                break;
+            }
+        }
+        assert!(failed, "document order must not stream-parse");
+    }
+
+    #[test]
+    fn line_assembler_caps_malicious_lines_early() {
+        // A "100 MB line" arrives in chunks and must be rejected as soon
+        // as the cap is crossed — long before 100 MB is buffered.
+        let cap = 4 * 1024;
+        let mut asm = LineAssembler::new(cap);
+        let chunk = vec![b'a'; 1024];
+        let mut pushed = 0usize;
+        let mut failed_at = None;
+        for _ in 0..(100 * 1024) {
+            pushed += chunk.len();
+            if let Err(e) = asm.push(&chunk) {
+                failed_at = Some((pushed, e));
+                break;
+            }
+        }
+        let (pushed, e) = failed_at.expect("cap never tripped");
+        assert!(e.message.contains("exceeds"), "{e}");
+        assert!(
+            pushed <= 2 * cap,
+            "cap tripped only after {pushed} bytes (cap {cap})"
+        );
+        assert!(asm.partial_len() <= cap);
+        // And the error is sticky.
+        assert!(asm.push(b"x\n").is_err());
+    }
+
+    #[test]
+    fn from_reader_rejects_a_100mb_line_early() {
+        /// Yields `total` bytes of 'a' with no newline, counting reads.
+        struct LongLine {
+            total: usize,
+            served: usize,
+        }
+        impl Read for LongLine {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                let n = buf.len().min(self.total - self.served);
+                buf[..n].fill(b'a');
+                self.served += n;
+                Ok(n)
+            }
+        }
+        let mut src = LongLine {
+            total: 100 * 1024 * 1024,
+            served: 0,
+        };
+        let e = Trace::from_reader(&mut src, DEFAULT_MAX_LINE_LEN).unwrap_err();
+        assert!(e.message.contains("exceeds"), "{e}");
+        // Rejected early: we consumed only O(cap), not the full 100 MB.
+        assert!(
+            src.served <= 4 * DEFAULT_MAX_LINE_LEN,
+            "consumed {} bytes before rejecting",
+            src.served
+        );
+    }
+
+    #[test]
+    fn from_reader_matches_from_text() {
+        let trace = sample_trace();
+        let text = trace.to_text();
+        let parsed = Trace::from_reader(text.as_bytes(), DEFAULT_MAX_LINE_LEN).unwrap();
+        assert_eq!(parsed.events(), trace.events());
+        assert_eq!(parsed.messages(), trace.messages());
+        // A file missing its final newline still parses.
+        let parsed = Trace::from_reader(text.trim_end().as_bytes(), DEFAULT_MAX_LINE_LEN).unwrap();
+        assert_eq!(parsed.events(), trace.events());
+    }
+
+    #[test]
+    fn counts_are_optional_declarations() {
+        // A live producer may omit the events/messages counts entirely.
+        let trace = sample_trace();
+        let text: String = trace
+            .to_text()
+            .lines()
+            .filter(|l| !l.starts_with("events ") && !l.starts_with("messages "))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let parsed = Trace::from_text(&text).unwrap();
+        assert_eq!(parsed.events(), trace.events());
+        // But when declared, they must match.
+        let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+        lines.insert(3, "events 9999".to_string());
+        assert!(Trace::from_text(&lines.join("\n")).is_err());
     }
 }

@@ -15,6 +15,7 @@
 //! | [`clocksync`] | Algorithm 1 (Byzantine clock sync) + Algorithm 2 (lock-step rounds) |
 //! | [`fd`] | Fig. 3 ping-pong failure detection, Ω leader election |
 //! | [`harness`] | Parallel scenario-sweep engine, trace text serialization consumers, the `abc` CLI |
+//! | [`service`] | Sharded TCP trace-ingestion service with live ABC monitoring (`abc serve`/`feed`/`loadgen`) |
 //! | [`consensus`] | EIG + FloodSet consensus over lock-step rounds |
 //! | [`variants`] | ?ABC, ◇ABC, ?◇ABC weaker variants (Section 6) |
 //! | [`vlsi`] | Systems-on-Chip substrate (Section 5.3) |
@@ -33,6 +34,7 @@ pub use abc_harness as harness;
 pub use abc_lp as lp;
 pub use abc_models as models;
 pub use abc_rational as rational;
+pub use abc_service as service;
 pub use abc_sim as sim;
 pub use abc_variants as variants;
 pub use abc_vlsi as vlsi;

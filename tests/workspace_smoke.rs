@@ -158,3 +158,32 @@ fn vlsi_soc_clock_generation_keeps_the_xi_margin() {
         assert!(margin.to_f64() > 1.0);
     }
 }
+
+#[test]
+fn service_round_trips_a_trace_over_loopback() {
+    use abc::service::proto::offline_verdict;
+    use abc::service::server::{start, ServerConfig};
+    use abc::sim::delay::BandDelay;
+    use abc::sim::{RunLimits, Simulation};
+
+    let mut sim = Simulation::new(BandDelay::new(1, 6, 3));
+    for _ in 0..4 {
+        sim.add_process(abc::clocksync::TickGen::new(4, 1));
+    }
+    sim.run(RunLimits {
+        max_events: 150,
+        max_time: u64::MAX,
+    });
+    let trace = sim.trace().clone();
+    let xi = Xi::from_fraction(3, 2);
+
+    let handle = start(ServerConfig::default()).unwrap();
+    let outcome =
+        abc::service::feed_stream_text(&handle.addr().to_string(), &xi, &trace.to_stream_text())
+            .unwrap();
+    assert_eq!(
+        outcome.verdict.to_string(),
+        offline_verdict(&trace, &xi).unwrap().to_string()
+    );
+    handle.join();
+}
