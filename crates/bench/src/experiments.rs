@@ -61,7 +61,7 @@ pub fn fig1() -> bool {
     }
     b.send(cur, ProcessId(1)); // C1: 4 messages, arrives later (spans C2)
     let g = b.finish();
-    let ratio = check::max_relevant_cycle_ratio(&g);
+    let ratio = check::max_relevant_cycle_ratio(&g).unwrap();
     let at = check::is_admissible(&g, &Xi::from_fraction(5, 4)).unwrap();
     let above = check::is_admissible(&g, &Xi::from_fraction(3, 2)).unwrap();
     let witness = check::find_violation(&g, &Xi::from_fraction(5, 4)).unwrap();
@@ -206,7 +206,7 @@ pub fn fig4() -> bool {
     row(&[
         "max ratio (late)",
         "2",
-        &format!("{:?}", check::max_relevant_cycle_ratio(&late)),
+        &format!("{:?}", check::max_relevant_cycle_ratio(&late).unwrap()),
     ]);
     late_ok && early_ok
 }
@@ -333,7 +333,7 @@ pub fn fig8() -> bool {
 pub fn fig9() -> bool {
     banner("Fig 9: compensated 2-hop paths");
     let (g, timed) = scenarios::fig9_compensated_paths();
-    let ratio = check::max_relevant_cycle_ratio(&g);
+    let ratio = check::max_relevant_cycle_ratio(&g).unwrap();
     let theta_obs = timed.max_theta_ratio(&g);
     let ok = ratio == Some(Ratio::from_integer(1))
         && check::is_admissible(&g, &Xi::from_fraction(11, 10)).unwrap();
@@ -351,7 +351,7 @@ pub fn fig10() -> bool {
     let (in_order, reordered) = scenarios::fig10_fifo();
     let a = check::is_admissible(&in_order, &Xi::from_integer(4)).unwrap();
     let b = !check::is_admissible(&reordered, &Xi::from_integer(4)).unwrap();
-    let c = check::max_relevant_cycle_ratio(&reordered) == Some(Ratio::from_integer(5));
+    let c = check::max_relevant_cycle_ratio(&reordered) == Ok(Some(Ratio::from_integer(5)));
     let d = check::is_admissible(&reordered, &Xi::from_integer(6)).unwrap();
     row(&["case", "paper", "measured"]);
     row(&["in order, Xi=4", "admissible", verdict(a)]);
@@ -636,7 +636,7 @@ pub fn decomposition() -> bool {
     banner("Thm 11 / Cor 1: sums of relevant cycles stay below Xi");
     let g = workloads::two_chain(4);
     let cycles = enumerate_relevant_cycles(&g, EnumerationLimits::default()).cycles;
-    let max = check::max_relevant_cycle_ratio(&g).unwrap();
+    let max = check::max_relevant_cycle_ratio(&g).unwrap().unwrap();
     let xi = Xi::new(&max + &Ratio::new(1, 2)).unwrap();
     let mut ok = true;
     row(&["combination", "|C-|/|C+|", "< Xi"]);

@@ -72,7 +72,7 @@ proptest! {
         let g = sim.trace().to_execution_graph();
         prop_assert!(check::is_admissible(&g, &Xi::from_fraction(2, 1)).unwrap());
         // And the measured max cycle ratio is below the band ratio 19/10.
-        if let Some(r) = check::max_relevant_cycle_ratio(&g) {
+        if let Some(r) = check::max_relevant_cycle_ratio(&g).unwrap() {
             prop_assert!(r < Ratio::new(19, 10), "ratio {r}");
         }
     }

@@ -28,7 +28,8 @@
 //! | Execution graphs (Def. 1), faulty-message dropping | [`graph`] |
 //! | Chains, cycles, relevant cycles (Defs. 2–3) | [`cycle`] |
 //! | ABC synchrony condition (Def. 4), polynomial checking | [`check`] |
-//! | Online (incremental) monitoring of Def. 4 | [`monitor`] |
+//! | The shared CSR traversal graph behind every Def.-4 decision | [`traversal`] |
+//! | Online (incremental) monitoring of Def. 4, bounded-memory pruning | [`monitor`] |
 //! | Exhaustive cycle enumeration (ground truth) | [`enumerate`] |
 //! | Consistent cuts, causal cones, cut intervals (Defs. 5–6) | [`cut`] |
 //! | The non-standard cycle space, `⊕`, Thm. 11 / Cor. 1 | [`cyclespace`] |
@@ -54,7 +55,7 @@
 //!
 //! assert_eq!(
 //!     check::max_relevant_cycle_ratio(&g),
-//!     Some(abc_rational::Ratio::from_integer(2))
+//!     Ok(Some(abc_rational::Ratio::from_integer(2)))
 //! );
 //! let xi = Xi::from_fraction(5, 2);
 //! assert!(check::is_admissible(&g, &xi).unwrap());
@@ -77,6 +78,7 @@ pub mod enumerate;
 pub mod graph;
 pub mod monitor;
 pub mod timed;
+pub mod traversal;
 pub mod xi;
 
 pub use graph::{EventId, ExecutionGraph, MessageId, ProcessId};

@@ -8,17 +8,18 @@
 //!
 //! [`IncrementalChecker`] turns the batch reduction into a streaming one.
 //! It mirrors the [`crate::graph::ExecutionGraphBuilder`] API (`append_init`
-//! / `append_send`) and maintains Bellman–Ford *potentials* over the
-//! traversal graph `T` of [`crate::check`]: a label `π(v)` per event such
-//! that every arc `u → v` of weight `w` satisfies `π(v) ≤ π(u) + w`. Such
-//! labels exist iff `T` has no negative cycle, i.e. iff the execution so
-//! far is admissible. Appending an event adds at most three arcs (forward +
-//! backward for its triggering message, one local back-arc), and the labels
-//! are repaired by re-relaxing only the affected frontier — amortized far
-//! below a full pass, and exactly zero work for events that do not disturb
-//! any label. The first violation is latched together with a witness of the
-//! same [`Cycle`] type the batch checker produces (violations never go away:
-//! appending events only adds cycles).
+//! / `append_send`) and maintains Bellman–Ford *potentials* over the same
+//! arena-backed [`TraversalGraph`] the batch checker walks (grown
+//! incrementally here instead of built in one pass): a label `π(v)` per
+//! event such that every arc `u → v` of weight `w` satisfies
+//! `π(v) ≤ π(u) + w`. Such labels exist iff `T` has no negative cycle, i.e.
+//! iff the execution so far is admissible. Appending an event adds at most
+//! three arcs (forward + backward for its triggering message, one local
+//! back-arc), and the labels are repaired by re-relaxing only the affected
+//! frontier — amortized far below a full pass, and exactly zero work for
+//! events that do not disturb any label. The first violation is latched
+//! together with a witness of the same [`Cycle`] type the batch checker
+//! produces (violations never go away: appending events only adds cycles).
 //!
 //! # Weights without a global scale factor
 //!
@@ -29,6 +30,59 @@
 //! component-wise: a cycle's pair sum is `(p·F − q·B, −len)`, which is
 //! lexicographically negative iff `q·B − p·F ≥ 0` — the same predicate,
 //! stable under insertion.
+//!
+//! # Canonical witnesses
+//!
+//! When a violation is confirmed, every *new* violating cycle necessarily
+//! passes through the event `v` whose append created it (all new arcs are
+//! incident to `v`), and — because the pre-append graph was feasible — has
+//! the canonical shape *forward arc `u → v`, local back-arc `v → prev`,
+//! then a pre-existing path `prev ⇝ u`*. The monitor therefore extracts
+//! its witness as the most-violating such cycle via one single-source
+//! shortest-path pass over the pre-append arcs. This makes the witness a
+//! pure function of the live traversal graph — independent of relaxation
+//! order, queue state, *and of how much settled prefix has been pruned*,
+//! which is what keeps pruned and unpruned monitors byte-identical.
+//!
+//! # Bounded memory: settled-prefix pruning
+//!
+//! A long-lived monitor (an `abc-service` session, a days-long simulation)
+//! must not hold every event forever. Violation evidence in the ABC model
+//! is local: a new violating cycle always runs through the event just
+//! appended, and the only ways it can reach back into an old prefix
+//! `[0, W)` are the *boundary arcs* that cross `W` — so once the caller
+//! promises that no **future** `append_send` will name a send event below
+//! `W` (the `oldest_inflight_send` watermark; only the application knows
+//! its in-flight messages), the prefix is *settled*: its internal arcs are
+//! frozen forever, and [`IncrementalChecker::prune_settled`] compacts it
+//! away after **condensing** its boundary:
+//!
+//! * every (entry arc, exit arc) pair crossing the cut is replaced by one
+//!   **shortcut arc** between their live endpoints, weighted by the exact
+//!   shortest path through the settled region (plus the crossing arcs) and
+//!   carrying its step-by-step expansion so witnesses can be reproduced
+//!   byte-for-byte;
+//! * every process whose newest event falls below the cut leaves behind a
+//!   **frontier row**: its frozen potential plus the condensed shortest
+//!   paths from that event to each exit, materialized as shortcut arcs by
+//!   the process's next receive (whose local edge is the one future arc
+//!   that may still point into the region).
+//!
+//! Because the settled region's arcs can never change, those condensations
+//! are exact for all time: a negative cycle exists in the compacted graph
+//! iff one exists in the full graph, the canonical confirmation finds the
+//! same most-violating cycle with the same total weight, and expanding the
+//! shortcuts reproduces the identical [`Cycle`] witness. Verdicts,
+//! violation latch points, witnesses, and summaries are **byte-identical**
+//! with and without pruning, at any call cadence. Memory becomes
+//! `O(processes + active window + in-flight messages + boundary
+//! condensation)` instead of `O(all events)` — the condensation term is
+//! the pairwise shortcuts of the (few) arcs crossing each cut, plus their
+//! stored expansions; [`MonitorStats`] reports `pruned_events` and the
+//! live high-water marks. Call [`IncrementalChecker::enable_pruning`]
+//! first to also drop the full [`ExecutionGraph`] mirror (after which
+//! [`IncrementalChecker::graph`] is unavailable — use
+//! [`IncrementalChecker::violation_summary`] for witness reporting).
 //!
 //! # Example: streaming detection
 //!
@@ -52,11 +106,12 @@
 
 use std::collections::VecDeque;
 
-use crate::check::{self, Arc, ArcKind, CheckError};
-use crate::cycle::Cycle;
+use crate::check::CheckError;
+use crate::cycle::{Cycle, CycleStep, ShadowEdge, WitnessSummary};
 use crate::graph::{
     EventId, ExecutionGraph, ExecutionGraphBuilder, LocalEdge, MessageId, ProcessId, Trigger,
 };
+use crate::traversal::{ArcKind, TraversalGraph};
 use crate::xi::Xi;
 
 /// Lexicographic arc weight: `(p·[fwd] − q·[bwd], −1)`. Tuples compare
@@ -64,20 +119,90 @@ use crate::xi::Xi;
 /// needs; components are added independently.
 type Weight = (i128, i128);
 
-/// Counters describing the monitor's work, for observability and benches.
+/// Counters describing the monitor's work and footprint, for observability
+/// and benches.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MonitorStats {
-    /// Events appended so far.
+    /// Events appended so far (including pruned ones).
     pub events: usize,
     /// Messages appended so far (including exempt ones).
     pub messages: usize,
-    /// Traversal-graph arcs currently maintained.
+    /// Traversal-graph arcs created so far (including pruned ones).
     pub arcs: usize,
     /// Total label relaxations performed across all appends.
     pub relaxations: u64,
-    /// Full batch-Bellman–Ford confirmations triggered (a violation latch,
-    /// or — rarely — a false alarm of the relaxation-count heuristic).
+    /// Violation confirmations triggered (a violation latch, or — rarely —
+    /// a false alarm of the relaxation-count heuristic).
     pub full_checks: u64,
+    /// Events compacted away by [`IncrementalChecker::prune_settled`].
+    pub pruned_events: usize,
+    /// Arcs compacted away by [`IncrementalChecker::prune_settled`].
+    pub pruned_arcs: usize,
+    /// High-water mark of simultaneously live (non-pruned) events — the
+    /// monitor's memory is proportional to this, not to `events`.
+    pub live_events_peak: usize,
+    /// High-water mark of simultaneously live arcs.
+    pub live_arcs_peak: usize,
+}
+
+/// A condensed boundary path of a pruned prefix: the exact lexicographic
+/// weight of the shortest settled-region path it stands for, plus the
+/// expansion needed to reproduce witnesses byte-for-byte.
+#[derive(Clone, Debug)]
+struct ShortcutInfo {
+    weight: Weight,
+    /// The condensed steps, in traversal order (tail → head).
+    steps: Vec<CycleStep>,
+    /// Processes of the expansion's *interior* vertices (between the live
+    /// endpoints): `procs.len() == steps.len() - 1`.
+    procs: Vec<ProcessId>,
+}
+
+/// One condensed path out of a pruned frontier event: `prev ⇝ head`
+/// (ending on a live event), with its expansion.
+#[derive(Clone, Debug)]
+struct RowOut {
+    /// Live head event (global id).
+    head: usize,
+    /// Exact weight of the condensed path `prev ⇝ head`.
+    weight: Weight,
+    /// Steps of the condensed path, tail-first.
+    steps: Vec<CycleStep>,
+    /// Processes of interior vertices (`procs.len() == steps.len() - 1`).
+    procs: Vec<ProcessId>,
+}
+
+/// What a pruned per-process frontier leaves behind: the frozen potential
+/// of the process's newest (compacted) event, and the condensed paths from
+/// it to every live exit. Read exactly once, by the process's next append,
+/// which materializes the paths as shortcut arcs hanging off the new
+/// receive's local edge.
+#[derive(Clone, Debug)]
+struct FrontierRow {
+    label: Weight,
+    outs: Vec<RowOut>,
+}
+
+/// The append that opened the current repair, for violation confirmation:
+/// every cycle the append can have created runs `u → v → prev → ⋯ → u`.
+#[derive(Clone, Debug)]
+struct ConfirmCtx {
+    /// Send event of the appended message.
+    u: usize,
+    /// The appended receive event.
+    v: usize,
+    /// `v`'s local predecessor: the global event id, and whether it is
+    /// still live (below-base predecessors were compacted by pruning).
+    prev_global: usize,
+    prev_live: bool,
+    /// The frontier row of `v`'s process when `prev` was compacted: seeds
+    /// the confirmation's shortest-path pass in place of `dist[prev] = 0`.
+    seeds: Option<FrontierRow>,
+    /// The appended message.
+    mid: MessageId,
+    /// Arena length before this append's arcs: `arcs[..old_arcs]` is the
+    /// pre-append (feasible) traversal graph.
+    old_arcs: usize,
 }
 
 /// Incremental decision of the ABC synchrony condition (Definition 4).
@@ -96,19 +221,41 @@ pub struct IncrementalChecker {
     xi: Xi,
     p: i128,
     q: i128,
-    builder: ExecutionGraphBuilder,
-    arcs: Vec<Arc>,
-    /// Outgoing arc indices per event (traversal-graph adjacency).
-    out_arcs: Vec<Vec<usize>>,
-    /// Bellman–Ford potential per event; feasible (no tense arc) whenever
-    /// `violation` is `None`.
+    num_processes: usize,
+    faulty: Vec<bool>,
+    /// Whether each process has sent at least one message (the
+    /// [`mark_faulty`](IncrementalChecker::mark_faulty) guard).
+    has_sent: Vec<bool>,
+    /// Full execution-graph mirror, dropped when pruning is enabled. All
+    /// monitoring decisions run on the windowed state below; the mirror
+    /// only serves [`IncrementalChecker::graph`].
+    builder: Option<ExecutionGraphBuilder>,
+    /// The shared CSR traversal graph, grown arc by arc (and compacted
+    /// from the front by pruning).
+    tg: TraversalGraph,
+    /// Process of each live event (windowed by `tg.base()`).
+    proc_of: Vec<ProcessId>,
+    /// Bellman–Ford potential per live event; feasible (no tense arc)
+    /// whenever `violation` is `None`.
     pot: Vec<Weight>,
     /// Per-append relaxation counts (reset via `touched` after each append).
     relax_count: Vec<u64>,
+    in_queue: Vec<bool>,
     touched: Vec<usize>,
     queue: VecDeque<usize>,
-    in_queue: Vec<bool>,
+    /// Latest event id of each process (survives pruning — it guards
+    /// double-init and locates local predecessors).
+    last_event: Vec<Option<usize>>,
+    /// What a pruned per-process frontier left behind (see [`FrontierRow`]);
+    /// recomposed by later prunes, consumed by the process's next append.
+    frontier_row: Vec<Option<FrontierRow>>,
+    /// Expansion table for the arena's [`ArcKind::Shortcut`] arcs; rebuilt
+    /// (compacted) at every prune.
+    shortcuts: Vec<ShortcutInfo>,
+    total_messages: usize,
+    pending: Option<ConfirmCtx>,
     violation: Option<Cycle>,
+    violation_summary: Option<WitnessSummary>,
     stats: MonitorStats,
 }
 
@@ -128,15 +275,24 @@ impl IncrementalChecker {
             xi: xi.clone(),
             p: i128::from(p),
             q: i128::from(q),
-            builder: ExecutionGraph::builder(num_processes),
-            arcs: Vec::new(),
-            out_arcs: Vec::new(),
+            num_processes,
+            faulty: vec![false; num_processes],
+            has_sent: vec![false; num_processes],
+            builder: Some(ExecutionGraph::builder(num_processes)),
+            tg: TraversalGraph::new(),
+            proc_of: Vec::new(),
             pot: Vec::new(),
             relax_count: Vec::new(),
+            in_queue: Vec::new(),
             touched: Vec::new(),
             queue: VecDeque::new(),
-            in_queue: Vec::new(),
+            last_event: vec![None; num_processes],
+            frontier_row: vec![None; num_processes],
+            shortcuts: Vec::new(),
+            total_messages: 0,
+            pending: None,
             violation: None,
+            violation_summary: None,
             stats: MonitorStats::default(),
         })
     }
@@ -151,7 +307,7 @@ impl IncrementalChecker {
         let mut mon = IncrementalChecker::new(g.num_processes(), xi)?;
         for p in 0..g.num_processes() {
             if g.is_faulty(ProcessId(p)) {
-                mon.builder.mark_faulty(ProcessId(p));
+                mon.mark_faulty(ProcessId(p));
             }
         }
         for ev in g.events() {
@@ -168,6 +324,28 @@ impl IncrementalChecker {
         Ok(mon)
     }
 
+    /// Drops the full execution-graph mirror so memory stays bounded by the
+    /// live window: from here on only [`IncrementalChecker::prune_settled`]
+    /// bookkeeping is kept per event, and [`IncrementalChecker::graph`] /
+    /// [`IncrementalChecker::finish`] are unavailable (use
+    /// [`IncrementalChecker::violation_summary`] for witness reporting).
+    ///
+    /// Pruning itself ([`IncrementalChecker::prune_settled`]) also works
+    /// with the mirror kept — useful when verdict-identical comparison
+    /// against the full graph is wanted — but only this call makes the
+    /// memory bound `O(processes + active window + in-flight)` real.
+    ///
+    /// # Panics
+    ///
+    /// Panics if events have already been appended.
+    pub fn enable_pruning(&mut self) {
+        assert!(
+            self.tg.total_nodes() == 0,
+            "enable_pruning() must be called before any event is appended"
+        );
+        self.builder = None;
+    }
+
     /// The monitored parameter `Ξ`.
     #[must_use]
     pub fn xi(&self) -> &Xi {
@@ -176,9 +354,16 @@ impl IncrementalChecker {
 
     /// The execution graph accumulated so far (identical to what
     /// [`ExecutionGraphBuilder`] would have produced from the same calls).
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`IncrementalChecker::enable_pruning`] dropped the mirror.
     #[must_use]
     pub fn graph(&self) -> &ExecutionGraph {
-        self.builder.graph()
+        self.builder
+            .as_ref()
+            .expect("graph() is unavailable on a pruning monitor (enable_pruning was called)")
+            .graph()
     }
 
     /// Whether the execution appended so far satisfies the ABC condition.
@@ -194,10 +379,37 @@ impl IncrementalChecker {
         self.violation.as_ref()
     }
 
-    /// Work counters.
+    /// The summary of the latched violation witness, if any — computed from
+    /// the live window at latch time, so it is available (and identical)
+    /// with or without pruning, with or without the graph mirror.
+    #[must_use]
+    pub fn violation_summary(&self) -> Option<&WitnessSummary> {
+        self.violation_summary.as_ref()
+    }
+
+    /// Work counters and footprint marks.
     #[must_use]
     pub fn stats(&self) -> MonitorStats {
         self.stats
+    }
+
+    /// Events currently held live (not pruned).
+    #[must_use]
+    pub fn live_events(&self) -> usize {
+        self.tg.num_live_nodes()
+    }
+
+    /// Arcs currently held live (not pruned).
+    #[must_use]
+    pub fn live_arcs(&self) -> usize {
+        self.tg.num_arcs()
+    }
+
+    /// Whether process `p` has any event yet (works in every mode; the
+    /// pruning-safe replacement for `graph().events_of(p).is_empty()`).
+    #[must_use]
+    pub fn process_has_events(&self, p: ProcessId) -> bool {
+        self.last_event[p.0].is_some()
     }
 
     /// Marks process `p` Byzantine faulty: its future messages are exempt
@@ -210,14 +422,13 @@ impl IncrementalChecker {
     /// does when the process is registered).
     pub fn mark_faulty(&mut self, p: ProcessId) {
         assert!(
-            self.builder
-                .graph()
-                .messages()
-                .iter()
-                .all(|m| m.sender != p),
+            !self.has_sent[p.0],
             "{p} must be marked faulty before it sends"
         );
-        self.builder.mark_faulty(p);
+        self.faulty[p.0] = true;
+        if let Some(b) = &mut self.builder {
+            b.mark_faulty(p);
+        }
     }
 
     /// Appends the wake-up (initial) event of process `p`.
@@ -226,10 +437,15 @@ impl IncrementalChecker {
     ///
     /// Panics if `p` already has events.
     pub fn append_init(&mut self, p: ProcessId) -> EventId {
-        let id = self.builder.init(p);
-        self.push_node();
+        assert!(self.last_event[p.0].is_none(), "{p} already initialized");
+        let id = self.push_node(p);
+        self.last_event[p.0] = Some(id);
         self.stats.events += 1;
-        id
+        if let Some(b) = &mut self.builder {
+            let mirrored = b.init(p);
+            debug_assert_eq!(mirrored.0, id);
+        }
+        EventId(id)
     }
 
     /// Appends a message from the computing step at `from` to process `to`
@@ -237,7 +453,8 @@ impl IncrementalChecker {
     ///
     /// # Panics
     ///
-    /// Panics if `from` is out of range or `to` has no init event yet.
+    /// Panics if `from` is out of range, already pruned, or `to` has no
+    /// init event yet.
     pub fn append_send(&mut self, from: EventId, to: ProcessId) -> (MessageId, EventId) {
         self.append_send_inner(from, to, false)
     }
@@ -254,16 +471,39 @@ impl IncrementalChecker {
         to: ProcessId,
         exempt: bool,
     ) -> (MessageId, EventId) {
-        let (mid, recv) = self.builder.send(from, to);
-        if exempt {
-            self.builder.set_exempt(mid);
-        }
-        self.push_node();
+        assert!(from.0 < self.tg.total_nodes(), "unknown send event");
+        assert!(
+            from.0 >= self.tg.base(),
+            "send event {from} was already pruned: the prune_settled watermark promised \
+             no further sends below e{}",
+            self.tg.base()
+        );
+        assert!(
+            self.last_event[to.0].is_some(),
+            "{to} must be initialized before receiving"
+        );
+        let base = self.tg.base();
+        let sender = self.proc_of[from.0 - base];
+        let effective = !exempt && !self.faulty[sender.0];
+        let mid = MessageId(self.total_messages);
+        self.total_messages += 1;
+        self.has_sent[sender.0] = true;
+        let old_arcs = self.tg.num_arcs();
+        let prev_global = self.last_event[to.0].expect("receiver is initialized");
+        let recv = self.push_node(to);
+        self.last_event[to.0] = Some(recv);
         self.stats.events += 1;
         self.stats.messages += 1;
+        if let Some(b) = &mut self.builder {
+            let (mirrored_mid, mirrored_recv) = b.send(from, to);
+            debug_assert_eq!((mirrored_mid, mirrored_recv.0), (mid, recv));
+            if exempt {
+                b.set_exempt(mirrored_mid);
+            }
+        }
         if self.violation.is_some() {
             // Latched: the verdict can never change, skip all arc work.
-            return (mid, recv);
+            return (mid, EventId(recv));
         }
         // Choose the new node's label directly instead of relaxing it from
         // scratch: the feasible window for `π(recv)` is
@@ -281,29 +521,65 @@ impl IncrementalChecker {
         // capped to the upper bound and the tension propagated.
         let mut lower: Option<Weight> = None;
         let mut upper: Option<Weight> = None;
-        if self.builder.graph().is_effective(mid) {
-            self.push_arc(from.0, recv.0, ArcKind::Forward(mid));
-            self.push_arc(recv.0, from.0, ArcKind::Backward(mid));
-            let pu = self.pot[from.0];
+        if effective {
+            self.push_arc(from.0, recv, ArcKind::Forward(mid));
+            self.push_arc(recv, from.0, ArcKind::Backward(mid));
+            let pu = self.pot[from.0 - base];
             lower = Some((pu.0 + self.q, pu.1 + 1));
             upper = Some((pu.0 + self.p, pu.1 - 1));
         }
-        if let Some(prev) = self.builder.graph().local_pred(recv) {
+        let live_prev = prev_global >= base;
+        let mut row: Option<FrontierRow> = None;
+        if live_prev {
             self.push_arc(
-                recv.0,
-                prev.0,
+                recv,
+                prev_global,
                 ArcKind::LocalBack(LocalEdge {
-                    from: prev,
-                    to: recv,
+                    from: EventId(prev_global),
+                    to: EventId(recv),
                 }),
             );
-            let pw = self.pot[prev.0];
-            let bound = (pw.0, pw.1 + 1);
-            lower = Some(match lower {
-                Some(l) if l >= bound => l,
-                _ => bound,
-            });
+        } else {
+            // `prev` was compacted: materialize its frontier row — the
+            // condensed `prev ⇝ exit` paths, prefixed with the local edge
+            // `recv → prev` — as shortcut arcs out of the new receive, so
+            // the settled region stays exactly reachable.
+            let r = self.frontier_row[to.0]
+                .take()
+                .expect("a pruned frontier always leaves its row behind");
+            for out in &r.outs {
+                let id = self.shortcuts.len();
+                let mut steps = Vec::with_capacity(out.steps.len() + 1);
+                steps.push(CycleStep {
+                    edge: ShadowEdge::Local(LocalEdge {
+                        from: EventId(prev_global),
+                        to: EventId(recv),
+                    }),
+                    against: true,
+                });
+                steps.extend(out.steps.iter().cloned());
+                let mut procs = Vec::with_capacity(out.procs.len() + 1);
+                procs.push(to); // `prev` belongs to the receiving process
+                procs.extend(out.procs.iter().cloned());
+                self.shortcuts.push(ShortcutInfo {
+                    weight: (out.weight.0, out.weight.1 - 1),
+                    steps,
+                    procs,
+                });
+                self.push_arc(recv, out.head, ArcKind::Shortcut(id));
+            }
+            row = Some(r);
         }
+        let pw = if live_prev {
+            self.pot[prev_global - base]
+        } else {
+            row.as_ref().expect("row taken above").label
+        };
+        let bound = (pw.0, pw.1 + 1);
+        lower = Some(match lower {
+            Some(l) if l >= bound => l,
+            _ => bound,
+        });
         let mut label = lower.unwrap_or((0, 0));
         let mut tense = false;
         if let Some(u) = upper {
@@ -312,27 +588,38 @@ impl IncrementalChecker {
                 tense = true;
             }
         }
-        self.pot[recv.0] = label;
+        self.pot[recv - base] = label;
         if tense {
-            self.enqueue(recv.0);
+            self.pending = Some(ConfirmCtx {
+                u: from.0,
+                v: recv,
+                prev_global,
+                prev_live: live_prev,
+                seeds: row,
+                mid,
+                old_arcs,
+            });
+            self.enqueue(recv);
             self.restore_feasibility();
+            self.pending = None;
         }
-        (mid, recv)
+        (mid, EventId(recv))
     }
 
-    fn push_node(&mut self) {
-        self.out_arcs.push(Vec::new());
+    fn push_node(&mut self, p: ProcessId) -> usize {
+        let id = self.tg.push_node();
+        self.proc_of.push(p);
         self.pot.push((0, 0));
         self.relax_count.push(0);
         self.in_queue.push(false);
+        self.stats.live_events_peak = self.stats.live_events_peak.max(self.tg.num_live_nodes());
+        id
     }
 
-    fn push_arc(&mut self, from: usize, to: usize, kind: ArcKind) -> usize {
-        let idx = self.arcs.len();
-        self.arcs.push(Arc { from, to, kind });
-        self.out_arcs[from].push(idx);
+    fn push_arc(&mut self, from: usize, to: usize, kind: ArcKind) {
+        self.tg.push_arc(from, to, kind);
         self.stats.arcs += 1;
-        idx
+        self.stats.live_arcs_peak = self.stats.live_arcs_peak.max(self.tg.num_arcs());
     }
 
     fn arc_weight(&self, kind: ArcKind) -> Weight {
@@ -340,21 +627,26 @@ impl IncrementalChecker {
             ArcKind::Forward(_) => self.p,
             ArcKind::Backward(_) => -self.q,
             ArcKind::LocalBack(_) => 0,
+            ArcKind::Shortcut(id) => return self.shortcuts[id].weight,
         };
         (first, -1)
     }
 
-    /// Relaxes `arc`; returns the head node if its label dropped.
+    /// Relaxes `arc`; returns the head node (global id) if its label
+    /// dropped.
     fn try_relax(&mut self, ai: usize) -> Option<usize> {
-        let arc = self.arcs[ai];
+        let arc = self.tg.arcs()[ai];
+        let base = self.tg.base();
         let w = self.arc_weight(arc.kind);
-        let cand = (self.pot[arc.from].0 + w.0, self.pot[arc.from].1 + w.1);
-        if cand < self.pot[arc.to] {
-            self.pot[arc.to] = cand;
-            if self.relax_count[arc.to] == 0 {
+        let from = arc.from - base;
+        let to = arc.to - base;
+        let cand = (self.pot[from].0 + w.0, self.pot[from].1 + w.1);
+        if cand < self.pot[to] {
+            self.pot[to] = cand;
+            if self.relax_count[to] == 0 {
                 self.touched.push(arc.to);
             }
-            self.relax_count[arc.to] += 1;
+            self.relax_count[to] += 1;
             self.stats.relaxations += 1;
             Some(arc.to)
         } else {
@@ -365,34 +657,36 @@ impl IncrementalChecker {
     /// Queue-based re-relaxation from the enqueued tense nodes until the
     /// labels are feasible again — or, if that cannot happen (a negative
     /// cycle through a new arc), until the relaxation-count heuristic trips
-    /// and the batch detector confirms and extracts the witness.
+    /// and the exact canonical confirmation latches the witness.
     fn restore_feasibility(&mut self) {
         // Without negative cycles a label only improves via simple paths, so
         // > #nodes improvements of one node in a single repair is a strong
         // negative-cycle signal — but queue orderings can exceed it benignly,
-        // so every trip is confirmed by the exact batch detector (and the
+        // so every trip is confirmed by the exact canonical check (and the
         // threshold doubles on a false alarm to keep repair near-linear).
         let mut threshold = self.pot.len() as u64 + 2;
         'repair: while let Some(u) = self.queue.pop_front() {
-            self.in_queue[u] = false;
-            for i in 0..self.out_arcs[u].len() {
-                let ai = self.out_arcs[u][i];
+            self.in_queue[u - self.tg.base()] = false;
+            let mut cursor = self.tg.first_out(u);
+            while let Some(ai) = cursor {
+                cursor = self.tg.next_out(ai);
                 let Some(head) = self.try_relax(ai) else {
                     continue;
                 };
-                if self.relax_count[head] > threshold {
+                if self.relax_count[head - self.tg.base()] > threshold {
                     self.stats.full_checks += 1;
-                    if let Some(indices) =
-                        check::violating_cycle_arcs(&self.arcs, self.pot.len(), self.p, self.q)
-                    {
-                        let cycle = check::arcs_to_cycle(&self.arcs, &indices);
-                        debug_assert!(cycle.validate(self.builder.graph()).is_ok());
+                    if let Some((cycle, summary)) = self.confirm_violation() {
                         assert!(
-                            cycle.classify().violates(&self.xi),
+                            summary.classification.violates(&self.xi),
                             "internal error: extracted cycle {cycle} does not violate Xi = {}",
                             self.xi
                         );
+                        if let Some(b) = &self.builder {
+                            debug_assert!(cycle.validate(b.graph()).is_ok());
+                            debug_assert_eq!(summary, cycle.summarize(b.graph()));
+                        }
                         self.violation = Some(cycle);
+                        self.violation_summary = Some(summary);
                         break 'repair;
                     }
                     threshold = threshold.saturating_mul(2);
@@ -401,27 +695,620 @@ impl IncrementalChecker {
             }
         }
         self.queue.clear();
-        for &v in &self.in_queue {
-            debug_assert!(!v || self.violation.is_some());
-        }
+        let base = self.tg.base();
         for v in self.touched.drain(..) {
-            self.relax_count[v] = 0;
-            self.in_queue[v] = false;
+            self.relax_count[v - base] = 0;
+            self.in_queue[v - base] = false;
         }
     }
 
     fn enqueue(&mut self, v: usize) {
-        if !self.in_queue[v] {
-            self.in_queue[v] = true;
+        if !self.in_queue[v - self.tg.base()] {
+            self.in_queue[v - self.tg.base()] = true;
             self.queue.push_back(v);
+        }
+    }
+
+    /// Seeded shortest-path pass over the selected arena arcs (by index),
+    /// relaxed in descending index order per round — backward and local
+    /// arcs point to older events, so each round propagates whole
+    /// descending chains. `seeds` are `(global node, initial label)` pairs
+    /// (lex-min kept per node, first seed winning ties). Returns
+    /// `(dist, pred, seed_of)` windowed by `base`/`width`: `pred` is the
+    /// arc index that last improved a node, `seed_of` the index of the
+    /// seed still owning its label (cleared once a relaxation beats it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if relaxation does not converge within `width` rounds — the
+    /// caller's arc set must be free of negative cycles (pre-append arcs
+    /// during confirmation, settled prefixes during condensation).
+    #[allow(clippy::type_complexity)]
+    fn seeded_sssp(
+        &self,
+        arc_indices: &[usize],
+        base: usize,
+        width: usize,
+        seeds: &[(usize, Weight)],
+    ) -> (Vec<Option<Weight>>, Vec<Option<usize>>, Vec<Option<usize>>) {
+        let arcs = self.tg.arcs();
+        let mut dist: Vec<Option<Weight>> = vec![None; width];
+        let mut pred: Vec<Option<usize>> = vec![None; width];
+        let mut seed_of: Vec<Option<usize>> = vec![None; width];
+        for (k, &(node, w)) in seeds.iter().enumerate() {
+            let slot = node - base;
+            if dist[slot].is_none_or(|x| w < x) {
+                dist[slot] = Some(w);
+                seed_of[slot] = Some(k);
+            }
+        }
+        let mut converged = false;
+        for _round in 0..=width {
+            let mut changed = false;
+            for &ai in arc_indices.iter().rev() {
+                let arc = arcs[ai];
+                let Some(d) = dist[arc.from - base] else {
+                    continue;
+                };
+                let w = self.arc_weight(arc.kind);
+                let cand = (d.0 + w.0, d.1 + w.1);
+                let slot = arc.to - base;
+                if dist[slot].is_none_or(|x| cand < x) {
+                    dist[slot] = Some(cand);
+                    pred[slot] = Some(ai);
+                    seed_of[slot] = None;
+                    changed = true;
+                }
+            }
+            if !changed {
+                converged = true;
+                break;
+            }
+        }
+        assert!(
+            converged,
+            "internal error: seeded shortest-path region contains a negative cycle"
+        );
+        (dist, pred, seed_of)
+    }
+
+    /// Exact violation confirmation via the canonical cycle shape (module
+    /// docs): the append of `v` created a violating cycle iff
+    /// `w(u→v) + w(v→prev) + shortest-path(prev ⇝ u over pre-append arcs)`
+    /// is lexicographically negative. Pre-append arcs are feasible (no
+    /// negative cycle), so the seeded shortest-path pass terminates.
+    fn confirm_violation(&self) -> Option<(Cycle, WitnessSummary)> {
+        let ctx = self
+            .pending
+            .as_ref()
+            .expect("repairs always carry their append");
+        let base = self.tg.base();
+        let n = self.tg.num_live_nodes();
+        let arcs = &self.tg.arcs()[..ctx.old_arcs];
+        // A live `prev` seeds the pass at zero; a compacted one seeds it
+        // with its condensed `prev ⇝ exit` paths, so `dist[u]` is the same
+        // shortest `prev ⇝ u` distance the full graph would yield.
+        let seeds: Vec<(usize, Weight)> = if ctx.prev_live {
+            vec![(ctx.prev_global, (0, 0))]
+        } else {
+            let row = ctx.seeds.as_ref()?;
+            if row.outs.is_empty() {
+                return None;
+            }
+            row.outs.iter().map(|o| (o.head, o.weight)).collect()
+        };
+        let pre_append: Vec<usize> = (0..ctx.old_arcs).collect();
+        let (dist, pred, seed_of) = self.seeded_sssp(&pre_append, base, n, &seeds);
+        let du = dist[ctx.u - base]?;
+        let w_fwd = self.arc_weight(ArcKind::Forward(ctx.mid));
+        let w_local = (0i128, -1i128);
+        let total = (du.0 + w_fwd.0 + w_local.0, du.1 + w_fwd.1 + w_local.1);
+        if total >= (0, 0) {
+            return None;
+        }
+        // Collect the path prev ⇝ u by walking predecessors back from u;
+        // the walk bottoms out at a seeded node (a compacted `prev`'s seed
+        // carries the condensed expansion to splice into the witness).
+        let mut path = Vec::new();
+        let mut node = ctx.u;
+        let seed = loop {
+            match pred[node - base] {
+                Some(ai) => {
+                    path.push(ai);
+                    node = arcs[ai].from;
+                }
+                None => break seed_of[node - base].expect("unseeded dead end on the path"),
+            }
+        };
+        path.reverse();
+        let seed = if ctx.prev_live {
+            debug_assert_eq!(node, ctx.prev_global, "live-prev paths end at prev");
+            None
+        } else {
+            Some(seed)
+        };
+        // Assemble the witness steps and, in parallel, the process of every
+        // vertex the cycle visits (shortcut arcs expand to their condensed
+        // steps and stored interior processes).
+        let mut steps = Vec::with_capacity(path.len() + 2);
+        let mut procs_seq: Vec<ProcessId> = Vec::with_capacity(path.len() + 2);
+        steps.push(CycleStep {
+            edge: ShadowEdge::Message(ctx.mid),
+            against: false,
+        });
+        procs_seq.push(self.proc_of[ctx.u - base]);
+        steps.push(CycleStep {
+            edge: ShadowEdge::Local(LocalEdge {
+                from: EventId(ctx.prev_global),
+                to: EventId(ctx.v),
+            }),
+            against: true,
+        });
+        procs_seq.push(self.proc_of[ctx.v - base]);
+        if let Some(k) = seed {
+            let out = &ctx.seeds.as_ref().expect("seed implies a row").outs[k];
+            // `prev` belongs to `v`'s process; then the condensed interior.
+            procs_seq.push(self.proc_of[ctx.v - base]);
+            procs_seq.extend(out.procs.iter().copied());
+            steps.extend(out.steps.iter().cloned());
+        }
+        for &ai in &path {
+            let arc = arcs[ai];
+            procs_seq.push(self.proc_of[arc.from - base]);
+            match arc.kind {
+                ArcKind::Forward(m) => steps.push(CycleStep {
+                    edge: ShadowEdge::Message(m),
+                    against: false,
+                }),
+                ArcKind::Backward(m) => steps.push(CycleStep {
+                    edge: ShadowEdge::Message(m),
+                    against: true,
+                }),
+                ArcKind::LocalBack(l) => steps.push(CycleStep {
+                    edge: ShadowEdge::Local(l),
+                    against: true,
+                }),
+                ArcKind::Shortcut(id) => {
+                    let info = &self.shortcuts[id];
+                    steps.extend(info.steps.iter().cloned());
+                    procs_seq.extend(info.procs.iter().copied());
+                }
+            }
+        }
+        let cycle = Cycle::new(steps);
+        // Summarize from the live window (no graph needed): process path in
+        // traversal order, consecutive repeats collapsed, closing repeat
+        // dropped — exactly `Cycle::summarize`.
+        let mut process_path: Vec<ProcessId> = Vec::new();
+        for &p in &procs_seq {
+            if process_path.last() != Some(&p) {
+                process_path.push(p);
+            }
+        }
+        if process_path.len() > 1 && process_path.first() == process_path.last() {
+            process_path.pop();
+        }
+        let summary = WitnessSummary {
+            classification: cycle.classify(),
+            process_path,
+            steps: cycle.steps().len(),
+        };
+        Some((cycle, summary))
+    }
+
+    /// Compacts the settled prefix `[base, W)` of the monitored execution,
+    /// freeing its events, arcs, potentials and bookkeeping. The cut `W` is
+    /// the caller's watermark: `oldest_inflight_send` promises that **no
+    /// future [`append_send`](IncrementalChecker::append_send) names a send
+    /// event below it** (`None` = no old event will ever be named again —
+    /// the stream is effectively over). A later append below the watermark
+    /// panics — that promise is the *only* condition; in-flight messages
+    /// whose send event falls below the cut are handled by the boundary
+    /// condensation (see the module docs), not forbidden.
+    ///
+    /// Verdicts, violation latch points, and witnesses are **byte-identical**
+    /// with and without pruning, at any call cadence. Returns the number of
+    /// events compacted by this call.
+    pub fn prune_settled(&mut self, oldest_inflight_send: Option<EventId>) -> usize {
+        let total = self.tg.total_nodes();
+        let base = self.tg.base();
+        debug_assert!(self.queue.is_empty(), "prune between appends only");
+        let w = oldest_inflight_send.map_or(total, |e| e.0.min(total));
+        if w <= base {
+            return 0;
+        }
+        if self.violation.is_none() {
+            // Replace every path through the condemned prefix with an exact
+            // live-to-live shortcut before the arcs disappear. Once the
+            // verdict is latched no future confirmation ever walks the
+            // arcs, so a latched monitor compacts without condensing.
+            self.condense_boundary(w);
+        }
+        let dropped = w - base;
+        let (nodes, arcs) = self.tg.compact_below(w);
+        debug_assert_eq!(nodes, dropped);
+        self.proc_of.drain(..dropped);
+        self.pot.drain(..dropped);
+        self.relax_count.drain(..dropped);
+        self.in_queue.drain(..dropped);
+        self.stats.pruned_events += nodes;
+        self.stats.pruned_arcs += arcs;
+        nodes
+    }
+
+    /// Condenses the boundary of the to-be-pruned prefix `[base, w)`,
+    /// ahead of `compact_below(w)`:
+    ///
+    /// * every (entry arc, exit arc) pair whose crossing path through the
+    ///   prefix exists becomes one shortcut arc between the live endpoints,
+    ///   weighted by entry + shortest internal path + exit (with the full
+    ///   step expansion stored for witness reproduction);
+    /// * every process whose newest event falls below the cut gets a
+    ///   [`FrontierRow`] freezing its potential and its condensed paths to
+    ///   each exit; stale rows (frozen at an earlier prune) whose heads now
+    ///   fall below the cut are recomposed through the new prefix.
+    ///
+    /// The prefix's internal arcs can never change after the cut (future
+    /// message arcs attach at or above the watermark, future local arcs
+    /// attach to frontier rows), so these condensations stay exact forever.
+    fn condense_boundary(&mut self, w: usize) {
+        let base = self.tg.base();
+        let win = w - base;
+        // Classify the arena against the cut.
+        let mut internal: Vec<usize> = Vec::new();
+        let mut entries: Vec<usize> = Vec::new();
+        let mut exits: Vec<usize> = Vec::new();
+        for (ai, a) in self.tg.arcs().iter().enumerate() {
+            match (a.from < w, a.to < w) {
+                (true, true) => internal.push(ai),
+                (false, true) => entries.push(ai),
+                (true, false) => exits.push(ai),
+                (false, false) => {}
+            }
+        }
+        // Landing points that need a shortest-path tree inside the prefix:
+        // entry-arc heads, freshly pruned frontiers, stale row heads.
+        let mut landing_idx: Vec<Option<usize>> = vec![None; win];
+        let mut landings: Vec<usize> = Vec::new();
+        let add_landing =
+            |landing_idx: &mut Vec<Option<usize>>, landings: &mut Vec<usize>, v: usize| {
+                if landing_idx[v - base].is_none() {
+                    landing_idx[v - base] = Some(landings.len());
+                    landings.push(v);
+                }
+            };
+        if !exits.is_empty() {
+            for &ai in &entries {
+                add_landing(&mut landing_idx, &mut landings, self.tg.arcs()[ai].to);
+            }
+            for p in 0..self.num_processes {
+                match self.last_event[p] {
+                    Some(le) if le >= base && le < w => {
+                        add_landing(&mut landing_idx, &mut landings, le);
+                    }
+                    Some(le) if le < base => {
+                        if let Some(row) = &self.frontier_row[p] {
+                            for out in &row.outs {
+                                if out.head < w {
+                                    add_landing(&mut landing_idx, &mut landings, out.head);
+                                }
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // One shortest-path tree per landing, over the internal arcs only
+        // (same seeded pass as the confirmation's — settled prefixes
+        // typically converge in a handful of rounds).
+        let mut dists: Vec<Vec<Option<Weight>>> = Vec::with_capacity(landings.len());
+        let mut preds: Vec<Vec<Option<usize>>> = Vec::with_capacity(landings.len());
+        for &start in &landings {
+            let (dist, pred, _) = self.seeded_sssp(&internal, base, win, &[(start, (0, 0))]);
+            dists.push(dist);
+            preds.push(pred);
+        }
+        // The expansion of one arc: its steps and interior processes.
+        let expand = |kind: ArcKind| -> (Vec<CycleStep>, Vec<ProcessId>) {
+            match kind {
+                ArcKind::Forward(m) => (
+                    vec![CycleStep {
+                        edge: ShadowEdge::Message(m),
+                        against: false,
+                    }],
+                    Vec::new(),
+                ),
+                ArcKind::Backward(m) => (
+                    vec![CycleStep {
+                        edge: ShadowEdge::Message(m),
+                        against: true,
+                    }],
+                    Vec::new(),
+                ),
+                ArcKind::LocalBack(l) => (
+                    vec![CycleStep {
+                        edge: ShadowEdge::Local(l),
+                        against: true,
+                    }],
+                    Vec::new(),
+                ),
+                ArcKind::Shortcut(id) => {
+                    let info = &self.shortcuts[id];
+                    (info.steps.clone(), info.procs.clone())
+                }
+            }
+        };
+        // The composite `landings[li] ⇝ head(exit b)` going shortest-path
+        // inside the prefix then out through `b`: (weight, steps, interior
+        // procs), with the landing itself excluded from the procs.
+        let compose_to_exit =
+            |li: usize, b: usize| -> Option<(Weight, Vec<CycleStep>, Vec<ProcessId>)> {
+                let exit_arc = self.tg.arcs()[b];
+                let d = dists[li][exit_arc.from - base]?;
+                let mut chain: Vec<usize> = Vec::new();
+                let mut node = exit_arc.from;
+                while node != landings[li] {
+                    let ai = preds[li][node - base].expect("reachable nodes have predecessors");
+                    chain.push(ai);
+                    node = self.tg.arcs()[ai].from;
+                }
+                chain.reverse();
+                chain.push(b);
+                let bw = self.arc_weight(exit_arc.kind);
+                let weight = (d.0 + bw.0, d.1 + bw.1);
+                let mut steps = Vec::new();
+                let mut procs = Vec::new();
+                for (i, &ai) in chain.iter().enumerate() {
+                    let arc = self.tg.arcs()[ai];
+                    if i > 0 {
+                        procs.push(self.proc_of[arc.from - base]);
+                    }
+                    let (s, ip) = expand(arc.kind);
+                    steps.extend(s);
+                    procs.extend(ip);
+                }
+                Some((weight, steps, procs))
+            };
+        // Entry → exit shortcuts, lex-min deduped per live endpoint pair —
+        // both among this prune's candidates and against shortcut arcs that
+        // survive the cut (long-lived boundaries would otherwise pile up
+        // parallel arcs prune after prune).
+        let mut live_shortcut: std::collections::HashMap<(usize, usize), usize> =
+            std::collections::HashMap::new();
+        for a in self.tg.arcs() {
+            if a.from >= w && a.to >= w {
+                if let ArcKind::Shortcut(id) = a.kind {
+                    live_shortcut
+                        .entry((a.from, a.to))
+                        .and_modify(|e| {
+                            if self.shortcuts[id].weight < self.shortcuts[*e].weight {
+                                *e = id;
+                            }
+                        })
+                        .or_insert(id);
+                }
+            }
+        }
+        let mut shortcut_slots: std::collections::HashMap<(usize, usize), usize> =
+            std::collections::HashMap::new();
+        let mut new_arcs: Vec<(usize, usize, ShortcutInfo)> = Vec::new();
+        let mut replacements: Vec<(usize, ShortcutInfo)> = Vec::new();
+        let mut updated_weights: std::collections::HashMap<usize, Weight> =
+            std::collections::HashMap::new();
+        for &ea in entries.iter().filter(|_| !exits.is_empty()) {
+            let entry_arc = self.tg.arcs()[ea];
+            let li = landing_idx[entry_arc.to - base].expect("entry heads are landings");
+            let ew = self.arc_weight(entry_arc.kind);
+            for &b in &exits {
+                let Some((cw, csteps, cprocs)) = compose_to_exit(li, b) else {
+                    continue;
+                };
+                let from = entry_arc.from;
+                let to = self.tg.arcs()[b].to;
+                let weight = (ew.0 + cw.0, ew.1 + cw.1);
+                if from == to && weight >= (0, 0) {
+                    // A non-negative self-loop can never improve a shortest
+                    // path nor close a violating cycle: drop it. (A negative
+                    // one would be a negative cycle — impossible while the
+                    // verdict is open.)
+                    continue;
+                }
+                debug_assert!(
+                    from != to || weight < (0, 0) || self.violation.is_some(),
+                    "unlatched monitors have no negative self-loops"
+                );
+                if let Some(&id) = live_shortcut.get(&(from, to)) {
+                    // A surviving shortcut already covers this endpoint
+                    // pair: keep whichever path is shorter, in place.
+                    // (`updated_weights` overlays in-flight improvements so
+                    // later candidates compare against the best so far.)
+                    let current = updated_weights
+                        .get(&id)
+                        .copied()
+                        .unwrap_or(self.shortcuts[id].weight);
+                    if weight < current {
+                        let (mut steps, mut procs) = expand(entry_arc.kind);
+                        procs.push(self.proc_of[entry_arc.to - base]);
+                        steps.extend(csteps);
+                        procs.extend(cprocs);
+                        replacements.push((
+                            id,
+                            ShortcutInfo {
+                                weight,
+                                steps,
+                                procs,
+                            },
+                        ));
+                        updated_weights.insert(id, weight);
+                    }
+                    continue;
+                }
+                let (mut steps, mut procs) = expand(entry_arc.kind);
+                procs.push(self.proc_of[entry_arc.to - base]);
+                steps.extend(csteps);
+                procs.extend(cprocs);
+                let info = ShortcutInfo {
+                    weight,
+                    steps,
+                    procs,
+                };
+                match shortcut_slots.entry((from, to)) {
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(new_arcs.len());
+                        new_arcs.push((from, to, info));
+                    }
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        if weight < new_arcs[*e.get()].2.weight {
+                            new_arcs[*e.get()].2 = info;
+                        }
+                    }
+                }
+            }
+        }
+        // Frontier rows: freeze fresh ones, recompose stale ones.
+        let mut new_rows: Vec<(usize, FrontierRow)> = Vec::new();
+        for p in 0..self.num_processes {
+            match self.last_event[p] {
+                Some(le) if le >= base && le < w => {
+                    let mut outs: Vec<RowOut> = Vec::new();
+                    if !exits.is_empty() {
+                        let li = landing_idx[le - base].expect("fresh frontiers are landings");
+                        for &b in &exits {
+                            let Some((weight, steps, procs)) = compose_to_exit(li, b) else {
+                                continue;
+                            };
+                            let head = self.tg.arcs()[b].to;
+                            match outs.iter_mut().find(|o| o.head == head) {
+                                Some(o) if weight < o.weight => {
+                                    *o = RowOut {
+                                        head,
+                                        weight,
+                                        steps,
+                                        procs,
+                                    };
+                                }
+                                Some(_) => {}
+                                None => outs.push(RowOut {
+                                    head,
+                                    weight,
+                                    steps,
+                                    procs,
+                                }),
+                            }
+                        }
+                    }
+                    new_rows.push((
+                        p,
+                        FrontierRow {
+                            label: self.pot[le - base],
+                            outs,
+                        },
+                    ));
+                }
+                Some(le) if le < base => {
+                    let Some(row) = &self.frontier_row[p] else {
+                        continue;
+                    };
+                    let mut outs: Vec<RowOut> = Vec::new();
+                    let push_min = |outs: &mut Vec<RowOut>, cand: RowOut| match outs
+                        .iter_mut()
+                        .find(|o| o.head == cand.head)
+                    {
+                        Some(o) if cand.weight < o.weight => *o = cand,
+                        Some(_) => {}
+                        None => outs.push(cand),
+                    };
+                    for out in &row.outs {
+                        if out.head >= w {
+                            push_min(&mut outs, out.clone());
+                            continue;
+                        }
+                        if exits.is_empty() {
+                            continue;
+                        }
+                        let li = landing_idx[out.head - base].expect("stale heads are landings");
+                        for &b in &exits {
+                            let Some((cw, csteps, cprocs)) = compose_to_exit(li, b) else {
+                                continue;
+                            };
+                            let mut steps = out.steps.clone();
+                            let mut procs = out.procs.clone();
+                            procs.push(self.proc_of[out.head - base]);
+                            steps.extend(csteps);
+                            procs.extend(cprocs);
+                            push_min(
+                                &mut outs,
+                                RowOut {
+                                    head: self.tg.arcs()[b].to,
+                                    weight: (out.weight.0 + cw.0, out.weight.1 + cw.1),
+                                    steps,
+                                    procs,
+                                },
+                            );
+                        }
+                    }
+                    new_rows.push((
+                        p,
+                        FrontierRow {
+                            label: row.label,
+                            outs,
+                        },
+                    ));
+                }
+                _ => {}
+            }
+        }
+        // Apply: rebuild the shortcut table (survivors keep their info under
+        // new ids, consumed entries vanish with their arcs), then push the
+        // fresh shortcut arcs and install the rows.
+        let old_table = std::mem::take(&mut self.shortcuts);
+        let mut remap: Vec<Option<usize>> = vec![None; old_table.len()];
+        let mut new_table: Vec<ShortcutInfo> = Vec::new();
+        for a in self.tg.arcs() {
+            if a.from >= w && a.to >= w {
+                if let ArcKind::Shortcut(id) = a.kind {
+                    if remap[id].is_none() {
+                        remap[id] = Some(new_table.len());
+                        new_table.push(old_table[id].clone());
+                    }
+                }
+            }
+        }
+        for a in self.tg.arcs_mut() {
+            if a.from >= w && a.to >= w {
+                if let ArcKind::Shortcut(id) = a.kind {
+                    a.kind = ArcKind::Shortcut(remap[id].expect("survivor was remapped"));
+                }
+            }
+        }
+        for (old_id, info) in replacements {
+            let new_id = remap[old_id].expect("replaced shortcuts survive the cut");
+            new_table[new_id] = info;
+        }
+        self.shortcuts = new_table;
+        for (from, to, info) in new_arcs {
+            let id = self.shortcuts.len();
+            self.shortcuts.push(info);
+            self.push_arc(from, to, ArcKind::Shortcut(id));
+        }
+        for (p, row) in new_rows {
+            self.frontier_row[p] = Some(row);
         }
     }
 
     /// Consumes the monitor, returning the accumulated graph and the
     /// violation witness (if any).
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`IncrementalChecker::enable_pruning`] dropped the mirror.
     #[must_use]
     pub fn finish(self) -> (ExecutionGraph, Option<Cycle>) {
-        (self.builder.finish(), self.violation)
+        let builder = self
+            .builder
+            .expect("finish() is unavailable on a pruning monitor (enable_pruning was called)");
+        (builder.finish(), self.violation)
     }
 }
 
@@ -604,12 +1491,254 @@ mod tests {
         assert!(s.arcs >= 2 * s.messages);
         assert_eq!(s.relaxations, 0, "no spanning message, no repair");
         assert_eq!(s.full_checks, 0);
+        assert_eq!(s.pruned_events, 0);
+        assert_eq!(s.live_events_peak, 6);
         // A violating stream must do real work: tension propagation and the
-        // confirming batch pass that extracts the witness.
+        // confirming canonical pass that extracts the witness.
         let xi = Xi::from_integer(2);
         let mon = stream_two_chain(2, &xi);
         assert!(!mon.is_admissible());
         assert!(mon.stats().relaxations > 0);
         assert!(mon.stats().full_checks >= 1);
+    }
+
+    #[test]
+    fn violation_summary_matches_the_graph_summary() {
+        let xi = Xi::from_integer(2);
+        let mon = stream_two_chain(4, &xi);
+        let w = mon.violation().expect("ratio 4 >= 2");
+        let summary = mon.violation_summary().expect("summary latched with it");
+        assert_eq!(summary, &w.summarize(mon.graph()));
+        assert!(summary.classification.violates(&xi));
+    }
+
+    /// Streams a near-frontier script into two monitors, pruning one of
+    /// them after every append with an honest watermark (scripts only ever
+    /// send from the last `horizon` events), and asserts identical
+    /// verdicts and witness bytes at every step.
+    fn assert_prune_equivalent(n: usize, script: &[(usize, usize)], xi: &Xi) {
+        const HORIZON: usize = 3;
+        let mut plain = IncrementalChecker::new(n, xi).unwrap();
+        let mut pruned = IncrementalChecker::new(n, xi).unwrap();
+        pruned.enable_pruning();
+        for p in 0..n {
+            plain.append_init(ProcessId(p));
+            pruned.append_init(ProcessId(p));
+        }
+        let mut total = n;
+        for &(back, to) in script {
+            let from = EventId(total - 1 - (back % HORIZON.min(total)));
+            plain.append_send(from, ProcessId(to % n));
+            pruned.append_send(from, ProcessId(to % n));
+            total += 1;
+            assert_eq!(plain.is_admissible(), pruned.is_admissible());
+            assert_eq!(
+                plain.violation_summary().map(|s| s.wire().to_string()),
+                pruned.violation_summary().map(|s| s.wire().to_string())
+            );
+            // Honest promise: future sends name one of the last HORIZON
+            // events only.
+            pruned.prune_settled(Some(EventId(total.saturating_sub(HORIZON))));
+        }
+        assert_eq!(plain.stats().events, pruned.stats().events);
+    }
+
+    #[test]
+    fn pruned_monitor_latches_identical_witnesses() {
+        // A long, prunable admissible ping-pong prefix, then a violating
+        // two-chain pattern built at the live frontier: the pruned monitor
+        // must have compacted real state *and* still latch byte-identical
+        // verdict + witness.
+        for hops in 2..=5 {
+            let xi = Xi::from_integer(2);
+            let n = hops + 1;
+            let mut plain = IncrementalChecker::new(n, &xi).unwrap();
+            let mut pruned = IncrementalChecker::new(n, &xi).unwrap();
+            pruned.enable_pruning();
+            let mut cur = plain.append_init(ProcessId(0));
+            pruned.append_init(ProcessId(0));
+            for i in 1..n {
+                plain.append_init(ProcessId(i));
+                pruned.append_init(ProcessId(i));
+            }
+            // Phase 1: 100 immediately-delivered ping-pongs between p0 and
+            // p1, pruning as the frontier advances.
+            for round in 0..100 {
+                let to = if round % 2 == 0 {
+                    ProcessId(1)
+                } else {
+                    ProcessId(0)
+                };
+                let (_, r) = plain.append_send(cur, to);
+                pruned.append_send(cur, to);
+                cur = r;
+                pruned.prune_settled(Some(cur));
+            }
+            // Everything but the live frontier event is compacted round by
+            // round: ~(n inits + 100 ping-pongs) events pruned in total.
+            assert!(
+                pruned.stats().pruned_events > 90,
+                "expected substantial pruning, got {}",
+                pruned.stats().pruned_events
+            );
+            assert!(
+                pruned.live_events() < 4,
+                "window stayed at {} events",
+                pruned.live_events()
+            );
+            // Phase 2: the two-chain violation rooted at the live frontier
+            // event `q = cur`. Its spanning message keeps `q` in flight, so
+            // the honest watermark is `q` from here on.
+            let q = cur;
+            pruned.prune_settled(Some(q));
+            let mut chain = q;
+            for i in 2..=hops {
+                let (_, r) = plain.append_send(chain, ProcessId(i));
+                pruned.append_send(chain, ProcessId(i));
+                chain = r;
+            }
+            plain.append_send(chain, ProcessId(1));
+            pruned.append_send(chain, ProcessId(1));
+            assert!(plain.is_admissible() && pruned.is_admissible());
+            plain.append_send(q, ProcessId(1));
+            pruned.append_send(q, ProcessId(1));
+            assert!(!plain.is_admissible(), "hops = {hops}");
+            assert_eq!(plain.is_admissible(), pruned.is_admissible());
+            assert_eq!(
+                plain
+                    .violation_summary()
+                    .map(|s| s.wire().to_string())
+                    .unwrap(),
+                pruned
+                    .violation_summary()
+                    .map(|s| s.wire().to_string())
+                    .unwrap(),
+                "hops = {hops}"
+            );
+            assert_eq!(
+                format!("{}", plain.violation().unwrap()),
+                format!("{}", pruned.violation().unwrap()),
+                "the full Cycle is byte-identical too"
+            );
+        }
+    }
+
+    #[test]
+    fn pruning_compacts_settled_prefixes_and_keeps_verdicts() {
+        // A long admissible ping-pong between two processes: with no
+        // messages in flight after each delivery, nearly everything before
+        // the per-process frontiers is settled.
+        let xi = Xi::from_integer(3);
+        let mut mon = IncrementalChecker::new(2, &xi).unwrap();
+        mon.enable_pruning();
+        let mut cur = mon.append_init(ProcessId(0));
+        mon.append_init(ProcessId(1));
+        let mut pruned_total = 0;
+        for round in 0..200 {
+            let to = ProcessId((round + 1) % 2);
+            let (_, r) = mon.append_send(cur, to);
+            cur = r;
+            // The only in-flight message was just delivered; next send
+            // comes from `cur`.
+            pruned_total += mon.prune_settled(Some(cur));
+        }
+        assert!(mon.is_admissible());
+        // Each of the ~202 events is compacted exactly once; only the live
+        // frontier survives.
+        assert!(pruned_total > 190, "pruned only {pruned_total}");
+        assert_eq!(mon.stats().pruned_events, pruned_total);
+        assert!(
+            mon.live_events() < 10,
+            "window stayed at {} events",
+            mon.live_events()
+        );
+        assert!(mon.stats().live_events_peak < 12);
+        // The bookkeeping still matches: totals count everything.
+        assert_eq!(mon.stats().events, 202);
+    }
+
+    #[test]
+    fn append_below_the_watermark_panics() {
+        let xi = Xi::from_integer(2);
+        let mut mon = IncrementalChecker::new(2, &xi).unwrap();
+        mon.enable_pruning();
+        let a = mon.append_init(ProcessId(0));
+        mon.append_init(ProcessId(1));
+        let (_, r) = mon.append_send(a, ProcessId(1));
+        mon.prune_settled(Some(r));
+        assert!(mon.stats().pruned_events > 0);
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            mon.append_send(a, ProcessId(1));
+        }));
+        assert!(res.is_err(), "the watermark promise must be enforced");
+    }
+
+    #[test]
+    fn graph_access_panics_once_pruning_is_enabled() {
+        let xi = Xi::from_integer(2);
+        let mut mon = IncrementalChecker::new(1, &xi).unwrap();
+        mon.enable_pruning();
+        mon.append_init(ProcessId(0));
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = mon.graph();
+        }));
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn prune_cuts_through_crossing_messages_exactly() {
+        // The watermark cut slices right through messages whose send event
+        // is compacted while their receive stays live: the boundary
+        // condensation must keep the settled region exactly reachable, so
+        // a violation later closed *through* it latches with the same
+        // witness bytes as an unpruned monitor.
+        let xi = Xi::from_integer(2);
+        let mut plain = IncrementalChecker::new(3, &xi).unwrap();
+        let mut pruned = IncrementalChecker::new(3, &xi).unwrap();
+        pruned.enable_pruning();
+        let step = |m: &mut IncrementalChecker| {
+            let a = m.append_init(ProcessId(0));
+            m.append_init(ProcessId(1));
+            m.append_init(ProcessId(2));
+            let (_, r1) = m.append_send(a, ProcessId(1));
+            // Delivered promptly (before the r1 -> p2 relay), so the prefix
+            // stays admissible — but the send event `a` is about to be
+            // compacted while the receive stays live: a crossing message.
+            let (_, rx) = m.append_send(a, ProcessId(2));
+            let (_, r2) = m.append_send(r1, ProcessId(2));
+            (rx, r2)
+        };
+        let (rx, q) = step(&mut plain);
+        step(&mut pruned);
+        let cut = pruned.prune_settled(Some(rx));
+        assert_eq!(cut, 4, "events 0..4 compacted at the watermark");
+        assert!(pruned.stats().pruned_events > 0);
+        // Close a two-chain violation rooted at the live frontier: its
+        // confirmation walks paths that dip through the pruned region (via
+        // the materialized frontier rows) — weights must match exactly.
+        for m in [&mut plain, &mut pruned] {
+            let (_, r4) = m.append_send(q, ProcessId(0));
+            m.append_send(r4, ProcessId(1));
+            assert!(m.is_admissible());
+            m.append_send(q, ProcessId(1)); // spans the 2-chain: ratio 2
+        }
+        assert!(!plain.is_admissible());
+        assert!(!pruned.is_admissible());
+        assert_eq!(
+            format!("{}", plain.violation().unwrap()),
+            format!("{}", pruned.violation().unwrap())
+        );
+        assert_eq!(
+            plain.violation_summary().unwrap().wire().to_string(),
+            pruned.violation_summary().unwrap().wire().to_string()
+        );
+    }
+
+    #[test]
+    fn prune_equivalence_smoke_on_dense_scripts() {
+        // Dense random-ish exchanges with all-delivered semantics.
+        let xi = Xi::from_fraction(3, 2);
+        assert_prune_equivalent(3, &[(0, 1), (1, 2), (2, 0), (0, 2), (3, 1), (2, 1)], &xi);
+        assert_prune_equivalent(4, &[(0, 1), (4, 2), (1, 3), (2, 0), (5, 1), (3, 2)], &xi);
     }
 }

@@ -1,0 +1,447 @@
+//! The shared traversal-graph core: one compact, arena-backed CSR
+//! representation of the graph `T` that every Definition-4 decision in this
+//! workspace walks.
+//!
+//! # Why one representation
+//!
+//! The reduction of [`crate::check`] decides the ABC condition by
+//! negative-cycle detection over the *traversal graph* `T` of an execution
+//! graph `G`:
+//!
+//! * for every effective message `m = (u → v)`: a **forward** arc `u → v`
+//!   and a **backward** arc `v → u`;
+//! * for every local edge `(u → v)`: a **backward** arc `v → u` only.
+//!
+//! Historically this repo materialized `T` three different ways — a
+//! throwaway arc list per batch check, per-head `Vec<Vec<usize>>` in-arc
+//! buckets inside the line-graph pass, and per-tail `Vec<Vec<usize>>`
+//! out-arc pushes inside [`crate::monitor::IncrementalChecker`]. This
+//! module replaces all of them with a single [`TraversalGraph`]:
+//!
+//! * **arena arcs**: one flat `Vec<Arc>` in insertion order (batch builds
+//!   list all message arcs first, then all local arcs — the exact legacy
+//!   order, so witness extraction stays byte-stable);
+//! * **intrusive out-CSR**: `out_head`/`out_tail` per node plus `out_next`
+//!   per arc form per-tail adjacency as linked lists threaded through the
+//!   arena — `push_arc` is O(1), there is no per-node `Vec`, and iteration
+//!   order equals insertion order;
+//! * **prefix-sum in-CSR**: [`TraversalGraph::in_csr`] builds the in-arc
+//!   adjacency as two flat arrays by counting sort, for the line-graph
+//!   simple-cycle pass (needed only for the ratio-1 probe of
+//!   [`crate::check::max_relevant_cycle_ratio`]).
+//!
+//! # How check and monitor share it
+//!
+//! The batch checker ([`crate::check::find_violation`] /
+//! [`crate::check::is_admissible`]) builds a `TraversalGraph` **once** per
+//! call with [`TraversalGraph::from_graph`] and hands the same structure to
+//! the feasibility decision, the witness extraction, the line-graph pass,
+//! and the bisection probes of `max_relevant_cycle_ratio`. The online
+//! monitor grows the *same* structure incrementally ([`push_node`] /
+//! [`push_arc`]) as events are appended, so batch and streaming decisions
+//! literally walk the same arcs.
+//!
+//! # Bounded-memory compaction
+//!
+//! The monitor's settled-prefix pruning compacts events out of the front of
+//! the graph: [`TraversalGraph::compact_below`] drops every arc with an
+//! endpoint below the new base and drains the per-node columns, keeping
+//! live arc order stable. Node ids stay **global** (they are event ids);
+//! only the node-indexed columns are windowed by `base`. See
+//! [`crate::monitor`] for the cut condition that makes this sound.
+//!
+//! [`push_node`]: TraversalGraph::push_node
+//! [`push_arc`]: TraversalGraph::push_arc
+
+use crate::graph::{ExecutionGraph, LocalEdge, MessageId};
+
+/// Role of a traversal-graph arc.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArcKind {
+    /// The forward arc of an effective message (send → receive).
+    Forward(MessageId),
+    /// The backward arc of an effective message (receive → send).
+    Backward(MessageId),
+    /// The backward arc of a local edge (later event → earlier event).
+    LocalBack(LocalEdge),
+    /// A condensed boundary path of a pruned prefix (monitor-only): stands
+    /// for a shortest path through compacted events, identified by an index
+    /// into the owning [`crate::monitor::IncrementalChecker`]'s shortcut
+    /// table (which holds its weight and its step-by-step expansion).
+    /// Batch builds ([`TraversalGraph::from_graph`]) never create these.
+    Shortcut(usize),
+}
+
+/// One arc of the traversal graph `T`. Endpoints are **global** event ids.
+#[derive(Clone, Copy, Debug)]
+pub struct Arc {
+    /// Tail event id.
+    pub from: usize,
+    /// Head event id.
+    pub to: usize,
+    /// What the arc encodes.
+    pub kind: ArcKind,
+}
+
+/// Sentinel for "no next arc" in the intrusive adjacency lists.
+const NONE: usize = usize::MAX;
+
+/// The arena-backed CSR traversal graph (see the module docs).
+///
+/// Nodes are event ids `base..base + num_live_nodes()`; arcs live in one
+/// flat arena with intrusive per-tail linked lists. Both the batch checker
+/// and the incremental monitor drive their Bellman–Ford passes over this
+/// structure.
+#[derive(Clone, Debug, Default)]
+pub struct TraversalGraph {
+    arcs: Vec<Arc>,
+    /// First outgoing arc per live node (indexed by `id - base`).
+    out_head: Vec<usize>,
+    /// Last outgoing arc per live node (push appends in insertion order).
+    out_tail: Vec<usize>,
+    /// Next outgoing arc of the same tail, per arc.
+    out_next: Vec<usize>,
+    /// Event id of the first live node (all columns are windowed by this).
+    base: usize,
+}
+
+impl TraversalGraph {
+    /// An empty graph for incremental growth (the monitor path).
+    #[must_use]
+    pub fn new() -> TraversalGraph {
+        TraversalGraph::default()
+    }
+
+    /// Builds the whole traversal graph of `g` in one pass (the batch
+    /// path): forward + backward arcs for every effective message in id
+    /// order, then the local back-arc of every local edge — the canonical
+    /// arc order every witness extraction in this crate relies on.
+    #[must_use]
+    pub fn from_graph(g: &ExecutionGraph) -> TraversalGraph {
+        let n = g.num_events();
+        let mut tg = TraversalGraph {
+            arcs: Vec::with_capacity(2 * g.num_messages() + n),
+            out_head: vec![NONE; n],
+            out_tail: vec![NONE; n],
+            out_next: Vec::with_capacity(2 * g.num_messages() + n),
+            base: 0,
+        };
+        for m in g.effective_messages() {
+            tg.push_arc(m.from.0, m.to.0, ArcKind::Forward(m.id));
+            tg.push_arc(m.to.0, m.from.0, ArcKind::Backward(m.id));
+        }
+        for l in g.local_edges() {
+            tg.push_arc(l.to.0, l.from.0, ArcKind::LocalBack(l));
+        }
+        tg
+    }
+
+    /// Event id of the first live node.
+    #[must_use]
+    pub fn base(&self) -> usize {
+        self.base
+    }
+
+    /// Number of live (non-compacted) nodes.
+    #[must_use]
+    pub fn num_live_nodes(&self) -> usize {
+        self.out_head.len()
+    }
+
+    /// Total node count ever pushed (`base + live`): the exclusive upper
+    /// bound of valid event ids.
+    #[must_use]
+    pub fn total_nodes(&self) -> usize {
+        self.base + self.out_head.len()
+    }
+
+    /// The live arcs, in stable insertion order.
+    #[must_use]
+    pub fn arcs(&self) -> &[Arc] {
+        &self.arcs
+    }
+
+    /// Mutable access to the arc arena, for the monitor's shortcut-id
+    /// remapping after a compaction (endpoints must not be changed — the
+    /// intrusive adjacency threads through them).
+    pub(crate) fn arcs_mut(&mut self) -> &mut [Arc] {
+        &mut self.arcs
+    }
+
+    /// Number of live arcs.
+    #[must_use]
+    pub fn num_arcs(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Appends a node (the next event id) and returns its id.
+    pub fn push_node(&mut self) -> usize {
+        self.out_head.push(NONE);
+        self.out_tail.push(NONE);
+        self.base + self.out_head.len() - 1
+    }
+
+    /// Appends an arc between live nodes; returns its arena index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is compacted or not yet pushed.
+    pub fn push_arc(&mut self, from: usize, to: usize, kind: ArcKind) -> usize {
+        assert!(
+            from >= self.base && to >= self.base,
+            "arc endpoint below the compaction base"
+        );
+        assert!(
+            from < self.total_nodes() && to < self.total_nodes(),
+            "arc endpoint not yet pushed"
+        );
+        let idx = self.arcs.len();
+        self.arcs.push(Arc { from, to, kind });
+        self.out_next.push(NONE);
+        let slot = from - self.base;
+        if self.out_head[slot] == NONE {
+            self.out_head[slot] = idx;
+        } else {
+            self.out_next[self.out_tail[slot]] = idx;
+        }
+        self.out_tail[slot] = idx;
+        idx
+    }
+
+    /// First outgoing arc index of global node `v` (cursor form of
+    /// [`TraversalGraph::out_arcs`], for callers that must not hold a
+    /// borrow across the loop body).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is compacted or not yet pushed.
+    #[must_use]
+    pub fn first_out(&self, v: usize) -> Option<usize> {
+        assert!(
+            v >= self.base && v < self.total_nodes(),
+            "node out of range"
+        );
+        let head = self.out_head[v - self.base];
+        (head != NONE).then_some(head)
+    }
+
+    /// The next outgoing arc of the same tail after arena index `arc_idx`.
+    #[must_use]
+    pub fn next_out(&self, arc_idx: usize) -> Option<usize> {
+        let next = self.out_next[arc_idx];
+        (next != NONE).then_some(next)
+    }
+
+    /// Iterates the outgoing arc indices of global node `v`, in insertion
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is compacted or not yet pushed.
+    pub fn out_arcs(&self, v: usize) -> OutArcs<'_> {
+        assert!(
+            v >= self.base && v < self.total_nodes(),
+            "node out of range"
+        );
+        OutArcs {
+            tg: self,
+            next: self.out_head[v - self.base],
+        }
+    }
+
+    /// Drops every node below `new_base` and every arc with an endpoint
+    /// below it, preserving the relative order of surviving arcs. Returns
+    /// `(nodes_dropped, arcs_dropped)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_base` is below the current base or above
+    /// [`TraversalGraph::total_nodes`].
+    pub fn compact_below(&mut self, new_base: usize) -> (usize, usize) {
+        assert!(
+            new_base >= self.base && new_base <= self.total_nodes(),
+            "compaction base out of range"
+        );
+        let nodes_dropped = new_base - self.base;
+        if nodes_dropped == 0 {
+            return (0, 0);
+        }
+        let before = self.arcs.len();
+        self.arcs.retain(|a| a.from >= new_base && a.to >= new_base);
+        let arcs_dropped = before - self.arcs.len();
+        self.base = new_base;
+        self.out_head.drain(..nodes_dropped);
+        self.out_tail.drain(..nodes_dropped);
+        // Rebuild the intrusive lists over the surviving arena.
+        self.out_head.fill(NONE);
+        self.out_tail.fill(NONE);
+        self.out_next.clear();
+        self.out_next.resize(self.arcs.len(), NONE);
+        for idx in 0..self.arcs.len() {
+            let slot = self.arcs[idx].from - self.base;
+            if self.out_head[slot] == NONE {
+                self.out_head[slot] = idx;
+            } else {
+                self.out_next[self.out_tail[slot]] = idx;
+            }
+            self.out_tail[slot] = idx;
+        }
+        (nodes_dropped, arcs_dropped)
+    }
+
+    /// Builds the in-arc adjacency as a prefix-sum CSR over the live nodes:
+    /// `(starts, arc_indices)` with the in-arcs of local node `v` (global id
+    /// `base + v`) at `arc_indices[starts[v]..starts[v + 1]]`, each bucket
+    /// in insertion order. Two flat arrays — no per-node `Vec` — feeding the
+    /// line-graph pass of [`crate::check`].
+    #[must_use]
+    pub fn in_csr(&self) -> (Vec<usize>, Vec<usize>) {
+        let n = self.num_live_nodes();
+        let mut starts = vec![0usize; n + 1];
+        for a in &self.arcs {
+            starts[a.to - self.base + 1] += 1;
+        }
+        for v in 0..n {
+            starts[v + 1] += starts[v];
+        }
+        let mut cursor = starts.clone();
+        let mut arc_indices = vec![0usize; self.arcs.len()];
+        for (idx, a) in self.arcs.iter().enumerate() {
+            let slot = a.to - self.base;
+            arc_indices[cursor[slot]] = idx;
+            cursor[slot] += 1;
+        }
+        (starts, arc_indices)
+    }
+}
+
+/// Iterator over the outgoing arc indices of one node.
+pub struct OutArcs<'a> {
+    tg: &'a TraversalGraph,
+    next: usize,
+}
+
+impl Iterator for OutArcs<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.next == NONE {
+            return None;
+        }
+        let idx = self.next;
+        self.next = self.tg.out_next[idx];
+        Some(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::ProcessId;
+
+    fn sample() -> ExecutionGraph {
+        let mut b = ExecutionGraph::builder(3);
+        let a = b.init(ProcessId(0));
+        b.init(ProcessId(1));
+        b.init(ProcessId(2));
+        let (_, r) = b.send(a, ProcessId(2));
+        b.send(r, ProcessId(1));
+        b.send(a, ProcessId(1));
+        b.finish()
+    }
+
+    #[test]
+    fn from_graph_matches_the_legacy_arc_order() {
+        let g = sample();
+        let tg = TraversalGraph::from_graph(&g);
+        assert_eq!(tg.num_live_nodes(), g.num_events());
+        // fwd+bwd per message, then local backs.
+        assert_eq!(tg.num_arcs(), 2 * g.num_messages() + 3);
+        for (i, m) in g.effective_messages().enumerate() {
+            assert!(matches!(tg.arcs()[2 * i].kind, ArcKind::Forward(id) if id == m.id));
+            assert!(matches!(tg.arcs()[2 * i + 1].kind, ArcKind::Backward(id) if id == m.id));
+        }
+        assert!(tg.arcs()[2 * g.num_messages()..]
+            .iter()
+            .all(|a| matches!(a.kind, ArcKind::LocalBack(_))));
+    }
+
+    #[test]
+    fn out_arcs_iterate_in_insertion_order() {
+        let mut tg = TraversalGraph::new();
+        let a = tg.push_node();
+        let b = tg.push_node();
+        let i0 = tg.push_arc(a, b, ArcKind::Forward(MessageId(0)));
+        let i1 = tg.push_arc(b, a, ArcKind::Backward(MessageId(0)));
+        let i2 = tg.push_arc(a, a, ArcKind::Forward(MessageId(1)));
+        assert_eq!(tg.out_arcs(a).collect::<Vec<_>>(), vec![i0, i2]);
+        assert_eq!(tg.out_arcs(b).collect::<Vec<_>>(), vec![i1]);
+    }
+
+    #[test]
+    fn in_csr_buckets_by_head() {
+        let g = sample();
+        let tg = TraversalGraph::from_graph(&g);
+        let (starts, idx) = tg.in_csr();
+        assert_eq!(starts.len(), tg.num_live_nodes() + 1);
+        assert_eq!(*starts.last().unwrap(), tg.num_arcs());
+        for v in 0..tg.num_live_nodes() {
+            for &ai in &idx[starts[v]..starts[v + 1]] {
+                assert_eq!(tg.arcs()[ai].to, v);
+            }
+        }
+    }
+
+    #[test]
+    fn compact_below_drops_prefix_arcs_and_keeps_order() {
+        let mut tg = TraversalGraph::new();
+        for _ in 0..5 {
+            tg.push_node();
+        }
+        tg.push_arc(0, 1, ArcKind::Forward(MessageId(0)));
+        tg.push_arc(1, 0, ArcKind::Backward(MessageId(0)));
+        let keep0 = tg.push_arc(2, 3, ArcKind::Forward(MessageId(1)));
+        tg.push_arc(
+            3,
+            1,
+            ArcKind::LocalBack(LocalEdge {
+                from: crate::graph::EventId(1),
+                to: crate::graph::EventId(3),
+            }),
+        );
+        let keep1 = tg.push_arc(4, 2, ArcKind::Backward(MessageId(1)));
+        let _ = (keep0, keep1);
+        let (nodes, arcs) = tg.compact_below(2);
+        assert_eq!((nodes, arcs), (2, 3));
+        assert_eq!(tg.base(), 2);
+        assert_eq!(tg.num_live_nodes(), 3);
+        assert_eq!(tg.num_arcs(), 2);
+        assert_eq!((tg.arcs()[0].from, tg.arcs()[0].to), (2, 3));
+        assert_eq!((tg.arcs()[1].from, tg.arcs()[1].to), (4, 2));
+        assert_eq!(tg.out_arcs(2).collect::<Vec<_>>(), vec![0]);
+        assert_eq!(tg.out_arcs(4).collect::<Vec<_>>(), vec![1]);
+        // Growth continues seamlessly after compaction.
+        let v = tg.push_node();
+        assert_eq!(v, 5);
+        tg.push_arc(
+            v,
+            3,
+            ArcKind::LocalBack(LocalEdge {
+                from: crate::graph::EventId(3),
+                to: crate::graph::EventId(5),
+            }),
+        );
+        assert_eq!(tg.out_arcs(v).count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "below the compaction base")]
+    fn pushing_arcs_into_the_compacted_region_panics() {
+        let mut tg = TraversalGraph::new();
+        for _ in 0..3 {
+            tg.push_node();
+        }
+        tg.compact_below(2);
+        tg.push_arc(2, 1, ArcKind::Forward(MessageId(0)));
+    }
+}

@@ -48,7 +48,7 @@ proptest! {
             .iter()
             .filter_map(|c| c.classify().ratio())
             .max();
-        prop_assert_eq!(check::max_relevant_cycle_ratio(&g), brute);
+        prop_assert_eq!(check::max_relevant_cycle_ratio(&g).unwrap(), brute);
     }
 
     /// `is_admissible(g, Ξ)` iff `max_ratio(g) < Ξ` — and `has_relevant_cycle`
@@ -61,7 +61,7 @@ proptest! {
     ) {
         prop_assume!(num > den); // Xi > 1
         let xi = Xi::new(Ratio::new(num, den)).unwrap();
-        let max = check::max_relevant_cycle_ratio(&g);
+        let max = check::max_relevant_cycle_ratio(&g).unwrap();
         let admissible = check::is_admissible(&g, &xi).unwrap();
         match &max {
             None => prop_assert!(admissible),
@@ -117,7 +117,7 @@ proptest! {
     ) {
         let relevant = enumerate_relevant_cycles(&g, EnumerationLimits::default()).cycles;
         prop_assume!(!relevant.is_empty());
-        let max = check::max_relevant_cycle_ratio(&g).unwrap();
+        let max = check::max_relevant_cycle_ratio(&g).unwrap().unwrap();
         // Xi strictly above the max ratio: the graph is ABC-admissible.
         let xi = Xi::new(&max + &Ratio::new(1, 3)).unwrap();
         let mut sum = CycleVector::zero();

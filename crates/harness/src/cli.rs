@@ -38,7 +38,7 @@ USAGE:
   abc replay  FILE
   abc list
   abc serve   [--addr A] [--status-addr A] [--shards N] [--xi XI]
-              [--max-line BYTES] [--max-processes N]
+              [--max-line BYTES] [--max-processes N] [--prune-horizon H]
   abc feed    FILE --addr A --xi XI
   abc loadgen --addr A [--connections C] [--traces N] [--preset NAME]
               [--delay SPEC] [--xi XI] [--max-events E] [--seed S]

@@ -22,6 +22,7 @@ pub(crate) fn cmd_serve(args: &Args) -> Result<i32, String> {
         "xi",
         "max-line",
         "max-processes",
+        "prune-horizon",
     ])?;
     args.no_positionals()?;
     let config = ServerConfig {
@@ -39,6 +40,20 @@ pub(crate) fn cmd_serve(args: &Args) -> Result<i32, String> {
             .map_or_else(|| Ok(Xi::from_integer(2)), str::parse)?,
         max_line_len: args.parsed("max-line", DEFAULT_MAX_LINE_LEN)?,
         max_processes: args.parsed("max-processes", 10_000usize)?,
+        prune_horizon: match args.one("prune-horizon")? {
+            Some(v) => {
+                let h = v
+                    .parse::<usize>()
+                    .map_err(|e| format!("--prune-horizon: {e}"))?;
+                if h == 0 {
+                    return Err("--prune-horizon must be at least 1 (a zero horizon would \
+                                compact the frontier itself and reject every message)"
+                        .into());
+                }
+                Some(h)
+            }
+            None => None,
+        },
     };
     let shards = config.shards;
     let xi = config.xi.clone();

@@ -210,7 +210,7 @@ mod tests {
         let (g, _) = fig8_execution(&ParSyncParams { phi: 3, delta: 3 });
         assert_eq!(
             check::max_relevant_cycle_ratio(&g),
-            Some(Ratio::from_integer(1))
+            Ok(Some(Ratio::from_integer(1)))
         );
     }
 

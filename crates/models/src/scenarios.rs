@@ -238,7 +238,7 @@ mod tests {
         let (g, timed) = fig9_compensated_paths();
         timed.validate(&g).unwrap();
         // Cycle ratio 1 (both chains have 4 messages): admissible for any Ξ.
-        let ratio = check::max_relevant_cycle_ratio(&g).unwrap();
+        let ratio = check::max_relevant_cycle_ratio(&g).unwrap().unwrap();
         assert_eq!(ratio, Ratio::from_integer(1));
         assert!(check::is_admissible(&g, &Xi::from_fraction(11, 10)).unwrap());
         // Per-message delays span 2..38: Θ over overlapping transits
@@ -257,7 +257,7 @@ mod tests {
         // against φ′).
         assert_eq!(
             check::max_relevant_cycle_ratio(&reordered),
-            Some(Ratio::from_integer(5))
+            Ok(Some(Ratio::from_integer(5)))
         );
         // With Ξ = 6 the reordering would be allowed: the FIFO guarantee
         // is exactly as strong as Ξ is small.
@@ -270,7 +270,7 @@ mod tests {
         timed.validate(&g).unwrap();
         // ABC: admissible with a small Ξ — the ratio is 3/2 per exchange
         // and composes to 3/2 across exchanges.
-        let ratio = check::max_relevant_cycle_ratio(&g).unwrap();
+        let ratio = check::max_relevant_cycle_ratio(&g).unwrap().unwrap();
         assert!(
             ratio <= Ratio::from_integer(2),
             "cycle ratio stays small: {ratio}"

@@ -66,7 +66,10 @@ pub fn cycle_ratio_vs_theta(
     g: &ExecutionGraph,
     timed: &TimedGraph,
 ) -> (Option<Ratio>, Option<Option<Ratio>>) {
-    (check::max_relevant_cycle_ratio(g), observed_theta(g, timed))
+    (
+        check::max_relevant_cycle_ratio(g).expect("graph fits the exact-ratio bisection"),
+        observed_theta(g, timed),
+    )
 }
 
 #[cfg(test)]

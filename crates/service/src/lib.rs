@@ -19,9 +19,12 @@
 //! reads/writes. A session speaks the `abc-trace v1` line grammar in
 //! streaming order ([`abc_sim::Trace::to_stream_text`]), parsed by
 //! [`abc_sim::textio::TraceLineParser`] in its O(in-flight) streaming mode
-//! and fed line-by-line into a per-document [`IncrementalChecker`] — server
-//! memory is O(sessions + in-flight line + open documents), never
-//! O(connection lifetime), and the text of a document is never buffered.
+//! and fed line-by-line into a per-document
+//! [`abc_core::monitor::IncrementalChecker`] — the text of a document is
+//! never buffered, and with [`server::ServerConfig::prune_horizon`] set the
+//! checker itself runs in bounded-memory mode (settled-prefix pruning), so
+//! server memory is O(sessions + in-flight line + prune window), never
+//! O(connection lifetime).
 //! Replies are `ok <seq>` / `violation <seq> <witness>` per event and
 //! `end <verdict>` per document ([`proto`]); a plaintext status port
 //! serves aggregate counters ([`metrics::Metrics`]) and accepts a
@@ -31,7 +34,7 @@
 //! | Module | Contents |
 //! |---|---|
 //! | [`server`] | [`server::start`], [`server::ServerConfig`], shard workers, status port |
-//! | [`session`] | (internal) per-connection state machine |
+//! | `session` | (internal) per-connection state machine |
 //! | [`proto`] | wire protocol: replies, [`proto::Verdict`], [`proto::offline_verdict`] |
 //! | [`client`] | [`client::feed_stream_text`] (`abc feed`), [`client::run_loadgen`] (`abc loadgen`), [`client::status_command`] |
 //! | [`metrics`] | aggregate counters + status-page rendering |

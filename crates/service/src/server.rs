@@ -44,6 +44,13 @@ pub struct ServerConfig {
     /// bytes per faulty index, so the default 10 000 processes fits the
     /// default 64 KiB line cap even with every process faulty.
     pub max_processes: usize,
+    /// `Some(h)` with `h ≥ 1`: per-document monitors run in bounded-memory
+    /// mode, pruning their settled prefix so at most ~`2·h` events stay
+    /// live. Clients must not name send events older than `h` behind the
+    /// frontier (the pruning contract — violations get a parse error, not
+    /// a dropped server). `None` (the default) keeps the exact unbounded
+    /// behavior; `Some(0)` is rejected by [`start`].
+    pub prune_horizon: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -55,6 +62,7 @@ impl Default for ServerConfig {
             xi: Xi::from_integer(2),
             max_line_len: abc_sim::textio::DEFAULT_MAX_LINE_LEN,
             max_processes: 10_000,
+            prune_horizon: None,
         }
     }
 }
@@ -80,6 +88,25 @@ impl SessionMeta {
     #[must_use]
     pub fn violations(&self) -> u64 {
         self.counters.violations.load(Ordering::Relaxed)
+    }
+
+    /// Events currently held live by this session's monitor (equals the
+    /// events ingested into the open document when pruning is off).
+    #[must_use]
+    pub fn live_events(&self) -> u64 {
+        self.counters.live_events.load(Ordering::Relaxed)
+    }
+
+    /// Traversal-graph arcs currently held live by this session's monitor.
+    #[must_use]
+    pub fn live_arcs(&self) -> u64 {
+        self.counters.live_arcs.load(Ordering::Relaxed)
+    }
+
+    /// Events this session's monitors have compacted away so far.
+    #[must_use]
+    pub fn pruned_events(&self) -> u64 {
+        self.counters.pruned_events.load(Ordering::Relaxed)
     }
 }
 
@@ -151,6 +178,14 @@ impl ServerHandle {
 ///
 /// Any bind/configuration I/O error.
 pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    if config.prune_horizon == Some(0) {
+        // A zero horizon would compact the frontier itself, making every
+        // later `m` line a stale reference — no client could comply.
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "prune_horizon must be at least 1",
+        ));
+    }
     let listener = TcpListener::bind(&config.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
@@ -383,17 +418,37 @@ fn handle_status_conn(
         "ok shutting down\n".to_string()
     } else if command.is_empty() || command == "metrics" || command.starts_with("GET") {
         let mut body = metrics.render();
-        for (id, meta) in table.lock().expect("session table poisoned").iter() {
+        let table = table.lock().expect("session table poisoned");
+        // Aggregate monitor-memory gauges across live sessions, then one
+        // row per session with its own live/pruned footprint.
+        let (mut live_events, mut live_arcs, mut pruned) = (0u64, 0u64, 0u64);
+        for meta in table.values() {
+            live_events += meta.live_events();
+            live_arcs += meta.live_arcs();
+            pruned += meta.pruned_events();
+        }
+        {
+            use std::fmt::Write;
+            let _ = writeln!(body, "abc_service_monitor_live_events {live_events}");
+            let _ = writeln!(body, "abc_service_monitor_live_arcs {live_arcs}");
+            let _ = writeln!(body, "abc_service_monitor_pruned_events_total {pruned}");
+        }
+        for (id, meta) in table.iter() {
             use std::fmt::Write;
             let _ = writeln!(
                 body,
-                "session {id} peer={} shard={} events={} violations={}",
+                "session {id} peer={} shard={} events={} violations={} live_events={} \
+                 live_arcs={} pruned_events={}",
                 meta.peer,
                 meta.shard,
                 meta.events(),
-                meta.violations()
+                meta.violations(),
+                meta.live_events(),
+                meta.live_arcs(),
+                meta.pruned_events()
             );
         }
+        drop(table);
         body
     } else {
         format!("error unknown command {command:?}\n")

@@ -44,6 +44,12 @@ enum DocState {
 pub(crate) struct SessionCounters {
     pub events: Arc<AtomicU64>,
     pub violations: Arc<AtomicU64>,
+    /// Monitor-memory gauges: events/arcs currently live in the open
+    /// document's checker, and events compacted away so far (across the
+    /// connection's documents).
+    pub live_events: Arc<AtomicU64>,
+    pub live_arcs: Arc<AtomicU64>,
+    pub pruned_events: Arc<AtomicU64>,
 }
 
 impl SessionCounters {
@@ -51,6 +57,9 @@ impl SessionCounters {
         SessionCounters {
             events: Arc::new(AtomicU64::new(0)),
             violations: Arc::new(AtomicU64::new(0)),
+            live_events: Arc::new(AtomicU64::new(0)),
+            live_arcs: Arc::new(AtomicU64::new(0)),
+            pruned_events: Arc::new(AtomicU64::new(0)),
         }
     }
 }
@@ -62,6 +71,12 @@ pub(crate) struct Session {
     doc: DocState,
     xi: Xi,
     max_processes: usize,
+    /// Bounded-memory monitoring: prune each document's checker so at most
+    /// ~`2·horizon` events stay live (`None` = exact unbounded mode).
+    prune_horizon: Option<usize>,
+    /// Pruned-event count already folded into the session counter for the
+    /// open document (the monitor reports a per-document running total).
+    doc_pruned_reported: usize,
     /// 1-based count of lines received on this connection (error replies
     /// cite it, spanning xi lines and multiple documents).
     lines_in: usize,
@@ -89,6 +104,8 @@ impl Session {
             doc: DocState::Idle,
             xi: config.xi.clone(),
             max_processes: config.max_processes,
+            prune_horizon: config.prune_horizon,
+            doc_pruned_reported: 0,
             lines_in: 0,
             out: Vec::new(),
             out_pos: 0,
@@ -103,6 +120,18 @@ impl Session {
 
     fn reply(&mut self, line: &str) {
         self.out.extend_from_slice(line.as_bytes());
+    }
+
+    /// Folds the open document's monitor `pruned_events` running total into
+    /// the session-lifetime counter (exactly once per pruned event).
+    fn note_pruned(&mut self, doc_total: usize) {
+        let delta = doc_total.saturating_sub(self.doc_pruned_reported);
+        if delta > 0 {
+            self.counters
+                .pruned_events
+                .fetch_add(delta as u64, Ordering::Relaxed);
+            self.doc_pruned_reported = doc_total;
+        }
     }
 
     fn protocol_error(&mut self, message: &str, metrics: &Metrics) {
@@ -205,6 +234,7 @@ impl Session {
             }
             // Anything else starts a fresh document (the parser will
             // reject non-header lines with a precise message).
+            self.doc_pruned_reported = 0;
             self.doc = DocState::Running {
                 parser: TraceLineParser::new_streaming().with_max_processes(self.max_processes),
                 checker: None,
@@ -235,6 +265,9 @@ impl Session {
                 let (n, faulty) = parser.topology().expect("topology follows the faulty line");
                 match IncrementalChecker::new(n, &self.xi) {
                     Ok(mut mon) => {
+                        if self.prune_horizon.is_some() {
+                            mon.enable_pruning();
+                        }
                         for (p, f) in faulty.iter().enumerate() {
                             if *f {
                                 mon.mark_faulty(ProcessId(p));
@@ -274,20 +307,63 @@ impl Session {
                             mon.append_send(EventId(send), process);
                         }
                     }
-                    if let Some(cycle) = mon.violation() {
-                        let wire = cycle.summarize(mon.graph()).wire().to_string();
+                    if mon.violation().is_some() {
+                        // `violation_summary` is latched alongside the
+                        // cycle and byte-identical to summarizing against
+                        // the graph — and it works in pruned mode, where
+                        // there is no graph mirror to summarize against.
+                        let wire = mon
+                            .violation_summary()
+                            .expect("latched monitors carry their summary")
+                            .wire()
+                            .to_string();
                         metrics.violations.fetch_add(1, Ordering::Relaxed);
                         self.counters.violations.fetch_add(1, Ordering::Relaxed);
                         let line = format!("violation {seq} {wire}\n");
                         self.reply(&line);
                         latched = Some((seq, wire));
+                        self.note_pruned(mon.stats().pruned_events);
                         // The verdict is latched; stop feeding the checker
                         // so a violating firehose doesn't keep growing its
                         // graph.
                         checker = None;
+                        self.counters.live_events.store(0, Ordering::Relaxed);
+                        self.counters.live_arcs.store(0, Ordering::Relaxed);
                     } else {
                         self.reply(&format!("ok {seq}\n"));
+                        if let Some(h) = self.prune_horizon {
+                            if mon.live_events() > 2 * h.max(1) {
+                                // Honest watermark: `horizon` behind the
+                                // frontier, capped by the oldest declared
+                                // but undelivered message (whose receive
+                                // will still name its send event).
+                                let mut watermark = parser.events_seen().saturating_sub(h);
+                                if let Some(oldest) = parser.oldest_pending_send() {
+                                    watermark = watermark.min(oldest);
+                                }
+                                mon.prune_settled(Some(EventId(watermark)));
+                            }
+                        }
+                        self.note_pruned(mon.stats().pruned_events);
+                        self.counters
+                            .live_events
+                            .store(mon.live_events() as u64, Ordering::Relaxed);
+                        self.counters
+                            .live_arcs
+                            .store(mon.live_arcs() as u64, Ordering::Relaxed);
                     }
+                }
+                if let Some(h) = self.prune_horizon {
+                    // Window the parser's per-event sidecar on every event —
+                    // including after a latch, when the checker is dropped
+                    // but lines keep arriving: without this, a violating
+                    // firehose would grow `event_meta` per post-latch line,
+                    // breaking the advertised memory bound.
+                    let mut watermark = parser.events_seen().saturating_sub(h);
+                    if let Some(oldest) = parser.oldest_pending_send() {
+                        watermark = watermark.min(oldest);
+                    }
+                    parser.forget_events_below(watermark);
                 }
             }
             ParsedLine::End => {
@@ -303,6 +379,8 @@ impl Session {
                 self.reply(&verdict);
                 metrics.documents.fetch_add(1, Ordering::Relaxed);
                 // Drop the whole per-document state.
+                self.counters.live_events.store(0, Ordering::Relaxed);
+                self.counters.live_arcs.store(0, Ordering::Relaxed);
                 done = true;
             }
         }

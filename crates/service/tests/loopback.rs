@@ -304,3 +304,179 @@ fn status_port_serves_metrics_and_shutdown() {
     // Every thread exits: join() returns.
     handle.join();
 }
+
+#[test]
+fn prune_horizon_bounds_session_memory_with_identical_verdicts() {
+    // A server with a 256-event prune horizon: long sessions must compact
+    // their monitors (live_events stays bounded, pruned_events grows), the
+    // status page must expose the per-session memory rows, and every
+    // verdict must stay byte-identical to the offline monitor.
+    let handle = start(ServerConfig {
+        shards: 2,
+        prune_horizon: Some(256),
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback server");
+    let addr = handle.addr().to_string();
+    let status = handle.status_addr().to_string();
+    let xi = Xi::from_fraction(3, 2);
+
+    // Feed a long admissible document but hold the connection open just
+    // before its `end` line, so the status page shows the live session.
+    let trace = clocksync_trace(10, 19, 21, 4_000);
+    let text = trace.to_stream_text();
+    let (body, end_line) = text.rsplit_once("end").expect("stream text ends with end");
+    let stream = TcpStream::connect(&addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    assert_eq!(read_reply_line(&mut reader), "abc-service v1");
+    {
+        let mut w = &stream;
+        w.write_all(body.as_bytes()).unwrap();
+        w.flush().unwrap();
+    }
+    // Acks flow while we stream; wait until every event is ingested.
+    let events = trace.events().len();
+    for seq in 0..events {
+        let line = read_reply_line(&mut reader);
+        assert_eq!(line, format!("ok {seq}"), "event {seq}");
+    }
+    // The session is mid-document: its monitor-memory row must show deep
+    // compaction and a bounded live window.
+    let page = status_command(&status, "metrics").unwrap();
+    let row = page
+        .lines()
+        .find(|l| l.starts_with("session "))
+        .unwrap_or_else(|| panic!("no session row in:\n{page}"));
+    let field = |key: &str| -> u64 {
+        row.split_whitespace()
+            .find_map(|f| f.strip_prefix(&format!("{key}=")))
+            .unwrap_or_else(|| panic!("row {row:?} lacks {key}"))
+            .parse()
+            .unwrap_or_else(|_| panic!("row {row:?} field {key} is not a number"))
+    };
+    assert_eq!(field("events"), events as u64);
+    assert!(field("pruned_events") > 3_000, "row: {row}");
+    assert!(field("live_events") < 1_000, "row: {row}");
+    assert!(field("live_arcs") > 0, "row: {row}");
+    assert!(
+        field("live_events") + field("pruned_events") == events as u64,
+        "live + pruned account for every event: {row}"
+    );
+    // Aggregate gauges mirror the single session.
+    assert!(
+        page.contains(&format!(
+            "abc_service_monitor_pruned_events_total {}",
+            field("pruned_events")
+        )),
+        "{page}"
+    );
+    // Finish the document: the verdict matches the offline monitor.
+    {
+        let mut w = &stream;
+        w.write_all(format!("end{end_line}").as_bytes()).unwrap();
+        w.flush().unwrap();
+    }
+    let verdict = read_reply_line(&mut reader);
+    assert_eq!(
+        verdict,
+        format!("end {}", offline_verdict(&trace, &xi).unwrap()),
+    );
+    drop(stream);
+
+    // A violating document through the same pruning server: byte-identical
+    // violation verdict (witness wire form included).
+    let violating = clocksync_trace(1, 6, 3, 4_000);
+    let outcome = feed_stream_text(&addr, &xi, &violating.to_stream_text()).unwrap();
+    let offline = offline_verdict(&violating, &xi).unwrap().to_string();
+    assert!(offline.starts_with("violation"), "seed picks a violation");
+    assert_eq!(outcome.verdict.to_string(), offline);
+    handle.join();
+}
+
+#[test]
+fn stale_send_reference_beyond_horizon_is_a_clean_protocol_error() {
+    // With a tiny horizon, a client naming a send event older than the
+    // compacted sidecar gets a parse error citing the horizon — the server
+    // survives and keeps serving.
+    let handle = start(ServerConfig {
+        shards: 1,
+        prune_horizon: Some(2),
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback server");
+    let addr = handle.addr().to_string();
+
+    let stream = TcpStream::connect(&addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    assert_eq!(read_reply_line(&mut reader), "abc-service v1");
+    {
+        let mut w = &stream;
+        w.write_all(b"abc-trace v1\nprocesses 2\nfaulty\n").unwrap();
+        // A prompt ping-pong chain between p0 and p1 pushes the horizon
+        // forward (each receive names only the immediately previous event)…
+        w.write_all(b"e 0 0 0 - 0 - 0\ne 1 1 0 - 0 - 0\n").unwrap();
+        for seq in 2..12usize {
+            let (from, to) = ((seq - 1) % 2, seq % 2);
+            let send_time = if seq == 2 { 0 } else { seq - 1 };
+            let msg = seq - 2;
+            w.write_all(
+                format!(
+                    "m {from} {to} {prev} {seq} {send_time} {seq}\n\
+                     e {seq} {to} {seq} {msg} 0 - 0\n",
+                    prev = seq - 1
+                )
+                .as_bytes(),
+            )
+            .unwrap();
+        }
+        // …then an `m` line names send event 0, far below the horizon.
+        w.write_all(b"m 0 1 0 99 0 50\n").unwrap();
+        w.flush().unwrap();
+    }
+    let mut saw_error = false;
+    loop {
+        let line = read_reply_line(&mut reader);
+        if line.is_empty() {
+            break;
+        }
+        if line.starts_with("error line") {
+            assert!(line.contains("prune horizon"), "got {line:?}");
+            saw_error = true;
+            break;
+        }
+        assert!(line.starts_with("ok "), "unexpected reply {line:?}");
+    }
+    assert!(saw_error, "stale reference must be rejected");
+
+    // Server still serves fresh clients whose references respect the
+    // horizon (a prompt ping-pong chain names only the previous event).
+    let stream = TcpStream::connect(&addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    assert_eq!(read_reply_line(&mut reader), "abc-service v1");
+    {
+        let mut w = &stream;
+        w.write_all(b"abc-trace v1\nprocesses 2\nfaulty\n").unwrap();
+        w.write_all(b"e 0 0 0 - 0 - 0\ne 1 1 0 - 0 - 0\n").unwrap();
+        for seq in 2..12usize {
+            let (from, to) = ((seq - 1) % 2, seq % 2);
+            let send_time = if seq == 2 { 0 } else { seq - 1 };
+            let msg = seq - 2;
+            w.write_all(
+                format!(
+                    "m {from} {to} {prev} {seq} {send_time} {seq}\n\
+                     e {seq} {to} {seq} {msg} 0 - 0\n",
+                    prev = seq - 1
+                )
+                .as_bytes(),
+            )
+            .unwrap();
+        }
+        w.write_all(b"end\n").unwrap();
+        w.flush().unwrap();
+    }
+    for seq in 0..12 {
+        assert_eq!(read_reply_line(&mut reader), format!("ok {seq}"));
+    }
+    assert_eq!(read_reply_line(&mut reader), "end admissible events=12");
+    handle.join();
+}

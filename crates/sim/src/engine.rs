@@ -57,7 +57,7 @@ pub struct RunStats {
 impl std::fmt::Display for RunStats {
     /// One parseable line: `events=… sent=… delivered=… dropped=…
     /// final_time=… quiescent=… slab_peak=…` (the exact inverse of
-    /// [`RunStats::from_str`], so stats survive text round trips alongside
+    /// `RunStats::from_str`, so stats survive text round trips alongside
     /// serialized traces).
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -140,6 +140,9 @@ pub struct Simulation<M, D> {
     started: bool,
     monitor_xi: Option<Xi>,
     monitor: Option<IncrementalChecker>,
+    /// `Some(interval)`: the attached monitor prunes its settled prefix
+    /// every `interval` executed events (bounded-memory monitoring).
+    monitor_prune_every: Option<usize>,
 }
 
 /// Queue entries order by (time, tie_seq).
@@ -175,6 +178,7 @@ impl<M: Clone + 'static, D: DelayModel> Simulation<M, D> {
             started: false,
             monitor_xi: None,
             monitor: None,
+            monitor_prune_every: None,
         }
     }
 
@@ -264,6 +268,67 @@ impl<M: Clone + 'static, D: DelayModel> Simulation<M, D> {
         Ok(())
     }
 
+    /// Like [`Simulation::attach_monitor`], but the monitor runs in
+    /// bounded-memory mode: its full execution-graph mirror is dropped
+    /// ([`IncrementalChecker::enable_pruning`]) and every `prune_every`
+    /// executed events the settled prefix is compacted with the engine's
+    /// own exact watermark (the oldest send event still referenced by an
+    /// in-flight queue entry — future sends always come from events not
+    /// yet executed). Memory stays `O(processes + window + in-flight)` no
+    /// matter how long the run; verdicts and witness summaries are
+    /// byte-identical to an unbounded monitor
+    /// ([`Simulation::violation_summary`] replaces the graph-based witness
+    /// accessors in this mode).
+    ///
+    /// # Errors
+    ///
+    /// [`CheckError::XiTooLarge`] as in [`Simulation::attach_monitor`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run has already started or `prune_every` is zero.
+    pub fn attach_monitor_bounded(
+        &mut self,
+        xi: &Xi,
+        prune_every: usize,
+    ) -> Result<(), CheckError> {
+        assert!(prune_every > 0, "prune_every must be positive");
+        self.attach_monitor(xi)?;
+        self.monitor_prune_every = Some(prune_every);
+        Ok(())
+    }
+
+    /// The summary of the first ABC violation witnessed by the attached
+    /// monitor, if any — available in both monitor modes (the `Cycle`
+    /// accessor [`Simulation::violation`] works in both modes too, but
+    /// summarizing it needs the graph mirror that bounded mode drops).
+    #[must_use]
+    pub fn violation_summary(&self) -> Option<&abc_core::cycle::WitnessSummary> {
+        self.monitor
+            .as_ref()
+            .and_then(IncrementalChecker::violation_summary)
+    }
+
+    /// Work counters and footprint marks of the attached monitor.
+    #[must_use]
+    pub fn monitor_stats(&self) -> Option<abc_core::monitor::MonitorStats> {
+        self.monitor.as_ref().map(IncrementalChecker::stats)
+    }
+
+    /// The engine's exact pruning watermark: the oldest send event any
+    /// in-flight queue entry still references (`None` when nothing is in
+    /// flight). Future sends are issued by events that have not executed
+    /// yet, so no future `append_send` can name anything older.
+    fn inflight_watermark(&self) -> Option<usize> {
+        self.queue
+            .iter()
+            .filter_map(|Reverse(e)| match e.kind {
+                EntryKind::Init(_) => None,
+                EntryKind::Deliver(_, mi, _) => Some(self.trace.messages[mi].send_event),
+            })
+            .min()
+    }
+
     /// The attached online monitor, if any (populated once the run starts).
     #[must_use]
     pub fn monitor(&self) -> Option<&IncrementalChecker> {
@@ -288,6 +353,9 @@ impl<M: Clone + 'static, D: DelayModel> Simulation<M, D> {
             if let Some(xi) = &self.monitor_xi {
                 let mut mon = IncrementalChecker::new(self.processes.len(), xi)
                     .expect("Xi validated at attach time");
+                if self.monitor_prune_every.is_some() {
+                    mon.enable_pruning();
+                }
                 for (p, faulty) in self.faulty.iter().enumerate() {
                     if *faulty {
                         mon.mark_faulty(ProcessId(p));
@@ -375,7 +443,7 @@ impl<M: Clone + 'static, D: DelayModel> Simulation<M, D> {
                         // reception; fail with a configuration-level
                         // message instead of a builder assert deep inside.
                         assert!(
-                            !mon.graph().events_of(process).is_empty(),
+                            mon.process_has_events(process),
                             "online monitor: message delivered to {process} at t={} before \
                              its wake-up (staggered start with an early delivery); such \
                              executions fall outside Definition 1 — start {process} earlier \
@@ -431,6 +499,18 @@ impl<M: Clone + 'static, D: DelayModel> Simulation<M, D> {
                             tie,
                             kind: EntryKind::Deliver(to.0, mi, slot),
                         }));
+                    }
+                }
+            }
+            // Prune only after the outbox is dispatched: the executed
+            // event's own messages are in flight by now, so the watermark
+            // sees them (pruning before dispatch could compact the very
+            // event they will name as their send event).
+            if let Some(every) = self.monitor_prune_every {
+                if (self.trace.events.len()) % every == 0 {
+                    let watermark = self.inflight_watermark().unwrap_or(self.trace.events.len());
+                    if let Some(mon) = &mut self.monitor {
+                        mon.prune_settled(Some(EventId(watermark)));
                     }
                 }
             }
@@ -650,6 +730,76 @@ mod tests {
                 assert!(w.classify().violates(&xi));
             }
         }
+    }
+
+    #[test]
+    fn bounded_monitor_matches_unbounded_and_compacts() {
+        // The same seeded run with a plain monitor and a bounded (pruning)
+        // monitor: verdicts and witness summaries must be byte-identical,
+        // and the bounded run must hold far fewer events live than it
+        // executed.
+        let run = |xi: &Xi, bounded: bool| {
+            let mut sim = Simulation::new(BandDelay::new(1, 6, 99));
+            for _ in 0..3 {
+                sim.add_process(Gossip { remaining: 400 });
+            }
+            if bounded {
+                sim.attach_monitor_bounded(xi, 8).unwrap();
+            } else {
+                sim.attach_monitor(xi).unwrap();
+            }
+            sim.run(RunLimits::default());
+            sim
+        };
+        for xi in [Xi::from_fraction(7, 6), Xi::from_integer(7)] {
+            let plain = run(&xi, false);
+            let bounded = run(&xi, true);
+            assert_eq!(
+                plain.trace().events().len(),
+                bounded.trace().events().len(),
+                "seeded runs are identical"
+            );
+            let pm = plain.monitor().unwrap();
+            let bm = bounded.monitor().unwrap();
+            assert_eq!(pm.is_admissible(), bm.is_admissible(), "xi = {xi}");
+            assert_eq!(
+                plain.violation_summary().map(|s| s.wire().to_string()),
+                bounded.violation_summary().map(|s| s.wire().to_string())
+            );
+            assert_eq!(
+                plain.violation().map(|c| format!("{c}")),
+                bounded.violation().map(|c| format!("{c}"))
+            );
+            if bm.is_admissible() {
+                let stats = bounded.monitor_stats().unwrap();
+                assert!(stats.pruned_events > 0, "long admissible runs compact");
+                assert!(
+                    bm.live_events() < stats.events / 2,
+                    "live window {} vs {} executed",
+                    bm.live_events(),
+                    stats.events
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_monitor_survives_sparse_traffic() {
+        // Regression: the prune tick must run only after the executed
+        // event's outbox is dispatched — with nothing else in flight, an
+        // earlier tick computed a watermark that compacted the very event
+        // whose message was about to be sent, and its delivery panicked on
+        // the watermark assert.
+        let xi = Xi::from_integer(2);
+        let mut sim = Simulation::new(FixedDelay::new(1));
+        sim.add_process(Echo { remaining: 40 });
+        sim.add_process(Echo { remaining: 40 });
+        sim.attach_monitor_bounded(&xi, 3).unwrap();
+        let stats = sim.run(RunLimits::default());
+        assert!(stats.quiescent);
+        let mon = sim.monitor().expect("monitor attached");
+        assert!(mon.is_admissible(), "a fixed-delay ping-pong is admissible");
+        assert!(mon.stats().pruned_events > 0, "sparse traffic still prunes");
     }
 
     #[test]

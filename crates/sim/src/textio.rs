@@ -370,6 +370,10 @@ pub struct TraceLineParser {
     // strictness as document mode — the document text, labels, flags, and
     // message set are still never stored.
     event_meta: Vec<(ProcessId, u64)>,
+    /// First event index still held in `event_meta` (streaming mode can
+    /// compact the sidecar below a prune horizon via
+    /// [`TraceLineParser::forget_events_below`]).
+    meta_base: usize,
     pending: HashMap<usize, PendingDelivery>,
     expected_at: HashMap<usize, usize>,
 }
@@ -393,6 +397,7 @@ impl TraceLineParser {
             events: Vec::new(),
             messages: Vec::new(),
             event_meta: Vec::new(),
+            meta_base: 0,
             pending: HashMap::new(),
             expected_at: HashMap::new(),
         }
@@ -461,6 +466,38 @@ impl TraceLineParser {
     #[must_use]
     pub fn lines_fed(&self) -> usize {
         self.line_no
+    }
+
+    /// Streaming mode only: compacts the per-event `(process, time)`
+    /// sidecar below `event_idx`, so a long-lived connection's parser
+    /// memory tracks the caller's prune horizon instead of the document
+    /// length. Any later `m` line naming a send event below the horizon is
+    /// rejected with a parse error — the bounded-monitoring contract a
+    /// server advertises when it enables pruning.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a document-mode parser (which stores the whole trace by
+    /// design).
+    pub fn forget_events_below(&mut self, event_idx: usize) {
+        assert!(
+            self.streaming,
+            "forget_events_below is a streaming-mode operation"
+        );
+        let cut = event_idx.min(self.events_seen);
+        if cut > self.meta_base {
+            self.event_meta.drain(..cut - self.meta_base);
+            self.meta_base = cut;
+        }
+    }
+
+    /// Streaming mode: the oldest send event named by a declared but not
+    /// yet received message (`None` when no delivery is pending). Callers
+    /// pruning a downstream monitor must keep their horizon at or below
+    /// this watermark.
+    #[must_use]
+    pub fn oldest_pending_send(&self) -> Option<usize> {
+        self.pending.values().map(|p| p.send_event).min()
     }
 
     fn scalar(ln: usize, l: &str, key: &str) -> Result<usize, TraceTextError> {
@@ -826,7 +863,17 @@ impl TraceLineParser {
         // per-event metadata), so wire and file paths accept exactly the
         // same documents.
         let (sender_process, sender_time) = if self.streaming {
-            self.event_meta[send_event]
+            if send_event < self.meta_base {
+                return err(
+                    ln,
+                    format!(
+                        "send_event {send_event} is older than the prune horizon (events \
+                         before {} were compacted)",
+                        self.meta_base
+                    ),
+                );
+            }
+            self.event_meta[send_event - self.meta_base]
         } else {
             let sender = &self.events[send_event];
             (sender.process, sender.time)

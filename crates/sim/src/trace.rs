@@ -155,6 +155,64 @@ impl Trace {
         self.replay_monitor_inner(xi, true)
     }
 
+    /// Like [`Trace::replay_into_monitor`], but in bounded-memory mode:
+    /// the monitor's graph mirror is dropped
+    /// ([`IncrementalChecker::enable_pruning`]) and, every `prune_every`
+    /// appended events, its settled prefix is compacted with the exact
+    /// lookahead watermark (the oldest send event any *remaining* trace
+    /// event names — computable offline because the whole trace is known).
+    /// Verdicts, latch points, and witness summaries are byte-identical to
+    /// [`Trace::replay_into_monitor`]; memory is bounded by the live
+    /// window instead of the trace length.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckError::XiTooLarge`] if `Ξ`'s parts exceed the monitor's
+    /// integer range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prune_every` is zero.
+    pub fn replay_into_monitor_bounded(
+        &self,
+        xi: &Xi,
+        prune_every: usize,
+    ) -> Result<IncrementalChecker, CheckError> {
+        assert!(prune_every > 0, "prune_every must be positive");
+        // suffix_min[i] = the oldest send event any event at index >= i
+        // names — after appending event i, no later append can name
+        // anything below suffix_min[i + 1].
+        let mut suffix_min: Vec<usize> = vec![usize::MAX; self.events.len() + 1];
+        for (idx, ev) in self.events.iter().enumerate().rev() {
+            let named = ev
+                .trigger
+                .map_or(usize::MAX, |mi| self.messages[mi].send_event);
+            suffix_min[idx] = named.min(suffix_min[idx + 1]);
+        }
+        let mut mon = IncrementalChecker::new(self.num_processes, xi)?;
+        mon.enable_pruning();
+        for (p, faulty) in self.faulty.iter().enumerate() {
+            if *faulty {
+                mon.mark_faulty(ProcessId(p));
+            }
+        }
+        for (idx, ev) in self.events.iter().enumerate() {
+            match ev.trigger {
+                None => {
+                    mon.append_init(ev.process);
+                }
+                Some(mi) => {
+                    mon.append_send(EventId(self.messages[mi].send_event), ev.process);
+                }
+            }
+            if (idx + 1) % prune_every == 0 {
+                let watermark = suffix_min[idx + 1].min(idx + 1);
+                mon.prune_settled(Some(EventId(watermark)));
+            }
+        }
+        Ok(mon)
+    }
+
     fn replay_monitor_inner(
         &self,
         xi: &Xi,

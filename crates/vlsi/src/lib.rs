@@ -166,7 +166,8 @@ impl SoC {
         });
         let trace = sim.trace();
         let g = trace.to_execution_graph();
-        let ratio = check::max_relevant_cycle_ratio(&g);
+        let ratio = check::max_relevant_cycle_ratio(&g)
+            .expect("SoC executions fit the exact-ratio bisection");
         let margin = ratio.as_ref().map(|r| xi.as_ratio() / r);
         SoCRun {
             min_clock: instrument::min_final_clock(trace).unwrap_or(0),

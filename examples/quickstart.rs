@@ -27,7 +27,9 @@ fn main() {
     b.send(q, ProcessId(1)); // slow message spans it
     let g = b.finish();
 
-    let ratio = check::max_relevant_cycle_ratio(&g).expect("one relevant cycle");
+    let ratio = check::max_relevant_cycle_ratio(&g)
+        .unwrap()
+        .expect("one relevant cycle");
     println!("max relevant cycle ratio |Z-|/|Z+| = {ratio}");
 
     let xi_tight = Xi::from_integer(2);

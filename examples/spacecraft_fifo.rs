@@ -15,7 +15,7 @@ fn main() {
     // Spacecraft formation: inter-cluster delays double every exchange.
     // ---------------------------------------------------------------
     let (g, timed) = scenarios::spacecraft_growing_delays(12);
-    let ratio = check::max_relevant_cycle_ratio(&g).unwrap();
+    let ratio = check::max_relevant_cycle_ratio(&g).unwrap().unwrap();
     println!("spacecraft formation, 12 exchanges, delays 4, 8, ..., 16384:");
     println!("  max relevant cycle ratio = {ratio} (ABC-admissible for Xi = 2)");
     assert!(check::is_admissible(&g, &Xi::from_integer(2)).unwrap());
@@ -47,7 +47,9 @@ fn main() {
     println!(
         "  reordered delivery admissible? {} (cycle ratio {})",
         check::is_admissible(&reordered, &Xi::from_integer(4)).unwrap(),
-        check::max_relevant_cycle_ratio(&reordered).unwrap()
+        check::max_relevant_cycle_ratio(&reordered)
+            .unwrap()
+            .unwrap()
     );
     println!("  => the ABC condition forbids reordering: FIFO without timestamps.");
 }

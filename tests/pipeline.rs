@@ -46,7 +46,7 @@ fn real_times_vs_assigned_times_are_both_valid() {
         assert!(theta < Ratio::new(21, 10), "observed theta {theta}");
         // Theorem 6's quantitative core: cycle ratios are bounded by the
         // observed Theta.
-        if let Some(r) = check::max_relevant_cycle_ratio(&g) {
+        if let Some(r) = check::max_relevant_cycle_ratio(&g).unwrap() {
             assert!(r <= theta, "cycle ratio {r} vs theta {theta}");
         }
     }
@@ -65,7 +65,7 @@ fn growing_delays_stay_admissible_with_banded_ratio() {
         max_time: u64::MAX,
     });
     let g = sim.trace().to_execution_graph();
-    let ratio = check::max_relevant_cycle_ratio(&g);
+    let ratio = check::max_relevant_cycle_ratio(&g).unwrap();
     // Messages sent at nearby times have delay ratio < 1.9 * growth-slack;
     // growth over one in-flight window at tau=500 is mild. Allow 3.
     if let Some(r) = &ratio {

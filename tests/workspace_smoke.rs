@@ -27,7 +27,7 @@ fn core_check_assign_round_trip() {
     let g = tiny_graph();
     assert_eq!(
         check::max_relevant_cycle_ratio(&g),
-        Some(abc::rational::Ratio::from_integer(2))
+        Ok(Some(abc::rational::Ratio::from_integer(2)))
     );
     // Strict bound: ratio == Xi is inadmissible, ratio < Xi is admissible.
     assert!(!check::is_admissible(&g, &Xi::from_integer(2)).unwrap());

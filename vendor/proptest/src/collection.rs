@@ -4,7 +4,7 @@ use crate::strategy::{Gen, Strategy};
 use rand::rngs::SmallRng;
 use rand::RngExt;
 
-/// Acceptable size arguments for [`vec`]: a fixed length or a range.
+/// Acceptable size arguments for [`vec()`]: a fixed length or a range.
 pub trait IntoSizeRange {
     /// Lower/upper bound (inclusive) on the generated length.
     fn bounds(&self) -> (usize, usize);
@@ -35,7 +35,7 @@ pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> 
     VecStrategy { element, min, max }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 pub struct VecStrategy<S> {
     element: S,
     min: usize,
