@@ -11,8 +11,8 @@
 use abc_bench::workloads;
 use abc_core::Xi;
 use abc_service::client::{run_loadgen, LoadgenDoc};
-use abc_service::feed_stream_text;
 use abc_service::server::{start, ServerConfig};
+use abc_service::{feed_stream_binary, feed_stream_text};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 /// Comfortable band: admissible at Ξ = 5, so the checker does real work on
@@ -26,6 +26,7 @@ fn docs(count: u64, events: usize) -> Vec<LoadgenDoc> {
                 events: trace.events().len(),
                 expect: None,
                 text: trace.to_stream_text(),
+                binary: Some(trace.to_stream_binary()),
             }
         })
         .collect()
@@ -43,21 +44,36 @@ fn bench_service_ingest(c: &mut Criterion) {
     let mut group = c.benchmark_group("service_ingest");
     group.sample_size(10);
 
-    // One session, one 10k-event document per iteration.
+    // One session, one 10k-event document per iteration — both wire forms.
     let single = docs(1, 10_000);
-    group.bench_function("single_session_10k_events", |b| {
+    group.bench_function("single_session_10k_events_v1_text", |b| {
         b.iter(|| {
             let out = feed_stream_text(&addr, &xi, &single[0].text).expect("feed");
             assert!(!out.verdict.is_violation());
             out.oks
         });
     });
+    let single_bin = single[0].binary.as_deref().unwrap();
+    group.bench_function("single_session_10k_events_v2_binary", |b| {
+        b.iter(|| {
+            let out = feed_stream_binary(&addr, &xi, single_bin).expect("feed");
+            assert!(!out.verdict.is_violation());
+            out.acked_events
+        });
+    });
 
     // Eight concurrent sessions, 8 × 10k events per iteration.
     let eight = docs(8, 10_000);
-    group.bench_function("eight_sessions_80k_events", |b| {
+    group.bench_function("eight_sessions_80k_events_v1_text", |b| {
         b.iter(|| {
-            let report = run_loadgen(&addr, &xi, &eight, 8).expect("loadgen");
+            let report = run_loadgen(&addr, &xi, &eight, 8, false).expect("loadgen");
+            assert_eq!(report.violations, 0);
+            report.total_events
+        });
+    });
+    group.bench_function("eight_sessions_80k_events_v2_binary", |b| {
+        b.iter(|| {
+            let report = run_loadgen(&addr, &xi, &eight, 8, true).expect("loadgen");
             assert_eq!(report.violations, 0);
             report.total_events
         });

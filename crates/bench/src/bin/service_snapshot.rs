@@ -1,15 +1,17 @@
-//! Measures `abc-service` loopback ingestion throughput and writes a
-//! `BENCH_service.json` snapshot (no serde — the JSON is assembled by
-//! hand), so the bench trajectory of the service is tracked in-repo.
+//! Measures `abc-service` loopback ingestion throughput over both wire
+//! protocols (v1 text, v2 binary) and writes a `BENCH_service.json`
+//! snapshot (no serde — the JSON is assembled by hand), so the bench
+//! trajectory of the service is tracked in-repo.
 //!
 //! ```text
 //! cargo run --release -p abc-bench --bin service_snapshot [-- OUTPUT.json]
 //! ```
 
+use std::fmt::Write as _;
 use std::time::Instant;
 
 use abc_core::Xi;
-use abc_service::client::{run_loadgen, LoadgenDoc};
+use abc_service::client::{feed_stream_binary, run_loadgen, LoadgenDoc};
 use abc_service::feed_stream_text;
 use abc_service::server::{start, ServerConfig};
 
@@ -21,31 +23,41 @@ fn docs(count: u64, events: usize) -> Vec<LoadgenDoc> {
                 label: format!("doc{s}"),
                 events: trace.events().len(),
                 expect: None,
+                binary: Some(trace.to_stream_binary()),
                 text: trace.to_stream_text(),
             }
         })
         .collect()
 }
 
-fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_service.json".to_string());
-    let xi = Xi::from_integer(5);
-    let handle = start(ServerConfig {
-        shards: 4,
-        ..ServerConfig::default()
-    })
-    .expect("bind loopback server");
-    let addr = handle.addr().to_string();
+struct ProtocolRow {
+    protocol: &'static str,
+    single_events: usize,
+    single_eps: f64,
+    eight_events: usize,
+    eight_eps: f64,
+    doc_p50_ms: f64,
+    ack_p50_us: f64,
+    events_per_ack: f64,
+}
 
-    // Single session: one 10k-event document, best of 5 (after warm-up).
+fn measure(addr: &str, xi: &Xi, binary: bool) -> ProtocolRow {
+    let feed = |doc: &LoadgenDoc| {
+        if binary {
+            feed_stream_binary(addr, xi, doc.binary.as_deref().expect("encoded above"))
+        } else {
+            feed_stream_text(addr, xi, &doc.text)
+        }
+    };
+
+    // Single session: one document on the BENCH_core workload size (10k
+    // events — the monitor-rate reference point), best of 5 after warm-up.
     let single = docs(1, 10_000);
-    let _ = feed_stream_text(&addr, &xi, &single[0].text).expect("warm-up feed");
+    let _ = feed(&single[0]).expect("warm-up feed");
     let mut best_single = f64::MAX;
-    for _ in 0..5 {
+    for _ in 0..9 {
         let t0 = Instant::now();
-        let out = feed_stream_text(&addr, &xi, &single[0].text).expect("feed");
+        let out = feed(&single[0]).expect("feed");
         assert!(!out.verdict.is_violation());
         best_single = best_single.min(t0.elapsed().as_secs_f64());
     }
@@ -54,33 +66,93 @@ fn main() {
 
     // Eight concurrent sessions: 8 × 10k events, best of 3.
     let eight = docs(8, 10_000);
-    let total_events: usize = eight.iter().map(|d| d.events).sum();
-    let _ = run_loadgen(&addr, &xi, &eight, 8).expect("warm-up loadgen");
+    let eight_events: usize = eight.iter().map(|d| d.events).sum();
+    let _ = run_loadgen(addr, xi, &eight, 8, binary).expect("warm-up loadgen");
     let mut best_eight = f64::MAX;
-    let mut p50 = 0.0;
+    let (mut doc_p50_ms, mut ack_p50_us, mut events_per_ack) = (0.0, 0.0, 0.0);
     for _ in 0..3 {
-        let report = run_loadgen(&addr, &xi, &eight, 8).expect("loadgen");
+        let report = run_loadgen(addr, xi, &eight, 8, binary).expect("loadgen");
         assert_eq!(report.violations, 0);
         let wall = report.wall.as_secs_f64();
         if wall < best_eight {
             best_eight = wall;
-            p50 = report.latency_percentiles.0.as_secs_f64() * 1e3;
+            doc_p50_ms = report.latency_percentiles.0.as_secs_f64() * 1e3;
+            ack_p50_us = report.ack_latency_percentiles.0.as_secs_f64() * 1e6;
+            events_per_ack = report.events_per_ack;
         }
     }
     #[allow(clippy::cast_precision_loss)]
-    let eight_eps = total_events as f64 / best_eight;
+    let eight_eps = eight_events as f64 / best_eight;
+
+    ProtocolRow {
+        protocol: if binary { "v2" } else { "v1" },
+        single_events: single[0].events,
+        single_eps,
+        eight_events,
+        eight_eps,
+        doc_p50_ms,
+        ack_p50_us,
+        events_per_ack,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_service.json".to_string());
+    let xi = Xi::from_integer(5);
+    // Shards scale with the host (the server default); on a single-core
+    // runner extra shard threads only add scheduler churn.
+    let handle = start(ServerConfig::default()).expect("bind loopback server");
+    let addr = handle.addr().to_string();
+
+    // Two interleaved passes per protocol; keep each protocol's best. On
+    // small shared hosts the noise floor moves on a seconds scale, so a
+    // single consecutive pass can land one protocol entirely inside a
+    // slow burst and skew the comparison.
+    let passes = [
+        measure(&addr, &xi, false),
+        measure(&addr, &xi, true),
+        measure(&addr, &xi, false),
+        measure(&addr, &xi, true),
+    ];
+    let pick = |protocol: &str| {
+        passes
+            .iter()
+            .filter(|r| r.protocol == protocol)
+            .max_by(|a, b| a.single_eps.total_cmp(&b.single_eps))
+            .expect("both protocols measured")
+    };
+    let rows = [pick("v1"), pick("v2")];
 
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-    let json = format!(
+    let mut json = format!(
         "{{\n  \"bench\": \"service\",\n  \"unit\": \"events_per_second\",\n  \
-         \"hardware_threads\": {cores},\n  \
-         \"single_session_events\": {},\n  \
-         \"single_session_events_per_sec\": {:.0},\n  \
-         \"eight_session_events\": {total_events},\n  \
-         \"eight_session_events_per_sec\": {:.0},\n  \
-         \"eight_session_doc_latency_p50_ms\": {:.2}\n}}\n",
-        single[0].events, single_eps, eight_eps, p50
+         \"hardware_threads\": {cores},\n  \"protocols\": [\n"
     );
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\n      \"protocol\": \"{}\",\n      \
+             \"single_session_events\": {},\n      \
+             \"single_session_events_per_sec\": {:.0},\n      \
+             \"eight_session_events\": {},\n      \
+             \"eight_session_events_per_sec\": {:.0},\n      \
+             \"eight_session_doc_latency_p50_ms\": {:.2},\n      \
+             \"eight_session_ack_latency_p50_us\": {:.1},\n      \
+             \"events_per_ack\": {:.1}\n    }}{}\n",
+            r.protocol,
+            r.single_events,
+            r.single_eps,
+            r.eight_events,
+            r.eight_eps,
+            r.doc_p50_ms,
+            r.ack_p50_us,
+            r.events_per_ack,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
     std::fs::write(&out_path, &json).expect("write snapshot");
     print!("{json}");
     eprintln!("wrote {out_path}");

@@ -38,16 +38,21 @@ USAGE:
   abc replay  FILE
   abc list
   abc serve   [--addr A] [--status-addr A] [--shards N] [--xi XI]
-              [--max-line BYTES] [--max-processes N] [--prune-horizon H]
-  abc feed    FILE --addr A --xi XI
+              [--max-line BYTES] [--max-frame BYTES] [--max-processes N]
+              [--prune-horizon H]
+  abc feed    FILE --addr A --xi XI [--binary]
   abc loadgen --addr A [--connections C] [--traces N] [--preset NAME]
               [--delay SPEC] [--xi XI] [--max-events E] [--seed S]
-              [--verify BOOL]
+              [--verify BOOL] [--binary]
 
 DELAY SPECS (numeric fields accept `v` or `from..to..step` grids):
   fixed:D | band:LO:HI | growing:LO:HI:TAU | span:LO:HI:VICTIM
 
 EXIT CODES: 0 admissible/ok, 1 usage or input error, 2 violation found.";
+
+/// Flags that are pure switches: present (true) or absent (false), never
+/// followed by a value.
+const SWITCH_FLAGS: &[&str] = &["binary"];
 
 /// Parsed flags: `--key value` pairs (repeatable) plus positionals.
 pub(crate) struct Args {
@@ -62,6 +67,13 @@ impl Args {
         let mut it = args.iter();
         while let Some(a) = it.next() {
             if let Some(key) = a.strip_prefix("--") {
+                if SWITCH_FLAGS.contains(&key) {
+                    flags
+                        .entry(key.to_string())
+                        .or_default()
+                        .push("true".into());
+                    continue;
+                }
                 // No flag of this CLI takes a value beginning with `--`,
                 // so a following flag means the value was forgotten —
                 // reject instead of silently consuming the next flag.

@@ -4,10 +4,11 @@
 use std::time::Duration;
 
 use abc_core::Xi;
-use abc_service::client::{feed_stream_text, run_loadgen, LoadgenDoc};
+use abc_service::client::{feed_stream_binary, feed_stream_text, run_loadgen, LoadgenDoc};
 use abc_service::proto::offline_verdict;
 use abc_service::server::{start, ServerConfig};
 use abc_service::signals;
+use abc_sim::binio::DEFAULT_MAX_FRAME_LEN;
 use abc_sim::textio::DEFAULT_MAX_LINE_LEN;
 
 use crate::cli::{Args, EXIT_OK, EXIT_VIOLATION};
@@ -21,6 +22,7 @@ pub(crate) fn cmd_serve(args: &Args) -> Result<i32, String> {
         "shards",
         "xi",
         "max-line",
+        "max-frame",
         "max-processes",
         "prune-horizon",
     ])?;
@@ -39,6 +41,7 @@ pub(crate) fn cmd_serve(args: &Args) -> Result<i32, String> {
             .one("xi")?
             .map_or_else(|| Ok(Xi::from_integer(2)), str::parse)?,
         max_line_len: args.parsed("max-line", DEFAULT_MAX_LINE_LEN)?,
+        max_frame_len: args.parsed("max-frame", DEFAULT_MAX_FRAME_LEN)?,
         max_processes: args.parsed("max-processes", 10_000usize)?,
         prune_horizon: match args.one("prune-horizon")? {
             Some(v) => {
@@ -59,7 +62,8 @@ pub(crate) fn cmd_serve(args: &Args) -> Result<i32, String> {
     let xi = config.xi.clone();
     let handle = start(config).map_err(|e| format!("starting server: {e}"))?;
     println!(
-        "abc-service listening on {} (shards={shards}, default xi={xi})",
+        "abc-service listening on {} (shards={shards}, default xi={xi}, \
+         protocols v1 text + v2 binary)",
         handle.addr()
     );
     println!(
@@ -81,20 +85,28 @@ pub(crate) fn cmd_serve(args: &Args) -> Result<i32, String> {
 }
 
 pub(crate) fn cmd_feed(args: &Args) -> Result<i32, String> {
-    args.known(&["addr", "xi"])?;
+    args.known(&["addr", "xi", "binary"])?;
     let addr = args.required("addr")?;
     let xi: Xi = args.required("xi")?.parse()?;
+    let binary = args.parsed("binary", false)?;
     let [file] = args.positional.as_slice() else {
         return Err("expected exactly one trace file argument".into());
     };
     let trace = crate::cli::read_trace(file)?;
     let events = trace.events().len();
-    let outcome = feed_stream_text(addr, &xi, &trace.to_stream_text())?;
+    let outcome = if binary {
+        feed_stream_binary(addr, &xi, &trace.to_stream_binary())?
+    } else {
+        feed_stream_text(addr, &xi, &trace.to_stream_text())?
+    };
     println!(
-        "{file}: streamed {events} events / {} messages to {addr} in {:?} ({} acks)",
+        "{file}: streamed {events} events / {} messages to {addr} in {:?} \
+         ({} acks covering {} events, protocol {})",
         trace.messages().len(),
         outcome.latency,
         outcome.oks,
+        outcome.acked_events,
+        if binary { "v2" } else { "v1" },
     );
     println!("verdict: {}", outcome.verdict);
     Ok(if outcome.verdict.is_violation() {
@@ -115,12 +127,14 @@ pub(crate) fn cmd_loadgen(args: &Args) -> Result<i32, String> {
         "max-events",
         "seed",
         "verify",
+        "binary",
     ])?;
     args.no_positionals()?;
     let addr = args.required("addr")?;
     let connections = args.parsed("connections", 8usize)?;
     let traces = args.parsed("traces", 16usize)?.max(1);
     let verify = args.parsed("verify", true)?;
+    let binary = args.parsed("binary", false)?;
     let seed = args.parsed("seed", 42u64)?;
 
     let preset_name = args.one("preset")?.unwrap_or("quartet");
@@ -160,12 +174,13 @@ pub(crate) fn cmd_loadgen(args: &Args) -> Result<i32, String> {
                 label: format!("run{i}"),
                 events: trace.events().len(),
                 expect,
+                binary: binary.then(|| trace.to_stream_binary()),
                 text: trace.to_stream_text(),
             })
         })
         .collect::<Result<_, String>>()?;
 
-    let report = run_loadgen(addr, &spec.xi, &docs, connections)?;
+    let report = run_loadgen(addr, &spec.xi, &docs, connections, binary)?;
     print!("{}", report.render());
     if verify {
         if report.mismatches > 0 {

@@ -8,16 +8,23 @@ use std::time::{Duration, Instant};
 
 use abc_core::Xi;
 
-use crate::proto::{Reply, Verdict, GREETING};
+use crate::proto::{Reply, Verdict, PROTO_V2_OK, PROTO_V2_REQUEST};
 
 /// The outcome of feeding one trace document.
 #[derive(Clone, Debug)]
 pub struct FeedOutcome {
     /// Final verdict (rendered byte-identically to the offline monitor's).
     pub verdict: Verdict,
-    /// Per-event `ok` replies received before the verdict (equals the
-    /// event count for admissible documents).
+    /// Progress replies received before the verdict: per-event `ok`s over
+    /// the v1 text framing, coalesced `ack`s over v2 binary.
     pub oks: usize,
+    /// Events positively acknowledged by those replies (equals `oks` in
+    /// v1; the highest `ack <through>` + 1 in v2).
+    pub acked_events: usize,
+    /// Arrival gap before each progress reply — per-event reply RTT in
+    /// v1, per-batch ack latency in v2. Verdict and violation replies are
+    /// not counted.
+    pub ack_latencies: Vec<Duration>,
     /// Time from first byte written to verdict received.
     pub latency: Duration,
 }
@@ -27,7 +34,13 @@ fn connect(addr: &str) -> Result<TcpStream, String> {
     let addrs = addr.to_socket_addrs().map_err(|e| format!("{addr}: {e}"))?;
     for a in addrs {
         match TcpStream::connect_timeout(&a, Duration::from_secs(5)) {
-            Ok(s) => return Ok(s),
+            Ok(s) => {
+                // Small writes (handshake lines, the `xi` frame — which
+                // draws no reply) must not nagle behind a delayed ACK;
+                // without this every short document pays a ~40 ms stall.
+                let _ = s.set_nodelay(true);
+                return Ok(s);
+            }
             Err(e) => last = Some(e),
         }
     }
@@ -42,7 +55,9 @@ fn read_greeting(reader: &mut impl BufRead, addr: &str) -> Result<(), String> {
     reader
         .read_line(&mut greeting)
         .map_err(|e| format!("{addr}: reading greeting: {e}"))?;
-    if greeting.trim_end() != GREETING {
+    // Prefix match so clients keep working across greeting evolutions
+    // (v1 said `abc-service v1`, v2 advertises its framings).
+    if !greeting.starts_with("abc-service v") {
         return Err(format!(
             "{addr}: unexpected greeting {:?} (not an abc-service?)",
             greeting.trim_end()
@@ -51,50 +66,97 @@ fn read_greeting(reader: &mut impl BufRead, addr: &str) -> Result<(), String> {
     Ok(())
 }
 
-/// Streams one document (already in stream order, e.g. from
-/// [`abc_sim::Trace::to_stream_text`]) over an open connection and reads
+/// Completes the `proto v2` handshake: requests the binary framing and
+/// waits for the server's go-ahead before any frame bytes are written
+/// (bytes pipelined behind the request would be misread as text).
+fn negotiate_binary(
+    stream: &TcpStream,
+    reader: &mut impl BufRead,
+    addr: &str,
+) -> Result<(), String> {
+    {
+        let mut w = stream;
+        w.write_all(format!("{PROTO_V2_REQUEST}\n").as_bytes())
+            .map_err(|e| format!("{addr}: requesting proto v2: {e}"))?;
+    }
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("{addr}: reading proto v2 reply: {e}"))?;
+    if line.trim_end() != PROTO_V2_OK {
+        return Err(format!(
+            "{addr}: server refused binary framing: {:?}",
+            line.trim_end()
+        ));
+    }
+    Ok(())
+}
+
+/// Streams one document (already in wire form — stream-ordered text from
+/// [`abc_sim::Trace::to_stream_text`] or binary frames from
+/// [`abc_sim::Trace::to_stream_binary`]) over an open connection and reads
 /// replies until the verdict. The document is written from a companion
 /// thread while replies are drained concurrently, so arbitrarily large
 /// documents cannot deadlock on filled socket buffers.
 fn feed_document(
     stream: &TcpStream,
     reader: &mut impl BufRead,
-    doc: &str,
+    doc: &[u8],
 ) -> Result<FeedOutcome, String> {
     let started = Instant::now();
-    let (verdict, oks) = std::thread::scope(|scope| -> Result<(Verdict, usize), String> {
-        let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
-        let writer_thread = scope.spawn(move || -> Result<(), String> {
-            writer
-                .write_all(doc.as_bytes())
-                .map_err(|e| format!("writing document: {e}"))?;
-            writer.flush().map_err(|e| format!("flush: {e}"))
-        });
-        let mut line = String::new();
-        let mut oks = 0usize;
-        let verdict = loop {
-            line.clear();
-            let n = reader
-                .read_line(&mut line)
-                .map_err(|e| format!("reading reply: {e}"))?;
-            if n == 0 {
-                return Err("server closed the connection before a verdict".into());
-            }
-            match Reply::parse(&line)? {
-                Reply::Ok { .. } => oks += 1,
-                Reply::Violation { .. } => {}
-                Reply::End(v) => break v,
-                Reply::Error { message } => return Err(format!("server error: {message}")),
-            }
-        };
-        writer_thread
-            .join()
-            .map_err(|_| "writer thread panicked".to_string())??;
-        Ok((verdict, oks))
-    })?;
+    type Progress = (Verdict, usize, usize, Vec<Duration>);
+    let (verdict, oks, acked_events, ack_latencies) =
+        std::thread::scope(|scope| -> Result<Progress, String> {
+            let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+            let writer_thread = scope.spawn(move || -> Result<(), String> {
+                writer
+                    .write_all(doc)
+                    .map_err(|e| format!("writing document: {e}"))?;
+                writer.flush().map_err(|e| format!("flush: {e}"))
+            });
+            let mut line = String::new();
+            let mut oks = 0usize;
+            let mut acked = 0usize;
+            let mut gaps = Vec::new();
+            let mut last = started;
+            let verdict = loop {
+                line.clear();
+                let n = reader
+                    .read_line(&mut line)
+                    .map_err(|e| format!("reading reply: {e}"))?;
+                if n == 0 {
+                    return Err("server closed the connection before a verdict".into());
+                }
+                match Reply::parse(&line)? {
+                    Reply::Ok { seq } => {
+                        oks += 1;
+                        acked = acked.max(seq + 1);
+                        let now = Instant::now();
+                        gaps.push(now - last);
+                        last = now;
+                    }
+                    Reply::Ack { through } => {
+                        oks += 1;
+                        acked = acked.max(through + 1);
+                        let now = Instant::now();
+                        gaps.push(now - last);
+                        last = now;
+                    }
+                    Reply::Violation { .. } => {}
+                    Reply::End(v) => break v,
+                    Reply::Error { message } => return Err(format!("server error: {message}")),
+                }
+            };
+            writer_thread
+                .join()
+                .map_err(|_| "writer thread panicked".to_string())??;
+            Ok((verdict, oks, acked, gaps))
+        })?;
     Ok(FeedOutcome {
         verdict,
         oks,
+        acked_events,
+        ack_latencies,
         latency: started.elapsed(),
     })
 }
@@ -114,6 +176,28 @@ pub fn feed_stream_text(addr: &str, xi: &Xi, doc: &str) -> Result<FeedOutcome, S
         w.write_all(format!("xi {xi}\n").as_bytes())
             .map_err(|e| format!("writing xi: {e}"))?;
     }
+    feed_document(&stream, &mut reader, doc.as_bytes())
+}
+
+/// Connects to `addr`, negotiates the v2 binary framing, selects `xi`
+/// (as an in-band `xi` record frame), streams one binary document (from
+/// [`abc_sim::Trace::to_stream_binary`]), and returns the verdict — the
+/// library behind `abc feed --binary`.
+///
+/// # Errors
+///
+/// Connection, negotiation, protocol, or server-reported errors as
+/// readable text.
+pub fn feed_stream_binary(addr: &str, xi: &Xi, doc: &[u8]) -> Result<FeedOutcome, String> {
+    let stream = connect(addr)?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    read_greeting(&mut reader, addr)?;
+    negotiate_binary(&stream, &mut reader, addr)?;
+    {
+        let mut w = &stream;
+        w.write_all(&abc_sim::binio::xi_frame(&xi.to_string()))
+            .map_err(|e| format!("writing xi: {e}"))?;
+    }
     feed_document(&stream, &mut reader, doc)
 }
 
@@ -122,8 +206,12 @@ pub fn feed_stream_text(addr: &str, xi: &Xi, doc: &str) -> Result<FeedOutcome, S
 pub struct LoadgenDoc {
     /// Display label (e.g. the generating run index).
     pub label: String,
-    /// Stream-ordered document text.
+    /// Stream-ordered document text (the v1 wire form).
     pub text: String,
+    /// Binary frames (the v2 wire form, from
+    /// [`abc_sim::Trace::to_stream_binary`]); required when the run feeds
+    /// the binary framing.
+    pub binary: Option<Vec<u8>>,
     /// Events in the document (for throughput accounting).
     pub events: usize,
     /// The expected verdict, if the caller wants byte-verification.
@@ -139,6 +227,8 @@ pub struct DocOutcome {
     pub connection: usize,
     /// Events ingested.
     pub events: usize,
+    /// Progress replies received (`ok`s in v1, coalesced `ack`s in v2).
+    pub acks: usize,
     /// The server's verdict.
     pub verdict: Verdict,
     /// Submit-to-verdict latency.
@@ -148,10 +238,17 @@ pub struct DocOutcome {
 /// Aggregate load-generation report.
 #[derive(Clone, Debug)]
 pub struct LoadgenReport {
+    /// Wire protocol the run fed: `"v1"` (text) or `"v2"` (binary).
+    pub protocol: &'static str,
     /// Per-document outcomes, in document order.
     pub outcomes: Vec<DocOutcome>,
     /// Total events ingested.
     pub total_events: usize,
+    /// Total progress replies (`ok`/`ack`) across all documents.
+    pub acks: usize,
+    /// Mean events per progress reply: ~1 in v1, the batching factor in
+    /// v2 — the number that makes v1 and v2 latency rows comparable.
+    pub events_per_ack: f64,
     /// Documents whose verdict was a violation.
     pub violations: usize,
     /// Documents whose verdict mismatched the expectation (0 unless
@@ -163,6 +260,10 @@ pub struct LoadgenReport {
     pub events_per_sec: f64,
     /// Latency percentiles over documents: (p50, p90, p99, max).
     pub latency_percentiles: (Duration, Duration, Duration, Duration),
+    /// Per-batch ack latency percentiles over all progress replies:
+    /// (p50, p90, p99, max). In v1 a "batch" is one event, so this is the
+    /// old per-event reply RTT; in v2 it is the per-frame ack gap.
+    pub ack_latency_percentiles: (Duration, Duration, Duration, Duration),
 }
 
 impl LoadgenReport {
@@ -180,18 +281,26 @@ impl LoadgenReport {
     pub fn render(&self) -> String {
         use std::fmt::Write;
         let (p50, p90, p99, max) = self.latency_percentiles;
+        let (a50, a90, a99, amax) = self.ack_latency_percentiles;
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "loadgen: {} documents, {} events over {:?}",
+            "loadgen: {} documents, {} events over {:?} (protocol {})",
             self.outcomes.len(),
             self.total_events,
-            self.wall
+            self.wall,
+            self.protocol
         );
         let _ = writeln!(out, "throughput: {:.0} events/s", self.events_per_sec);
         let _ = writeln!(
             out,
             "doc latency: p50={p50:?} p90={p90:?} p99={p99:?} max={max:?}"
+        );
+        let _ = writeln!(
+            out,
+            "ack latency: p50={a50:?} p90={a90:?} p99={a99:?} max={amax:?} \
+             ({:.1} events/ack over {} acks)",
+            self.events_per_ack, self.acks
         );
         let _ = writeln!(
             out,
@@ -205,50 +314,70 @@ impl LoadgenReport {
 /// Replays `docs` over `connections` persistent connections (each worker
 /// claims documents from a shared queue and streams them back to back on
 /// one connection) and aggregates throughput and latency percentiles.
+/// With `binary` set, every connection negotiates the v2 framing and
+/// streams each document's pre-encoded frames.
 ///
 /// # Errors
 ///
-/// The first connection/protocol error any worker hits.
+/// The first connection/protocol error any worker hits, or a document
+/// missing its binary encoding when `binary` is set.
 pub fn run_loadgen(
     addr: &str,
     xi: &Xi,
     docs: &[LoadgenDoc],
     connections: usize,
+    binary: bool,
 ) -> Result<LoadgenReport, String> {
     let connections = connections.max(1).min(docs.len().max(1));
     let next = AtomicUsize::new(0);
     let started = Instant::now();
-    let results: Vec<Result<Vec<DocOutcome>, String>> = std::thread::scope(|scope| {
+    type WorkerOut = Result<(Vec<DocOutcome>, Vec<Duration>), String>;
+    let results: Vec<WorkerOut> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for conn_idx in 0..connections {
             let next = &next;
-            handles.push(scope.spawn(move || -> Result<Vec<DocOutcome>, String> {
+            handles.push(scope.spawn(move || -> WorkerOut {
                 let stream = connect(addr)?;
                 let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
                 read_greeting(&mut reader, addr)?;
-                {
+                if binary {
+                    negotiate_binary(&stream, &mut reader, addr)?;
+                    let mut w = &stream;
+                    w.write_all(&abc_sim::binio::xi_frame(&xi.to_string()))
+                        .map_err(|e| format!("writing xi: {e}"))?;
+                } else {
                     let mut w = &stream;
                     w.write_all(format!("xi {xi}\n").as_bytes())
                         .map_err(|e| format!("writing xi: {e}"))?;
                 }
                 let mut outcomes = Vec::new();
+                let mut gaps = Vec::new();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= docs.len() {
                         break;
                     }
                     let doc = &docs[i];
-                    let fed = feed_document(&stream, &mut reader, &doc.text)
+                    let payload: &[u8] = if binary {
+                        doc.binary.as_deref().ok_or_else(|| {
+                            format!("document {} has no binary encoding", doc.label)
+                        })?
+                    } else {
+                        doc.text.as_bytes()
+                    };
+                    let fed = feed_document(&stream, &mut reader, payload)
                         .map_err(|e| format!("document {}: {e}", doc.label))?;
+                    gaps.extend_from_slice(&fed.ack_latencies);
                     outcomes.push(DocOutcome {
                         doc_index: i,
                         connection: conn_idx,
                         events: doc.events,
+                        acks: fed.oks,
                         verdict: fed.verdict,
                         latency: fed.latency,
                     });
                 }
-                Ok(outcomes)
+                Ok((outcomes, gaps))
             }));
         }
         handles
@@ -259,11 +388,15 @@ pub fn run_loadgen(
     let wall = started.elapsed();
 
     let mut outcomes = Vec::new();
+    let mut ack_gaps: Vec<Duration> = Vec::new();
     for r in results {
-        outcomes.extend(r?);
+        let (o, g) = r?;
+        outcomes.extend(o);
+        ack_gaps.extend(g);
     }
     outcomes.sort_by_key(|o| o.doc_index);
     let total_events: usize = outcomes.iter().map(|o| o.events).sum();
+    let acks: usize = outcomes.iter().map(|o| o.acks).sum();
     let violations = outcomes.iter().filter(|o| o.verdict.is_violation()).count();
     let mismatches = outcomes
         .iter()
@@ -276,17 +409,29 @@ pub fn run_loadgen(
         .count();
     let mut latencies: Vec<Duration> = outcomes.iter().map(|o| o.latency).collect();
     latencies.sort();
+    ack_gaps.sort();
     #[allow(clippy::cast_precision_loss)]
     let events_per_sec = total_events as f64 / wall.as_secs_f64().max(1e-9);
+    #[allow(clippy::cast_precision_loss)]
+    let events_per_ack = total_events as f64 / (acks.max(1)) as f64;
     Ok(LoadgenReport {
+        protocol: if binary { "v2" } else { "v1" },
         latency_percentiles: (
             LoadgenReport::percentile(&latencies, 0.50),
             LoadgenReport::percentile(&latencies, 0.90),
             LoadgenReport::percentile(&latencies, 0.99),
             latencies.last().copied().unwrap_or(Duration::ZERO),
         ),
+        ack_latency_percentiles: (
+            LoadgenReport::percentile(&ack_gaps, 0.50),
+            LoadgenReport::percentile(&ack_gaps, 0.90),
+            LoadgenReport::percentile(&ack_gaps, 0.99),
+            ack_gaps.last().copied().unwrap_or(Duration::ZERO),
+        ),
         outcomes,
         total_events,
+        acks,
+        events_per_ack,
         violations,
         mismatches,
         wall,

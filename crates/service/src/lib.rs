@@ -16,27 +16,31 @@
 //! tokio, no mio): a listener thread accepts connections and hands each to
 //! one of a fixed pool of **shard workers** (connection id → shard over
 //! `std::sync::mpsc`); each worker drives its sessions with non-blocking
-//! reads/writes. A session speaks the `abc-trace v1` line grammar in
+//! reads/writes. A session starts in the `abc-trace v1` line grammar in
 //! streaming order ([`abc_sim::Trace::to_stream_text`]), parsed by
-//! [`abc_sim::textio::TraceLineParser`] in its O(in-flight) streaming mode
-//! and fed line-by-line into a per-document
+//! [`abc_sim::textio::TraceLineParser`] in its O(in-flight) streaming mode,
+//! and may negotiate the **v2 binary framing** (`proto v2` handshake,
+//! [`abc_sim::binio`]) — length-prefixed frames of varint-packed records
+//! decoded into the *same* parser core, so both framings accept exactly
+//! the same documents. Either way every event feeds a per-document
 //! [`abc_core::monitor::IncrementalChecker`] — the text of a document is
 //! never buffered, and with [`server::ServerConfig::prune_horizon`] set the
 //! checker itself runs in bounded-memory mode (settled-prefix pruning), so
-//! server memory is O(sessions + in-flight line + prune window), never
+//! server memory is O(sessions + in-flight frame + prune window), never
 //! O(connection lifetime).
-//! Replies are `ok <seq>` / `violation <seq> <witness>` per event and
-//! `end <verdict>` per document ([`proto`]); a plaintext status port
-//! serves aggregate counters ([`metrics::Metrics`]) and accepts a
-//! `shutdown` command; SIGINT triggers the same graceful stop
-//! ([`signals`]).
+//! Replies are `ok <seq>` / `violation <seq> <witness>` per event (v1) or
+//! one coalesced `ack <through>` per ingested frame with immediate
+//! violations (v2), and `end <verdict>` per document ([`proto`]); a
+//! plaintext status port serves aggregate counters ([`metrics::Metrics`])
+//! and accepts a `shutdown` command; SIGINT triggers the same graceful
+//! stop ([`signals`]).
 //!
 //! | Module | Contents |
 //! |---|---|
 //! | [`server`] | [`server::start`], [`server::ServerConfig`], shard workers, status port |
 //! | `session` | (internal) per-connection state machine |
 //! | [`proto`] | wire protocol: replies, [`proto::Verdict`], [`proto::offline_verdict`] |
-//! | [`client`] | [`client::feed_stream_text`] (`abc feed`), [`client::run_loadgen`] (`abc loadgen`), [`client::status_command`] |
+//! | [`client`] | [`client::feed_stream_text`] / [`client::feed_stream_binary`] (`abc feed`), [`client::run_loadgen`] (`abc loadgen`), [`client::status_command`] |
 //! | [`metrics`] | aggregate counters + status-page rendering |
 //! | [`signals`] | SIGINT → stop-flag hook |
 //!
@@ -63,6 +67,6 @@ pub mod server;
 mod session;
 pub mod signals;
 
-pub use client::{feed_stream_text, run_loadgen, LoadgenDoc, LoadgenReport};
+pub use client::{feed_stream_binary, feed_stream_text, run_loadgen, LoadgenDoc, LoadgenReport};
 pub use proto::{offline_verdict, Reply, Verdict};
 pub use server::{start, ServerConfig, ServerHandle};

@@ -24,6 +24,10 @@ pub struct Metrics {
     pub bytes_in: AtomicU64,
     /// Raw reply bytes written to data sockets.
     pub bytes_out: AtomicU64,
+    /// Binary (v2) frames ingested.
+    pub frames: AtomicU64,
+    /// Coalesced `ack` replies sent (v2 sessions).
+    pub acks: AtomicU64,
 }
 
 impl Metrics {
@@ -40,6 +44,8 @@ impl Metrics {
             parse_errors: AtomicU64::new(0),
             bytes_in: AtomicU64::new(0),
             bytes_out: AtomicU64::new(0),
+            frames: AtomicU64::new(0),
+            acks: AtomicU64::new(0),
         }
     }
 
@@ -80,6 +86,8 @@ impl Metrics {
         );
         kv("bytes_in_total", self.bytes_in.load(Ordering::Relaxed));
         kv("bytes_out_total", self.bytes_out.load(Ordering::Relaxed));
+        kv("frames_total", self.frames.load(Ordering::Relaxed));
+        kv("acks_total", self.acks.load(Ordering::Relaxed));
         out
     }
 }

@@ -1,25 +1,43 @@
-//! The `abc-service` wire protocol: line-oriented requests and replies.
+//! The `abc-service` wire protocol: negotiated request framings, line
+//! replies.
 //!
-//! A client session speaks the `abc-trace v1` grammar of
-//! [`abc_sim::textio`] in **streaming order** (each delivered message's
-//! `m` line immediately precedes its receive `e` line — exactly what
-//! [`abc_sim::Trace::to_stream_text`] emits), optionally preceded by an
-//! `xi P/Q` line selecting the monitored synchrony parameter for the
+//! A session starts in the **v1 text framing**: the `abc-trace v1`
+//! grammar of [`abc_sim::textio`] in **streaming order** (each delivered
+//! message's `m` line immediately precedes its receive `e` line — exactly
+//! what [`abc_sim::Trace::to_stream_text`] emits), optionally preceded by
+//! an `xi P/Q` line selecting the monitored synchrony parameter for the
 //! documents that follow. One connection may carry any number of trace
 //! documents back to back; each gets a fresh incremental checker.
 //!
-//! Server → client, one line per request line that warrants one:
+//! Between documents a client may send [`PROTO_V2_REQUEST`] (`proto v2`)
+//! to switch its *request* direction to the **v2 binary framing** of
+//! [`abc_sim::binio`]: length-prefixed frames of varint-packed records
+//! (`xi` travels as a record too). The switch is handshaked — the client
+//! MUST wait for the [`PROTO_V2_OK`] reply before sending its first
+//! frame, because any bytes already in flight would be interpreted as
+//! text. Replies stay line-oriented in both framings.
 //!
-//! * `ok <seq>` — event `<seq>` ingested, execution still admissible;
+//! Server → client:
+//!
+//! * `ok <seq>` — (v1 only) event `<seq>` ingested, execution still
+//!   admissible;
+//! * `ack <through>` — (v2 only) every event with sequence number
+//!   `<= through` has been ingested; one coalesced ack is sent per
+//!   ingested frame instead of one `ok` per event;
 //! * `violation <seq> <witness>` — event `<seq>` ingested and the session
 //!   is latched violating (`<witness>` is the single-token
-//!   [`abc_core::cycle::WireWitness`] form; after the latch every further
-//!   event echoes the same latched violation);
-//! * `end <verdict>` — document complete (see [`Verdict`]);
-//! * `error line <n>: <message>` — protocol violation; the connection
-//!   closes after the reply, the server stays up.
+//!   [`abc_core::cycle::WireWitness`] form). Sent immediately in both
+//!   framings — in v2 it precedes the ack covering `<seq>`. After the
+//!   latch, v1 echoes the same latched violation per event; v2 keeps
+//!   acking silently;
+//! * `end <verdict>` — document complete (see [`Verdict`]; in v2 any
+//!   pending ack flushes first);
+//! * `error line <n>: <message>` / `error record <n>: <message>` —
+//!   protocol violation at text line / binary record `<n>`; the
+//!   connection closes after the reply, the server stays up.
 //!
-//! The greeting `abc-service v1` is sent once per connection.
+//! The greeting ([`GREETING`]) is sent once per connection and
+//! advertises both framings.
 
 use std::fmt;
 use std::str::FromStr;
@@ -28,11 +46,30 @@ use abc_core::cycle::WitnessSummary;
 use abc_core::Xi;
 use abc_sim::Trace;
 
-/// Protocol version announced in the per-connection greeting.
-pub const PROTOCOL_VERSION: &str = "v1";
+/// Highest protocol version the server speaks (v1 text remains accepted;
+/// see [`GREETING`]).
+pub const PROTOCOL_VERSION: &str = "v2";
 
-/// The per-connection greeting line.
-pub const GREETING: &str = "abc-service v1";
+/// The per-connection greeting line, advertising every accepted request
+/// framing. Clients should match the `abc-service v` prefix rather than
+/// the exact string.
+pub const GREETING: &str = "abc-service v2 protocols=v1,v2";
+
+/// Client request line switching the session's request framing to binary
+/// frames. Must be sent between documents, and the client MUST wait for
+/// the [`PROTO_V2_OK`] reply before sending its first frame.
+pub const PROTO_V2_REQUEST: &str = "proto v2";
+
+/// Server acknowledgement of [`PROTO_V2_REQUEST`]; the very next request
+/// byte begins a binary frame.
+pub const PROTO_V2_OK: &str = "proto v2 ok";
+
+/// Client request pinning the (default) v1 text framing — a handshaked
+/// no-op, for symmetric client code.
+pub const PROTO_V1_REQUEST: &str = "proto v1";
+
+/// Server acknowledgement of [`PROTO_V1_REQUEST`].
+pub const PROTO_V1_OK: &str = "proto v1 ok";
 
 /// The final verdict of one ingested trace document — rendered identically
 /// by the server (`end <verdict>` reply), the `abc feed` client, and the
@@ -104,6 +141,12 @@ pub enum Reply {
         /// The acknowledged event sequence number.
         seq: usize,
     },
+    /// `ack <through>` — every event with sequence number `<= through`
+    /// has been ingested (v2 coalesced acknowledgement).
+    Ack {
+        /// The highest acknowledged event sequence number.
+        through: usize,
+    },
     /// `violation <seq> <wire-witness>`.
     Violation {
         /// The latched event sequence number.
@@ -132,6 +175,11 @@ impl Reply {
         if let Some(rest) = line.strip_prefix("ok ") {
             return Ok(Reply::Ok {
                 seq: rest.parse().map_err(|e| format!("ok seq: {e}"))?,
+            });
+        }
+        if let Some(rest) = line.strip_prefix("ack ") {
+            return Ok(Reply::Ack {
+                through: rest.parse().map_err(|e| format!("ack through: {e}"))?,
             });
         }
         if let Some(rest) = line.strip_prefix("violation ") {
@@ -195,6 +243,10 @@ mod tests {
     #[test]
     fn replies_parse() {
         assert_eq!(Reply::parse("ok 17").unwrap(), Reply::Ok { seq: 17 });
+        assert_eq!(
+            Reply::parse("ack 999").unwrap(),
+            Reply::Ack { through: 999 }
+        );
         assert_eq!(
             Reply::parse("end admissible events=4").unwrap(),
             Reply::End(Verdict::Admissible { events: 4 })

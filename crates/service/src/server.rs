@@ -39,6 +39,10 @@ pub struct ServerConfig {
     pub xi: Xi,
     /// Per-line byte cap (see [`abc_sim::textio::LineAssembler`]).
     pub max_line_len: usize,
+    /// Per-frame byte cap for the v2 binary framing (see
+    /// [`abc_sim::binio::FrameAssembler`]). Enforced from the length
+    /// prefix alone, before any payload buffers.
+    pub max_frame_len: usize,
     /// Cap on the `processes` count a client may declare. Keep it
     /// consistent with `max_line_len`: a legal `faulty` line grows ~8
     /// bytes per faulty index, so the default 10 000 processes fits the
@@ -61,6 +65,7 @@ impl Default for ServerConfig {
             shards: std::thread::available_parallelism().map_or(2, |n| n.get().min(4)),
             xi: Xi::from_integer(2),
             max_line_len: abc_sim::textio::DEFAULT_MAX_LINE_LEN,
+            max_frame_len: abc_sim::binio::DEFAULT_MAX_FRAME_LEN,
             max_processes: 10_000,
             prune_horizon: None,
         }
@@ -321,6 +326,12 @@ fn shard_loop(
 ) {
     let _ = shard;
     let mut sessions: Vec<Session> = Vec::new();
+    // Idle backoff: yield to the scheduler for a bounded number of rounds
+    // before sleeping `IDLE_POLL`. On loaded single-core hosts this keeps a
+    // just-fed session's wake-up latency at scheduler granularity instead
+    // of paying the full poll interval at every document start.
+    const YIELD_ROUNDS: u32 = 64;
+    let mut idle_rounds: u32 = 0;
     loop {
         let stopping = stop.load(Ordering::Relaxed);
         let mut work = false;
@@ -360,8 +371,15 @@ fn shard_loop(
             }
             break;
         }
-        if !work {
-            std::thread::sleep(IDLE_POLL);
+        if work {
+            idle_rounds = 0;
+        } else {
+            idle_rounds = idle_rounds.saturating_add(1);
+            if idle_rounds <= YIELD_ROUNDS {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(IDLE_POLL);
+            }
         }
     }
 }

@@ -1,14 +1,17 @@
-//! One client connection: non-blocking line assembly, streaming trace
-//! parsing, an incremental ABC checker per document, and reply buffering.
+//! One client connection: non-blocking request framing (v1 text lines or
+//! negotiated v2 binary frames), streaming trace parsing, an incremental
+//! ABC checker per document, and chunked vectored reply buffering.
 
-use std::io::{Read, Write};
+use std::collections::VecDeque;
+use std::io::{IoSlice, Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use abc_core::monitor::IncrementalChecker;
 use abc_core::{EventId, ProcessId, Xi};
-use abc_sim::textio::{EventFeed, LineAssembler, ParsedLine, TraceLineParser};
+use abc_sim::binio::{FrameAssembler, RecordDecoder, WireRecord};
+use abc_sim::textio::{EventFeed, LineAssembler, ParsedLine, TraceLineParser, TraceTextError};
 
 use crate::metrics::Metrics;
 use crate::server::ServerConfig;
@@ -22,21 +25,155 @@ const OUT_SOFT_CAP: usize = 1 << 20;
 /// shard siblings within a single scheduling round.
 const MAX_READS_PER_TICK: usize = 16;
 
+/// Per-session read buffer. Reused for the connection's lifetime (boxed so
+/// idle sessions don't widen the shard's stack frames).
+const READ_BUF_LEN: usize = 64 * 1024;
+
+/// Reply-buffer chunk size. Chunks recycle through a small spare pool, so
+/// a steady-state session allocates no reply memory at all.
+const OUT_CHUNK: usize = 16 * 1024;
+
+/// Recycled empty chunks kept per session.
+const OUT_SPARE_CAP: usize = 4;
+
+/// Reply chunks submitted per `writev`.
+const OUT_MAX_IOV: usize = 8;
+
+/// The request framing the session currently decodes.
+enum RxMode {
+    /// `abc-trace v1` text lines (the initial mode).
+    Text(LineAssembler),
+    /// `abc-trace v2` length-prefixed binary frames, after a completed
+    /// `proto v2` handshake.
+    Binary(FrameAssembler),
+}
+
+/// Buffered replies as a queue of fixed-size chunks, drained with vectored
+/// writes. Compared to one flat `Vec`, draining pops whole chunks instead
+/// of memmoving a tail, and chunk recycling keeps the hot ingest path
+/// allocation-free.
+struct OutBuf {
+    chunks: VecDeque<Vec<u8>>,
+    /// Bytes of the front chunk already written.
+    head_pos: usize,
+    /// Total unwritten bytes across all chunks.
+    pending: usize,
+    spare: Vec<Vec<u8>>,
+}
+
+impl OutBuf {
+    fn new() -> OutBuf {
+        OutBuf {
+            chunks: VecDeque::new(),
+            head_pos: 0,
+            pending: 0,
+            spare: Vec::new(),
+        }
+    }
+
+    fn pending(&self) -> usize {
+        self.pending
+    }
+
+    fn tail(&mut self) -> &mut Vec<u8> {
+        let need_new = match self.chunks.back() {
+            Some(c) => c.len() >= OUT_CHUNK,
+            None => true,
+        };
+        if need_new {
+            let c = self
+                .spare
+                .pop()
+                .unwrap_or_else(|| Vec::with_capacity(OUT_CHUNK));
+            self.chunks.push_back(c);
+        }
+        self.chunks
+            .back_mut()
+            .expect("a tail chunk was just ensured")
+    }
+
+    fn push_str(&mut self, s: &str) {
+        self.tail().extend_from_slice(s.as_bytes());
+        self.pending += s.len();
+    }
+
+    fn push_fmt(&mut self, args: std::fmt::Arguments<'_>) {
+        let c = self.tail();
+        let before = c.len();
+        // `io::Write` on `Vec<u8>` cannot fail.
+        let _ = c.write_fmt(args);
+        let delta = c.len() - before;
+        self.pending += delta;
+    }
+
+    /// Fills `slices` with the unwritten chunk tails, front first.
+    fn ioslices<'a>(&'a self, slices: &mut [IoSlice<'a>; OUT_MAX_IOV]) -> usize {
+        let mut k = 0;
+        for (i, c) in self.chunks.iter().enumerate() {
+            if k == slices.len() {
+                break;
+            }
+            let s: &[u8] = if i == 0 { &c[self.head_pos..] } else { c };
+            if !s.is_empty() {
+                slices[k] = IoSlice::new(s);
+                k += 1;
+            }
+        }
+        k
+    }
+
+    /// Marks `n` bytes written, recycling fully drained chunks.
+    fn consume(&mut self, mut n: usize) {
+        self.pending -= n;
+        while n > 0
+            || self
+                .chunks
+                .front()
+                .is_some_and(|c| c.len() == self.head_pos)
+        {
+            let avail = match self.chunks.front() {
+                Some(c) => c.len() - self.head_pos,
+                None => break,
+            };
+            if n >= avail {
+                n -= avail;
+                let mut c = self.chunks.pop_front().expect("front chunk exists");
+                c.clear();
+                self.head_pos = 0;
+                if self.spare.len() < OUT_SPARE_CAP {
+                    self.spare.push(c);
+                }
+            } else {
+                self.head_pos += n;
+                n = 0;
+            }
+        }
+    }
+}
+
 /// The per-document ingestion state.
+///
+/// The `Running` payload is boxed: `drive_document` moves the state out of
+/// the session and back **per record**, and the parser + checker are ~1.2 KB
+/// inline — boxing turns that round trip into two pointer moves.
 enum DocState {
-    /// Between documents: accepting `xi …` lines or a trace header.
+    /// Between documents: accepting `xi …` / `proto …` requests or the
+    /// start of a trace document.
     Idle,
     /// Mid-document.
-    Running {
-        parser: TraceLineParser,
-        /// Created at the `faulty` line; dropped at `end` (memory is per
-        /// in-flight document, not per connection lifetime).
-        checker: Option<IncrementalChecker>,
-        /// `(latch_seq, wire_witness)` once the monitor latched. After the
-        /// latch the checker is no longer fed — the verdict can never
-        /// change, so remaining events only count and echo.
-        latched: Option<(usize, String)>,
-    },
+    Running(Box<RunningDoc>),
+}
+
+/// Mid-document state: the shared validation parser plus the live monitor.
+struct RunningDoc {
+    parser: TraceLineParser,
+    /// Created at the `faulty` line; dropped at `end` (memory is per
+    /// in-flight document, not per connection lifetime).
+    checker: Option<IncrementalChecker>,
+    /// `(latch_seq, wire_witness)` once the monitor latched. After the
+    /// latch the checker is no longer fed — the verdict can never
+    /// change, so remaining events only count (and, in v1, echo).
+    latched: Option<(usize, String)>,
 }
 
 /// Live counters shared with the server's session table (status page).
@@ -67,21 +204,35 @@ impl SessionCounters {
 pub(crate) struct Session {
     pub(crate) id: u64,
     stream: TcpStream,
-    assembler: LineAssembler,
+    rx: RxMode,
+    /// Delta-decoder state for binary event times (reset per document by
+    /// the `processes` record itself).
+    decoder: RecordDecoder,
+    /// Reusable scratch holding the frame being decoded.
+    frame_buf: Vec<u8>,
+    /// Reusable socket read buffer.
+    read_buf: Box<[u8]>,
     doc: DocState,
     xi: Xi,
     max_processes: usize,
+    max_frame_len: usize,
     /// Bounded-memory monitoring: prune each document's checker so at most
     /// ~`2·horizon` events stay live (`None` = exact unbounded mode).
     prune_horizon: Option<usize>,
     /// Pruned-event count already folded into the session counter for the
     /// open document (the monitor reports a per-document running total).
     doc_pruned_reported: usize,
-    /// 1-based count of lines received on this connection (error replies
-    /// cite it, spanning xi lines and multiple documents).
+    /// 1-based count of requests received (error replies cite it: text
+    /// lines since the connection opened, or binary records since the
+    /// framing switch).
     lines_in: usize,
-    out: Vec<u8>,
-    out_pos: usize,
+    /// Highest event seq ingested since the last `ack` reply (v2 only);
+    /// flushed as one coalesced `ack <through>` per fully ingested frame.
+    unacked: Option<usize>,
+    /// Events ingested but not yet folded into the shared atomic counters
+    /// (see [`Session::flush_event_counters`]).
+    doc_events_pending: u64,
+    out: OutBuf,
     /// Half-closed: no more requests will arrive; die once `out` drains.
     eof: bool,
     /// Fatal protocol error queued; die once `out` drains.
@@ -100,30 +251,89 @@ impl Session {
         let mut s = Session {
             id,
             stream,
-            assembler: LineAssembler::new(config.max_line_len),
+            rx: RxMode::Text(LineAssembler::new(config.max_line_len)),
+            decoder: RecordDecoder::new(),
+            frame_buf: Vec::new(),
+            read_buf: vec![0u8; READ_BUF_LEN].into_boxed_slice(),
             doc: DocState::Idle,
             xi: config.xi.clone(),
             max_processes: config.max_processes,
+            max_frame_len: config.max_frame_len,
             prune_horizon: config.prune_horizon,
             doc_pruned_reported: 0,
             lines_in: 0,
-            out: Vec::new(),
-            out_pos: 0,
+            unacked: None,
+            doc_events_pending: 0,
+            out: OutBuf::new(),
             eof: false,
             poisoned: false,
             dead: false,
             counters,
         };
-        s.reply(&format!("{}\n", crate::proto::GREETING));
+        s.reply_fmt(format_args!("{}\n", crate::proto::GREETING));
         s
     }
 
+    fn binary(&self) -> bool {
+        matches!(self.rx, RxMode::Binary(_))
+    }
+
     fn reply(&mut self, line: &str) {
-        self.out.extend_from_slice(line.as_bytes());
+        self.out.push_str(line);
+    }
+
+    fn reply_fmt(&mut self, args: std::fmt::Arguments<'_>) {
+        self.out.push_fmt(args);
+    }
+
+    /// Queues the coalesced `ack <through>` covering every event ingested
+    /// since the previous ack (no-op when nothing is pending).
+    fn flush_ack(&mut self, metrics: &Metrics) {
+        if let Some(through) = self.unacked.take() {
+            self.reply_fmt(format_args!("ack {through}\n"));
+            metrics.acks.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Folds the open document's monitor `pruned_events` running total into
     /// the session-lifetime counter (exactly once per pruned event).
+    /// Folds locally accumulated event counts into the shared atomics.
+    /// Called at reply boundaries (frame ack, text drain, latch, `end`,
+    /// error) so the status-port counters are exact whenever a client can
+    /// observe progress — without paying two atomic RMWs per event.
+    fn flush_event_counters(&mut self, metrics: &Metrics) {
+        if self.doc_events_pending > 0 {
+            metrics
+                .events
+                .fetch_add(self.doc_events_pending, Ordering::Relaxed);
+            self.counters
+                .events
+                .fetch_add(self.doc_events_pending, Ordering::Relaxed);
+            self.doc_events_pending = 0;
+        }
+    }
+
+    /// Refreshes the monitor-memory gauges from the open document's
+    /// checker (batched alongside [`Session::flush_event_counters`]).
+    fn refresh_gauges(&mut self) {
+        let snap = if let DocState::Running(doc) = &self.doc {
+            doc.checker.as_ref().map(|mon| {
+                (
+                    mon.live_events() as u64,
+                    mon.live_arcs() as u64,
+                    mon.stats().pruned_events,
+                )
+            })
+        } else {
+            None
+        };
+        if let Some((live, arcs, pruned)) = snap {
+            self.counters.live_events.store(live, Ordering::Relaxed);
+            self.counters.live_arcs.store(arcs, Ordering::Relaxed);
+            self.note_pruned(pruned);
+        }
+    }
+
     fn note_pruned(&mut self, doc_total: usize) {
         let delta = doc_total.saturating_sub(self.doc_pruned_reported);
         if delta > 0 {
@@ -135,66 +345,51 @@ impl Session {
     }
 
     fn protocol_error(&mut self, message: &str, metrics: &Metrics) {
-        self.reply(&format!("error line {}: {message}\n", self.lines_in));
+        self.flush_event_counters(metrics);
+        let unit = if self.binary() { "record" } else { "line" };
+        // Events ingested before the failure stay unacknowledged: the
+        // session is terminal, so the client must not treat them as safely
+        // checked.
+        self.unacked = None;
+        let n = self.lines_in;
+        self.reply_fmt(format_args!("error {unit} {n}: {message}\n"));
         metrics.parse_errors.fetch_add(1, Ordering::Relaxed);
         self.poisoned = true;
     }
 
     /// Drives the session once: flush pending replies, read whatever
-    /// arrived, process complete lines, flush again. Returns whether any
+    /// arrived, process complete requests, flush again. Returns whether any
     /// byte moved (the shard loop sleeps only when nothing did).
     pub(crate) fn tick(&mut self, metrics: &Metrics) -> bool {
         let mut work = self.try_flush(metrics);
-        if !self.dead && !self.poisoned && !self.eof && self.pending_out() < OUT_SOFT_CAP {
+        if !self.dead && !self.poisoned && !self.eof && self.out.pending() < OUT_SOFT_CAP {
             work |= self.try_read(metrics);
             work |= self.try_flush(metrics);
         }
-        if (self.eof || self.poisoned) && self.pending_out() == 0 {
+        if (self.eof || self.poisoned) && self.out.pending() == 0 {
             self.dead = true;
         }
         work
     }
 
-    fn pending_out(&self) -> usize {
-        self.out.len() - self.out_pos
-    }
-
     fn try_read(&mut self, metrics: &Metrics) -> bool {
-        let mut buf = [0u8; 16 * 1024];
         let mut work = false;
         for _ in 0..MAX_READS_PER_TICK {
-            match self.stream.read(&mut buf) {
+            match self.stream.read(&mut self.read_buf) {
                 Ok(0) => {
-                    // End of requests: a final line without a trailing
-                    // newline is still a line (feed clients may half-close
-                    // right after `end`).
-                    let finished = self.assembler.finish();
-                    self.drain_lines(metrics);
-                    if let Err(e) = finished {
-                        if !self.poisoned {
-                            self.lines_in += 1;
-                            self.protocol_error(&e.message, metrics);
-                        }
-                    }
+                    self.handle_request_eof(metrics);
                     self.eof = true;
                     break;
                 }
                 Ok(n) => {
                     work = true;
                     metrics.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
-                    let pushed = self.assembler.push(&buf[..n]);
-                    // Lines completed before the failure point still
-                    // process (and number) normally; only then is the
-                    // offending oversized/invalid line itself counted.
-                    self.drain_lines(metrics);
-                    if let Err(e) = pushed {
-                        if !self.poisoned {
-                            self.lines_in += 1;
-                            self.protocol_error(&e.message, metrics);
-                        }
-                        break;
-                    }
-                    if self.poisoned || self.pending_out() >= OUT_SOFT_CAP {
+                    let stop = if self.binary() {
+                        self.ingest_binary(n, metrics)
+                    } else {
+                        self.ingest_text(n, metrics)
+                    };
+                    if stop || self.poisoned || self.out.pending() >= OUT_SOFT_CAP {
                         break;
                     }
                 }
@@ -209,14 +404,196 @@ impl Session {
         work
     }
 
+    /// End of requests. Text: a final line without a trailing newline is
+    /// still a line (feed clients may half-close right after `end`).
+    /// Binary: a partial frame at EOF is a protocol error.
+    fn handle_request_eof(&mut self, metrics: &Metrics) {
+        if self.binary() {
+            self.drain_frames(metrics);
+            let leftover = {
+                let RxMode::Binary(frames) = &self.rx else {
+                    unreachable!("mode checked above")
+                };
+                frames.finish()
+            };
+            if let Err(m) = leftover {
+                if !self.poisoned {
+                    self.lines_in += 1;
+                    self.protocol_error(&m, metrics);
+                }
+            }
+        } else {
+            let finished = {
+                let RxMode::Text(assembler) = &mut self.rx else {
+                    unreachable!("mode checked above")
+                };
+                assembler.finish()
+            };
+            self.drain_lines(metrics);
+            if let Err(e) = finished {
+                if !self.poisoned {
+                    self.lines_in += 1;
+                    self.protocol_error(&e.message, metrics);
+                }
+            }
+        }
+    }
+
+    /// Feeds `n` fresh bytes through the text path; `true` means stop
+    /// reading this tick.
+    fn ingest_text(&mut self, n: usize, metrics: &Metrics) -> bool {
+        let pushed = {
+            let RxMode::Text(assembler) = &mut self.rx else {
+                unreachable!("mode checked by the caller")
+            };
+            assembler.push(&self.read_buf[..n])
+        };
+        // Lines completed before a failure point still process (and
+        // number) normally; only then is the offending oversized/invalid
+        // line itself counted.
+        self.drain_lines(metrics);
+        if let Err(e) = pushed {
+            if !self.poisoned {
+                self.lines_in += 1;
+                self.protocol_error(&e.message, metrics);
+            }
+            return true;
+        }
+        false
+    }
+
+    /// Feeds `n` fresh bytes through the binary path; `true` means stop
+    /// reading this tick.
+    fn ingest_binary(&mut self, n: usize, metrics: &Metrics) -> bool {
+        let pushed = {
+            let RxMode::Binary(frames) = &mut self.rx else {
+                unreachable!("mode checked by the caller")
+            };
+            frames.push(&self.read_buf[..n])
+        };
+        if let Err(m) = pushed {
+            // An oversized length prefix is rejected from the prefix
+            // alone, before any payload buffers.
+            if !self.poisoned {
+                self.lines_in += 1;
+                self.protocol_error(&m, metrics);
+            }
+            return true;
+        }
+        self.drain_frames(metrics);
+        self.poisoned
+    }
+
     fn drain_lines(&mut self, metrics: &Metrics) {
-        while let Some(line) = self.assembler.next_line() {
-            if self.poisoned {
+        loop {
+            if self.poisoned || self.binary() {
+                // A completed `proto v2` handshake leaves no buffered
+                // lines (the switch refuses otherwise).
                 break;
             }
+            let line = {
+                let RxMode::Text(assembler) = &mut self.rx else {
+                    unreachable!("mode checked above")
+                };
+                match assembler.next_line() {
+                    Some(l) => l,
+                    None => break,
+                }
+            };
             self.lines_in += 1;
             self.process_line(&line, metrics);
         }
+        // Per-drain (not per-line) counter/gauge settlement — the v1
+        // analogue of the per-frame flush in `process_frame`.
+        self.flush_event_counters(metrics);
+        self.refresh_gauges();
+    }
+
+    fn drain_frames(&mut self, metrics: &Metrics) {
+        while !self.poisoned {
+            let got = {
+                let RxMode::Binary(frames) = &mut self.rx else {
+                    unreachable!("mode checked by the caller")
+                };
+                frames.next_frame_into(&mut self.frame_buf)
+            };
+            match got {
+                Ok(true) => {
+                    // Move the scratch out so the decode loop can queue
+                    // replies through `&mut self`.
+                    let frame = std::mem::take(&mut self.frame_buf);
+                    self.process_frame(&frame, metrics);
+                    self.frame_buf = frame;
+                }
+                Ok(false) => break,
+                Err(m) => {
+                    self.lines_in += 1;
+                    self.protocol_error(&m, metrics);
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Decodes and applies every record of one frame, then flushes the
+    /// frame's coalesced ack (violation and `end` replies were already
+    /// queued in record order, so they precede it).
+    fn process_frame(&mut self, payload: &[u8], metrics: &Metrics) {
+        metrics.frames.fetch_add(1, Ordering::Relaxed);
+        let mut decoder = std::mem::take(&mut self.decoder);
+        let structural = decoder.decode_frame(payload, &mut |rec| {
+            self.handle_record(rec, metrics);
+            !self.poisoned
+        });
+        self.decoder = decoder;
+        if let Err(m) = structural {
+            if !self.poisoned {
+                self.lines_in += 1;
+                self.protocol_error(&m, metrics);
+            }
+        }
+        // Counters/gauges settle before the ack covering the frame is
+        // queued, so a client observing the ack sees exact status counters.
+        self.flush_event_counters(metrics);
+        self.refresh_gauges();
+        if !self.poisoned {
+            self.flush_ack(metrics);
+        }
+    }
+
+    /// One decoded binary record — the v2 analogue of `process_line`, fed
+    /// through the same shared validation core ([`TraceLineParser`]).
+    fn handle_record(&mut self, rec: WireRecord, metrics: &Metrics) {
+        self.lines_in += 1;
+        if matches!(self.doc, DocState::Idle) {
+            if let WireRecord::Xi(spec) = &rec {
+                match spec.trim().parse::<Xi>() {
+                    Ok(xi) => self.xi = xi,
+                    Err(e) => self.protocol_error(&format!("xi: {e}"), metrics),
+                }
+                return;
+            }
+            // Any other record starts a fresh document. Binary documents
+            // carry no `abc-trace` header line — the frame tag already
+            // names the format — so the parser starts past it.
+            self.doc_pruned_reported = 0;
+            self.doc = DocState::Running(Box::new(RunningDoc {
+                parser: TraceLineParser::new_streaming()
+                    .without_header()
+                    .with_max_processes(self.max_processes),
+                checker: None,
+                latched: None,
+            }));
+        } else if matches!(rec, WireRecord::Xi(_)) {
+            self.protocol_error("xi record inside a trace document", metrics);
+            return;
+        }
+        self.drive_document(metrics, |parser| {
+            let trec = rec
+                .to_trace_record()
+                .expect("xi records were handled above");
+            parser.feed_record(trec)
+        });
     }
 
     fn process_line(&mut self, line: &str, metrics: &Metrics) {
@@ -232,32 +609,79 @@ impl Session {
                 }
                 return;
             }
+            if trimmed == crate::proto::PROTO_V2_REQUEST {
+                self.negotiate_v2(metrics);
+                return;
+            }
+            if trimmed == crate::proto::PROTO_V1_REQUEST {
+                self.reply_fmt(format_args!("{}\n", crate::proto::PROTO_V1_OK));
+                return;
+            }
+            if let Some(rest) = trimmed.strip_prefix("proto ") {
+                self.protocol_error(&format!("unsupported protocol {rest:?}"), metrics);
+                return;
+            }
             // Anything else starts a fresh document (the parser will
             // reject non-header lines with a precise message).
             self.doc_pruned_reported = 0;
-            self.doc = DocState::Running {
+            self.doc = DocState::Running(Box::new(RunningDoc {
                 parser: TraceLineParser::new_streaming().with_max_processes(self.max_processes),
                 checker: None,
                 latched: None,
-            };
+            }));
         }
+        self.drive_document(metrics, |parser| parser.feed_line(line));
+    }
+
+    /// Switches the request framing to v2 binary frames. The handshake is
+    /// strict: the client must wait for the `proto v2 ok` reply, so any
+    /// bytes already pipelined behind the request are a protocol error
+    /// (they would otherwise be misread as text).
+    fn negotiate_v2(&mut self, metrics: &Metrics) {
+        let pipelined = match &self.rx {
+            RxMode::Text(assembler) => assembler.has_buffered(),
+            RxMode::Binary(_) => unreachable!("negotiation arrives on a text line"),
+        };
+        if pipelined {
+            self.protocol_error(
+                "data pipelined behind `proto v2` (wait for `proto v2 ok`)",
+                metrics,
+            );
+            return;
+        }
+        self.reply_fmt(format_args!("{}\n", crate::proto::PROTO_V2_OK));
+        self.rx = RxMode::Binary(FrameAssembler::new(self.max_frame_len));
+        self.decoder = RecordDecoder::new();
+        // Error replies now cite record numbers, counted from the switch.
+        self.lines_in = 0;
+    }
+
+    /// The shared document state machine: both framings feed the same
+    /// [`TraceLineParser`] validation core, so text and binary accept
+    /// exactly the same documents and produce byte-identical verdicts.
+    fn drive_document<F>(&mut self, metrics: &Metrics, feed: F)
+    where
+        F: FnOnce(&mut TraceLineParser) -> Result<ParsedLine, TraceTextError>,
+    {
         // Take the document state out of `self` so replies can be queued
         // while holding it (a failed/finished document simply stays out).
-        let DocState::Running {
-            mut parser,
-            mut checker,
-            mut latched,
-        } = std::mem::replace(&mut self.doc, DocState::Idle)
-        else {
+        // The box makes this per-record round trip a pointer move.
+        let DocState::Running(mut doc) = std::mem::replace(&mut self.doc, DocState::Idle) else {
             unreachable!("document state was just initialized");
         };
-        let parsed = match parser.feed_line(line) {
+        let RunningDoc {
+            parser,
+            checker,
+            latched,
+        } = &mut *doc;
+        let parsed = match feed(parser) {
             Ok(p) => p,
             Err(e) => {
                 self.protocol_error(&e.message, metrics);
                 return;
             }
         };
+        let binary = self.binary();
         let mut done = false;
         match parsed {
             ParsedLine::Meta | ParsedLine::Message { .. } => {}
@@ -273,7 +697,7 @@ impl Session {
                                 mon.mark_faulty(ProcessId(p));
                             }
                         }
-                        checker = Some(mon);
+                        *checker = Some(mon);
                     }
                     Err(e) => {
                         let msg = format!("xi {} not monitorable: {e}", self.xi);
@@ -283,14 +707,19 @@ impl Session {
                 }
             }
             ParsedLine::Event(feed) => {
-                metrics.events.fetch_add(1, Ordering::Relaxed);
-                self.counters.events.fetch_add(1, Ordering::Relaxed);
+                self.doc_events_pending += 1;
                 let seq = match feed {
                     EventFeed::Init { seq, .. } | EventFeed::Receive { seq, .. } => seq,
                 };
-                if let Some((latch_seq, wire)) = &latched {
-                    let line = format!("violation {latch_seq} {wire}\n");
-                    self.reply(&line);
+                if let Some((latch_seq, wire)) = &*latched {
+                    // v1 echoes the latched violation per event; v2 keeps
+                    // acking silently (the violation already went out).
+                    if binary {
+                        self.unacked = Some(seq);
+                    } else {
+                        let line = format!("violation {latch_seq} {wire}\n");
+                        self.reply(&line);
+                    }
                 } else {
                     let mon = checker.as_mut().expect("checker exists past Topology");
                     match feed {
@@ -317,20 +746,29 @@ impl Session {
                             .expect("latched monitors carry their summary")
                             .wire()
                             .to_string();
+                        self.flush_event_counters(metrics);
                         metrics.violations.fetch_add(1, Ordering::Relaxed);
                         self.counters.violations.fetch_add(1, Ordering::Relaxed);
-                        let line = format!("violation {seq} {wire}\n");
-                        self.reply(&line);
-                        latched = Some((seq, wire));
+                        // Violation replies are immediate in both framings
+                        // and precede the ack that covers `seq`.
+                        self.reply_fmt(format_args!("violation {seq} {wire}\n"));
+                        if binary {
+                            self.unacked = Some(seq);
+                        }
+                        *latched = Some((seq, wire));
                         self.note_pruned(mon.stats().pruned_events);
                         // The verdict is latched; stop feeding the checker
                         // so a violating firehose doesn't keep growing its
                         // graph.
-                        checker = None;
+                        *checker = None;
                         self.counters.live_events.store(0, Ordering::Relaxed);
                         self.counters.live_arcs.store(0, Ordering::Relaxed);
                     } else {
-                        self.reply(&format!("ok {seq}\n"));
+                        if binary {
+                            self.unacked = Some(seq);
+                        } else {
+                            self.reply_fmt(format_args!("ok {seq}\n"));
+                        }
                         if let Some(h) = self.prune_horizon {
                             if mon.live_events() > 2 * h.max(1) {
                                 // Honest watermark: `horizon` behind the
@@ -344,20 +782,15 @@ impl Session {
                                 mon.prune_settled(Some(EventId(watermark)));
                             }
                         }
-                        self.note_pruned(mon.stats().pruned_events);
-                        self.counters
-                            .live_events
-                            .store(mon.live_events() as u64, Ordering::Relaxed);
-                        self.counters
-                            .live_arcs
-                            .store(mon.live_arcs() as u64, Ordering::Relaxed);
+                        // Memory gauges refresh per ingested frame / drained
+                        // read (`refresh_gauges`), not per event.
                     }
                 }
                 if let Some(h) = self.prune_horizon {
                     // Window the parser's per-event sidecar on every event —
                     // including after a latch, when the checker is dropped
-                    // but lines keep arriving: without this, a violating
-                    // firehose would grow `event_meta` per post-latch line,
+                    // but events keep arriving: without this, a violating
+                    // firehose would grow `event_meta` per post-latch event,
                     // breaking the advertised memory bound.
                     let mut watermark = parser.events_seen().saturating_sub(h);
                     if let Some(oldest) = parser.oldest_pending_send() {
@@ -367,16 +800,24 @@ impl Session {
                 }
             }
             ParsedLine::End => {
+                // Acknowledge everything ingested before the verdict goes
+                // out, so `ack` never trails its document's `end`.
+                self.flush_event_counters(metrics);
+                self.flush_ack(metrics);
                 // Must render exactly like [`Verdict`]'s `Display`, which
                 // the offline monitor and `abc feed` also use — that is
                 // the byte-identical-verdicts contract.
-                let verdict = match &latched {
+                match &*latched {
                     Some((latch_seq, wire)) => {
-                        format!("end violation at_event={latch_seq} {wire}\n")
+                        self.reply_fmt(format_args!("end violation at_event={latch_seq} {wire}\n"));
                     }
-                    None => format!("end admissible events={}\n", parser.events_seen()),
-                };
-                self.reply(&verdict);
+                    None => {
+                        self.reply_fmt(format_args!(
+                            "end admissible events={}\n",
+                            parser.events_seen()
+                        ));
+                    }
+                }
                 metrics.documents.fetch_add(1, Ordering::Relaxed);
                 // Drop the whole per-document state.
                 self.counters.live_events.store(0, Ordering::Relaxed);
@@ -385,26 +826,24 @@ impl Session {
             }
         }
         if !done {
-            self.doc = DocState::Running {
-                parser,
-                checker,
-                latched,
-            };
+            self.doc = DocState::Running(doc);
         }
     }
 
     fn try_flush(&mut self, metrics: &Metrics) -> bool {
         let mut work = false;
-        while self.out_pos < self.out.len() {
-            match self.stream.write(&self.out[self.out_pos..]) {
+        while self.out.pending() > 0 {
+            let mut slices = [IoSlice::new(&[]); OUT_MAX_IOV];
+            let k = self.out.ioslices(&mut slices);
+            match (&self.stream).write_vectored(&slices[..k]) {
                 Ok(0) => {
                     self.dead = true;
                     break;
                 }
                 Ok(n) => {
                     work = true;
-                    self.out_pos += n;
                     metrics.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
+                    self.out.consume(n);
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
@@ -413,10 +852,6 @@ impl Session {
                     break;
                 }
             }
-        }
-        if self.out_pos == self.out.len() && !self.out.is_empty() {
-            self.out.clear();
-            self.out_pos = 0;
         }
         work
     }

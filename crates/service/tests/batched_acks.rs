@@ -1,0 +1,219 @@
+//! Batched-ack ordering under concurrency: 8 sessions (v1 text and v2
+//! binary interleaved) each feed a mix of violating and admissible
+//! documents over one connection. Every v2 `ack <through>` must be
+//! strictly monotone within its document, violations must arrive before
+//! the ack that covers their sequence number, verdicts must match the
+//! offline monitor — and while all 8 connections are still open, the
+//! status port's per-session counters must be exact.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Barrier;
+
+use abc_core::Xi;
+use abc_service::client::status_command;
+use abc_service::proto::offline_verdict;
+use abc_service::server::{start, ServerConfig};
+use abc_sim::delay::BandDelay;
+use abc_sim::{binio, RunLimits, Simulation, Trace};
+
+fn clocksync_trace(lo: u64, hi: u64, seed: u64, events: usize) -> Trace {
+    let mut sim = Simulation::new(BandDelay::new(lo, hi, seed));
+    for _ in 0..4 {
+        sim.add_process(abc_clocksync::TickGen::new(4, 1));
+    }
+    sim.run(RunLimits {
+        max_events: events,
+        max_time: u64::MAX,
+    });
+    sim.trace().clone()
+}
+
+fn read_line(reader: &mut impl BufRead) -> String {
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    line.trim_end().to_string()
+}
+
+/// One document's transcript (through its `end` line).
+fn doc_transcript(reader: &mut impl BufRead) -> Vec<String> {
+    let mut out = Vec::new();
+    loop {
+        let line = read_line(reader);
+        assert!(!line.is_empty(), "connection closed mid-document");
+        let done = line.starts_with("end ");
+        out.push(line);
+        if done {
+            return out;
+        }
+    }
+}
+
+/// Checks one v2 document transcript: acks strictly monotone, at most one
+/// violation and it precedes its covering ack, `end` last and correct.
+fn check_v2_transcript(transcript: &[String], want_end: &str) {
+    let mut last_ack: Option<usize> = None;
+    let mut violation_seq: Option<usize> = None;
+    for (i, line) in transcript.iter().enumerate() {
+        if let Some(rest) = line.strip_prefix("ack ") {
+            let through: usize = rest.parse().unwrap();
+            if let Some(prev) = last_ack {
+                assert!(
+                    through > prev,
+                    "acks must be strictly monotone: {through} after {prev}"
+                );
+            }
+            last_ack = Some(through);
+        } else if let Some(rest) = line.strip_prefix("violation ") {
+            assert!(
+                violation_seq.is_none(),
+                "v2 reports one violation per document, got a second: {line:?}"
+            );
+            let seq: usize = rest.split_whitespace().next().unwrap().parse().unwrap();
+            // The violation precedes the ack that covers it: no prior ack
+            // may have acknowledged the violating event already.
+            if let Some(prev) = last_ack {
+                assert!(
+                    prev < seq,
+                    "ack {prev} covered violating event {seq} before the violation reply"
+                );
+            }
+            violation_seq = Some(seq);
+        } else {
+            assert!(
+                line.starts_with("end "),
+                "unexpected v2 reply {line:?} in {transcript:?}"
+            );
+            assert_eq!(i, transcript.len() - 1, "end must close the transcript");
+        }
+    }
+    assert_eq!(transcript.last().unwrap(), want_end);
+    if want_end.starts_with("end violation") {
+        assert!(violation_seq.is_some(), "latch reply missing before end");
+    }
+}
+
+/// Checks one v1 document transcript: `ok` seqs strictly monotone, every
+/// post-latch event echoes the latched violation, `end` last and correct.
+fn check_v1_transcript(transcript: &[String], want_end: &str) {
+    let mut last_ok: Option<usize> = None;
+    let mut latched: Option<String> = None;
+    for line in transcript {
+        if let Some(rest) = line.strip_prefix("ok ") {
+            assert!(latched.is_none(), "no `ok` may follow a latched violation");
+            let seq: usize = rest.parse().unwrap();
+            if let Some(prev) = last_ok {
+                assert!(seq > prev, "ok seqs must be monotone: {seq} after {prev}");
+            }
+            last_ok = Some(seq);
+        } else if line.starts_with("violation ") {
+            match &latched {
+                Some(first) => assert_eq!(line, first, "latched echoes must repeat"),
+                None => latched = Some(line.clone()),
+            }
+        } else {
+            assert!(line.starts_with("end "), "unexpected v1 reply {line:?}");
+        }
+    }
+    assert_eq!(transcript.last().unwrap(), want_end);
+}
+
+#[test]
+fn mixed_protocol_sessions_keep_acks_ordered_and_counters_exact() {
+    let xi = Xi::from_fraction(3, 2);
+    let admissible = [
+        clocksync_trace(10, 19, 11, 200),
+        clocksync_trace(10, 19, 12, 200),
+    ];
+    let violating: Vec<Trace> = (0..64)
+        .map(|s| clocksync_trace(1, 6, s, 200))
+        .filter(|t| offline_verdict(t, &xi).unwrap().is_violation())
+        .take(2)
+        .collect();
+    assert_eq!(violating.len(), 2, "need two violating seeds");
+    // Interleaved: violating and admissible alternate on every session.
+    let docs: Vec<&Trace> = vec![&violating[0], &admissible[0], &violating[1], &admissible[1]];
+    let total_events: usize = docs.iter().map(|t| t.events().len()).sum();
+    let ends: Vec<String> = docs
+        .iter()
+        .map(|t| format!("end {}", offline_verdict(t, &xi).unwrap()))
+        .collect();
+
+    let handle = start(ServerConfig {
+        shards: 3,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = handle.addr().to_string();
+    let status_addr = handle.status_addr().to_string();
+
+    // Two rendezvous: all sessions done feeding (connections still open),
+    // then release-to-close after the status check.
+    let fed = Barrier::new(9);
+    let release = Barrier::new(9);
+
+    let (peers, page): (Vec<String>, String) = std::thread::scope(|scope| {
+        let mut workers = Vec::new();
+        for i in 0..8usize {
+            let binary = i % 2 == 0;
+            let (addr, xi, docs, ends, fed, release) = (&addr, &xi, &docs, &ends, &fed, &release);
+            workers.push(scope.spawn(move || {
+                let stream = TcpStream::connect(addr).unwrap();
+                let peer = stream.local_addr().unwrap().to_string();
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                assert_eq!(read_line(&mut reader), abc_service::proto::GREETING);
+                let mut w = &stream;
+                if binary {
+                    w.write_all(format!("{}\n", abc_service::proto::PROTO_V2_REQUEST).as_bytes())
+                        .unwrap();
+                    assert_eq!(read_line(&mut reader), abc_service::proto::PROTO_V2_OK);
+                    w.write_all(&binio::xi_frame(&xi.to_string())).unwrap();
+                } else {
+                    w.write_all(format!("xi {xi}\n").as_bytes()).unwrap();
+                }
+                for (trace, want_end) in docs.iter().zip(ends) {
+                    if binary {
+                        w.write_all(&trace.to_stream_binary()).unwrap();
+                        check_v2_transcript(&doc_transcript(&mut reader), want_end);
+                    } else {
+                        w.write_all(trace.to_stream_text().as_bytes()).unwrap();
+                        check_v1_transcript(&doc_transcript(&mut reader), want_end);
+                    }
+                }
+                fed.wait(); // all documents acknowledged; stay connected
+                release.wait(); // status assertions done; drop the stream
+                peer
+            }));
+        }
+
+        fed.wait();
+        // All 8 sessions still connected, every document acknowledged:
+        // the status page counters must be exact, per session.
+        let page = status_command(&status_addr, "metrics").unwrap();
+        let rows: Vec<&str> = page.lines().filter(|l| l.starts_with("session ")).collect();
+        assert_eq!(rows.len(), 8, "expected 8 live session rows:\n{page}");
+        for row in &rows {
+            assert!(
+                row.contains(&format!("events={total_events} ")),
+                "inexact event counter in {row:?} (want events={total_events})"
+            );
+            assert!(
+                row.contains("violations=2 "),
+                "inexact violation counter in {row:?} (want violations=2)"
+            );
+        }
+        release.wait();
+        let peers = workers.into_iter().map(|w| w.join().unwrap()).collect();
+        (peers, page)
+    });
+
+    // Every connection got its own row, matched by peer address.
+    for peer in &peers {
+        assert!(
+            page.contains(&format!("peer={peer} ")),
+            "no session row for peer {peer}:\n{page}"
+        );
+    }
+
+    handle.join();
+}

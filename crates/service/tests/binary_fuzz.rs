@@ -1,0 +1,245 @@
+//! Adversarial-input tests for the v2 binary decoder path: truncated
+//! frames, overlong/oversized varints, length prefixes past the cap,
+//! unknown tags, reserved flag bits, and mid-frame disconnects. Every
+//! attack must draw a clean `error …` reply (or a terminated session) —
+//! never a panic — and the server must keep serving other sessions. This
+//! mirrors the v1 oversized-line attack regression in `loopback.rs`.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, TcpStream};
+
+use abc_core::Xi;
+use abc_service::feed_stream_binary;
+use abc_service::proto::offline_verdict;
+use abc_service::server::{start, ServerConfig};
+use abc_sim::delay::BandDelay;
+use abc_sim::{binio, RunLimits, Simulation, Trace};
+
+fn clocksync_trace(lo: u64, hi: u64, seed: u64, events: usize) -> Trace {
+    let mut sim = Simulation::new(BandDelay::new(lo, hi, seed));
+    for _ in 0..4 {
+        sim.add_process(abc_clocksync::TickGen::new(4, 1));
+    }
+    sim.run(RunLimits {
+        max_events: events,
+        max_time: u64::MAX,
+    });
+    sim.trace().clone()
+}
+
+fn read_line(reader: &mut impl BufRead) -> String {
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    line.trim_end().to_string()
+}
+
+/// Connects and completes the `proto v2` handshake; returns the stream and
+/// its buffered reply reader.
+fn v2_session(addr: &str) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    assert_eq!(read_line(&mut reader), abc_service::proto::GREETING);
+    (&stream)
+        .write_all(format!("{}\n", abc_service::proto::PROTO_V2_REQUEST).as_bytes())
+        .unwrap();
+    assert_eq!(read_line(&mut reader), abc_service::proto::PROTO_V2_OK);
+    (stream, reader)
+}
+
+/// After an attack, the same server must still serve a well-formed binary
+/// session to completion — the liveness half of every fuzz assertion.
+fn assert_still_serving(addr: &str, xi: &Xi, trace: &Trace) {
+    let want = offline_verdict(trace, xi).unwrap().to_string();
+    let out = feed_stream_binary(addr, xi, &trace.to_stream_binary()).unwrap();
+    assert_eq!(out.verdict.to_string(), want, "server no longer serving");
+}
+
+/// Reads until the session's error line (skipping acks); asserts it cites
+/// binary record positions, then confirms the server closed the session.
+fn expect_error(reader: &mut BufReader<TcpStream>, needle: &str) -> String {
+    loop {
+        let line = read_line(reader);
+        assert!(
+            !line.is_empty(),
+            "connection closed before an error reply arrived"
+        );
+        if line.starts_with("ack ") {
+            continue;
+        }
+        assert!(
+            line.starts_with("error record ") || line.starts_with("error line "),
+            "expected an error reply, got {line:?}"
+        );
+        assert!(
+            line.contains(needle),
+            "error should mention {needle:?}, got {line:?}"
+        );
+        // Terminal: the server closes after the error drains.
+        let mut rest = String::new();
+        reader.read_to_string(&mut rest).unwrap();
+        assert_eq!(rest, "", "no replies may follow a fatal protocol error");
+        return line;
+    }
+}
+
+#[test]
+fn length_prefix_past_the_cap_is_rejected_from_the_prefix_alone() {
+    let handle = start(ServerConfig::default()).unwrap();
+    let addr = handle.addr().to_string();
+    let xi = Xi::from_integer(3);
+    let good = clocksync_trace(10, 19, 1, 120);
+
+    let (stream, mut reader) = v2_session(&addr);
+    // A frame header claiming 100 MB — the v2 analogue of the 100 MB
+    // newline-free line attack. The server must refuse at the prefix; it
+    // never allocates or buffers toward a frame it will not accept.
+    let mut attack = Vec::new();
+    binio::push_varint(&mut attack, 100 * 1024 * 1024);
+    attack.resize(attack.len() + 4096, 0xAB); // some payload behind it
+    (&stream).write_all(&attack).unwrap();
+    expect_error(&mut reader, "exceeds");
+
+    assert_still_serving(&addr, &xi, &good);
+    handle.join();
+}
+
+#[test]
+fn overlong_and_oversized_varint_prefixes_are_rejected() {
+    let handle = start(ServerConfig::default()).unwrap();
+    let addr = handle.addr().to_string();
+    let xi = Xi::from_integer(3);
+    let good = clocksync_trace(10, 19, 2, 120);
+
+    // Non-canonical (overlong) encoding of a small length.
+    let (stream, mut reader) = v2_session(&addr);
+    (&stream).write_all(&[0x85, 0x80, 0x00]).unwrap();
+    expect_error(&mut reader, "overlong varint");
+
+    // A varint that never terminates within the 10-byte limit.
+    let (stream, mut reader) = v2_session(&addr);
+    (&stream).write_all(&[0x80; 16]).unwrap();
+    expect_error(&mut reader, "varint");
+
+    assert_still_serving(&addr, &xi, &good);
+    handle.join();
+}
+
+#[test]
+fn mid_frame_disconnect_draws_a_clean_error() {
+    let handle = start(ServerConfig::default()).unwrap();
+    let addr = handle.addr().to_string();
+    let xi = Xi::from_integer(3);
+    let good = clocksync_trace(10, 19, 3, 120);
+
+    let (stream, mut reader) = v2_session(&addr);
+    // A well-formed prefix for a 1000-byte frame, then only 10 bytes and a
+    // half-close: the EOF lands mid-frame.
+    let mut attack = Vec::new();
+    binio::push_varint(&mut attack, 1000);
+    attack.extend_from_slice(&[0x01; 10]);
+    (&stream).write_all(&attack).unwrap();
+    stream.shutdown(Shutdown::Write).unwrap();
+    expect_error(&mut reader, "mid-frame");
+
+    assert_still_serving(&addr, &xi, &good);
+    handle.join();
+}
+
+#[test]
+fn truncated_records_and_unknown_tags_inside_a_frame_are_rejected() {
+    let handle = start(ServerConfig::default()).unwrap();
+    let addr = handle.addr().to_string();
+    let xi = Xi::from_integer(3);
+    let good = clocksync_trace(10, 19, 4, 120);
+
+    // Unknown record tag.
+    let (stream, mut reader) = v2_session(&addr);
+    let mut frame = Vec::new();
+    binio::push_varint(&mut frame, 1);
+    frame.push(0xFF);
+    (&stream).write_all(&frame).unwrap();
+    expect_error(&mut reader, "unknown record tag");
+
+    // Frame ends mid-record: a processes record missing its count.
+    let (stream, mut reader) = v2_session(&addr);
+    let mut frame = Vec::new();
+    binio::push_varint(&mut frame, 1);
+    frame.push(0x01); // processes tag, no varint behind it
+    (&stream).write_all(&frame).unwrap();
+    expect_error(&mut reader, "truncated record");
+
+    // Reserved event flag bits.
+    let (stream, mut reader) = v2_session(&addr);
+    let mut frame = Vec::new();
+    binio::push_varint(&mut frame, 2);
+    frame.extend_from_slice(&[0x05, 0xF0]); // event tag, reserved flags
+    (&stream).write_all(&frame).unwrap();
+    expect_error(&mut reader, "reserved bits");
+
+    assert_still_serving(&addr, &xi, &good);
+    handle.join();
+}
+
+#[test]
+fn pipelining_data_behind_the_handshake_is_refused() {
+    let handle = start(ServerConfig::default()).unwrap();
+    let addr = handle.addr().to_string();
+    let xi = Xi::from_integer(3);
+    let good = clocksync_trace(10, 19, 5, 120);
+
+    // `proto v2` and binary bytes in one write, without waiting for the
+    // `proto v2 ok` reply: the strict handshake must refuse (the bytes
+    // would otherwise be misparsed as text).
+    let stream = TcpStream::connect(&addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    assert_eq!(read_line(&mut reader), abc_service::proto::GREETING);
+    let mut attack = format!("{}\n", abc_service::proto::PROTO_V2_REQUEST).into_bytes();
+    attack.extend_from_slice(&binio::xi_frame("2"));
+    (&stream).write_all(&attack).unwrap();
+    expect_error(&mut reader, "pipelined");
+
+    assert_still_serving(&addr, &xi, &good);
+    handle.join();
+}
+
+#[test]
+fn random_garbage_after_the_handshake_never_panics_the_server() {
+    let handle = start(ServerConfig::default()).unwrap();
+    let addr = handle.addr().to_string();
+    let xi = Xi::from_integer(3);
+    let good = clocksync_trace(10, 19, 6, 120);
+
+    // A deterministic xorshift garbage generator: 32 sessions × 512 bytes
+    // of arbitrary frames. Every session must end in an error reply or a
+    // clean close — and the server must survive all of them.
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for _ in 0..32 {
+        let (stream, mut reader) = v2_session(&addr);
+        let garbage: Vec<u8> = (0..512).map(|_| (next() & 0xFF) as u8).collect();
+        // The write may fail once the server poisons the session — fine.
+        let _ = (&stream).write_all(&garbage);
+        let _ = stream.shutdown(Shutdown::Write);
+        let mut replies = String::new();
+        // Must terminate (server closes); content may be acks then error.
+        reader.read_to_string(&mut replies).unwrap();
+        for line in replies.lines() {
+            assert!(
+                line.starts_with("ack ")
+                    || line.starts_with("error record ")
+                    || line.starts_with("error line ")
+                    || line.starts_with("violation ")
+                    || line.starts_with("end "),
+                "unexpected reply to garbage: {line:?}"
+            );
+        }
+    }
+
+    assert_still_serving(&addr, &xi, &good);
+    handle.join();
+}

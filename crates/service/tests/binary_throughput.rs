@@ -1,0 +1,93 @@
+//! The binary-framing speedup bar: single-session ingest over the v2
+//! binary framing must beat the v1 text path by the documented multiple.
+//!
+//! Correctness (identical verdicts and full ack coverage) is asserted
+//! unconditionally. The throughput ratio is hardware-gated, following the
+//! repo's loadgen precedent: debug builds assert nothing about speed,
+//! single-core hosts assert a conservative ≥2× (protocol work and client
+//! share one core, and scheduler noise is large), and CI-class hosts
+//! (release, ≥4 hardware threads) assert the full ≥3× bar.
+
+use std::time::Instant;
+
+use abc_core::Xi;
+use abc_service::server::{start, ServerConfig};
+use abc_service::{feed_stream_binary, feed_stream_text};
+use abc_sim::delay::BandDelay;
+use abc_sim::{RunLimits, Simulation, Trace};
+
+fn clocksync_trace(events: usize) -> Trace {
+    let mut sim = Simulation::new(BandDelay::new(1, 4, 42));
+    for _ in 0..4 {
+        sim.add_process(abc_clocksync::TickGen::new(4, 1));
+    }
+    sim.run(RunLimits {
+        max_events: events,
+        max_time: u64::MAX,
+    });
+    sim.trace().clone()
+}
+
+fn best_of(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::MAX;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+#[test]
+fn binary_framing_beats_text_by_the_documented_multiple() {
+    let xi = Xi::from_integer(5);
+    let trace = clocksync_trace(10_000);
+    let events = trace.events().len();
+    let text = trace.to_stream_text();
+    let bin = trace.to_stream_binary();
+
+    let handle = start(ServerConfig::default()).unwrap();
+    let addr = handle.addr().to_string();
+
+    // Correctness first, and warm-up for both paths.
+    let out_text = feed_stream_text(&addr, &xi, &text).unwrap();
+    let out_bin = feed_stream_binary(&addr, &xi, &bin).unwrap();
+    assert_eq!(out_text.verdict.to_string(), out_bin.verdict.to_string());
+    assert!(!out_bin.verdict.is_violation());
+    assert_eq!(out_bin.acked_events, events, "acks must cover every event");
+    assert!(
+        out_bin.oks < out_text.oks,
+        "binary acks must coalesce: {} progress replies vs {} in text",
+        out_bin.oks,
+        out_text.oks
+    );
+
+    if cfg!(debug_assertions) {
+        // Unoptimized builds measure the compiler, not the protocol.
+        handle.join();
+        return;
+    }
+
+    let text_s = best_of(7, || {
+        feed_stream_text(&addr, &xi, &text).unwrap();
+    });
+    let bin_s = best_of(7, || {
+        feed_stream_binary(&addr, &xi, &bin).unwrap();
+    });
+    #[allow(clippy::cast_precision_loss)]
+    let (text_eps, bin_eps) = (events as f64 / text_s, events as f64 / bin_s);
+    let ratio = bin_eps / text_eps;
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    eprintln!(
+        "single-session ingest: text {text_eps:.0} events/s, binary {bin_eps:.0} events/s \
+         ({ratio:.2}x) on {cores} hardware threads"
+    );
+
+    let bar = if cores >= 4 { 3.0 } else { 2.0 };
+    assert!(
+        ratio >= bar,
+        "binary framing only {ratio:.2}x over text (bar {bar}x on {cores} hardware threads): \
+         text {text_eps:.0} events/s vs binary {bin_eps:.0} events/s"
+    );
+    handle.join();
+}

@@ -42,6 +42,7 @@ fn loadgen_8_connections_sustains_throughput_with_exact_verdicts() {
                 label: format!("doc{s}"),
                 events: trace.events().len(),
                 expect: Some(offline_verdict(&trace, &xi).unwrap()),
+                binary: Some(trace.to_stream_binary()),
                 text: trace.to_stream_text(),
             }
         })
@@ -56,8 +57,8 @@ fn loadgen_8_connections_sustains_throughput_with_exact_verdicts() {
     let addr = handle.addr().to_string();
 
     // Warm-up round (connection setup, allocator), then the timed run.
-    let _ = run_loadgen(&addr, &xi, &docs[..4], 2).unwrap();
-    let report = run_loadgen(&addr, &xi, &docs, 8).unwrap();
+    let _ = run_loadgen(&addr, &xi, &docs[..4], 2, false).unwrap();
+    let report = run_loadgen(&addr, &xi, &docs, 8, false).unwrap();
 
     // Correctness is unconditional: every verdict byte-identical to the
     // offline monitor on the same trace.
@@ -95,6 +96,22 @@ fn loadgen_8_connections_sustains_throughput_with_exact_verdicts() {
         "aggregate throughput {eps:.0} events/s below the {bar:.0} bar \
          ({cores} hardware threads, debug={})",
         cfg!(debug_assertions)
+    );
+
+    // The same fleet over the v2 binary framing: verdicts stay exact and
+    // acks coalesce (fewer progress replies than events).
+    let report_v2 = run_loadgen(&addr, &xi, &docs, 8, true).unwrap();
+    assert_eq!(
+        report_v2.mismatches, 0,
+        "binary verdicts diverged from offline"
+    );
+    assert_eq!(report_v2.protocol, "v2");
+    assert_eq!(report_v2.total_events, total_events);
+    assert!(
+        report_v2.acks < report_v2.total_events,
+        "batched acks should coalesce: {} acks for {} events",
+        report_v2.acks,
+        report_v2.total_events
     );
     handle.join();
 }

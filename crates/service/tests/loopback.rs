@@ -109,7 +109,7 @@ fn malformed_frame_gets_error_reply_and_server_stays_up() {
 
     let stream = TcpStream::connect(&addr).unwrap();
     let mut reader = BufReader::new(stream.try_clone().unwrap());
-    assert_eq!(read_reply_line(&mut reader), "abc-service v1");
+    assert_eq!(read_reply_line(&mut reader), abc_service::proto::GREETING);
     {
         let mut w = &stream;
         w.write_all(b"this is not a trace header\n").unwrap();
@@ -148,7 +148,7 @@ fn oversized_line_is_rejected_without_buffering() {
     let addr = handle.addr().to_string();
     let stream = TcpStream::connect(&addr).unwrap();
     let mut reader = BufReader::new(stream.try_clone().unwrap());
-    assert_eq!(read_reply_line(&mut reader), "abc-service v1");
+    assert_eq!(read_reply_line(&mut reader), abc_service::proto::GREETING);
     // A newline-free firehose: the server must reject at the line cap, not
     // accumulate it. (The write side may hit a reset once the server
     // closes — that is the expected outcome, not a test failure.)
@@ -180,7 +180,7 @@ fn one_connection_carries_many_documents() {
 
     let stream = TcpStream::connect(&addr).unwrap();
     let mut reader = BufReader::new(stream.try_clone().unwrap());
-    assert_eq!(read_reply_line(&mut reader), "abc-service v1");
+    assert_eq!(read_reply_line(&mut reader), abc_service::proto::GREETING);
     {
         let mut w = &stream;
         w.write_all(format!("xi {xi}\n").as_bytes()).unwrap();
@@ -225,7 +225,7 @@ fn unterminated_final_line_before_half_close_still_yields_a_verdict() {
 
     let stream = TcpStream::connect(&addr).unwrap();
     let mut reader = BufReader::new(stream.try_clone().unwrap());
-    assert_eq!(read_reply_line(&mut reader), "abc-service v1");
+    assert_eq!(read_reply_line(&mut reader), abc_service::proto::GREETING);
     {
         let mut w = &stream;
         w.write_all(format!("xi {xi}\n").as_bytes()).unwrap();
@@ -272,7 +272,7 @@ fn invalid_xi_line_is_a_protocol_error() {
     let addr = handle.addr().to_string();
     let stream = TcpStream::connect(&addr).unwrap();
     let mut reader = BufReader::new(stream.try_clone().unwrap());
-    assert_eq!(read_reply_line(&mut reader), "abc-service v1");
+    assert_eq!(read_reply_line(&mut reader), abc_service::proto::GREETING);
     {
         let mut w = &stream;
         w.write_all(b"xi 1/2\n").unwrap(); // Xi must exceed 1
@@ -328,7 +328,7 @@ fn prune_horizon_bounds_session_memory_with_identical_verdicts() {
     let (body, end_line) = text.rsplit_once("end").expect("stream text ends with end");
     let stream = TcpStream::connect(&addr).unwrap();
     let mut reader = BufReader::new(stream.try_clone().unwrap());
-    assert_eq!(read_reply_line(&mut reader), "abc-service v1");
+    assert_eq!(read_reply_line(&mut reader), abc_service::proto::GREETING);
     {
         let mut w = &stream;
         w.write_all(body.as_bytes()).unwrap();
@@ -408,7 +408,7 @@ fn stale_send_reference_beyond_horizon_is_a_clean_protocol_error() {
 
     let stream = TcpStream::connect(&addr).unwrap();
     let mut reader = BufReader::new(stream.try_clone().unwrap());
-    assert_eq!(read_reply_line(&mut reader), "abc-service v1");
+    assert_eq!(read_reply_line(&mut reader), abc_service::proto::GREETING);
     {
         let mut w = &stream;
         w.write_all(b"abc-trace v1\nprocesses 2\nfaulty\n").unwrap();
@@ -452,7 +452,7 @@ fn stale_send_reference_beyond_horizon_is_a_clean_protocol_error() {
     // horizon (a prompt ping-pong chain names only the previous event).
     let stream = TcpStream::connect(&addr).unwrap();
     let mut reader = BufReader::new(stream.try_clone().unwrap());
-    assert_eq!(read_reply_line(&mut reader), "abc-service v1");
+    assert_eq!(read_reply_line(&mut reader), abc_service::proto::GREETING);
     {
         let mut w = &stream;
         w.write_all(b"abc-trace v1\nprocesses 2\nfaulty\n").unwrap();

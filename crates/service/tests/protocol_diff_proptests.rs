@@ -1,0 +1,217 @@
+//! Differential property tests for the two wire framings: random
+//! clocksync and gossip traces fed over a text v1 session and a binary v2
+//! session must yield **byte-identical verdict streams** — and both must
+//! match the offline monitor on the same trace. Alongside, the encoder
+//! round-trip property: `to_stream_binary` → `Trace::from_binary` rebuilds
+//! the same document as the text stream.
+//!
+//! The v1 stream carries per-event `ok`/echoed-violation replies and the
+//! v2 stream coalesced `ack`s; the *verdict stream* (violation latches in
+//! order, deduplicated of v1's per-event echoes, plus the `end` line) is
+//! the protocol-independent content the differential assertions compare.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::OnceLock;
+
+use abc_core::{ProcessId, Xi};
+use abc_service::proto::offline_verdict;
+use abc_service::server::{start, ServerConfig, ServerHandle};
+use abc_service::{feed_stream_binary, feed_stream_text};
+use abc_sim::delay::BandDelay;
+use abc_sim::{binio, Context, Process, RunLimits, Simulation, Trace};
+use proptest::prelude::*;
+
+/// One shared loopback server for every proptest case (spawning a server
+/// per case would dominate the runtime).
+fn server_addr() -> String {
+    static SERVER: OnceLock<ServerHandle> = OnceLock::new();
+    SERVER
+        .get_or_init(|| start(ServerConfig::default()).expect("bind loopback server"))
+        .addr()
+        .to_string()
+}
+
+fn clocksync_trace(lo: u64, hi: u64, seed: u64, events: usize) -> Trace {
+    let mut sim = Simulation::new(BandDelay::new(lo, hi, seed));
+    for _ in 0..4 {
+        sim.add_process(abc_clocksync::TickGen::new(4, 1));
+    }
+    sim.run(RunLimits {
+        max_events: events,
+        max_time: u64::MAX,
+    });
+    sim.trace().clone()
+}
+
+/// A randomized gossiping process (same shape as the simulator's own
+/// property tests): forwards a decremented token to an arithmetically
+/// chosen peer, so topologies and message depths vary per case.
+#[derive(Clone, Debug)]
+struct Gossip {
+    fanout: usize,
+    state: u64,
+}
+
+impl Process<u64> for Gossip {
+    fn on_init(&mut self, ctx: &mut Context<'_, u64>) {
+        let n = ctx.num_processes();
+        for i in 0..self.fanout.min(n) {
+            ctx.send(ProcessId((ctx.me().0 + i + 1) % n), 8);
+        }
+        ctx.set_label(self.state);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, u64>, from: ProcessId, msg: &u64) {
+        self.state = self.state.wrapping_add(*msg);
+        if *msg > 0 {
+            let n = ctx.num_processes();
+            ctx.send(ProcessId((from.0 + self.state as usize) % n), msg - 1);
+        }
+        ctx.set_label(self.state);
+    }
+}
+
+fn gossip_trace(n: usize, fanout: usize, lo: u64, hi: u64, seed: u64, events: usize) -> Trace {
+    let mut sim = Simulation::new(BandDelay::new(lo, hi, seed));
+    for _ in 0..n {
+        sim.add_process(Gossip { fanout, state: 0 });
+    }
+    sim.run(RunLimits {
+        max_events: events,
+        max_time: u64::MAX,
+    });
+    sim.trace().clone()
+}
+
+fn read_line(reader: &mut impl BufRead) -> String {
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    line.trim_end().to_string()
+}
+
+/// Collects one document's reply transcript (everything after the
+/// greeting/handshake, through the `end` line) into the verdict stream:
+/// violation lines deduplicated of consecutive repeats (v1 echoes the
+/// latched violation per event; v2 sends it once) plus the `end` line.
+fn verdict_stream(reader: &mut impl BufRead, progress: &str) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    loop {
+        let line = read_line(reader);
+        if line.starts_with("violation ") {
+            if out.last().map(String::as_str) != Some(line.as_str()) {
+                out.push(line);
+            }
+        } else if line.starts_with("end ") {
+            out.push(line);
+            return out;
+        } else {
+            assert!(
+                line.starts_with(progress),
+                "unexpected reply {line:?} (expected {progress}*)"
+            );
+        }
+    }
+}
+
+/// Feeds one document over a raw v1 text session; returns the verdict
+/// stream.
+fn raw_feed_text(addr: &str, xi: &Xi, doc: &str) -> Vec<String> {
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    assert_eq!(read_line(&mut reader), abc_service::proto::GREETING);
+    let mut w = &stream;
+    w.write_all(format!("xi {xi}\n").as_bytes()).unwrap();
+    w.write_all(doc.as_bytes()).unwrap();
+    verdict_stream(&mut reader, "ok ")
+}
+
+/// Feeds one document over a raw v2 binary session (full `proto v2`
+/// handshake, xi as a binary record); returns the verdict stream.
+fn raw_feed_binary(addr: &str, xi: &Xi, doc: &[u8]) -> Vec<String> {
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    assert_eq!(read_line(&mut reader), abc_service::proto::GREETING);
+    let mut w = &stream;
+    w.write_all(format!("{}\n", abc_service::proto::PROTO_V2_REQUEST).as_bytes())
+        .unwrap();
+    assert_eq!(read_line(&mut reader), abc_service::proto::PROTO_V2_OK);
+    w.write_all(&binio::xi_frame(&xi.to_string())).unwrap();
+    w.write_all(doc).unwrap();
+    verdict_stream(&mut reader, "ack ")
+}
+
+/// The core differential assertion: text v1, binary v2 (raw sessions and
+/// the client helpers), and the offline monitor all agree byte for byte.
+fn assert_protocols_agree(trace: &Trace, xi: &Xi) {
+    let addr = server_addr();
+    let offline = offline_verdict(trace, xi).unwrap().to_string();
+    let text = trace.to_stream_text();
+    let bin = trace.to_stream_binary();
+
+    let v1 = raw_feed_text(&addr, xi, &text);
+    let v2 = raw_feed_binary(&addr, xi, &bin);
+    assert_eq!(v1, v2, "verdict streams diverged between v1 and v2");
+    assert_eq!(
+        v1.last().unwrap(),
+        &format!("end {offline}"),
+        "online end line diverged from the offline monitor"
+    );
+
+    // The client helpers reach the same verdict through both framings.
+    let out_text = feed_stream_text(&addr, xi, &text).unwrap();
+    let out_bin = feed_stream_binary(&addr, xi, &bin).unwrap();
+    assert_eq!(out_text.verdict.to_string(), offline);
+    assert_eq!(out_bin.verdict.to_string(), offline);
+    // Batched acks cover every event exactly.
+    assert_eq!(out_bin.acked_events, trace.events().len());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random clocksync bands (admissible and violating alike): the two
+    /// framings and the offline monitor agree byte for byte.
+    #[test]
+    fn clocksync_verdicts_identical_across_protocols(
+        lo in 1u64..12,
+        spread in 0u64..12,
+        seed in any::<u64>(),
+        events in 120usize..400,
+    ) {
+        let trace = clocksync_trace(lo, lo + spread, seed, events);
+        let xi = Xi::from_fraction(3, 2);
+        assert_protocols_agree(&trace, &xi);
+    }
+
+    /// Random gossip topologies: same differential guarantee on a
+    /// non-clocksync workload with labels and varied fan-out.
+    #[test]
+    fn gossip_verdicts_identical_across_protocols(
+        n in 2usize..6,
+        fanout in 1usize..4,
+        lo in 1u64..15,
+        spread in 0u64..20,
+        seed in any::<u64>(),
+    ) {
+        let trace = gossip_trace(n, fanout, lo, lo + spread, seed, 300);
+        let xi = Xi::from_fraction(5, 2);
+        assert_protocols_agree(&trace, &xi);
+    }
+
+    /// Encoder round trip: binary encode → decode rebuilds the same
+    /// document as the text stream (stream-text rendering is the
+    /// canonical form both framings must preserve).
+    #[test]
+    fn binary_roundtrips_to_the_text_stream(
+        lo in 1u64..12,
+        spread in 0u64..12,
+        seed in any::<u64>(),
+        events in 50usize..300,
+    ) {
+        let trace = clocksync_trace(lo, lo + spread, seed, events);
+        let rebuilt = Trace::from_binary(&trace.to_stream_binary()).unwrap();
+        prop_assert_eq!(rebuilt.to_stream_text(), trace.to_stream_text());
+        prop_assert_eq!(rebuilt.to_stream_binary(), trace.to_stream_binary());
+    }
+}

@@ -69,16 +69,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod binio;
 pub mod delay;
 mod engine;
 mod process;
 pub mod textio;
 mod trace;
 
+pub use binio::{FrameAssembler, FrameWriter, RecordDecoder, WireRecord, DEFAULT_MAX_FRAME_LEN};
 pub use delay::{DelayModel, Delivery};
 pub use engine::{RunLimits, RunStats, Simulation};
 pub use process::{Context, CrashAt, Mute, Process};
 pub use textio::{
-    EventFeed, LineAssembler, ParsedLine, TraceLineParser, TraceTextError, DEFAULT_MAX_LINE_LEN,
+    EventFeed, LineAssembler, ParsedLine, TraceLineParser, TraceRecord, TraceTextError,
+    DEFAULT_MAX_LINE_LEN,
 };
 pub use trace::{Trace, TraceEvent, TraceMessage};

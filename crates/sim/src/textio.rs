@@ -72,9 +72,21 @@
 //! indices are in range, events appear in `seq` order, wake-ups precede
 //! receives at each process, and event↔message cross references agree — a
 //! parsed trace is as trustworthy as a captured one.
+//!
+//! # One validation core, two framings
+//!
+//! The grammar above is a *framing* of a small record language
+//! ([`TraceRecord`]): process count, faulty set, optional count
+//! declarations, events, messages, `end`. [`TraceLineParser::feed_line`]
+//! parses a text line into a record and hands it to
+//! [`TraceLineParser::feed_record`], which owns every semantic rule. The
+//! binary wire framing ([`crate::binio`]) decodes frames into the same
+//! records and feeds them through the same entry point, so the two
+//! framings accept exactly the same documents by construction.
 
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::hash::BuildHasherDefault;
 use std::io::Read;
 
 use abc_core::ProcessId;
@@ -268,6 +280,15 @@ impl LineAssembler {
     pub fn partial_len(&self) -> usize {
         self.partial.len()
     }
+
+    /// Whether any input is buffered: completed lines not yet drained via
+    /// [`LineAssembler::next_line`], or partial bytes of an unterminated
+    /// line. The `abc-service` protocol switch refuses to enter binary
+    /// framing while text is still in flight, via this check.
+    #[must_use]
+    pub fn has_buffered(&self) -> bool {
+        !self.ready.is_empty() || !self.partial.is_empty()
+    }
 }
 
 /// What a single fed line meant, for callers that act per line (the
@@ -326,6 +347,115 @@ struct PendingDelivery {
     recv_time: u64,
 }
 
+/// One semantic record of the trace grammar, independent of framing.
+///
+/// Text lines parse into records ([`TraceLineParser::feed_line`]) and
+/// binary frames decode into records ([`crate::binio`]); both are applied
+/// through [`TraceLineParser::feed_record`], which owns every validation
+/// rule — so any framing built on this type accepts exactly the documents
+/// the text format accepts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceRecord<'a> {
+    /// `processes <n>` — the process count (first record of a document).
+    Processes(usize),
+    /// `faulty <p>…` — the faulty process indices (second record).
+    Faulty(&'a [usize]),
+    /// `events <n>` — declared event count (optional, before any body
+    /// record).
+    DeclaredEvents(usize),
+    /// `messages <n>` — declared message count (optional, before any body
+    /// record).
+    DeclaredMessages(usize),
+    /// An `e` record.
+    Event(EventRecord),
+    /// An `m` record.
+    Message(MessageRecord),
+    /// `end` — the document is complete.
+    End,
+}
+
+impl TraceRecord<'_> {
+    /// Short grammar-level name, for state-mismatch error messages.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceRecord::Processes(_) => "`processes`",
+            TraceRecord::Faulty(_) => "`faulty`",
+            TraceRecord::DeclaredEvents(_) => "`events` count",
+            TraceRecord::DeclaredMessages(_) => "`messages` count",
+            TraceRecord::Event(_) => "`e`",
+            TraceRecord::Message(_) => "`m`",
+            TraceRecord::End => "`end`",
+        }
+    }
+}
+
+/// The fields of one `e` record (see the module grammar).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Global sequence number. `None` means implicit — the framing does
+    /// not carry it and the parser assigns the next expected value (the
+    /// binary framing); `Some` is validated against that value (text).
+    pub seq: Option<usize>,
+    /// Owning process index.
+    pub process: usize,
+    /// Occurrence time.
+    pub time: u64,
+    /// Index of the delivering message record, `None` for wake-ups.
+    pub trigger: Option<usize>,
+    /// The received-but-not-processed flag.
+    pub received_only: bool,
+    /// Optional instrumentation label.
+    pub label: Option<u64>,
+    /// The distinguished-event flag.
+    pub distinguished: bool,
+}
+
+/// The fields of one `m` record (see the module grammar).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MessageRecord {
+    /// Sender process index.
+    pub from: usize,
+    /// Receiver process index.
+    pub to: usize,
+    /// Trace-event index of the sending step.
+    pub send_event: usize,
+    /// Trace-event index of the receive (`None` while in flight/dropped).
+    pub recv_event: Option<usize>,
+    /// Send time.
+    pub send_time: u64,
+    /// Receive time (`None` while in flight/dropped).
+    pub recv_time: Option<u64>,
+}
+
+/// Hasher for the streaming-mode bookkeeping maps, whose keys are small
+/// dense event/message indices. The default SipHash costs more than an
+/// entire decoded binary event on the ingestion hot path; a multiply-mix
+/// is ample here — crafted collisions only slow the offending session's
+/// own shard, and per-tick work is bounded upstream.
+#[derive(Clone, Copy, Debug, Default)]
+struct IndexHasher(u64);
+
+impl std::hash::Hasher for IndexHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        }
+    }
+
+    fn write_usize(&mut self, i: usize) {
+        self.0 = (self.0 ^ i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+
+    fn finish(&self) -> u64 {
+        // Fold the multiply's high-bit entropy down into the low bits the
+        // table indexes with.
+        self.0 ^ (self.0 >> 32)
+    }
+}
+
+type IndexMap<V> = HashMap<usize, V, BuildHasherDefault<IndexHasher>>;
+
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum PState {
     ExpectHeader,
@@ -374,8 +504,8 @@ pub struct TraceLineParser {
     /// compact the sidecar below a prune horizon via
     /// [`TraceLineParser::forget_events_below`]).
     meta_base: usize,
-    pending: HashMap<usize, PendingDelivery>,
-    expected_at: HashMap<usize, usize>,
+    pending: IndexMap<PendingDelivery>,
+    expected_at: IndexMap<usize>,
 }
 
 impl TraceLineParser {
@@ -398,8 +528,8 @@ impl TraceLineParser {
             messages: Vec::new(),
             event_meta: Vec::new(),
             meta_base: 0,
-            pending: HashMap::new(),
-            expected_at: HashMap::new(),
+            pending: IndexMap::default(),
+            expected_at: IndexMap::default(),
         }
     }
 
@@ -431,6 +561,19 @@ impl TraceLineParser {
     #[must_use]
     pub fn with_max_processes(mut self, cap: usize) -> TraceLineParser {
         self.max_processes = Some(cap);
+        self
+    }
+
+    /// Skips the `abc-trace <version>` header requirement, for framings
+    /// that carry the version out of band (the binary wire framing
+    /// negotiates its version before the first frame). The first record is
+    /// then the process count. Only meaningful for [`TraceRecord`] feeds;
+    /// text documents always start with the header line.
+    #[must_use]
+    pub fn without_header(mut self) -> TraceLineParser {
+        if self.state == PState::ExpectHeader {
+            self.state = PState::ExpectProcesses;
+        }
         self
     }
 
@@ -510,7 +653,9 @@ impl TraceLineParser {
         }
     }
 
-    /// Feeds one line (without its newline).
+    /// Feeds one line (without its newline). The line is parsed into a
+    /// [`TraceRecord`] and applied through the same validation core as
+    /// [`TraceLineParser::feed_record`].
     ///
     /// # Errors
     ///
@@ -536,37 +681,71 @@ impl TraceLineParser {
             }
             PState::ExpectProcesses => {
                 let n = Self::scalar(ln, l, "processes")?;
-                if let Some(cap) = self.max_processes {
-                    if n > cap {
-                        return err(ln, format!("processes {n} exceeds the cap of {cap}"));
-                    }
-                }
-                self.num_processes = n;
-                self.state = PState::ExpectFaulty;
-                Ok(ParsedLine::Meta)
+                self.apply_processes(ln, n)
             }
             PState::ExpectFaulty => {
                 let rest = match l.strip_prefix("faulty") {
                     Some(rest) => rest,
                     None => return err(ln, format!("expected `faulty …`, got {l:?}")),
                 };
-                self.faulty = vec![false; self.num_processes];
+                let mut indices = Vec::new();
                 for field in rest.split_whitespace() {
-                    let p: usize = match field.parse() {
-                        Ok(p) => p,
+                    match field.parse() {
+                        Ok(p) => indices.push(p),
                         Err(e) => return err(ln, format!("faulty index {field:?}: {e}")),
-                    };
-                    if p >= self.num_processes {
-                        return err(ln, format!("faulty index {p} out of range"));
                     }
-                    self.faulty[p] = true;
                 }
-                self.has_init = vec![false; self.num_processes];
-                self.state = PState::Body;
-                Ok(ParsedLine::Topology)
+                self.apply_faulty(ln, &indices)
             }
             PState::Body => self.feed_body_line(ln, l),
             PState::Done => err(ln, format!("trailing content after `end`: {l:?}")),
+        }
+    }
+
+    /// Feeds one framing-independent record — the single entry point every
+    /// framing funnels into ([`TraceLineParser::feed_line`] after text
+    /// parsing, the binary decoder in [`crate::binio`] directly). Each
+    /// record counts toward [`TraceLineParser::lines_fed`] and appears as
+    /// the `line` of any reported error, so binary callers get 1-based
+    /// record numbers for free.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceTextError`] on any out-of-order or inconsistent record,
+    /// under exactly the rules the text path enforces. Feeding a record to
+    /// a parser still expecting the text header fails; construct with
+    /// [`TraceLineParser::without_header`] for headerless framings.
+    pub fn feed_record(&mut self, rec: TraceRecord<'_>) -> Result<ParsedLine, TraceTextError> {
+        self.line_no += 1;
+        let ln = self.line_no;
+        match self.state {
+            PState::ExpectHeader => err(ln, "missing `abc-trace <version>` header"),
+            PState::ExpectProcesses => match rec {
+                TraceRecord::Processes(n) => self.apply_processes(ln, n),
+                other => err(
+                    ln,
+                    format!("expected `processes <count>`, got {} record", other.kind()),
+                ),
+            },
+            PState::ExpectFaulty => match rec {
+                TraceRecord::Faulty(indices) => self.apply_faulty(ln, indices),
+                other => err(
+                    ln,
+                    format!("expected `faulty …`, got {} record", other.kind()),
+                ),
+            },
+            PState::Body => match rec {
+                TraceRecord::DeclaredEvents(n) => self.apply_declared(ln, "events", n),
+                TraceRecord::DeclaredMessages(n) => self.apply_declared(ln, "messages", n),
+                TraceRecord::Event(e) => self.apply_event(ln, &e),
+                TraceRecord::Message(m) => self.apply_message(ln, &m),
+                TraceRecord::End => self.apply_end(ln),
+                other => err(
+                    ln,
+                    format!("expected an `e`/`m`/`end` record, got {}", other.kind()),
+                ),
+            },
+            PState::Done => err(ln, format!("trailing {} record after `end`", rec.kind())),
         }
     }
 
@@ -578,53 +757,18 @@ impl TraceLineParser {
                         return err(ln, format!("`{first}` count must precede all e/m lines"));
                     }
                     let n = Self::scalar(ln, l, first)?;
-                    let slot = if first == "events" {
-                        &mut self.declared_events
-                    } else {
-                        &mut self.declared_messages
-                    };
-                    if slot.is_some() {
-                        return err(ln, format!("duplicate `{first}` count"));
-                    }
-                    *slot = Some(n);
-                    return Ok(ParsedLine::Meta);
+                    return self.apply_declared(ln, first, n);
                 }
                 "e" => {
-                    self.seen_body_line = true;
-                    return self.feed_event_line(ln, l);
+                    let rec = Self::parse_event_line(ln, l)?;
+                    return self.apply_event(ln, &rec);
                 }
                 "m" => {
-                    self.seen_body_line = true;
-                    return self.feed_message_line(ln, l);
+                    let rec = Self::parse_message_line(ln, l)?;
+                    return self.apply_message(ln, &rec);
                 }
                 "end" if l == "end" => {
-                    if let Some(n) = self.declared_events {
-                        if n != self.events_seen {
-                            return err(
-                                ln,
-                                format!("declared {n} events, saw {}", self.events_seen),
-                            );
-                        }
-                    }
-                    if let Some(n) = self.declared_messages {
-                        if n != self.messages_seen {
-                            return err(
-                                ln,
-                                format!("declared {n} messages, saw {}", self.messages_seen),
-                            );
-                        }
-                    }
-                    if let Some((mi, p)) = self.pending.iter().next() {
-                        return err(
-                            ln,
-                            format!(
-                                "message {mi} declares receive event {}, which never arrived",
-                                p.recv_event
-                            ),
-                        );
-                    }
-                    self.state = PState::Done;
-                    return Ok(ParsedLine::End);
+                    return self.apply_end(ln);
                 }
                 _ => {}
             }
@@ -632,42 +776,151 @@ impl TraceLineParser {
         err(ln, format!("expected an `e`/`m`/`end` line, got {l:?}"))
     }
 
-    fn feed_event_line(&mut self, ln: usize, l: &str) -> Result<ParsedLine, TraceTextError> {
+    fn apply_processes(&mut self, ln: usize, n: usize) -> Result<ParsedLine, TraceTextError> {
+        if let Some(cap) = self.max_processes {
+            if n > cap {
+                return err(ln, format!("processes {n} exceeds the cap of {cap}"));
+            }
+        }
+        self.num_processes = n;
+        self.state = PState::ExpectFaulty;
+        Ok(ParsedLine::Meta)
+    }
+
+    fn apply_faulty(&mut self, ln: usize, indices: &[usize]) -> Result<ParsedLine, TraceTextError> {
+        self.faulty = vec![false; self.num_processes];
+        for &p in indices {
+            if p >= self.num_processes {
+                return err(ln, format!("faulty index {p} out of range"));
+            }
+            self.faulty[p] = true;
+        }
+        self.has_init = vec![false; self.num_processes];
+        self.state = PState::Body;
+        Ok(ParsedLine::Topology)
+    }
+
+    fn apply_declared(
+        &mut self,
+        ln: usize,
+        key: &str,
+        n: usize,
+    ) -> Result<ParsedLine, TraceTextError> {
+        if self.seen_body_line {
+            return err(ln, format!("`{key}` count must precede all e/m lines"));
+        }
+        let slot = if key == "events" {
+            &mut self.declared_events
+        } else {
+            &mut self.declared_messages
+        };
+        if slot.is_some() {
+            return err(ln, format!("duplicate `{key}` count"));
+        }
+        *slot = Some(n);
+        Ok(ParsedLine::Meta)
+    }
+
+    fn apply_end(&mut self, ln: usize) -> Result<ParsedLine, TraceTextError> {
+        if let Some(n) = self.declared_events {
+            if n != self.events_seen {
+                return err(ln, format!("declared {n} events, saw {}", self.events_seen));
+            }
+        }
+        if let Some(n) = self.declared_messages {
+            if n != self.messages_seen {
+                return err(
+                    ln,
+                    format!("declared {n} messages, saw {}", self.messages_seen),
+                );
+            }
+        }
+        if let Some((mi, p)) = self.pending.iter().next() {
+            return err(
+                ln,
+                format!(
+                    "message {mi} declares receive event {}, which never arrived",
+                    p.recv_event
+                ),
+            );
+        }
+        self.state = PState::Done;
+        Ok(ParsedLine::End)
+    }
+
+    fn parse_event_line(ln: usize, l: &str) -> Result<EventRecord, TraceTextError> {
         let fields: Vec<&str> = l.split_whitespace().collect();
         if fields.len() != 8 || fields[0] != "e" {
             return err(ln, format!("expected `e` line with 7 fields, got {l:?}"));
         }
-        let seq = at(
-            ln,
-            opt_usize(fields[1]).and_then(|v| v.ok_or("seq required".into())),
-        )?;
-        if seq != self.events_seen {
-            return err(
+        Ok(EventRecord {
+            seq: Some(at(
                 ln,
-                format!("event seq {seq}, expected {}", self.events_seen),
-            );
+                opt_usize(fields[1]).and_then(|v| v.ok_or("seq required".into())),
+            )?),
+            process: at(
+                ln,
+                opt_usize(fields[2]).and_then(|v| v.ok_or("process required".into())),
+            )?,
+            time: at(
+                ln,
+                opt_u64(fields[3]).and_then(|v| v.ok_or("time required".into())),
+            )?,
+            trigger: at(ln, opt_usize(fields[4]))?,
+            received_only: at(ln, flag(fields[5]))?,
+            label: at(ln, opt_u64(fields[6]))?,
+            distinguished: at(ln, flag(fields[7]))?,
+        })
+    }
+
+    fn parse_message_line(ln: usize, l: &str) -> Result<MessageRecord, TraceTextError> {
+        let fields: Vec<&str> = l.split_whitespace().collect();
+        if fields.len() != 7 || fields[0] != "m" {
+            return err(ln, format!("expected `m` line with 6 fields, got {l:?}"));
+        }
+        Ok(MessageRecord {
+            from: at(
+                ln,
+                opt_usize(fields[1]).and_then(|v| v.ok_or("from required".into())),
+            )?,
+            to: at(
+                ln,
+                opt_usize(fields[2]).and_then(|v| v.ok_or("to required".into())),
+            )?,
+            send_event: at(
+                ln,
+                opt_usize(fields[3]).and_then(|v| v.ok_or("send_event required".into())),
+            )?,
+            recv_event: at(ln, opt_usize(fields[4]))?,
+            send_time: at(
+                ln,
+                opt_u64(fields[5]).and_then(|v| v.ok_or("send_time required".into())),
+            )?,
+            recv_time: at(ln, opt_u64(fields[6]))?,
+        })
+    }
+
+    fn apply_event(&mut self, ln: usize, rec: &EventRecord) -> Result<ParsedLine, TraceTextError> {
+        self.seen_body_line = true;
+        let seq = self.events_seen;
+        if let Some(s) = rec.seq {
+            if s != seq {
+                return err(ln, format!("event seq {s}, expected {seq}"));
+            }
         }
         if let Some(n) = self.declared_events {
             if seq >= n {
                 return err(ln, format!("more than the declared {n} e lines"));
             }
         }
-        let process = at(
-            ln,
-            opt_usize(fields[2]).and_then(|v| v.ok_or("process required".into())),
-        )?;
-        if process >= self.num_processes {
-            return err(ln, format!("process {process} out of range"));
+        if rec.process >= self.num_processes {
+            return err(ln, format!("process {} out of range", rec.process));
         }
-        let process = ProcessId(process);
-        let time = at(
-            ln,
-            opt_u64(fields[3]).and_then(|v| v.ok_or("time required".into())),
-        )?;
-        let trigger = at(ln, opt_usize(fields[4]))?;
-        let received_only = at(ln, flag(fields[5]))?;
-        let label = at(ln, opt_u64(fields[6]))?;
-        let distinguished = at(ln, flag(fields[7]))?;
+        let process = ProcessId(rec.process);
+        let time = rec.time;
+        let trigger = rec.trigger;
+        let (received_only, label, distinguished) =
+            (rec.received_only, rec.label, rec.distinguished);
         if self.events_seen > 0 && time < self.last_time {
             return err(ln, "event times must be non-decreasing");
         }
@@ -772,32 +1025,26 @@ impl TraceLineParser {
         Ok(ParsedLine::Event(feed))
     }
 
-    fn feed_message_line(&mut self, ln: usize, l: &str) -> Result<ParsedLine, TraceTextError> {
-        let fields: Vec<&str> = l.split_whitespace().collect();
-        if fields.len() != 7 || fields[0] != "m" {
-            return err(ln, format!("expected `m` line with 6 fields, got {l:?}"));
-        }
+    fn apply_message(
+        &mut self,
+        ln: usize,
+        rec: &MessageRecord,
+    ) -> Result<ParsedLine, TraceTextError> {
+        self.seen_body_line = true;
         let index = self.messages_seen;
         if let Some(n) = self.declared_messages {
             if index >= n {
                 return err(ln, format!("more than the declared {n} m lines"));
             }
         }
-        let from = at(
-            ln,
-            opt_usize(fields[1]).and_then(|v| v.ok_or("from required".into())),
-        )?;
-        let to = at(
-            ln,
-            opt_usize(fields[2]).and_then(|v| v.ok_or("to required".into())),
-        )?;
+        let (from, to) = (rec.from, rec.to);
         if from >= self.num_processes || to >= self.num_processes {
-            return err(ln, format!("endpoint out of range in {l:?}"));
+            return err(
+                ln,
+                format!("endpoint out of range in message {index} (from p{from} to p{to})"),
+            );
         }
-        let send_event = at(
-            ln,
-            opt_usize(fields[3]).and_then(|v| v.ok_or("send_event required".into())),
-        )?;
+        let send_event = rec.send_event;
         if send_event >= self.events_seen {
             return err(
                 ln,
@@ -807,12 +1054,7 @@ impl TraceLineParser {
                 ),
             );
         }
-        let recv_event = at(ln, opt_usize(fields[4]))?;
-        let send_time = at(
-            ln,
-            opt_u64(fields[5]).and_then(|v| v.ok_or("send_time required".into())),
-        )?;
-        let recv_time = at(ln, opt_u64(fields[6]))?;
+        let (recv_event, send_time, recv_time) = (rec.recv_event, rec.send_time, rec.recv_time);
         if recv_event.is_some() != recv_time.is_some() {
             return err(ln, "recv_event and recv_time must both be set or both `-`");
         }
