@@ -1,4 +1,5 @@
 //! The `abc` CLI entry point; all logic lives in `abc_harness::cli`.
+#![forbid(unsafe_code)]
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

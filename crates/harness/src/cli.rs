@@ -44,6 +44,7 @@ USAGE:
   abc loadgen --addr A [--connections C] [--traces N] [--preset NAME]
               [--delay SPEC] [--xi XI] [--max-events E] [--seed S]
               [--verify BOOL] [--binary]
+  abc lint    [--root DIR] [--json] [--rule R1[,R2…]]...
 
 DELAY SPECS (numeric fields accept `v` or `from..to..step` grids):
   fixed:D | band:LO:HI | growing:LO:HI:TAU | span:LO:HI:VICTIM
@@ -52,7 +53,7 @@ EXIT CODES: 0 admissible/ok, 1 usage or input error, 2 violation found.";
 
 /// Flags that are pure switches: present (true) or absent (false), never
 /// followed by a value.
-const SWITCH_FLAGS: &[&str] = &["binary"];
+const SWITCH_FLAGS: &[&str] = &["binary", "json"];
 
 /// Parsed flags: `--key value` pairs (repeatable) plus positionals.
 pub(crate) struct Args {
@@ -156,6 +157,7 @@ pub fn run(args: &[String]) -> Result<i32, String> {
         "serve" => crate::cli_service::cmd_serve(&Args::parse(rest)?),
         "feed" => crate::cli_service::cmd_feed(&Args::parse(rest)?),
         "loadgen" => crate::cli_service::cmd_loadgen(&Args::parse(rest)?),
+        "lint" => crate::cli_lint::cmd_lint(&Args::parse(rest)?),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(EXIT_OK)

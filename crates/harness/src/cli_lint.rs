@@ -1,0 +1,59 @@
+//! The `abc lint` subcommand: runs the `abc-lint` static analysis pass
+//! (rule catalog R1–R5, see `crates/lint`) over a workspace tree and
+//! exits nonzero on findings — the local mirror of the CI `lint` job.
+
+use std::path::PathBuf;
+
+use abc_lint::{lint_root, RuleFilter};
+
+use crate::cli::{Args, EXIT_OK, EXIT_VIOLATION};
+
+pub(crate) fn cmd_lint(args: &Args) -> Result<i32, String> {
+    args.known(&["root", "json", "rule"])?;
+    args.no_positionals()?;
+    let json = args.parsed("json", false)?;
+    let filter = match args.many("rule") {
+        [] => RuleFilter::all(),
+        rules => {
+            // `--rule R1 --rule R3` and `--rule R1,R3` both work.
+            let names: Vec<&str> = rules
+                .iter()
+                .flat_map(|r| r.split(','))
+                .map(str::trim)
+                .filter(|r| !r.is_empty())
+                .collect();
+            RuleFilter::only(&names)?
+        }
+    };
+    let root = match args.one("root")? {
+        Some(r) => PathBuf::from(r),
+        None => discover_root()?,
+    };
+    let report = lint_root(&root, &filter)?;
+    if json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    Ok(if report.is_clean() {
+        EXIT_OK
+    } else {
+        EXIT_VIOLATION
+    })
+}
+
+/// The nearest ancestor of the current directory containing a
+/// `lint.conf` (so `abc lint` works from any crate dir); falls back to
+/// the current directory itself.
+fn discover_root() -> Result<PathBuf, String> {
+    let cwd = std::env::current_dir().map_err(|e| format!("getting current dir: {e}"))?;
+    let mut dir = cwd.clone();
+    loop {
+        if dir.join("lint.conf").is_file() {
+            return Ok(dir);
+        }
+        if !dir.pop() {
+            return Ok(cwd);
+        }
+    }
+}

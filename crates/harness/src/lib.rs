@@ -70,6 +70,7 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+mod cli_lint;
 mod cli_service;
 pub mod spec;
 pub mod sweep;

@@ -1,0 +1,10 @@
+//! R1 fixture: panic-prone constructs on an untrusted-input path.
+
+pub fn f(v: &[u32]) -> u32 {
+    let x = *v.first().unwrap();
+    let y: u32 = "7".parse().expect("seven");
+    if v.len() == 1 {
+        panic!("singleton");
+    }
+    v[0] + x + y
+}

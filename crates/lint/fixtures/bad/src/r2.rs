@@ -1,0 +1,5 @@
+//! R2 fixture: an `unsafe` occurrence with no registry entry.
+
+pub fn deref(p: *const u8) -> u8 {
+    unsafe { *p }
+}

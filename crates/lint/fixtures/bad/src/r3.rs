@@ -1,0 +1,18 @@
+//! R3 fixture: inverted acquisition order, then blocking I/O under a
+//! lock.
+
+use std::io::Write;
+use std::sync::Mutex;
+
+pub fn inverted(outer: &Mutex<u32>, inner: &Mutex<u32>) {
+    let i = inner.lock();
+    let o = outer.lock();
+    drop(o);
+    drop(i);
+}
+
+pub fn blocked(outer: &Mutex<u32>, w: &mut impl Write) {
+    let o = outer.lock();
+    let _ = w.write_all(b"x");
+    drop(o);
+}

@@ -1,0 +1,7 @@
+//! R4 fixture: a strong ordering with no justification comment.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub fn observe(b: &AtomicBool) -> bool {
+    b.load(Ordering::SeqCst)
+}

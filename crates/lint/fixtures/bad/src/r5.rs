@@ -1,0 +1,5 @@
+//! R5 fixture: a bare narrowing cast on a decode path.
+
+pub fn narrow(v: u64) -> u8 {
+    v as u8
+}

@@ -1,0 +1,259 @@
+//! `lint.conf` — the checked-in policy file driving the rule engine.
+//!
+//! One directive per line; `#` starts a comment; blank lines ignored.
+//! Paths are workspace-root-relative with forward slashes and match the
+//! named file or any file under the named directory.
+//!
+//! ```text
+//! untrusted <path>                  # R1/R5 apply to this file/dir
+//! lockscope <path>                  # R3 applies to this file/dir
+//! lock-level <n> <name> [<name>…]   # mutex idents at hierarchy level n
+//! lock-fn <n> <name>                # helper fn acquiring a level-n lock
+//! blocking <ident>                  # extend the blocking-call set
+//! exclude <path>                    # never walk into this path
+//! unsafe <path> -- <justification>  # sanction ONE unsafe occurrence
+//! allow R<k> <path> <needle…> -- <justification>
+//!                                   # suppress R<k> diagnostics in <path>
+//!                                   # on source lines containing <needle>
+//! ```
+//!
+//! `unsafe` and `allow` entries **must** carry a justification after
+//! `--`; entries that stop matching anything are themselves reported
+//! (rule `R0`), so the file can only shrink honestly.
+
+/// One sanctioned `unsafe` occurrence (rule R2).
+#[derive(Clone, Debug)]
+pub struct UnsafeEntry {
+    /// Workspace-relative path of the file holding the block.
+    pub path: String,
+    /// The written justification (after `--`).
+    pub justification: String,
+    /// 1-based `lint.conf` line, for stale-entry diagnostics.
+    pub conf_line: u32,
+}
+
+/// One allowlist entry suppressing diagnostics of a single rule.
+#[derive(Clone, Debug)]
+pub struct AllowEntry {
+    /// Rule id this entry suppresses (`"R1"` … `"R5"`).
+    pub rule: String,
+    /// Workspace-relative path the suppression applies to.
+    pub path: String,
+    /// Substring that must appear in the flagged source line.
+    pub needle: String,
+    /// The written justification (after `--`).
+    pub justification: String,
+    /// 1-based `lint.conf` line, for stale-entry diagnostics.
+    pub conf_line: u32,
+}
+
+/// Parsed `lint.conf`.
+#[derive(Clone, Debug, Default)]
+pub struct Config {
+    /// R1/R5 scope: untrusted-input files and directories.
+    pub untrusted: Vec<String>,
+    /// R3 scope: files and directories with lock-order checking.
+    pub lockscope: Vec<String>,
+    /// `(level, ident)` pairs; lower level = outermost lock.
+    pub lock_levels: Vec<(u32, String)>,
+    /// `(level, fn name)` helper functions that acquire a lock.
+    pub lock_fns: Vec<(u32, String)>,
+    /// Extra method/function names treated as blocking I/O by R3.
+    pub blocking: Vec<String>,
+    /// Paths the workspace walk skips entirely.
+    pub excludes: Vec<String>,
+    /// Sanctioned `unsafe` occurrences (R2).
+    pub unsafe_registry: Vec<UnsafeEntry>,
+    /// Diagnostic suppressions.
+    pub allows: Vec<AllowEntry>,
+}
+
+impl Config {
+    /// Parses the text of a `lint.conf`.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the offending line for unknown directives,
+    /// malformed levels, or missing `--` justifications.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut cfg = Config::default();
+        for (idx, raw) in text.lines().enumerate() {
+            let conf_line = u32::try_from(idx + 1).unwrap_or(u32::MAX);
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (directive, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+            let rest = rest.trim();
+            let fail = |msg: &str| Err(format!("lint.conf line {conf_line}: {msg}"));
+            match directive {
+                "untrusted" => match one_path(rest) {
+                    Some(p) => cfg.untrusted.push(p),
+                    None => return fail("expected `untrusted <path>`"),
+                },
+                "lockscope" => match one_path(rest) {
+                    Some(p) => cfg.lockscope.push(p),
+                    None => return fail("expected `lockscope <path>`"),
+                },
+                "exclude" => match one_path(rest) {
+                    Some(p) => cfg.excludes.push(p),
+                    None => return fail("expected `exclude <path>`"),
+                },
+                "blocking" => match one_path(rest) {
+                    Some(name) => cfg.blocking.push(name),
+                    None => return fail("expected `blocking <ident>`"),
+                },
+                "lock-level" => {
+                    let mut parts = rest.split_whitespace();
+                    let Some(level) = parts.next().and_then(|l| l.parse::<u32>().ok()) else {
+                        return fail("expected `lock-level <n> <name>…`");
+                    };
+                    let names: Vec<&str> = parts.collect();
+                    if names.is_empty() {
+                        return fail("lock-level needs at least one lock ident");
+                    }
+                    for name in names {
+                        cfg.lock_levels.push((level, name.to_string()));
+                    }
+                }
+                "lock-fn" => {
+                    let mut parts = rest.split_whitespace();
+                    let (Some(level), Some(name), None) = (
+                        parts.next().and_then(|l| l.parse::<u32>().ok()),
+                        parts.next(),
+                        parts.next(),
+                    ) else {
+                        return fail("expected `lock-fn <n> <name>`");
+                    };
+                    cfg.lock_fns.push((level, name.to_string()));
+                }
+                "unsafe" => {
+                    let Some((head, justification)) = split_justification(rest) else {
+                        return fail("unsafe entry needs ` -- <justification>`");
+                    };
+                    let Some(path) = one_path(&head) else {
+                        return fail("expected `unsafe <path> -- <justification>`");
+                    };
+                    cfg.unsafe_registry.push(UnsafeEntry {
+                        path,
+                        justification,
+                        conf_line,
+                    });
+                }
+                "allow" => {
+                    let Some((head, justification)) = split_justification(rest) else {
+                        return fail("allow entry needs ` -- <justification>`");
+                    };
+                    let mut parts = head.split_whitespace();
+                    let (Some(rule), Some(path)) = (parts.next(), parts.next()) else {
+                        return fail("expected `allow R<k> <path> <needle…> -- <justification>`");
+                    };
+                    if !matches!(rule, "R1" | "R2" | "R3" | "R4" | "R5") {
+                        return fail("allow rule must be one of R1…R5");
+                    }
+                    let needle = parts.collect::<Vec<_>>().join(" ");
+                    if needle.is_empty() {
+                        return fail("allow entry needs a source-line needle before `--`");
+                    }
+                    cfg.allows.push(AllowEntry {
+                        rule: rule.to_string(),
+                        path: path.to_string(),
+                        needle,
+                        justification,
+                        conf_line,
+                    });
+                }
+                other => return fail(&format!("unknown directive {other:?}")),
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// Loads `<root>/lint.conf`; a missing file yields the empty config
+    /// (only the workspace-wide rules R2/R4 will have any effect).
+    ///
+    /// # Errors
+    ///
+    /// Parse errors, or an unreadable (but existing) file.
+    pub fn load(root: &std::path::Path) -> Result<Config, String> {
+        let path = root.join("lint.conf");
+        match std::fs::read_to_string(&path) {
+            Ok(text) => Config::parse(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Config::default()),
+            Err(e) => Err(format!("reading {}: {e}", path.display())),
+        }
+    }
+
+    /// Whether `rel` (forward-slash relative path) falls under any of the
+    /// `patterns` entries (exact file or directory prefix).
+    #[must_use]
+    pub fn path_in(rel: &str, patterns: &[String]) -> bool {
+        patterns.iter().any(|p| {
+            rel == p
+                || rel
+                    .strip_prefix(p.as_str())
+                    .is_some_and(|r| r.starts_with('/'))
+        })
+    }
+}
+
+fn one_path(rest: &str) -> Option<String> {
+    let mut parts = rest.split_whitespace();
+    match (parts.next(), parts.next()) {
+        (Some(p), None) => Some(p.trim_end_matches('/').to_string()),
+        _ => None,
+    }
+}
+
+/// Splits `… -- justification`, requiring a non-empty justification.
+fn split_justification(rest: &str) -> Option<(String, String)> {
+    let (head, just) = rest.split_once(" -- ")?;
+    let just = just.trim();
+    if just.is_empty() {
+        return None;
+    }
+    Some((head.trim().to_string(), just.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_directive() {
+        let text = "\
+# policy
+untrusted crates/sim/src/binio.rs
+lockscope crates/service/src
+lock-level 1 table sessions
+lock-level 2 state
+lock-fn 1 lock_table
+blocking sendmsg
+exclude crates/lint/fixtures
+unsafe crates/service/src/signals.rs -- SIGINT handler, see rustdoc
+allow R1 crates/service/src/session.rs .expect(\"a tail chunk -- NLL limitation
+";
+        let cfg = Config::parse(text).unwrap();
+        assert_eq!(cfg.untrusted, vec!["crates/sim/src/binio.rs"]);
+        assert_eq!(cfg.lock_levels.len(), 3);
+        assert_eq!(cfg.lock_fns, vec![(1, "lock_table".to_string())]);
+        assert_eq!(cfg.unsafe_registry.len(), 1);
+        assert_eq!(cfg.allows.len(), 1);
+        assert_eq!(cfg.allows[0].needle, ".expect(\"a tail chunk");
+        assert!(Config::path_in(
+            "crates/service/src/server.rs",
+            &cfg.lockscope
+        ));
+        assert!(!Config::path_in("crates/service/src", &cfg.untrusted));
+        assert!(Config::path_in("crates/sim/src/binio.rs", &cfg.untrusted));
+    }
+
+    #[test]
+    fn rejects_missing_justification() {
+        assert!(Config::parse("unsafe a.rs").is_err());
+        assert!(Config::parse("unsafe a.rs -- ").is_err());
+        assert!(Config::parse("allow R1 a.rs needle").is_err());
+        assert!(Config::parse("allow R9 a.rs needle -- why").is_err());
+        assert!(Config::parse("frobnicate x").is_err());
+    }
+}

@@ -1,0 +1,225 @@
+//! # abc-lint — workspace static analysis for the ABC repo
+//!
+//! The ABC paper's contribution is a *provable* synchrony condition; this
+//! crate plays the same role for the codebase's own guarantees: the
+//! invariants that were previously enforced only by tests and review —
+//! untrusted wire input never panics a session, one sanctioned `unsafe`,
+//! a declared lock hierarchy, Relaxed-only atomics by default, no bare
+//! narrowing casts on decode paths — are stated once (in `lint.conf` and
+//! the rule catalog) and checked mechanically over every `.rs` file.
+//!
+//! Std-only by construction (the build environment has no crates.io, so
+//! no `syn`): a small honest lexer ([`lexer`]) feeds a lexical rule
+//! engine ([`rules`]). See the rule table in [`rules`] and the policy
+//! file format in [`config`].
+//!
+//! Entry points:
+//!
+//! * [`lint_root`] — walk a directory tree, apply `lint.conf`, return a
+//!   [`Report`];
+//! * `abc lint [--json] [--rule R…]` — the CLI wrapper in `abc-harness`;
+//! * `tests/lint_self.rs` (workspace root) — runs this API over the real
+//!   workspace in-process, so plain `cargo test` exercises the gate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+use std::path::{Path, PathBuf};
+
+pub use config::Config;
+pub use rules::{Diagnostic, RuleFilter, ALL_RULES};
+
+/// Version of the rule catalog; bump when rule semantics change so CI
+/// logs and `--json` consumers can tell which policy ran.
+pub const CATALOG_VERSION: u32 = 1;
+
+/// The outcome of linting a tree: findings plus run metadata.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Every surviving diagnostic, sorted by path then line.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files scanned.
+    pub files_checked: usize,
+    /// Rule ids that were enabled for this run.
+    pub rules_run: Vec<&'static str>,
+}
+
+impl Report {
+    /// Whether the tree is clean under the enabled rules.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Human-readable rendering, one line per diagnostic plus a summary.
+    #[must_use]
+    pub fn render_human(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            let _ = writeln!(out, "{d}");
+        }
+        let _ = writeln!(
+            out,
+            "abc-lint (catalog v{CATALOG_VERSION}): {} file(s), rules [{}], {} finding(s)",
+            self.files_checked,
+            self.rules_run.join(", "),
+            self.diagnostics.len()
+        );
+        out
+    }
+
+    /// Machine-readable rendering (single JSON object, stable field
+    /// order, hand-serialized — the workspace is std-only).
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"catalog_version\":{CATALOG_VERSION},\"files_checked\":{},\"rules\":[",
+            self.files_checked
+        );
+        for (i, r) in self.rules_run.iter().enumerate() {
+            let _ = write!(out, "{}{:?}", if i > 0 { "," } else { "" }, r);
+        }
+        let _ = write!(out, "],\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+                if i > 0 { "," } else { "" },
+                d.rule,
+                json_escape(&d.path),
+                d.line,
+                json_escape(&d.message)
+            );
+        }
+        let _ = write!(out, "]}}");
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Lints every `.rs` file under `root` (skipping `target/`, `vendor/`,
+/// hidden directories, and `exclude` entries of `<root>/lint.conf`).
+///
+/// # Errors
+///
+/// Config parse errors or I/O errors walking the tree. Findings are not
+/// errors — they come back in the [`Report`].
+pub fn lint_root(root: &Path, filter: &RuleFilter) -> Result<Report, String> {
+    let config = Config::load(root)?;
+    lint_root_with(root, &config, filter)
+}
+
+/// [`lint_root`] with an explicit (e.g. in-memory) config.
+///
+/// # Errors
+///
+/// I/O errors walking the tree.
+pub fn lint_root_with(root: &Path, config: &Config, filter: &RuleFilter) -> Result<Report, String> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, config, &mut files)?;
+    files.sort();
+    let mut engine = rules::Engine::new(config, filter.clone());
+    for rel in &files {
+        let abs = root.join(rel);
+        let bytes = std::fs::read(&abs).map_err(|e| format!("reading {}: {e}", abs.display()))?;
+        let src = String::from_utf8_lossy(&bytes);
+        engine.check_file(rel, &src);
+    }
+    Ok(Report {
+        diagnostics: engine.finish(),
+        files_checked: files.len(),
+        rules_run: filter.rules(),
+    })
+}
+
+fn collect_rs_files(
+    root: &Path,
+    dir: &Path,
+    config: &Config,
+    out: &mut Vec<String>,
+) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("reading dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("walking {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with('.') {
+            continue;
+        }
+        let Some(rel) = relative_unix(root, &path) else {
+            continue;
+        };
+        if Config::path_in(&rel, &config.excludes) {
+            continue;
+        }
+        let ty = entry
+            .file_type()
+            .map_err(|e| format!("stat {}: {e}", path.display()))?;
+        if ty.is_dir() {
+            if matches!(name.as_ref(), "target" | "vendor") {
+                continue;
+            }
+            collect_rs_files(root, &path, config, out)?;
+        } else if ty.is_file() && name.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// `path` relative to `root`, with forward slashes.
+fn relative_unix(root: &Path, path: &Path) -> Option<String> {
+    let rel: PathBuf = path.strip_prefix(root).ok()?.to_path_buf();
+    let parts: Vec<String> = rel
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect();
+    Some(parts.join("/"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn filter_rules() {
+        let f = RuleFilter::only(&["R1", "R4"]).unwrap();
+        assert!(f.enabled("R1"));
+        assert!(!f.enabled("R3"));
+        assert!(RuleFilter::only(&["R9"]).is_err());
+        assert_eq!(RuleFilter::all().rules(), ALL_RULES);
+    }
+}

@@ -1,0 +1,654 @@
+//! The rule engine: R1–R5 over the token stream of [`crate::lexer`].
+//!
+//! | Rule | Scope | Checks |
+//! |---|---|---|
+//! | R1 panic-freedom | `untrusted` paths, non-test | `.unwrap()` / `.expect()`, `panic!` / `unreachable!` / `todo!` / `unimplemented!`, direct `…[` indexing |
+//! | R2 unsafe budget | whole workspace | every `unsafe` occurrence must be registered in `lint.conf` |
+//! | R3 lock order | `lockscope` paths, non-test | acquisitions must follow the declared hierarchy; no blocking I/O while holding a lock; no undeclared mutexes |
+//! | R4 atomics discipline | whole workspace, non-test | `Ordering::` stronger than `Relaxed` needs an adjacent `// ordering:` comment |
+//! | R5 cast safety | `untrusted` paths, non-test | no bare `as` narrowing to `u8/u16/u32/usize/i8/i16/i32/isize` |
+//! | R0 conf hygiene | `lint.conf` itself | allow/unsafe entries that no longer match anything |
+//!
+//! Suppression: an `allow R<k> <path> <needle> -- why` entry in
+//! `lint.conf` silences a diagnostic when the *flagged source line*
+//! contains `<needle>`. Unused entries are reported under R0, so the
+//! allowlist cannot rot.
+
+use std::collections::HashMap;
+
+use crate::config::Config;
+use crate::lexer::{lex, Lexed, TokKind};
+
+/// Every rule id the engine knows, in report order.
+pub const ALL_RULES: &[&str] = &["R0", "R1", "R2", "R3", "R4", "R5"];
+
+/// One finding: rule id, workspace-relative path, 1-based line, message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule id (`"R1"` … `"R5"`, or `"R0"` for `lint.conf` hygiene).
+    pub rule: &'static str,
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Which rules to run; `None` (default) means all of them.
+#[derive(Clone, Debug, Default)]
+pub struct RuleFilter(Option<Vec<String>>);
+
+impl RuleFilter {
+    /// Run every rule.
+    #[must_use]
+    pub fn all() -> RuleFilter {
+        RuleFilter(None)
+    }
+
+    /// Run only the named rules (`["R1", "R3"]`).
+    ///
+    /// # Errors
+    ///
+    /// If a name is not a known rule id.
+    pub fn only<S: AsRef<str>>(rules: &[S]) -> Result<RuleFilter, String> {
+        let mut v = Vec::new();
+        for r in rules {
+            let r = r.as_ref();
+            if !ALL_RULES.contains(&r) {
+                return Err(format!(
+                    "unknown rule {r:?} (known: {})",
+                    ALL_RULES.join(", ")
+                ));
+            }
+            v.push(r.to_string());
+        }
+        Ok(RuleFilter(Some(v)))
+    }
+
+    /// Whether `rule` is enabled under this filter.
+    #[must_use]
+    pub fn enabled(&self, rule: &str) -> bool {
+        self.0.as_ref().is_none_or(|v| v.iter().any(|r| r == rule))
+    }
+
+    /// The enabled rule ids, in report order.
+    #[must_use]
+    pub fn rules(&self) -> Vec<&'static str> {
+        ALL_RULES
+            .iter()
+            .copied()
+            .filter(|r| self.enabled(r))
+            .collect()
+    }
+}
+
+/// Method/function names R3 treats as blocking I/O (extended by
+/// `blocking` directives in `lint.conf`).
+pub const BLOCKING_CALLS: &[&str] = &[
+    "read",
+    "read_exact",
+    "read_line",
+    "read_to_end",
+    "read_to_string",
+    "read_until",
+    "write",
+    "write_all",
+    "write_fmt",
+    "write_vectored",
+    "flush",
+    "accept",
+    "connect",
+    "recv",
+    "recv_timeout",
+    "sleep",
+    "join",
+    "wait",
+    "wait_timeout",
+];
+
+/// Cast targets R5 considers narrowing on at least one supported target
+/// width (`u64`/`i64`/`u128`/`i128`/`f64` stay allowed).
+const NARROW_TARGETS: &[&str] = &["u8", "u16", "u32", "usize", "i8", "i16", "i32", "isize"];
+
+/// Keywords that, immediately before `[`, mean *pattern or type
+/// position*, not an indexing expression.
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "dyn", "else", "enum", "fn",
+    "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref",
+    "return", "static", "struct", "trait", "type", "unsafe", "use", "where", "while", "yield",
+];
+
+/// Multi-file engine state: feed files with [`Engine::check_file`], then
+/// call [`Engine::finish`] for the cross-file (R0/R2 staleness) pass.
+pub struct Engine<'c> {
+    config: &'c Config,
+    filter: RuleFilter,
+    diags: Vec<Diagnostic>,
+    /// `unsafe` occurrences actually seen, per path.
+    unsafe_seen: HashMap<String, usize>,
+    /// Whether each `allows[i]` suppressed at least one diagnostic.
+    allow_used: Vec<bool>,
+    lock_levels: HashMap<&'c str, u32>,
+    lock_fns: HashMap<&'c str, u32>,
+    blocking: Vec<&'c str>,
+}
+
+impl<'c> Engine<'c> {
+    /// Creates an engine over a parsed config and rule filter.
+    #[must_use]
+    pub fn new(config: &'c Config, filter: RuleFilter) -> Engine<'c> {
+        Engine {
+            filter,
+            diags: Vec::new(),
+            unsafe_seen: HashMap::new(),
+            allow_used: vec![false; config.allows.len()],
+            lock_levels: config
+                .lock_levels
+                .iter()
+                .map(|(lvl, name)| (name.as_str(), *lvl))
+                .collect(),
+            lock_fns: config
+                .lock_fns
+                .iter()
+                .map(|(lvl, name)| (name.as_str(), *lvl))
+                .collect(),
+            blocking: BLOCKING_CALLS
+                .iter()
+                .copied()
+                .chain(config.blocking.iter().map(String::as_str))
+                .collect(),
+            config,
+        }
+    }
+
+    /// Lints one file. `rel` is the workspace-relative path with forward
+    /// slashes; `src` its (lossily decoded) contents.
+    pub fn check_file(&mut self, rel: &str, src: &str) {
+        let lexed = lex(src);
+        let lines: Vec<&str> = src.lines().collect();
+        // Files under tests/, benches/, or examples/ are test code in
+        // their entirety for the panic/cast/atomics/lock rules; the
+        // unsafe budget (R2) still applies.
+        let whole_file_test = rel
+            .split('/')
+            .any(|c| matches!(c, "tests" | "benches" | "examples"))
+            || rel.ends_with("build.rs");
+
+        let mut found = Vec::new();
+        if self.filter.enabled("R2") {
+            self.rule_unsafe_budget(rel, src, &lexed, &mut found);
+        }
+        if !whole_file_test {
+            if self.filter.enabled("R1") && Config::path_in(rel, &self.config.untrusted) {
+                rule_panic_freedom(src, &lexed, &mut found);
+            }
+            if self.filter.enabled("R5") && Config::path_in(rel, &self.config.untrusted) {
+                rule_cast_safety(src, &lexed, &mut found);
+            }
+            if self.filter.enabled("R4") {
+                rule_atomics(src, &lexed, &mut found);
+            }
+            if self.filter.enabled("R3") && Config::path_in(rel, &self.config.lockscope) {
+                self.rule_lock_order(src, &lexed, &mut found);
+            }
+        }
+        // Apply the allowlist: a diagnostic survives unless an entry for
+        // its (rule, path) has a needle contained in the flagged line.
+        for (rule, line, message) in found {
+            let line_text = usize::try_from(line)
+                .ok()
+                .and_then(|n| lines.get(n.saturating_sub(1)))
+                .copied()
+                .unwrap_or("");
+            let suppressed = self.config.allows.iter().enumerate().any(|(i, a)| {
+                let hit = a.rule == rule
+                    && Config::path_in(rel, std::slice::from_ref(&a.path))
+                    && line_text.contains(&a.needle);
+                if hit {
+                    self.allow_used[i] = true;
+                }
+                hit
+            });
+            if !suppressed {
+                self.diags.push(Diagnostic {
+                    rule,
+                    path: rel.to_string(),
+                    line,
+                    message,
+                });
+            }
+        }
+    }
+
+    /// Cross-file pass: report stale `allow` / `unsafe` entries (R0),
+    /// then return every diagnostic sorted by path and line.
+    #[must_use]
+    pub fn finish(mut self) -> Vec<Diagnostic> {
+        if self.filter.enabled("R0") {
+            for (i, a) in self.config.allows.iter().enumerate() {
+                if !self.allow_used[i] {
+                    self.diags.push(Diagnostic {
+                        rule: "R0",
+                        path: "lint.conf".to_string(),
+                        line: a.conf_line,
+                        message: format!(
+                            "stale allowlist entry: no {} diagnostic in `{}` matches {:?} — \
+                             delete the entry",
+                            a.rule, a.path, a.needle
+                        ),
+                    });
+                }
+            }
+            let mut registered: HashMap<&str, (usize, u32)> = HashMap::new();
+            for e in &self.config.unsafe_registry {
+                let slot = registered
+                    .entry(e.path.as_str())
+                    .or_insert((0, e.conf_line));
+                slot.0 += 1;
+            }
+            let mut stale: Vec<(&str, usize, usize, u32)> = registered
+                .iter()
+                .filter_map(|(path, &(count, line))| {
+                    let seen = self.unsafe_seen.get(*path).copied().unwrap_or(0);
+                    (seen < count).then_some((*path, count, seen, line))
+                })
+                .collect();
+            stale.sort_unstable_by_key(|&(_, _, _, line)| line);
+            for (path, count, seen, line) in stale {
+                self.diags.push(Diagnostic {
+                    rule: "R0",
+                    path: "lint.conf".to_string(),
+                    line,
+                    message: format!(
+                        "stale unsafe registry: `{path}` registers {count} unsafe \
+                         occurrence(s) but only {seen} found — delete the surplus entry"
+                    ),
+                });
+            }
+        }
+        self.diags
+            .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+        self.diags
+    }
+
+    /// R2: every `unsafe` keyword occurrence must be covered by a
+    /// registry entry for its file.
+    fn rule_unsafe_budget(
+        &mut self,
+        rel: &str,
+        src: &str,
+        lexed: &Lexed,
+        found: &mut Vec<(&'static str, u32, String)>,
+    ) {
+        let budget = self
+            .config
+            .unsafe_registry
+            .iter()
+            .filter(|e| e.path == rel)
+            .count();
+        let mut seen = 0usize;
+        for t in &lexed.tokens {
+            if t.kind == TokKind::Ident && lexed.text(src, t) == "unsafe" {
+                seen += 1;
+                if seen > budget {
+                    found.push((
+                        "R2",
+                        t.line,
+                        format!(
+                            "unregistered `unsafe` (occurrence {seen}, registered budget \
+                             {budget}) — register it in lint.conf with a written justification"
+                        ),
+                    ));
+                }
+            }
+        }
+        if seen > 0 {
+            *self.unsafe_seen.entry(rel.to_string()).or_default() += seen;
+        }
+    }
+
+    /// R3: lock-order + no-blocking-I/O-under-lock, tracked lexically.
+    #[allow(clippy::too_many_lines)]
+    fn rule_lock_order(
+        &self,
+        src: &str,
+        lexed: &Lexed,
+        found: &mut Vec<(&'static str, u32, String)>,
+    ) {
+        let toks = &lexed.tokens;
+        let text = |i: usize| toks.get(i).map_or("", |t| lexed.text(src, t));
+        let kind = |i: usize| toks.get(i).map(|t| t.kind);
+        let mut held: Vec<GuardSlot> = Vec::new();
+        let mut depth: u32 = 0;
+        // The let-bound name of the current statement, if any.
+        let mut stmt_let: Option<String> = None;
+        // Stack of (lock-fn level if the enclosing fn is registered, body depth).
+        let mut fn_stack: Vec<(Option<u32>, u32)> = Vec::new();
+        let mut pending_fn: Option<Option<u32>> = None;
+
+        let mut i = 0usize;
+        while i < toks.len() {
+            let t = &toks[i];
+            if t.in_test {
+                i += 1;
+                continue;
+            }
+            match t.kind {
+                TokKind::Punct(b'{') => {
+                    depth += 1;
+                    if let Some(lvl) = pending_fn.take() {
+                        fn_stack.push((lvl, depth));
+                    }
+                    stmt_let = None;
+                }
+                TokKind::Punct(b'}') => {
+                    // Guards bound inside the block being closed go out
+                    // of scope here (statement temporaries included).
+                    held.retain(|g| g.depth < depth);
+                    if fn_stack.last().is_some_and(|&(_, d)| d == depth) {
+                        fn_stack.pop();
+                    }
+                    depth = depth.saturating_sub(1);
+                    stmt_let = None;
+                }
+                TokKind::Punct(b';') => {
+                    held.retain(|g| !g.temp);
+                    stmt_let = None;
+                }
+                TokKind::Ident => {
+                    let w = lexed.text(src, t);
+                    match w {
+                        "fn" => {
+                            let name = text(i + 1);
+                            pending_fn = Some(self.lock_fns.get(name).copied());
+                        }
+                        "let" => {
+                            // `let [mut] name = …`
+                            let mut j = i + 1;
+                            if text(j) == "mut" {
+                                j += 1;
+                            }
+                            if kind(j) == Some(TokKind::Ident) {
+                                stmt_let = Some(text(j).to_string());
+                            }
+                        }
+                        "drop" if kind(i + 1) == Some(TokKind::Punct(b'(')) => {
+                            let dropped = text(i + 2);
+                            if kind(i + 3) == Some(TokKind::Punct(b')')) {
+                                if let Some(pos) = held
+                                    .iter()
+                                    .rposition(|g| g.name.as_deref() == Some(dropped))
+                                {
+                                    held.remove(pos);
+                                }
+                            }
+                        }
+                        // `<recv>.lock()` — a std Mutex acquisition.
+                        "lock"
+                            if kind(i + 1) == Some(TokKind::Punct(b'('))
+                                && i >= 1
+                                && kind(i - 1) == Some(TokKind::Punct(b'.')) =>
+                        {
+                            let recv = if i >= 2 && kind(i - 2) == Some(TokKind::Ident) {
+                                text(i - 2).to_string()
+                            } else {
+                                String::new()
+                            };
+                            let level =
+                                self.lock_levels.get(recv.as_str()).copied().or_else(|| {
+                                    // Inside a registered lock-fn the raw
+                                    // acquisition on the (arbitrarily
+                                    // named) parameter is the fn's level.
+                                    fn_stack.last().and_then(|&(lvl, _)| lvl)
+                                });
+                            match level {
+                                None => found.push((
+                                    "R3",
+                                    t.line,
+                                    format!(
+                                        "acquisition of undeclared mutex `{recv}` — declare \
+                                         it with `lock-level <n> {recv}` in lint.conf"
+                                    ),
+                                )),
+                                Some(level) => self.acquire(
+                                    &mut held,
+                                    &recv,
+                                    level,
+                                    depth,
+                                    stmt_let.clone(),
+                                    t.line,
+                                    found,
+                                ),
+                            }
+                        }
+                        // Registered helper call: `lock_table(…)`.
+                        _ if self.lock_fns.contains_key(w)
+                            && kind(i + 1) == Some(TokKind::Punct(b'('))
+                            && !(i >= 1 && text(i - 1) == "fn") =>
+                        {
+                            let level = self.lock_fns[w];
+                            self.acquire(
+                                &mut held,
+                                w,
+                                level,
+                                depth,
+                                stmt_let.clone(),
+                                t.line,
+                                found,
+                            );
+                        }
+                        // Blocking I/O while holding any lock.
+                        _ if !held.is_empty()
+                            && self.blocking.contains(&w)
+                            && kind(i + 1) == Some(TokKind::Punct(b'('))
+                            && i >= 1
+                            && matches!(kind(i - 1), Some(TokKind::Punct(b'.' | b':'))) =>
+                        {
+                            let holding: Vec<&str> = held.iter().map(|g| g.lock.as_str()).collect();
+                            found.push((
+                                "R3",
+                                t.line,
+                                format!(
+                                    "blocking call `.{w}(…)` while holding lock(s) {} — \
+                                     release (drop or end the scope) before blocking I/O",
+                                    holding.join(", ")
+                                ),
+                            ));
+                        }
+                        _ => {}
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn acquire(
+        &self,
+        held: &mut Vec<GuardSlot>,
+        lock: &str,
+        level: u32,
+        depth: u32,
+        stmt_let: Option<String>,
+        line: u32,
+        found: &mut Vec<(&'static str, u32, String)>,
+    ) {
+        for g in held.iter() {
+            if g.level >= level {
+                found.push((
+                    "R3",
+                    line,
+                    format!(
+                        "acquiring `{lock}` (level {level}) while holding `{}` (level {}) — \
+                         the declared order is outermost-first by ascending level",
+                        g.lock, g.level
+                    ),
+                ));
+            }
+        }
+        let temp = stmt_let.is_none();
+        held.push(GuardSlot {
+            name: stmt_let,
+            lock: lock.to_string(),
+            level,
+            depth,
+            temp,
+        });
+    }
+}
+
+/// A held lock guard tracked by the R3 scanner.
+struct GuardSlot {
+    name: Option<String>,
+    lock: String,
+    level: u32,
+    depth: u32,
+    temp: bool,
+}
+
+/// R1: `.unwrap()` / `.expect()`, panicking macros, direct indexing.
+fn rule_panic_freedom(src: &str, lexed: &Lexed, found: &mut Vec<(&'static str, u32, String)>) {
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.in_test {
+            continue;
+        }
+        match t.kind {
+            TokKind::Ident => {
+                let w = lexed.text(src, t);
+                let prev_dot = i >= 1 && toks[i - 1].kind == TokKind::Punct(b'.');
+                let next_bang = toks
+                    .get(i + 1)
+                    .is_some_and(|n| n.kind == TokKind::Punct(b'!'));
+                // `(` (or a `::<…>(` turbofish) distinguishes the method
+                // call from a field that merely shares the name.
+                let next_call = toks
+                    .get(i + 1)
+                    .is_some_and(|n| matches!(n.kind, TokKind::Punct(b'(') | TokKind::Punct(b':')));
+                if prev_dot && next_call && (w == "unwrap" || w == "expect") {
+                    found.push((
+                        "R1",
+                        t.line,
+                        format!(
+                            "`.{w}(…)` on an untrusted-input path — return a positioned \
+                             error instead (or add a justified allow entry)"
+                        ),
+                    ));
+                } else if next_bang
+                    && matches!(w, "panic" | "unreachable" | "todo" | "unimplemented")
+                {
+                    found.push((
+                        "R1",
+                        t.line,
+                        format!(
+                            "`{w}!` on an untrusted-input path — untrusted input must \
+                             never abort the process"
+                        ),
+                    ));
+                }
+            }
+            TokKind::Punct(b'[') if i >= 1 => {
+                let prev = &toks[i - 1];
+                let is_index_base = match prev.kind {
+                    TokKind::Ident => {
+                        let w = lexed.text(src, prev);
+                        !NON_INDEX_KEYWORDS.contains(&w)
+                    }
+                    TokKind::Punct(b')' | b']' | b'?') | TokKind::Str => true,
+                    _ => false,
+                };
+                if is_index_base {
+                    found.push((
+                        "R1",
+                        t.line,
+                        "direct slice/array indexing on an untrusted-input path — use \
+                         `.get(…)` (or a slice pattern) and handle `None`"
+                            .to_string(),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// R4: `Ordering::{Acquire,Release,AcqRel,SeqCst}` needs a justification
+/// comment containing `ordering:` on the same or previous line.
+fn rule_atomics(src: &str, lexed: &Lexed, found: &mut Vec<(&'static str, u32, String)>) {
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.in_test || t.kind != TokKind::Ident || lexed.text(src, t) != "Ordering" {
+            continue;
+        }
+        let colons = matches!(toks.get(i + 1).map(|t| t.kind), Some(TokKind::Punct(b':')))
+            && matches!(toks.get(i + 2).map(|t| t.kind), Some(TokKind::Punct(b':')));
+        if !colons {
+            continue;
+        }
+        let Some(variant) = toks.get(i + 3) else {
+            continue;
+        };
+        let name = lexed.text(src, variant);
+        if !matches!(name, "Acquire" | "Release" | "AcqRel" | "SeqCst") {
+            continue;
+        }
+        // Same line, or anywhere in the contiguous comment block directly
+        // above the use (a justification often wraps over several lines).
+        let mut justified = lexed.comment_on_line_contains(variant.line, "ordering:");
+        let mut l = variant.line;
+        while !justified && l > 1 && lexed.has_comment_on_line(l - 1) {
+            l -= 1;
+            justified = lexed.comment_on_line_contains(l, "ordering:");
+        }
+        if !justified {
+            found.push((
+                "R4",
+                variant.line,
+                format!(
+                    "`Ordering::{name}` without an adjacent `// ordering:` justification \
+                     comment (Relaxed-only is the default policy)"
+                ),
+            ));
+        }
+    }
+}
+
+/// R5: bare `as` casts to narrower integer types.
+fn rule_cast_safety(src: &str, lexed: &Lexed, found: &mut Vec<(&'static str, u32, String)>) {
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.in_test || t.kind != TokKind::Ident || lexed.text(src, t) != "as" {
+            continue;
+        }
+        let Some(next) = toks.get(i + 1) else {
+            continue;
+        };
+        if next.kind != TokKind::Ident {
+            continue;
+        }
+        let target = lexed.text(src, next);
+        if NARROW_TARGETS.contains(&target) {
+            found.push((
+                "R5",
+                t.line,
+                format!(
+                    "bare `as {target}` narrowing cast on a decode path — use \
+                     `{target}::try_from(…)` and surface a positioned error"
+                ),
+            ));
+        }
+    }
+}

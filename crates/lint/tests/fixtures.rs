@@ -1,0 +1,68 @@
+//! The committed bad-fixture tree must produce exactly the documented
+//! diagnostics — rule, path, and line — and rule filtering must narrow
+//! them. This is the differential test for the whole rule engine: any
+//! change to lexer or rules that shifts a line or drops a finding fails
+//! here before it silently weakens the CI gate.
+
+use std::path::PathBuf;
+
+use abc_lint::{lint_root, RuleFilter};
+
+fn fixture_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures/bad")
+}
+
+const EXPECTED: &[(&str, &str, u32)] = &[
+    ("R1", "src/r1.rs", 4),
+    ("R1", "src/r1.rs", 5),
+    ("R1", "src/r1.rs", 7),
+    ("R1", "src/r1.rs", 9),
+    ("R2", "src/r2.rs", 4),
+    ("R3", "src/r3.rs", 9),
+    ("R3", "src/r3.rs", 16),
+    ("R4", "src/r4.rs", 6),
+    ("R5", "src/r5.rs", 4),
+];
+
+#[test]
+fn every_rule_fires_at_its_exact_line() {
+    let report = lint_root(&fixture_root(), &RuleFilter::all()).expect("fixture tree lints");
+    assert_eq!(report.files_checked, 5);
+    assert!(!report.is_clean());
+    let got: Vec<(&str, &str, u32)> = report
+        .diagnostics
+        .iter()
+        .map(|d| (d.rule, d.path.as_str(), d.line))
+        .collect();
+    assert_eq!(got, EXPECTED);
+}
+
+#[test]
+fn diagnostics_render_with_rule_ids() {
+    let report = lint_root(&fixture_root(), &RuleFilter::all()).expect("fixture tree lints");
+    let human = report.render_human();
+    let json = report.render_json();
+    for rule in ["R1", "R2", "R3", "R4", "R5"] {
+        assert!(
+            human.contains(&format!("[{rule}]")),
+            "human output names {rule}"
+        );
+        assert!(
+            json.contains(&format!("\"rule\":\"{rule}\"")),
+            "json output names {rule}"
+        );
+    }
+    assert!(human.contains("src/r1.rs:4:"));
+}
+
+#[test]
+fn rule_filter_narrows_the_run() {
+    let filter = RuleFilter::only(&["R5"]).expect("valid rule id");
+    let report = lint_root(&fixture_root(), &filter).expect("fixture tree lints");
+    let got: Vec<(&str, u32)> = report
+        .diagnostics
+        .iter()
+        .map(|d| (d.rule, d.line))
+        .collect();
+    assert_eq!(got, vec![("R5", 4)]);
+}

@@ -267,13 +267,14 @@ pub struct LoadgenReport {
 }
 
 impl LoadgenReport {
-    fn percentile(sorted: &[Duration], p: f64) -> Duration {
-        if sorted.is_empty() {
+    /// `bp` is the percentile in basis points (5000 = p50, 9900 = p99);
+    /// integer arithmetic keeps the index math free of float casts.
+    fn percentile(sorted: &[Duration], bp: usize) -> Duration {
+        let Some(last) = sorted.len().checked_sub(1) else {
             return Duration::ZERO;
-        }
-        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-        let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-        sorted[idx.min(sorted.len() - 1)]
+        };
+        let idx = (last * bp + 5_000) / 10_000;
+        sorted.get(idx.min(last)).copied().unwrap_or(Duration::ZERO)
     }
 
     /// Renders the human-readable report body.
@@ -357,7 +358,7 @@ pub fn run_loadgen(
                     if i >= docs.len() {
                         break;
                     }
-                    let doc = &docs[i];
+                    let Some(doc) = docs.get(i) else { break };
                     let payload: &[u8] = if binary {
                         doc.binary.as_deref().ok_or_else(|| {
                             format!("document {} has no binary encoding", doc.label)
@@ -382,7 +383,10 @@ pub fn run_loadgen(
         }
         handles
             .into_iter()
-            .map(|h| h.join().expect("loadgen worker panicked"))
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err("loadgen worker panicked".to_string()))
+            })
             .collect()
     });
     let wall = started.elapsed();
@@ -401,9 +405,8 @@ pub fn run_loadgen(
     let mismatches = outcomes
         .iter()
         .filter(|o| {
-            docs[o.doc_index]
-                .expect
-                .as_ref()
+            docs.get(o.doc_index)
+                .and_then(|d| d.expect.as_ref())
                 .is_some_and(|want| want.to_string() != o.verdict.to_string())
         })
         .count();
@@ -417,15 +420,15 @@ pub fn run_loadgen(
     Ok(LoadgenReport {
         protocol: if binary { "v2" } else { "v1" },
         latency_percentiles: (
-            LoadgenReport::percentile(&latencies, 0.50),
-            LoadgenReport::percentile(&latencies, 0.90),
-            LoadgenReport::percentile(&latencies, 0.99),
+            LoadgenReport::percentile(&latencies, 5_000),
+            LoadgenReport::percentile(&latencies, 9_000),
+            LoadgenReport::percentile(&latencies, 9_900),
             latencies.last().copied().unwrap_or(Duration::ZERO),
         ),
         ack_latency_percentiles: (
-            LoadgenReport::percentile(&ack_gaps, 0.50),
-            LoadgenReport::percentile(&ack_gaps, 0.90),
-            LoadgenReport::percentile(&ack_gaps, 0.99),
+            LoadgenReport::percentile(&ack_gaps, 5_000),
+            LoadgenReport::percentile(&ack_gaps, 9_000),
+            LoadgenReport::percentile(&ack_gaps, 9_900),
             ack_gaps.last().copied().unwrap_or(Duration::ZERO),
         ),
         outcomes,

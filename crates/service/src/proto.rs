@@ -218,13 +218,17 @@ pub fn offline_verdict(trace: &Trace, xi: &Xi) -> Result<Verdict, String> {
         None => Verdict::Admissible {
             events: trace.events().len(),
         },
-        Some(at_event) => Verdict::Violation {
-            at_event,
-            witness: mon
-                .violation()
-                .expect("a latched violation accompanies the index")
-                .summarize(mon.graph()),
-        },
+        Some(at_event) => {
+            let Some(witness) = mon.violation() else {
+                // Defensive: a latched monitor accompanies the index by
+                // construction; surface corruption instead of aborting.
+                return Err("internal: monitor latched no violation witness".to_string());
+            };
+            Verdict::Violation {
+                at_event,
+                witness: witness.summarize(mon.graph()),
+            }
+        }
     })
 }
 

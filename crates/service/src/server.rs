@@ -13,7 +13,7 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -117,6 +117,23 @@ impl SessionMeta {
 
 type SessionTable = Arc<Mutex<BTreeMap<u64, SessionMeta>>>;
 
+/// Locks the session table, recovering from poisoning.
+///
+/// The table holds only status-page metadata — no admissibility state —
+/// so a panic inside another thread's critical section leaves at worst a
+/// stale or missing metadata row. Recovering the guard with
+/// [`PoisonError::into_inner`] keeps the accept path, the shard sweeps,
+/// and the status page alive, which is strictly better than cascading
+/// the panic into every server thread. The `poisoned_lock` integration
+/// test deliberately poisons this mutex and asserts the server keeps
+/// serving; this helper is the *only* way server code takes the table
+/// lock (registered as `lock-fn 1 lock_table` in `lint.conf`).
+fn lock_table(
+    table: &Mutex<BTreeMap<u64, SessionMeta>>,
+) -> MutexGuard<'_, BTreeMap<u64, SessionMeta>> {
+    table.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// A running server: bound addresses, shared metrics, and the join/stop
 /// handle. Dropping the handle does *not* stop the server; call
 /// [`ServerHandle::join`] (or [`ServerHandle::request_stop`] from another
@@ -159,13 +176,19 @@ impl ServerHandle {
     /// Whether shutdown has been initiated.
     #[must_use]
     pub fn is_stopping(&self) -> bool {
-        self.stop.load(Ordering::Relaxed)
+        // ordering: Acquire pairs with the Release store in request_stop /
+        // the status port's `shutdown`, making everything the stopper did
+        // first visible here. The flag is cold, so strength costs nothing.
+        self.stop.load(Ordering::Acquire)
     }
 
     /// Requests graceful shutdown (idempotent): stop accepting, flush
     /// pending replies, close sessions, exit all threads.
     pub fn request_stop(&self) {
-        self.stop.store(true, Ordering::Relaxed);
+        // ordering: Release publishes the shutdown decision — any thread
+        // whose Acquire load sees `true` also sees writes made before the
+        // request. One cold store; documents the teardown happens-before.
+        self.stop.store(true, Ordering::Release);
     }
 
     /// Requests shutdown and joins every server thread.
@@ -255,7 +278,22 @@ impl ServerHandle {
     /// Snapshot of the live session table (id → metadata).
     #[must_use]
     pub fn sessions(&self) -> BTreeMap<u64, SessionMeta> {
-        self.table.lock().expect("session table poisoned").clone()
+        lock_table(&self.table).clone()
+    }
+
+    /// Test-only hook: panics while holding the session-table lock on a
+    /// scratch thread, leaving the mutex poisoned. Exists so the
+    /// poisoned-lock recovery contract of [`lock_table`] can be asserted
+    /// end to end from an integration test; never call it in production
+    /// code.
+    #[doc(hidden)]
+    pub fn poison_session_table_for_test(&self) {
+        let table = Arc::clone(&self.table);
+        let _ = std::thread::spawn(move || {
+            let _guard = lock_table(&table);
+            panic!("deliberate poison (test hook)");
+        })
+        .join();
     }
 }
 
@@ -274,19 +312,27 @@ fn accept_loop(
     stop: &AtomicBool,
 ) {
     let mut next_id = 0u64;
-    while !stop.load(Ordering::Relaxed) {
+    // ordering: Acquire pairs with the Release store of the stop flag so
+    // shutdown-time writes are visible once the loop observes `true`.
+    while !stop.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((stream, peer)) => {
                 let id = next_id;
                 next_id += 1;
-                let shard = (id as usize) % senders.len();
+                let shard_count = senders.len().max(1) as u64;
+                let Ok(shard) = usize::try_from(id % shard_count) else {
+                    continue; // unreachable: the remainder fits a usize
+                };
+                let Some(sender) = senders.get(shard) else {
+                    continue; // unreachable: shard < senders.len()
+                };
                 if stream.set_nonblocking(true).is_err() {
                     continue;
                 }
                 let _ = stream.set_nodelay(true);
                 metrics.sessions_opened.fetch_add(1, Ordering::Relaxed);
                 let counters = SessionCounters::new();
-                table.lock().expect("session table poisoned").insert(
+                lock_table(table).insert(
                     id,
                     SessionMeta {
                         peer: peer.to_string(),
@@ -296,7 +342,7 @@ fn accept_loop(
                 );
                 // A send can only fail if the shard already exited, which
                 // only happens during shutdown — drop the connection then.
-                if senders[shard]
+                if sender
                     .send(NewConn {
                         id,
                         stream,
@@ -304,7 +350,7 @@ fn accept_loop(
                     })
                     .is_err()
                 {
-                    table.lock().expect("session table poisoned").remove(&id);
+                    lock_table(table).remove(&id);
                     metrics.sessions_closed.fetch_add(1, Ordering::Relaxed);
                 }
             }
@@ -333,15 +379,14 @@ fn shard_loop(
     const YIELD_ROUNDS: u32 = 64;
     let mut idle_rounds: u32 = 0;
     loop {
-        let stopping = stop.load(Ordering::Relaxed);
+        // ordering: Acquire pairs with the Release store of the stop flag
+        // (see request_stop) — teardown writes are visible once seen.
+        let stopping = stop.load(Ordering::Acquire);
         let mut work = false;
         while let Ok(conn) = rx.try_recv() {
             if stopping {
                 // Refuse late arrivals during shutdown.
-                table
-                    .lock()
-                    .expect("session table poisoned")
-                    .remove(&conn.id);
+                lock_table(table).remove(&conn.id);
                 metrics.sessions_closed.fetch_add(1, Ordering::Relaxed);
                 continue;
             }
@@ -351,22 +396,21 @@ fn shard_loop(
         for s in &mut sessions {
             work |= s.tick(metrics);
         }
-        let mut i = 0;
-        while i < sessions.len() {
-            if sessions[i].dead {
-                let s = sessions.swap_remove(i);
-                table.lock().expect("session table poisoned").remove(&s.id);
+        sessions.retain(|s| {
+            if s.dead {
+                lock_table(table).remove(&s.id);
                 metrics.sessions_closed.fetch_add(1, Ordering::Relaxed);
                 work = true;
+                false
             } else {
-                i += 1;
+                true
             }
-        }
+        });
         if stopping {
             // Graceful: one more flush round already happened via tick();
             // drop whatever remains.
             for s in sessions.drain(..) {
-                table.lock().expect("session table poisoned").remove(&s.id);
+                lock_table(table).remove(&s.id);
                 metrics.sessions_closed.fetch_add(1, Ordering::Relaxed);
             }
             break;
@@ -390,7 +434,8 @@ fn status_loop(
     table: &SessionTable,
     stop: &AtomicBool,
 ) {
-    while !stop.load(Ordering::Relaxed) {
+    // ordering: Acquire pairs with the Release store of the stop flag.
+    while !stop.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((stream, _)) => handle_status_conn(stream, metrics, table, stop),
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -421,7 +466,7 @@ fn handle_status_conn(
         match stream.read(&mut buf) {
             Ok(0) => break,
             Ok(n) => {
-                line.extend_from_slice(&buf[..n]);
+                line.extend_from_slice(buf.get(..n).unwrap_or(&[]));
                 if line.contains(&b'\n') || line.len() > 400 {
                     break;
                 }
@@ -432,11 +477,12 @@ fn handle_status_conn(
     let command = String::from_utf8_lossy(&line);
     let command = command.lines().next().unwrap_or("").trim();
     let response = if command == "shutdown" {
-        stop.store(true, Ordering::Relaxed);
+        // ordering: Release — same contract as ServerHandle::request_stop.
+        stop.store(true, Ordering::Release);
         "ok shutting down\n".to_string()
     } else if command.is_empty() || command == "metrics" || command.starts_with("GET") {
         let mut body = metrics.render();
-        let table = table.lock().expect("session table poisoned");
+        let table = lock_table(table);
         // Aggregate monitor-memory gauges across live sessions, then one
         // row per session with its own live/pruned footprint.
         let (mut live_events, mut live_arcs, mut pruned) = (0u64, 0u64, 0u64);

@@ -110,12 +110,16 @@ impl OutBuf {
     fn ioslices<'a>(&'a self, slices: &mut [IoSlice<'a>; OUT_MAX_IOV]) -> usize {
         let mut k = 0;
         for (i, c) in self.chunks.iter().enumerate() {
-            if k == slices.len() {
+            let Some(slot) = slices.get_mut(k) else {
                 break;
-            }
-            let s: &[u8] = if i == 0 { &c[self.head_pos..] } else { c };
+            };
+            let s: &[u8] = if i == 0 {
+                c.get(self.head_pos..).unwrap_or(&[])
+            } else {
+                c
+            };
             if !s.is_empty() {
-                slices[k] = IoSlice::new(s);
+                *slot = IoSlice::new(s);
                 k += 1;
             }
         }
@@ -137,7 +141,9 @@ impl OutBuf {
             };
             if n >= avail {
                 n -= avail;
-                let mut c = self.chunks.pop_front().expect("front chunk exists");
+                let Some(mut c) = self.chunks.pop_front() else {
+                    break; // unreachable: `avail` came from this chunk
+                };
                 c.clear();
                 self.head_pos = 0;
                 if self.spare.len() < OUT_SPARE_CAP {
@@ -412,7 +418,7 @@ impl Session {
             self.drain_frames(metrics);
             let leftover = {
                 let RxMode::Binary(frames) = &self.rx else {
-                    unreachable!("mode checked above")
+                    return; // defensive: mode was checked above
                 };
                 frames.finish()
             };
@@ -425,7 +431,7 @@ impl Session {
         } else {
             let finished = {
                 let RxMode::Text(assembler) = &mut self.rx else {
-                    unreachable!("mode checked above")
+                    return; // defensive: mode was checked above
                 };
                 assembler.finish()
             };
@@ -444,9 +450,9 @@ impl Session {
     fn ingest_text(&mut self, n: usize, metrics: &Metrics) -> bool {
         let pushed = {
             let RxMode::Text(assembler) = &mut self.rx else {
-                unreachable!("mode checked by the caller")
+                return false; // defensive: mode was checked by the caller
             };
-            assembler.push(&self.read_buf[..n])
+            assembler.push(self.read_buf.get(..n).unwrap_or(&[]))
         };
         // Lines completed before a failure point still process (and
         // number) normally; only then is the offending oversized/invalid
@@ -467,9 +473,9 @@ impl Session {
     fn ingest_binary(&mut self, n: usize, metrics: &Metrics) -> bool {
         let pushed = {
             let RxMode::Binary(frames) = &mut self.rx else {
-                unreachable!("mode checked by the caller")
+                return false; // defensive: mode was checked by the caller
             };
-            frames.push(&self.read_buf[..n])
+            frames.push(self.read_buf.get(..n).unwrap_or(&[]))
         };
         if let Err(m) = pushed {
             // An oversized length prefix is rejected from the prefix
@@ -493,7 +499,7 @@ impl Session {
             }
             let line = {
                 let RxMode::Text(assembler) = &mut self.rx else {
-                    unreachable!("mode checked above")
+                    break; // defensive: mode was checked above
                 };
                 match assembler.next_line() {
                     Some(l) => l,
@@ -513,7 +519,7 @@ impl Session {
         while !self.poisoned {
             let got = {
                 let RxMode::Binary(frames) = &mut self.rx else {
-                    unreachable!("mode checked by the caller")
+                    break; // defensive: mode was checked by the caller
                 };
                 frames.next_frame_into(&mut self.frame_buf)
             };
@@ -588,11 +594,14 @@ impl Session {
             self.protocol_error("xi record inside a trace document", metrics);
             return;
         }
-        self.drive_document(metrics, |parser| {
-            let trec = rec
-                .to_trace_record()
-                .expect("xi records were handled above");
-            parser.feed_record(trec)
+        self.drive_document(metrics, |parser| match rec.to_trace_record() {
+            Some(trec) => parser.feed_record(trec),
+            // Defensive: xi records were dispatched above; a stray one is
+            // a session error, not a server panic.
+            None => Err(TraceTextError {
+                line: 0,
+                message: "internal: xi record escaped idle-state dispatch".to_string(),
+            }),
         });
     }
 
@@ -640,7 +649,9 @@ impl Session {
     fn negotiate_v2(&mut self, metrics: &Metrics) {
         let pipelined = match &self.rx {
             RxMode::Text(assembler) => assembler.has_buffered(),
-            RxMode::Binary(_) => unreachable!("negotiation arrives on a text line"),
+            // Defensive: negotiation arrives on a text line, so a binary
+            // session can never reach here; ignore rather than abort.
+            RxMode::Binary(_) => return,
         };
         if pipelined {
             self.protocol_error(
@@ -667,7 +678,7 @@ impl Session {
         // while holding it (a failed/finished document simply stays out).
         // The box makes this per-record round trip a pointer move.
         let DocState::Running(mut doc) = std::mem::replace(&mut self.doc, DocState::Idle) else {
-            unreachable!("document state was just initialized");
+            return; // defensive: both callers just initialized the state
         };
         let RunningDoc {
             parser,
@@ -686,7 +697,12 @@ impl Session {
         match parsed {
             ParsedLine::Meta | ParsedLine::Message { .. } => {}
             ParsedLine::Topology => {
-                let (n, faulty) = parser.topology().expect("topology follows the faulty line");
+                let Some((n, faulty)) = parser.topology() else {
+                    // Defensive: Topology is only signalled once the
+                    // faulty line has been accepted.
+                    self.protocol_error("internal: topology unavailable", metrics);
+                    return;
+                };
                 match IncrementalChecker::new(n, &self.xi) {
                     Ok(mut mon) => {
                         if self.prune_horizon.is_some() {
@@ -721,7 +737,12 @@ impl Session {
                         self.reply(&line);
                     }
                 } else {
-                    let mon = checker.as_mut().expect("checker exists past Topology");
+                    let Some(mon) = checker.as_mut() else {
+                        // Defensive: the parser admits events only after
+                        // the faulty line created the checker.
+                        self.protocol_error("internal: event before topology", metrics);
+                        return;
+                    };
                     match feed {
                         EventFeed::Init { process, .. } => {
                             mon.append_init(process);
@@ -731,8 +752,15 @@ impl Session {
                             send_event,
                             ..
                         } => {
-                            let send =
-                                send_event.expect("streaming mode always resolves the send event");
+                            let Some(send) = send_event else {
+                                // Defensive: streaming mode resolves every
+                                // send event before yielding the receive.
+                                self.protocol_error(
+                                    "internal: unresolved send event in streaming mode",
+                                    metrics,
+                                );
+                                return;
+                            };
                             mon.append_send(EventId(send), process);
                         }
                     }
@@ -741,11 +769,16 @@ impl Session {
                         // cycle and byte-identical to summarizing against
                         // the graph — and it works in pruned mode, where
                         // there is no graph mirror to summarize against.
-                        let wire = mon
-                            .violation_summary()
-                            .expect("latched monitors carry their summary")
-                            .wire()
-                            .to_string();
+                        let Some(summary) = mon.violation_summary() else {
+                            // Defensive: a latched monitor carries its
+                            // summary by construction.
+                            self.protocol_error(
+                                "internal: latched monitor lost its witness",
+                                metrics,
+                            );
+                            return;
+                        };
+                        let wire = summary.wire().to_string();
                         self.flush_event_counters(metrics);
                         metrics.violations.fetch_add(1, Ordering::Relaxed);
                         self.counters.violations.fetch_add(1, Ordering::Relaxed);
@@ -835,7 +868,7 @@ impl Session {
         while self.out.pending() > 0 {
             let mut slices = [IoSlice::new(&[]); OUT_MAX_IOV];
             let k = self.out.ioslices(&mut slices);
-            match (&self.stream).write_vectored(&slices[..k]) {
+            match (&self.stream).write_vectored(slices.get(..k).unwrap_or(&[])) {
                 Ok(0) => {
                     self.dead = true;
                     break;

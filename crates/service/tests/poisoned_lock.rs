@@ -1,0 +1,61 @@
+//! A panic while holding the session-table mutex must not take the
+//! server down with it: `lock_table` recovers from the poisoned state
+//! (the table only carries status metadata, so the data is still
+//! consistent), and every subsequent client is served normally.
+
+use abc_core::Xi;
+use abc_service::proto::offline_verdict;
+use abc_service::server::{start, ServerConfig};
+use abc_service::{client::status_command, feed_stream_text};
+use abc_sim::delay::BandDelay;
+use abc_sim::{RunLimits, Simulation, Trace};
+
+fn clocksync_trace(seed: u64) -> Trace {
+    let mut sim = Simulation::new(BandDelay::new(10, 19, seed));
+    for _ in 0..4 {
+        sim.add_process(abc_clocksync::TickGen::new(4, 1));
+    }
+    sim.run(RunLimits {
+        max_events: 120,
+        max_time: u64::MAX,
+    });
+    sim.trace().clone()
+}
+
+#[test]
+fn server_survives_a_poisoned_session_table() {
+    let handle = start(ServerConfig {
+        shards: 2,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback server");
+    let addr = handle.addr().to_string();
+    let status = handle.status_addr().to_string();
+    let xi = Xi::from_integer(2);
+
+    // A document before the poison, so the table has seen real traffic.
+    let trace = clocksync_trace(5);
+    let want = offline_verdict(&trace, &xi).unwrap().to_string();
+    let outcome = feed_stream_text(&addr, &xi, &trace.to_stream_text()).unwrap();
+    assert_eq!(outcome.verdict.to_string(), want);
+
+    // Poison the mutex: a scratch thread panics while holding the lock.
+    handle.poison_session_table_for_test();
+
+    // Every lock-table consumer still works: the snapshot API (the dead-
+    // session sweep is asynchronous, so only an upper bound is stable)…
+    let sessions = handle.sessions();
+    assert!(sessions.len() <= 1, "at most the swept session lingers");
+
+    // …the accept/session paths (a full document round-trips)…
+    let trace2 = clocksync_trace(9);
+    let want2 = offline_verdict(&trace2, &xi).unwrap().to_string();
+    let outcome2 = feed_stream_text(&addr, &xi, &trace2.to_stream_text()).unwrap();
+    assert_eq!(outcome2.verdict.to_string(), want2);
+
+    // …and the status responder, which walks the table for its rows.
+    let page = status_command(&status, "metrics").unwrap();
+    assert!(page.contains("abc_service_documents_total 2"), "{page}");
+
+    handle.join();
+}

@@ -216,7 +216,7 @@ impl<'a> Cursor<'a> {
     }
 
     fn varint(&mut self) -> Result<u64, String> {
-        match decode_varint(&self.buf[self.pos..])? {
+        match decode_varint(self.buf.get(self.pos..).unwrap_or(&[]))? {
             Some((v, n)) => {
                 self.pos += n;
                 Ok(v)
@@ -230,10 +230,11 @@ impl<'a> Cursor<'a> {
     }
 
     fn take(&mut self, len: usize) -> Result<&'a [u8], String> {
-        if len > self.remaining() {
-            return Err("truncated record (frame ends mid-field)".to_string());
-        }
-        let s = &self.buf[self.pos..self.pos + len];
+        let s = self
+            .pos
+            .checked_add(len)
+            .and_then(|end| self.buf.get(self.pos..end))
+            .ok_or("truncated record (frame ends mid-field)")?;
         self.pos += len;
         Ok(s)
     }
@@ -450,7 +451,7 @@ impl FrameAssembler {
         if self.poisoned {
             return Err("frame assembler already failed".to_string());
         }
-        let avail = &self.buf[self.pos..];
+        let avail = self.buf.get(self.pos..).unwrap_or(&[]);
         let (len, prefix_len) = match decode_varint(avail) {
             Ok(Some(v)) => v,
             Ok(None) => return Ok(false),
@@ -463,12 +464,14 @@ impl FrameAssembler {
             let cap = self.cap;
             return self.fail(format!("frame of {len} bytes exceeds the {cap}-byte cap"));
         }
-        let len = len as usize;
-        if avail.len() < prefix_len + len {
+        let Ok(len) = usize::try_from(len) else {
+            return self.fail(format!("frame of {len} bytes exceeds the platform range"));
+        };
+        let Some(payload) = avail.get(prefix_len..prefix_len.saturating_add(len)) else {
             return Ok(false);
-        }
+        };
         out.clear();
-        out.extend_from_slice(&avail[prefix_len..prefix_len + len]);
+        out.extend_from_slice(payload);
         self.pos += prefix_len + len;
         // Reclaim the consumed prefix once it dominates the buffer, so a
         // long-lived session reuses one allocation instead of growing.
@@ -675,20 +678,24 @@ impl Trace {
         let mut new_index = vec![usize::MAX; self.messages.len()];
         let mut next = 0usize;
         for ev in &self.events {
-            if let Some(mi) = ev.trigger {
-                new_index[mi] = next;
+            if let Some(slot) = ev.trigger.and_then(|mi| new_index.get_mut(mi)) {
+                *slot = next;
                 next += 1;
             }
         }
         for (mi, m) in self.messages.iter().enumerate() {
             if m.recv_event.is_none() {
-                new_index[mi] = next;
-                next += 1;
+                if let Some(slot) = new_index.get_mut(mi) {
+                    *slot = next;
+                    next += 1;
+                }
             }
         }
         for ev in &self.events {
             if let Some(mi) = ev.trigger {
-                let m = &self.messages[mi];
+                let Some(m) = self.messages.get(mi) else {
+                    continue; // defensive: trace invariants keep triggers in range
+                };
                 w.push_record(&WireRecord::Message(MessageRecord {
                     from: m.from.0,
                     to: m.to.0,
@@ -701,7 +708,7 @@ impl Trace {
                     seq: None,
                     process: ev.process.0,
                     time: ev.time,
-                    trigger: Some(new_index[mi]),
+                    trigger: new_index.get(mi).copied(),
                     received_only: ev.received_only,
                     label: ev.label,
                     distinguished: ev.distinguished,

@@ -243,7 +243,7 @@ impl LineAssembler {
                 let full = std::mem::take(&mut self.partial);
                 self.complete(&full)?;
             }
-            rest = &tail[1..];
+            rest = tail.get(1..).unwrap_or(&[]);
         }
         if self.partial.len() + rest.len() > self.cap {
             self.poisoned = true;
@@ -790,10 +790,10 @@ impl TraceLineParser {
     fn apply_faulty(&mut self, ln: usize, indices: &[usize]) -> Result<ParsedLine, TraceTextError> {
         self.faulty = vec![false; self.num_processes];
         for &p in indices {
-            if p >= self.num_processes {
+            let Some(slot) = self.faulty.get_mut(p) else {
                 return err(ln, format!("faulty index {p} out of range"));
-            }
-            self.faulty[p] = true;
+            };
+            *slot = true;
         }
         self.has_init = vec![false; self.num_processes];
         self.state = PState::Body;
@@ -850,53 +850,62 @@ impl TraceLineParser {
 
     fn parse_event_line(ln: usize, l: &str) -> Result<EventRecord, TraceTextError> {
         let fields: Vec<&str> = l.split_whitespace().collect();
-        if fields.len() != 8 || fields[0] != "e" {
+        let &[tag, seq, process, time, trigger, received_only, label, distinguished] =
+            fields.as_slice()
+        else {
+            return err(ln, format!("expected `e` line with 7 fields, got {l:?}"));
+        };
+        if tag != "e" {
             return err(ln, format!("expected `e` line with 7 fields, got {l:?}"));
         }
         Ok(EventRecord {
             seq: Some(at(
                 ln,
-                opt_usize(fields[1]).and_then(|v| v.ok_or("seq required".into())),
+                opt_usize(seq).and_then(|v| v.ok_or("seq required".into())),
             )?),
             process: at(
                 ln,
-                opt_usize(fields[2]).and_then(|v| v.ok_or("process required".into())),
+                opt_usize(process).and_then(|v| v.ok_or("process required".into())),
             )?,
             time: at(
                 ln,
-                opt_u64(fields[3]).and_then(|v| v.ok_or("time required".into())),
+                opt_u64(time).and_then(|v| v.ok_or("time required".into())),
             )?,
-            trigger: at(ln, opt_usize(fields[4]))?,
-            received_only: at(ln, flag(fields[5]))?,
-            label: at(ln, opt_u64(fields[6]))?,
-            distinguished: at(ln, flag(fields[7]))?,
+            trigger: at(ln, opt_usize(trigger))?,
+            received_only: at(ln, flag(received_only))?,
+            label: at(ln, opt_u64(label))?,
+            distinguished: at(ln, flag(distinguished))?,
         })
     }
 
     fn parse_message_line(ln: usize, l: &str) -> Result<MessageRecord, TraceTextError> {
         let fields: Vec<&str> = l.split_whitespace().collect();
-        if fields.len() != 7 || fields[0] != "m" {
+        let &[tag, from, to, send_event, recv_event, send_time, recv_time] = fields.as_slice()
+        else {
+            return err(ln, format!("expected `m` line with 6 fields, got {l:?}"));
+        };
+        if tag != "m" {
             return err(ln, format!("expected `m` line with 6 fields, got {l:?}"));
         }
         Ok(MessageRecord {
             from: at(
                 ln,
-                opt_usize(fields[1]).and_then(|v| v.ok_or("from required".into())),
+                opt_usize(from).and_then(|v| v.ok_or("from required".into())),
             )?,
             to: at(
                 ln,
-                opt_usize(fields[2]).and_then(|v| v.ok_or("to required".into())),
+                opt_usize(to).and_then(|v| v.ok_or("to required".into())),
             )?,
             send_event: at(
                 ln,
-                opt_usize(fields[3]).and_then(|v| v.ok_or("send_event required".into())),
+                opt_usize(send_event).and_then(|v| v.ok_or("send_event required".into())),
             )?,
-            recv_event: at(ln, opt_usize(fields[4]))?,
+            recv_event: at(ln, opt_usize(recv_event))?,
             send_time: at(
                 ln,
-                opt_u64(fields[5]).and_then(|v| v.ok_or("send_time required".into())),
+                opt_u64(send_time).and_then(|v| v.ok_or("send_time required".into())),
             )?,
-            recv_time: at(ln, opt_u64(fields[6]))?,
+            recv_time: at(ln, opt_u64(recv_time))?,
         })
     }
 
@@ -940,14 +949,19 @@ impl TraceLineParser {
         }
         let feed = match trigger {
             None => {
-                if self.has_init[process.0] {
+                // `process` was range-checked above, so `get_mut` always
+                // hits; the indirection keeps the hot path panic-free.
+                let Some(init) = self.has_init.get_mut(process.0) else {
+                    return err(ln, format!("process {process} out of range"));
+                };
+                if *init {
                     return err(ln, format!("{process} has more than one wake-up event"));
                 }
-                self.has_init[process.0] = true;
+                *init = true;
                 EventFeed::Init { seq, process }
             }
             Some(mi) => {
-                if !self.has_init[process.0] {
+                if !self.has_init.get(process.0).copied().unwrap_or(false) {
                     return err(ln, format!("receive at {process} before its wake-up"));
                 }
                 if let Some(n) = self.declared_messages {
@@ -1115,9 +1129,16 @@ impl TraceLineParser {
                     ),
                 );
             }
-            self.event_meta[send_event - self.meta_base]
+            // In range: `send_event < events_seen` was checked on entry and
+            // `>= meta_base` just above; `get` keeps the path panic-free.
+            let Some(&meta) = self.event_meta.get(send_event - self.meta_base) else {
+                return err(ln, format!("send_event {send_event} not yet seen"));
+            };
+            meta
         } else {
-            let sender = &self.events[send_event];
+            let Some(sender) = self.events.get(send_event) else {
+                return err(ln, format!("send_event {send_event} not yet seen"));
+            };
             (sender.process, sender.time)
         };
         if sender_process.0 != from {
@@ -1268,21 +1289,26 @@ impl Trace {
         let mut new_index = vec![usize::MAX; self.messages.len()];
         let mut next = 0usize;
         for ev in &self.events {
-            if let Some(mi) = ev.trigger {
-                new_index[mi] = next;
+            if let Some(slot) = ev.trigger.and_then(|mi| new_index.get_mut(mi)) {
+                *slot = next;
                 next += 1;
             }
         }
         for (mi, m) in self.messages.iter().enumerate() {
             if m.recv_event.is_none() {
-                new_index[mi] = next;
-                next += 1;
+                if let Some(slot) = new_index.get_mut(mi) {
+                    *slot = next;
+                    next += 1;
+                }
             }
         }
         for ev in &self.events {
-            if let Some(mi) = ev.trigger {
-                Self::write_message_line(&mut out, &self.messages[mi]);
-                Self::write_event_line(&mut out, ev, Some(new_index[mi]));
+            if let Some((m, renumbered)) = ev
+                .trigger
+                .and_then(|mi| Some((self.messages.get(mi)?, new_index.get(mi).copied()?)))
+            {
+                Self::write_message_line(&mut out, m);
+                Self::write_event_line(&mut out, ev, Some(renumbered));
             } else {
                 Self::write_event_line(&mut out, ev, None);
             }
@@ -1377,7 +1403,7 @@ impl Trace {
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                 Err(e) => return err(0, format!("read error: {e}")),
             };
-            assembler.push(&buf[..n])?;
+            assembler.push(buf.get(..n).unwrap_or(&[]))?;
             while let Some(line) = assembler.next_line() {
                 parser.feed_line(&line)?;
             }

@@ -17,6 +17,7 @@
 //! | [`harness`] | Parallel scenario-sweep engine, trace text serialization consumers, the `abc` CLI |
 //! | [`service`] | Sharded TCP trace-ingestion service with live ABC monitoring (`abc serve`/`feed`/`loadgen`) |
 //! | [`consensus`] | EIG + FloodSet consensus over lock-step rounds |
+//! | [`lint`] | Workspace static analysis (`abc lint`): panic-freedom, unsafe budget, lock order, atomics discipline, cast safety |
 //! | [`variants`] | ?ABC, ◇ABC, ?◇ABC weaker variants (Section 6) |
 //! | [`vlsi`] | Systems-on-Chip substrate (Section 5.3) |
 //!
@@ -26,11 +27,14 @@
 //! cargo run --example quickstart
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use abc_clocksync as clocksync;
 pub use abc_consensus as consensus;
 pub use abc_core as core;
 pub use abc_fd as fd;
 pub use abc_harness as harness;
+pub use abc_lint as lint;
 pub use abc_lp as lp;
 pub use abc_models as models;
 pub use abc_rational as rational;

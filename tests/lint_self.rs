@@ -1,0 +1,61 @@
+//! Runs the abc-lint pass over the real workspace in-process, so plain
+//! `cargo test` enforces the same gate CI does: the tree must be clean
+//! under `lint.conf`, and the policy file itself must be well-formed.
+
+use std::path::Path;
+
+use abc::lint::{lint_root, Config, RuleFilter, ALL_RULES};
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let report = lint_root(workspace_root(), &RuleFilter::all()).expect("workspace lints");
+    assert!(
+        report.is_clean(),
+        "abc-lint found violations:\n{}",
+        report.render_human()
+    );
+    assert_eq!(report.rules_run, ALL_RULES);
+    // The walk reached the real tree, not an empty directory.
+    assert!(
+        report.files_checked > 50,
+        "only {} files",
+        report.files_checked
+    );
+}
+
+#[test]
+fn policy_file_is_well_formed_and_scoped() {
+    let config = Config::load(workspace_root()).expect("lint.conf parses");
+    // The declared scopes pin the untrusted decode paths and the service.
+    assert!(Config::path_in(
+        "crates/sim/src/binio.rs",
+        &config.untrusted
+    ));
+    assert!(Config::path_in(
+        "crates/service/src/session.rs",
+        &config.untrusted
+    ));
+    assert!(Config::path_in(
+        "crates/service/src/server.rs",
+        &config.lockscope
+    ));
+    // Exactly one sanctioned unsafe occurrence: the SIGINT handler.
+    assert_eq!(config.unsafe_registry.len(), 1);
+    assert_eq!(
+        config.unsafe_registry[0].path,
+        "crates/service/src/signals.rs"
+    );
+    // Every suppression carries a written justification.
+    for a in &config.allows {
+        assert!(!a.justification.is_empty());
+    }
+    // The fixture tree (which violates everything on purpose) is excluded.
+    assert!(Config::path_in(
+        "crates/lint/fixtures/bad/src/r1.rs",
+        &config.excludes
+    ));
+}
