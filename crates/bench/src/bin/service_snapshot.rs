@@ -11,6 +11,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use abc_core::Xi;
+use abc_rational::Ratio;
 use abc_service::client::{feed_stream_binary, run_loadgen, LoadgenDoc};
 use abc_service::feed_stream_text;
 use abc_service::server::{start, ServerConfig};
@@ -96,6 +97,23 @@ fn measure(addr: &str, xi: &Xi, binary: bool) -> ProtocolRow {
     }
 }
 
+/// Best-of-N single-session v2 feed rate against `addr` — the probe
+/// behind the margin-tracking overhead row.
+fn single_v2_eps(addr: &str, xi: &Xi, doc: &LoadgenDoc) -> f64 {
+    let bytes = doc.binary.as_deref().expect("encoded above");
+    let _ = feed_stream_binary(addr, xi, bytes).expect("warm-up feed");
+    let mut best = f64::MAX;
+    for _ in 0..9 {
+        let t0 = Instant::now();
+        let out = feed_stream_binary(addr, xi, bytes).expect("feed");
+        assert!(!out.verdict.is_violation());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    #[allow(clippy::cast_precision_loss)]
+    let eps = doc.events as f64 / best;
+    eps
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
@@ -125,6 +143,33 @@ fn main() {
     };
     let rows = [pick("v1"), pick("v2")];
 
+    // Margin-tracking overhead: the same single-session v2 feed against a
+    // server with an active `--warn-margin` threshold the workload
+    // crosses (margin reaches 3 against the 2 threshold). Every warn-gate
+    // layer runs: doubling-gated per-event evaluations, cheap `O(live
+    // arcs)` bound scans, the exact probe escalation, one warning flip
+    // per document, and the margin gauge/histogram publishes. The gate
+    // starts evaluating from the first event, so the threshold crossing
+    // latches while the live window is small and the steady-state cost
+    // of a tracked session is a flag check per event. Compared against
+    // an untracked server measured back to back, not against the `rows`
+    // number, so both sides see the same noise floor. (Pruned-monitor
+    // margin signatures are a core-side cost with its own envelope in
+    // BENCH_core; this row isolates the service-layer tracking path.)
+    let tracked_handle = start(ServerConfig {
+        warn_margin: Some(Ratio::from_integer(2)),
+        ..ServerConfig::default()
+    })
+    .expect("bind tracked loopback server");
+    let margin_doc = docs(1, 10_000);
+    let untracked_eps = single_v2_eps(&addr, &xi, &margin_doc[0]);
+    let tracked_eps = single_v2_eps(&tracked_handle.addr().to_string(), &xi, &margin_doc[0]);
+    assert!(
+        tracked_eps * 2.0 >= untracked_eps,
+        "margin tracking overhead exceeds 2x: tracked {tracked_eps:.0} vs \
+         untracked {untracked_eps:.0} events/s"
+    );
+
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let mut json = format!(
         "{{\n  \"bench\": \"service\",\n  \"unit\": \"events_per_second\",\n  \
@@ -152,9 +197,21 @@ fn main() {
             if i + 1 < rows.len() { "," } else { "" }
         );
     }
-    json.push_str("  ]\n}\n");
+    let _ = write!(
+        json,
+        "  ],\n  \"margin\": {{\n    \
+         \"single_session_events\": {},\n    \
+         \"tracked_v2_events_per_sec\": {:.0},\n    \
+         \"untracked_v2_events_per_sec\": {:.0},\n    \
+         \"tracked_fraction_of_untracked\": {:.2}\n  }}\n}}\n",
+        margin_doc[0].events,
+        tracked_eps,
+        untracked_eps,
+        tracked_eps / untracked_eps
+    );
     std::fs::write(&out_path, &json).expect("write snapshot");
     print!("{json}");
     eprintln!("wrote {out_path}");
+    tracked_handle.join();
     handle.join();
 }

@@ -487,7 +487,7 @@ fn exists_nonneg_cycle_linegraph(tg: &TraversalGraph, p: i128, q: i128) -> bool 
 /// interval endpoints stay in `[1, m + 1]` with power-of-two denominators
 /// capped by `2^⌈log₂(2m³)⌉ ≤ 4m³`, so every part is at most `4m³·(m+1)`.
 /// `None` if that bound itself overflows `i128`.
-fn max_bisection_part(m: i64) -> Option<i128> {
+pub(crate) fn max_bisection_part(m: i64) -> Option<i128> {
     let m = i128::from(m);
     m.checked_mul(m)
         .and_then(|m2| m2.checked_mul(m))

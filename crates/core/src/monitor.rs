@@ -84,6 +84,25 @@
 //! [`IncrementalChecker::graph`] is unavailable — use
 //! [`IncrementalChecker::violation_summary`] for witness reporting).
 //!
+//! # Live synchrony margin
+//!
+//! Beyond the binary verdict, the monitor can report how *close* the
+//! execution is to the tripwire: [`IncrementalChecker::current_margin`]
+//! returns the exact maximum `|Z−|/|Z+|` over all relevant cycles so far
+//! (the same value [`crate::check::max_relevant_cycle_ratio`] computes
+//! batch-side), and [`IncrementalChecker::margin_upper_bound`] derives a
+//! cheap `O(arcs)` upper bound from the feasible potentials — the fast
+//! path that gates the exact probe. Pruned monitors stay exact through two
+//! devices: the **margin floor** (margins only grow, so the exact margin
+//! is folded into a floor right before each prune, and later probes only
+//! range above it) and per-shortcut **signature envelopes** (each boundary
+//! shortcut keeps the lower envelope of its crossing paths' `x·F − B`
+//! cost lines over probe ratios at or above the floor, so probes below
+//! `Ξ` see the exact minimum crossing cost, not just the `Ξ`-optimal path
+//! the violation machinery stores). Margin tracking is opt-in for pruning
+//! monitors ([`IncrementalChecker::enable_margin_tracking`]) because the
+//! envelopes cost extra work at every prune.
+//!
 //! # Example: streaming detection
 //!
 //! ```
@@ -106,7 +125,9 @@
 
 use std::collections::VecDeque;
 
-use crate::check::CheckError;
+use abc_rational::{BigInt, Ratio};
+
+use crate::check::{self, CheckError};
 use crate::cycle::{Cycle, CycleStep, ShadowEdge, WitnessSummary};
 use crate::graph::{
     EventId, ExecutionGraph, ExecutionGraphBuilder, LocalEdge, MessageId, ProcessId, Trigger,
@@ -145,6 +166,26 @@ pub struct MonitorStats {
     pub live_arcs_peak: usize,
 }
 
+/// One margin *signature* of a condensed settled-region path: its forward
+/// and backward message counts, plus the expansion needed to reproduce a
+/// witness through it. While the `weight`/`steps` of [`ShortcutInfo`] and
+/// [`RowOut`] describe the one path that is lex-optimal at `Ξ`, margin
+/// probes evaluate cost lines `x·f − b` at probe ratios `x < Ξ`, where a
+/// different crossing path may be cheaper — so margin tracking keeps, per
+/// condensed arc, the *lower envelope* of all crossing paths' cost lines
+/// over the closed interval `[floor, ∞)` of still-reachable probe ratios.
+#[derive(Clone, Debug)]
+struct MarginSig {
+    /// Forward message steps along the path.
+    f: i128,
+    /// Backward message steps along the path.
+    b: i128,
+    /// The condensed steps, in traversal order (tail → head).
+    steps: Vec<CycleStep>,
+    /// Processes of interior vertices (`procs.len() == steps.len() - 1`).
+    procs: Vec<ProcessId>,
+}
+
 /// A condensed boundary path of a pruned prefix: the exact lexicographic
 /// weight of the shortest settled-region path it stands for, plus the
 /// expansion needed to reproduce witnesses byte-for-byte.
@@ -156,6 +197,9 @@ struct ShortcutInfo {
     /// Processes of the expansion's *interior* vertices (between the live
     /// endpoints): `procs.len() == steps.len() - 1`.
     procs: Vec<ProcessId>,
+    /// Margin-signature envelope of *all* condensed paths behind this arc
+    /// (empty when margin tracking is off).
+    sigs: Vec<MarginSig>,
 }
 
 /// One condensed path out of a pruned frontier event: `prev ⇝ head`
@@ -170,6 +214,26 @@ struct RowOut {
     steps: Vec<CycleStep>,
     /// Processes of interior vertices (`procs.len() == steps.len() - 1`).
     procs: Vec<ProcessId>,
+    /// Margin-signature envelope of all condensed `prev ⇝ head` paths
+    /// (empty when margin tracking is off).
+    sigs: Vec<MarginSig>,
+}
+
+/// An exact live-margin sample: the current maximum relevant-cycle ratio
+/// `|Z−|/|Z+|` over the whole monitored execution, and — when one was
+/// extracted — a summary of the tightest cycle attaining it.
+///
+/// Produced by [`IncrementalChecker::current_margin`]; equals what
+/// [`crate::check::max_relevant_cycle_ratio`] reports on the same
+/// execution. The witness is `None` exactly when the margin is attained
+/// only at ratio `1` (where the cheapest certificate may be a degenerate
+/// back-and-forth walk rather than a genuine relevant cycle).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MarginReport {
+    /// The exact maximum `|Z−|/|Z+|` over all relevant cycles so far.
+    pub ratio: Ratio,
+    /// Summary of a tightest cycle attaining `ratio`, if one was extracted.
+    pub witness: Option<WitnessSummary>,
 }
 
 /// What a pruned per-process frontier leaves behind: the frozen potential
@@ -256,6 +320,15 @@ pub struct IncrementalChecker {
     pending: Option<ConfirmCtx>,
     violation: Option<Cycle>,
     violation_summary: Option<WitnessSummary>,
+    /// Whether margin-signature envelopes are maintained across prunes
+    /// (see [`IncrementalChecker::enable_margin_tracking`]).
+    margin_tracking: bool,
+    /// Monotone floor on the execution's margin: the exact live margin is
+    /// folded in right before every prune, so probes after the prune only
+    /// range above it (which keeps the signature envelopes finite).
+    margin_floor: Option<Ratio>,
+    /// Witness summary attaining `margin_floor`, when one was extracted.
+    margin_floor_witness: Option<WitnessSummary>,
     stats: MonitorStats,
 }
 
@@ -293,6 +366,9 @@ impl IncrementalChecker {
             pending: None,
             violation: None,
             violation_summary: None,
+            margin_tracking: false,
+            margin_floor: None,
+            margin_floor_witness: None,
             stats: MonitorStats::default(),
         })
     }
@@ -344,6 +420,27 @@ impl IncrementalChecker {
             "enable_pruning() must be called before any event is appended"
         );
         self.builder = None;
+    }
+
+    /// Keeps margin tracking exact across [`IncrementalChecker::prune_settled`]:
+    /// every prune folds the exact live margin into a monotone floor and
+    /// equips the condensed boundary shortcuts with margin-signature
+    /// envelopes, so [`IncrementalChecker::current_margin`] stays equal to
+    /// the batch [`crate::check::max_relevant_cycle_ratio`] on the full
+    /// (never-pruned) execution. Costs extra work at each prune; without
+    /// it, margin queries on a pruning monitor whose mirror was dropped
+    /// ([`IncrementalChecker::enable_pruning`]) are unavailable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if events were already pruned — the signatures of past
+    /// prunes cannot be reconstructed.
+    pub fn enable_margin_tracking(&mut self) {
+        assert!(
+            self.stats.pruned_events == 0,
+            "enable_margin_tracking() must be called before the first prune_settled()"
+        );
+        self.margin_tracking = true;
     }
 
     /// The monitored parameter `Ξ`.
@@ -549,22 +646,44 @@ impl IncrementalChecker {
                 .expect("a pruned frontier always leaves its row behind");
             for out in &r.outs {
                 let id = self.shortcuts.len();
-                let mut steps = Vec::with_capacity(out.steps.len() + 1);
-                steps.push(CycleStep {
+                let local_step = CycleStep {
                     edge: ShadowEdge::Local(LocalEdge {
                         from: EventId(prev_global),
                         to: EventId(recv),
                     }),
                     against: true,
-                });
+                };
+                let mut steps = Vec::with_capacity(out.steps.len() + 1);
+                steps.push(local_step.clone());
                 steps.extend(out.steps.iter().cloned());
                 let mut procs = Vec::with_capacity(out.procs.len() + 1);
                 procs.push(to); // `prev` belongs to the receiving process
                 procs.extend(out.procs.iter().cloned());
+                // Every signature path gets the same local-edge prefix; a
+                // local step carries no message, so `f`/`b` are unchanged.
+                let sigs = out
+                    .sigs
+                    .iter()
+                    .map(|s| {
+                        let mut steps = Vec::with_capacity(s.steps.len() + 1);
+                        steps.push(local_step.clone());
+                        steps.extend(s.steps.iter().cloned());
+                        let mut procs = Vec::with_capacity(s.procs.len() + 1);
+                        procs.push(to);
+                        procs.extend(s.procs.iter().cloned());
+                        MarginSig {
+                            f: s.f,
+                            b: s.b,
+                            steps,
+                            procs,
+                        }
+                    })
+                    .collect();
                 self.shortcuts.push(ShortcutInfo {
                     weight: (out.weight.0, out.weight.1 - 1),
                     steps,
                     procs,
+                    sigs,
                 });
                 self.push_arc(recv, out.head, ArcKind::Shortcut(id));
             }
@@ -918,6 +1037,13 @@ impl IncrementalChecker {
             return 0;
         }
         if self.violation.is_none() {
+            if self.margin_tracking {
+                // Fold the exact live margin into the monotone floor
+                // *before* the prefix is condensed: probes after the prune
+                // only range above the floor, which is what keeps the
+                // boundary signature envelopes finite and exact.
+                self.fold_margin_floor();
+            }
             // Replace every path through the condemned prefix with an exact
             // live-to-live shortcut before the arcs disappear. Once the
             // verdict is latched no future confirmation ever walks the
@@ -1009,6 +1135,38 @@ impl IncrementalChecker {
             dists.push(dist);
             preds.push(pred);
         }
+        // Margin tracking: the parametric companion of the lex trees above.
+        // `exit_sigs[li][bi]` is the signature envelope of *all* paths
+        // `landings[li] ⇝ head(exits[bi])` (internal signature labels
+        // extended by the exit arc), over probe ratios at or above the
+        // just-folded margin floor.
+        let (lo_n, lo_d) = self.margin_floor_parts();
+        let exit_sigs: Vec<Vec<Vec<MarginSig>>> = if self.margin_tracking {
+            landings
+                .iter()
+                .map(|&start| {
+                    let labels = self.margin_sig_sssp(&internal, base, win, start);
+                    exits
+                        .iter()
+                        .map(|&b| {
+                            let exit_arc = self.tg.arcs()[b];
+                            let deltas = self.arc_margin_sigs(exit_arc.kind);
+                            let mut cands = Vec::new();
+                            for l in &labels[exit_arc.from - base] {
+                                let joint = (!l.steps.is_empty())
+                                    .then(|| self.proc_of[exit_arc.from - base]);
+                                for d in &deltas {
+                                    cands.extend(sig_concat(l, joint, d));
+                                }
+                            }
+                            margin_envelope(cands, lo_n, lo_d)
+                        })
+                        .collect()
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         // The expansion of one arc: its steps and interior processes.
         let expand = |kind: ArcKind| -> (Vec<CycleStep>, Vec<ProcessId>) {
             match kind {
@@ -1096,11 +1254,18 @@ impl IncrementalChecker {
         let mut replacements: Vec<(usize, ShortcutInfo)> = Vec::new();
         let mut updated_weights: std::collections::HashMap<usize, Weight> =
             std::collections::HashMap::new();
+        // Signature merges for *surviving* shortcut arcs, keyed by old id
+        // and applied after the table remap: a survivor absorbs the
+        // envelopes of every new crossing path between its endpoints even
+        // when its lex weight does not improve — a probe below `Ξ` may
+        // prefer the new path.
+        let mut sig_updates: std::collections::HashMap<usize, Vec<MarginSig>> =
+            std::collections::HashMap::new();
         for &ea in entries.iter().filter(|_| !exits.is_empty()) {
             let entry_arc = self.tg.arcs()[ea];
             let li = landing_idx[entry_arc.to - base].expect("entry heads are landings");
             let ew = self.arc_weight(entry_arc.kind);
-            for &b in &exits {
+            for (bi, &b) in exits.iter().enumerate() {
                 let Some((cw, csteps, cprocs)) = compose_to_exit(li, b) else {
                     continue;
                 };
@@ -1111,18 +1276,38 @@ impl IncrementalChecker {
                     // A non-negative self-loop can never improve a shortest
                     // path nor close a violating cycle: drop it. (A negative
                     // one would be a negative cycle — impossible while the
-                    // verdict is open.)
+                    // verdict is open.) Margin probes lose nothing either:
+                    // any cycle through the loop existed before this prune,
+                    // so its ratio is already folded into the margin floor.
                     continue;
                 }
                 debug_assert!(
                     from != to || weight < (0, 0) || self.violation.is_some(),
                     "unlatched monitors have no negative self-loops"
                 );
+                let sigs = if self.margin_tracking {
+                    let mut cands = Vec::new();
+                    for e in &self.arc_margin_sigs(entry_arc.kind) {
+                        for s in &exit_sigs[li][bi] {
+                            cands.extend(sig_concat(e, Some(self.proc_of[entry_arc.to - base]), s));
+                        }
+                    }
+                    margin_envelope(cands, lo_n, lo_d)
+                } else {
+                    Vec::new()
+                };
                 if let Some(&id) = live_shortcut.get(&(from, to)) {
                     // A surviving shortcut already covers this endpoint
                     // pair: keep whichever path is shorter, in place.
                     // (`updated_weights` overlays in-flight improvements so
                     // later candidates compare against the best so far.)
+                    if self.margin_tracking {
+                        let mut cands = sig_updates
+                            .remove(&id)
+                            .unwrap_or_else(|| self.shortcuts[id].sigs.clone());
+                        cands.extend(sigs);
+                        sig_updates.insert(id, margin_envelope(cands, lo_n, lo_d));
+                    }
                     let current = updated_weights
                         .get(&id)
                         .copied()
@@ -1138,6 +1323,9 @@ impl IncrementalChecker {
                                 weight,
                                 steps,
                                 procs,
+                                // Placeholder: `sig_updates` lands after the
+                                // remap and carries the merged envelope.
+                                sigs: Vec::new(),
                             },
                         ));
                         updated_weights.insert(id, weight);
@@ -1152,6 +1340,7 @@ impl IncrementalChecker {
                     weight,
                     steps,
                     procs,
+                    sigs,
                 };
                 match shortcut_slots.entry((from, to)) {
                     std::collections::hash_map::Entry::Vacant(e) => {
@@ -1159,14 +1348,44 @@ impl IncrementalChecker {
                         new_arcs.push((from, to, info));
                     }
                     std::collections::hash_map::Entry::Occupied(e) => {
-                        if weight < new_arcs[*e.get()].2.weight {
-                            new_arcs[*e.get()].2 = info;
+                        let slot = &mut new_arcs[*e.get()].2;
+                        if self.margin_tracking {
+                            let mut cands = std::mem::take(&mut slot.sigs);
+                            cands.extend(info.sigs);
+                            slot.sigs = margin_envelope(cands, lo_n, lo_d);
+                        }
+                        if info.weight < slot.weight {
+                            slot.weight = info.weight;
+                            slot.steps = info.steps;
+                            slot.procs = info.procs;
                         }
                     }
                 }
             }
         }
-        // Frontier rows: freeze fresh ones, recompose stale ones.
+        // Frontier rows: freeze fresh ones, recompose stale ones. Per live
+        // head, the lex-min path wins the row slot, but the signature
+        // envelopes of *all* candidate paths to that head are merged — the
+        // same weight-vs-signature split as for shortcut arcs.
+        let margin_tracking = self.margin_tracking;
+        let push_min = |outs: &mut Vec<RowOut>, mut cand: RowOut| match outs
+            .iter_mut()
+            .find(|o| o.head == cand.head)
+        {
+            Some(o) => {
+                if margin_tracking {
+                    let mut cands = std::mem::take(&mut o.sigs);
+                    cands.append(&mut cand.sigs);
+                    cand.sigs = margin_envelope(cands, lo_n, lo_d);
+                }
+                if cand.weight < o.weight {
+                    *o = cand;
+                } else if margin_tracking {
+                    o.sigs = cand.sigs;
+                }
+            }
+            None => outs.push(cand),
+        };
         let mut new_rows: Vec<(usize, FrontierRow)> = Vec::new();
         for p in 0..self.num_processes {
             match self.last_event[p] {
@@ -1174,28 +1393,25 @@ impl IncrementalChecker {
                     let mut outs: Vec<RowOut> = Vec::new();
                     if !exits.is_empty() {
                         let li = landing_idx[le - base].expect("fresh frontiers are landings");
-                        for &b in &exits {
+                        for (bi, &b) in exits.iter().enumerate() {
                             let Some((weight, steps, procs)) = compose_to_exit(li, b) else {
                                 continue;
                             };
-                            let head = self.tg.arcs()[b].to;
-                            match outs.iter_mut().find(|o| o.head == head) {
-                                Some(o) if weight < o.weight => {
-                                    *o = RowOut {
-                                        head,
-                                        weight,
-                                        steps,
-                                        procs,
-                                    };
-                                }
-                                Some(_) => {}
-                                None => outs.push(RowOut {
-                                    head,
+                            let sigs = if margin_tracking {
+                                exit_sigs[li][bi].clone()
+                            } else {
+                                Vec::new()
+                            };
+                            push_min(
+                                &mut outs,
+                                RowOut {
+                                    head: self.tg.arcs()[b].to,
                                     weight,
                                     steps,
                                     procs,
-                                }),
-                            }
+                                    sigs,
+                                },
+                            );
                         }
                     }
                     new_rows.push((
@@ -1211,14 +1427,6 @@ impl IncrementalChecker {
                         continue;
                     };
                     let mut outs: Vec<RowOut> = Vec::new();
-                    let push_min = |outs: &mut Vec<RowOut>, cand: RowOut| match outs
-                        .iter_mut()
-                        .find(|o| o.head == cand.head)
-                    {
-                        Some(o) if cand.weight < o.weight => *o = cand,
-                        Some(_) => {}
-                        None => outs.push(cand),
-                    };
                     for out in &row.outs {
                         if out.head >= w {
                             push_min(&mut outs, out.clone());
@@ -1228,7 +1436,7 @@ impl IncrementalChecker {
                             continue;
                         }
                         let li = landing_idx[out.head - base].expect("stale heads are landings");
-                        for &b in &exits {
+                        for (bi, &b) in exits.iter().enumerate() {
                             let Some((cw, csteps, cprocs)) = compose_to_exit(li, b) else {
                                 continue;
                             };
@@ -1237,6 +1445,18 @@ impl IncrementalChecker {
                             procs.push(self.proc_of[out.head - base]);
                             steps.extend(csteps);
                             procs.extend(cprocs);
+                            let sigs = if margin_tracking {
+                                let joint = Some(self.proc_of[out.head - base]);
+                                let mut cands = Vec::new();
+                                for s in &out.sigs {
+                                    for c in &exit_sigs[li][bi] {
+                                        cands.extend(sig_concat(s, joint, c));
+                                    }
+                                }
+                                margin_envelope(cands, lo_n, lo_d)
+                            } else {
+                                Vec::new()
+                            };
                             push_min(
                                 &mut outs,
                                 RowOut {
@@ -1244,6 +1464,7 @@ impl IncrementalChecker {
                                     weight: (out.weight.0 + cw.0, out.weight.1 + cw.1),
                                     steps,
                                     procs,
+                                    sigs,
                                 },
                             );
                         }
@@ -1286,6 +1507,10 @@ impl IncrementalChecker {
             let new_id = remap[old_id].expect("replaced shortcuts survive the cut");
             new_table[new_id] = info;
         }
+        for (old_id, sigs) in sig_updates {
+            let new_id = remap[old_id].expect("sig-merged shortcuts survive the cut");
+            new_table[new_id].sigs = sigs;
+        }
         self.shortcuts = new_table;
         for (from, to, info) in new_arcs {
             let id = self.shortcuts.len();
@@ -1294,6 +1519,714 @@ impl IncrementalChecker {
         }
         for (p, row) in new_rows {
             self.frontier_row[p] = Some(row);
+        }
+    }
+
+    /// The margin floor as `i128` parts (`1/1` when no floor is set: the
+    /// envelope interval then starts at the smallest relevant ratio).
+    fn margin_floor_parts(&self) -> (i128, i128) {
+        match &self.margin_floor {
+            Some(r) => (
+                r.numer()
+                    .to_i128()
+                    .expect("margin floors are small rationals"),
+                r.denom()
+                    .to_i128()
+                    .expect("margin floors are small rationals"),
+            ),
+            None => (1, 1),
+        }
+    }
+
+    /// The margin signatures of one live arc: plain arcs carry their single
+    /// step, shortcut arcs their stored envelope.
+    fn arc_margin_sigs(&self, kind: ArcKind) -> Vec<MarginSig> {
+        let single = |f: i128, b: i128, edge: ShadowEdge, against: bool| {
+            vec![MarginSig {
+                f,
+                b,
+                steps: vec![CycleStep { edge, against }],
+                procs: Vec::new(),
+            }]
+        };
+        match kind {
+            ArcKind::Forward(m) => single(1, 0, ShadowEdge::Message(m), false),
+            ArcKind::Backward(m) => single(0, 1, ShadowEdge::Message(m), true),
+            ArcKind::LocalBack(l) => single(0, 0, ShadowEdge::Local(l), true),
+            ArcKind::Shortcut(id) => self.shortcuts[id].sigs.clone(),
+        }
+    }
+
+    /// Signature-envelope shortest paths from `start` over the internal
+    /// arcs — the parametric companion of
+    /// [`IncrementalChecker::seeded_sssp`]: instead of the one lex-optimal
+    /// path at `Ξ`, every node keeps the lower envelope of all incoming
+    /// path signatures over probe ratios at or above the margin floor.
+    ///
+    /// Terminates because an insert only succeeds when a node's envelope
+    /// strictly improves on some open sub-interval, and prefix cycles cost
+    /// `≥ 0` everywhere on it (their ratios were folded into the floor
+    /// right before condensation), so lapped signatures never survive the
+    /// envelope.
+    fn margin_sig_sssp(
+        &self,
+        internal: &[usize],
+        base: usize,
+        win: usize,
+        start: usize,
+    ) -> Vec<Vec<MarginSig>> {
+        let (lo_n, lo_d) = self.margin_floor_parts();
+        let arcs = self.tg.arcs();
+        let mut labels: Vec<Vec<MarginSig>> = vec![Vec::new(); win];
+        labels[start - base] = vec![MarginSig {
+            f: 0,
+            b: 0,
+            steps: Vec::new(),
+            procs: Vec::new(),
+        }];
+        let mut rounds: usize = 0;
+        loop {
+            let mut changed = false;
+            for &ai in internal.iter().rev() {
+                let arc = arcs[ai];
+                if labels[arc.from - base].is_empty() {
+                    continue;
+                }
+                let from_labels = labels[arc.from - base].clone();
+                let deltas = self.arc_margin_sigs(arc.kind);
+                for l in &from_labels {
+                    let joint = (!l.steps.is_empty()).then(|| self.proc_of[arc.from - base]);
+                    for d in &deltas {
+                        let Some(cand) = sig_concat(l, joint, d) else {
+                            continue;
+                        };
+                        changed |=
+                            margin_envelope_insert(&mut labels[arc.to - base], cand, lo_n, lo_d);
+                    }
+                }
+            }
+            if !changed {
+                return labels;
+            }
+            rounds += 1;
+            assert!(
+                rounds <= 100_000,
+                "internal error: margin signature envelopes failed to converge"
+            );
+        }
+    }
+
+    /// Folds the exact live margin into the monotone floor: margins never
+    /// shrink as an execution grows, so the pre-prune margin bounds every
+    /// later one from below. Runs right before each condensation so that
+    /// probes after the prune only range above the floor.
+    fn fold_margin_floor(&mut self) {
+        // Fast path: if the potentials already bound the live window at or
+        // below the floor, the fold cannot raise it.
+        if let (Some(floor), Some(bound)) = (&self.margin_floor, self.margin_upper_bound()) {
+            if bound <= *floor {
+                return;
+            }
+        }
+        let folded = self
+            .window_margin()
+            .expect("margin fold overflowed the probe weights");
+        if let Some((ratio, witness)) = folded {
+            if self.margin_floor.as_ref().is_none_or(|f| ratio > *f) {
+                self.margin_floor_witness = witness;
+                self.margin_floor = Some(ratio);
+            }
+        }
+    }
+
+    /// Windowed negative-cycle probe at ratio `a/b` (`a > b ≥ 1`): the
+    /// live-arena mirror of [`crate::check`]'s violating-cycle extraction,
+    /// with shortcut arcs charged the cheapest line of their signature
+    /// envelope. Returns the cycle as `(arc index, chosen signature)`
+    /// pairs in traversal order if one with ratio `≥ a/b` exists.
+    fn window_cycle_at(&self, a: i128, b: i128) -> Option<Vec<(usize, Option<usize>)>> {
+        let base = self.tg.base();
+        let n = self.tg.num_live_nodes();
+        let arcs = self.tg.arcs();
+        if n == 0 || arcs.is_empty() {
+            return None;
+        }
+        let k = i128::try_from(arcs.len()).expect("arc count fits i128") + 1;
+        // Scaled weight and (for shortcuts) the signature attaining it.
+        let weights: Vec<(i128, Option<usize>)> = arcs
+            .iter()
+            .map(|arc| match arc.kind {
+                ArcKind::Forward(_) => (a * k - 1, None),
+                ArcKind::Backward(_) => (-b * k - 1, None),
+                ArcKind::LocalBack(_) => (-1, None),
+                ArcKind::Shortcut(id) => {
+                    let sigs = &self.shortcuts[id].sigs;
+                    let (si, cost) = sigs
+                        .iter()
+                        .enumerate()
+                        .map(|(i, s)| (i, a * s.f - b * s.b))
+                        .min_by_key(|&(_, c)| c)
+                        .expect("margin probes need signature envelopes");
+                    (cost * k - 1, Some(si))
+                }
+            })
+            .collect();
+        let mut dist = vec![0i128; n];
+        let mut pred: Vec<Option<usize>> = vec![None; n];
+        let mut changed_node = None;
+        for round in 0..=n {
+            let mut changed = None;
+            for (ai, arc) in arcs.iter().enumerate() {
+                let cand = dist[arc.from - base] + weights[ai].0;
+                if cand < dist[arc.to - base] {
+                    dist[arc.to - base] = cand;
+                    pred[arc.to - base] = Some(ai);
+                    changed = Some(arc.to);
+                }
+            }
+            match changed {
+                None => return None,
+                Some(node) if round == n => changed_node = Some(node),
+                Some(_) => {}
+            }
+        }
+        // A relaxation happened in the final round: walk back to land
+        // inside the negative cycle, then collect it.
+        let mut node = changed_node.expect("loop ended via final-round relaxation");
+        for _ in 0..n {
+            node = arcs[pred[node - base].expect("relaxed nodes have predecessors")].from;
+        }
+        let start = node;
+        let mut picks = Vec::new();
+        loop {
+            let ai = pred[node - base].expect("cycle nodes have predecessors");
+            picks.push((ai, weights[ai].1));
+            node = arcs[ai].from;
+            if node == start {
+                break;
+            }
+        }
+        picks.reverse(); // predecessor walk collects arcs destination-first
+        Some(picks)
+    }
+
+    /// Windowed reversal-free ratio-1 probe: does the live arena close a
+    /// relevant cycle with `|Z−| ≥ |Z+|`? The live-arena mirror of the
+    /// batch line-graph pass (immediate forward/backward re-traversal of
+    /// one message excluded). Shortcut arcs expand into one probe arc per
+    /// stored signature so the exclusion also applies across shortcut
+    /// junctions: a walk may not leave a shortcut by reversing the last
+    /// message of its expansion (signature interiors are reversal-free by
+    /// construction — see [`sig_concat`]).
+    fn window_relevant_ratio1(&self) -> bool {
+        let arcs = self.tg.arcs();
+        if arcs.is_empty() {
+            return false;
+        }
+        let base = self.tg.base();
+        // Probe arcs: plain arcs carry their own step as both boundary
+        // steps; each shortcut signature becomes its own parallel arc
+        // bounded by its expansion's first and last steps.
+        struct ProbeArc {
+            tail: usize,
+            head: usize,
+            cost: i128, // f − b of the expansion; scaled by k below
+            first: Option<CycleStep>,
+            last: Option<CycleStep>,
+        }
+        let mut probes: Vec<ProbeArc> = Vec::new();
+        for arc in arcs {
+            let (tail, head) = (arc.from - base, arc.to - base);
+            match arc.kind {
+                ArcKind::Forward(m) => {
+                    let s = CycleStep {
+                        edge: ShadowEdge::Message(m),
+                        against: false,
+                    };
+                    probes.push(ProbeArc {
+                        tail,
+                        head,
+                        cost: 1,
+                        first: Some(s),
+                        last: Some(s),
+                    });
+                }
+                ArcKind::Backward(m) => {
+                    let s = CycleStep {
+                        edge: ShadowEdge::Message(m),
+                        against: true,
+                    };
+                    probes.push(ProbeArc {
+                        tail,
+                        head,
+                        cost: -1,
+                        first: Some(s),
+                        last: Some(s),
+                    });
+                }
+                ArcKind::LocalBack(_) => {
+                    probes.push(ProbeArc {
+                        tail,
+                        head,
+                        cost: 0,
+                        first: None,
+                        last: None,
+                    });
+                }
+                ArcKind::Shortcut(id) => {
+                    let sigs = &self.shortcuts[id].sigs;
+                    debug_assert!(!sigs.is_empty(), "margin probes need signature envelopes");
+                    for s in sigs {
+                        probes.push(ProbeArc {
+                            tail,
+                            head,
+                            cost: s.f - s.b,
+                            first: s.steps.first().copied(),
+                            last: s.steps.last().copied(),
+                        });
+                    }
+                }
+            }
+        }
+        let p_count = probes.len();
+        let k = i128::try_from(p_count).expect("arc count fits i128") + 1;
+        let num_nodes = self.tg.num_live_nodes();
+        let mut incoming: Vec<Vec<usize>> = vec![Vec::new(); num_nodes];
+        for (pi, p) in probes.iter().enumerate() {
+            incoming[p.head].push(pi);
+        }
+        // `dist[p]` = best walk cost ending with probe arc `p`. Per node we
+        // keep the best incoming dist and the best with a *different*
+        // closing step: an outgoing arc conflicts with exactly one closing
+        // step (the reverse of its first), so one of the two always
+        // applies.
+        let mut dist = vec![0i128; p_count];
+        for _round in 0..=p_count {
+            let mut best: Vec<Option<(i128, Option<CycleStep>)>> = vec![None; num_nodes];
+            let mut second: Vec<Option<(i128, Option<CycleStep>)>> = vec![None; num_nodes];
+            for v in 0..num_nodes {
+                for &pi in &incoming[v] {
+                    let d = dist[pi];
+                    let s = probes[pi].last;
+                    match best[v] {
+                        None => best[v] = Some((d, s)),
+                        Some((bd, bs)) if bs == s => {
+                            if d < bd {
+                                best[v] = Some((d, s));
+                            }
+                        }
+                        Some((bd, bs)) => {
+                            if d < bd {
+                                // The old best competes for second; a second
+                                // sharing the new best's step is superseded.
+                                match second[v] {
+                                    Some((sd, ss)) if ss != s && sd < bd => {}
+                                    _ => second[v] = Some((bd, bs)),
+                                }
+                                best[v] = Some((d, s));
+                            } else {
+                                match second[v] {
+                                    Some((sd, ss)) if ss == s => {
+                                        if d < sd {
+                                            second[v] = Some((d, s));
+                                        }
+                                    }
+                                    Some((sd, _)) => {
+                                        if d < sd {
+                                            second[v] = Some((d, s));
+                                        }
+                                    }
+                                    None => second[v] = Some((d, s)),
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            let mut changed = false;
+            for (pi, p) in probes.iter().enumerate() {
+                let Some((bd, bs)) = best[p.tail] else {
+                    continue;
+                };
+                let conflicts = |closing: Option<CycleStep>| {
+                    matches!(
+                        (closing, p.first),
+                        (Some(a), Some(b)) if step_reverses(&a, &b)
+                    )
+                };
+                let inc = if conflicts(bs) {
+                    match second[p.tail] {
+                        Some((sd, ss)) => {
+                            debug_assert!(
+                                !conflicts(ss),
+                                "second differs from the conflicting step"
+                            );
+                            sd
+                        }
+                        None => continue,
+                    }
+                } else {
+                    bd
+                };
+                let cand = inc + p.cost * k - 1;
+                if cand < dist[pi] {
+                    dist[pi] = cand;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Expands a probe cycle (arc + chosen-signature picks, traversal
+    /// order) into a witness summary — the same assembly as the violation
+    /// confirmation's, shortcut arcs spliced from the chosen signature.
+    fn expand_window_cycle(&self, picks: &[(usize, Option<usize>)]) -> WitnessSummary {
+        let base = self.tg.base();
+        let arcs = self.tg.arcs();
+        let mut steps: Vec<CycleStep> = Vec::new();
+        let mut procs_seq: Vec<ProcessId> = Vec::new();
+        for &(ai, si) in picks {
+            let arc = arcs[ai];
+            procs_seq.push(self.proc_of[arc.from - base]);
+            match arc.kind {
+                ArcKind::Forward(m) => steps.push(CycleStep {
+                    edge: ShadowEdge::Message(m),
+                    against: false,
+                }),
+                ArcKind::Backward(m) => steps.push(CycleStep {
+                    edge: ShadowEdge::Message(m),
+                    against: true,
+                }),
+                ArcKind::LocalBack(l) => steps.push(CycleStep {
+                    edge: ShadowEdge::Local(l),
+                    against: true,
+                }),
+                ArcKind::Shortcut(id) => {
+                    let sig =
+                        &self.shortcuts[id].sigs[si.expect("shortcut picks carry their signature")];
+                    steps.extend(sig.steps.iter().cloned());
+                    procs_seq.extend(sig.procs.iter().copied());
+                }
+            }
+        }
+        let cycle = Cycle::new(steps);
+        let mut process_path: Vec<ProcessId> = Vec::new();
+        for &p in &procs_seq {
+            if process_path.last() != Some(&p) {
+                process_path.push(p);
+            }
+        }
+        if process_path.len() > 1 && process_path.first() == process_path.last() {
+            process_path.pop();
+        }
+        WitnessSummary {
+            classification: cycle.classify(),
+            process_path,
+            steps: cycle.steps().len(),
+        }
+    }
+
+    /// Exact margin for a pruning monitor: the max of the folded floor and
+    /// the live window's best cycle ratio, found by rational bisection over
+    /// the windowed probes (the live-arena mirror of
+    /// [`crate::check::max_relevant_cycle_ratio`], with shortcut arcs
+    /// charged their signature envelopes).
+    #[allow(clippy::type_complexity)]
+    fn window_margin(&self) -> Result<Option<(Ratio, Option<WitnessSummary>)>, CheckError> {
+        debug_assert!(
+            self.violation.is_none(),
+            "latched margins come from the witness summary"
+        );
+        let floor = || {
+            self.margin_floor
+                .clone()
+                .map(|r| (r, self.margin_floor_witness.clone()))
+        };
+        // Per-cycle step bounds: how many forward/backward message steps a
+        // live cycle can take (shortcut arcs contribute their largest
+        // signature component), and the largest per-arc signature mass.
+        let mut f_bound: i128 = 0;
+        let mut b_bound: i128 = 0;
+        let mut arc_mass: i128 = 1;
+        for arc in self.tg.arcs() {
+            let (f, b) = match arc.kind {
+                ArcKind::Forward(_) => (1, 0),
+                ArcKind::Backward(_) => (0, 1),
+                ArcKind::LocalBack(_) => (0, 0),
+                ArcKind::Shortcut(id) => {
+                    let sigs = &self.shortcuts[id].sigs;
+                    (
+                        sigs.iter().map(|s| s.f).max().unwrap_or(0),
+                        sigs.iter().map(|s| s.b).max().unwrap_or(0),
+                    )
+                }
+            };
+            f_bound += f;
+            b_bound += b;
+            arc_mass = arc_mass.max(f + b);
+        }
+        let m = i64::try_from(f_bound.max(b_bound)).map_err(|_| CheckError::GraphTooLarge)?;
+        if m == 0 {
+            // No live message steps at all: the floor is the whole story.
+            return Ok(floor());
+        }
+        // Overflow guard, mirroring the batch checker's: probe parts stay
+        // ≤ max_part, each arc weight is ≤ part·mass scaled by k ≤ arcs+1,
+        // and a relaxation path accumulates ≤ nodes+1 of them.
+        let max_part = check::max_bisection_part(m).ok_or(CheckError::GraphTooLarge)?;
+        let size = i128::try_from(self.tg.num_live_nodes().max(self.tg.num_arcs()))
+            .expect("usize fits i128");
+        let _ = max_part
+            .checked_mul(arc_mass)
+            .and_then(|x| x.checked_mul(size + 2))
+            .and_then(|x| x.checked_mul(size + 2))
+            .ok_or(CheckError::GraphTooLarge)?;
+        let spacing_denom = m.checked_mul(m).ok_or(CheckError::GraphTooLarge)?;
+        let exists_ge = |r: &Ratio| -> bool {
+            let a = r
+                .numer()
+                .to_i128()
+                .expect("bisection parts fit i128 (guarded up front)");
+            let b = r
+                .denom()
+                .to_i128()
+                .expect("bisection parts fit i128 (guarded up front)");
+            if a > b {
+                self.window_cycle_at(a, b).is_some()
+            } else {
+                self.window_relevant_ratio1()
+            }
+        };
+        let mut lo = match &self.margin_floor {
+            Some(f) => f.clone(),
+            None => {
+                if !exists_ge(&Ratio::one()) {
+                    return Ok(None);
+                }
+                Ratio::one()
+            }
+        };
+        let mut hi = Ratio::from_integer(m + 1);
+        if lo >= hi {
+            // The live window is too small to beat the floor.
+            return Ok(floor());
+        }
+        // Invariant: exists_ge(hi) is false, and exists_ge(lo) is true *or*
+        // `lo` is the floor (attained by a pruned cycle, maybe not a live
+        // one) — either way the margin lies in [lo, hi), and the final
+        // verification probe keeps the result exact in both cases.
+        let spacing = Ratio::new(1, spacing_denom) / Ratio::from_integer(2);
+        while &hi - &lo > spacing {
+            let mid = lo.midpoint(&hi);
+            if exists_ge(&mid) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        // Recover the unique B/F with F ≤ m in [lo, hi), as in the batch.
+        let mut best: Option<Ratio> = None;
+        for f in 1..=m {
+            let fr = Ratio::from_integer(f);
+            let prod = &hi * &fr;
+            let b = if prod.is_integer() {
+                prod.numer().clone() - BigInt::one()
+            } else {
+                prod.floor()
+            };
+            let b = b.to_i64().ok_or(CheckError::GraphTooLarge)?;
+            if b < 1 {
+                continue;
+            }
+            let cand = Ratio::new(b, f);
+            if cand >= lo && best.as_ref().is_none_or(|x| cand > *x) {
+                best = Some(cand);
+            }
+        }
+        let Some(cand) = best else {
+            return Ok(floor());
+        };
+        let a = cand
+            .numer()
+            .to_i128()
+            .expect("recovered parts fit i128 (guarded up front)");
+        let b = cand
+            .denom()
+            .to_i128()
+            .expect("recovered parts fit i128 (guarded up front)");
+        if a == b {
+            // Ratio exactly 1: either the floor is already there (margins
+            // are monotone, so it must then be exactly 1 itself), or the
+            // ratio-1 gate above certified a live cycle. Either way there
+            // is no canonical witness cycle to extract at ratio 1.
+            debug_assert!(self
+                .margin_floor
+                .as_ref()
+                .is_none_or(|f| *f == Ratio::one()));
+            return Ok(Some((cand, None)));
+        }
+        match self.window_cycle_at(a, b) {
+            Some(picks) => {
+                let summary = self.expand_window_cycle(&picks);
+                debug_assert_eq!(summary.classification.ratio(), Some(cand.clone()));
+                Ok(Some((cand, Some(summary))))
+            }
+            None => {
+                // The candidate interval contains only the (pruned) floor;
+                // the live window stays below it.
+                assert!(
+                    self.margin_floor.is_some(),
+                    "internal error: unverifiable window margin candidate"
+                );
+                Ok(floor())
+            }
+        }
+    }
+
+    /// The execution's current **synchrony margin**: the exact maximum
+    /// relevant-cycle ratio `|Z−|/|Z+|` over everything appended so far, or
+    /// `Ok(None)` while no relevant cycle exists. Matches the batch
+    /// [`crate::check::max_relevant_cycle_ratio`] over the same events at
+    /// every point of the stream — pruned or not — so the margin is a
+    /// monotone "distance to violation" gauge: the monitor stays admissible
+    /// exactly while the margin is below `Ξ`, and once the verdict latches
+    /// the margin freezes at the witness's ratio.
+    ///
+    /// ```
+    /// use abc_core::monitor::IncrementalChecker;
+    /// use abc_core::graph::ProcessId;
+    /// use abc_core::Xi;
+    /// use abc_rational::Ratio;
+    ///
+    /// let xi = Xi::from_integer(3);
+    /// let mut mon = IncrementalChecker::new(3, &xi)?;
+    /// let q = mon.append_init(ProcessId(0));
+    /// mon.append_init(ProcessId(1));
+    /// mon.append_init(ProcessId(2));
+    /// assert_eq!(mon.current_margin()?, None); // acyclic: no cycle yet
+    /// // Fast chain 0 → 2 → 1, spanned by a slow direct message 0 → 1.
+    /// let (_, r) = mon.append_send(q, ProcessId(2));
+    /// mon.append_send(r, ProcessId(1));
+    /// mon.append_send(q, ProcessId(1));
+    /// let margin = mon.current_margin()?.expect("the span closes a cycle");
+    /// assert_eq!(margin.ratio, Ratio::from_integer(2)); // 2 hops against 1
+    /// assert!(mon.is_admissible()); // margin 2 is still below Ξ = 3
+    /// # Ok::<(), abc_core::check::CheckError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// [`CheckError::GraphTooLarge`] when the (windowed) bisection
+    /// arithmetic would overflow, exactly as in the batch probe.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a pruning monitor whose mirror was dropped unless
+    /// [`IncrementalChecker::enable_margin_tracking`] was called before the
+    /// first prune.
+    pub fn current_margin(&self) -> Result<Option<MarginReport>, CheckError> {
+        if let Some(s) = &self.violation_summary {
+            let ratio = s
+                .classification
+                .ratio()
+                .expect("latched witnesses are relevant cycles");
+            return Ok(Some(MarginReport {
+                ratio,
+                witness: Some(s.clone()),
+            }));
+        }
+        if let Some(builder) = &self.builder {
+            let g = builder.graph();
+            let Some(ratio) = check::max_relevant_cycle_ratio(g)? else {
+                return Ok(None);
+            };
+            let witness = if ratio > Ratio::one() {
+                let tg = TraversalGraph::from_graph(g);
+                let p = ratio.numer().to_i128().expect("margin parts fit i128");
+                let q = ratio.denom().to_i128().expect("margin parts fit i128");
+                let idxs = check::violating_cycle_arcs(tg.arcs(), g.num_events(), p, q)
+                    .expect("the margin ratio is attained by a cycle");
+                let cycle = check::arcs_to_cycle(tg.arcs(), &idxs);
+                Some(cycle.summarize(g))
+            } else {
+                // At ratio exactly 1 the cheapest certificate may be a
+                // degenerate out-and-back walk: report no witness.
+                None
+            };
+            return Ok(Some(MarginReport { ratio, witness }));
+        }
+        assert!(
+            self.margin_tracking,
+            "current_margin() on a pruning monitor requires enable_margin_tracking() \
+             before the first prune_settled()"
+        );
+        Ok(self
+            .window_margin()?
+            .map(|(ratio, witness)| MarginReport { ratio, witness }))
+    }
+
+    /// A cheap upper bound on [`IncrementalChecker::current_margin`]: an
+    /// `O(live arcs)` scan of the feasible Bellman–Ford potentials, no
+    /// shortest-path probe. For every live forward arc the potential
+    /// stretch `Δ = π(recv).0 − π(send).0` certifies that no relevant
+    /// cycle through that message has ratio above `Δ/q` (scaling the
+    /// potentials by `1/q` yields a feasible potential for the probe at
+    /// that ratio; boundary-shortcut signatures with `f > 0` contribute
+    /// `(Δ + q·b)/(q·f)` the same way), so the maximum stretch, combined
+    /// with the folded floor, bounds the margin from above. The bound is
+    /// never above `Ξ` while the verdict is open, equals the latched ratio
+    /// after, and is `None` only when no relevant cycle can exist at all.
+    ///
+    /// This is the fast path for threshold alerting: only when the bound
+    /// crosses a warning threshold does an exact (and much costlier)
+    /// [`current_margin`](IncrementalChecker::current_margin) probe need
+    /// to run.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a pruning monitor whose mirror was dropped unless margin
+    /// tracking is enabled (pruned shortcut arcs need their signatures).
+    #[must_use]
+    pub fn margin_upper_bound(&self) -> Option<Ratio> {
+        if let Some(s) = &self.violation_summary {
+            return s.classification.ratio();
+        }
+        assert!(
+            self.builder.is_some() || self.stats.pruned_events == 0 || self.margin_tracking,
+            "margin_upper_bound() on a pruning monitor requires enable_margin_tracking() \
+             before the first prune_settled()"
+        );
+        let base = self.tg.base();
+        // Max candidate as an i128 fraction (numerator, positive denominator).
+        let mut best: Option<(i128, i128)> = None;
+        let mut push = |num: i128, den: i128| {
+            debug_assert!(den > 0);
+            if best.is_none_or(|(bn, bd)| num * bd > bn * den) {
+                best = Some((num, den));
+            }
+        };
+        for arc in self.tg.arcs() {
+            let d = self.pot[arc.to - base].0 - self.pot[arc.from - base].0;
+            match arc.kind {
+                ArcKind::Forward(_) => push(d, self.q),
+                ArcKind::Shortcut(id) => {
+                    for s in &self.shortcuts[id].sigs {
+                        if s.f > 0 {
+                            push(d + self.q * s.b, self.q * s.f);
+                        }
+                    }
+                }
+                ArcKind::Backward(_) | ArcKind::LocalBack(_) => {}
+            }
+        }
+        let scan = best.map(|(n, d)| Ratio::from_bigints(BigInt::from(n), BigInt::from(d)));
+        match (scan, self.margin_floor.clone()) {
+            (Some(s), Some(f)) => Some(if s > f { s } else { f }),
+            (s, f) => s.or(f),
         }
     }
 
@@ -1310,6 +2243,119 @@ impl IncrementalChecker {
             .expect("finish() is unavailable on a pruning monitor (enable_pruning was called)");
         (builder.finish(), self.violation)
     }
+}
+
+/// Do consecutive walk steps `a` then `b` immediately re-traverse one
+/// message in opposite directions? Such walks are excluded from cycles
+/// (the batch checker's line graph forbids them), and dropping them loses
+/// no optimal signature at probe ratios `≥ 1`: contracting the pair yields
+/// a valid walk whose cost is lower by `x − 1 ≥ 0`, and that walk is
+/// explored on its own.
+fn step_reverses(a: &CycleStep, b: &CycleStep) -> bool {
+    match (a.edge, b.edge) {
+        (ShadowEdge::Message(m1), ShadowEdge::Message(m2)) => m1 == m2 && a.against != b.against,
+        _ => false,
+    }
+}
+
+/// Concatenates two path signatures meeting at the vertex with process
+/// `joint` (`None` when the left path is empty — the meeting vertex is the
+/// composite's start and stays excluded from the interior). Returns `None`
+/// when the junction would immediately reverse one message — see
+/// [`step_reverses`].
+fn sig_concat(a: &MarginSig, joint: Option<ProcessId>, d: &MarginSig) -> Option<MarginSig> {
+    if let (Some(last), Some(first)) = (a.steps.last(), d.steps.first()) {
+        if step_reverses(last, first) {
+            return None;
+        }
+    }
+    let mut steps = Vec::with_capacity(a.steps.len() + d.steps.len());
+    steps.extend(a.steps.iter().cloned());
+    steps.extend(d.steps.iter().cloned());
+    let mut procs = Vec::with_capacity(a.procs.len() + d.procs.len() + 1);
+    procs.extend(a.procs.iter().copied());
+    procs.extend(joint);
+    procs.extend(d.procs.iter().copied());
+    Some(MarginSig {
+        f: a.f + d.f,
+        b: a.b + d.b,
+        steps,
+        procs,
+    })
+}
+
+/// The probe ratio where the cost lines of `hi` and `lo` intersect, as a
+/// positive-denominator fraction. Requires `hi.f > lo.f`.
+fn sig_isect(hi: &MarginSig, lo: &MarginSig) -> (i128, i128) {
+    debug_assert!(hi.f > lo.f);
+    (hi.b - lo.b, hi.f - lo.f)
+}
+
+/// `a ≤ b` for fractions with positive denominators.
+fn frac_le(a: (i128, i128), b: (i128, i128)) -> bool {
+    debug_assert!(a.1 > 0 && b.1 > 0);
+    a.0 * b.1 <= b.0 * a.1
+}
+
+/// Rebuilds the lower envelope of the cost lines `x·f − b` over the closed
+/// probe-ratio interval `x ∈ [lo, ∞)` (`lo = lo_n/lo_d > 0`): keeps exactly
+/// the signatures attaining the pointwise minimum on a nonempty open
+/// sub-interval (weak dominance — a line tying the minimum at one point
+/// only is dropped), deterministically preferring earlier candidates on
+/// exact `(f, b)` ties.
+fn margin_envelope(mut lines: Vec<MarginSig>, lo_n: i128, lo_d: i128) -> Vec<MarginSig> {
+    if lines.len() <= 1 {
+        return lines;
+    }
+    // Per slope only the lowest line (max `b`) can win; the stable sort
+    // keeps the first-seen representative of exact ties.
+    lines.sort_by(|a, b| a.f.cmp(&b.f).then(b.b.cmp(&a.b)));
+    lines.dedup_by(|cur, kept| cur.f == kept.f);
+    // Steepest-first hull scan: hull[i] wins an interval left of
+    // hull[i+1]'s; a line whose takeover point is not strictly right of
+    // its predecessor's takeover never wins anywhere.
+    let mut hull: Vec<MarginSig> = Vec::new();
+    for line in lines.into_iter().rev() {
+        while hull.len() >= 2 {
+            let last = &hull[hull.len() - 1];
+            let prev = &hull[hull.len() - 2];
+            if frac_le(sig_isect(last, &line), sig_isect(prev, last)) {
+                hull.pop();
+            } else {
+                break;
+            }
+        }
+        hull.push(line);
+    }
+    // Clip at `lo`: leading (steepest) lines already overtaken there never
+    // win on the closed interval.
+    let mut start = 0;
+    while start + 1 < hull.len() && frac_le(sig_isect(&hull[start], &hull[start + 1]), (lo_n, lo_d))
+    {
+        start += 1;
+    }
+    hull.drain(..start);
+    hull
+}
+
+/// Envelope-inserts `cand` into `sigs`; returns whether `cand` survived
+/// (improved the envelope somewhere on `[lo, ∞)`). Exact `(f, b)`
+/// duplicates keep the incumbent, so label-correcting passes cannot cycle
+/// through zero-cost loops.
+fn margin_envelope_insert(
+    sigs: &mut Vec<MarginSig>,
+    cand: MarginSig,
+    lo_n: i128,
+    lo_d: i128,
+) -> bool {
+    let key = (cand.f, cand.b);
+    if sigs.iter().any(|s| (s.f, s.b) == key) {
+        return false;
+    }
+    let mut lines = std::mem::take(sigs);
+    lines.push(cand);
+    *sigs = margin_envelope(lines, lo_n, lo_d);
+    sigs.iter().any(|s| (s.f, s.b) == key)
 }
 
 #[cfg(test)]
@@ -1740,5 +2786,200 @@ mod tests {
         let xi = Xi::from_fraction(3, 2);
         assert_prune_equivalent(3, &[(0, 1), (1, 2), (2, 0), (0, 2), (3, 1), (2, 1)], &xi);
         assert_prune_equivalent(4, &[(0, 1), (4, 2), (1, 3), (2, 0), (5, 1), (3, 2)], &xi);
+    }
+
+    /// Drives the same script through an unpruned monitor and a pruning,
+    /// margin-tracking one; at every event both margins must equal the
+    /// batch `max_relevant_cycle_ratio` over the full graph, witnesses
+    /// must attain the margin, and the cheap bound must dominate it.
+    fn assert_margin_prune_equivalent(n: usize, script: &[(usize, usize)], xi: &Xi) {
+        const HORIZON: usize = 3;
+        let mut plain = IncrementalChecker::new(n, xi).unwrap();
+        let mut pruned = IncrementalChecker::new(n, xi).unwrap();
+        pruned.enable_pruning();
+        pruned.enable_margin_tracking();
+        for p in 0..n {
+            plain.append_init(ProcessId(p));
+            pruned.append_init(ProcessId(p));
+        }
+        let mut total = n;
+        for &(back, to) in script {
+            let from = EventId(total - 1 - (back % HORIZON.min(total)));
+            plain.append_send(from, ProcessId(to % n));
+            pruned.append_send(from, ProcessId(to % n));
+            total += 1;
+            let plain_margin = plain.current_margin().unwrap();
+            let pruned_margin = pruned.current_margin().unwrap();
+            if plain_margin.as_ref().map(|m| m.ratio.clone())
+                != pruned_margin.as_ref().map(|m| m.ratio.clone())
+            {
+                panic!(
+                    "margins diverge at event {total}: plain {:?} pruned {:?} admissible {} xi {:?}",
+                    plain_margin.as_ref().map(|m| m.ratio.clone()),
+                    pruned_margin.as_ref().map(|m| m.ratio.clone()),
+                    plain.is_admissible(),
+                    xi.as_ratio(),
+                );
+            }
+            if plain.is_admissible() {
+                let batch = check::max_relevant_cycle_ratio(plain.graph()).unwrap();
+                assert_eq!(
+                    plain_margin.as_ref().map(|m| m.ratio.clone()),
+                    batch,
+                    "margin disagrees with batch at event {total}"
+                );
+            } else {
+                // Latched: both froze at the (identical) witness ratio.
+                let latched = plain.violation_summary().unwrap().classification.ratio();
+                assert_eq!(plain_margin.as_ref().map(|m| m.ratio.clone()), latched);
+            }
+            for report in [&plain_margin, &pruned_margin].into_iter().flatten() {
+                if let Some(w) = &report.witness {
+                    assert!(w.classification.relevant, "margin witness must be relevant");
+                    assert_eq!(w.classification.ratio(), Some(report.ratio.clone()));
+                }
+            }
+            for (mon, margin) in [(&plain, &plain_margin), (&pruned, &pruned_margin)] {
+                match (mon.margin_upper_bound(), margin) {
+                    (Some(bound), Some(m)) => {
+                        assert!(bound >= m.ratio, "bound {bound} below margin {}", m.ratio);
+                        if mon.is_admissible() {
+                            assert!(bound <= *xi.as_ratio(), "open-verdict bound above Ξ");
+                        }
+                    }
+                    (None, Some(m)) => panic!("no bound despite margin {}", m.ratio),
+                    (_, None) => {}
+                }
+            }
+            pruned.prune_settled(Some(EventId(total.saturating_sub(HORIZON))));
+        }
+    }
+
+    #[test]
+    fn margin_matches_batch_under_pruning_on_dense_scripts() {
+        let scripts: &[(usize, &[(usize, usize)])] = &[
+            (3, &[(0, 1), (1, 2), (2, 0), (0, 2), (3, 1), (2, 1), (1, 0)]),
+            (4, &[(0, 1), (4, 2), (1, 3), (2, 0), (5, 1), (3, 2), (0, 3)]),
+            (2, &[(0, 1), (0, 0), (1, 1), (2, 0), (0, 1), (1, 0)]),
+        ];
+        for xi in [Xi::from_fraction(3, 2), Xi::from_integer(4)] {
+            for &(n, script) in scripts {
+                assert_margin_prune_equivalent(n, script, &xi);
+            }
+        }
+    }
+
+    #[test]
+    fn margin_reports_the_two_chain_ratio() {
+        for hops in 2..=5 {
+            let ratio = Ratio::from_integer(hops as i64);
+            // Admissible just above: the margin is exactly `hops`.
+            let above = Xi::new(ratio.clone() + Ratio::new(1, 7)).unwrap();
+            let mon = stream_two_chain(hops, &above);
+            assert!(mon.is_admissible());
+            let m = mon.current_margin().unwrap().expect("cycle exists");
+            assert_eq!(m.ratio, ratio);
+            let w = m.witness.expect("margins above 1 carry a witness");
+            assert!(w.classification.relevant);
+            assert_eq!(w.classification.ratio(), Some(ratio.clone()));
+            let bound = mon.margin_upper_bound().expect("candidates exist");
+            assert!(bound >= ratio && bound <= *above.as_ratio());
+            // Latched at Ξ = hops: the margin freezes at the witness.
+            let at = Xi::from_integer(hops as i64);
+            let mon = stream_two_chain(hops, &at);
+            assert!(!mon.is_admissible());
+            let m = mon.current_margin().unwrap().unwrap();
+            assert_eq!(m.ratio, ratio);
+            assert_eq!(m.witness.as_ref(), mon.violation_summary());
+            assert_eq!(mon.margin_upper_bound(), Some(ratio));
+        }
+    }
+
+    #[test]
+    fn margin_floor_survives_pruning_the_witness_away() {
+        // A ratio-3 two-chain, then a long prunable ping-pong: the margin
+        // must stay 3 (served from the folded floor, witness intact) after
+        // every trace of the cycle has been compacted away.
+        let xi = Xi::from_integer(4);
+        let n = 4;
+        let mut plain = IncrementalChecker::new(n, &xi).unwrap();
+        let mut pruned = IncrementalChecker::new(n, &xi).unwrap();
+        pruned.enable_pruning();
+        pruned.enable_margin_tracking();
+        let q = plain.append_init(ProcessId(0));
+        pruned.append_init(ProcessId(0));
+        for i in 1..n {
+            plain.append_init(ProcessId(i));
+            pruned.append_init(ProcessId(i));
+        }
+        let mut cur = q;
+        for i in 2..=3 {
+            let (_, r) = plain.append_send(cur, ProcessId(i));
+            pruned.append_send(cur, ProcessId(i));
+            cur = r;
+        }
+        let (_, r) = plain.append_send(cur, ProcessId(1));
+        pruned.append_send(cur, ProcessId(1));
+        let _ = r;
+        let (_, span) = plain.append_send(q, ProcessId(1));
+        pruned.append_send(q, ProcessId(1));
+        let three = Ratio::from_integer(3);
+        assert_eq!(pruned.current_margin().unwrap().unwrap().ratio, three);
+        // Ping-pong p1 ⇄ p0 rooted at the spanning receive, pruning every
+        // round: the two-chain is fully compacted early on.
+        let mut cur = span;
+        for round in 0..50 {
+            let to = ProcessId(round % 2);
+            let (_, r) = plain.append_send(cur, to);
+            pruned.append_send(cur, to);
+            cur = r;
+            pruned.prune_settled(Some(cur));
+            let m = pruned.current_margin().unwrap().expect("floor persists");
+            assert_eq!(m.ratio, three, "round {round}");
+            let w = m.witness.expect("floor keeps its witness");
+            assert!(w.classification.relevant);
+            assert_eq!(w.classification.ratio(), Some(three.clone()));
+            assert_eq!(
+                plain.current_margin().unwrap().unwrap().ratio,
+                three,
+                "round {round}"
+            );
+            assert!(pruned.margin_upper_bound().unwrap() >= three);
+        }
+        assert!(
+            pruned.live_events() < 5,
+            "window stayed at {} events",
+            pruned.live_events()
+        );
+        assert!(pruned.stats().pruned_events > 40);
+    }
+
+    #[test]
+    fn margin_tracking_after_a_prune_panics() {
+        let xi = Xi::from_integer(2);
+        let mut mon = IncrementalChecker::new(2, &xi).unwrap();
+        mon.enable_pruning();
+        let a = mon.append_init(ProcessId(0));
+        mon.append_init(ProcessId(1));
+        mon.append_send(a, ProcessId(1));
+        mon.prune_settled(None);
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            mon.enable_margin_tracking();
+        }));
+        assert!(res.is_err(), "tracking after a prune must be rejected");
+    }
+
+    #[test]
+    fn margin_queries_on_untracked_pruning_monitors_panic() {
+        let xi = Xi::from_integer(2);
+        let mut mon = IncrementalChecker::new(2, &xi).unwrap();
+        mon.enable_pruning();
+        let a = mon.append_init(ProcessId(0));
+        mon.append_init(ProcessId(1));
+        mon.append_send(a, ProcessId(1));
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            mon.current_margin().unwrap();
+        }));
+        assert!(res.is_err(), "margin without tracking must be rejected");
     }
 }

@@ -39,8 +39,8 @@ USAGE:
   abc list
   abc serve   [--addr A] [--status-addr A] [--shards N] [--xi XI]
               [--max-line BYTES] [--max-frame BYTES] [--max-processes N]
-              [--prune-horizon H]
-  abc feed    FILE --addr A --xi XI [--binary]
+              [--prune-horizon H] [--warn-margin P/Q] [--margin-tracking BOOL]
+  abc feed    FILE --addr A --xi XI [--binary] [--margin-every N]
   abc loadgen --addr A [--connections C] [--traces N] [--preset NAME]
               [--delay SPEC] [--xi XI] [--max-events E] [--seed S]
               [--verify BOOL] [--binary]
@@ -380,11 +380,15 @@ fn cmd_monitor(args: &Args) -> Result<i32, String> {
     let xi: Xi = args.required("xi")?.parse()?;
     let file = trace_file_arg(args)?;
     let trace = read_trace(file)?;
-    let (stats, violation) = monitor_trace(&trace, &xi)?;
+    let (stats, violation, margin) = monitor_trace(&trace, &xi)?;
     println!(
         "{file}: streamed {} events / {} messages (relaxations={}, full_checks={})",
         stats.events, stats.messages, stats.relaxations, stats.full_checks
     );
+    match &margin {
+        None => println!("final margin: none (no relevant cycle)"),
+        Some(m) => println!("final margin: {m} (headroom {})", xi.as_ratio() - m),
+    }
     match violation {
         None => {
             println!("ADMISSIBLE for Xi = {xi} (monitored online)");

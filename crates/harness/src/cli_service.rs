@@ -4,12 +4,16 @@
 use std::time::Duration;
 
 use abc_core::Xi;
-use abc_service::client::{feed_stream_binary, feed_stream_text, run_loadgen, LoadgenDoc};
+use abc_rational::Ratio;
+use abc_service::client::{
+    feed_stream_binary, feed_stream_text, format_ms, run_loadgen, LoadgenDoc,
+};
 use abc_service::proto::offline_verdict;
 use abc_service::server::{start, ServerConfig};
 use abc_service::signals;
-use abc_sim::binio::DEFAULT_MAX_FRAME_LEN;
+use abc_sim::binio::{FrameWriter, WireRecord, DEFAULT_MAX_FRAME_LEN};
 use abc_sim::textio::DEFAULT_MAX_LINE_LEN;
+use abc_sim::Trace;
 
 use crate::cli::{Args, EXIT_OK, EXIT_VIOLATION};
 use crate::spec::ScenarioSpec;
@@ -25,6 +29,8 @@ pub(crate) fn cmd_serve(args: &Args) -> Result<i32, String> {
         "max-frame",
         "max-processes",
         "prune-horizon",
+        "warn-margin",
+        "margin-tracking",
     ])?;
     args.no_positionals()?;
     let config = ServerConfig {
@@ -57,6 +63,12 @@ pub(crate) fn cmd_serve(args: &Args) -> Result<i32, String> {
             }
             None => None,
         },
+        warn_margin: args
+            .one("warn-margin")?
+            .map(str::parse::<Ratio>)
+            .transpose()
+            .map_err(|e| format!("--warn-margin: {e}"))?,
+        margin_tracking: args.parsed("margin-tracking", true)?,
     };
     let shards = config.shards;
     let xi = config.xi.clone();
@@ -67,7 +79,8 @@ pub(crate) fn cmd_serve(args: &Args) -> Result<i32, String> {
         handle.addr()
     );
     println!(
-        "status/control on {} (commands: metrics, shutdown)",
+        "status/control on {} (commands: metrics, prom, shutdown; \
+         `GET /metrics` serves the Prometheus exposition over HTTP)",
         handle.status_addr()
     );
     signals::install_sigint_handler();
@@ -85,35 +98,111 @@ pub(crate) fn cmd_serve(args: &Args) -> Result<i32, String> {
 }
 
 pub(crate) fn cmd_feed(args: &Args) -> Result<i32, String> {
-    args.known(&["addr", "xi", "binary"])?;
+    args.known(&["addr", "xi", "binary", "margin-every"])?;
     let addr = args.required("addr")?;
     let xi: Xi = args.required("xi")?.parse()?;
     let binary = args.parsed("binary", false)?;
+    let margin_every = match args.one("margin-every")? {
+        Some(v) => {
+            let n = v
+                .parse::<usize>()
+                .map_err(|e| format!("--margin-every: {e}"))?;
+            if n == 0 {
+                return Err("--margin-every must be at least 1".into());
+            }
+            Some(n)
+        }
+        None => None,
+    };
     let [file] = args.positional.as_slice() else {
         return Err("expected exactly one trace file argument".into());
     };
     let trace = crate::cli::read_trace(file)?;
     let events = trace.events().len();
     let outcome = if binary {
-        feed_stream_binary(addr, &xi, &trace.to_stream_binary())?
+        let bytes = match margin_every {
+            Some(n) => stream_binary_with_margin(&trace, n),
+            None => trace.to_stream_binary(),
+        };
+        feed_stream_binary(addr, &xi, &bytes)?
     } else {
-        feed_stream_text(addr, &xi, &trace.to_stream_text())?
+        let doc = match margin_every {
+            Some(n) => stream_text_with_margin(&trace, n),
+            None => trace.to_stream_text(),
+        };
+        feed_stream_text(addr, &xi, &doc)?
     };
     println!(
-        "{file}: streamed {events} events / {} messages to {addr} in {:?} \
+        "{file}: streamed {events} events / {} messages to {addr} in {} \
          ({} acks covering {} events, protocol {})",
         trace.messages().len(),
-        outcome.latency,
+        format_ms(outcome.latency),
         outcome.oks,
         outcome.acked_events,
         if binary { "v2" } else { "v1" },
     );
+    for (i, sample) in outcome.margins.iter().enumerate() {
+        match (&sample.ratio, &sample.witness) {
+            (None, _) => println!("margin[{i}]: none"),
+            (Some(r), None) => println!("margin[{i}]: {r}"),
+            (Some(r), Some(w)) => println!("margin[{i}]: {r} witness {w}"),
+        }
+    }
     println!("verdict: {}", outcome.verdict);
     Ok(if outcome.verdict.is_violation() {
         EXIT_VIOLATION
     } else {
         EXIT_OK
     })
+}
+
+/// The trace's v1 streaming text with a `margin` request line after every
+/// `every`-th event line, plus one final request before `end` when events
+/// arrived since the last sample.
+fn stream_text_with_margin(trace: &Trace, every: usize) -> String {
+    let plain = trace.to_stream_text();
+    let mut out = String::with_capacity(plain.len() + 8 * (trace.events().len() / every + 2));
+    let mut since_last = 0usize;
+    for line in plain.lines() {
+        if line == "end" && since_last > 0 {
+            out.push_str("margin\n");
+            since_last = 0;
+        }
+        out.push_str(line);
+        out.push('\n');
+        if line.starts_with("e ") {
+            since_last += 1;
+            if since_last == every {
+                out.push_str("margin\n");
+                since_last = 0;
+            }
+        }
+    }
+    out
+}
+
+/// The trace's v2 binary frames with a margin record after every
+/// `every`-th event record, plus one final request before the end record
+/// when events arrived since the last sample.
+fn stream_binary_with_margin(trace: &Trace, every: usize) -> Vec<u8> {
+    let mut w = FrameWriter::new();
+    let mut since_last = 0usize;
+    for rec in trace.to_stream_records() {
+        if matches!(rec, WireRecord::End) && since_last > 0 {
+            w.push_record(&WireRecord::Margin);
+            since_last = 0;
+        }
+        let is_event = matches!(rec, WireRecord::Event(_));
+        w.push_record(&rec);
+        if is_event {
+            since_last += 1;
+            if since_last == every {
+                w.push_record(&WireRecord::Margin);
+                since_last = 0;
+            }
+        }
+    }
+    w.finish()
 }
 
 pub(crate) fn cmd_loadgen(args: &Args) -> Result<i32, String> {

@@ -68,6 +68,16 @@ pub struct RunOutcome {
     pub stats: RunStats,
     /// First violation, if the monitored `Ξ` was breached.
     pub violation: Option<ViolationInfo>,
+    /// The run's final margin: the maximum relevant-cycle ratio when
+    /// monitoring stopped (at the latch for violating runs, at the end of
+    /// the trace otherwise). `None` when no relevant cycle ever formed.
+    pub final_margin: Option<Ratio>,
+    /// The minimum over the run of the headroom `Ξ − ratio(t)`. The
+    /// relevant-cycle ratio is monotone nondecreasing over a growing
+    /// trace (arcs are only added), so the minimum is attained when
+    /// monitoring stops and equals `Ξ −` [`RunOutcome::final_margin`];
+    /// `<= 0` exactly on violating runs, `None` with no relevant cycle.
+    pub min_margin_over_time: Option<Ratio>,
     /// The full trace — kept only when the sweep was asked to retain
     /// violating traces (for offline replay / persistence).
     pub trace: Option<Trace>,
@@ -102,6 +112,12 @@ pub struct PointSummary {
     pub violations: usize,
     /// Largest first-violation ratio observed at this point.
     pub max_ratio: Option<Ratio>,
+    /// Smallest final margin over the point's runs (among runs where a
+    /// relevant cycle formed at all).
+    pub margin_min: Option<Ratio>,
+    /// Largest final margin over the point's runs — the heatmap cell
+    /// value (`None` when no run formed a relevant cycle).
+    pub margin_max: Option<Ratio>,
 }
 
 /// Aggregates of a whole sweep.
@@ -170,15 +186,19 @@ impl SweepReport {
                 "  point {}: runs={} violations={}",
                 p.label, p.runs, p.violations
             );
-            match &p.max_ratio {
-                Some(r) => {
-                    let _ = writeln!(out, " max_ratio={r}");
+            if let Some(r) = &p.max_ratio {
+                let _ = write!(out, " max_ratio={r}");
+            }
+            match (&p.margin_min, &p.margin_max) {
+                (Some(lo), Some(hi)) => {
+                    let _ = writeln!(out, " margin={lo}..{hi}");
                 }
-                None => {
-                    let _ = writeln!(out);
+                _ => {
+                    let _ = writeln!(out, " margin=none");
                 }
             }
         }
+        let _ = writeln!(out, "margin heatmap: [{}]", self.margin_heatmap());
         let _ = writeln!(out, "violations: {}/{}", self.violations, self.total_runs);
         match &self.first_violation {
             Some((run, v)) => {
@@ -218,6 +238,46 @@ impl SweepReport {
         );
         out
     }
+
+    /// One heatmap cell per delay-grid point, keyed by the point's
+    /// largest final margin relative to the monitored `Ξ`:
+    ///
+    /// * `-` — no run formed a relevant cycle;
+    /// * `.` — max margin below `Ξ/2`;
+    /// * `:` — below `3Ξ/4`;
+    /// * `=` — below `9Ξ/10`;
+    /// * `+` — below `Ξ` (inside the early-warning band);
+    /// * `#` — at or above `Ξ` (some run violated).
+    ///
+    /// Comparisons are exact rational arithmetic (`2r < Ξ` etc.), so the
+    /// heatmap is as deterministic as the rest of the aggregate text.
+    #[must_use]
+    pub fn margin_heatmap(&self) -> String {
+        let xi = self.xi.as_ratio();
+        self.points
+            .iter()
+            .map(|p| match &p.margin_max {
+                None => '-',
+                Some(r) => {
+                    // `r < (n/d)·Ξ` as the integer comparison `d·r < n·Ξ`.
+                    let below = |n: i64, d: i64| {
+                        &(r * &Ratio::from_integer(d)) < &(xi * &Ratio::from_integer(n))
+                    };
+                    if below(1, 2) {
+                        '.'
+                    } else if below(3, 4) {
+                        ':'
+                    } else if below(9, 10) {
+                        '='
+                    } else if r < xi {
+                        '+'
+                    } else {
+                        '#'
+                    }
+                }
+            })
+            .collect()
+    }
 }
 
 impl std::fmt::Display for SweepReport {
@@ -249,8 +309,10 @@ impl Process<u64> for Gossip {
 
 /// Streams `trace` into a fresh online monitor
 /// ([`Trace::replay_into_monitor_until_violation`]), stopping at the first
-/// violation; returns the monitor stats at stop time plus the violation
-/// (if any) with the index of the closing event.
+/// violation; returns the monitor stats at stop time, the violation (if
+/// any) with the index of the closing event, and the final margin — the
+/// maximum relevant-cycle ratio when monitoring stopped (`None` when no
+/// relevant cycle formed).
 ///
 /// # Errors
 ///
@@ -259,7 +321,7 @@ impl Process<u64> for Gossip {
 pub fn monitor_trace(
     trace: &Trace,
     xi: &Xi,
-) -> Result<(MonitorStats, Option<ViolationInfo>), String> {
+) -> Result<(MonitorStats, Option<ViolationInfo>, Option<Ratio>), String> {
     let (mon, violation_at) = trace
         .replay_into_monitor_until_violation(xi)
         .map_err(|e| e.to_string())?;
@@ -270,7 +332,11 @@ pub fn monitor_trace(
             .expect("a latched violation accompanies the index")
             .summarize(mon.graph()),
     });
-    Ok((mon.stats(), violation))
+    let margin = mon
+        .current_margin()
+        .map_err(|e| e.to_string())?
+        .map(|m| m.ratio);
+    Ok((mon.stats(), violation, margin))
 }
 
 fn spawn_clocksync(
@@ -361,9 +427,9 @@ pub fn run_one(
     let point_index = run_index / spec.runs_per_point;
     let (sim, stats, seed) = simulate_run(spec, points, run_index);
     let trace = sim.trace();
-    let violation = monitor_trace(trace, &spec.xi)
-        .expect("Xi monitorability is validated before the sweep starts")
-        .1;
+    let (_, violation, final_margin) = monitor_trace(trace, &spec.xi)
+        .expect("Xi monitorability is validated before the sweep starts");
+    let min_margin_over_time = final_margin.as_ref().map(|m| spec.xi.as_ratio() - m);
     let trace = (keep_violating_trace && violation.is_some()).then(|| trace.clone());
     RunOutcome {
         run_index,
@@ -371,6 +437,8 @@ pub fn run_one(
         seed,
         stats,
         violation,
+        final_margin,
+        min_margin_over_time,
         trace,
     }
 }
@@ -420,6 +488,8 @@ pub fn run_sweep(spec: &ScenarioSpec, options: SweepOptions) -> Result<SweepRepo
             runs: 0,
             violations: 0,
             max_ratio: None,
+            margin_min: None,
+            margin_max: None,
         })
         .collect();
     let mut histogram: BTreeMap<Ratio, usize> = BTreeMap::new();
@@ -447,6 +517,14 @@ pub fn run_sweep(spec: &ScenarioSpec, options: SweepOptions) -> Result<SweepRepo
     for o in &outcomes {
         let ps = &mut points_summary[o.point_index];
         ps.runs += 1;
+        if let Some(m) = &o.final_margin {
+            if ps.margin_min.as_ref().is_none_or(|lo| *m < *lo) {
+                ps.margin_min = Some(m.clone());
+            }
+            if ps.margin_max.as_ref().is_none_or(|hi| *hi < *m) {
+                ps.margin_max = Some(m.clone());
+            }
+        }
         if let Some(v) = &o.violation {
             let ratio = v.ratio();
             ps.violations += 1;
@@ -514,6 +592,24 @@ mod tests {
         assert!(report.messages_delivered > 0);
         let text = report.aggregate_text();
         assert!(text.contains("violations: 0/6"), "{text}");
+        // No violation ⇒ every formed margin stays below Ξ, the headroom
+        // is positive, and no heatmap cell saturates.
+        let xi = report.xi.as_ratio().clone();
+        for o in &report.outcomes {
+            if let Some(m) = &o.final_margin {
+                assert!(*m < xi, "admissible run with margin {m} >= {xi}");
+                let head = o.min_margin_over_time.as_ref().unwrap();
+                assert_eq!(*head, &xi - m);
+                assert!(head.is_positive());
+            } else {
+                assert!(o.min_margin_over_time.is_none());
+            }
+        }
+        assert!(
+            !report.margin_heatmap().contains('#'),
+            "{}",
+            report.margin_heatmap()
+        );
     }
 
     #[test]
@@ -539,6 +635,23 @@ mod tests {
         let (_, v) = report.first_violation.as_ref().unwrap();
         assert!(v.ratio() >= *spec.xi.as_ratio());
         assert!(!report.ratio_histogram.is_empty());
+        // A violating run's final margin is the latched witness ratio, so
+        // its point's heatmap cell saturates and its headroom is <= 0.
+        assert!(report.margin_heatmap().contains('#'));
+        let violating_run = report
+            .outcomes
+            .iter()
+            .find(|o| o.violation.is_some())
+            .unwrap();
+        assert_eq!(
+            violating_run.final_margin.as_ref().unwrap(),
+            &violating_run.violation.as_ref().unwrap().ratio()
+        );
+        assert!(!violating_run
+            .min_margin_over_time
+            .as_ref()
+            .unwrap()
+            .is_positive());
         // Violating traces were retained and re-check offline to the same
         // verdict.
         let violating = report
@@ -548,7 +661,7 @@ mod tests {
             .unwrap();
         let trace = violating.trace.as_ref().expect("trace kept");
         let reparsed = Trace::from_text(&trace.to_text()).unwrap();
-        let (_, v2) = monitor_trace(&reparsed, &spec.xi).unwrap();
+        let (_, v2, _) = monitor_trace(&reparsed, &spec.xi).unwrap();
         assert_eq!(
             v2.unwrap().at_event,
             violating.violation.as_ref().unwrap().at_event

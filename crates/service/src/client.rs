@@ -10,11 +10,27 @@ use abc_core::Xi;
 
 use crate::proto::{Reply, Verdict, PROTO_V2_OK, PROTO_V2_REQUEST};
 
+/// One on-demand margin sample received while feeding (the reply to an
+/// interleaved `margin` request / margin record).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MarginSample {
+    /// The exact ratio as its `P/Q` wire text; `None` when the server
+    /// replied `margin none` (no relevant cycle yet).
+    pub ratio: Option<String>,
+    /// The wire-form witness of a tightest cycle attaining the ratio,
+    /// when the server extracted one.
+    pub witness: Option<String>,
+}
+
 /// The outcome of feeding one trace document.
 #[derive(Clone, Debug)]
 pub struct FeedOutcome {
     /// Final verdict (rendered byte-identically to the offline monitor's).
     pub verdict: Verdict,
+    /// Margin samples received, in arrival order (empty unless the
+    /// document interleaved margin requests — see `abc feed
+    /// --margin-every`).
+    pub margins: Vec<MarginSample>,
     /// Progress replies received before the verdict: per-event `ok`s over
     /// the v1 text framing, coalesced `ack`s over v2 binary.
     pub oks: usize,
@@ -104,8 +120,8 @@ fn feed_document(
     doc: &[u8],
 ) -> Result<FeedOutcome, String> {
     let started = Instant::now();
-    type Progress = (Verdict, usize, usize, Vec<Duration>);
-    let (verdict, oks, acked_events, ack_latencies) =
+    type Progress = (Verdict, usize, usize, Vec<Duration>, Vec<MarginSample>);
+    let (verdict, oks, acked_events, ack_latencies, margins) =
         std::thread::scope(|scope| -> Result<Progress, String> {
             let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
             let writer_thread = scope.spawn(move || -> Result<(), String> {
@@ -118,6 +134,7 @@ fn feed_document(
             let mut oks = 0usize;
             let mut acked = 0usize;
             let mut gaps = Vec::new();
+            let mut margins = Vec::new();
             let mut last = started;
             let verdict = loop {
                 line.clear();
@@ -143,6 +160,9 @@ fn feed_document(
                         last = now;
                     }
                     Reply::Violation { .. } => {}
+                    Reply::Margin { ratio, witness } => {
+                        margins.push(MarginSample { ratio, witness });
+                    }
                     Reply::End(v) => break v,
                     Reply::Error { message } => return Err(format!("server error: {message}")),
                 }
@@ -150,10 +170,11 @@ fn feed_document(
             writer_thread
                 .join()
                 .map_err(|_| "writer thread panicked".to_string())??;
-            Ok((verdict, oks, acked, gaps))
+            Ok((verdict, oks, acked, gaps, margins))
         })?;
     Ok(FeedOutcome {
         verdict,
+        margins,
         oks,
         acked_events,
         ack_latencies,
@@ -266,6 +287,16 @@ pub struct LoadgenReport {
     pub ack_latency_percentiles: (Duration, Duration, Duration, Duration),
 }
 
+/// Renders a duration as integer-derived milliseconds (`1.234ms`),
+/// through the same fixed-point formatter as margin ratios and the
+/// Prometheus histograms ([`crate::metrics::format_scaled`]) — no float
+/// enters the committed text, so reports diff cleanly.
+#[must_use]
+pub fn format_ms(d: Duration) -> String {
+    let us = u64::try_from(d.as_micros()).unwrap_or(u64::MAX);
+    format!("{}ms", crate::metrics::format_scaled(us, 3))
+}
+
 impl LoadgenReport {
     /// `bp` is the percentile in basis points (5000 = p50, 9900 = p99);
     /// integer arithmetic keeps the index math free of float casts.
@@ -277,7 +308,8 @@ impl LoadgenReport {
         sorted.get(idx.min(last)).copied().unwrap_or(Duration::ZERO)
     }
 
-    /// Renders the human-readable report body.
+    /// Renders the human-readable report body. Latencies render through
+    /// [`format_ms`] (integer basis, fixed precision).
     #[must_use]
     pub fn render(&self) -> String {
         use std::fmt::Write;
@@ -286,22 +318,31 @@ impl LoadgenReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "loadgen: {} documents, {} events over {:?} (protocol {})",
+            "loadgen: {} documents, {} events over {} (protocol {})",
             self.outcomes.len(),
             self.total_events,
-            self.wall,
+            format_ms(self.wall),
             self.protocol
         );
         let _ = writeln!(out, "throughput: {:.0} events/s", self.events_per_sec);
         let _ = writeln!(
             out,
-            "doc latency: p50={p50:?} p90={p90:?} p99={p99:?} max={max:?}"
+            "doc latency: p50={} p90={} p99={} max={}",
+            format_ms(p50),
+            format_ms(p90),
+            format_ms(p99),
+            format_ms(max)
         );
         let _ = writeln!(
             out,
-            "ack latency: p50={a50:?} p90={a90:?} p99={a99:?} max={amax:?} \
+            "ack latency: p50={} p90={} p99={} max={} \
              ({:.1} events/ack over {} acks)",
-            self.events_per_ack, self.acks
+            format_ms(a50),
+            format_ms(a90),
+            format_ms(a99),
+            format_ms(amax),
+            self.events_per_ack,
+            self.acks
         );
         let _ = writeln!(
             out,

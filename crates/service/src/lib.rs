@@ -30,10 +30,15 @@
 //! O(connection lifetime).
 //! Replies are `ok <seq>` / `violation <seq> <witness>` per event (v1) or
 //! one coalesced `ack <through>` per ingested frame with immediate
-//! violations (v2), and `end <verdict>` per document ([`proto`]); a
-//! plaintext status port serves aggregate counters ([`metrics::Metrics`])
-//! and accepts a `shutdown` command; SIGINT triggers the same graceful
-//! stop ([`signals`]).
+//! violations (v2), and `end <verdict>` per document ([`proto`]); both
+//! framings also answer an on-demand **margin** request (`margin\n` in v1,
+//! tag `0x09` in v2) with the session's current exact max relevant-cycle
+//! ratio and tightest witness. A plaintext status port serves the metrics
+//! registry ([`metrics::Metrics`]) in a human format and as a Prometheus
+//! text exposition (`prom` command or `GET /metrics` over HTTP), including
+//! per-session margin gauges and an early-warning state driven by
+//! [`server::ServerConfig::warn_margin`]; it accepts a `shutdown` command,
+//! and SIGINT triggers the same graceful stop ([`signals`]).
 //!
 //! | Module | Contents |
 //! |---|---|
@@ -41,7 +46,7 @@
 //! | `session` | (internal) per-connection state machine |
 //! | [`proto`] | wire protocol: replies, [`proto::Verdict`], [`proto::offline_verdict`] |
 //! | [`client`] | [`client::feed_stream_text`] / [`client::feed_stream_binary`] (`abc feed`), [`client::run_loadgen`] (`abc loadgen`), [`client::status_command`] |
-//! | [`metrics`] | aggregate counters + status-page rendering |
+//! | [`metrics`] | named counter/gauge/histogram registry; human status page + Prometheus text exposition; per-session margin gauges |
 //! | [`signals`] | SIGINT → stop-flag hook |
 //!
 //! The `abc` CLI (in `abc-harness`) exposes all of it: `abc serve`,

@@ -32,9 +32,25 @@
 //!   acking silently;
 //! * `end <verdict>` — document complete (see [`Verdict`]; in v2 any
 //!   pending ack flushes first);
+//! * `margin none` / `margin <P/Q> [<witness>]` — reply to an on-demand
+//!   margin request (see below): the exact current maximum
+//!   relevant-cycle ratio over everything ingested so far as a `P/Q`
+//!   rational, plus the single-token wire form of the tightest witness
+//!   cycle attaining it when one was extracted (omitted exactly at
+//!   ratio `1`, where the cheapest certificate can be a degenerate
+//!   out-and-back walk). `none` means no relevant cycle exists yet;
 //! * `error line <n>: <message>` / `error record <n>: <message>` —
 //!   protocol violation at text line / binary record `<n>`; the
 //!   connection closes after the reply, the server stays up.
+//!
+//! Clients request a margin sample with the [`MARGIN_REQUEST`] line
+//! (v1), or the margin record (tag `0x09`,
+//! [`abc_sim::binio::WireRecord::Margin`]) inside any frame (v2). Both
+//! are accepted mid-document and between documents; the reply is
+//! immediate and — in v2 — precedes the ack of the frame that carried
+//! the request. On a server running bounded-memory pruning with margin
+//! tracking disabled (`margin_tracking = false` in the config) a margin
+//! request is a protocol error.
 //!
 //! The greeting ([`GREETING`]) is sent once per connection and
 //! advertises both framings.
@@ -70,6 +86,11 @@ pub const PROTO_V1_REQUEST: &str = "proto v1";
 
 /// Server acknowledgement of [`PROTO_V1_REQUEST`].
 pub const PROTO_V1_OK: &str = "proto v1 ok";
+
+/// Client request (v1 text framing) for an on-demand margin sample;
+/// accepted both mid-document and between documents. The v2 counterpart
+/// is the margin record ([`abc_sim::binio::WireRecord::Margin`]).
+pub const MARGIN_REQUEST: &str = "margin";
 
 /// The final verdict of one ingested trace document — rendered identically
 /// by the server (`end <verdict>` reply), the `abc feed` client, and the
@@ -157,6 +178,18 @@ pub enum Reply {
     },
     /// `end <verdict>`.
     End(Verdict),
+    /// `margin none` / `margin <P/Q> [<wire-witness>]` — an on-demand
+    /// margin sample (see the module docs).
+    Margin {
+        /// The exact current maximum relevant-cycle ratio as its `P/Q`
+        /// wire text (parse with `str::parse::<abc_rational::Ratio>`
+        /// when arithmetic is needed); `None` when no relevant cycle
+        /// exists yet.
+        ratio: Option<String>,
+        /// The wire-form witness of a tightest cycle attaining the
+        /// ratio, when one was extracted (absent exactly at ratio `1`).
+        witness: Option<String>,
+    },
     /// `error …`.
     Error {
         /// The error text (everything after `error `).
@@ -193,6 +226,25 @@ impl Reply {
         }
         if let Some(rest) = line.strip_prefix("end ") {
             return Ok(Reply::End(rest.parse()?));
+        }
+        if let Some(rest) = line.strip_prefix("margin ") {
+            if rest == "none" {
+                return Ok(Reply::Margin {
+                    ratio: None,
+                    witness: None,
+                });
+            }
+            let (ratio, witness) = match rest.split_once(' ') {
+                Some((r, w)) => (r, Some(w.to_string())),
+                None => (rest, None),
+            };
+            if ratio.is_empty() {
+                return Err(format!("margin reply missing ratio: {line:?}"));
+            }
+            return Ok(Reply::Margin {
+                ratio: Some(ratio.to_string()),
+                witness,
+            });
         }
         if let Some(rest) = line.strip_prefix("error ") {
             return Ok(Reply::Error {
@@ -259,6 +311,27 @@ mod tests {
             Reply::parse("error line 3: nope").unwrap(),
             Reply::Error {
                 message: "line 3: nope".into()
+            }
+        );
+        assert_eq!(
+            Reply::parse("margin none").unwrap(),
+            Reply::Margin {
+                ratio: None,
+                witness: None
+            }
+        );
+        assert_eq!(
+            Reply::parse("margin 1").unwrap(),
+            Reply::Margin {
+                ratio: Some("1".into()),
+                witness: None
+            }
+        );
+        assert_eq!(
+            Reply::parse("margin 3/2 cyc:v1;...").unwrap(),
+            Reply::Margin {
+                ratio: Some("3/2".into()),
+                witness: Some("cyc:v1;...".into())
             }
         );
         assert!(Reply::parse("hmm").is_err());

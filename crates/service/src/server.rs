@@ -18,8 +18,9 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use abc_core::Xi;
+use abc_rational::Ratio;
 
-use crate::metrics::Metrics;
+use crate::metrics::{self, Metrics, MARGIN_NONE};
 use crate::session::{Session, SessionCounters};
 
 /// How long idle loops sleep between polls. Accept latency and shutdown
@@ -55,6 +56,23 @@ pub struct ServerConfig {
     /// a dropped server). `None` (the default) keeps the exact unbounded
     /// behavior; `Some(0)` is rejected by [`start`].
     pub prune_horizon: Option<usize>,
+    /// Early-warning threshold (`abc serve --warn-margin P/Q`): when a
+    /// session's exact synchrony margin reaches this ratio, its
+    /// `warning` state flips (once per document, before any latch) and
+    /// `abc_service_margin_warnings_total` increments. Sessions gate the
+    /// exact probe behind the cheap
+    /// [`abc_core::monitor::IncrementalChecker::margin_upper_bound`]
+    /// scan, so an untroubled stream never pays for an exact probe.
+    /// `None` (the default) disables warning checks.
+    pub warn_margin: Option<Ratio>,
+    /// Whether per-document monitors keep margin signatures across
+    /// pruning ([`abc_core::monitor::IncrementalChecker::enable_margin_tracking`]).
+    /// Only consulted when [`ServerConfig::prune_horizon`] is set —
+    /// unpruned monitors answer margin probes exactly without it. With
+    /// pruning on and tracking off, `margin` requests and
+    /// `--warn-margin` are unavailable (requests get a protocol error).
+    /// Defaults to `true`.
+    pub margin_tracking: bool,
 }
 
 impl Default for ServerConfig {
@@ -68,6 +86,8 @@ impl Default for ServerConfig {
             max_frame_len: abc_sim::binio::DEFAULT_MAX_FRAME_LEN,
             max_processes: 10_000,
             prune_horizon: None,
+            warn_margin: None,
+            margin_tracking: true,
         }
     }
 }
@@ -112,6 +132,23 @@ impl SessionMeta {
     #[must_use]
     pub fn pruned_events(&self) -> u64 {
         self.counters.pruned_events.load(Ordering::Relaxed)
+    }
+
+    /// The open document's last exactly computed margin, in basis points
+    /// (`ratio × 10⁴`, floored — see
+    /// [`crate::metrics::ratio_to_basis_points`]); `None` while no exact
+    /// probe has run or no relevant cycle exists.
+    #[must_use]
+    pub fn margin_basis_points(&self) -> Option<u64> {
+        let bp = self.counters.margin_bp.load(Ordering::Relaxed);
+        (bp != MARGIN_NONE).then_some(bp)
+    }
+
+    /// Whether the open document's margin has crossed the
+    /// [`ServerConfig::warn_margin`] threshold.
+    #[must_use]
+    pub fn warning(&self) -> bool {
+        self.counters.warning.load(Ordering::Relaxed) != 0
     }
 }
 
@@ -446,9 +483,123 @@ fn status_loop(
     }
 }
 
+/// Snapshot of the session table taken under [`lock_table`] and rendered
+/// *after* the lock is dropped: formatting grows `String`s and loads a
+/// dozen atomics per row, none of which needs the table — only the
+/// id→meta association does. ([`SessionMeta`] is a handful of `Arc`
+/// clones, so the critical section is a shallow copy.) Keeping the
+/// lock's critical sections O(rows) and allocation-light also keeps the
+/// R3 lock-order story trivial: no other lock, I/O, or formatting ever
+/// runs under the level-1 table lock.
+fn snapshot_sessions(table: &SessionTable) -> Vec<(u64, SessionMeta)> {
+    let table = lock_table(table);
+    table.iter().map(|(id, meta)| (*id, meta.clone())).collect()
+}
+
+/// Renders the human status page: the metrics registry, aggregate
+/// monitor-memory gauges, and one row per live session.
+fn render_human_status(metrics: &Metrics, rows: &[(u64, SessionMeta)]) -> String {
+    use std::fmt::Write;
+    let mut body = metrics.render();
+    let (mut live_events, mut live_arcs, mut pruned) = (0u64, 0u64, 0u64);
+    for (_, meta) in rows {
+        live_events += meta.live_events();
+        live_arcs += meta.live_arcs();
+        pruned += meta.pruned_events();
+    }
+    let _ = writeln!(body, "abc_service_monitor_live_events {live_events}");
+    let _ = writeln!(body, "abc_service_monitor_live_arcs {live_arcs}");
+    let _ = writeln!(body, "abc_service_monitor_pruned_events_total {pruned}");
+    for (id, meta) in rows {
+        let margin = match meta.margin_basis_points() {
+            Some(bp) => metrics::format_scaled(bp, metrics::MARGIN_SCALE_POW10),
+            None => "none".to_string(),
+        };
+        let _ = writeln!(
+            body,
+            "session {id} peer={} shard={} events={} violations={} live_events={} \
+             live_arcs={} pruned_events={} margin={margin} warning={}",
+            meta.peer,
+            meta.shard,
+            meta.events(),
+            meta.violations(),
+            meta.live_events(),
+            meta.live_arcs(),
+            meta.pruned_events(),
+            u64::from(meta.warning()),
+        );
+    }
+    body
+}
+
+/// Renders the Prometheus text-exposition body: the registry's families
+/// plus the table-derived gauges (aggregate monitor memory and the
+/// per-session labelled margin/warning gauges).
+fn render_prometheus_status(metrics: &Metrics, rows: &[(u64, SessionMeta)]) -> String {
+    use crate::metrics::{prom_header, Kind};
+    use std::fmt::Write;
+    let mut body = metrics.render_prometheus();
+    let (mut live_events, mut live_arcs, mut pruned) = (0u64, 0u64, 0u64);
+    for (_, meta) in rows {
+        live_events += meta.live_events();
+        live_arcs += meta.live_arcs();
+        pruned += meta.pruned_events();
+    }
+    prom_header(
+        &mut body,
+        "abc_service_monitor_live_events",
+        Kind::Gauge,
+        "Events currently live across all session monitors.",
+    );
+    let _ = writeln!(body, "abc_service_monitor_live_events {live_events}");
+    prom_header(
+        &mut body,
+        "abc_service_monitor_live_arcs",
+        Kind::Gauge,
+        "Traversal-graph arcs currently live across all session monitors.",
+    );
+    let _ = writeln!(body, "abc_service_monitor_live_arcs {live_arcs}");
+    prom_header(
+        &mut body,
+        "abc_service_monitor_pruned_events_total",
+        Kind::Counter,
+        "Events compacted away by bounded-memory pruning.",
+    );
+    let _ = writeln!(body, "abc_service_monitor_pruned_events_total {pruned}");
+    prom_header(
+        &mut body,
+        "abc_service_session_margin",
+        Kind::Gauge,
+        "Last exactly computed synchrony margin per session (absent until a probe runs).",
+    );
+    for (id, meta) in rows {
+        if let Some(bp) = meta.margin_basis_points() {
+            let m = metrics::format_scaled(bp, metrics::MARGIN_SCALE_POW10);
+            let _ = writeln!(body, "abc_service_session_margin{{session=\"{id}\"}} {m}");
+        }
+    }
+    prom_header(
+        &mut body,
+        "abc_service_session_warning",
+        Kind::Gauge,
+        "Whether the session's margin has crossed the warn-margin threshold.",
+    );
+    for (id, meta) in rows {
+        let _ = writeln!(
+            body,
+            "abc_service_session_warning{{session=\"{id}\"}} {}",
+            u64::from(meta.warning()),
+        );
+    }
+    body
+}
+
 /// Status protocol: the client sends one command line — `metrics` (or an
-/// empty line / immediate EOF / an HTTP-ish `GET …`, all treated as
-/// `metrics`) or `shutdown` — and receives a plaintext response.
+/// empty line / immediate EOF, both treated as `metrics`) for the human
+/// status page, `prom` or an HTTP-ish `GET …` for the Prometheus text
+/// exposition (`GET` gets a minimal HTTP response, so
+/// `curl http://status-addr/metrics` scrapes directly), or `shutdown` —
+/// and receives a plaintext response.
 fn handle_status_conn(
     mut stream: TcpStream,
     metrics: &Arc<Metrics>,
@@ -480,40 +631,24 @@ fn handle_status_conn(
         // ordering: Release — same contract as ServerHandle::request_stop.
         stop.store(true, Ordering::Release);
         "ok shutting down\n".to_string()
-    } else if command.is_empty() || command == "metrics" || command.starts_with("GET") {
-        let mut body = metrics.render();
-        let table = lock_table(table);
-        // Aggregate monitor-memory gauges across live sessions, then one
-        // row per session with its own live/pruned footprint.
-        let (mut live_events, mut live_arcs, mut pruned) = (0u64, 0u64, 0u64);
-        for meta in table.values() {
-            live_events += meta.live_events();
-            live_arcs += meta.live_arcs();
-            pruned += meta.pruned_events();
+    } else if command.is_empty() || command == "metrics" {
+        // Formatting happens strictly after the table lock is dropped
+        // (see snapshot_sessions) — the critical section is a shallow
+        // clone, never a growing String.
+        let rows = snapshot_sessions(table);
+        render_human_status(metrics, &rows)
+    } else if command == "prom" || command.starts_with("GET") {
+        let rows = snapshot_sessions(table);
+        let body = render_prometheus_status(metrics, &rows);
+        if command.starts_with("GET") {
+            format!(
+                "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+                 Content-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+        } else {
+            body
         }
-        {
-            use std::fmt::Write;
-            let _ = writeln!(body, "abc_service_monitor_live_events {live_events}");
-            let _ = writeln!(body, "abc_service_monitor_live_arcs {live_arcs}");
-            let _ = writeln!(body, "abc_service_monitor_pruned_events_total {pruned}");
-        }
-        for (id, meta) in table.iter() {
-            use std::fmt::Write;
-            let _ = writeln!(
-                body,
-                "session {id} peer={} shard={} events={} violations={} live_events={} \
-                 live_arcs={} pruned_events={}",
-                meta.peer,
-                meta.shard,
-                meta.events(),
-                meta.violations(),
-                meta.live_events(),
-                meta.live_arcs(),
-                meta.pruned_events()
-            );
-        }
-        drop(table);
-        body
     } else {
         format!("error unknown command {command:?}\n")
     };

@@ -7,13 +7,15 @@ use std::io::{IoSlice, Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
-use abc_core::monitor::IncrementalChecker;
+use abc_core::monitor::{IncrementalChecker, MarginReport};
 use abc_core::{EventId, ProcessId, Xi};
+use abc_rational::Ratio;
 use abc_sim::binio::{FrameAssembler, RecordDecoder, WireRecord};
 use abc_sim::textio::{EventFeed, LineAssembler, ParsedLine, TraceLineParser, TraceTextError};
 
-use crate::metrics::Metrics;
+use crate::metrics::{ratio_to_basis_points, Metrics, MARGIN_NONE};
 use crate::server::ServerConfig;
 
 /// Soft cap on buffered reply bytes: when a client stops draining replies,
@@ -38,6 +40,11 @@ const OUT_SPARE_CAP: usize = 4;
 
 /// Reply chunks submitted per `writev`.
 const OUT_MAX_IOV: usize = 8;
+
+/// Microseconds since `t0`, saturating (histogram observations).
+fn micros_since(t0: Instant) -> u64 {
+    u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
 
 /// The request framing the session currently decodes.
 enum RxMode {
@@ -180,6 +187,10 @@ struct RunningDoc {
     /// latch the checker is no longer fed — the verdict can never
     /// change, so remaining events only count (and, in v1, echo).
     latched: Option<(usize, String)>,
+    /// The latched witness's exact ratio, kept so `margin` requests
+    /// after the latch (when the checker is dropped) still answer with
+    /// the frozen margin.
+    margin_frozen: Option<Ratio>,
 }
 
 /// Live counters shared with the server's session table (status page).
@@ -193,6 +204,12 @@ pub(crate) struct SessionCounters {
     pub live_events: Arc<AtomicU64>,
     pub live_arcs: Arc<AtomicU64>,
     pub pruned_events: Arc<AtomicU64>,
+    /// Last exactly computed margin of the open document, in basis
+    /// points ([`crate::metrics::ratio_to_basis_points`]);
+    /// [`MARGIN_NONE`] until an exact probe runs.
+    pub margin_bp: Arc<AtomicU64>,
+    /// 1 once the open document's margin crossed the warn threshold.
+    pub warning: Arc<AtomicU64>,
 }
 
 impl SessionCounters {
@@ -203,6 +220,8 @@ impl SessionCounters {
             live_events: Arc::new(AtomicU64::new(0)),
             live_arcs: Arc::new(AtomicU64::new(0)),
             pruned_events: Arc::new(AtomicU64::new(0)),
+            margin_bp: Arc::new(AtomicU64::new(MARGIN_NONE)),
+            warning: Arc::new(AtomicU64::new(0)),
         }
     }
 }
@@ -225,6 +244,21 @@ pub(crate) struct Session {
     /// Bounded-memory monitoring: prune each document's checker so at most
     /// ~`2·horizon` events stay live (`None` = exact unbounded mode).
     prune_horizon: Option<usize>,
+    /// Early-warning margin threshold (see
+    /// [`ServerConfig::warn_margin`]).
+    warn_margin: Option<Ratio>,
+    /// Whether pruning monitors keep margin signatures (see
+    /// [`ServerConfig::margin_tracking`]).
+    margin_tracking: bool,
+    /// Whether the open document's warning already fired (at most one
+    /// warning per document).
+    warned: bool,
+    /// Request count (`lines_in`) at which the next *drain-gated* exact
+    /// margin probe may run. Doubled after each probe, so an unresolved
+    /// `--warn-margin` threshold (cheap bound above it, exact margin
+    /// below) costs `O(log n)` exact probes per document instead of one
+    /// per ingested batch. On-demand `margin` requests bypass this gate.
+    probe_gate: usize,
     /// Pruned-event count already folded into the session counter for the
     /// open document (the monitor reports a per-document running total).
     doc_pruned_reported: usize,
@@ -266,6 +300,10 @@ impl Session {
             max_processes: config.max_processes,
             max_frame_len: config.max_frame_len,
             prune_horizon: config.prune_horizon,
+            warn_margin: config.warn_margin.clone(),
+            margin_tracking: config.margin_tracking,
+            warned: false,
+            probe_gate: 0,
             doc_pruned_reported: 0,
             lines_in: 0,
             unacked: None,
@@ -348,6 +386,165 @@ impl Session {
                 .fetch_add(delta as u64, Ordering::Relaxed);
             self.doc_pruned_reported = doc_total;
         }
+    }
+
+    /// Resets the per-document margin state (gauges, warning latch) at
+    /// the start of a fresh document.
+    fn begin_document(&mut self) {
+        self.doc_pruned_reported = 0;
+        self.warned = false;
+        self.probe_gate = 0;
+        self.counters
+            .margin_bp
+            .store(MARGIN_NONE, Ordering::Relaxed);
+        self.counters.warning.store(0, Ordering::Relaxed);
+    }
+
+    /// Whether this session can answer exact margin probes: always when
+    /// unpruned (the checker keeps its full graph mirror), and under
+    /// pruning only when margin tracking kept the boundary signatures.
+    fn can_probe_margin(&self) -> bool {
+        self.prune_horizon.is_none() || self.margin_tracking
+    }
+
+    /// Publishes one exactly computed margin: per-session gauge plus the
+    /// workspace-wide histogram. Gauges move only on exact computations
+    /// — the cheap upper bound never reaches them.
+    fn publish_margin(&mut self, ratio: &Ratio, metrics: &Metrics) {
+        let bp = ratio_to_basis_points(ratio);
+        self.counters.margin_bp.store(bp, Ordering::Relaxed);
+        metrics.margin_hist.observe(bp);
+    }
+
+    /// Flips the per-session warning state (at most once per document)
+    /// when an exactly computed margin from a still-admissible monitor
+    /// reaches the `--warn-margin` threshold. Post-latch samples never
+    /// reach this: warnings fire strictly before any latch.
+    fn maybe_warn(&mut self, ratio: &Ratio, metrics: &Metrics) {
+        if self.warned {
+            return;
+        }
+        let Some(threshold) = &self.warn_margin else {
+            return;
+        };
+        if ratio >= threshold {
+            self.warned = true;
+            self.counters.warning.store(1, Ordering::Relaxed);
+            metrics.margin_warnings.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Handles an on-demand margin request (the v1 `margin` line / the
+    /// v2 margin record): replies `margin none` or
+    /// `margin <P/Q> [<wire-witness>]` with the exact current margin,
+    /// updating the margin gauge and histogram. Between documents (no
+    /// cycles yet) the reply is `margin none`; after a latch the margin
+    /// is frozen at the latched witness's ratio.
+    fn margin_request(&mut self, metrics: &Metrics) {
+        if !self.can_probe_margin() {
+            self.protocol_error(
+                "margin unavailable: server prunes without margin tracking",
+                metrics,
+            );
+            return;
+        }
+        // Probe first (immutable borrow of the document state), then
+        // publish and reply (mutable borrows of the session). `live` is
+        // true when the sample came from a still-admissible checker —
+        // only those samples may arm the early warning.
+        let probed: Result<Option<(MarginReport, bool)>, String> = match &self.doc {
+            DocState::Idle => Ok(None),
+            DocState::Running(doc) => match (&doc.checker, &doc.margin_frozen, &doc.latched) {
+                (Some(mon), _, _) => mon
+                    .current_margin()
+                    .map(|m| m.map(|rep| (rep, true)))
+                    .map_err(|e| format!("margin: {e}")),
+                (None, Some(frozen), Some((_, wire))) => Ok(Some((
+                    MarginReport {
+                        ratio: frozen.clone(),
+                        witness: match abc_core::cycle::WitnessSummary::from_wire(wire) {
+                            Ok(w) => Some(w),
+                            Err(_) => None, // defensive: the latch wrote this wire form
+                        },
+                    },
+                    false,
+                ))),
+                // Before the topology there is no checker and no cycles.
+                (None, _, _) => Ok(None),
+            },
+        };
+        match probed {
+            Err(m) => self.protocol_error(&m, metrics),
+            Ok(None) => self.reply("margin none\n"),
+            Ok(Some((rep, live))) => {
+                self.publish_margin(&rep.ratio, metrics);
+                if live {
+                    self.maybe_warn(&rep.ratio, metrics);
+                }
+                match &rep.witness {
+                    Some(w) => {
+                        self.reply_fmt(format_args!("margin {} {}\n", rep.ratio, w.wire()));
+                    }
+                    None => self.reply_fmt(format_args!("margin {}\n", rep.ratio)),
+                }
+            }
+        }
+    }
+
+    /// The amortized early-warning gate, evaluated after every ingested
+    /// event but gated by a doubling threshold (`probe_gate`): an
+    /// evaluation at `lines_in = g` schedules the next one at `2g`, so a
+    /// document of `n` events pays for `O(log n)` evaluations total —
+    /// each a cheap `O(live arcs)` margin upper bound, escalating to the
+    /// exact probe only when the bound reaches the `--warn-margin`
+    /// threshold. Starting the gate at zero means the first evaluations
+    /// land while the live window is still tiny, so a workload that
+    /// crosses the threshold early latches its warning before the exact
+    /// probe ever sees a large graph. The warning flips at most once per
+    /// document, strictly before any latch (the monitor stays admissible
+    /// while its margin is below `Ξ`, and a useful threshold sits below
+    /// `Ξ`). After the flip the gate is a single flag check per event.
+    fn check_warn_margin(&mut self, metrics: &Metrics) {
+        // Ordered cheapest-first: per-event calls must cost a couple of
+        // integer/flag compares while gated or already warned.
+        if self.warned || self.lines_in < self.probe_gate || !self.can_probe_margin() {
+            return;
+        }
+        let Some(threshold) = self.warn_margin.clone() else {
+            return;
+        };
+        let exact: Option<Ratio> = {
+            let DocState::Running(doc) = &self.doc else {
+                return;
+            };
+            let Some(mon) = doc.checker.as_ref() else {
+                return;
+            };
+            match mon.margin_upper_bound() {
+                // The cheap bound certifies the margin is below the
+                // threshold: skip the exact probe entirely.
+                Some(bound) if bound >= threshold => {
+                    // Overflow in the exact probe (pathological sizes)
+                    // is treated as "no sample" — no warning either way.
+                    mon.current_margin()
+                        .ok()
+                        .flatten()
+                        .map(|report| report.ratio)
+                }
+                _ => None,
+            }
+        };
+        // Every evaluation that reached the checker did real work (at
+        // least the bound scan), so every one advances the gate — bound
+        // scans and exact probes are both amortized to `O(log n)` per
+        // document.
+        self.probe_gate = self
+            .lines_in
+            .saturating_mul(2)
+            .max(self.lines_in.saturating_add(1));
+        let Some(ratio) = exact else { return };
+        self.publish_margin(&ratio, metrics);
+        self.maybe_warn(&ratio, metrics);
     }
 
     fn protocol_error(&mut self, message: &str, metrics: &Metrics) {
@@ -491,6 +688,8 @@ impl Session {
     }
 
     fn drain_lines(&mut self, metrics: &Metrics) {
+        let t0 = Instant::now();
+        let lines_before = self.lines_in;
         loop {
             if self.poisoned || self.binary() {
                 // A completed `proto v2` handshake leaves no buffered
@@ -508,11 +707,18 @@ impl Session {
             };
             self.lines_in += 1;
             self.process_line(&line, metrics);
+            // Per-line warn-gate evaluation: a flag/integer check while
+            // gated, so early threshold crossings latch on a small window.
+            self.check_warn_margin(metrics);
         }
         // Per-drain (not per-line) counter/gauge settlement — the v1
         // analogue of the per-frame flush in `process_frame`.
         self.flush_event_counters(metrics);
         self.refresh_gauges();
+        if self.lines_in > lines_before {
+            metrics.ingest_hist.observe(micros_since(t0));
+            self.check_warn_margin(metrics);
+        }
     }
 
     fn drain_frames(&mut self, metrics: &Metrics) {
@@ -545,10 +751,16 @@ impl Session {
     /// frame's coalesced ack (violation and `end` replies were already
     /// queued in record order, so they precede it).
     fn process_frame(&mut self, payload: &[u8], metrics: &Metrics) {
+        let t0 = Instant::now();
         metrics.frames.fetch_add(1, Ordering::Relaxed);
         let mut decoder = std::mem::take(&mut self.decoder);
         let structural = decoder.decode_frame(payload, &mut |rec| {
             self.handle_record(rec, metrics);
+            // Per-record warn-gate evaluation (see `check_warn_margin`):
+            // a flag/integer check while gated, so early threshold
+            // crossings latch on a small window even when a frame batches
+            // thousands of records.
+            self.check_warn_margin(metrics);
             !self.poisoned
         });
         self.decoder = decoder;
@@ -562,8 +774,11 @@ impl Session {
         // queued, so a client observing the ack sees exact status counters.
         self.flush_event_counters(metrics);
         self.refresh_gauges();
+        metrics.ingest_hist.observe(micros_since(t0));
+        self.check_warn_margin(metrics);
         if !self.poisoned {
             self.flush_ack(metrics);
+            metrics.ack_hist.observe(micros_since(t0));
         }
     }
 
@@ -571,6 +786,12 @@ impl Session {
     /// through the same shared validation core ([`TraceLineParser`]).
     fn handle_record(&mut self, rec: WireRecord, metrics: &Metrics) {
         self.lines_in += 1;
+        if matches!(rec, WireRecord::Margin) {
+            // Session-level record, accepted mid-document and between
+            // documents; the reply precedes the frame's coalesced ack.
+            self.margin_request(metrics);
+            return;
+        }
         if matches!(self.doc, DocState::Idle) {
             if let WireRecord::Xi(spec) = &rec {
                 match spec.trim().parse::<Xi>() {
@@ -582,13 +803,14 @@ impl Session {
             // Any other record starts a fresh document. Binary documents
             // carry no `abc-trace` header line — the frame tag already
             // names the format — so the parser starts past it.
-            self.doc_pruned_reported = 0;
+            self.begin_document();
             self.doc = DocState::Running(Box::new(RunningDoc {
                 parser: TraceLineParser::new_streaming()
                     .without_header()
                     .with_max_processes(self.max_processes),
                 checker: None,
                 latched: None,
+                margin_frozen: None,
             }));
         } else if matches!(rec, WireRecord::Xi(_)) {
             self.protocol_error("xi record inside a trace document", metrics);
@@ -606,6 +828,13 @@ impl Session {
     }
 
     fn process_line(&mut self, line: &str, metrics: &Metrics) {
+        if line.trim() == crate::proto::MARGIN_REQUEST {
+            // On-demand margin sample, accepted mid-document and between
+            // documents (`margin` is not a trace-grammar line, so the
+            // interception shadows nothing).
+            self.margin_request(metrics);
+            return;
+        }
         if matches!(self.doc, DocState::Idle) {
             let trimmed = line.trim();
             if trimmed.is_empty() || trimmed.starts_with('#') {
@@ -632,11 +861,12 @@ impl Session {
             }
             // Anything else starts a fresh document (the parser will
             // reject non-header lines with a precise message).
-            self.doc_pruned_reported = 0;
+            self.begin_document();
             self.doc = DocState::Running(Box::new(RunningDoc {
                 parser: TraceLineParser::new_streaming().with_max_processes(self.max_processes),
                 checker: None,
                 latched: None,
+                margin_frozen: None,
             }));
         }
         self.drive_document(metrics, |parser| parser.feed_line(line));
@@ -684,6 +914,7 @@ impl Session {
             parser,
             checker,
             latched,
+            margin_frozen,
         } = &mut *doc;
         let parsed = match feed(parser) {
             Ok(p) => p,
@@ -707,6 +938,12 @@ impl Session {
                     Ok(mut mon) => {
                         if self.prune_horizon.is_some() {
                             mon.enable_pruning();
+                            if self.margin_tracking {
+                                // Must precede the first prune: boundary
+                                // shortcut arcs need their margin
+                                // signatures from the start.
+                                mon.enable_margin_tracking();
+                            }
                         }
                         for (p, f) in faulty.iter().enumerate() {
                             if *f {
@@ -779,6 +1016,10 @@ impl Session {
                             return;
                         };
                         let wire = summary.wire().to_string();
+                        // The margin freezes at the latched witness's
+                        // ratio (a latched witness is a relevant cycle,
+                        // so its ratio always exists).
+                        *margin_frozen = summary.classification.ratio();
                         self.flush_event_counters(metrics);
                         metrics.violations.fetch_add(1, Ordering::Relaxed);
                         self.counters.violations.fetch_add(1, Ordering::Relaxed);
@@ -796,6 +1037,9 @@ impl Session {
                         *checker = None;
                         self.counters.live_events.store(0, Ordering::Relaxed);
                         self.counters.live_arcs.store(0, Ordering::Relaxed);
+                        if let Some(r) = margin_frozen.clone() {
+                            self.publish_margin(&r, metrics);
+                        }
                     } else {
                         if binary {
                             self.unacked = Some(seq);
@@ -852,9 +1096,15 @@ impl Session {
                     }
                 }
                 metrics.documents.fetch_add(1, Ordering::Relaxed);
-                // Drop the whole per-document state.
+                // Drop the whole per-document state, margin gauges
+                // included.
                 self.counters.live_events.store(0, Ordering::Relaxed);
                 self.counters.live_arcs.store(0, Ordering::Relaxed);
+                self.counters
+                    .margin_bp
+                    .store(MARGIN_NONE, Ordering::Relaxed);
+                self.counters.warning.store(0, Ordering::Relaxed);
+                self.warned = false;
                 done = true;
             }
         }

@@ -306,6 +306,95 @@ fn status_port_serves_metrics_and_shutdown() {
 }
 
 #[test]
+fn warn_margin_flips_warning_once_and_latch_matches_offline() {
+    use abc_rational::Ratio;
+
+    // The committed sample trace's margin climbs 1 → 2 → 3. Monitored at
+    // Xi = 3 with a warning threshold of 2, the session enters the
+    // warning band (margin 2, still admissible) well before the latch at
+    // ratio 3.
+    let handle = start(ServerConfig {
+        shards: 1,
+        warn_margin: Some(Ratio::from_integer(2)),
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback server");
+    let addr = handle.addr().to_string();
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../harness/tests/data/sample_clocksync.trace"
+    );
+    let file = std::fs::File::open(path).unwrap();
+    let trace = Trace::from_reader(file, abc_sim::textio::DEFAULT_MAX_LINE_LEN).unwrap();
+    let xi = Xi::from_integer(3);
+
+    // Interleave an on-demand margin request after every event line.
+    let mut doc = String::new();
+    for line in trace.to_stream_text().lines() {
+        doc.push_str(line);
+        doc.push('\n');
+        if line.starts_with("e ") {
+            doc.push_str("margin\n");
+        }
+    }
+    let stream = TcpStream::connect(&addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    assert_eq!(read_reply_line(&mut reader), abc_service::proto::GREETING);
+    {
+        let mut w = &stream;
+        w.write_all(format!("xi {xi}\n").as_bytes()).unwrap();
+        w.write_all(doc.as_bytes()).unwrap();
+        w.flush().unwrap();
+    }
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut replies = String::new();
+    reader.read_to_string(&mut replies).unwrap();
+
+    let mut margins: Vec<Option<Ratio>> = Vec::new();
+    let mut verdict = None;
+    for line in replies.lines() {
+        if let Some(rest) = line.strip_prefix("margin ") {
+            margins.push(if rest == "none" {
+                None
+            } else {
+                let ratio = rest.split_whitespace().next().unwrap();
+                Some(ratio.parse().unwrap())
+            });
+        } else if let Some(rest) = line.strip_prefix("end ") {
+            verdict = Some(rest.to_string());
+        }
+    }
+    // One sample per event, tightening monotonically (None sorts below
+    // any formed margin).
+    assert_eq!(margins.len(), trace.events().len());
+    for pair in margins.windows(2) {
+        assert!(pair[0] <= pair[1], "margin loosened: {pair:?}");
+    }
+    // The session passed through the warning band [2, 3) while still
+    // admissible…
+    let two = Ratio::from_integer(2);
+    let three = Ratio::from_integer(3);
+    assert!(
+        margins.iter().flatten().any(|r| two <= *r && *r < three),
+        "no in-band sample: {margins:?}"
+    );
+    // …flipping the warning exactly once despite many samples at or
+    // above the threshold…
+    assert_eq!(
+        handle
+            .metrics()
+            .margin_warnings
+            .load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
+    // …and the subsequent latch is byte-identical to the offline monitor.
+    let offline = offline_verdict(&trace, &xi).unwrap();
+    assert!(offline.is_violation(), "sample trace latches at Xi = 3");
+    assert_eq!(verdict.as_deref(), Some(offline.to_string().as_str()));
+    handle.join();
+}
+
+#[test]
 fn prune_horizon_bounds_session_memory_with_identical_verdicts() {
     // A server with a 256-event prune horizon: long sessions must compact
     // their monitors (live_events stays bounded, pruned_events grows), the

@@ -1,0 +1,287 @@
+//! Prometheus text-exposition conformance: a tiny validator for the
+//! status port's `prom`/`GET /metrics` output, run against a live server
+//! mid-ingestion (open session with a populated margin gauge), asserting
+//! every required metric family is present and well-formed.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use abc_core::Xi;
+use abc_rational::Ratio;
+use abc_service::client::status_command;
+use abc_service::server::{start, ServerConfig};
+use abc_sim::delay::BandDelay;
+use abc_sim::{RunLimits, Simulation, Trace};
+
+/// One parsed sample line: name, label set, value text.
+struct Sample {
+    name: String,
+    labels: HashMap<String, String>,
+    value: String,
+}
+
+fn is_metric_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn parse_labels(body: &str) -> Result<HashMap<String, String>, String> {
+    let mut labels = HashMap::new();
+    for pair in body.split(',').filter(|p| !p.is_empty()) {
+        let (k, v) = pair
+            .split_once('=')
+            .ok_or_else(|| format!("label pair {pair:?} lacks `=`"))?;
+        let v = v
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .ok_or_else(|| format!("label value in {pair:?} is not quoted"))?;
+        if !is_metric_name(k) {
+            return Err(format!("bad label name {k:?}"));
+        }
+        labels.insert(k.to_string(), v.to_string());
+    }
+    Ok(labels)
+}
+
+/// Validates one exposition body: every line is a well-formed comment or
+/// sample, every sampled family is preceded by its `# HELP` + `# TYPE`,
+/// histogram buckets are cumulative with `+Inf == _count`, and values
+/// parse. Returns the map family → declared type.
+fn validate_exposition(body: &str) -> Result<HashMap<String, String>, String> {
+    let mut help: Vec<String> = Vec::new();
+    let mut types: HashMap<String, String> = HashMap::new();
+    let mut samples: Vec<Sample> = Vec::new();
+    for (i, line) in body.lines().enumerate() {
+        let n = i + 1;
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, text) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("line {n}: HELP without text"))?;
+            if !is_metric_name(name) || text.is_empty() {
+                return Err(format!("line {n}: malformed HELP {line:?}"));
+            }
+            help.push(name.to_string());
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("line {n}: TYPE without kind"))?;
+            if !matches!(kind, "counter" | "gauge" | "histogram") {
+                return Err(format!("line {n}: unknown kind {kind:?}"));
+            }
+            if !help.contains(&name.to_string()) {
+                return Err(format!("line {n}: TYPE {name} precedes its HELP"));
+            }
+            types.insert(name.to_string(), kind.to_string());
+        } else if line.starts_with('#') {
+            return Err(format!("line {n}: unknown comment {line:?}"));
+        } else {
+            let (id, value) = line
+                .rsplit_once(' ')
+                .ok_or_else(|| format!("line {n}: sample without value"))?;
+            let (name, labels) = match id.split_once('{') {
+                None => (id.to_string(), HashMap::new()),
+                Some((name, rest)) => {
+                    let body = rest
+                        .strip_suffix('}')
+                        .ok_or_else(|| format!("line {n}: unclosed label set"))?;
+                    (
+                        name.to_string(),
+                        parse_labels(body).map_err(|e| format!("line {n}: {e}"))?,
+                    )
+                }
+            };
+            if !is_metric_name(&name) {
+                return Err(format!("line {n}: bad metric name {name:?}"));
+            }
+            if value.parse::<f64>().is_err() {
+                return Err(format!("line {n}: unparseable value {value:?}"));
+            }
+            // The family a sample belongs to: histogram series map back to
+            // their base name.
+            let family = ["_bucket", "_sum", "_count"]
+                .iter()
+                .find_map(|suf| {
+                    let base = name.strip_suffix(suf)?;
+                    (types.get(base).map(String::as_str) == Some("histogram"))
+                        .then(|| base.to_string())
+                })
+                .unwrap_or_else(|| name.clone());
+            if !types.contains_key(&family) {
+                return Err(format!("line {n}: sample {name} precedes its TYPE"));
+            }
+            samples.push(Sample {
+                name,
+                labels,
+                value: value.to_string(),
+            });
+        }
+    }
+    // Histogram structure: cumulative buckets in declaration order, +Inf
+    // bucket equal to _count, _sum present.
+    for (family, kind) in &types {
+        if kind != "histogram" {
+            continue;
+        }
+        let buckets: Vec<&Sample> = samples
+            .iter()
+            .filter(|s| s.name == format!("{family}_bucket"))
+            .collect();
+        if buckets.is_empty() {
+            return Err(format!("{family}: histogram without buckets"));
+        }
+        let counts: Vec<u64> = buckets
+            .iter()
+            .map(|s| {
+                s.value
+                    .parse()
+                    .map_err(|e| format!("{family}: bucket count: {e}"))
+            })
+            .collect::<Result<_, String>>()?;
+        if counts.windows(2).any(|w| w[0] > w[1]) {
+            return Err(format!("{family}: buckets not cumulative: {counts:?}"));
+        }
+        let last = buckets.last().expect("non-empty");
+        if last.labels.get("le").map(String::as_str) != Some("+Inf") {
+            return Err(format!("{family}: final bucket is not +Inf"));
+        }
+        for b in &buckets[..buckets.len() - 1] {
+            let le = b
+                .labels
+                .get("le")
+                .ok_or_else(|| format!("{family}: bucket without le"))?;
+            le.parse::<f64>()
+                .map_err(|e| format!("{family}: bucket bound {le:?}: {e}"))?;
+        }
+        let count = samples
+            .iter()
+            .find(|s| s.name == format!("{family}_count"))
+            .ok_or_else(|| format!("{family}: missing _count"))?;
+        if count.value != last.value {
+            return Err(format!(
+                "{family}: +Inf bucket {} != _count {}",
+                last.value, count.value
+            ));
+        }
+        if !samples.iter().any(|s| s.name == format!("{family}_sum")) {
+            return Err(format!("{family}: missing _sum"));
+        }
+    }
+    Ok(types)
+}
+
+fn clocksync_trace(lo: u64, hi: u64, seed: u64, events: usize) -> Trace {
+    let mut sim = Simulation::new(BandDelay::new(lo, hi, seed));
+    for _ in 0..4 {
+        sim.add_process(abc_clocksync::TickGen::new(4, 1));
+    }
+    sim.run(RunLimits {
+        max_events: events,
+        max_time: u64::MAX,
+    });
+    sim.trace().clone()
+}
+
+#[test]
+fn exposition_is_well_formed_with_all_required_families() {
+    let handle = start(ServerConfig {
+        shards: 2,
+        warn_margin: Some(Ratio::from_integer(2)),
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback server");
+    let addr = handle.addr().to_string();
+    let status = handle.status_addr().to_string();
+
+    // One finished document plus one session held open mid-document with
+    // an exact margin sample taken, so the per-session gauges have rows.
+    let xi = Xi::from_integer(4);
+    let done = clocksync_trace(1, 6, 3, 150);
+    abc_service::feed_stream_text(&addr, &xi, &done.to_stream_text()).unwrap();
+    let open = clocksync_trace(1, 6, 5, 150);
+    let text = open.to_stream_text();
+    let (body, _) = text.rsplit_once("end").expect("stream ends with end");
+    let stream = TcpStream::connect(&addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut greeting = String::new();
+    reader.read_line(&mut greeting).unwrap();
+    {
+        let mut w = &stream;
+        w.write_all(format!("xi {xi}\n").as_bytes()).unwrap();
+        w.write_all(body.as_bytes()).unwrap();
+        w.write_all(b"margin\n").unwrap();
+        w.flush().unwrap();
+    }
+    // Wait for the margin reply: everything written so far is ingested.
+    let margin_reply = loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        if line.starts_with("margin ") {
+            break line;
+        }
+        assert!(line.starts_with("ok "), "unexpected reply {line:?}");
+    };
+    assert!(
+        margin_reply.starts_with("margin "),
+        "margin sample came back: {margin_reply:?}"
+    );
+
+    // Raw command form.
+    let prom = status_command(&status, "prom").unwrap();
+    let types = validate_exposition(&prom).unwrap_or_else(|e| panic!("{e}\n---\n{prom}"));
+    for family in [
+        "abc_service_uptime_seconds",
+        "abc_service_sessions_active",
+        "abc_service_sessions_total",
+        "abc_service_documents_total",
+        "abc_service_events_total",
+        "abc_service_violations_total",
+        "abc_service_parse_errors_total",
+        "abc_service_margin_warnings_total",
+        "abc_service_margin",
+        "abc_service_ingest_seconds",
+        "abc_service_ack_seconds",
+        "abc_service_monitor_live_events",
+        "abc_service_monitor_live_arcs",
+        "abc_service_monitor_pruned_events_total",
+        "abc_service_session_margin",
+        "abc_service_session_warning",
+    ] {
+        assert!(
+            types.contains_key(family),
+            "missing family {family}\n{prom}"
+        );
+    }
+    // The held-open session's exact margin sample populated its gauge row.
+    assert!(
+        prom.lines()
+            .any(|l| l.starts_with("abc_service_session_margin{session=")),
+        "no per-session margin row:\n{prom}"
+    );
+
+    // HTTP scrape form: same body behind a minimal HTTP/1.0 response.
+    let http = status_command(&status, "GET /metrics HTTP/1.0").unwrap();
+    let (head, body) = http
+        .split_once("\r\n\r\n")
+        .expect("HTTP response has a header/body separator");
+    assert!(head.starts_with("HTTP/1.0 200 OK"), "{head}");
+    assert!(
+        head.contains("Content-Type: text/plain; version=0.0.4"),
+        "{head}"
+    );
+    let len: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .expect("Content-Length present")
+        .parse()
+        .unwrap();
+    assert_eq!(len, body.len(), "Content-Length matches body");
+    validate_exposition(body).unwrap_or_else(|e| panic!("{e}\n---\n{body}"));
+
+    drop(stream);
+    handle.join();
+}

@@ -103,6 +103,7 @@ const TAG_EVENT: u8 = 0x05;
 const TAG_MESSAGE: u8 = 0x06;
 const TAG_END: u8 = 0x07;
 const TAG_XI: u8 = 0x08;
+const TAG_MARGIN: u8 = 0x09;
 
 const EV_TRIGGER: u8 = 1 << 0;
 const EV_RECEIVED_ONLY: u8 = 1 << 1;
@@ -155,8 +156,8 @@ fn decode_varint(buf: &[u8]) -> Result<Option<(u64, usize)>, String> {
 ///
 /// `Event`/`Message` carry absolute times (the decoder resolves the
 /// on-wire deltas) and convert losslessly into [`TraceRecord`]s via
-/// [`WireRecord::to_trace_record`]; `Xi` is a session-level record the
-/// `abc-service` protocol consumes between documents and has no
+/// [`WireRecord::to_trace_record`]; `Xi` and `Margin` are session-level
+/// records the `abc-service` protocol consumes directly and have no
 /// [`TraceRecord`] counterpart.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum WireRecord {
@@ -176,11 +177,15 @@ pub enum WireRecord {
     End,
     /// A `Ξ` bound specification (the text protocol's `xi <P/Q>` line).
     Xi(String),
+    /// An on-demand synchrony-margin request (the text protocol's
+    /// `margin` line) — a session-level record, accepted mid-document and
+    /// between documents, with no [`TraceRecord`] counterpart.
+    Margin,
 }
 
 impl WireRecord {
     /// The document-grammar view of this record, or `None` for the
-    /// session-level [`WireRecord::Xi`].
+    /// session-level [`WireRecord::Xi`] / [`WireRecord::Margin`].
     #[must_use]
     pub fn to_trace_record(&self) -> Option<TraceRecord<'_>> {
         Some(match self {
@@ -191,7 +196,7 @@ impl WireRecord {
             WireRecord::Event(e) => TraceRecord::Event(*e),
             WireRecord::Message(m) => TraceRecord::Message(*m),
             WireRecord::End => TraceRecord::End,
-            WireRecord::Xi(_) => return None,
+            WireRecord::Xi(_) | WireRecord::Margin => return None,
         })
     }
 }
@@ -385,6 +390,7 @@ impl RecordDecoder {
                     .map_err(|_| "xi spec is not valid UTF-8".to_string())?;
                 WireRecord::Xi(s.to_string())
             }
+            TAG_MARGIN => WireRecord::Margin,
             other => return Err(format!("unknown record tag {other:#04x}")),
         })
     }
@@ -616,6 +622,7 @@ impl FrameWriter {
                 push_varint(f, s.len() as u64);
                 f.extend_from_slice(s.as_bytes());
             }
+            WireRecord::Margin => f.push(TAG_MARGIN),
         }
         if self.frame.len() >= self.target {
             self.seal();
@@ -662,16 +669,29 @@ impl Trace {
     #[must_use]
     pub fn to_stream_binary(&self) -> Vec<u8> {
         let mut w = FrameWriter::new();
-        w.push_record(&WireRecord::Processes(self.num_processes));
+        for rec in self.to_stream_records() {
+            w.push_record(&rec);
+        }
+        w.finish()
+    }
+
+    /// The trace's records in *streaming* order — exactly the sequence
+    /// [`Trace::to_stream_binary`] encodes. Exposed so callers composing
+    /// their own frames can interleave session-level records (such as
+    /// [`WireRecord::Margin`]) while reusing the canonical ordering.
+    #[must_use]
+    pub fn to_stream_records(&self) -> Vec<WireRecord> {
+        let mut w = Vec::with_capacity(self.events.len() + self.messages.len() + 5);
+        w.push(WireRecord::Processes(self.num_processes));
         let faulty: Vec<usize> = self
             .faulty
             .iter()
             .enumerate()
             .filter_map(|(p, f)| f.then_some(p))
             .collect();
-        w.push_record(&WireRecord::Faulty(faulty));
-        w.push_record(&WireRecord::DeclaredEvents(self.events.len()));
-        w.push_record(&WireRecord::DeclaredMessages(self.messages.len()));
+        w.push(WireRecord::Faulty(faulty));
+        w.push(WireRecord::DeclaredEvents(self.events.len()));
+        w.push(WireRecord::DeclaredMessages(self.messages.len()));
         // Same renumbering as to_stream_text: delivered messages take
         // indices in delivery order, undelivered ones follow in send
         // order.
@@ -696,7 +716,7 @@ impl Trace {
                 let Some(m) = self.messages.get(mi) else {
                     continue; // defensive: trace invariants keep triggers in range
                 };
-                w.push_record(&WireRecord::Message(MessageRecord {
+                w.push(WireRecord::Message(MessageRecord {
                     from: m.from.0,
                     to: m.to.0,
                     send_event: m.send_event,
@@ -704,7 +724,7 @@ impl Trace {
                     send_time: m.send_time,
                     recv_time: m.recv_time,
                 }));
-                w.push_record(&WireRecord::Event(EventRecord {
+                w.push(WireRecord::Event(EventRecord {
                     seq: None,
                     process: ev.process.0,
                     time: ev.time,
@@ -714,7 +734,7 @@ impl Trace {
                     distinguished: ev.distinguished,
                 }));
             } else {
-                w.push_record(&WireRecord::Event(EventRecord {
+                w.push(WireRecord::Event(EventRecord {
                     seq: None,
                     process: ev.process.0,
                     time: ev.time,
@@ -727,7 +747,7 @@ impl Trace {
         }
         for m in &self.messages {
             if m.recv_event.is_none() {
-                w.push_record(&WireRecord::Message(MessageRecord {
+                w.push(WireRecord::Message(MessageRecord {
                     from: m.from.0,
                     to: m.to.0,
                     send_event: m.send_event,
@@ -737,8 +757,8 @@ impl Trace {
                 }));
             }
         }
-        w.push_record(&WireRecord::End);
-        w.finish()
+        w.push(WireRecord::End);
+        w
     }
 
     /// Parses and validates a trace from the binary framing — the binary
