@@ -170,6 +170,48 @@ fn main() {
          untracked {untracked_eps:.0} events/s"
     );
 
+    // Flight-recorder (tracing) overhead: the same single-session v2
+    // feed with the recorder disabled vs enabled, on the same default
+    // server, back to back. Two gates: (a) the enabled recorder keeps at
+    // least 90% of the disabled rate, and (b) the two disabled-mode
+    // measurements bracketing the enabled run agree within 2% — the
+    // branch-on-disabled hooks are a flag check, so any larger delta is
+    // measurement noise, and gate (a) would be meaningless on top of it.
+    // Each leg keeps its best over all attempts — best-of converges to
+    // the host's peak rate, so on a noisy shared runner the delta
+    // shrinks with attempts instead of re-rolling a fresh comparison.
+    // The document is 5x the reference size: at ~2M events/s a 10k feed
+    // lasts ~5ms, inside scheduler-jitter scale, and no number of
+    // retries stabilises a measurement shorter than the noise it rides.
+    let tracing_doc = docs(1, 50_000);
+    let (mut best_before, mut best_enabled, mut best_after) = (0.0f64, 0.0f64, 0.0f64);
+    let mut tracing_attempts = 0;
+    let (disabled_eps, enabled_eps, disabled_delta) = loop {
+        tracing_attempts += 1;
+        best_before = best_before.max(single_v2_eps(&addr, &xi, &tracing_doc[0]));
+        abc_obs::enable(abc_obs::DEFAULT_RING_CAPACITY);
+        best_enabled = best_enabled.max(single_v2_eps(&addr, &xi, &tracing_doc[0]));
+        abc_obs::disable();
+        abc_obs::reset();
+        best_after = best_after.max(single_v2_eps(&addr, &xi, &tracing_doc[0]));
+        let disabled = best_before.max(best_after);
+        let delta = (best_before - best_after).abs() / disabled;
+        if (best_enabled >= 0.90 * disabled && delta <= 0.02) || tracing_attempts >= 20 {
+            assert!(
+                best_enabled >= 0.90 * disabled,
+                "recorder overhead exceeds 10%: enabled {best_enabled:.0} vs \
+                 disabled {disabled:.0} events/s"
+            );
+            assert!(
+                delta <= 0.02,
+                "disabled-mode rate is not stable within 2% (delta {:.1}%): \
+                 {best_before:.0} vs {best_after:.0} events/s",
+                delta * 100.0
+            );
+            break (disabled, best_enabled, delta);
+        }
+    };
+
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let mut json = format!(
         "{{\n  \"bench\": \"service\",\n  \"unit\": \"events_per_second\",\n  \
@@ -203,11 +245,21 @@ fn main() {
          \"single_session_events\": {},\n    \
          \"tracked_v2_events_per_sec\": {:.0},\n    \
          \"untracked_v2_events_per_sec\": {:.0},\n    \
-         \"tracked_fraction_of_untracked\": {:.2}\n  }}\n}}\n",
+         \"tracked_fraction_of_untracked\": {:.2}\n  }},\n  \"tracing\": {{\n    \
+         \"single_session_events\": {},\n    \
+         \"recorder_enabled_v2_events_per_sec\": {:.0},\n    \
+         \"recorder_disabled_v2_events_per_sec\": {:.0},\n    \
+         \"enabled_fraction_of_disabled\": {:.2},\n    \
+         \"disabled_mode_delta\": {:.3}\n  }}\n}}\n",
         margin_doc[0].events,
         tracked_eps,
         untracked_eps,
-        tracked_eps / untracked_eps
+        tracked_eps / untracked_eps,
+        tracing_doc[0].events,
+        enabled_eps,
+        disabled_eps,
+        enabled_eps / disabled_eps,
+        disabled_delta
     );
     std::fs::write(&out_path, &json).expect("write snapshot");
     print!("{json}");

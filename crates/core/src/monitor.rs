@@ -135,6 +135,19 @@ use crate::graph::{
 use crate::traversal::{ArcKind, TraversalGraph};
 use crate::xi::Xi;
 
+// Flight-recorder hooks (no-ops unless the embedding process called
+// `abc_obs::enable`). The hot append path gets only relaxed counter
+// adds; RAII spans are reserved for the rare phases (frontier repair,
+// violation confirmation, prune condensation, margin probes).
+static OBS_APPENDS: abc_obs::CounterDef = abc_obs::CounterDef::new("monitor.appends");
+static OBS_ARCS: abc_obs::CounterDef = abc_obs::CounterDef::new("monitor.arcs");
+static OBS_RELAXATIONS: abc_obs::CounterDef = abc_obs::CounterDef::new("monitor.relaxations");
+static OBS_REPAIRS: abc_obs::CounterDef = abc_obs::CounterDef::new("monitor.frontier_repairs");
+static OBS_CONFIRMS: abc_obs::CounterDef = abc_obs::CounterDef::new("monitor.confirm_sssp");
+static OBS_PRUNED_EVENTS: abc_obs::CounterDef = abc_obs::CounterDef::new("monitor.pruned_events");
+static OBS_PRUNED_ARCS: abc_obs::CounterDef = abc_obs::CounterDef::new("monitor.pruned_arcs");
+static OBS_PROBES: abc_obs::CounterDef = abc_obs::CounterDef::new("monitor.margin_probes");
+
 /// Lexicographic arc weight: `(p·[fwd] − q·[bwd], −1)`. Tuples compare
 /// lexicographically in Rust, which is exactly the order the reduction
 /// needs; components are added independently.
@@ -579,6 +592,11 @@ impl IncrementalChecker {
             self.last_event[to.0].is_some(),
             "{to} must be initialized before receiving"
         );
+        OBS_APPENDS.add(1);
+        // Arcs are counted as one batched add at the exit (forward +
+        // backward + order + any shortcut crossings land together): one
+        // recorder touch per append instead of one per arc.
+        let arcs_before = self.stats.arcs;
         let base = self.tg.base();
         let sender = self.proc_of[from.0 - base];
         let effective = !exempt && !self.faulty[sender.0];
@@ -722,6 +740,7 @@ impl IncrementalChecker {
             self.restore_feasibility();
             self.pending = None;
         }
+        OBS_ARCS.add((self.stats.arcs - arcs_before) as u64);
         (mid, EventId(recv))
     }
 
@@ -778,6 +797,9 @@ impl IncrementalChecker {
     /// cycle through a new arc), until the relaxation-count heuristic trips
     /// and the exact canonical confirmation latches the witness.
     fn restore_feasibility(&mut self) {
+        let _span = abc_obs::span("monitor.frontier_repair");
+        OBS_REPAIRS.add(1);
+        let relaxations_before = self.stats.relaxations;
         // Without negative cycles a label only improves via simple paths, so
         // > #nodes improvements of one node in a single repair is a strong
         // negative-cycle signal — but queue orderings can exceed it benignly,
@@ -819,6 +841,7 @@ impl IncrementalChecker {
             self.relax_count[v - base] = 0;
             self.in_queue[v - base] = false;
         }
+        OBS_RELAXATIONS.add(self.stats.relaxations - relaxations_before);
     }
 
     fn enqueue(&mut self, v: usize) {
@@ -897,6 +920,8 @@ impl IncrementalChecker {
     /// is lexicographically negative. Pre-append arcs are feasible (no
     /// negative cycle), so the seeded shortest-path pass terminates.
     fn confirm_violation(&self) -> Option<(Cycle, WitnessSummary)> {
+        let _span = abc_obs::span("monitor.confirm_sssp");
+        OBS_CONFIRMS.add(1);
         let ctx = self
             .pending
             .as_ref()
@@ -1029,6 +1054,7 @@ impl IncrementalChecker {
     /// with and without pruning, at any call cadence. Returns the number of
     /// events compacted by this call.
     pub fn prune_settled(&mut self, oldest_inflight_send: Option<EventId>) -> usize {
+        let _span = abc_obs::span("monitor.prune");
         let total = self.tg.total_nodes();
         let base = self.tg.base();
         debug_assert!(self.queue.is_empty(), "prune between appends only");
@@ -1059,6 +1085,8 @@ impl IncrementalChecker {
         self.in_queue.drain(..dropped);
         self.stats.pruned_events += nodes;
         self.stats.pruned_arcs += arcs;
+        OBS_PRUNED_EVENTS.add(nodes as u64);
+        OBS_PRUNED_ARCS.add(arcs as u64);
         nodes
     }
 
@@ -2129,6 +2157,8 @@ impl IncrementalChecker {
     /// [`IncrementalChecker::enable_margin_tracking`] was called before the
     /// first prune.
     pub fn current_margin(&self) -> Result<Option<MarginReport>, CheckError> {
+        let _span = abc_obs::span("monitor.margin_probe");
+        OBS_PROBES.add(1);
         if let Some(s) = &self.violation_summary {
             let ratio = s
                 .classification
@@ -2192,6 +2222,7 @@ impl IncrementalChecker {
     /// tracking is enabled (pruned shortcut arcs need their signatures).
     #[must_use]
     pub fn margin_upper_bound(&self) -> Option<Ratio> {
+        let _span = abc_obs::span("monitor.margin_bound");
         if let Some(s) = &self.violation_summary {
             return s.classification.ratio();
         }

@@ -40,10 +40,12 @@ USAGE:
   abc serve   [--addr A] [--status-addr A] [--shards N] [--xi XI]
               [--max-line BYTES] [--max-frame BYTES] [--max-processes N]
               [--prune-horizon H] [--warn-margin P/Q] [--margin-tracking BOOL]
+              [--forensics-dir DIR] [--forensics-tail N] [--trace-out FILE]
   abc feed    FILE --addr A --xi XI [--binary] [--margin-every N]
   abc loadgen --addr A [--connections C] [--traces N] [--preset NAME]
               [--delay SPEC] [--xi XI] [--max-events E] [--seed S]
               [--verify BOOL] [--binary]
+  abc inspect FILE        (a .forensics bundle or a Chrome trace JSON)
   abc lint    [--root DIR] [--json] [--rule R1[,R2…]]...
 
 DELAY SPECS (numeric fields accept `v` or `from..to..step` grids):
@@ -157,6 +159,7 @@ pub fn run(args: &[String]) -> Result<i32, String> {
         "serve" => crate::cli_service::cmd_serve(&Args::parse(rest)?),
         "feed" => crate::cli_service::cmd_feed(&Args::parse(rest)?),
         "loadgen" => crate::cli_service::cmd_loadgen(&Args::parse(rest)?),
+        "inspect" => crate::cli_service::cmd_inspect(&Args::parse(rest)?),
         "lint" => crate::cli_lint::cmd_lint(&Args::parse(rest)?),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");

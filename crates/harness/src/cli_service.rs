@@ -1,5 +1,5 @@
-//! The networked `abc` subcommands: `serve`, `feed`, and `loadgen`
-//! (thin drivers over `abc-service`).
+//! The networked `abc` subcommands: `serve`, `feed`, `loadgen`, and
+//! `inspect` (thin drivers over `abc-service` and `abc-obs`).
 
 use std::time::Duration;
 
@@ -8,8 +8,9 @@ use abc_rational::Ratio;
 use abc_service::client::{
     feed_stream_binary, feed_stream_text, format_ms, run_loadgen, LoadgenDoc,
 };
+use abc_service::forensics::ForensicsBundle;
 use abc_service::proto::offline_verdict;
-use abc_service::server::{start, ServerConfig};
+use abc_service::server::{start, ServerConfig, DEFAULT_FORENSICS_TAIL};
 use abc_service::signals;
 use abc_sim::binio::{FrameWriter, WireRecord, DEFAULT_MAX_FRAME_LEN};
 use abc_sim::textio::DEFAULT_MAX_LINE_LEN;
@@ -31,8 +32,17 @@ pub(crate) fn cmd_serve(args: &Args) -> Result<i32, String> {
         "prune-horizon",
         "warn-margin",
         "margin-tracking",
+        "forensics-dir",
+        "forensics-tail",
+        "trace-out",
     ])?;
     args.no_positionals()?;
+    let trace_out = args.one("trace-out")?.map(std::path::PathBuf::from);
+    if trace_out.is_some() {
+        // The flight recorder stays a branch-on-disabled no-op unless the
+        // operator asked for a trace.
+        abc_obs::enable(abc_obs::DEFAULT_RING_CAPACITY);
+    }
     let config = ServerConfig {
         addr: args.one("addr")?.unwrap_or("127.0.0.1:7431").to_string(),
         status_addr: args
@@ -69,6 +79,8 @@ pub(crate) fn cmd_serve(args: &Args) -> Result<i32, String> {
             .transpose()
             .map_err(|e| format!("--warn-margin: {e}"))?,
         margin_tracking: args.parsed("margin-tracking", true)?,
+        forensics_dir: args.one("forensics-dir")?.map(std::path::PathBuf::from),
+        forensics_tail: args.parsed("forensics-tail", DEFAULT_FORENSICS_TAIL)?,
     };
     let shards = config.shards;
     let xi = config.xi.clone();
@@ -79,7 +91,7 @@ pub(crate) fn cmd_serve(args: &Args) -> Result<i32, String> {
         handle.addr()
     );
     println!(
-        "status/control on {} (commands: metrics, prom, shutdown; \
+        "status/control on {} (commands: metrics, prom, dump, shutdown; \
          `GET /metrics` serves the Prometheus exposition over HTTP)",
         handle.status_addr()
     );
@@ -94,7 +106,43 @@ pub(crate) fn cmd_serve(args: &Args) -> Result<i32, String> {
     let snapshot = handle.metrics().render();
     handle.join();
     print!("{snapshot}");
+    if let Some(path) = trace_out {
+        let trace = abc_obs::snapshot().chrome_trace_json();
+        std::fs::write(&path, trace).map_err(|e| format!("{}: {e}", path.display()))?;
+        println!("wrote Chrome trace to {}", path.display());
+    }
     Ok(EXIT_OK)
+}
+
+/// `abc inspect FILE`: pretty-prints a forensics bundle (exit code 2
+/// when it carries a latched violation) or structurally validates a
+/// Chrome trace JSON export.
+pub(crate) fn cmd_inspect(args: &Args) -> Result<i32, String> {
+    args.known(&[])?;
+    let [file] = args.positional.as_slice() else {
+        return Err("expected exactly one bundle or trace-JSON file argument".into());
+    };
+    let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+    if text.starts_with("abc-forensics") {
+        let bundle = ForensicsBundle::parse(&text).map_err(|e| format!("{file}: {e}"))?;
+        print!("{}", bundle.pretty());
+        Ok(if bundle.latch.is_some() {
+            EXIT_VIOLATION
+        } else {
+            EXIT_OK
+        })
+    } else if text.trim_start().starts_with('{') {
+        let stats = abc_obs::validate_chrome_trace(&text).map_err(|e| format!("{file}: {e}"))?;
+        println!(
+            "{file}: valid Chrome trace ({} events: {} spans, {} counter samples, {} metadata)",
+            stats.events, stats.spans, stats.counters, stats.metadata
+        );
+        Ok(EXIT_OK)
+    } else {
+        Err(format!(
+            "{file}: neither a forensics bundle (abc-forensics header) nor trace JSON"
+        ))
+    }
 }
 
 pub(crate) fn cmd_feed(args: &Args) -> Result<i32, String> {
@@ -269,7 +317,14 @@ pub(crate) fn cmd_loadgen(args: &Args) -> Result<i32, String> {
         })
         .collect::<Result<_, String>>()?;
 
-    let report = run_loadgen(addr, &spec.xi, &docs, connections, binary)?;
+    // The workers sample the shared work queue into the flight recorder
+    // (`loadgen.queue_depth`) so the report can show depth percentiles;
+    // reset first so a prior run's samples don't pollute this one.
+    abc_obs::enable(abc_obs::DEFAULT_RING_CAPACITY);
+    abc_obs::reset();
+    let report = run_loadgen(addr, &spec.xi, &docs, connections, binary);
+    abc_obs::disable();
+    let report = report?;
     print!("{}", report.render());
     if verify {
         if report.mismatches > 0 {

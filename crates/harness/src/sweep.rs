@@ -470,6 +470,7 @@ pub fn run_sweep(spec: &ScenarioSpec, options: SweepOptions) -> Result<SweepRepo
                 if i >= total {
                     break;
                 }
+                let _span = abc_obs::span("sweep.run");
                 let outcome = run_one(spec, &points, i, options.keep_violating_traces);
                 collected.lock().expect("collector poisoned").push(outcome);
             });

@@ -1,0 +1,12 @@
+//! R3 fixture (recorder hierarchy): a ring holder reaching back for the
+//! global REGISTRY — the snapshot-order inversion abc-obs forbids.
+
+use std::sync::Mutex;
+
+#[allow(non_snake_case)]
+pub fn snapshot_inverted(REGISTRY: &Mutex<u32>, ring: &Mutex<u32>) {
+    let r = ring.lock();
+    let g = REGISTRY.lock();
+    drop(g);
+    drop(r);
+}

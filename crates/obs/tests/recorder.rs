@@ -1,0 +1,150 @@
+//! End-to-end recorder behaviour: enable/disable gating, counters,
+//! spans, samples, snapshots, and the Chrome exporter validated by the
+//! crate's own hand-rolled JSON reader.
+//!
+//! The recorder is process-global, so this file is a single #[test]
+//! with ordered phases rather than independent tests that would race
+//! on enable/reset.
+
+use abc_obs::{validate_chrome_trace, CounterDef, EntryKind};
+
+static TEST_COUNTER: CounterDef = CounterDef::new("test.counter");
+static OTHER_COUNTER: CounterDef = CounterDef::new("test.other");
+
+#[test]
+fn recorder_end_to_end() {
+    // Phase 1: everything is a no-op while disabled.
+    assert!(!abc_obs::is_enabled());
+    TEST_COUNTER.add(5);
+    abc_obs::sample("pre.sample", 1);
+    {
+        let _span = abc_obs::span("pre.span");
+    }
+    let snap = abc_obs::snapshot();
+    assert!(snap.counter_names.is_empty(), "disabled adds registered");
+    assert!(
+        snap.threads.iter().all(|t| t.entries.is_empty()),
+        "disabled spans recorded"
+    );
+
+    // Phase 2: record counters, spans, and samples on two threads.
+    abc_obs::enable(64);
+    TEST_COUNTER.add(3);
+    TEST_COUNTER.add(4);
+    OTHER_COUNTER.add(10);
+    {
+        let _span = abc_obs::span("work.outer");
+        let _inner = abc_obs::span("work.inner");
+    }
+    abc_obs::sample("queue.depth", 17);
+    std::thread::Builder::new()
+        .name("obs-worker".to_string())
+        .spawn(|| {
+            TEST_COUNTER.add(100);
+            let _span = abc_obs::span("worker.task");
+        })
+        .expect("spawn")
+        .join()
+        .expect("join");
+
+    let snap = abc_obs::snapshot();
+    let totals = snap.counter_totals();
+    assert_eq!(
+        totals,
+        vec![("test.counter", 107), ("test.other", 10)],
+        "totals sorted by name, summed across threads"
+    );
+    let all_entries: Vec<_> = snap.threads.iter().flat_map(|t| &t.entries).collect();
+    let span_names: Vec<&str> = all_entries
+        .iter()
+        .filter(|e| e.kind == EntryKind::Span)
+        .map(|e| e.name)
+        .collect();
+    assert!(span_names.contains(&"work.outer"));
+    assert!(span_names.contains(&"work.inner"));
+    assert!(span_names.contains(&"worker.task"));
+    assert!(all_entries
+        .iter()
+        .any(|e| e.kind == EntryKind::Sample && e.name == "queue.depth" && e.value == 17));
+    assert!(snap
+        .threads
+        .iter()
+        .any(|t| t.label == "obs-worker" && t.counters.iter().sum::<u64>() == 100));
+
+    // Inner span closes before outer, so it must appear first in the
+    // (chronological, completion-ordered) ring.
+    let main_thread = snap
+        .threads
+        .iter()
+        .find(|t| t.entries.iter().any(|e| e.name == "work.outer"))
+        .expect("main thread snapshot");
+    let inner_pos = main_thread
+        .entries
+        .iter()
+        .position(|e| e.name == "work.inner")
+        .expect("inner");
+    let outer_pos = main_thread
+        .entries
+        .iter()
+        .position(|e| e.name == "work.outer")
+        .expect("outer");
+    assert!(inner_pos < outer_pos);
+
+    // Phase 3: the Chrome export passes the crate's own validator and
+    // carries the expected event mix.
+    let trace = snap.chrome_trace_json();
+    let stats = validate_chrome_trace(&trace).expect("exporter output validates");
+    assert!(stats.spans >= 3);
+    assert!(stats.counters >= 1, "samples exported as ph:C");
+    assert!(stats.metadata >= 2, "process + thread names present");
+    assert!(
+        trace.contains("\"test.counter\":\"107\""),
+        "otherData totals"
+    );
+
+    // Phase 4: the text summary is stable across repeated rendering of
+    // the same snapshot and mentions every recorded name.
+    let summary_a = snap.text_summary();
+    let summary_b = snap.text_summary();
+    assert_eq!(summary_a, summary_b);
+    for needle in [
+        "test.counter = 107",
+        "test.other = 10",
+        "span work.outer:",
+        "sample queue.depth: count=1 last=17",
+    ] {
+        assert!(
+            summary_a.contains(needle),
+            "summary missing {needle:?}:\n{summary_a}"
+        );
+    }
+
+    // Phase 5: ring overflow keeps the most recent entries and counts
+    // every eviction exactly; reset clears both.
+    abc_obs::reset();
+    for i in 0..100 {
+        abc_obs::sample("overflow.sample", i);
+    }
+    let snap = abc_obs::snapshot();
+    let main = snap
+        .threads
+        .iter()
+        .find(|t| t.entries.iter().any(|e| e.name == "overflow.sample"))
+        .expect("overflowing thread");
+    assert_eq!(main.entries.len(), 64);
+    assert_eq!(main.dropped, 36);
+    let last = main.entries.last().expect("non-empty ring");
+    assert_eq!(last.value, 99, "ring keeps the most recent entries");
+
+    // Phase 6: disable really turns recording back off.
+    abc_obs::disable();
+    abc_obs::reset();
+    TEST_COUNTER.add(1);
+    abc_obs::sample("post.sample", 1);
+    let snap = abc_obs::snapshot();
+    assert_eq!(
+        snap.counter_totals(),
+        vec![("test.counter", 0), ("test.other", 0)]
+    );
+    assert!(snap.threads.iter().all(|t| t.entries.is_empty()));
+}

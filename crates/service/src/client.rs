@@ -285,6 +285,11 @@ pub struct LoadgenReport {
     /// (p50, p90, p99, max). In v1 a "batch" is one event, so this is the
     /// old per-event reply RTT; in v2 it is the per-frame ack gap.
     pub ack_latency_percentiles: (Duration, Duration, Duration, Duration),
+    /// Work-queue depth percentiles (p50, p99): documents still waiting
+    /// in the shared queue, sampled into the flight recorder
+    /// (`loadgen.queue_depth`) each time a worker claims one. `None`
+    /// when the recorder was disabled for the run.
+    pub queue_depth_percentiles: Option<(u64, u64)>,
 }
 
 /// Renders a duration as integer-derived milliseconds (`1.234ms`),
@@ -344,6 +349,9 @@ impl LoadgenReport {
             self.events_per_ack,
             self.acks
         );
+        if let Some((q50, q99)) = self.queue_depth_percentiles {
+            let _ = writeln!(out, "queue depth: p50={q50} p99={q99} docs waiting");
+        }
         let _ = writeln!(
             out,
             "verdicts: {} violation(s), {} mismatch(es)",
@@ -399,6 +407,11 @@ pub fn run_loadgen(
                     if i >= docs.len() {
                         break;
                     }
+                    // Flight-recorder hook (no-op unless the embedding
+                    // process called `abc_obs::enable`): how many
+                    // documents are still waiting when this one is
+                    // claimed.
+                    abc_obs::sample("loadgen.queue_depth", (docs.len() - i - 1) as u64);
                     let Some(doc) = docs.get(i) else { break };
                     let payload: &[u8] = if binary {
                         doc.binary.as_deref().ok_or_else(|| {
@@ -454,6 +467,24 @@ pub fn run_loadgen(
     let mut latencies: Vec<Duration> = outcomes.iter().map(|o| o.latency).collect();
     latencies.sort();
     ack_gaps.sort();
+    let queue_depth_percentiles = if abc_obs::is_enabled() {
+        let mut depths: Vec<u64> = abc_obs::snapshot()
+            .threads
+            .iter()
+            .flat_map(|t| t.entries.iter())
+            .filter(|e| e.kind == abc_obs::EntryKind::Sample && e.name == "loadgen.queue_depth")
+            .map(|e| e.value)
+            .collect();
+        depths.sort_unstable();
+        let pick = |bp: usize| {
+            let last = depths.len().saturating_sub(1);
+            let idx = (last * bp + 5_000) / 10_000;
+            depths.get(idx.min(last)).copied().unwrap_or(0)
+        };
+        (!depths.is_empty()).then(|| (pick(5_000), pick(9_900)))
+    } else {
+        None
+    };
     #[allow(clippy::cast_precision_loss)]
     let events_per_sec = total_events as f64 / wall.as_secs_f64().max(1e-9);
     #[allow(clippy::cast_precision_loss)]
@@ -472,6 +503,7 @@ pub fn run_loadgen(
             LoadgenReport::percentile(&ack_gaps, 9_900),
             ack_gaps.last().copied().unwrap_or(Duration::ZERO),
         ),
+        queue_depth_percentiles,
         outcomes,
         total_events,
         acks,

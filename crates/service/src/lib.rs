@@ -47,6 +47,7 @@
 //! | [`proto`] | wire protocol: replies, [`proto::Verdict`], [`proto::offline_verdict`] |
 //! | [`client`] | [`client::feed_stream_text`] / [`client::feed_stream_binary`] (`abc feed`), [`client::run_loadgen`] (`abc loadgen`), [`client::status_command`] |
 //! | [`metrics`] | named counter/gauge/histogram registry; human status page + Prometheus text exposition; per-session margin gauges |
+//! | [`forensics`] | violation-forensics bundles: byte-reproducible capture at latch / on `dump`, parser + pretty renderer (`abc inspect`) |
 //! | [`signals`] | SIGINT → stop-flag hook |
 //!
 //! The `abc` CLI (in `abc-harness`) exposes all of it: `abc serve`,
@@ -66,6 +67,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod forensics;
 pub mod metrics;
 pub mod proto;
 pub mod server;

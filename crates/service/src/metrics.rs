@@ -187,6 +187,8 @@ pub struct Metrics {
     /// Sessions whose exact margin crossed the `--warn-margin` threshold
     /// (flipped at most once per document, before any latch).
     pub margin_warnings: AtomicU64,
+    /// Forensics bundles written (latch-triggered or `dump`-requested).
+    pub forensics_dumps: AtomicU64,
     /// Workspace-wide distribution of exactly computed margins, in basis
     /// points (ratio × 10⁴).
     pub margin_hist: Histogram,
@@ -215,6 +217,7 @@ impl Metrics {
             frames: AtomicU64::new(0),
             acks: AtomicU64::new(0),
             margin_warnings: AtomicU64::new(0),
+            forensics_dumps: AtomicU64::new(0),
             margin_hist: Histogram::new(MARGIN_BUCKETS_BP, MARGIN_SCALE_POW10),
             ingest_hist: Histogram::new(LATENCY_BUCKETS_US, 6),
             ack_hist: Histogram::new(LATENCY_BUCKETS_US, 6),
@@ -232,7 +235,7 @@ impl Metrics {
     /// The registry's counter families, in rendering order: stable
     /// exposition name (without the `abc_service_` prefix), help text,
     /// current value.
-    fn counters(&self) -> [(&'static str, &'static str, u64); 10] {
+    fn counters(&self) -> [(&'static str, &'static str, u64); 11] {
         let c = |a: &AtomicU64| a.load(Ordering::Relaxed);
         [
             (
@@ -281,6 +284,11 @@ impl Metrics {
                 "Sessions whose exact margin crossed the warn-margin threshold.",
                 c(&self.margin_warnings),
             ),
+            (
+                "forensics_dumps_total",
+                "Forensics bundles written (latch-triggered or dump-requested).",
+                c(&self.forensics_dumps),
+            ),
         ]
     }
 
@@ -318,6 +326,10 @@ impl Metrics {
         kv(
             "margin_warnings_total",
             self.margin_warnings.load(Ordering::Relaxed),
+        );
+        kv(
+            "forensics_dumps_total",
+            self.forensics_dumps.load(Ordering::Relaxed),
         );
         kv("margin_samples_total", self.margin_hist.count());
         out
@@ -445,6 +457,45 @@ mod tests {
             text.contains("abc_service_ingest_seconds_bucket{le=\"0.0005\"} 1"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn empty_histograms_render_format_valid_exposition() {
+        // A fresh registry (no observations anywhere) must still produce
+        // a structurally valid exposition: every histogram family carries
+        // its full bucket ladder at zero, `_sum 0`, `_count 0`, and every
+        // body line belongs to a `# TYPE`-declared family.
+        let m = Metrics::new();
+        let text = m.render_prometheus();
+        for family in [
+            "abc_service_margin",
+            "abc_service_ingest_seconds",
+            "abc_service_ack_seconds",
+        ] {
+            assert!(
+                text.contains(&format!("# TYPE {family} histogram")),
+                "{family} family missing:\n{text}"
+            );
+            assert!(
+                text.contains(&format!("{family}_bucket{{le=\"+Inf\"}} 0")),
+                "{family} +Inf bucket missing:\n{text}"
+            );
+            assert!(text.contains(&format!("{family}_sum 0\n")), "{text}");
+            assert!(text.contains(&format!("{family}_count 0\n")), "{text}");
+        }
+        // Every non-comment line is `name{labels}? value` with a numeric
+        // value — the shape a Prometheus scraper requires.
+        for line in text.lines() {
+            if line.starts_with('#') || line.is_empty() {
+                continue;
+            }
+            let (name, value) = line.rsplit_once(' ').expect("name value pair");
+            assert!(!name.is_empty(), "{line:?}");
+            assert!(
+                value.parse::<f64>().is_ok(),
+                "non-numeric sample value in {line:?}"
+            );
+        }
     }
 
     #[test]

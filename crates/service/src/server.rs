@@ -11,11 +11,11 @@
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use abc_core::Xi;
 use abc_rational::Ratio;
@@ -73,7 +73,23 @@ pub struct ServerConfig {
     /// `--warn-margin` are unavailable (requests get a protocol error).
     /// Defaults to `true`.
     pub margin_tracking: bool,
+    /// Violation-forensics directory (`abc serve --forensics-dir DIR`):
+    /// when set, every session records its recent wire records, margin
+    /// history, and decision timeline, and writes a byte-reproducible
+    /// bundle ([`crate::forensics`]) the moment a violation latches — or
+    /// on the status port's `dump` command. `None` (the default) disables
+    /// capture entirely (zero ingest-path cost).
+    pub forensics_dir: Option<std::path::PathBuf>,
+    /// How many recent wire records each session's forensics tail keeps
+    /// (`abc serve --forensics-tail N`). Only consulted when
+    /// [`ServerConfig::forensics_dir`] is set.
+    pub forensics_tail: usize,
 }
+
+/// Default [`ServerConfig::forensics_tail`]: enough wire context to replay
+/// the closing window of a violating cycle without letting a firehose
+/// session hold megabytes of line copies.
+pub const DEFAULT_FORENSICS_TAIL: usize = 256;
 
 impl Default for ServerConfig {
     fn default() -> ServerConfig {
@@ -88,6 +104,8 @@ impl Default for ServerConfig {
             prune_horizon: None,
             warn_margin: None,
             margin_tracking: true,
+            forensics_dir: None,
+            forensics_tail: DEFAULT_FORENSICS_TAIL,
         }
     }
 }
@@ -181,6 +199,14 @@ pub struct ServerHandle {
     metrics: Arc<Metrics>,
     table: SessionTable,
     stop: Arc<AtomicBool>,
+    /// Bumped once per forensics-dump request; each shard tracks the last
+    /// epoch it acted on and dumps all its sessions when it changes.
+    dump_epoch: Arc<AtomicU64>,
+    /// Shards that have fully exited (final counters flushed); the status
+    /// port's `shutdown` reply waits on this before rendering its final
+    /// snapshot.
+    shards_done: Arc<AtomicUsize>,
+    shards: usize,
     threads: Vec<JoinHandle<()>>,
 }
 
@@ -235,6 +261,28 @@ impl ServerHandle {
             let _ = t.join();
         }
     }
+
+    /// Whether every shard worker has exited and flushed its final
+    /// counters (only ever true once shutdown was requested).
+    #[must_use]
+    pub fn shards_drained(&self) -> bool {
+        // ordering: Acquire pairs with each shard's Release increment
+        // after its final counter flush — `true` here means those final
+        // writes are visible to the caller.
+        self.shards_done.load(Ordering::Acquire) >= self.shards
+    }
+
+    /// Asks every shard to write a forensics bundle for each of its live
+    /// sessions (the programmatic twin of the status port's `dump`
+    /// command). No-op unless the server was configured with
+    /// [`ServerConfig::forensics_dir`]. Dumps happen asynchronously on
+    /// the shard threads, within one scheduling round.
+    pub fn request_forensics_dump(&self) {
+        // Relaxed: the epoch is a pure signal — each shard dumps from its
+        // own thread-local session state, so no cross-thread data rides
+        // on this store.
+        self.dump_epoch.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// Binds both ports and spawns the accept, shard, and status threads.
@@ -261,6 +309,8 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
     let metrics = Arc::new(Metrics::new());
     let table: SessionTable = Arc::new(Mutex::new(BTreeMap::new()));
     let stop = Arc::new(AtomicBool::new(false));
+    let dump_epoch = Arc::new(AtomicU64::new(0));
+    let shards_done = Arc::new(AtomicUsize::new(0));
     let shards = config.shards.max(1);
 
     let mut threads = Vec::new();
@@ -272,10 +322,23 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
         let metrics = Arc::clone(&metrics);
         let table = Arc::clone(&table);
         let stop = Arc::clone(&stop);
+        let dump_epoch = Arc::clone(&dump_epoch);
+        let shards_done = Arc::clone(&shards_done);
         threads.push(
             std::thread::Builder::new()
                 .name(format!("abc-shard-{shard}"))
-                .spawn(move || shard_loop(shard, &rx, &config, &metrics, &table, &stop))?,
+                .spawn(move || {
+                    shard_loop(
+                        shard,
+                        &rx,
+                        &config,
+                        &metrics,
+                        &table,
+                        &stop,
+                        &dump_epoch,
+                        &shards_done,
+                    );
+                })?,
         );
     }
 
@@ -294,10 +357,22 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
         let metrics = Arc::clone(&metrics);
         let table = Arc::clone(&table);
         let stop = Arc::clone(&stop);
+        let dump_epoch = Arc::clone(&dump_epoch);
+        let shards_done = Arc::clone(&shards_done);
         threads.push(
             std::thread::Builder::new()
                 .name("abc-status".into())
-                .spawn(move || status_loop(&status_listener, &metrics, &table, &stop))?,
+                .spawn(move || {
+                    status_loop(
+                        &status_listener,
+                        &metrics,
+                        &table,
+                        &stop,
+                        &dump_epoch,
+                        &shards_done,
+                        shards,
+                    );
+                })?,
         );
     }
 
@@ -307,6 +382,9 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
         metrics,
         table,
         stop,
+        dump_epoch,
+        shards_done,
+        shards,
         threads,
     })
 }
@@ -399,6 +477,7 @@ fn accept_loop(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn shard_loop(
     shard: usize,
     rx: &Receiver<NewConn>,
@@ -406,9 +485,12 @@ fn shard_loop(
     metrics: &Arc<Metrics>,
     table: &SessionTable,
     stop: &AtomicBool,
+    dump_epoch: &AtomicU64,
+    shards_done: &AtomicUsize,
 ) {
     let _ = shard;
     let mut sessions: Vec<Session> = Vec::new();
+    let mut seen_epoch = dump_epoch.load(Ordering::Relaxed);
     // Idle backoff: yield to the scheduler for a bounded number of rounds
     // before sleeping `IDLE_POLL`. On loaded single-core hosts this keeps a
     // just-fed session's wake-up latency at scheduler granularity instead
@@ -430,8 +512,23 @@ fn shard_loop(
             sessions.push(Session::new(conn.id, conn.stream, config, conn.counters));
             work = true;
         }
+        // Relaxed: the epoch is a pure signal (see request_forensics_dump);
+        // all dumped state is owned by this thread.
+        let epoch = dump_epoch.load(Ordering::Relaxed);
+        if epoch != seen_epoch {
+            seen_epoch = epoch;
+            for s in &mut sessions {
+                s.dump_forensics("request", metrics);
+            }
+            work = true;
+        }
         for s in &mut sessions {
             work |= s.tick(metrics);
+        }
+        if work && !sessions.is_empty() {
+            // One shard-queue-depth sample per round that did work — the
+            // loadgen/forensics view of how loaded this shard is.
+            abc_obs::sample("service.shard_sessions", sessions.len() as u64);
         }
         sessions.retain(|s| {
             if s.dead {
@@ -450,6 +547,11 @@ fn shard_loop(
                 lock_table(table).remove(&s.id);
                 metrics.sessions_closed.fetch_add(1, Ordering::Relaxed);
             }
+            // ordering: Release pairs with the Acquire loads in
+            // shards_drained / the status port's shutdown wait — whoever
+            // sees this shard counted also sees its final counter flushes
+            // and table removals above.
+            shards_done.fetch_add(1, Ordering::Release);
             break;
         }
         if work {
@@ -470,11 +572,24 @@ fn status_loop(
     metrics: &Arc<Metrics>,
     table: &SessionTable,
     stop: &AtomicBool,
+    dump_epoch: &AtomicU64,
+    shards_done: &AtomicUsize,
+    shards: usize,
 ) {
     // ordering: Acquire pairs with the Release store of the stop flag.
     while !stop.load(Ordering::Acquire) {
         match listener.accept() {
-            Ok((stream, _)) => handle_status_conn(stream, metrics, table, stop),
+            Ok((stream, _)) => {
+                handle_status_conn(
+                    stream,
+                    metrics,
+                    table,
+                    stop,
+                    dump_epoch,
+                    shards_done,
+                    shards,
+                );
+            }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(IDLE_POLL);
             }
@@ -598,13 +713,20 @@ fn render_prometheus_status(metrics: &Metrics, rows: &[(u64, SessionMeta)]) -> S
 /// empty line / immediate EOF, both treated as `metrics`) for the human
 /// status page, `prom` or an HTTP-ish `GET …` for the Prometheus text
 /// exposition (`GET` gets a minimal HTTP response, so
-/// `curl http://status-addr/metrics` scrapes directly), or `shutdown` —
-/// and receives a plaintext response.
+/// `curl http://status-addr/metrics` scrapes directly), `dump` to request
+/// a forensics bundle for every live session, or `shutdown` — and
+/// receives a plaintext response. `shutdown` waits (bounded) for every
+/// shard to exit and then appends a final counter/gauge snapshot to its
+/// reply, so the last scrape a client sees reflects all flushed work.
+#[allow(clippy::too_many_arguments)]
 fn handle_status_conn(
     mut stream: TcpStream,
     metrics: &Arc<Metrics>,
     table: &SessionTable,
     stop: &AtomicBool,
+    dump_epoch: &AtomicU64,
+    shards_done: &AtomicUsize,
+    shards: usize,
 ) {
     let _ = stream.set_nonblocking(false);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
@@ -630,7 +752,21 @@ fn handle_status_conn(
     let response = if command == "shutdown" {
         // ordering: Release — same contract as ServerHandle::request_stop.
         stop.store(true, Ordering::Release);
-        "ok shutting down\n".to_string()
+        // Final-snapshot flush: wait (bounded — a wedged shard must not
+        // wedge the reply) for every shard to exit, then append the final
+        // counter/gauge state to the acknowledgement.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        // ordering: Acquire pairs with each shard's Release increment, so
+        // the snapshot below sees the shards' final counter flushes.
+        while shards_done.load(Ordering::Acquire) < shards && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let rows = snapshot_sessions(table);
+        format!("ok shutting down\n{}", render_human_status(metrics, &rows))
+    } else if command == "dump" {
+        // Relaxed: pure signal (see ServerHandle::request_forensics_dump).
+        dump_epoch.fetch_add(1, Ordering::Relaxed);
+        "ok forensics dump requested\n".to_string()
     } else if command.is_empty() || command == "metrics" {
         // Formatting happens strictly after the table lock is dropped
         // (see snapshot_sessions) — the critical section is a shallow

@@ -9,14 +9,24 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use abc_core::monitor::{IncrementalChecker, MarginReport};
+use abc_core::monitor::{IncrementalChecker, MarginReport, MonitorStats};
 use abc_core::{EventId, ProcessId, Xi};
 use abc_rational::Ratio;
 use abc_sim::binio::{FrameAssembler, RecordDecoder, WireRecord};
 use abc_sim::textio::{EventFeed, LineAssembler, ParsedLine, TraceLineParser, TraceTextError};
 
+use crate::forensics::{monitor_counter_pairs, wire_record_line, ForensicsBundle};
 use crate::metrics::{ratio_to_basis_points, Metrics, MARGIN_NONE};
 use crate::server::ServerConfig;
+
+// Flight-recorder hooks (no-ops unless the embedding process called
+// `abc_obs::enable`): RAII spans cover only per-frame / per-drain work,
+// and on the batched v2 path the record/feed counters flush as one
+// delta add per frame (alongside `flush_event_counters`) rather than
+// one recorder touch per record.
+static OBS_CHECKER_FEED: abc_obs::CounterDef = abc_obs::CounterDef::new("service.checker_feed");
+static OBS_FRAMES: abc_obs::CounterDef = abc_obs::CounterDef::new("service.frame_decodes");
+static OBS_RECORDS: abc_obs::CounterDef = abc_obs::CounterDef::new("service.records");
 
 /// Soft cap on buffered reply bytes: when a client stops draining replies,
 /// the session stops reading new requests until the buffer shrinks — the
@@ -226,6 +236,83 @@ impl SessionCounters {
     }
 }
 
+/// Cap on forensics timeline / margin-history entries kept per session
+/// (most recent win; totals keep counting).
+const FORENSICS_LOG_CAP: usize = 256;
+
+/// Per-session forensics capture, present only when the server was
+/// started with a forensics directory (`None` = feature off, zero cost on
+/// the ingest path). Everything recorded here is **input-derived** — wire
+/// records, request numbers, monitor counters — never timestamps or peer
+/// addresses, so the rendered bundle is byte-reproducible from the same
+/// document bytes and server flags (see [`crate::forensics`]).
+struct Forensics {
+    dir: std::path::PathBuf,
+    /// Most recent wire records, as canonical v1 text lines (binary
+    /// records render through [`wire_record_line`]).
+    tail: VecDeque<String>,
+    tail_cap: usize,
+    tail_total: u64,
+    /// `(request#, ratio-or-none)` per client-driven exact margin sample
+    /// (`margin` requests and the latch freeze). Gated warn probes are
+    /// excluded — their schedule depends on read chunking.
+    margins: VecDeque<(u64, String)>,
+    margins_total: u64,
+    /// `(request#, entry)` decision timeline: document starts, topology,
+    /// prunes, the latch, document ends.
+    timeline: VecDeque<(u64, String)>,
+    timeline_total: u64,
+    /// The latched violation, surviving the checker drop.
+    latch: Option<(u64, String)>,
+    /// Monitor counters frozen at the latch (the checker is dropped right
+    /// after); refreshed from the live checker on explicit dumps.
+    stats: MonitorStats,
+    /// Dump ordinal: bundles are named `session-<id>-<ordinal>.forensics`.
+    dumps: u64,
+}
+
+impl Forensics {
+    fn new(dir: std::path::PathBuf, tail_cap: usize) -> Forensics {
+        Forensics {
+            dir,
+            tail: VecDeque::new(),
+            tail_cap: tail_cap.max(1),
+            tail_total: 0,
+            margins: VecDeque::new(),
+            margins_total: 0,
+            timeline: VecDeque::new(),
+            timeline_total: 0,
+            latch: None,
+            stats: MonitorStats::default(),
+            dumps: 0,
+        }
+    }
+
+    fn record_wire(&mut self, line: &str) {
+        if self.tail.len() >= self.tail_cap {
+            self.tail.pop_front();
+        }
+        self.tail.push_back(line.to_string());
+        self.tail_total += 1;
+    }
+
+    fn record_margin(&mut self, at: usize, ratio: String) {
+        if self.margins.len() >= FORENSICS_LOG_CAP {
+            self.margins.pop_front();
+        }
+        self.margins.push_back((at as u64, ratio));
+        self.margins_total += 1;
+    }
+
+    fn note(&mut self, at: usize, entry: String) {
+        if self.timeline.len() >= FORENSICS_LOG_CAP {
+            self.timeline.pop_front();
+        }
+        self.timeline.push_back((at as u64, entry));
+        self.timeline_total += 1;
+    }
+}
+
 pub(crate) struct Session {
     pub(crate) id: u64,
     stream: TcpStream,
@@ -279,6 +366,9 @@ pub(crate) struct Session {
     poisoned: bool,
     pub(crate) dead: bool,
     pub(crate) counters: SessionCounters,
+    /// Violation-forensics capture (boxed: ~5 pointers of cold state, and
+    /// `None` entirely unless the server configured a forensics dir).
+    forensics: Option<Box<Forensics>>,
 }
 
 impl Session {
@@ -313,6 +403,10 @@ impl Session {
             poisoned: false,
             dead: false,
             counters,
+            forensics: config
+                .forensics_dir
+                .as_ref()
+                .map(|dir| Box::new(Forensics::new(dir.clone(), config.forensics_tail))),
         };
         s.reply_fmt(format_args!("{}\n", crate::proto::GREETING));
         s
@@ -347,6 +441,7 @@ impl Session {
     /// observe progress — without paying two atomic RMWs per event.
     fn flush_event_counters(&mut self, metrics: &Metrics) {
         if self.doc_events_pending > 0 {
+            OBS_CHECKER_FEED.add(self.doc_events_pending);
             metrics
                 .events
                 .fetch_add(self.doc_events_pending, Ordering::Relaxed);
@@ -398,6 +493,11 @@ impl Session {
             .margin_bp
             .store(MARGIN_NONE, Ordering::Relaxed);
         self.counters.warning.store(0, Ordering::Relaxed);
+        let framing = if self.binary() { "binary" } else { "text" };
+        let at = self.lines_in;
+        if let Some(fx) = self.forensics.as_mut() {
+            fx.note(at, format!("document start ({framing} framing)"));
+        }
     }
 
     /// Whether this session can answer exact margin probes: always when
@@ -473,11 +573,20 @@ impl Session {
                 (None, _, _) => Ok(None),
             },
         };
+        let at = self.lines_in;
         match probed {
             Err(m) => self.protocol_error(&m, metrics),
-            Ok(None) => self.reply("margin none\n"),
+            Ok(None) => {
+                if let Some(fx) = self.forensics.as_mut() {
+                    fx.record_margin(at, "none".to_string());
+                }
+                self.reply("margin none\n");
+            }
             Ok(Some((rep, live))) => {
                 self.publish_margin(&rep.ratio, metrics);
+                if let Some(fx) = self.forensics.as_mut() {
+                    fx.record_margin(at, rep.ratio.to_string());
+                }
                 if live {
                     self.maybe_warn(&rep.ratio, metrics);
                 }
@@ -751,6 +860,9 @@ impl Session {
     /// frame's coalesced ack (violation and `end` replies were already
     /// queued in record order, so they precede it).
     fn process_frame(&mut self, payload: &[u8], metrics: &Metrics) {
+        let _span = abc_obs::span("service.frame_decode");
+        OBS_FRAMES.add(1);
+        let lines_before = self.lines_in;
         let t0 = Instant::now();
         metrics.frames.fetch_add(1, Ordering::Relaxed);
         let mut decoder = std::mem::take(&mut self.decoder);
@@ -770,6 +882,7 @@ impl Session {
                 self.protocol_error(&m, metrics);
             }
         }
+        OBS_RECORDS.add((self.lines_in - lines_before) as u64);
         // Counters/gauges settle before the ack covering the frame is
         // queued, so a client observing the ack sees exact status counters.
         self.flush_event_counters(metrics);
@@ -786,6 +899,18 @@ impl Session {
     /// through the same shared validation core ([`TraceLineParser`]).
     fn handle_record(&mut self, rec: WireRecord, metrics: &Metrics) {
         self.lines_in += 1;
+        if self.forensics.is_some() {
+            // Binary event records carry their seq implicitly; the parser
+            // will assign `events_seen()` to this one, so render with it.
+            let implicit_seq = match &self.doc {
+                DocState::Running(doc) => doc.parser.events_seen(),
+                DocState::Idle => 0,
+            };
+            let line = wire_record_line(&rec, implicit_seq);
+            if let Some(fx) = self.forensics.as_mut() {
+                fx.record_wire(&line);
+            }
+        }
         if matches!(rec, WireRecord::Margin) {
             // Session-level record, accepted mid-document and between
             // documents; the reply precedes the frame's coalesced ack.
@@ -828,6 +953,10 @@ impl Session {
     }
 
     fn process_line(&mut self, line: &str, metrics: &Metrics) {
+        OBS_RECORDS.add(1);
+        if let Some(fx) = self.forensics.as_mut() {
+            fx.record_wire(line);
+        }
         if line.trim() == crate::proto::MARGIN_REQUEST {
             // On-demand margin sample, accepted mid-document and between
             // documents (`margin` is not a trace-grammar line, so the
@@ -925,6 +1054,7 @@ impl Session {
         };
         let binary = self.binary();
         let mut done = false;
+        let mut latched_now = false;
         match parsed {
             ParsedLine::Meta | ParsedLine::Message { .. } => {}
             ParsedLine::Topology => {
@@ -951,6 +1081,11 @@ impl Session {
                             }
                         }
                         *checker = Some(mon);
+                        let at = self.lines_in;
+                        if let Some(fx) = self.forensics.as_mut() {
+                            let k = faulty.iter().filter(|f| **f).count();
+                            fx.note(at, format!("topology processes={n} faulty={k}"));
+                        }
                     }
                     Err(e) => {
                         let msg = format!("xi {} not monitorable: {e}", self.xi);
@@ -1029,6 +1164,17 @@ impl Session {
                         if binary {
                             self.unacked = Some(seq);
                         }
+                        // Forensics freezes its view *before* the checker
+                        // drops: the latch, the counters at latch time,
+                        // and a timeline entry. The bundle itself is
+                        // written after the document state is restored.
+                        let at = self.lines_in;
+                        if let Some(fx) = self.forensics.as_mut() {
+                            fx.latch = Some((seq as u64, wire.clone()));
+                            fx.stats = mon.stats();
+                            fx.note(at, format!("latch seq={seq}"));
+                            latched_now = true;
+                        }
                         *latched = Some((seq, wire));
                         self.note_pruned(mon.stats().pruned_events);
                         // The verdict is latched; stop feeding the checker
@@ -1039,6 +1185,10 @@ impl Session {
                         self.counters.live_arcs.store(0, Ordering::Relaxed);
                         if let Some(r) = margin_frozen.clone() {
                             self.publish_margin(&r, metrics);
+                            let at = self.lines_in;
+                            if let Some(fx) = self.forensics.as_mut() {
+                                fx.record_margin(at, r.to_string());
+                            }
                         }
                     } else {
                         if binary {
@@ -1057,6 +1207,10 @@ impl Session {
                                     watermark = watermark.min(oldest);
                                 }
                                 mon.prune_settled(Some(EventId(watermark)));
+                                let at = self.lines_in;
+                                if let Some(fx) = self.forensics.as_mut() {
+                                    fx.note(at, format!("prune watermark={watermark}"));
+                                }
                             }
                         }
                         // Memory gauges refresh per ingested frame / drained
@@ -1096,6 +1250,19 @@ impl Session {
                     }
                 }
                 metrics.documents.fetch_add(1, Ordering::Relaxed);
+                let at = self.lines_in;
+                let events_seen = parser.events_seen();
+                let verdict = if latched.is_some() {
+                    "violation"
+                } else {
+                    "admissible"
+                };
+                if let Some(fx) = self.forensics.as_mut() {
+                    fx.note(
+                        at,
+                        format!("document end ({verdict}, events={events_seen})"),
+                    );
+                }
                 // Drop the whole per-document state, margin gauges
                 // included.
                 self.counters.live_events.store(0, Ordering::Relaxed);
@@ -1111,9 +1278,73 @@ impl Session {
         if !done {
             self.doc = DocState::Running(doc);
         }
+        if latched_now {
+            // Automatic violation forensics: one bundle per latch, written
+            // the moment the verdict is known (rare path — file I/O here
+            // never rides an admissible stream).
+            self.dump_forensics("latch", metrics);
+        }
+    }
+
+    /// Writes a forensics bundle (and, when the flight recorder is
+    /// enabled, a timed span-trace sidecar) to the configured directory.
+    /// No-op unless the server was started with a forensics dir. Returns
+    /// whether a bundle was written.
+    pub(crate) fn dump_forensics(&mut self, reason: &str, metrics: &Metrics) -> bool {
+        // A live checker refreshes the frozen counters; the latch path
+        // already froze them right before dropping its checker.
+        let live_stats = match &self.doc {
+            DocState::Running(doc) => doc.checker.as_ref().map(|mon| mon.stats()),
+            DocState::Idle => None,
+        };
+        let Some(fx) = self.forensics.as_mut() else {
+            return false;
+        };
+        if let Some(stats) = live_stats {
+            fx.stats = stats;
+        }
+        let bundle = ForensicsBundle {
+            session: self.id,
+            reason: reason.to_string(),
+            xi: self.xi.to_string(),
+            latch: fx.latch.clone(),
+            monitor: monitor_counter_pairs(&fx.stats),
+            margins: fx.margins.iter().cloned().collect(),
+            margins_total: fx.margins_total,
+            timeline: fx.timeline.iter().cloned().collect(),
+            timeline_total: fx.timeline_total,
+            tail: fx.tail.iter().cloned().collect(),
+            tail_total: fx.tail_total,
+        };
+        let path = fx
+            .dir
+            .join(format!("session-{}-{}.forensics", self.id, fx.dumps));
+        if std::fs::create_dir_all(&fx.dir).is_err()
+            || std::fs::write(&path, bundle.render()).is_err()
+        {
+            // Unwritable dir: forensics degrades to a no-op rather than
+            // poisoning the session.
+            return false;
+        }
+        fx.dumps += 1;
+        metrics.forensics_dumps.fetch_add(1, Ordering::Relaxed);
+        if abc_obs::is_enabled() {
+            // Timed span data goes to a sidecar, deliberately outside the
+            // bundle's byte-reproducibility contract.
+            let trace = abc_obs::snapshot().chrome_trace_json();
+            let _ = std::fs::write(path.with_extension("forensics.trace.json"), trace);
+        }
+        true
     }
 
     fn try_flush(&mut self, metrics: &Metrics) -> bool {
+        // Span only when there is something to drain, so idle ticks don't
+        // flood the recorder ring.
+        let _span = if self.out.pending() > 0 {
+            Some(abc_obs::span("service.ack_drain"))
+        } else {
+            None
+        };
         let mut work = false;
         while self.out.pending() > 0 {
             let mut slices = [IoSlice::new(&[]); OUT_MAX_IOV];

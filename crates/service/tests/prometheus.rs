@@ -285,3 +285,107 @@ fn exposition_is_well_formed_with_all_required_families() {
     drop(stream);
     handle.join();
 }
+
+#[test]
+fn zero_session_exposition_is_well_formed() {
+    // A server that has never seen a connection still scrapes cleanly:
+    // all counter families at 0, full (all-zero) histogram ladders, and
+    // no per-session gauge rows at all.
+    let handle = start(ServerConfig {
+        shards: 1,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback server");
+    let status = handle.status_addr().to_string();
+    let prom = status_command(&status, "prom").unwrap();
+    let types = validate_exposition(&prom).unwrap_or_else(|e| panic!("{e}\n---\n{prom}"));
+    for family in [
+        "abc_service_sessions_total",
+        "abc_service_forensics_dumps_total",
+        "abc_service_margin",
+        "abc_service_ingest_seconds",
+    ] {
+        assert!(
+            types.contains_key(family),
+            "missing family {family}\n{prom}"
+        );
+    }
+    assert!(prom.contains("abc_service_sessions_active 0"), "{prom}");
+    assert!(prom.contains("abc_service_events_total 0"), "{prom}");
+    assert!(prom.contains("abc_service_margin_count 0"), "{prom}");
+    assert!(
+        !prom.contains("abc_service_session_margin{"),
+        "no session rows without sessions:\n{prom}"
+    );
+    handle.join();
+}
+
+#[test]
+fn margin_gauge_reregisters_across_documents_without_duplicates() {
+    // One connection, two documents: the session margin gauge must appear
+    // while a document has an exact sample, vanish when the document ends
+    // (the gauge resets to the no-sample sentinel), and re-register for
+    // the next document — exactly one row, never a duplicate.
+    let handle = start(ServerConfig {
+        shards: 1,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback server");
+    let addr = handle.addr().to_string();
+    let status = handle.status_addr().to_string();
+    let xi = Xi::from_integer(4);
+    let trace = clocksync_trace(1, 6, 5, 150);
+    let text = trace.to_stream_text();
+    let (body, end_line) = text.rsplit_once("end").expect("stream ends with end");
+
+    let stream = TcpStream::connect(&addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut greeting = String::new();
+    reader.read_line(&mut greeting).unwrap();
+    let mut drive = |payload: &str, until: &str| {
+        {
+            let mut w = &stream;
+            w.write_all(payload.as_bytes()).unwrap();
+            w.flush().unwrap();
+        }
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert!(!line.is_empty(), "connection closed waiting for {until:?}");
+            if line.starts_with(until) {
+                break;
+            }
+        }
+    };
+    let margin_rows = |prom: &str| {
+        prom.lines()
+            .filter(|l| l.starts_with("abc_service_session_margin{"))
+            .count()
+    };
+
+    // Document 1, held before `end`, with an exact margin sample.
+    drive(&format!("xi {xi}\n{body}margin\n"), "margin ");
+    let prom = status_command(&status, "prom").unwrap();
+    validate_exposition(&prom).unwrap_or_else(|e| panic!("{e}\n---\n{prom}"));
+    assert_eq!(margin_rows(&prom), 1, "one gauge row mid-document:\n{prom}");
+
+    // Finish document 1: the gauge resets to no-sample and the row drops.
+    drive(&format!("end{end_line}"), "end ");
+    let prom = status_command(&status, "prom").unwrap();
+    validate_exposition(&prom).unwrap_or_else(|e| panic!("{e}\n---\n{prom}"));
+    assert_eq!(
+        margin_rows(&prom),
+        0,
+        "gauge cleared between documents:\n{prom}"
+    );
+
+    // Document 2 on the same connection: the gauge re-registers, one row.
+    drive(&format!("{body}margin\n"), "margin ");
+    let prom = status_command(&status, "prom").unwrap();
+    validate_exposition(&prom).unwrap_or_else(|e| panic!("{e}\n---\n{prom}"));
+    assert_eq!(margin_rows(&prom), 1, "gauge re-registered:\n{prom}");
+
+    drive(&format!("end{end_line}"), "end ");
+    drop(stream);
+    handle.join();
+}

@@ -12,6 +12,13 @@ use crate::delay::{DelayModel, Delivery};
 use crate::process::{Context, Process};
 use crate::trace::{Trace, TraceEvent, TraceMessage};
 
+// Flight-recorder hooks: one span per `run` call, relaxed counter adds
+// per executed step / dispatched message (no-ops unless the embedding
+// process called `abc_obs::enable`).
+static OBS_STEPS: abc_obs::CounterDef = abc_obs::CounterDef::new("sim.steps");
+static OBS_DISPATCHES: abc_obs::CounterDef = abc_obs::CounterDef::new("sim.dispatches");
+static OBS_DROPS: abc_obs::CounterDef = abc_obs::CounterDef::new("sim.drops");
+
 /// Budgets bounding a run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RunLimits {
@@ -346,6 +353,7 @@ impl<M: Clone + 'static, D: DelayModel> Simulation<M, D> {
     /// Runs until quiescence or a budget limit; can be called repeatedly
     /// with increasing budgets to continue the same execution.
     pub fn run(&mut self, limits: RunLimits) -> RunStats {
+        let _span = abc_obs::span("sim.run");
         if !self.started {
             self.started = true;
             self.trace.num_processes = self.processes.len();
@@ -457,13 +465,16 @@ impl<M: Clone + 'static, D: DelayModel> Simulation<M, D> {
             }
             stats.events_executed += 1;
             stats.final_time = entry.time;
+            OBS_STEPS.add(1);
             // Dispatch the outbox through the delay model.
             for (to, msg) in outbox.drain(..) {
                 let seq_no = self.trace.messages.len() as u64;
                 stats.messages_sent += 1;
+                OBS_DISPATCHES.add(1);
                 match self.delay_model.delivery(process, to, entry.time, seq_no) {
                     Delivery::Drop => {
                         stats.messages_dropped += 1;
+                        OBS_DROPS.add(1);
                         self.trace.messages.push(TraceMessage {
                             from: process,
                             to,

@@ -18,6 +18,7 @@
 //! | [`service`] | Sharded TCP trace-ingestion service with live ABC monitoring (`abc serve`/`feed`/`loadgen`) |
 //! | [`consensus`] | EIG + FloodSet consensus over lock-step rounds |
 //! | [`lint`] | Workspace static analysis (`abc lint`): panic-freedom, unsafe budget, lock order, atomics discipline, cast safety |
+//! | [`obs`] | Flight recorder: per-thread span/counter rings, Chrome trace export, violation-forensics plumbing |
 //! | [`variants`] | ?ABC, ◇ABC, ?◇ABC weaker variants (Section 6) |
 //! | [`vlsi`] | Systems-on-Chip substrate (Section 5.3) |
 //!
@@ -37,6 +38,7 @@ pub use abc_harness as harness;
 pub use abc_lint as lint;
 pub use abc_lp as lp;
 pub use abc_models as models;
+pub use abc_obs as obs;
 pub use abc_rational as rational;
 pub use abc_service as service;
 pub use abc_sim as sim;
