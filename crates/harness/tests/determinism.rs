@@ -29,6 +29,7 @@ fn spec_512() -> ScenarioSpec {
         xi: Xi::from_integer(2),
         runs_per_point: 128,
         base_seed: 2024,
+        sim_workers: 1,
     }
 }
 

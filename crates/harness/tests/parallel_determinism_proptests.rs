@@ -1,0 +1,214 @@
+//! Property tests for the parallel simulation engine: over *random
+//! clocksync and gossip runs with online monitors attached*, the
+//! two-phase worker-pool stepper (`Simulation::set_sim_workers`) must
+//! produce **byte-identical** traces, identical engine stats, and
+//! identical monitor verdict/margin/witness streams at 1, 2, and 8
+//! workers. This is the ISSUE's acceptance bar: parallelism is a pure
+//! wall-clock knob, never an observable one.
+
+use abc_clocksync::TickGen;
+use abc_core::{ProcessId, Xi};
+use abc_sim::delay::BandDelay;
+use abc_sim::{Context, CrashAt, Process, RunLimits, RunStats, Simulation};
+use proptest::prelude::*;
+
+/// Broadcast at wake-up, echo `m + 1` to each sender until the reply
+/// budget is spent (the harness CLI's gossip protocol).
+struct Gossip {
+    budget: u32,
+}
+
+impl Process<u64> for Gossip {
+    fn on_init(&mut self, ctx: &mut Context<'_, u64>) {
+        ctx.broadcast(0);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, u64>, from: ProcessId, msg: &u64) {
+        if self.budget > 0 {
+            self.budget -= 1;
+            ctx.send(from, msg + 1);
+        }
+    }
+}
+
+/// Everything observable about one run: trace bytes, the stats line with
+/// the worker-shape fields blanked (those legitimately differ), and the
+/// monitor's verdict, live margin, and witness wire summary.
+#[derive(Debug, PartialEq, Eq)]
+struct Artifacts {
+    trace_text: String,
+    core_stats: RunStats,
+    admissible: bool,
+    margin: String,
+    witness: String,
+}
+
+struct RunConfig {
+    protocol: Proto,
+    n: usize,
+    lo: u64,
+    hi: u64,
+    seed: u64,
+    xi: Xi,
+    prune_every: Option<usize>,
+    max_events: usize,
+}
+
+enum Proto {
+    ClockSync { crash_last: bool },
+    Gossip { budget: u32 },
+}
+
+fn run_with_workers(cfg: &RunConfig, workers: usize) -> Artifacts {
+    let mut sim = Simulation::new(BandDelay::new(cfg.lo, cfg.hi, cfg.seed));
+    sim.set_sim_workers(workers);
+    for slot in 0..cfg.n {
+        match cfg.protocol {
+            Proto::ClockSync { crash_last } => {
+                if crash_last && slot == cfg.n - 1 {
+                    sim.add_faulty_process(CrashAt::new(TickGen::new(cfg.n, 1), 4));
+                } else {
+                    sim.add_process(TickGen::new(cfg.n, 1));
+                }
+            }
+            Proto::Gossip { budget } => {
+                sim.add_process(Gossip { budget });
+            }
+        }
+    }
+    match cfg.prune_every {
+        Some(every) => sim.attach_monitor_bounded(&cfg.xi, every).unwrap(),
+        None => sim.attach_monitor(&cfg.xi).unwrap(),
+    }
+    let mut stats = sim.run(RunLimits {
+        max_events: cfg.max_events,
+        max_time: u64::MAX,
+    });
+    assert_eq!(stats.sim_workers, workers);
+    stats.sim_workers = 0;
+    stats.parallel_steps = 0;
+    stats.max_step_width = 0;
+    let mon = sim.monitor().expect("monitor attached");
+    // A pruning monitor that stayed admissible has no margin probe (that
+    // requires opt-in tracking before the first prune); everywhere else
+    // the live margin is defined and must agree across worker counts.
+    let margin = if cfg.prune_every.is_none() || !mon.is_admissible() {
+        mon.current_margin()
+            .unwrap()
+            .map(|m| m.ratio.to_string())
+            .unwrap_or_default()
+    } else {
+        "untracked".into()
+    };
+    Artifacts {
+        trace_text: sim.trace().to_text(),
+        core_stats: stats,
+        admissible: mon.is_admissible(),
+        margin,
+        witness: sim
+            .violation_summary()
+            .map(|s| s.wire().to_string())
+            .unwrap_or_default(),
+    }
+}
+
+fn assert_workers_invisible(cfg: &RunConfig) {
+    let seq = run_with_workers(cfg, 1);
+    for workers in [2, 8] {
+        let par = run_with_workers(cfg, workers);
+        assert_eq!(seq, par, "artifacts diverged at {workers} workers");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random monitored clocksync runs across comfortable and
+    /// reordering-heavy delay bands, with and without a crash-faulty
+    /// straggler and bounded-memory monitoring.
+    #[test]
+    fn clocksync_runs_are_worker_count_invariant(
+        n in 4usize..7,
+        lo in 1u64..12,
+        spread in 0u64..9,
+        seed in any::<u64>(),
+        crash_last in any::<bool>(),
+        prune_every in 0usize..40,
+        xi_num in 3i64..6,
+    ) {
+        assert_workers_invisible(&RunConfig {
+            protocol: Proto::ClockSync { crash_last },
+            n,
+            lo,
+            hi: lo + spread,
+            seed,
+            xi: Xi::from_fraction(xi_num, 2),
+            // 0 = unbounded monitor, otherwise a bounded prune cadence.
+            prune_every: (prune_every > 0).then_some(prune_every),
+            max_events: 300,
+        });
+    }
+
+    /// Random monitored gossip runs (echo budgets drain to quiescence):
+    /// same worker-count invariance.
+    #[test]
+    fn gossip_runs_are_worker_count_invariant(
+        n in 3usize..6,
+        lo in 1u64..10,
+        spread in 0u64..8,
+        seed in any::<u64>(),
+        budget in 5u32..40,
+        prune_every in 0usize..25,
+        xi_num in 3i64..6,
+    ) {
+        assert_workers_invisible(&RunConfig {
+            protocol: Proto::Gossip { budget },
+            n,
+            lo,
+            hi: lo + spread,
+            seed,
+            xi: Xi::from_fraction(xi_num, 2),
+            prune_every: (prune_every > 0).then_some(prune_every),
+            max_events: 400,
+        });
+    }
+}
+
+/// The sweep-level view of the same property: a `ScenarioSpec` with
+/// `sim_workers: 8` reports byte-identical aggregates to the sequential
+/// spec (the engine knob composes with the sweep's own run-level
+/// fan-out).
+#[test]
+fn sweep_reports_are_identical_at_any_sim_worker_count() {
+    use abc_harness::spec::{DelaySweep, FaultPlan, Grid, Protocol, ScenarioSpec};
+    use abc_harness::sweep::{run_sweep, SweepOptions};
+
+    let spec = |sim_workers: usize| ScenarioSpec {
+        name: "simworkers".into(),
+        protocol: Protocol::ClockSync { n: 4, f: 1 },
+        delay: DelaySweep::Band {
+            lo: Grid::fixed(1),
+            hi: Grid::range(2, 6, 2),
+        },
+        faults: FaultPlan::none(),
+        limits: RunLimits {
+            max_events: 150,
+            max_time: u64::MAX,
+        },
+        xi: Xi::from_integer(2),
+        runs_per_point: 8,
+        base_seed: 2026,
+        sim_workers,
+    };
+    let seq = run_sweep(&spec(1), SweepOptions::default()).unwrap();
+    let par = run_sweep(&spec(8), SweepOptions::default()).unwrap();
+    assert_eq!(seq.aggregate_text(), par.aggregate_text());
+    for (a, b) in seq.outcomes.iter().zip(&par.outcomes) {
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.final_margin, b.final_margin);
+        assert_eq!(
+            a.violation.as_ref().map(|v| (v.at_event, v.ratio())),
+            b.violation.as_ref().map(|v| (v.at_event, v.ratio()))
+        );
+    }
+}

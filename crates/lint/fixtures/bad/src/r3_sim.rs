@@ -1,0 +1,12 @@
+//! R3 fixture (worker-pool hierarchy): a per-worker outbox holder
+//! reaching back for the scheduler queue — the merge-order inversion
+//! abc-sim's engine pool forbids.
+
+use std::sync::Mutex;
+
+pub fn merge_inverted(queue: &Mutex<u32>, outbox: &Mutex<u32>) {
+    let done = outbox.lock();
+    let q = queue.lock();
+    drop(q);
+    drop(done);
+}

@@ -21,6 +21,7 @@ const EXPECTED: &[(&str, &str, u32)] = &[
     ("R3", "src/r3.rs", 9),
     ("R3", "src/r3.rs", 16),
     ("R3", "src/r3_obs.rs", 9),
+    ("R3", "src/r3_sim.rs", 9),
     ("R4", "src/r4.rs", 6),
     ("R5", "src/r5.rs", 4),
 ];
@@ -28,7 +29,7 @@ const EXPECTED: &[(&str, &str, u32)] = &[
 #[test]
 fn every_rule_fires_at_its_exact_line() {
     let report = lint_root(&fixture_root(), &RuleFilter::all()).expect("fixture tree lints");
-    assert_eq!(report.files_checked, 6);
+    assert_eq!(report.files_checked, 7);
     assert!(!report.is_clean());
     let got: Vec<(&str, &str, u32)> = report
         .diagnostics

@@ -1,0 +1,182 @@
+//! The ordered commit point shared by the sequential and parallel engines.
+//!
+//! Everything order-sensitive lives here and only here: trace event
+//! appends, monitor feeding, delay-model draws, payload-slab allocation,
+//! and the bounded monitor's prune/watermark computation. Both execution
+//! strategies call [`Simulation::commit_step`] once per executed step, in
+//! `(time, tie)` pop order — which is why their outputs are byte-identical.
+
+use std::cmp::Reverse;
+
+use abc_core::{EventId, ProcessId};
+
+use crate::delay::{DelayModel, Delivery};
+use crate::trace::{TraceEvent, TraceMessage};
+
+use super::scheduler::StepEffects;
+use super::{EntryKind, QueueEntry, RunStats, Simulation};
+use super::{OBS_DISPATCHES, OBS_DROPS, OBS_STEPS};
+
+impl<M: Clone + Send + 'static, D: DelayModel> Simulation<M, D> {
+    /// Commits one executed step: records the trace event, feeds the
+    /// monitor, dispatches the step's outbox through the delay model (in
+    /// send order), and runs the bounded monitor's prune tick. `outbox` is
+    /// drained and left empty for reuse.
+    pub(super) fn commit_step(
+        &mut self,
+        stats: &mut RunStats,
+        time: u64,
+        process: ProcessId,
+        trigger: Option<usize>,
+        effects: StepEffects,
+        outbox: &mut Vec<(ProcessId, M)>,
+    ) {
+        // Record the receive event.
+        let event_idx = self.trace.events.len();
+        if let Some(mi) = trigger {
+            self.trace.messages[mi].recv_event = Some(event_idx);
+            self.trace.messages[mi].recv_time = Some(time);
+            stats.messages_delivered += 1;
+        }
+        self.trace.events.push(TraceEvent {
+            seq: event_idx,
+            process,
+            time,
+            trigger,
+            received_only: effects.was_crashed && trigger.is_some(),
+            label: effects.label,
+            distinguished: effects.distinguished,
+        });
+        self.feed_monitor_ordered(process, trigger, time);
+        stats.events_executed += 1;
+        stats.final_time = time;
+        OBS_STEPS.add(1);
+        self.dispatch_outbox(stats, process, event_idx, time, outbox);
+        self.monitor_prune_tick();
+    }
+
+    /// Streams the committed event into the attached monitor. Trace events
+    /// map to monitor graph events by index (every executed event is a
+    /// receive event of the execution graph, in creation order) — the one
+    /// and only feed point, so the feed order cannot drift between the
+    /// sequential and parallel engines.
+    fn feed_monitor_ordered(&mut self, process: ProcessId, trigger: Option<usize>, time: u64) {
+        if let Some(mon) = &mut self.monitor {
+            match trigger {
+                None => {
+                    mon.append_init(process);
+                }
+                Some(mi) => {
+                    // The ABC model (and the execution-graph builder)
+                    // require a process's wake-up step to precede any
+                    // reception; fail with a configuration-level
+                    // message instead of a builder assert deep inside.
+                    assert!(
+                        mon.process_has_events(process),
+                        "online monitor: message delivered to {process} at t={time} before \
+                         its wake-up (staggered start with an early delivery); such \
+                         executions fall outside Definition 1 — start {process} earlier \
+                         or delay its incoming messages"
+                    );
+                    let send_event = EventId(self.trace.messages[mi].send_event);
+                    mon.append_send(send_event, process);
+                }
+            }
+        }
+    }
+
+    /// Dispatches the committed step's outbox through the delay model, in
+    /// send order: draws delays, allocates payload slots from the free
+    /// list, and enqueues deliveries with fresh ties (same-timestamp sends
+    /// land in a later sub-batch, exactly as in the sequential loop).
+    fn dispatch_outbox(
+        &mut self,
+        stats: &mut RunStats,
+        process: ProcessId,
+        event_idx: usize,
+        time: u64,
+        outbox: &mut Vec<(ProcessId, M)>,
+    ) {
+        for (to, msg) in outbox.drain(..) {
+            let seq_no = self.trace.messages.len() as u64;
+            stats.messages_sent += 1;
+            OBS_DISPATCHES.add(1);
+            match self.delay_model.delivery(process, to, time, seq_no) {
+                Delivery::Drop => {
+                    stats.messages_dropped += 1;
+                    OBS_DROPS.add(1);
+                    self.trace.messages.push(TraceMessage {
+                        from: process,
+                        to,
+                        send_event: event_idx,
+                        recv_event: None,
+                        send_time: time,
+                        recv_time: None,
+                    });
+                }
+                Delivery::After(d) => {
+                    let mi = self.trace.messages.len();
+                    self.trace.messages.push(TraceMessage {
+                        from: process,
+                        to,
+                        send_event: event_idx,
+                        recv_event: None,
+                        send_time: time,
+                        recv_time: None,
+                    });
+                    let slot = match self.free_slots.pop() {
+                        Some(s) => {
+                            self.payloads[s] = Some(msg);
+                            s
+                        }
+                        None => {
+                            self.payloads.push(Some(msg));
+                            self.payloads.len() - 1
+                        }
+                    };
+                    let tie = self.next_tie();
+                    self.queue.push(Reverse(QueueEntry {
+                        time: time.saturating_add(d),
+                        tie,
+                        kind: EntryKind::Deliver(to.0, mi, slot),
+                    }));
+                }
+            }
+        }
+    }
+
+    /// The bounded monitor's compaction tick. Runs only after the
+    /// committed event's outbox is dispatched: the event's own messages
+    /// are in flight by then, so the watermark sees them (pruning before
+    /// dispatch could compact the very event they will name as their send
+    /// event).
+    fn monitor_prune_tick(&mut self) {
+        if let Some(every) = self.monitor_prune_every {
+            if (self.trace.events.len()) % every == 0 {
+                let watermark = self.inflight_watermark().unwrap_or(self.trace.events.len());
+                if let Some(mon) = &mut self.monitor {
+                    mon.prune_settled(Some(EventId(watermark)));
+                }
+            }
+        }
+    }
+
+    /// The engine's exact pruning watermark: the oldest send event any
+    /// in-flight entry still references (`None` when nothing is in
+    /// flight). Future sends are issued by events that have not executed
+    /// yet, so no future `append_send` can name anything older. "In
+    /// flight" covers the queue plus — on the parallel path — the current
+    /// batch's not-yet-committed steps, which left the queue at partition
+    /// time ([`Simulation::batch_send_floor`]).
+    fn inflight_watermark(&self) -> Option<usize> {
+        let batch_floor = (self.batch_send_floor != usize::MAX).then_some(self.batch_send_floor);
+        self.queue
+            .iter()
+            .filter_map(|Reverse(e)| match e.kind {
+                EntryKind::Init(_) => None,
+                EntryKind::Deliver(_, mi, _) => Some(self.trace.messages[mi].send_event),
+            })
+            .chain(batch_floor)
+            .min()
+    }
+}

@@ -1,0 +1,184 @@
+//! The persistent worker pool backing the parallel engine.
+//!
+//! One pool per `Simulation`, created lazily at the first parallel batch
+//! and reused for every batch until the simulation drops. The protocol is
+//! a plain condvar rendezvous: the main thread loads a batch's jobs into
+//! the shared queue and waits on `done_cv`; workers pull jobs, run them,
+//! push the finished jobs (process state machine included) into their own
+//! outbox, and the last one to finish signals done.
+//!
+//! Lock hierarchy (declared in lint.conf): the scheduler `queue` (level 6)
+//! is always taken before any per-worker `outbox` (level 7) — in practice
+//! the two are never held together; workers drop the queue guard before
+//! touching their outbox, and the merge walks outboxes after the queue
+//! wait returns.
+//!
+//! A panicking step is caught on the worker, its job is still pushed to
+//! the outbox (so the process box and its siblings' state survive the
+//! merge), and the payload is re-thrown on the main thread after the
+//! merge — the caller sees the original panic, not a poisoned lock.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use super::scheduler::{run_job, StepJob};
+
+/// The handle owned by the `Simulation`: shared state plus the worker
+/// thread handles (joined on drop).
+pub(super) struct WorkerPool<M> {
+    shared: Arc<Shared<M>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+struct Shared<M> {
+    queue: Mutex<QueueState<M>>,
+    /// Signals workers: jobs available (or shutdown).
+    work_cv: Condvar,
+    /// Signals the main thread: the batch's last job finished.
+    done_cv: Condvar,
+    /// One outbox per worker — finished jobs land in the running worker's
+    /// own box, so workers never contend with each other on completion.
+    outboxes: Vec<Mutex<Vec<StepJob<M>>>>,
+}
+
+struct QueueState<M> {
+    /// Jobs not yet claimed by a worker (popped from the back).
+    jobs: Vec<StepJob<M>>,
+    /// Jobs claimed but not yet finished; 0 = batch complete.
+    pending: usize,
+    /// Set by `Drop`: workers exit their loop.
+    closed: bool,
+    /// The first panic payload of the batch, re-thrown by the main thread.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+impl<M: Clone + Send + 'static> WorkerPool<M> {
+    /// Spawns `workers` (at least 1) named worker threads.
+    pub fn new(workers: usize) -> WorkerPool<M> {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState {
+                jobs: Vec::new(),
+                pending: 0,
+                closed: false,
+                panic: None,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            outboxes: (0..workers.max(1))
+                .map(|_| Mutex::new(Vec::new()))
+                .collect(),
+        });
+        let handles = (0..workers.max(1))
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("abc-sim-worker-{index}"))
+                    .spawn(move || worker_main(&shared, index))
+                    .expect("spawn sim worker thread")
+            })
+            .collect();
+        WorkerPool { shared, handles }
+    }
+
+    /// Runs one batch to completion: hands `jobs` to the workers, waits
+    /// for all of them, and re-slots the finished jobs into `merged` by
+    /// their batch position (`merged[job.slot]`). Re-throws the first
+    /// worker panic after the merge, so the engine's process slots are
+    /// restored either way.
+    pub fn run_batch(&self, jobs: Vec<StepJob<M>>, merged: &mut Vec<Option<StepJob<M>>>) {
+        merged.clear();
+        merged.resize_with(jobs.len(), || None);
+        if jobs.is_empty() {
+            return;
+        }
+        {
+            let mut queue = self.shared.queue.lock().expect("sim worker queue poisoned");
+            debug_assert_eq!(queue.pending, 0, "previous batch fully drained");
+            queue.pending = jobs.len();
+            queue.jobs = jobs;
+            self.shared.work_cv.notify_all();
+        }
+        let panic_payload = {
+            let mut queue = self.shared.queue.lock().expect("sim worker queue poisoned");
+            while queue.pending > 0 {
+                queue = self
+                    .shared
+                    .done_cv
+                    .wait(queue)
+                    .expect("sim worker queue poisoned");
+            }
+            queue.panic.take()
+        };
+        for outbox in &self.shared.outboxes {
+            let mut done = outbox.lock().expect("sim worker outbox poisoned");
+            for job in done.drain(..) {
+                let slot = job.slot;
+                merged[slot] = Some(job);
+            }
+        }
+        if let Some(payload) = panic_payload {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+impl<M> Drop for WorkerPool<M> {
+    fn drop(&mut self) {
+        {
+            // Survive poison: shutdown must reach the workers even if a
+            // panicking batch poisoned the queue mutex.
+            let mut queue = match self.shared.queue.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            queue.closed = true;
+        }
+        self.shared.work_cv.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_main<M: Clone + 'static>(shared: &Shared<M>, index: usize) {
+    loop {
+        let mut job = {
+            let mut queue = shared.queue.lock().expect("sim worker queue poisoned");
+            loop {
+                if let Some(job) = queue.jobs.pop() {
+                    break job;
+                }
+                if queue.closed {
+                    return;
+                }
+                queue = shared
+                    .work_cv
+                    .wait(queue)
+                    .expect("sim worker queue poisoned");
+            }
+        };
+        // AssertUnwindSafe: on panic the job is surrendered whole (below)
+        // and the engine re-throws before looking at its half-built
+        // effects, so no broken invariant is ever observed.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_job(&mut job)));
+        {
+            // Push the job back even on panic: the process box and the
+            // sibling jobs' state must survive the merge.
+            let outbox = &shared.outboxes[index];
+            let mut done = outbox.lock().expect("sim worker outbox poisoned");
+            done.push(job);
+        }
+        {
+            let mut queue = shared.queue.lock().expect("sim worker queue poisoned");
+            if let Err(payload) = result {
+                if queue.panic.is_none() {
+                    queue.panic = Some(payload);
+                }
+            }
+            queue.pending -= 1;
+            if queue.pending == 0 {
+                shared.done_cv.notify_all();
+            }
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! The partition phase of the parallel engine, and the worker-side step.
+//!
+//! [`Simulation::collect_batch`] pops every ready entry at one discrete
+//! time (up to the event budget) and groups them into one [`StepJob`] per
+//! destination process, remembering the exact pop order in
+//! [`Batch::plan`]. Workers run [`run_job`] — the pure compute part of a
+//! step, no engine state touched — and the commit phase replays the plan
+//! on the main thread.
+
+use std::cmp::Reverse;
+
+use abc_core::ProcessId;
+
+use crate::delay::DelayModel;
+use crate::process::{Context, Process};
+
+use super::{EntryKind, Simulation};
+
+/// One ready entry assigned to a job: a wake-up (`trigger: None`) or a
+/// delivery with its payload moved out of the slab. The slot index rides
+/// along so the commit phase can recycle it at this entry's pop position
+/// (keeping the free-list order identical to the sequential engine).
+pub(super) struct StepInput<M> {
+    /// `Some((message index, sender))` for deliveries, `None` for inits.
+    pub trigger: Option<(usize, ProcessId)>,
+    /// The delivered payload (consumed by the worker's step).
+    pub payload: Option<M>,
+    /// The slab slot the payload came from, freed at commit time.
+    pub payload_slot: Option<usize>,
+}
+
+/// What one step did, as observed by the worker: how many sends it pushed
+/// into the job arena plus the trace instrumentation it set. Everything
+/// else a step can do (trace append, monitor feed, delay draws) is
+/// deferred to the commit phase.
+#[derive(Clone, Copy)]
+pub(super) struct StepEffects {
+    /// Number of sends this step appended to the job arena.
+    pub outbox_len: usize,
+    /// `Context::set_label` value, if any.
+    pub label: Option<u64>,
+    /// Whether the step called `Context::mark_distinguished`.
+    pub distinguished: bool,
+    /// Whether the process had crashed *before* this step ran.
+    pub was_crashed: bool,
+}
+
+/// All of one process's ready entries at the batch's discrete time. The
+/// process state machine is moved out of the engine (`behavior`) for the
+/// duration of the batch and moved back at merge.
+pub(super) struct StepJob<M> {
+    /// Position within the batch's job list — the merge key: workers
+    /// return jobs in completion order, the merge re-slots them by this.
+    pub slot: usize,
+    /// The destination process this job steps.
+    pub process_idx: usize,
+    /// Total process count (for `Context::broadcast`).
+    pub num_processes: usize,
+    /// The batch's discrete time.
+    pub time: u64,
+    /// The process state machine, checked out of `Simulation::processes`.
+    pub behavior: Box<dyn Process<M>>,
+    /// The job's entries, in `(time, tie)` pop order.
+    pub inputs: Vec<StepInput<M>>,
+    /// Per-step outcomes, parallel to `inputs` (filled by the worker).
+    pub effects: Vec<StepEffects>,
+    /// All steps' sends back to back, *reversed* at the end of the job so
+    /// the commit phase can pop them off the back in forward order.
+    pub arena: Vec<(ProcessId, M)>,
+}
+
+/// A job's reusable buffers, reclaimed after each batch so steady-state
+/// batches allocate nothing.
+pub(super) struct JobBufs<M> {
+    pub inputs: Vec<StepInput<M>>,
+    pub effects: Vec<StepEffects>,
+    pub arena: Vec<(ProcessId, M)>,
+}
+
+// Hand-written (a derive would needlessly require `M: Default`).
+impl<M> Default for JobBufs<M> {
+    fn default() -> JobBufs<M> {
+        JobBufs {
+            inputs: Vec::new(),
+            effects: Vec::new(),
+            arena: Vec::new(),
+        }
+    }
+}
+
+impl<M> JobBufs<M> {
+    /// Clears and repackages a finished job's buffers for reuse.
+    pub fn reclaim(
+        mut inputs: Vec<StepInput<M>>,
+        mut effects: Vec<StepEffects>,
+        mut arena: Vec<(ProcessId, M)>,
+    ) -> JobBufs<M> {
+        inputs.clear();
+        effects.clear();
+        arena.clear();
+        JobBufs {
+            inputs,
+            effects,
+            arena,
+        }
+    }
+}
+
+/// One same-timestamp batch: the jobs to run plus the commit plan — the
+/// exact `(time, tie)` pop order, as `(job index, step index within the
+/// job)` pairs.
+pub(super) struct Batch<M> {
+    /// The batch's discrete time.
+    pub time: u64,
+    /// One job per distinct destination process.
+    pub jobs: Vec<StepJob<M>>,
+    /// The sequential pop order over all jobs' steps.
+    pub plan: Vec<(usize, usize)>,
+}
+
+impl<M: Clone + Send + 'static, D: DelayModel> Simulation<M, D> {
+    /// Pops every ready entry at time `now` (at most `budget` of them, so
+    /// `RunLimits::max_events` can cut a timestamp mid-batch exactly like
+    /// the sequential loop would) and partitions them into per-process
+    /// jobs. Entries enqueued *during* this timestamp's commit get higher
+    /// ties and form the next sub-batch at the same time.
+    pub(super) fn collect_batch(&mut self, now: u64, budget: usize) -> Batch<M> {
+        let mut jobs: Vec<StepJob<M>> = Vec::new();
+        let mut plan: Vec<(usize, usize)> = Vec::new();
+        while plan.len() < budget {
+            let Some(Reverse(entry)) = self.queue.peek().copied() else {
+                break;
+            };
+            if entry.time != now {
+                break;
+            }
+            self.queue.pop();
+            let (p, input) = match entry.kind {
+                EntryKind::Init(p) => (
+                    p,
+                    StepInput {
+                        trigger: None,
+                        payload: None,
+                        payload_slot: None,
+                    },
+                ),
+                EntryKind::Deliver(p, mi, slot) => (
+                    p,
+                    StepInput {
+                        trigger: Some((mi, self.trace.messages[mi].from)),
+                        payload: self.payloads[slot].take(),
+                        payload_slot: Some(slot),
+                    },
+                ),
+            };
+            let j = if self.job_of[p] != usize::MAX {
+                self.job_of[p]
+            } else {
+                let j = jobs.len();
+                self.job_of[p] = j;
+                let behavior = self.processes[p]
+                    .take()
+                    .expect("process present between batches");
+                let bufs = self.spare.pop().unwrap_or_default();
+                jobs.push(StepJob {
+                    slot: j,
+                    process_idx: p,
+                    num_processes: self.processes.len(),
+                    time: now,
+                    behavior,
+                    inputs: bufs.inputs,
+                    effects: bufs.effects,
+                    arena: bufs.arena,
+                });
+                j
+            };
+            jobs[j].inputs.push(input);
+            plan.push((j, jobs[j].inputs.len() - 1));
+        }
+        // Reset the partition scratch for the next batch.
+        for job in &jobs {
+            self.job_of[job.process_idx] = usize::MAX;
+        }
+        Batch {
+            time: now,
+            jobs,
+            plan,
+        }
+    }
+}
+
+/// Runs every step of one job, in order, on the calling (worker) thread.
+/// Pure compute: the only engine-visible effects are the job's own
+/// `effects` records and arena sends — no locks, no shared state.
+pub(super) fn run_job<M: Clone + 'static>(job: &mut StepJob<M>) {
+    let _span = abc_obs::span("sim.step.job");
+    for input in &mut job.inputs {
+        let was_crashed = job.behavior.has_crashed();
+        let start_len = job.arena.len();
+        let mut label = None;
+        let mut distinguished = false;
+        {
+            let mut ctx = Context {
+                me: ProcessId(job.process_idx),
+                now: job.time,
+                num_processes: job.num_processes,
+                outbox: &mut job.arena,
+                label: &mut label,
+                distinguished: &mut distinguished,
+            };
+            match (&input.trigger, &input.payload) {
+                (None, _) => job.behavior.on_init(&mut ctx),
+                (Some((_, from)), Some(msg)) => job.behavior.on_message(&mut ctx, *from, msg),
+                (Some(_), None) => unreachable!("payload consumed exactly once"),
+            }
+        }
+        job.effects.push(StepEffects {
+            outbox_len: job.arena.len() - start_len,
+            label,
+            distinguished,
+            was_crashed,
+        });
+        input.payload = None;
+    }
+    // The commit phase pops sends off the back; reversing here makes those
+    // pops come out in forward (send) order.
+    job.arena.reverse();
+}
